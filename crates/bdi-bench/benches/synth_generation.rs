@@ -1,0 +1,27 @@
+//! Substrate cost: world generation throughput.
+
+use bdi_synth::{World, WorldConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_synth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth_generation");
+    for &n in &[200usize, 800] {
+        let cfg = WorldConfig {
+            n_entities: n,
+            n_sources: 20,
+            max_source_size: n / 2,
+            ..WorldConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| World::generate(black_box(cfg.clone())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synth
+}
+criterion_main!(benches);

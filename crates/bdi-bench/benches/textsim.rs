@@ -1,0 +1,48 @@
+//! E20: similarity-function throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_textsim(c: &mut Criterion) {
+    let a = "Lumetra QX-1042 digital camera body black";
+    let b = "Lumetra QX1042 camera (black, body only)";
+    let ta = bdi_textsim::tokenize(a);
+    let tb = bdi_textsim::tokenize(b);
+    let mut g = c.benchmark_group("textsim");
+    g.bench_function("levenshtein", |bench| {
+        bench.iter(|| bdi_textsim::levenshtein(black_box(a), black_box(b)))
+    });
+    g.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| bdi_textsim::jaro_winkler_sim(black_box(a), black_box(b)))
+    });
+    g.bench_function("jaccard_tokens", |bench| {
+        bench.iter(|| bdi_textsim::jaccard_sim(black_box(&ta), black_box(&tb)))
+    });
+    g.bench_function("monge_elkan", |bench| {
+        bench.iter(|| bdi_textsim::monge_elkan_sim(black_box(&ta), black_box(&tb)))
+    });
+    g.bench_function("qgrams3", |bench| {
+        bench.iter(|| bdi_textsim::qgrams(black_box(a), 3))
+    });
+    g.bench_function("soundex", |bench| {
+        bench.iter(|| bdi_textsim::soundex(black_box("Lumetra")))
+    });
+    g.finish();
+
+    // tf-idf: fit once, score repeatedly
+    let corpus: Vec<Vec<String>> = (0..500)
+        .map(|i| bdi_textsim::tokenize(&format!("brand{} model-{i} camera black {i}", i % 7)))
+        .collect();
+    let idx = bdi_textsim::TfIdfIndex::fit(&corpus);
+    let va = idx.vectorize(&ta);
+    let vb = idx.vectorize(&tb);
+    c.bench_function("tfidf_cosine", |bench| {
+        bench.iter(|| black_box(&va).cosine(black_box(&vb)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_textsim
+}
+criterion_main!(benches);

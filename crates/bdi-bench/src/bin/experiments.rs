@@ -1,0 +1,21 @@
+//! Experiment runner: `experiments all` or `experiments e1 e7 …`.
+//!
+//! Every table/figure in EXPERIMENTS.md regenerates from here; output is
+//! plain ASCII tables on stdout.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        bdi_bench::experiments::ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    for id in &ids {
+        let id = id.to_lowercase();
+        eprintln!("[running {id}]");
+        if !bdi_bench::experiments::run(&id) {
+            eprintln!("unknown experiment '{id}' — known: {:?}", bdi_bench::experiments::ALL);
+            std::process::exit(2);
+        }
+    }
+}

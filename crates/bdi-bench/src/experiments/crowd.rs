@@ -1,0 +1,87 @@
+//! E21–E22: humans-in-the-loop experiments.
+
+use crate::table::{f3, Table};
+use crate::worlds;
+use bdi_crowd::{crowd_resolve, train_active, train_random, CrowdOracle, LogisticMatcher};
+use bdi_linkage::blocking::{Blocker, StandardBlocking};
+use bdi_linkage::cluster::transitive_closure;
+use bdi_linkage::eval::pairwise_quality;
+use bdi_linkage::matcher::{match_pairs, IdentifierRule, Matcher};
+use bdi_linkage::Pair;
+use bdi_synth::World;
+
+fn candidates(w: &World) -> Vec<Pair> {
+    let mut pairs = StandardBlocking::identifier().candidates(&w.dataset);
+    pairs.extend(StandardBlocking::title().candidates(&w.dataset));
+    bdi_linkage::pair::dedup_pairs(&mut pairs);
+    pairs
+}
+
+fn f1_of<M: Matcher>(m: &M, threshold: f64, w: &World, pairs: &[Pair]) -> f64 {
+    let matched = match_pairs(&w.dataset, pairs, m, threshold);
+    let edges: Vec<_> = matched.iter().map(|&(p, _)| p).collect();
+    let universe: Vec<_> = w.dataset.records().iter().map(|r| r.id).collect();
+    pairwise_quality(&transitive_closure(&edges, &universe), &w.truth).f1
+}
+
+/// E21: active learning vs random sampling at equal crowd budgets.
+pub fn e21_active_learning() {
+    let w = World::generate(worlds::linkage_world(211, 400, 18));
+    let pairs = candidates(&w);
+    let untrained = f1_of(&LogisticMatcher::default(), 0.5, &w, &pairs);
+    let mut t = Table::new(
+        format!(
+            "E21 — matcher F1 vs crowd budget ({} candidates, 3-worker panels, 10% worker error)",
+            pairs.len()
+        ),
+        &["budget (questions)", "untrained prior", "random-sample", "active-learning"],
+    );
+    for &budget in &[50u64, 150, 400, 1000] {
+        let oa = CrowdOracle::panel(3, 0.1, 2100 + budget);
+        let or = CrowdOracle::panel(3, 0.1, 2100 + budget);
+        let active = train_active(&w.dataset, &pairs, &oa, &w.truth, budget, 25);
+        let random = train_random(&w.dataset, &pairs, &or, &w.truth, budget, 2200 + budget);
+        t.row(vec![
+            budget.to_string(),
+            f3(untrained),
+            f3(f1_of(&random.matcher, 0.5, &w, &pairs)),
+            f3(f1_of(&active.matcher, 0.5, &w, &pairs)),
+        ]);
+    }
+    t.print();
+}
+
+/// E22: transitive inference savings in crowdsourced resolution.
+pub fn e22_crowd_transitivity() {
+    let w = World::generate(worlds::linkage_world(221, 300, 15));
+    let pairs = candidates(&w);
+    let mut t = Table::new(
+        format!(
+            "E22 — crowd resolution with transitive inference ({} candidate pairs)",
+            pairs.len()
+        ),
+        &["budget", "asked", "inferred free", "pairwise P", "pairwise R", "F1"],
+    );
+    for &budget in &[100u64, 400, u64::MAX] {
+        let oracle = CrowdOracle::panel(5, 0.1, 2300);
+        let report = crowd_resolve(
+            &w.dataset,
+            &pairs,
+            &IdentifierRule::default(),
+            &oracle,
+            &w.truth,
+            budget,
+            0.3,
+        );
+        let q = pairwise_quality(&report.clustering, &w.truth);
+        t.row(vec![
+            if budget == u64::MAX { "unlimited".into() } else { budget.to_string() },
+            report.questions_asked.to_string(),
+            report.questions_inferred.to_string(),
+            f3(q.precision),
+            f3(q.recall),
+            f3(q.f1),
+        ]);
+    }
+    t.print();
+}

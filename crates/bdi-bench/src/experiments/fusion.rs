@@ -1,0 +1,129 @@
+//! E1–E5: data fusion experiments.
+
+use crate::table::{f3, Table};
+use crate::worlds;
+use bdi_fusion::eval::{copy_detection_quality, fusion_quality};
+use bdi_fusion::{Accu, AccuCopy, ClaimSet, Fuser, Investment, MajorityVote, TruthFinder};
+use bdi_synth::World;
+
+/// Oracle-aligned claims of a world.
+pub fn world_claims(w: &World) -> ClaimSet {
+    ClaimSet::from_triples(w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)))
+}
+
+fn methods() -> Vec<Box<dyn Fuser>> {
+    vec![
+        Box::new(MajorityVote),
+        Box::new(TruthFinder::default()),
+        Box::new(Investment::default()),
+        Box::new(Investment::pooled()),
+        Box::new(Accu::default()),
+        Box::new(AccuCopy::default()),
+    ]
+}
+
+/// E1: fusion accuracy without copiers — Accu-family > Vote.
+pub fn e1_fusion_no_copiers() {
+    let mut t = Table::new(
+        "E1 — fusion precision, honest sources (accuracy U(0.5,0.95), no copiers; mean of 3 seeds)",
+        &["method", "precision", "trust MAE", "iterations"],
+    );
+    let seeds = [11u64, 12, 13];
+    for m in methods() {
+        let mut prec = 0.0;
+        let mut mae = 0.0;
+        let mut iters = 0.0;
+        for &s in &seeds {
+            let w = World::generate(worlds::fusion_world(s, 24, (0.5, 0.95)));
+            let claims = world_claims(&w);
+            let res = m.resolve(&claims);
+            let q = fusion_quality(&res, &w.truth);
+            prec += q.precision;
+            mae += q.trust_mae;
+            iters += res.iterations as f64;
+        }
+        let n = seeds.len() as f64;
+        t.row(vec![m.name().into(), f3(prec / n), f3(mae / n), format!("{:.0}", iters / n)]);
+    }
+    t.print();
+}
+
+/// E2: fusion accuracy with copier swarms — AccuCopy wins.
+pub fn e2_fusion_with_copiers() {
+    let mut t = Table::new(
+        "E2 — fusion precision vs copier count (24 sources, accuracy U(0.55,0.85), copy_fraction 0.8)",
+        &["copiers", "vote", "truthfinder", "investment", "pooled-inv", "accu", "accucopy"],
+    );
+    for &n_copiers in &[0usize, 4, 8] {
+        let w = World::generate(worlds::copier_world(21, n_copiers, 0.8));
+        let claims = world_claims(&w);
+        let mut row = vec![n_copiers.to_string()];
+        for m in methods() {
+            let q = fusion_quality(&m.resolve(&claims), &w.truth);
+            row.push(f3(q.precision));
+        }
+        t.row(row);
+    }
+    t.print();
+}
+
+/// E3: precision vs number of sources — redundancy helps, then saturates.
+pub fn e3_precision_vs_sources() {
+    let mut t = Table::new(
+        "E3 — fusion precision vs #sources (accuracy U(0.6,0.9))",
+        &["sources", "vote", "accu"],
+    );
+    for &n in &[3usize, 6, 12, 24, 48] {
+        let w = World::generate(worlds::fusion_world(31, n, (0.6, 0.9)));
+        let claims = world_claims(&w);
+        let vote = fusion_quality(&MajorityVote.resolve(&claims), &w.truth);
+        let accu = fusion_quality(&Accu::default().resolve(&claims), &w.truth);
+        t.row(vec![n.to_string(), f3(vote.precision), f3(accu.precision)]);
+    }
+    t.print();
+}
+
+/// E4: precision vs source error rate — accuracy-aware methods degrade
+/// more gracefully.
+pub fn e4_precision_vs_error_rate() {
+    let mut t = Table::new(
+        "E4 — fusion precision vs accuracy heterogeneity (24 sources, upper bound fixed at 0.95)",
+        &["accuracy band", "vote", "truthfinder", "accu"],
+    );
+    for &(lo, hi) in &[(0.8, 0.95), (0.65, 0.95), (0.5, 0.95), (0.35, 0.95), (0.2, 0.95)] {
+        let w = World::generate(worlds::fusion_world(41, 24, (lo, hi)));
+        let claims = world_claims(&w);
+        let v = fusion_quality(&MajorityVote.resolve(&claims), &w.truth);
+        let tf = fusion_quality(&TruthFinder::default().resolve(&claims), &w.truth);
+        let a = fusion_quality(&Accu::default().resolve(&claims), &w.truth);
+        t.row(vec![
+            format!("U({lo},{hi})"),
+            f3(v.precision),
+            f3(tf.precision),
+            f3(a.precision),
+        ]);
+    }
+    t.print();
+}
+
+/// E5: copy detection quality vs copy fidelity.
+pub fn e5_copy_detection() {
+    let mut t = Table::new(
+        "E5 — copy detection vs copy_fraction (24 sources, 6 copiers, threshold 0.6)",
+        &["copy_fraction", "detected", "precision", "recall", "f1"],
+    );
+    for &frac in &[0.3, 0.5, 0.7, 0.9] {
+        let w = World::generate(worlds::copier_world(51, 6, frac));
+        let claims = world_claims(&w);
+        let (_, report) = AccuCopy::default().resolve_with_report(&claims);
+        let q = copy_detection_quality(&report, &w.truth, 0.6);
+        t.row(vec![
+            format!("{frac}"),
+            q.detected.to_string(),
+            f3(q.precision),
+            f3(q.recall),
+            f3(q.f1),
+        ]);
+    }
+    t.print();
+}

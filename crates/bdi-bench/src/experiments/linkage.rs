@@ -1,0 +1,223 @@
+//! E6–E11: record linkage experiments.
+
+use crate::table::{f1, f3, Table};
+use crate::worlds;
+use bdi_linkage::blocking::{
+    AllPairs, Blocker, CanopyBlocking, MetaBlocking, MinHashBlocking, QGramBlocking,
+    SortedNeighborhood, StandardBlocking,
+};
+use bdi_linkage::cluster::{center_clustering, correlation_clustering, transitive_closure};
+use bdi_linkage::eval::{blocking_quality, pairwise_quality};
+use bdi_linkage::incremental::IncrementalLinker;
+use bdi_linkage::matcher::{match_pairs, FellegiSunter, IdentifierRule, Matcher, WeightedMatcher};
+use bdi_linkage::parallel::match_pairs_parallel;
+use bdi_synth::World;
+use bdi_types::RecordId;
+use std::time::Instant;
+
+/// E6: blocking method comparison — candidates / PC / RR / PQ.
+pub fn e6_blocking_methods() {
+    let w = World::generate(worlds::linkage_world(61, 600, 25));
+    let n = w.dataset.len();
+    let total_cross = bdi_linkage::pair::cross_source_pair_count(&w.dataset);
+    let mut t = Table::new(
+        format!("E6 — blocking methods ({n} records, 25 sources, {total_cross} cross-source pairs)"),
+        &["method", "candidates", "pair completeness", "reduction ratio", "pairs quality"],
+    );
+    let blockers: Vec<(&str, Vec<bdi_linkage::Pair>)> = vec![
+        ("all-pairs", AllPairs.candidates(&w.dataset)),
+        ("standard(id-digits)", StandardBlocking::identifier().candidates(&w.dataset)),
+        ("standard(title)", StandardBlocking::title().candidates(&w.dataset)),
+        ("sorted-neighborhood(w=10)", SortedNeighborhood::new(10).candidates(&w.dataset)),
+        ("qgram(3)", QGramBlocking::new(3).candidates(&w.dataset)),
+        ("canopy(0.4,0.8)", CanopyBlocking::new(0.4, 0.8).candidates(&w.dataset)),
+        ("minhash-lsh(8x4)", MinHashBlocking::new(8, 4).candidates(&w.dataset)),
+        (
+            "meta(title)",
+            MetaBlocking::new(StandardBlocking::title()).candidates(&w.dataset),
+        ),
+    ];
+    for (name, pairs) in blockers {
+        let q = blocking_quality(&pairs, &w.truth, total_cross);
+        t.row(vec![
+            name.into(),
+            q.candidates.to_string(),
+            f3(q.pair_completeness),
+            f3(q.reduction_ratio),
+            f3(q.pairs_quality),
+        ]);
+    }
+    t.print();
+}
+
+/// E7: runtime scaling — all-pairs is quadratic, blocking near-linear.
+pub fn e7_runtime_scaling() {
+    let mut t = Table::new(
+        "E7 — linkage runtime vs corpus size (IdentifierRule matcher, threshold 0.9)",
+        &["records", "all-pairs cand", "all-pairs ms", "blocked cand", "blocked ms"],
+    );
+    for &n_entities in &[100usize, 200, 400, 800] {
+        let w = World::generate(worlds::linkage_world(71, n_entities, 15));
+        let matcher = IdentifierRule::default();
+
+        let t0 = Instant::now();
+        let ap = AllPairs.candidates(&w.dataset);
+        let _ = match_pairs(&w.dataset, &ap, &matcher, 0.9);
+        let ap_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let bl = StandardBlocking::identifier().candidates(&w.dataset);
+        let _ = match_pairs(&w.dataset, &bl, &matcher, 0.9);
+        let bl_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        t.row(vec![
+            w.dataset.len().to_string(),
+            ap.len().to_string(),
+            f1(ap_ms),
+            bl.len().to_string(),
+            f1(bl_ms),
+        ]);
+    }
+    t.print();
+}
+
+/// E8: parallel matching speedup.
+pub fn e8_parallel_speedup() {
+    let w = World::generate(worlds::linkage_world(81, 800, 20));
+    let pairs = AllPairs.candidates(&w.dataset);
+    let matcher = WeightedMatcher::default();
+    let mut t = Table::new(
+        format!(
+            "E8 — parallel matching ({} candidate pairs; NOTE: {} hardware core(s) — speedup is bounded by the container, see EXPERIMENTS.md)",
+            pairs.len(),
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        ),
+        &["threads", "ms", "speedup", "max chunk share"],
+    );
+    let mut base = 0.0;
+    for &threads in &[1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let _ = match_pairs_parallel(&w.dataset, &pairs, &matcher, 0.7, threads);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            base = ms;
+        }
+        // work-partition balance: pairs are split into equal contiguous
+        // chunks; report the largest chunk's share of total work
+        let chunk = pairs.len().div_ceil(threads);
+        let share = chunk as f64 / pairs.len() as f64;
+        t.row(vec![
+            threads.to_string(),
+            f1(ms),
+            format!("{:.2}x", base / ms),
+            f3(share),
+        ]);
+    }
+    t.print();
+}
+
+/// E9: incremental vs batch cost as records arrive in waves.
+pub fn e9_incremental_vs_batch() {
+    let w = World::generate(worlds::linkage_world(91, 400, 15));
+    let records: Vec<_> = w.dataset.records().to_vec();
+    let waves = 5;
+    let wave = records.len().div_ceil(waves);
+    let mut t = Table::new(
+        "E9 — comparisons per arrival wave: incremental vs full re-link",
+        &["wave", "corpus size", "incremental cmp", "batch cmp"],
+    );
+    let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+    let mut prev = 0u64;
+    let mut partial = bdi_types::Dataset::new();
+    for s in w.dataset.sources() {
+        partial.add_source(s.clone());
+    }
+    for (i, chunk) in records.chunks(wave).enumerate() {
+        for r in chunk {
+            partial.add_record(r.clone()).unwrap();
+            linker.insert(r.clone());
+        }
+        let inc = linker.comparisons() - prev;
+        prev = linker.comparisons();
+        // batch: full blocking + matching cost over current corpus
+        let mut pairs = StandardBlocking::identifier().candidates(&partial);
+        pairs.extend(StandardBlocking::title().candidates(&partial));
+        bdi_linkage::pair::dedup_pairs(&mut pairs);
+        t.row(vec![
+            (i + 1).to_string(),
+            partial.len().to_string(),
+            inc.to_string(),
+            pairs.len().to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// E10: pairwise matcher quality on blocked candidates.
+pub fn e10_matcher_quality() {
+    let w = World::generate(worlds::linkage_world(101, 600, 25));
+    let mut pairs = StandardBlocking::identifier().candidates(&w.dataset);
+    pairs.extend(StandardBlocking::title().candidates(&w.dataset));
+    bdi_linkage::pair::dedup_pairs(&mut pairs);
+    let universe: Vec<RecordId> = w.dataset.records().iter().map(|r| r.id).collect();
+
+    let mut t = Table::new(
+        format!("E10 — matcher quality over {} candidates (cluster-level pairwise P/R/F1)", pairs.len()),
+        &["matcher", "threshold", "precision", "recall", "f1"],
+    );
+    let fs = FellegiSunter::fit(&w.dataset, &pairs, 20);
+    let id_rule = IdentifierRule { corroboration: 0.25 };
+    let weighted = WeightedMatcher::default();
+    let configs: Vec<(&str, &dyn Matcher, f64)> = vec![
+        ("identifier-rule", &id_rule, 0.9),
+        ("weighted", &weighted, 0.7),
+        ("fellegi-sunter(EM)", &fs, 0.5),
+    ];
+    for (name, matcher, threshold) in configs {
+        let matched = match_pairs(&w.dataset, &pairs, matcher, threshold);
+        let edges: Vec<_> = matched.iter().map(|&(p, _)| p).collect();
+        let clustering = transitive_closure(&edges, &universe);
+        let q = pairwise_quality(&clustering, &w.truth);
+        t.row(vec![
+            name.into(),
+            format!("{threshold}"),
+            f3(q.precision),
+            f3(q.recall),
+            f3(q.f1),
+        ]);
+    }
+    t.print();
+}
+
+/// E11: clustering strategies under a noisy matcher.
+pub fn e11_clustering_methods() {
+    let w = World::generate(worlds::linkage_world(111, 500, 20));
+    let mut pairs = StandardBlocking::identifier().candidates(&w.dataset);
+    pairs.extend(StandardBlocking::title().candidates(&w.dataset));
+    bdi_linkage::pair::dedup_pairs(&mut pairs);
+    let universe: Vec<RecordId> = w.dataset.records().iter().map(|r| r.id).collect();
+    let mut t = Table::new(
+        "E11 — clustering under matcher noise (weighted matcher at permissive thresholds)",
+        &["threshold", "method", "precision", "recall", "f1"],
+    );
+    for &threshold in &[0.75, 0.6, 0.5] {
+        let scored = match_pairs(&w.dataset, &pairs, &WeightedMatcher::default(), threshold);
+        let edges: Vec<_> = scored.iter().map(|&(p, _)| p).collect();
+        let variants: Vec<(&str, bdi_linkage::Clustering)> = vec![
+            ("transitive", transitive_closure(&edges, &universe)),
+            ("center", center_clustering(&scored, &universe)),
+            ("correlation", correlation_clustering(&edges, &universe)),
+        ];
+        for (name, clustering) in variants {
+            let q = pairwise_quality(&clustering, &w.truth);
+            t.row(vec![
+                format!("{threshold}"),
+                name.into(),
+                f3(q.precision),
+                f3(q.recall),
+                f3(q.f1),
+            ]);
+        }
+    }
+    t.print();
+}

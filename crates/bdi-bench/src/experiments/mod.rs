@@ -1,0 +1,48 @@
+//! Experiment registry (see EXPERIMENTS.md for the paper-claim ↔
+//! experiment mapping).
+
+pub mod crowd;
+pub mod extract;
+pub mod fusion;
+pub mod linkage;
+pub mod pipeline;
+pub mod schema;
+pub mod select;
+pub mod stats;
+
+/// All experiment ids in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17", "e18", "e19", "e21", "e22", "e23", "e17c",
+];
+
+/// Run one experiment by id; returns false for unknown ids.
+pub fn run(id: &str) -> bool {
+    match id {
+        "e1" => fusion::e1_fusion_no_copiers(),
+        "e2" => fusion::e2_fusion_with_copiers(),
+        "e3" => fusion::e3_precision_vs_sources(),
+        "e4" => fusion::e4_precision_vs_error_rate(),
+        "e5" => fusion::e5_copy_detection(),
+        "e6" => linkage::e6_blocking_methods(),
+        "e7" => linkage::e7_runtime_scaling(),
+        "e8" => linkage::e8_parallel_speedup(),
+        "e9" => linkage::e9_incremental_vs_batch(),
+        "e10" => linkage::e10_matcher_quality(),
+        "e11" => linkage::e11_clustering_methods(),
+        "e12" => schema::e12_matching_vs_heterogeneity(),
+        "e13" => schema::e13_pmapping_query_answering(),
+        "e14" => select::e14_less_is_more(),
+        "e15" => pipeline::e15_end_to_end(),
+        "e16" => stats::e16_world_shape(),
+        "e17" => pipeline::e17_velocity(),
+        "e17c" => pipeline::e17c_wrapper_staleness(),
+        "e18" => extract::e18_extraction_quality(),
+        "e19" => extract::e19_discovery_curve(),
+        "e21" => crowd::e21_active_learning(),
+        "e22" => crowd::e22_crowd_transitivity(),
+        "e23" => schema::e23_transform_discovery(),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,178 @@
+//! E15 & E17: end-to-end pipeline and velocity experiments.
+
+use crate::table::{f3, Table};
+use crate::worlds;
+use bdi_core::metrics::evaluate;
+use bdi_core::snapshots::{run_batch, run_incremental};
+use bdi_core::{run_pipeline, PipelineConfig, SchemaOrdering};
+use bdi_synth::churn::{ChurnConfig, SnapshotSeries};
+use bdi_synth::{World, WorldConfig};
+
+/// E15: per-stage and end-to-end quality on three single-category worlds
+/// and the full ten-category world, plus the stage-ordering ablation.
+pub fn e15_end_to_end() {
+    let mut t = Table::new(
+        "E15 — end-to-end pipeline quality (per-stage F1 / precision)",
+        &["world", "ordering", "linkage F1", "schema F1", "fusion P", "coverage"],
+    );
+    let mut worlds_list: Vec<(String, WorldConfig)> = ["camera", "headphone", "monitor"]
+        .iter()
+        .map(|c| {
+            (
+                c.to_string(),
+                WorldConfig {
+                    categories: vec![c.to_string()],
+                    n_entities: 300,
+                    n_sources: 20,
+                    ..worlds::standard(151)
+                },
+            )
+        })
+        .collect();
+    worlds_list.push(("all-10".into(), WorldConfig { n_entities: 600, n_sources: 30, ..worlds::standard(151) }));
+
+    for (name, cfg) in worlds_list {
+        let w = World::generate(cfg);
+        for ordering in [SchemaOrdering::LinkageFirst, SchemaOrdering::AlignmentFirst] {
+            let pcfg = PipelineConfig { ordering, ..PipelineConfig::default() };
+            let res = run_pipeline(&w.dataset, &pcfg).unwrap();
+            let q = evaluate(&res, &w.dataset, &w.truth);
+            t.row(vec![
+                name.clone(),
+                format!("{ordering:?}"),
+                f3(q.linkage_pairwise.f1),
+                f3(q.schema.f1),
+                f3(q.fusion_precision),
+                f3(q.item_coverage),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// E17: velocity — churning snapshots, batch vs incremental linkage.
+pub fn e17_velocity() {
+    let w = World::generate(WorldConfig { n_entities: 400, n_sources: 20, ..worlds::standard(171) });
+    let churn = ChurnConfig {
+        snapshots: 6,
+        p_source_death: 0.06,
+        p_page_death: 0.10,
+        late_birth_fraction: 0.15,
+        p_value_drift: 0.1,
+        p_template_drift: 0.08,
+    };
+    let series = SnapshotSeries::generate(&w, &churn).unwrap();
+
+    let mut survival = Table::new(
+        "E17a — velocity: survival of the initial crawl",
+        &["snapshot", "pages alive", "page survival", "source survival"],
+    );
+    for t in 0..series.snapshots.len() {
+        survival.row(vec![
+            t.to_string(),
+            series.snapshots[t].len().to_string(),
+            f3(series.page_survival(t)),
+            f3(series.source_survival(t)),
+        ]);
+    }
+    survival.print();
+
+    let batch = run_batch(&series, 0.9);
+    let inc = run_incremental(&series, 0.9);
+    let mut t = Table::new(
+        "E17b — velocity: batch re-linkage vs incremental linkage",
+        &["snapshot", "batch cmp", "batch F1", "incr cmp", "incr F1"],
+    );
+    for i in 0..batch.comparisons.len() {
+        t.row(vec![
+            i.to_string(),
+            batch.comparisons[i].to_string(),
+            f3(batch.quality[i].f1),
+            inc.comparisons[i].to_string(),
+            f3(inc.quality[i].f1),
+        ]);
+    }
+    t.print();
+}
+
+/// E17c: wrapper staleness under template drift — "data extraction rules
+/// are brittle over time". A wrapper induced on the initial crawl is
+/// applied to every later snapshot (stale), against a wrapper re-induced
+/// per snapshot (maintained).
+pub fn e17c_wrapper_staleness() {
+    use bdi_extract::page::{render_page, PageNoise, Template};
+    use bdi_extract::wrapper::Wrapper;
+
+    let w = World::generate(WorldConfig { n_entities: 300, n_sources: 12, ..worlds::standard(173) });
+    let churn = ChurnConfig {
+        snapshots: 6,
+        p_source_death: 0.0,
+        p_page_death: 0.05,
+        late_birth_fraction: 0.0,
+        p_value_drift: 0.0,
+        p_template_drift: 0.25, // template rewrites are the subject here
+    };
+    let series = SnapshotSeries::generate(&w, &churn).unwrap();
+
+    let mut t = Table::new(
+        "E17c — wrapper staleness under template drift (mean attr recall over sources)",
+        &["snapshot", "drifted sources", "stale wrapper recall", "re-induced recall"],
+    );
+    let sources: Vec<_> = w.dataset.sources().map(|s| (s.id, s.name.clone())).collect();
+    // induce the t0 wrappers
+    let mut stale_wrappers = std::collections::BTreeMap::new();
+    for (sid, name) in &sources {
+        let template = Template::for_source(name, w.config.seed);
+        let pages: Vec<_> = series.snapshots[0]
+            .records_of(*sid)
+            .map(|r| render_page(r, &template, PageNoise::default(), w.config.seed))
+            .collect();
+        if let Some(wr) = Wrapper::induce(&pages) {
+            stale_wrappers.insert(*sid, wr);
+        }
+    }
+    for snap_idx in 0..series.snapshots.len() {
+        let snap = &series.snapshots[snap_idx];
+        let mut stale_recall = 0.0;
+        let mut fresh_recall = 0.0;
+        let mut n = 0usize;
+        for (sid, name) in &sources {
+            let Some(stale) = stale_wrappers.get(sid) else { continue };
+            let template = Template::for_source(name, w.config.seed);
+            let records: Vec<_> = snap.records_of(*sid).collect();
+            if records.len() < 2 {
+                continue;
+            }
+            let pages: Vec<_> = records
+                .iter()
+                .map(|r| render_page(r, &template, PageNoise::default(), w.config.seed))
+                .collect();
+            let total: usize = records.iter().map(|r| r.arity()).sum();
+            if total == 0 {
+                continue;
+            }
+            let recall_of = |wr: &Wrapper| -> f64 {
+                let got: usize = pages.iter().map(|p| wr.extract(p).attributes.len()).sum();
+                got as f64 / total as f64
+            };
+            stale_recall += recall_of(stale);
+            if let Some(fresh) = Wrapper::induce(&pages) {
+                fresh_recall += recall_of(&fresh);
+            }
+            n += 1;
+        }
+        let drifted = series
+            .template_drifts
+            .iter()
+            .filter(|(_, ds)| ds.iter().any(|&d| d <= snap_idx))
+            .count();
+        let n = n.max(1) as f64;
+        t.row(vec![
+            snap_idx.to_string(),
+            drifted.to_string(),
+            f3(stale_recall / n),
+            f3(fresh_recall / n),
+        ]);
+    }
+    t.print();
+}

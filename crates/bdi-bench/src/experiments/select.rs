@@ -1,0 +1,90 @@
+//! E14: source selection — "less is more".
+
+use crate::experiments::fusion::world_claims;
+use crate::table::{f3, Table};
+use crate::worlds;
+use bdi_fusion::eval::fusion_quality;
+use bdi_fusion::{Accu, Fuser};
+use bdi_select::greedy_select;
+use bdi_synth::{World, WorldConfig};
+use bdi_types::SourceId;
+use std::collections::BTreeSet;
+
+/// E14: greedy selection order vs arbitrary order — oracle fusion
+/// precision as sources are added one by one. The greedy curve should
+/// reach its peak well before all sources are integrated, and adding the
+/// junk tail should *hurt*.
+pub fn e14_less_is_more() {
+    // partial-coverage sources with a wide quality spread: no single
+    // source covers the catalog, so coverage forces integration, while
+    // the junk end of the accuracy range makes over-integration costly
+    let cfg = WorldConfig {
+        n_entities: 120,
+        max_source_size: 40,
+        min_source_size: 25,
+        source_size_exponent: 0.2,
+        accuracy_range: (0.3, 0.95),
+        ..worlds::fusion_world(141, 20, (0.3, 0.95))
+    };
+    let w = World::generate(cfg);
+    let claims = world_claims(&w);
+    let trace = greedy_select(&claims, -1.0, 20);
+    let greedy_order: Vec<SourceId> = trace.iter().map(|s| s.source).collect();
+    let id_order: Vec<SourceId> = claims.sources().iter().copied().collect();
+
+    // oracle view of a prefix: (precision over decided items, decided
+    // item count, correctly decided count)
+    let oracle_at = |order: &[SourceId], k: usize| -> (f64, usize, usize) {
+        let subset: BTreeSet<SourceId> = order.iter().take(k).copied().collect();
+        let restricted = claims.restrict_to(&subset);
+        if restricted.is_empty() {
+            return (0.0, 0, 0);
+        }
+        let q = fusion_quality(&Accu::default().resolve(&restricted), &w.truth);
+        (q.precision, q.items, (q.precision * q.items as f64).round() as usize)
+    };
+
+    let mut t = Table::new(
+        "E14 — 'less is more': fused quality vs #sources integrated (cost = k)",
+        &["k sources", "greedy P", "greedy items", "greedy correct", "arbitrary P", "self-assessed"],
+    );
+    let ks: Vec<usize> = vec![1, 2, 4, 6, 8, 12, 16, 20];
+    for &k in &ks {
+        if k > id_order.len() {
+            break;
+        }
+        let self_assessed = trace
+            .get(k.saturating_sub(1))
+            .map(|s| s.expected_accuracy)
+            .unwrap_or(f64::NAN);
+        let (gp, gitems, gcorrect) = oracle_at(&greedy_order, k.min(greedy_order.len()));
+        let (ap, _, _) = oracle_at(&id_order, k);
+        t.row(vec![
+            k.to_string(),
+            f3(gp),
+            gitems.to_string(),
+            gcorrect.to_string(),
+            f3(ap),
+            f3(self_assessed),
+        ]);
+    }
+    t.print();
+
+    // the "less is more" signature: the best k (by precision, among
+    // prefixes with at least half the items covered) beats using all
+    // sources
+    let full = oracle_at(&greedy_order, greedy_order.len());
+    let peak = ks
+        .iter()
+        .filter(|&&k| k <= greedy_order.len())
+        .map(|&k| (k, oracle_at(&greedy_order, k)))
+        .filter(|(_, (_, items, _))| *items * 2 >= full.1)
+        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal));
+    if let Some((k, (p, _, _))) = peak {
+        println!(
+            "greedy peak (>=50% coverage): k={k} precision={p:.3} vs all {} sources: {:.3}",
+            id_order.len(),
+            full.0
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! E16: variety/volume shape of the synthetic web vs the published crawl
+//! statistics.
+
+use crate::table::{f3, Table};
+use crate::worlds;
+use bdi_extract::categories::{all_page_clusters, cluster_purity};
+use bdi_synth::stats::{attr_name_stats, entity_coverage, gini, source_sizes};
+use bdi_synth::{World, WorldConfig};
+
+/// E16: does the generated world exhibit the head/tail shapes the
+/// product-web measurement studies report? (Dexter crawl: ~86k distinct
+/// attribute names, ~99% of them in <3% of sources, ~80 names in ≥10%,
+/// the top name in just 38% of sources.)
+pub fn e16_world_shape() {
+    let w = World::generate(WorldConfig {
+        n_entities: 1500,
+        n_sources: 120,
+        max_source_size: 600,
+        min_source_size: 5,
+        ..worlds::standard(161)
+    });
+    let stats = attr_name_stats(&w.dataset);
+    let mut t = Table::new(
+        "E16a — attribute-name head/tail shape (reference: Dexter crawl)",
+        &["statistic", "this world", "Dexter crawl (reported)"],
+    );
+    t.row(vec![
+        "distinct attribute names".into(),
+        stats.distinct.to_string(),
+        "86,000".into(),
+    ]);
+    t.row(vec![
+        "fraction of names in <3% of sources".into(),
+        f3(stats.tail_fraction_lt_3pct),
+        "~0.99 (85k of 86k)".into(),
+    ]);
+    t.row(vec![
+        "names in ≥10% of sources".into(),
+        stats.names_in_ge_10pct.to_string(),
+        "80".into(),
+    ]);
+    t.row(vec![
+        "top name's source fraction".into(),
+        f3(stats.top_name_source_fraction),
+        "0.38".into(),
+    ]);
+    t.print();
+
+    let sizes = source_sizes(&w.dataset);
+    let cov = entity_coverage(&w.truth);
+    let mut t2 = Table::new(
+        "E16b — volume shape: source sizes and entity redundancy",
+        &["statistic", "value"],
+    );
+    t2.row(vec!["sources".into(), sizes.len().to_string()]);
+    t2.row(vec!["largest source (pages)".into(), sizes[0].to_string()]);
+    t2.row(vec![
+        "median source (pages)".into(),
+        sizes[sizes.len() / 2].to_string(),
+    ]);
+    t2.row(vec!["source-size gini".into(), f3(gini(&sizes))]);
+    t2.row(vec![
+        "head entity coverage (max #sources)".into(),
+        cov[0].to_string(),
+    ]);
+    t2.row(vec![
+        "median entity coverage".into(),
+        cov[cov.len() / 2].to_string(),
+    ]);
+    t2.row(vec![
+        "tail entities in exactly 1 source (fraction)".into(),
+        f3(cov.iter().filter(|&&c| c == 1).count() as f64 / cov.len() as f64),
+    ]);
+    // local categories: the crawl reported ~2 per website on average
+    let clusters = all_page_clusters(&w.dataset, 0.25);
+    t2.row(vec![
+        "local categories (page clusters)".into(),
+        clusters.len().to_string(),
+    ]);
+    t2.row(vec![
+        "avg local categories per source (crawl: ~2)".into(),
+        f3(clusters.len() as f64 / sizes.len() as f64),
+    ]);
+    t2.row(vec![
+        "local-category purity vs taxonomy".into(),
+        f3(cluster_purity(&clusters, &w.truth)),
+    ]);
+    t2.print();
+}

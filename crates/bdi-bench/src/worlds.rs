@@ -1,0 +1,76 @@
+//! World presets shared by experiments.
+
+use bdi_synth::WorldConfig;
+
+/// Default experiment scale: moderate worlds that run in seconds.
+pub fn standard(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        n_entities: 800,
+        n_sources: 40,
+        max_source_size: 400,
+        min_source_size: 8,
+        ..WorldConfig::default()
+    }
+}
+
+/// Fusion-focused world: honest sources with a spread of accuracies.
+pub fn fusion_world(seed: u64, n_sources: usize, accuracy: (f64, f64)) -> WorldConfig {
+    WorldConfig {
+        seed,
+        // ~1000 records across sources over 150 entities: mean item
+        // coverage ~5-8 claims, with Zipf skew (head items dense, tail
+        // items 1-2 claims)
+        n_entities: 150,
+        n_sources,
+        max_source_size: 120,
+        min_source_size: 10,
+        accuracy_range: accuracy,
+        p_missing: 0.05,
+        // flat-ish source sizes keep total claims ~6-8 per item
+        source_size_exponent: 0.5,
+        // one false value in circulation per item: errors coincide, so
+        // a wrong majority is possible and accuracy-awareness matters
+        // (the VLDB'09 synthetic setup)
+        n_false_values: 1,
+        ..WorldConfig::default()
+    }
+}
+
+/// Copier-infested fusion world: copiers get head-class sizes
+/// (exponent 0.2 keeps every source big) so the copied claims carry real
+/// vote mass, and honest accuracy is mediocre so the copied source's
+/// errors matter.
+pub fn copier_world(seed: u64, n_copiers: usize, copy_fraction: f64) -> WorldConfig {
+    WorldConfig {
+        n_copiers,
+        copy_fraction,
+        source_size_exponent: 0.2,
+        ..fusion_world(seed, 24, (0.55, 0.85))
+    }
+}
+
+/// Linkage-focused world sized by record volume.
+pub fn linkage_world(seed: u64, n_entities: usize, n_sources: usize) -> WorldConfig {
+    WorldConfig {
+        seed,
+        n_entities,
+        n_sources,
+        max_source_size: (n_entities / 2).max(20),
+        min_source_size: 5,
+        ..WorldConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        standard(1).validate().unwrap();
+        fusion_world(1, 20, (0.6, 0.9)).validate().unwrap();
+        copier_world(1, 4, 0.8).validate().unwrap();
+        linkage_world(1, 500, 20).validate().unwrap();
+    }
+}

@@ -1,0 +1,232 @@
+//! The fused product catalog: a queryable view over a pipeline result.
+//!
+//! Downstream applications (price comparison, market analysis, question
+//! answering — the paper's motivating use cases) don't want clusters and
+//! claims; they want "look up this product", "what's its weight", "which
+//! products have attribute X above Y". [`Catalog`] materializes the
+//! pipeline result into that API.
+
+use crate::pipeline::PipelineResult;
+use bdi_linkage::blocking::normalize_identifier;
+use bdi_types::{Dataset, RecordId, SourceId, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// One integrated product in the fused catalog.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// Catalog-internal id (the entity cluster index).
+    pub id: usize,
+    /// Display title (from the first member record).
+    pub title: String,
+    /// Member pages across sources.
+    pub pages: Vec<RecordId>,
+    /// Fused attribute values, keyed by the attribute cluster's label.
+    pub attributes: BTreeMap<String, Value>,
+}
+
+impl CatalogEntry {
+    /// Sources carrying this product.
+    pub fn sources(&self) -> Vec<SourceId> {
+        let mut out: Vec<SourceId> = self.pages.iter().map(|r| r.source).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The materialized fused catalog.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+    by_identifier: HashMap<String, usize>,
+}
+
+impl Catalog {
+    /// Materialize a pipeline result over its dataset.
+    pub fn materialize(ds: &Dataset, res: &PipelineResult) -> Self {
+        let by_id: HashMap<RecordId, &bdi_types::Record> =
+            ds.records().iter().map(|r| (r.id, r)).collect();
+        // fused values per entity cluster
+        let mut fused: HashMap<usize, BTreeMap<String, Value>> = HashMap::new();
+        for (item, value) in &res.resolution.decided {
+            let entity = item.entity.0 as usize;
+            let Some(attr_cluster) = item
+                .attribute
+                .strip_prefix('g')
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            let label = res.attr_clusters.label(attr_cluster);
+            fused.entry(entity).or_default().insert(label, value.clone());
+        }
+        let mut entries = Vec::new();
+        let mut by_identifier = HashMap::new();
+        for (ci, cluster) in res.clustering.clusters().iter().enumerate() {
+            let Some(first) = cluster.first().and_then(|r| by_id.get(r)) else { continue };
+            let entry_idx = entries.len();
+            for rid in cluster {
+                if let Some(rec) = by_id.get(rid) {
+                    if let Some(id) = rec.primary_identifier() {
+                        by_identifier
+                            .entry(normalize_identifier(id))
+                            .or_insert(entry_idx);
+                    }
+                }
+            }
+            entries.push(CatalogEntry {
+                id: ci,
+                title: first.title.clone(),
+                pages: cluster.clone(),
+                attributes: fused.remove(&ci).unwrap_or_default(),
+            });
+        }
+        Self { entries, by_identifier }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// Number of integrated products.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a product by any formatting of its identifier.
+    pub fn lookup(&self, identifier: &str) -> Option<&CatalogEntry> {
+        self.by_identifier
+            .get(&normalize_identifier(identifier))
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Products whose fused value for `attribute` satisfies `pred`.
+    pub fn filter<'a>(
+        &'a self,
+        attribute: &'a str,
+        pred: impl Fn(&Value) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a CatalogEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.attributes.get(attribute).is_some_and(&pred))
+    }
+
+    /// Top-k products by a numeric attribute (descending by base
+    /// magnitude); products without the attribute are skipped.
+    pub fn top_k_by(&self, attribute: &str, k: usize) -> Vec<&CatalogEntry> {
+        let mut scored: Vec<(&CatalogEntry, f64)> = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let m = e.attributes.get(attribute)?.base_magnitude()?;
+                Some((e, m))
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.id.cmp(&b.0.id))
+        });
+        scored.into_iter().take(k).map(|(e, _)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::run_pipeline;
+    use bdi_synth::{World, WorldConfig};
+
+    fn setup() -> (World, Catalog) {
+        let w = World::generate(WorldConfig {
+            seed: 7001,
+            n_entities: 80,
+            n_sources: 10,
+            max_source_size: 60,
+            categories: vec!["monitor".into()],
+            ..WorldConfig::default()
+        });
+        let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+        let catalog = Catalog::materialize(&w.dataset, &res);
+        (w, catalog)
+    }
+
+    #[test]
+    fn catalog_covers_every_cluster_with_members() {
+        let (w, catalog) = setup();
+        assert!(!catalog.is_empty());
+        let total_pages: usize = catalog.entries().iter().map(|e| e.pages.len()).sum();
+        assert_eq!(total_pages, w.dataset.len());
+    }
+
+    #[test]
+    fn identifier_lookup_any_format() {
+        let (w, catalog) = setup();
+        // find an entity with a published identifier
+        let rec = w
+            .dataset
+            .records()
+            .iter()
+            .find(|r| r.primary_identifier().is_some())
+            .unwrap();
+        let id = rec.primary_identifier().unwrap();
+        let entry = catalog.lookup(id).expect("identifier resolves");
+        assert!(entry.pages.contains(&rec.id));
+        // formatting variants hit the same entry
+        let lower = id.to_ascii_lowercase();
+        let stripped: String = id.chars().filter(|c| c.is_ascii_alphanumeric()).collect();
+        assert_eq!(
+            catalog.lookup(&lower).map(|e| e.id),
+            catalog.lookup(&stripped).map(|e| e.id)
+        );
+    }
+
+    #[test]
+    fn filter_and_topk_consistent() {
+        let (_, catalog) = setup();
+        // monitors have a fused "screen size"-labeled attribute in most
+        // worlds; find whatever label contains "size"
+        let label = catalog
+            .entries()
+            .iter()
+            .flat_map(|e| e.attributes.keys())
+            .find(|k| k.contains("size"))
+            .cloned();
+        let Some(label) = label else { return };
+        let top = catalog.top_k_by(&label, 3);
+        assert!(top.len() <= 3);
+        for w in top.windows(2) {
+            let a = w[0].attributes[&label].base_magnitude().unwrap();
+            let b = w[1].attributes[&label].base_magnitude().unwrap();
+            assert!(a >= b);
+        }
+        let n_filtered = catalog
+            .filter(&label, |v| v.base_magnitude().unwrap_or(0.0) > 0.0)
+            .count();
+        assert!(n_filtered > 0);
+    }
+
+    #[test]
+    fn entry_sources_deduped() {
+        let (_, catalog) = setup();
+        for e in catalog.entries() {
+            let s = e.sources();
+            let mut s2 = s.clone();
+            s2.dedup();
+            assert_eq!(s, s2);
+        }
+    }
+
+    #[test]
+    fn unknown_identifier_misses() {
+        let (_, catalog) = setup();
+        assert!(catalog.lookup("NO-SUCH-ID-999999").is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! # bdi-core — the end-to-end Big Data Integration pipeline
+//!
+//! Wires the stage crates into the pipeline the ICDE 2013 tutorial (and
+//! the product-domain agenda built on it) describes:
+//!
+//! ```text
+//! source discovery → extraction → data linkage → schema alignment → data fusion
+//! ```
+//!
+//! with the BDI-characteristic **linkage-before-alignment** ordering:
+//! product identifiers let records be linked without any schema
+//! agreement, and the resulting entity clusters then provide the
+//! instance evidence that makes schema alignment tractable at web scale.
+//!
+//! * [`catalog`] — the fused catalog: a queryable product database view
+//!   over a pipeline result (lookup by identifier, filters, top-k).
+//! * [`config`] — pipeline configuration (stage choices, thresholds,
+//!   orderings for the ablation).
+//! * [`pipeline`] — the orchestrator producing a [`pipeline::PipelineResult`].
+//! * [`metrics`] — per-stage and end-to-end evaluation against the
+//!   oracle.
+//! * [`report`] — serializable run reports.
+//! * [`snapshots`] — the velocity loop: integrating a churning snapshot
+//!   series incrementally vs from scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod config;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+pub mod snapshots;
+
+pub use catalog::Catalog;
+pub use config::{FusionMethod, LinkageMatcherKind, PipelineConfig, SchemaOrdering};
+pub use metrics::PipelineQuality;
+pub use pipeline::{run_pipeline, PipelineResult};

@@ -1,0 +1,145 @@
+//! End-to-end evaluation: mapping pipeline output back to the oracle.
+
+use crate::pipeline::PipelineResult;
+use bdi_linkage::eval::{bcubed_quality, pairwise_quality, Prf};
+use bdi_schema::eval::{cluster_quality, SchemaQuality};
+use bdi_types::{DataItem, Dataset, EntityId, GroundTruth};
+use std::collections::{BTreeMap, HashMap};
+
+/// Quality of one pipeline run, per stage and end to end.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineQuality {
+    /// Linkage pairwise precision/recall/F1.
+    pub linkage_pairwise: Prf,
+    /// Linkage B-cubed.
+    pub linkage_bcubed: Prf,
+    /// Schema cluster quality.
+    pub schema: SchemaQuality,
+    /// Fraction of fused items whose decided value is true.
+    pub fusion_precision: f64,
+    /// Fused items that could be mapped to an oracle item.
+    pub fused_items: usize,
+    /// Fraction of oracle data items the fused database covers.
+    pub item_coverage: f64,
+}
+
+/// Evaluate a pipeline result against the oracle.
+///
+/// Pipeline entities/attributes are internal cluster ids; each is mapped
+/// to the oracle via majority: the true entity most of the cluster's
+/// records denote, and the canonical attribute most of the attr-cluster's
+/// members publish.
+pub fn evaluate(res: &PipelineResult, ds: &Dataset, truth: &GroundTruth) -> PipelineQuality {
+    let linkage_pairwise = pairwise_quality(&res.clustering, truth);
+    let linkage_bcubed = bcubed_quality(&res.clustering, truth);
+    let schema = cluster_quality(&res.attr_clusters, truth);
+
+    // cluster index -> majority true entity
+    let mut entity_map: HashMap<usize, EntityId> = HashMap::new();
+    for (ci, cluster) in res.clustering.clusters().iter().enumerate() {
+        let mut counts: BTreeMap<EntityId, usize> = BTreeMap::new();
+        for rid in cluster {
+            if let Some(e) = truth.entity_of(*rid) {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        if let Some((&e, _)) = counts.iter().max_by_key(|&(_, c)| *c) {
+            entity_map.insert(ci, e);
+        }
+    }
+    // attr cluster index -> majority canonical name
+    let mut attr_map: HashMap<usize, String> = HashMap::new();
+    for (ai, cluster) in res.attr_clusters.clusters().iter().enumerate() {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for a in cluster {
+            if let Some(c) = truth.canonical_attr(a.source, &a.name) {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        if let Some((&c, _)) = counts.iter().max_by_key(|&(_, n)| *n) {
+            attr_map.insert(ai, c.to_string());
+        }
+    }
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut covered_items: std::collections::BTreeSet<DataItem> = Default::default();
+    for (item, decided) in &res.resolution.decided {
+        let ci = item.entity.0 as usize;
+        let Some(&true_entity) = entity_map.get(&ci) else { continue };
+        let Some(canon) = item
+            .attribute
+            .strip_prefix('g')
+            .and_then(|s| s.parse::<usize>().ok())
+            .and_then(|ai| attr_map.get(&ai))
+        else {
+            continue;
+        };
+        let oracle_item = DataItem::new(true_entity, canon.clone());
+        let Some(true_value) = truth.true_value(&oracle_item) else { continue };
+        total += 1;
+        covered_items.insert(oracle_item.clone());
+        if decided.equivalent(&true_value.canonical()) {
+            correct += 1;
+        }
+    }
+    let _ = ds;
+    PipelineQuality {
+        linkage_pairwise,
+        linkage_bcubed,
+        schema,
+        fusion_precision: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+        fused_items: total,
+        item_coverage: if truth.item_truth.is_empty() {
+            0.0
+        } else {
+            covered_items.len() as f64 / truth.item_truth.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::run_pipeline;
+    use bdi_synth::{World, WorldConfig};
+
+    #[test]
+    fn pipeline_quality_reasonable_on_clean_world() {
+        let cfg = WorldConfig {
+            accuracy_range: (0.9, 0.98),
+            p_missing: 0.05,
+            ..WorldConfig::tiny(55)
+        };
+        let w = World::generate(cfg);
+        let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+        let q = evaluate(&res, &w.dataset, &w.truth);
+        assert!(q.linkage_pairwise.f1 > 0.6, "linkage F1 {:?}", q.linkage_pairwise);
+        assert!(q.schema.precision > 0.5, "schema {:?}", q.schema);
+        assert!(q.fusion_precision > 0.6, "fusion precision {}", q.fusion_precision);
+        assert!(q.fused_items > 0);
+        assert!(q.item_coverage > 0.3, "coverage {}", q.item_coverage);
+    }
+
+    #[test]
+    fn noisier_world_scores_lower_fusion_precision() {
+        let clean = World::generate(WorldConfig {
+            accuracy_range: (0.95, 1.0),
+            ..WorldConfig::tiny(56)
+        });
+        let dirty = World::generate(WorldConfig {
+            accuracy_range: (0.5, 0.6),
+            ..WorldConfig::tiny(56)
+        });
+        let cfg = PipelineConfig::default();
+        let qc = evaluate(&run_pipeline(&clean.dataset, &cfg).unwrap(), &clean.dataset, &clean.truth);
+        let qd = evaluate(&run_pipeline(&dirty.dataset, &cfg).unwrap(), &dirty.dataset, &dirty.truth);
+        assert!(
+            qc.fusion_precision > qd.fusion_precision,
+            "clean {} vs dirty {}",
+            qc.fusion_precision,
+            qd.fusion_precision
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Serializable run reports — what the examples and the experiment
+//! harness print or save.
+
+use crate::metrics::PipelineQuality;
+use crate::pipeline::PipelineResult;
+use serde::{Deserialize, Serialize};
+
+/// A flat, serializable summary of one pipeline run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RunReport {
+    /// Records integrated.
+    pub records: usize,
+    /// Sources integrated.
+    pub sources: usize,
+    /// Candidate pairs scored.
+    pub candidates: usize,
+    /// Entity clusters produced.
+    pub entity_clusters: usize,
+    /// Attribute clusters produced.
+    pub attr_clusters: usize,
+    /// Claims fused.
+    pub claims: usize,
+    /// Items decided.
+    pub decided_items: usize,
+    /// Stage timings in milliseconds.
+    pub timings_ms: [f64; 3],
+    /// Oracle quality, when ground truth was available.
+    pub quality: Option<QualityReport>,
+}
+
+/// Oracle-measured quality numbers.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct QualityReport {
+    /// Linkage pairwise F1.
+    pub linkage_f1: f64,
+    /// Linkage B-cubed F1.
+    pub linkage_bcubed_f1: f64,
+    /// Schema cluster F1.
+    pub schema_f1: f64,
+    /// Fusion precision.
+    pub fusion_precision: f64,
+    /// Oracle item coverage.
+    pub item_coverage: f64,
+}
+
+impl RunReport {
+    /// Build from a pipeline result (+ optional quality evaluation).
+    pub fn new(
+        ds: &bdi_types::Dataset,
+        res: &PipelineResult,
+        quality: Option<&PipelineQuality>,
+    ) -> Self {
+        Self {
+            records: ds.len(),
+            sources: ds.source_count(),
+            candidates: res.candidates,
+            entity_clusters: res.clustering.len(),
+            attr_clusters: res.attr_clusters.len(),
+            claims: res.claim_count,
+            decided_items: res.resolution.decided.len(),
+            timings_ms: [
+                res.timings.linkage.as_secs_f64() * 1e3,
+                res.timings.alignment.as_secs_f64() * 1e3,
+                res.timings.fusion.as_secs_f64() * 1e3,
+            ],
+            quality: quality.map(|q| QualityReport {
+                linkage_f1: q.linkage_pairwise.f1,
+                linkage_bcubed_f1: q.linkage_bcubed.f1,
+                schema_f1: q.schema.f1,
+                fusion_precision: q.fusion_precision,
+                item_coverage: q.item_coverage,
+            }),
+        }
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "records={} sources={} candidates={}\n",
+            self.records, self.sources, self.candidates
+        ));
+        out.push_str(&format!(
+            "entity_clusters={} attr_clusters={} claims={} decided={}\n",
+            self.entity_clusters, self.attr_clusters, self.claims, self.decided_items
+        ));
+        out.push_str(&format!(
+            "timings: linkage={:.1}ms alignment={:.1}ms fusion={:.1}ms\n",
+            self.timings_ms[0], self.timings_ms[1], self.timings_ms[2]
+        ));
+        if let Some(q) = &self.quality {
+            out.push_str(&format!(
+                "quality: linkage_f1={:.3} b3_f1={:.3} schema_f1={:.3} fusion_p={:.3} coverage={:.3}\n",
+                q.linkage_f1, q.linkage_bcubed_f1, q.schema_f1, q.fusion_precision, q.item_coverage
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::pipeline::run_pipeline;
+    use bdi_synth::{World, WorldConfig};
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let w = World::generate(WorldConfig::tiny(88));
+        let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+        let q = crate::metrics::evaluate(&res, &w.dataset, &w.truth);
+        let report = RunReport::new(&w.dataset, &res, Some(&q));
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        // floats may drift by an ULP across the text round trip, so
+        // compare the integer fields exactly and the floats loosely
+        assert_eq!(back.records, report.records);
+        assert_eq!(back.candidates, report.candidates);
+        assert_eq!(back.entity_clusters, report.entity_clusters);
+        assert_eq!(back.claims, report.claims);
+        let (bq, rq) = (back.quality.as_ref().unwrap(), report.quality.as_ref().unwrap());
+        assert!((bq.linkage_f1 - rq.linkage_f1).abs() < 1e-9);
+        assert!((bq.fusion_precision - rq.fusion_precision).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("quality:"));
+        assert!(text.contains("records="));
+    }
+}

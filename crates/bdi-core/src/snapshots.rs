@@ -1,0 +1,138 @@
+//! The velocity loop: integrating a churning snapshot series.
+//!
+//! Two strategies over a [`bdi_synth::churn::SnapshotSeries`]:
+//!
+//! * **Batch** — re-run the full linkage on every snapshot; cost grows
+//!   with corpus size every time.
+//! * **Incremental** — keep an [`bdi_linkage::incremental::IncrementalLinker`]
+//!   alive across snapshots and feed it only the *new* pages; cost is
+//!   proportional to the delta.
+//!
+//! Experiment E17 plots both cost curves plus the quality trajectory as
+//! churn degrades the initial crawl.
+
+use bdi_linkage::blocking::{Blocker, StandardBlocking};
+use bdi_linkage::cluster::transitive_closure;
+use bdi_linkage::eval::{pairwise_quality, Prf};
+use bdi_linkage::incremental::IncrementalLinker;
+use bdi_linkage::matcher::{match_pairs, IdentifierRule};
+use bdi_synth::churn::SnapshotSeries;
+use bdi_types::RecordId;
+use std::collections::BTreeSet;
+
+/// Per-snapshot costs and quality for one strategy.
+#[derive(Clone, Debug, Default)]
+pub struct VelocityTrace {
+    /// Pairwise comparisons performed at each snapshot.
+    pub comparisons: Vec<u64>,
+    /// Linkage pairwise quality at each snapshot.
+    pub quality: Vec<Prf>,
+    /// Records alive at each snapshot.
+    pub alive: Vec<usize>,
+}
+
+/// Batch strategy: full re-linkage per snapshot.
+pub fn run_batch(series: &SnapshotSeries, threshold: f64) -> VelocityTrace {
+    let mut trace = VelocityTrace::default();
+    for snap in &series.snapshots {
+        let blocker = StandardBlocking::identifier();
+        let mut pairs = blocker.candidates(snap);
+        pairs.extend(StandardBlocking::title().candidates(snap));
+        bdi_linkage::pair::dedup_pairs(&mut pairs);
+        let matched = match_pairs(snap, &pairs, &IdentifierRule::default(), threshold);
+        let edges: Vec<_> = matched.iter().map(|&(p, _)| p).collect();
+        let universe: Vec<RecordId> = snap.records().iter().map(|r| r.id).collect();
+        let clustering = transitive_closure(&edges, &universe);
+        trace.comparisons.push(pairs.len() as u64);
+        trace.quality.push(pairwise_quality(&clustering, &series.truth));
+        trace.alive.push(snap.len());
+    }
+    trace
+}
+
+/// Incremental strategy: one long-lived linker, fed only new pages.
+/// (Departed pages stay in the index — matching real systems, where
+/// tombstoning lags; quality is evaluated on alive records only.)
+pub fn run_incremental(series: &SnapshotSeries, threshold: f64) -> VelocityTrace {
+    let mut trace = VelocityTrace::default();
+    let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), threshold);
+    let mut seen: BTreeSet<RecordId> = BTreeSet::new();
+    let mut cumulative = 0u64;
+    for snap in &series.snapshots {
+        for r in snap.records() {
+            if seen.insert(r.id) {
+                linker.insert(r.clone());
+            }
+        }
+        let delta = linker.comparisons() - cumulative;
+        cumulative = linker.comparisons();
+        let clustering = linker.clustering();
+        // restrict quality to records alive in this snapshot
+        let alive: BTreeSet<RecordId> = snap.records().iter().map(|r| r.id).collect();
+        let restricted = bdi_linkage::cluster::Clustering::from_clusters(
+            clustering
+                .clusters()
+                .iter()
+                .map(|c| c.iter().copied().filter(|r| alive.contains(r)).collect())
+                .collect(),
+        );
+        trace.comparisons.push(delta);
+        trace.quality.push(pairwise_quality(&restricted, &series.truth));
+        trace.alive.push(snap.len());
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_synth::churn::ChurnConfig;
+    use bdi_synth::{World, WorldConfig};
+
+    fn series() -> SnapshotSeries {
+        let w = World::generate(WorldConfig::tiny(91));
+        SnapshotSeries::generate(
+            &w,
+            &ChurnConfig { snapshots: 4, ..ChurnConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn both_strategies_produce_full_traces() {
+        let s = series();
+        let batch = run_batch(&s, 0.9);
+        let inc = run_incremental(&s, 0.9);
+        assert_eq!(batch.comparisons.len(), 4);
+        assert_eq!(inc.comparisons.len(), 4);
+        assert_eq!(batch.alive, inc.alive);
+    }
+
+    #[test]
+    fn incremental_cheaper_after_first_snapshot() {
+        let s = series();
+        let batch = run_batch(&s, 0.9);
+        let inc = run_incremental(&s, 0.9);
+        let batch_later: u64 = batch.comparisons[1..].iter().sum();
+        let inc_later: u64 = inc.comparisons[1..].iter().sum();
+        assert!(
+            inc_later < batch_later,
+            "incremental {inc_later} should beat batch {batch_later} after warmup"
+        );
+    }
+
+    #[test]
+    fn quality_comparable_between_strategies() {
+        let s = series();
+        let batch = run_batch(&s, 0.9);
+        let inc = run_incremental(&s, 0.9);
+        for (b, i) in batch.quality.iter().zip(&inc.quality) {
+            assert!(
+                (b.f1 - i.f1).abs() < 0.25,
+                "strategies diverged: batch {} vs incremental {}",
+                b.f1,
+                i.f1
+            );
+        }
+    }
+}

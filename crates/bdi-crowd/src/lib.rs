@@ -1,0 +1,31 @@
+//! # bdi-crowd — humans in the loop for record linkage
+//!
+//! The BDI research agenda calls for "techniques based on active learning
+//! and crowdsourcing to continuously train the classifiers with effective
+//! and updated training sets". This crate supplies that loop, with the
+//! crowd simulated (per the substitution rules — no Mechanical Turk in a
+//! test suite):
+//!
+//! * [`worker`] — simulated crowd workers with configurable error rates,
+//!   and majority-aggregated [`worker::CrowdOracle`]s.
+//! * [`logistic`] — a trainable pairwise matcher: logistic regression
+//!   over the standard [`bdi_linkage::matcher::PairFeatures`] vector.
+//! * [`active`] — the active-learning loop: query the pairs the current
+//!   model is least sure about, retrain, repeat until the budget is
+//!   spent. A random-sampling trainer is included as the baseline.
+//! * [`transitive`] — crowdsourced entity resolution with transitive
+//!   inference (the Wang et al. "crowdsourced joins" idea): answers
+//!   already implied by previous answers are never purchased.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod logistic;
+pub mod transitive;
+pub mod worker;
+
+pub use active::{train_active, train_random, TrainReport};
+pub use logistic::LogisticMatcher;
+pub use transitive::{crowd_resolve, CrowdResolveReport};
+pub use worker::{CrowdOracle, SimulatedWorker};

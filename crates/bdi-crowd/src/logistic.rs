@@ -1,0 +1,150 @@
+//! A trainable pairwise matcher: logistic regression over the standard
+//! comparison features.
+
+use bdi_linkage::matcher::{pair_features, Matcher, PairFeatures};
+use bdi_types::Record;
+
+const K: usize = 6;
+
+/// Logistic regression on [`PairFeatures`] (6 weights + bias), trained
+/// with plain gradient descent. Implements
+/// [`bdi_linkage::matcher::Matcher`], so it drops into every linkage
+/// pipeline slot the built-in matchers fit.
+#[derive(Clone, Debug)]
+pub struct LogisticMatcher {
+    /// Feature weights.
+    pub weights: [f64; K],
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl Default for LogisticMatcher {
+    /// An untrained prior leaning on identifier evidence — the starting
+    /// point active learning improves from.
+    fn default() -> Self {
+        Self { weights: [2.0, 1.0, 2.0, 1.0, 1.0, 0.5], bias: -3.0 }
+    }
+}
+
+impl LogisticMatcher {
+    /// Match probability for a feature vector.
+    pub fn probability(&self, f: &PairFeatures) -> f64 {
+        let x = f.as_array();
+        let z: f64 =
+            self.bias + x.iter().zip(&self.weights).map(|(xi, wi)| xi * wi).sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// One full-batch gradient-descent fit over labeled feature vectors.
+    ///
+    /// `epochs` of full-batch steps with learning rate `lr` and L2
+    /// penalty `l2` — tiny data (hundreds of crowd labels), so batch GD
+    /// is simpler and perfectly adequate.
+    pub fn fit(&mut self, data: &[(PairFeatures, bool)], epochs: usize, lr: f64, l2: f64) {
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len() as f64;
+        for _ in 0..epochs {
+            let mut gw = [0.0f64; K];
+            let mut gb = 0.0f64;
+            for (f, label) in data {
+                let p = self.probability(f);
+                let err = p - f64::from(*label);
+                let x = f.as_array();
+                for (k, &xk) in x.iter().enumerate() {
+                    gw[k] += err * xk;
+                }
+                gb += err;
+            }
+            for (wk, &gk) in self.weights.iter_mut().zip(&gw) {
+                *wk -= lr * (gk / n + l2 * *wk);
+            }
+            self.bias -= lr * gb / n;
+        }
+    }
+
+    /// Uncertainty of a prediction: distance of the probability from the
+    /// decision boundary, inverted so higher = less certain.
+    pub fn uncertainty(&self, f: &PairFeatures) -> f64 {
+        1.0 - 2.0 * (self.probability(f) - 0.5).abs()
+    }
+}
+
+impl Matcher for LogisticMatcher {
+    fn score(&self, a: &Record, b: &Record) -> f64 {
+        self.probability(&pair_features(a, b))
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn feat(v: f64) -> PairFeatures {
+        PairFeatures {
+            id_exact: v,
+            id_sim: v,
+            digit_match: v,
+            title_jaccard: v,
+            title_me: v,
+            value_overlap: v,
+        }
+    }
+
+    #[test]
+    fn fit_separates_labeled_data() {
+        let mut m = LogisticMatcher { weights: [0.0; 6], bias: 0.0 };
+        let data: Vec<(PairFeatures, bool)> = (0..40)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                (feat(if pos { 0.9 } else { 0.1 }), pos)
+            })
+            .collect();
+        m.fit(&data, 500, 0.5, 1e-4);
+        assert!(m.probability(&feat(0.9)) > 0.8, "{}", m.probability(&feat(0.9)));
+        assert!(m.probability(&feat(0.1)) < 0.2, "{}", m.probability(&feat(0.1)));
+    }
+
+    #[test]
+    fn uncertainty_peaks_at_boundary() {
+        let m = LogisticMatcher::default();
+        // find inputs with high and low probability
+        let hi = feat(1.0);
+        let lo = feat(0.0);
+        assert!(m.uncertainty(&hi) < 0.8);
+        assert!(m.uncertainty(&lo) < 0.8);
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut m = LogisticMatcher::default();
+        let before = m.weights;
+        m.fit(&[], 100, 0.5, 0.0);
+        assert_eq!(m.weights, before);
+    }
+
+    proptest! {
+        #[test]
+        fn probability_in_unit_interval(
+            w in proptest::array::uniform6(-5.0f64..5.0),
+            b in -5.0f64..5.0,
+            x in proptest::array::uniform6(0.0f64..=1.0),
+        ) {
+            let m = LogisticMatcher { weights: w, bias: b };
+            let f = PairFeatures {
+                id_exact: x[0], id_sim: x[1], digit_match: x[2],
+                title_jaccard: x[3], title_me: x[4], value_overlap: x[5],
+            };
+            let p = m.probability(&f);
+            prop_assert!((0.0..=1.0).contains(&p));
+            let u = m.uncertainty(&f);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

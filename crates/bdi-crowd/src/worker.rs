@@ -1,0 +1,166 @@
+//! Simulated crowd workers.
+
+use bdi_types::{GroundTruth, RecordId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One crowd worker: answers "are these two records the same product?"
+/// correctly with probability `1 − error_rate`. Answers are deterministic
+/// per (worker, pair) so repeated questions don't launder randomness.
+#[derive(Clone, Debug)]
+pub struct SimulatedWorker {
+    /// Worker id (part of the answer seed).
+    pub id: u32,
+    /// Probability of answering incorrectly.
+    pub error_rate: f64,
+    seed: u64,
+}
+
+impl SimulatedWorker {
+    /// Create a worker.
+    pub fn new(id: u32, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error_rate in [0,1]");
+        Self { id, error_rate, seed }
+    }
+
+    /// Answer a pair question. Returns `None` when the oracle itself
+    /// doesn't know either record (can't simulate an answer).
+    pub fn answer(&self, a: RecordId, b: RecordId, truth: &GroundTruth) -> Option<bool> {
+        let correct = truth.same_entity(a, b)?;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (self.id as u64) << 48
+                ^ pair_hash(a, b),
+        );
+        Some(if rng.gen_bool(self.error_rate) { !correct } else { correct })
+    }
+}
+
+fn pair_hash(a: RecordId, b: RecordId) -> u64 {
+    let (lo, hi) = if (a.source, a.seq) <= (b.source, b.seq) { (a, b) } else { (b, a) };
+    let mut h = 0xcbf29ce484222325u64;
+    for v in [lo.source.0 as u64, lo.seq as u64, hi.source.0 as u64, hi.seq as u64] {
+        h = (h ^ v).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A panel of workers answering by majority vote. Odd panel sizes avoid
+/// ties; even sizes break ties toward "no match" (the cautious default).
+#[derive(Clone, Debug)]
+pub struct CrowdOracle {
+    workers: Vec<SimulatedWorker>,
+    /// Questions answered so far (each question costs `workers.len()`
+    /// assignments).
+    pub questions: std::cell::Cell<u64>,
+}
+
+impl CrowdOracle {
+    /// A panel of `n` workers with a common error rate.
+    pub fn panel(n: usize, error_rate: f64, seed: u64) -> Self {
+        assert!(n >= 1, "panel needs at least one worker");
+        Self {
+            workers: (0..n as u32)
+                .map(|i| SimulatedWorker::new(i, error_rate, seed))
+                .collect(),
+            questions: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Majority answer of the panel.
+    pub fn ask(&self, a: RecordId, b: RecordId, truth: &GroundTruth) -> Option<bool> {
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        for w in &self.workers {
+            match w.answer(a, b, truth)? {
+                true => yes += 1,
+                false => no += 1,
+            }
+        }
+        self.questions.set(self.questions.get() + 1);
+        Some(yes > no)
+    }
+
+    /// Number of crowd assignments consumed (questions × panel size).
+    pub fn assignments(&self) -> u64 {
+        self.questions.get() * self.workers.len() as u64
+    }
+
+    /// Panel size.
+    pub fn panel_size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{EntityId, SourceId};
+
+    fn truth() -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        gt.record_entity.insert(RecordId::new(SourceId(0), 0), EntityId(1));
+        gt.record_entity.insert(RecordId::new(SourceId(1), 0), EntityId(1));
+        gt.record_entity.insert(RecordId::new(SourceId(2), 0), EntityId(2));
+        gt
+    }
+
+    fn rid(s: u32) -> RecordId {
+        RecordId::new(SourceId(s), 0)
+    }
+
+    #[test]
+    fn perfect_worker_answers_truth() {
+        let gt = truth();
+        let w = SimulatedWorker::new(0, 0.0, 7);
+        assert_eq!(w.answer(rid(0), rid(1), &gt), Some(true));
+        assert_eq!(w.answer(rid(0), rid(2), &gt), Some(false));
+    }
+
+    #[test]
+    fn always_wrong_worker_inverts() {
+        let gt = truth();
+        let w = SimulatedWorker::new(0, 1.0, 7);
+        assert_eq!(w.answer(rid(0), rid(1), &gt), Some(false));
+    }
+
+    #[test]
+    fn answers_deterministic_and_symmetric() {
+        let gt = truth();
+        let w = SimulatedWorker::new(3, 0.5, 9);
+        let ab = w.answer(rid(0), rid(1), &gt);
+        assert_eq!(ab, w.answer(rid(0), rid(1), &gt));
+        assert_eq!(ab, w.answer(rid(1), rid(0), &gt), "question order must not matter");
+    }
+
+    #[test]
+    fn unknown_record_unanswerable() {
+        let gt = truth();
+        let w = SimulatedWorker::new(0, 0.0, 7);
+        assert_eq!(w.answer(rid(0), RecordId::new(SourceId(9), 9), &gt), None);
+    }
+
+    #[test]
+    fn panel_majority_beats_single_noisy_worker() {
+        let gt = truth();
+        // with 20% error, a 5-worker panel is wrong only when >=3 err
+        let panel = CrowdOracle::panel(5, 0.2, 11);
+        let mut correct = 0;
+        let mut total = 0;
+        for (a, b, want) in [(0u32, 1u32, true), (0, 2, false), (1, 2, false)] {
+            total += 1;
+            if panel.ask(rid(a), rid(b), &gt) == Some(want) {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, total, "panel should answer these correctly");
+        assert_eq!(panel.questions.get(), 3);
+        assert_eq!(panel.assignments(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_panel_rejected() {
+        CrowdOracle::panel(0, 0.1, 1);
+    }
+}

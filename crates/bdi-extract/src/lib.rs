@@ -1,0 +1,28 @@
+//! # bdi-extract — source discovery, page rendering, wrapper induction
+//!
+//! The pipeline stages *upstream* of integration proper: finding product
+//! sources and turning their pages back into structured records. The
+//! substrate substitution: instead of live HTML, [`page`] renders each
+//! generated record through its source's (hidden) template into a line
+//! stream; [`wrapper`] induces extraction rules from a handful of sample
+//! pages per source — exploiting exactly the local structural homogeneity
+//! real wrapper systems rely on — and [`extractor`] re-extracts whole
+//! sources, with quality measured against the original records
+//! (experiment E18). [`discovery`] simulates the identifier-driven
+//! crawl: head-entity identifiers searched against a web-scale index
+//! reveal tail sources (experiment E19, the Dexter shape).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod discovery;
+pub mod extractor;
+pub mod page;
+pub mod wrapper;
+
+pub use categories::{all_page_clusters, page_clusters, PageCluster};
+pub use discovery::{Crawler, SearchIndex};
+pub use extractor::{extract_source, ExtractionQuality};
+pub use page::{render_page, Page, PageNoise, Template};
+pub use wrapper::Wrapper;

@@ -1,0 +1,184 @@
+//! Page rendering: records → line-stream "HTML".
+//!
+//! Each source renders every record through one fixed [`Template`] — the
+//! local structural homogeneity that makes wrapper induction possible.
+//! A page is a plain `Vec<String>`; no DOM is needed because everything
+//! wrapper induction exploits (constant chrome, labeled rows, section
+//! headers) survives in the line structure.
+
+use bdi_types::{Record, RecordId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rendered product page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Page {
+    /// The record this page presents.
+    pub record_id: RecordId,
+    /// The rendered lines.
+    pub lines: Vec<String>,
+}
+
+/// A source's page template: fixed chrome and formatting choices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Template {
+    /// Site banner line.
+    pub banner: String,
+    /// Label-value separator in spec rows.
+    pub separator: &'static str,
+    /// Header line above the spec table.
+    pub spec_header: &'static str,
+    /// Label of the identifier row.
+    pub id_label: &'static str,
+    /// Header line above the related-products section.
+    pub related_header: &'static str,
+    /// Footer line.
+    pub footer: String,
+}
+
+impl Template {
+    /// Derive a source's template deterministically from its name and a
+    /// world seed (same mechanism as every other per-source style choice).
+    pub fn for_source(source_name: &str, seed: u64) -> Self {
+        let mut h = seed ^ 0x7E4A7E;
+        for b in source_name.bytes() {
+            h = h.wrapping_mul(31).wrapping_add(b as u64);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let separators = [": ", " | ", " = "];
+        let spec_headers = ["Specifications", "Details", "Tech Specs"];
+        let id_labels = ["SKU", "MPN", "Item code"];
+        let related_headers = ["Related products", "You may also like", "Customers also viewed"];
+        Template {
+            banner: format!("== {source_name} =="),
+            separator: separators[rng.gen_range(0..separators.len())],
+            spec_header: spec_headers[rng.gen_range(0..spec_headers.len())],
+            id_label: id_labels[rng.gen_range(0..id_labels.len())],
+            related_header: related_headers[rng.gen_range(0..related_headers.len())],
+            footer: format!("(c) {source_name}"),
+        }
+    }
+}
+
+/// Noise applied at render time — weak-template sources (experiment E18's
+/// degradation case).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageNoise {
+    /// Probability a spec row loses its separator (label and value fused).
+    pub p_broken_row: f64,
+    /// Probability the spec rows are emitted in shuffled order (harmless
+    /// for label-keyed wrappers, fatal for positional ones).
+    pub p_shuffle: f64,
+    /// Probability a spec row is silently dropped.
+    pub p_dropped_row: f64,
+}
+
+/// Render one record through a template. The first identifier is treated
+/// as the main product id (id row); the rest render into the related
+/// section, mimicking related-product identifier leakage.
+pub fn render_page(record: &Record, template: &Template, noise: PageNoise, seed: u64) -> Page {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ ((record.id.source.0 as u64) << 32 | record.id.seq as u64),
+    );
+    let mut lines = Vec::with_capacity(record.attributes.len() + 8);
+    lines.push(template.banner.clone());
+    lines.push(record.title.clone());
+    if let Some(main_id) = record.identifiers.first() {
+        lines.push(format!("{}{}{}", template.id_label, template.separator, main_id));
+    }
+    lines.push(template.spec_header.to_string());
+    let mut rows: Vec<(String, String)> = record
+        .attributes
+        .iter()
+        .filter(|(_, v)| !v.is_null())
+        .map(|(k, v)| (k.clone(), v.render()))
+        .collect();
+    if noise.p_shuffle > 0.0 && rng.gen_bool(noise.p_shuffle) {
+        for i in (1..rows.len()).rev() {
+            rows.swap(i, rng.gen_range(0..=i));
+        }
+    }
+    for (label, value) in rows {
+        if noise.p_dropped_row > 0.0 && rng.gen_bool(noise.p_dropped_row) {
+            continue;
+        }
+        if noise.p_broken_row > 0.0 && rng.gen_bool(noise.p_broken_row) {
+            lines.push(format!("{label} {value}"));
+        } else {
+            lines.push(format!("{label}{}{value}", template.separator));
+        }
+    }
+    if record.identifiers.len() > 1 {
+        lines.push(template.related_header.to_string());
+        for rid in &record.identifiers[1..] {
+            lines.push(format!("see also ({rid})"));
+        }
+    }
+    lines.push(template.footer.clone());
+    Page { record_id: record.id, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{SourceId, Value};
+
+    fn record() -> Record {
+        Record::new(RecordId::new(SourceId(3), 7), "Lumetra LX-100 camera")
+            .with_identifier("CAM-LUM-00100")
+            .with_identifier("CAM-FOT-00200")
+            .with_attr("weight", Value::quantity(450.0, bdi_types::Unit::Gram))
+            .with_attr("color", Value::str("black"))
+    }
+
+    #[test]
+    fn template_deterministic_per_source() {
+        let a = Template::for_source("shop1.example", 42);
+        let b = Template::for_source("shop1.example", 42);
+        assert_eq!(a, b);
+        let c = Template::for_source("shop2.example", 42);
+        assert!(a != c || a.banner != c.banner);
+    }
+
+    #[test]
+    fn page_structure() {
+        let t = Template::for_source("shop1.example", 1);
+        let p = render_page(&record(), &t, PageNoise::default(), 1);
+        assert_eq!(p.lines[0], t.banner);
+        assert_eq!(p.lines[1], "Lumetra LX-100 camera");
+        assert!(p.lines[2].starts_with(t.id_label));
+        assert!(p.lines[2].ends_with("CAM-LUM-00100"));
+        assert!(p.lines.contains(&t.spec_header.to_string()));
+        assert!(p.lines.iter().any(|l| l.contains("450 g")));
+        assert!(p.lines.iter().any(|l| l.contains("(CAM-FOT-00200)")));
+        assert_eq!(p.lines.last().unwrap(), &t.footer);
+    }
+
+    #[test]
+    fn noise_breaks_rows() {
+        let t = Template::for_source("shop1.example", 1);
+        let noisy = render_page(
+            &record(),
+            &t,
+            PageNoise { p_broken_row: 1.0, p_shuffle: 0.0, p_dropped_row: 0.0 },
+            1,
+        );
+        // no spec row keeps the separator
+        let spec_rows: Vec<_> = noisy
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("weight") || l.starts_with("color"))
+            .collect();
+        assert!(!spec_rows.is_empty());
+        for row in spec_rows {
+            assert!(!row.contains(t.separator), "row still separated: {row}");
+        }
+    }
+
+    #[test]
+    fn render_deterministic() {
+        let t = Template::for_source("s", 5);
+        let n = PageNoise { p_broken_row: 0.5, p_shuffle: 0.5, p_dropped_row: 0.2 };
+        assert_eq!(render_page(&record(), &t, n, 9), render_page(&record(), &t, n, 9));
+    }
+}

@@ -1,0 +1,274 @@
+//! Wrapper induction: learn a source's extraction rules from samples.
+//!
+//! Given a handful of pages from one source, the induction algorithm
+//! recovers the template without being told anything about it:
+//!
+//! 1. **Chrome detection** — lines constant across all samples are
+//!    template chrome (banner, section headers, footer), not data.
+//! 2. **Separator inference** — the candidate separator splitting the
+//!    most lines into a repeating left part (label) and varying right
+//!    part (value) wins.
+//! 3. **Role assignment** — the label whose values look like product
+//!    identifiers becomes the id row; the chrome line preceding
+//!    parenthesized-id lines marks the related section (excluded from
+//!    extraction — this is how related-product id leakage is fought).
+//! 4. The first non-chrome, non-row line is the title.
+
+use crate::page::Page;
+use bdi_types::{Record, RecordId};
+use std::collections::{BTreeMap, BTreeSet};
+
+const SEPARATORS: [&str; 3] = [": ", " | ", " = "];
+
+/// An induced wrapper for one source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Wrapper {
+    /// Inferred label-value separator.
+    pub separator: &'static str,
+    /// Labels accepted as spec attributes.
+    pub labels: BTreeSet<String>,
+    /// Label of the main-identifier row, when one was found.
+    pub id_label: Option<String>,
+    /// Chrome lines (constant across samples).
+    pub chrome: BTreeSet<String>,
+    /// Chrome line that opens the related-products section, if any.
+    pub related_header: Option<String>,
+}
+
+impl Wrapper {
+    /// Induce a wrapper from sample pages (needs ≥ 2 samples; more is
+    /// better). Returns `None` when no consistent structure is found.
+    pub fn induce(samples: &[Page]) -> Option<Wrapper> {
+        if samples.len() < 2 {
+            return None;
+        }
+        // 1. chrome: lines present in every sample
+        let mut chrome: BTreeSet<String> = samples[0].lines.iter().cloned().collect();
+        for page in &samples[1..] {
+            let here: BTreeSet<&str> = page.lines.iter().map(String::as_str).collect();
+            chrome.retain(|l| here.contains(l.as_str()));
+        }
+        // 2. separator: maximize (rows split) with labels repeating
+        let mut best: Option<(&'static str, usize)> = None;
+        for sep in SEPARATORS {
+            let mut label_pages: BTreeMap<&str, usize> = BTreeMap::new();
+            for page in samples {
+                let mut seen: BTreeSet<&str> = BTreeSet::new();
+                for line in &page.lines {
+                    if chrome.contains(line) {
+                        continue;
+                    }
+                    if let Some((label, _)) = line.split_once(sep) {
+                        if seen.insert(label) {
+                            *label_pages.entry(label).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            // labels recurring in >= 2 samples are structural (sources
+            // mix categories, so no label need appear on every page)
+            let repeating = label_pages.values().filter(|&&c| c >= 2).count();
+            if best.is_none_or(|(_, b)| repeating > b) {
+                best = Some((sep, repeating));
+            }
+        }
+        let (separator, repeating) = best?;
+        if repeating == 0 {
+            return None;
+        }
+        // 3. collect labels and find the identifier row
+        let mut label_pages: BTreeMap<String, usize> = BTreeMap::new();
+        let mut label_values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for page in samples {
+            let mut seen: BTreeSet<String> = BTreeSet::new();
+            for line in &page.lines {
+                if chrome.contains(line) {
+                    continue;
+                }
+                if let Some((label, value)) = line.split_once(separator) {
+                    if seen.insert(label.to_string()) {
+                        *label_pages.entry(label.to_string()).or_insert(0) += 1;
+                        label_values
+                            .entry(label.to_string())
+                            .or_default()
+                            .push(value.to_string());
+                    }
+                }
+            }
+        }
+        let labels: BTreeSet<String> = label_pages
+            .iter()
+            .filter(|&(_, &c)| c >= 2)
+            .map(|(l, _)| l.clone())
+            .collect();
+        let id_label = labels
+            .iter()
+            .find(|l| {
+                let vs = &label_values[*l];
+                !vs.is_empty() && vs.iter().all(|v| looks_like_identifier(v))
+            })
+            .cloned();
+        // 4. related section: chrome line directly above "(...)" id lines
+        let related_header = samples.iter().find_map(|page| {
+            page.lines.windows(2).find_map(|w| {
+                (chrome.contains(&w[0]) && w[1].contains('(') && w[1].ends_with(')'))
+                    .then(|| w[0].clone())
+            })
+        });
+        let mut final_labels = labels;
+        if let Some(idl) = &id_label {
+            final_labels.remove(idl);
+        }
+        Some(Wrapper { separator, labels: final_labels, id_label, chrome, related_header })
+    }
+
+    /// Extract a structured record from one page of the same source.
+    pub fn extract(&self, page: &Page) -> Record {
+        let mut rec = Record::new(page.record_id, String::new());
+        let mut in_related = false;
+        for line in &page.lines {
+            if let Some(rh) = &self.related_header {
+                if line == rh {
+                    in_related = true;
+                    continue;
+                }
+            }
+            if self.chrome.contains(line) {
+                continue;
+            }
+            if in_related {
+                // harvest related ids only as trailing identifier
+                // candidates (after the main id)
+                if let Some(id) = parenthesized(line) {
+                    rec.identifiers.push(id.to_string());
+                }
+                continue;
+            }
+            if let Some((label, value)) = line.split_once(self.separator) {
+                if Some(label) == self.id_label.as_deref() {
+                    rec.identifiers.insert(0, value.to_string());
+                    continue;
+                }
+                if self.labels.contains(label) {
+                    // re-type the rendered text (numbers, quantities,
+                    // flags, dimension lists) so downstream instance
+                    // matching and fusion see typed values again
+                    rec.attributes
+                        .insert(label.to_string(), bdi_types::parse_value(value));
+                    continue;
+                }
+            }
+            if rec.title.is_empty() {
+                rec.title = line.clone();
+            }
+        }
+        rec
+    }
+}
+
+/// Identifier heuristic: ≥ 6 chars, contains a digit, no spaces, and
+/// only identifier-safe characters.
+pub fn looks_like_identifier(s: &str) -> bool {
+    s.len() >= 6
+        && s.chars().any(|c| c.is_ascii_digit())
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+fn parenthesized(line: &str) -> Option<&str> {
+    let start = line.rfind('(')?;
+    let end = line.rfind(')')?;
+    (end > start + 1).then(|| &line[start + 1..end])
+}
+
+/// Convenience: extract the record id for downstream joins.
+pub fn extracted_id(page: &Page) -> RecordId {
+    page.record_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{render_page, PageNoise, Template};
+    use bdi_types::{SourceId, Unit, Value};
+
+    fn records() -> Vec<Record> {
+        (0..6u32)
+            .map(|i| {
+                Record::new(RecordId::new(SourceId(0), i), format!("Lumetra LX-{i} camera"))
+                    .with_identifier(format!("CAM-LUM-{i:05}"))
+                    .with_identifier(format!("CAM-FOT-{:05}", i + 50))
+                    .with_attr("weight", Value::quantity(400.0 + i as f64, Unit::Gram))
+                    .with_attr("color", Value::str(["black", "white"][i as usize % 2]))
+            })
+            .collect()
+    }
+
+    fn pages(noise: PageNoise) -> Vec<Page> {
+        let t = Template::for_source("shop0.example", 7);
+        records()
+            .iter()
+            .map(|r| render_page(r, &t, noise, 7))
+            .collect()
+    }
+
+    #[test]
+    fn wrapper_recovers_template() {
+        let ps = pages(PageNoise::default());
+        let w = Wrapper::induce(&ps).expect("wrapper induced");
+        let t = Template::for_source("shop0.example", 7);
+        assert_eq!(w.separator, t.separator);
+        assert!(w.labels.contains("weight"));
+        assert!(w.labels.contains("color"));
+        assert_eq!(w.id_label.as_deref(), Some(t.id_label));
+        assert_eq!(w.related_header.as_deref(), Some(t.related_header));
+    }
+
+    #[test]
+    fn extraction_round_trips() {
+        let ps = pages(PageNoise::default());
+        let w = Wrapper::induce(&ps).unwrap();
+        let originals = records();
+        for (page, orig) in ps.iter().zip(&originals) {
+            let got = w.extract(page);
+            assert_eq!(got.title, orig.title);
+            assert_eq!(got.identifiers[0], orig.identifiers[0], "main id first");
+            assert!(got.identifiers.contains(&orig.identifiers[1]), "related id kept");
+            assert_eq!(
+                got.attributes.get("color").map(|v| v.render()),
+                orig.attributes.get("color").map(|v| v.render())
+            );
+            assert_eq!(
+                got.attributes.get("weight").map(|v| v.render()),
+                orig.attributes.get("weight").map(|v| v.render())
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_insufficient() {
+        let ps = pages(PageNoise::default());
+        assert!(Wrapper::induce(&ps[..1]).is_none());
+    }
+
+    #[test]
+    fn broken_template_degrades_gracefully() {
+        let clean = pages(PageNoise::default());
+        let broken = pages(PageNoise { p_broken_row: 0.9, p_shuffle: 0.5, p_dropped_row: 0.0 });
+        let wc = Wrapper::induce(&clean).unwrap();
+        // broken pages may or may not induce; if they do, fewer rows
+        if let Some(wb) = Wrapper::induce(&broken) {
+            let c = clean.iter().map(|p| wc.extract(p).attributes.len()).sum::<usize>();
+            let b = broken.iter().map(|p| wb.extract(p).attributes.len()).sum::<usize>();
+            assert!(b <= c, "broken pages must not extract more ({b} vs {c})");
+        }
+    }
+
+    #[test]
+    fn identifier_heuristic() {
+        assert!(looks_like_identifier("CAM-LUM-00100"));
+        assert!(looks_like_identifier("camlum00100"));
+        assert!(!looks_like_identifier("black"));
+        assert!(!looks_like_identifier("LX-1"));
+        assert!(!looks_like_identifier("450 g"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Accu — Bayesian truth discovery with source accuracy estimation
+//! (Dong, Berti-Équille & Srivastava, VLDB 2009).
+//!
+//! Model: each item has one true value and `n` false values in
+//! circulation; a source with accuracy `A` claims the truth with
+//! probability `A`, otherwise a uniform false value. Under Bayes the
+//! vote of source `s` for value `v` carries weight
+//! `ln(n·A(s) / (1 − A(s)))`, and accuracies are re-estimated from the
+//! resulting value probabilities until fixpoint.
+
+use crate::model::{ClaimSet, Fuser, Resolution};
+use bdi_types::{SourceId, Value};
+use std::collections::BTreeMap;
+
+/// Accu configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Accu {
+    /// Assumed number of false values per item (`n` in the model).
+    pub n_false: f64,
+    /// Initial source accuracy.
+    pub initial_accuracy: f64,
+    /// Convergence tolerance on max accuracy change.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for Accu {
+    fn default() -> Self {
+        Self { n_false: 5.0, initial_accuracy: 0.8, tolerance: 1e-6, max_iterations: 50 }
+    }
+}
+
+/// Per-claim weights: AccuCopy reuses the Accu core with copier claims
+/// discounted, so the vote-count accumulation takes a weight per claim.
+pub type ClaimWeights = BTreeMap<(SourceId, usize), f64>;
+
+impl Accu {
+    /// One full Accu run with optional per-claim independence weights
+    /// (`None` = all 1.0). Returns the resolution plus per-item value
+    /// probabilities for downstream copy detection.
+    pub fn resolve_weighted(
+        &self,
+        claims: &ClaimSet,
+        weights: Option<&ClaimWeights>,
+    ) -> (Resolution, Vec<BTreeMap<Value, f64>>) {
+        let sources: Vec<SourceId> = claims.sources().iter().copied().collect();
+        let src_idx: BTreeMap<SourceId, usize> =
+            sources.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        let mut acc = vec![self.initial_accuracy.clamp(0.01, 0.99); sources.len()];
+        let mut iterations = 0;
+        let mut probs: Vec<BTreeMap<Value, f64>> = Vec::new();
+
+        for it in 0..self.max_iterations {
+            iterations = it + 1;
+            // E: value probabilities per item
+            probs = (0..claims.len())
+                .map(|i| {
+                    let mut score: BTreeMap<&Value, f64> = BTreeMap::new();
+                    for (s, v) in claims.claims_of(i) {
+                        let a = acc[src_idx[s]];
+                        let w = weights
+                            .and_then(|m| m.get(&(*s, i)))
+                            .copied()
+                            .unwrap_or(1.0);
+                        *score.entry(v).or_insert(0.0) +=
+                            w * (self.n_false * a / (1.0 - a)).ln();
+                    }
+                    // softmax over observed values
+                    let max = score.values().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let mut exp: BTreeMap<Value, f64> = score
+                        .into_iter()
+                        .map(|(v, s)| (v.clone(), (s - max).exp()))
+                        .collect();
+                    let z: f64 = exp.values().sum();
+                    if z > 0.0 {
+                        for p in exp.values_mut() {
+                            *p /= z;
+                        }
+                    }
+                    exp
+                })
+                .collect();
+            // M: accuracy = mean probability of claimed values
+            let mut sums = vec![(0.0f64, 0u64); sources.len()];
+            for (i, s, v) in claims.iter() {
+                let p = probs[i].get(v).copied().unwrap_or(0.0);
+                let e = &mut sums[src_idx[&s]];
+                e.0 += p;
+                e.1 += 1;
+            }
+            let new_acc: Vec<f64> = sums
+                .iter()
+                .zip(&acc)
+                .map(|(&(sum, n), &old)| {
+                    if n == 0 {
+                        old
+                    } else {
+                        (sum / n as f64).clamp(0.01, 0.99)
+                    }
+                })
+                .collect();
+            let delta = new_acc
+                .iter()
+                .zip(&acc)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            acc = new_acc;
+            if delta < self.tolerance {
+                break;
+            }
+        }
+
+        let mut decided = BTreeMap::new();
+        for (i, item) in claims.items().iter().enumerate() {
+            if let Some((v, _)) = probs[i].iter().max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.0.cmp(a.0))
+            }) {
+                decided.insert(item.clone(), v.clone());
+            }
+        }
+        let source_trust = sources.into_iter().zip(acc).collect();
+        (Resolution { decided, source_trust, iterations }, probs)
+    }
+}
+
+impl Fuser for Accu {
+    fn resolve(&self, claims: &ClaimSet) -> Resolution {
+        self.resolve_weighted(claims, None).0
+    }
+
+    fn name(&self) -> &'static str {
+        "accu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testkit::*;
+    use crate::model::ClaimSet;
+
+    /// Build a scenario with two reliable and three unreliable sources,
+    /// where on a contested item the unreliable majority is wrong.
+    fn contested() -> ClaimSet {
+        let mut triples = Vec::new();
+        for e in 10..30u64 {
+            // reliable sources 0,1 claim the same (true) value
+            triples.push(tr(0, e, "t"));
+            triples.push(tr(1, e, "t"));
+            // unreliable sources each claim different junk
+            triples.push(tr(2, e, &format!("x{e}")));
+            triples.push(tr(3, e, &format!("y{e}")));
+            triples.push(tr(4, e, &format!("z{e}")));
+        }
+        triples.push(tr(0, 1, "truth"));
+        triples.push(tr(1, 1, "truth"));
+        for s in 2..5 {
+            triples.push(tr(s, 1, "lie"));
+        }
+        ClaimSet::from_triples(triples)
+    }
+
+    #[test]
+    fn accuracy_weighting_beats_majority() {
+        let r = Accu::default().resolve(&contested());
+        assert_eq!(r.decided[&item(1)], bdi_types::Value::str("truth"));
+        // estimated accuracies separate the groups
+        assert!(r.source_trust[&bdi_types::SourceId(0)] > 0.7);
+        assert!(r.source_trust[&bdi_types::SourceId(3)] < 0.5);
+    }
+
+    #[test]
+    fn agrees_with_vote_on_clean_data() {
+        let cs = ClaimSet::from_triples(vec![
+            tr(0, 1, "a"),
+            tr(1, 1, "a"),
+            tr(2, 1, "b"),
+        ]);
+        let r = Accu::default().resolve(&cs);
+        assert_eq!(r.decided[&item(1)], bdi_types::Value::str("a"));
+    }
+
+    #[test]
+    fn claim_weights_discount_votes() {
+        // two sources say "a", one says "b"; but the "a" claims get tiny
+        // weight -> "b" wins
+        let cs = ClaimSet::from_triples(vec![
+            tr(0, 1, "a"),
+            tr(1, 1, "a"),
+            tr(2, 1, "b"),
+        ]);
+        let mut w = ClaimWeights::new();
+        w.insert((bdi_types::SourceId(0), 0), 0.05);
+        w.insert((bdi_types::SourceId(1), 0), 0.05);
+        let (r, _) = Accu::default().resolve_weighted(&cs, Some(&w));
+        assert_eq!(r.decided[&item(1)], bdi_types::Value::str("b"));
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let (_, probs) = Accu::default().resolve_weighted(&contested(), None);
+        for item_probs in &probs {
+            let z: f64 = item_probs.values().sum();
+            assert!((z - 1.0).abs() < 1e-9, "probs sum {z}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = Accu::default().resolve(&ClaimSet::default());
+        assert!(r.decided.is_empty());
+        assert!(r.source_trust.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Fusion evaluation against the oracle.
+
+use crate::copydetect::CopyReport;
+use crate::model::{ClaimSet, Resolution};
+use bdi_types::{GroundTruth, SourceId};
+use std::collections::BTreeSet;
+
+/// Fusion decision quality.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FusionQuality {
+    /// Items decided.
+    pub items: usize,
+    /// Fraction of decided items whose value is (equivalently) true.
+    pub precision: f64,
+    /// Mean absolute error between estimated and true source accuracy
+    /// (only for sources with a true profile).
+    pub trust_mae: f64,
+}
+
+/// Score a resolution. Decisions are credited via [`bdi_types::Value::equivalent`]
+/// on canonical forms, so a decided `2.54 cm` matches a true `1 in`.
+pub fn fusion_quality(res: &Resolution, truth: &GroundTruth) -> FusionQuality {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (item, v) in &res.decided {
+        let Some(t) = truth.true_value(item) else { continue };
+        total += 1;
+        if v.equivalent(&t.canonical()) {
+            correct += 1;
+        }
+    }
+    let mut mae_sum = 0.0;
+    let mut mae_n = 0usize;
+    for (s, est) in &res.source_trust {
+        if let Some(p) = truth.source_profiles.get(s) {
+            mae_sum += (est - p.accuracy).abs();
+            mae_n += 1;
+        }
+    }
+    FusionQuality {
+        items: total,
+        precision: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+        trust_mae: if mae_n == 0 { 0.0 } else { mae_sum / mae_n as f64 },
+    }
+}
+
+/// Copy-detection quality against the oracle's copier pairs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CopyDetectionQuality {
+    /// Detected pairs (above threshold).
+    pub detected: usize,
+    /// Precision over unordered pairs.
+    pub precision: f64,
+    /// Recall over unordered pairs.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+}
+
+/// Compare detected dependences with the true dependent pairs (direction
+/// ignored — detecting *that* two sources are dependent is the hard
+/// part; direction is a heuristic on both sides). Two copiers of the
+/// same original are counted as truly dependent: they share a hidden
+/// common cause and replay identical values.
+pub fn copy_detection_quality(
+    report: &CopyReport,
+    truth: &GroundTruth,
+    threshold: f64,
+) -> CopyDetectionQuality {
+    let detected: BTreeSet<(SourceId, SourceId)> = report
+        .iter()
+        .filter(|(_, e)| e.dependence >= threshold)
+        .map(|(&p, _)| p)
+        .collect();
+    let mut actual: BTreeSet<(SourceId, SourceId)> = truth
+        .copier_pairs()
+        .into_iter()
+        .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    // co-copier pairs (same original)
+    let pairs = truth.copier_pairs();
+    for i in 0..pairs.len() {
+        for j in (i + 1)..pairs.len() {
+            if pairs[i].1 == pairs[j].1 {
+                let (a, b) = (pairs[i].0, pairs[j].0);
+                actual.insert(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+    }
+    let tp = detected.intersection(&actual).count();
+    let precision = if detected.is_empty() { 0.0 } else { tp as f64 / detected.len() as f64 };
+    let recall = if actual.is_empty() { 1.0 } else { tp as f64 / actual.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    CopyDetectionQuality { detected: detected.len(), precision, recall, f1 }
+}
+
+/// Build a claim set from a world-style triple iterator, canonicalizing
+/// values (convenience for tests and the harness).
+pub fn claims_canonical<I>(triples: I) -> ClaimSet
+where
+    I: IntoIterator<Item = (SourceId, bdi_types::DataItem, bdi_types::Value)>,
+{
+    ClaimSet::from_triples(triples.into_iter().map(|(s, i, v)| (s, i, v.canonical())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{DataItem, EntityId, SourceProfile, Value};
+
+    #[test]
+    fn precision_counts_equivalent_values() {
+        let mut truth = GroundTruth::default();
+        let item = DataItem::new(EntityId(1), "w");
+        truth
+            .item_truth
+            .insert(item.clone(), Value::quantity(1.0, bdi_types::Unit::Inch));
+        let mut res = Resolution::default();
+        res.decided
+            .insert(item, Value::quantity(2.54, bdi_types::Unit::Centimeter).canonical());
+        let q = fusion_quality(&res, &truth);
+        assert_eq!(q.items, 1);
+        assert_eq!(q.precision, 1.0);
+    }
+
+    #[test]
+    fn trust_mae_measured() {
+        let mut truth = GroundTruth::default();
+        truth.source_profiles.insert(
+            SourceId(0),
+            SourceProfile { accuracy: 0.9, copies_from: None, deceitful: false },
+        );
+        let mut res = Resolution::default();
+        res.source_trust.insert(SourceId(0), 0.8);
+        let q = fusion_quality(&res, &truth);
+        assert!((q.trust_mae - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copy_quality_counts_pairs() {
+        let mut truth = GroundTruth::default();
+        truth.source_profiles.insert(
+            SourceId(5),
+            SourceProfile { accuracy: 0.8, copies_from: Some((SourceId(0), 0.8)), deceitful: false },
+        );
+        let mut report = CopyReport::new();
+        report.insert(
+            (SourceId(0), SourceId(5)),
+            crate::copydetect::PairEvidence {
+                agree_true: 10,
+                agree_false: 5,
+                disagree: 0,
+                dependence: 0.99,
+            },
+        );
+        report.insert(
+            (SourceId(1), SourceId(2)),
+            crate::copydetect::PairEvidence {
+                agree_true: 10,
+                agree_false: 0,
+                disagree: 3,
+                dependence: 0.95,
+            },
+        );
+        let q = copy_detection_quality(&report, &truth, 0.9);
+        assert_eq!(q.detected, 2);
+        assert!((q.precision - 0.5).abs() < 1e-12);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn no_true_copiers_recall_vacuous() {
+        let truth = GroundTruth::default();
+        let q = copy_detection_quality(&CopyReport::new(), &truth, 0.5);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.detected, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Investment and PooledInvestment (Pasternack & Roth, COLING 2010) —
+//! the other classic truth-discovery family the tutorial's fusion
+//! section surveys.
+//!
+//! A source divides its trust evenly across its claims ("invests" in
+//! them); a claim's credibility is the invested sum, grown nonlinearly
+//! (`^g`), and sources earn trust back *proportionally to their share of
+//! the investment* in the claims that turned out credible. Pooled
+//! investment additionally normalizes credibility within each data item,
+//! so items with many claimants don't dominate.
+
+use crate::model::{ClaimSet, Fuser, Resolution};
+use bdi_types::{SourceId, Value};
+use std::collections::BTreeMap;
+
+/// Investment algorithm configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Investment {
+    /// Credibility growth exponent (the paper uses 1.2).
+    pub g: f64,
+    /// Iterations (the paper runs a fixed small number).
+    pub iterations: usize,
+    /// Normalize credibility within each item (PooledInvestment) or not
+    /// (plain Investment).
+    pub pooled: bool,
+}
+
+impl Default for Investment {
+    fn default() -> Self {
+        Self { g: 1.2, iterations: 10, pooled: false }
+    }
+}
+
+impl Investment {
+    /// The pooled variant.
+    pub fn pooled() -> Self {
+        Self { pooled: true, ..Self::default() }
+    }
+}
+
+impl Fuser for Investment {
+    fn resolve(&self, claims: &ClaimSet) -> Resolution {
+        let sources: Vec<SourceId> = claims.sources().iter().copied().collect();
+        let src_idx: BTreeMap<SourceId, usize> =
+            sources.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        // per-source claim counts
+        let mut n_claims = vec![0usize; sources.len()];
+        for (_, s, _) in claims.iter() {
+            n_claims[src_idx[&s]] += 1;
+        }
+        // group claims: per item, distinct values and their claimants
+        let grouped: Vec<Vec<(&Value, Vec<usize>)>> = (0..claims.len())
+            .map(|i| {
+                let mut m: BTreeMap<&Value, Vec<usize>> = BTreeMap::new();
+                for (s, v) in claims.claims_of(i) {
+                    m.entry(v).or_default().push(src_idx[s]);
+                }
+                m.into_iter().collect()
+            })
+            .collect();
+
+        let mut trust = vec![1.0f64; sources.len()];
+        let mut cred: Vec<Vec<f64>> = grouped.iter().map(|g| vec![0.0; g.len()]).collect();
+        for _ in 0..self.iterations.max(1) {
+            // credibility: invested trust, grown by ^g
+            for (gi, values) in grouped.iter().enumerate() {
+                for (vi, (_, claimers)) in values.iter().enumerate() {
+                    let invested: f64 = claimers
+                        .iter()
+                        .map(|&s| trust[s] / n_claims[s].max(1) as f64)
+                        .sum();
+                    cred[gi][vi] = invested.powf(self.g);
+                }
+                if self.pooled {
+                    let z: f64 = cred[gi].iter().sum();
+                    if z > 0.0 {
+                        for c in &mut cred[gi] {
+                            *c /= z;
+                        }
+                    }
+                }
+            }
+            // trust: returns proportional to investment share
+            let mut new_trust = vec![0.0f64; sources.len()];
+            for (gi, values) in grouped.iter().enumerate() {
+                for (vi, (_, claimers)) in values.iter().enumerate() {
+                    let total_invested: f64 = claimers
+                        .iter()
+                        .map(|&s| trust[s] / n_claims[s].max(1) as f64)
+                        .sum();
+                    if total_invested <= 0.0 {
+                        continue;
+                    }
+                    for &s in claimers {
+                        let share = (trust[s] / n_claims[s].max(1) as f64) / total_invested;
+                        new_trust[s] += cred[gi][vi] * share;
+                    }
+                }
+            }
+            // normalize trust to mean 1 to stop drift
+            let mean: f64 =
+                new_trust.iter().sum::<f64>() / sources.len().max(1) as f64;
+            if mean > 0.0 {
+                for t in &mut new_trust {
+                    *t /= mean;
+                }
+            }
+            trust = new_trust;
+        }
+
+        let mut decided = BTreeMap::new();
+        for (gi, item) in claims.items().iter().enumerate() {
+            if let Some((vi, _)) = cred[gi]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // deterministic tie-break toward the smaller value
+                        .then_with(|| grouped[gi][b.0].0.cmp(grouped[gi][a.0].0))
+                })
+            {
+                decided.insert(item.clone(), grouped[gi][vi].0.clone());
+            }
+        }
+        // report trust on a 0..1-ish scale (normalized by max)
+        let max_t = trust.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        let source_trust = sources
+            .into_iter()
+            .zip(trust.iter().map(|t| t / max_t))
+            .collect();
+        Resolution { decided, source_trust, iterations: self.iterations }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pooled {
+            "pooled-investment"
+        } else {
+            "investment"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testkit::*;
+    use crate::model::ClaimSet;
+
+    fn contested() -> ClaimSet {
+        // sources 0,1 consistently agree; 2,3 scatter junk; contested
+        // item is a 2-vs-2 tie that trust must break
+        let mut triples = Vec::new();
+        for e in 10..30u64 {
+            triples.push(tr(0, e, "good"));
+            triples.push(tr(1, e, "good"));
+            triples.push(tr(2, e, &format!("x{e}")));
+            triples.push(tr(3, e, &format!("y{e}")));
+        }
+        triples.push(tr(0, 1, "truth"));
+        triples.push(tr(1, 1, "truth"));
+        triples.push(tr(2, 1, "lie"));
+        triples.push(tr(3, 1, "lie"));
+        ClaimSet::from_triples(triples)
+    }
+
+    #[test]
+    fn investment_breaks_ties_toward_consistent_sources() {
+        for fuser in [Investment::default(), Investment::pooled()] {
+            let r = fuser.resolve(&contested());
+            assert_eq!(
+                r.decided[&item(1)],
+                bdi_types::Value::str("truth"),
+                "{} failed",
+                fuser.name()
+            );
+            assert!(
+                r.source_trust[&bdi_types::SourceId(0)]
+                    > r.source_trust[&bdi_types::SourceId(2)]
+            );
+        }
+    }
+
+    #[test]
+    fn majority_wins_with_uniform_sources() {
+        let cs = ClaimSet::from_triples(vec![
+            tr(0, 1, "a"),
+            tr(1, 1, "a"),
+            tr(2, 1, "b"),
+        ]);
+        let r = Investment::default().resolve(&cs);
+        assert_eq!(r.decided[&item(1)], bdi_types::Value::str("a"));
+    }
+
+    #[test]
+    fn trust_scores_in_unit_range() {
+        let r = Investment::pooled().resolve(&contested());
+        for t in r.source_trust.values() {
+            assert!((0.0..=1.0 + 1e-9).contains(t), "trust {t}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = Investment::default().resolve(&ClaimSet::default());
+        assert!(r.decided.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "b"), tr(1, 1, "a")]);
+        let r1 = Investment::default().resolve(&cs);
+        let r2 = Investment::default().resolve(&cs);
+        assert_eq!(r1.decided, r2.decided);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(Investment::default().name(), "investment");
+        assert_eq!(Investment::pooled().name(), "pooled-investment");
+    }
+}

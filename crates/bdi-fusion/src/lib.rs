@@ -1,0 +1,43 @@
+//! # bdi-fusion — data fusion / truth discovery
+//!
+//! Many sources make conflicting claims about the same data item ("the
+//! weight of camera E17"); fusion decides which value is true while
+//! simultaneously estimating how much to trust each source. The lineage
+//! the ICDE 2013 tutorial teaches, implemented end to end:
+//!
+//! * [`vote::MajorityVote`] — the baseline: most-claimed value wins.
+//! * [`truthfinder::TruthFinder`] — iterative trust/confidence propagation
+//!   (Yin, Han & Yu).
+//! * [`accu::Accu`] — Bayesian source-accuracy model (Dong, Berti-Équille
+//!   & Srivastava, VLDB'09).
+//! * [`copydetect`] — Bayesian inter-source dependence detection: shared
+//!   *false* values are the smoking gun of copying.
+//! * [`accucopy::AccuCopy`] — Accu with copier claims discounted; the
+//!   headline result (E2): robust where Vote and plain Accu are misled by
+//!   a copied lie repeated many times.
+//! * [`investment::Investment`] / pooled investment (Pasternack & Roth) —
+//!   the credibility-propagation family.
+//! * [`numeric`] — truth estimation for continuous values (weighted
+//!   median) where "vote for the exact value" is meaningless.
+//! * [`eval`] — decision precision, trust-estimation error, and copy
+//!   detection quality against the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accu;
+pub mod accucopy;
+pub mod copydetect;
+pub mod eval;
+pub mod investment;
+pub mod model;
+pub mod numeric;
+pub mod truthfinder;
+pub mod vote;
+
+pub use accu::Accu;
+pub use investment::Investment;
+pub use accucopy::AccuCopy;
+pub use model::{ClaimSet, Fuser, Resolution};
+pub use truthfinder::TruthFinder;
+pub use vote::MajorityVote;

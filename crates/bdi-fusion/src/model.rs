@@ -1,0 +1,159 @@
+//! Fusion input/output model.
+
+use bdi_types::{DataItem, SourceId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// All claims, grouped by data item. Values are expected in canonical
+/// form ([`Value::canonical`]) so that equal claims are byte-equal.
+#[derive(Clone, Debug, Default)]
+pub struct ClaimSet {
+    items: Vec<DataItem>,
+    /// index-aligned with `items`: the `(source, value)` claims per item.
+    claims: Vec<Vec<(SourceId, Value)>>,
+    sources: BTreeSet<SourceId>,
+}
+
+impl ClaimSet {
+    /// Build from `(source, item, value)` triples. Duplicate claims by
+    /// the same source about the same item keep the first occurrence.
+    pub fn from_triples<I>(triples: I) -> Self
+    where
+        I: IntoIterator<Item = (SourceId, DataItem, Value)>,
+    {
+        let mut by_item: BTreeMap<DataItem, Vec<(SourceId, Value)>> = BTreeMap::new();
+        let mut sources = BTreeSet::new();
+        for (s, item, v) in triples {
+            sources.insert(s);
+            let entry = by_item.entry(item).or_default();
+            if !entry.iter().any(|(es, _)| *es == s) {
+                entry.push((s, v));
+            }
+        }
+        let (items, claims): (Vec<_>, Vec<_>) = by_item.into_iter().unzip();
+        Self { items, claims, sources }
+    }
+
+    /// The data items, deterministic order.
+    pub fn items(&self) -> &[DataItem] {
+        &self.items
+    }
+
+    /// Claims about item `i` (index into [`Self::items`]).
+    pub fn claims_of(&self, i: usize) -> &[(SourceId, Value)] {
+        &self.claims[i]
+    }
+
+    /// All claiming sources.
+    pub fn sources(&self) -> &BTreeSet<SourceId> {
+        &self.sources
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total claims.
+    pub fn claim_count(&self) -> usize {
+        self.claims.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate `(item index, source, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, SourceId, &Value)> {
+        self.claims
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cs)| cs.iter().map(move |(s, v)| (i, *s, v)))
+    }
+
+    /// Restrict to claims from the given sources (for source-selection
+    /// experiments).
+    pub fn restrict_to(&self, keep: &BTreeSet<SourceId>) -> ClaimSet {
+        let mut triples = Vec::new();
+        for (i, s, v) in self.iter() {
+            if keep.contains(&s) {
+                triples.push((s, self.items[i].clone(), v.clone()));
+            }
+        }
+        ClaimSet::from_triples(triples)
+    }
+}
+
+/// The outcome of a fusion run.
+#[derive(Clone, Debug, Default)]
+pub struct Resolution {
+    /// Decided value per item.
+    pub decided: BTreeMap<DataItem, Value>,
+    /// Estimated trustworthiness per source (method-specific scale, but
+    /// always higher = more trusted, and for accuracy-based methods an
+    /// actual probability).
+    pub source_trust: BTreeMap<SourceId, f64>,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// A truth-discovery method.
+pub trait Fuser {
+    /// Resolve all items.
+    fn resolve(&self, claims: &ClaimSet) -> Resolution;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    use super::*;
+    use bdi_types::EntityId;
+
+    /// item(e, "a") helper.
+    pub fn item(e: u64) -> DataItem {
+        DataItem::new(EntityId(e), "attr")
+    }
+
+    /// Claim triple helper.
+    pub fn tr(s: u32, e: u64, v: &str) -> (SourceId, DataItem, Value) {
+        (SourceId(s), item(e), Value::str(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::*;
+    use super::*;
+
+    #[test]
+    fn groups_by_item() {
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "x"), tr(1, 1, "y"), tr(0, 2, "z")]);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.claim_count(), 3);
+        assert_eq!(cs.sources().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_source_claims_dropped() {
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "x"), tr(0, 1, "y")]);
+        assert_eq!(cs.claim_count(), 1);
+        assert_eq!(cs.claims_of(0)[0].1, Value::str("x"));
+    }
+
+    #[test]
+    fn restrict_filters_sources() {
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "x"), tr(1, 1, "y"), tr(2, 1, "z")]);
+        let keep: BTreeSet<_> = [SourceId(0), SourceId(2)].into();
+        let r = cs.restrict_to(&keep);
+        assert_eq!(r.claim_count(), 2);
+        assert_eq!(r.sources().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_item_order() {
+        let a = ClaimSet::from_triples(vec![tr(0, 2, "x"), tr(0, 1, "y")]);
+        let b = ClaimSet::from_triples(vec![tr(0, 1, "y"), tr(0, 2, "x")]);
+        assert_eq!(a.items(), b.items());
+    }
+}

@@ -1,0 +1,120 @@
+//! Truth estimation for continuous values.
+//!
+//! Voting on exact equality is meaningless for noisy continuous claims
+//! (two honest sources rarely publish bit-identical weights after unit
+//! round-trips). The standard answer is a robust location estimate
+//! weighted by source trust: the weighted median.
+
+use bdi_types::SourceId;
+use std::collections::BTreeMap;
+
+/// Weighted median of `(value, weight)` claims: the smallest value at
+/// which the cumulative weight reaches half the total. Robust to a
+/// minority of wild outliers, unlike the weighted mean.
+pub fn weighted_median(claims: &[(f64, f64)]) -> Option<f64> {
+    let mut vals: Vec<(f64, f64)> = claims
+        .iter()
+        .copied()
+        .filter(|(v, w)| v.is_finite() && *w > 0.0)
+        .collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let total: f64 = vals.iter().map(|(_, w)| w).sum();
+    let mut acc = 0.0;
+    for (v, w) in &vals {
+        acc += w;
+        if acc >= total / 2.0 {
+            return Some(*v);
+        }
+    }
+    Some(vals.last().expect("nonempty").0)
+}
+
+/// Resolve numeric claims per item using source trust as weights.
+/// `claims`: item key → `(source, magnitude)` list.
+pub fn resolve_numeric<K: Ord + Clone>(
+    claims: &BTreeMap<K, Vec<(SourceId, f64)>>,
+    trust: &BTreeMap<SourceId, f64>,
+) -> BTreeMap<K, f64> {
+    let mut out = BTreeMap::new();
+    for (k, cs) in claims {
+        let weighted: Vec<(f64, f64)> = cs
+            .iter()
+            .map(|(s, v)| (*v, trust.get(s).copied().unwrap_or(0.5).max(1e-6)))
+            .collect();
+        if let Some(m) = weighted_median(&weighted) {
+            out.insert(k.clone(), m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unweighted_median() {
+        let m = weighted_median(&[(1.0, 1.0), (2.0, 1.0), (100.0, 1.0)]).unwrap();
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    fn weights_shift_the_median() {
+        let m = weighted_median(&[(1.0, 0.1), (2.0, 0.1), (100.0, 5.0)]).unwrap();
+        assert_eq!(m, 100.0);
+    }
+
+    #[test]
+    fn outlier_robustness() {
+        // mean would be dragged to ~250; median stays at 10
+        let m = weighted_median(&[(10.0, 1.0), (10.1, 1.0), (9.9, 1.0), (1000.0, 1.0)]).unwrap();
+        assert!(m < 11.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(weighted_median(&[]), None);
+        assert_eq!(weighted_median(&[(f64::NAN, 1.0)]), None);
+        assert_eq!(weighted_median(&[(5.0, 0.0)]), None);
+        assert_eq!(weighted_median(&[(5.0, 1.0)]), Some(5.0));
+    }
+
+    #[test]
+    fn resolve_numeric_uses_trust() {
+        let mut claims = BTreeMap::new();
+        claims.insert(
+            "w",
+            vec![
+                (SourceId(0), 10.0),
+                (SourceId(1), 10.0),
+                (SourceId(2), 99.0),
+            ],
+        );
+        let mut trust = BTreeMap::new();
+        trust.insert(SourceId(0), 0.9);
+        trust.insert(SourceId(1), 0.9);
+        trust.insert(SourceId(2), 0.1);
+        let out = resolve_numeric(&claims, &trust);
+        assert_eq!(out["w"], 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn median_within_range(vals in proptest::collection::vec((-1e6f64..1e6, 0.01f64..10.0), 1..20)) {
+            let m = weighted_median(&vals).unwrap();
+            let lo = vals.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().map(|(v, _)| *v).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+        }
+
+        #[test]
+        fn median_is_claimed_value(vals in proptest::collection::vec((-100f64..100.0, 0.5f64..2.0), 1..12)) {
+            let m = weighted_median(&vals).unwrap();
+            prop_assert!(vals.iter().any(|(v, _)| *v == m));
+        }
+    }
+}

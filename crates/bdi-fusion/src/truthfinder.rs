@@ -1,0 +1,261 @@
+//! TruthFinder (Yin, Han & Yu, TKDE 2008).
+//!
+//! Mutual reinforcement between source trustworthiness and value
+//! confidence: a value is believable when trustworthy sources claim it;
+//! a source is trustworthy when it claims believable values. Confidence
+//! combines per-source trust in log-space (`τ(s) = -ln(1 - t(s))`), so
+//! many mediocre sources can jointly outweigh one good one.
+
+use crate::model::{ClaimSet, Fuser, Resolution};
+use bdi_types::SourceId;
+use std::collections::BTreeMap;
+
+/// TruthFinder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TruthFinder {
+    /// Initial source trustworthiness.
+    pub initial_trust: f64,
+    /// Dampening factor γ in the confidence logistic (copes with the
+    /// non-independence of sources).
+    pub gamma: f64,
+    /// Convergence tolerance on the trust vector (cosine distance).
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Implication weight ρ: how strongly competing values influence
+    /// each other's confidence. Similar numeric values *support* each
+    /// other (`129.99` backs up `130`); dissimilar or non-numeric
+    /// competitors *detract* (mutual exclusion). `0.0` disables the
+    /// mechanism (the plain model).
+    pub rho: f64,
+}
+
+impl Default for TruthFinder {
+    fn default() -> Self {
+        Self { initial_trust: 0.9, gamma: 0.3, tolerance: 1e-6, max_iterations: 50, rho: 0.0 }
+    }
+}
+
+impl TruthFinder {
+    /// The similarity-aware variant from the original paper (ρ = 0.5).
+    pub fn with_implication() -> Self {
+        Self { rho: 0.5, ..Self::default() }
+    }
+}
+
+/// Implication `imp(u → v)` between two competing values of one item:
+/// positive when a claim for `u` partially corroborates `v`, negative
+/// when they are mutually exclusive.
+fn implication(u: &bdi_types::Value, v: &bdi_types::Value) -> f64 {
+    match (u.base_magnitude(), v.base_magnitude()) {
+        // numeric competitors: nearby magnitudes corroborate, distant
+        // ones contradict; map relative similarity [0,1] onto [-0.5, 0.5]
+        (Some(a), Some(b)) => bdi_textsim::relative_sim(a, b) - 0.5,
+        // categorical competitors are mutually exclusive
+        _ => -0.3,
+    }
+}
+
+impl Fuser for TruthFinder {
+    fn resolve(&self, claims: &ClaimSet) -> Resolution {
+        let sources: Vec<SourceId> = claims.sources().iter().copied().collect();
+        let src_idx: BTreeMap<SourceId, usize> =
+            sources.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        let mut trust = vec![self.initial_trust.clamp(0.01, 0.99); sources.len()];
+        let mut iterations = 0;
+
+        // per item: distinct values with their claiming source indices
+        let grouped: Vec<Vec<(&bdi_types::Value, Vec<usize>)>> = (0..claims.len())
+            .map(|i| {
+                let mut m: BTreeMap<&bdi_types::Value, Vec<usize>> = BTreeMap::new();
+                for (s, v) in claims.claims_of(i) {
+                    m.entry(v).or_default().push(src_idx[s]);
+                }
+                m.into_iter().collect()
+            })
+            .collect();
+
+        let mut confidences: Vec<Vec<f64>> = Vec::new();
+        for it in 0..self.max_iterations {
+            iterations = it + 1;
+            // value confidence
+            confidences = grouped
+                .iter()
+                .map(|values| {
+                    // raw trust mass σ(v) per value
+                    let sigmas: Vec<f64> = values
+                        .iter()
+                        .map(|(_, claimers)| {
+                            claimers
+                                .iter()
+                                .map(|&s| -((1.0f64 - trust[s]).max(1e-12)).ln())
+                                .sum()
+                        })
+                        .collect();
+                    // implication adjustment: σ*(v) = σ(v) + ρ·Σ σ(u)·imp(u→v)
+                    values
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, (v, _))| {
+                            let mut sigma = sigmas[vi];
+                            if self.rho != 0.0 {
+                                for (ui, (u, _)) in values.iter().enumerate() {
+                                    if ui != vi {
+                                        sigma += self.rho * sigmas[ui] * implication(u, v);
+                                    }
+                                }
+                            }
+                            // dampened logistic keeps confidence in (0,1)
+                            1.0 / (1.0 + (-self.gamma * sigma).exp())
+                        })
+                        .collect()
+                })
+                .collect();
+            // source trust = mean confidence of claimed values
+            let mut acc = vec![(0.0f64, 0u64); sources.len()];
+            for (values, confs) in grouped.iter().zip(&confidences) {
+                for ((_, claimers), &c) in values.iter().zip(confs) {
+                    for &s in claimers {
+                        acc[s].0 += c;
+                        acc[s].1 += 1;
+                    }
+                }
+            }
+            let new_trust: Vec<f64> = acc
+                .iter()
+                .zip(&trust)
+                .map(|(&(sum, n), &old)| {
+                    if n == 0 {
+                        old
+                    } else {
+                        (sum / n as f64).clamp(0.01, 0.99)
+                    }
+                })
+                .collect();
+            let delta: f64 = new_trust
+                .iter()
+                .zip(&trust)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            trust = new_trust;
+            if delta < self.tolerance {
+                break;
+            }
+        }
+
+        let mut decided = BTreeMap::new();
+        for (i, item) in claims.items().iter().enumerate() {
+            let best = grouped[i]
+                .iter()
+                .zip(&confidences[i])
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| b.0 .0.cmp(a.0 .0))
+                })
+                .map(|((v, _), _)| (*v).clone());
+            if let Some(v) = best {
+                decided.insert(item.clone(), v);
+            }
+        }
+        let source_trust = sources.into_iter().zip(trust).collect();
+        Resolution { decided, source_trust, iterations }
+    }
+
+    fn name(&self) -> &'static str {
+        "truthfinder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testkit::*;
+    use bdi_types::Value;
+
+    #[test]
+    fn trust_breaks_ties_toward_reliable_sources() {
+        // sources 0,1 agree with each other on background items; sources
+        // 2,3 claim scattered junk there. On a 2-vs-2 contested item the
+        // learned trust difference must break the tie toward 0,1.
+        let mut triples = Vec::new();
+        for e in 10..30u64 {
+            triples.push(tr(0, e, "good"));
+            triples.push(tr(1, e, "good"));
+            triples.push(tr(2, e, &format!("j{e}a")));
+            triples.push(tr(3, e, &format!("j{e}b")));
+        }
+        triples.push(tr(0, 1, "truth"));
+        triples.push(tr(1, 1, "truth"));
+        triples.push(tr(2, 1, "lie"));
+        triples.push(tr(3, 1, "lie"));
+        let cs = crate::ClaimSet::from_triples(triples);
+        let r = TruthFinder::default().resolve(&cs);
+        assert_eq!(r.decided[&item(1)], Value::str("truth"));
+        assert!(r.source_trust[&bdi_types::SourceId(0)] > r.source_trust[&bdi_types::SourceId(2)]);
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let cs = crate::ClaimSet::from_triples(vec![tr(0, 1, "a"), tr(1, 1, "a")]);
+        let r = TruthFinder::default().resolve(&cs);
+        assert!(r.iterations >= 1);
+        assert!(r.iterations <= TruthFinder::default().max_iterations);
+        assert_eq!(r.decided[&item(1)], Value::str("a"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = TruthFinder::default().resolve(&crate::ClaimSet::default());
+        assert!(r.decided.is_empty());
+    }
+
+    #[test]
+    fn implication_lets_near_agreeing_numbers_beat_an_exact_tie() {
+        use bdi_types::{DataItem, EntityId, SourceId};
+        // three sources claim ~130 with rounding scatter (129.99, 130.0,
+        // 130.01) — three distinct exact values — while one source claims
+        // 55. Plain TruthFinder sees four equally-confident singletons and
+        // tie-breaks to 55; implication lets the near-identical claims
+        // corroborate each other and the 130 cluster win.
+        let item = DataItem::new(EntityId(1), "price");
+        let mut triples: Vec<(SourceId, DataItem, bdi_types::Value)> = vec![
+            (SourceId(0), item.clone(), bdi_types::Value::num(129.99)),
+            (SourceId(1), item.clone(), bdi_types::Value::num(130.0)),
+            (SourceId(2), item.clone(), bdi_types::Value::num(130.01)),
+            (SourceId(3), item.clone(), bdi_types::Value::num(55.0)),
+        ];
+        // background items keep every source equally trusted
+        for e in 10..20u64 {
+            for s in 0..4u32 {
+                triples.push((
+                    SourceId(s),
+                    DataItem::new(EntityId(e), "price"),
+                    bdi_types::Value::str("bg"),
+                ));
+            }
+        }
+        let cs = crate::ClaimSet::from_triples(triples);
+        let plain = TruthFinder::default().resolve(&cs);
+        assert_eq!(plain.decided[&item], bdi_types::Value::num(55.0), "plain TF: tie by count");
+        let imp = TruthFinder::with_implication().resolve(&cs);
+        let got = imp.decided[&item].base_magnitude().unwrap();
+        assert!(
+            (got - 130.0).abs() < 0.5,
+            "implication should rescue the 130 cluster, got {got}"
+        );
+    }
+
+    #[test]
+    fn trust_in_unit_interval() {
+        let cs = crate::ClaimSet::from_triples(vec![
+            tr(0, 1, "a"),
+            tr(1, 1, "b"),
+            tr(2, 2, "c"),
+        ]);
+        let r = TruthFinder::default().resolve(&cs);
+        for t in r.source_trust.values() {
+            assert!((0.0..=1.0).contains(t));
+        }
+    }
+}

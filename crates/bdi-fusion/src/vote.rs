@@ -1,0 +1,103 @@
+//! Majority voting — the fusion baseline.
+
+use crate::model::{ClaimSet, Fuser, Resolution};
+use bdi_types::Value;
+use std::collections::BTreeMap;
+
+/// Pick the most-claimed value per item; ties break toward the smaller
+/// canonical value for determinism. Trust = fraction of a source's
+/// claims that agree with the decided values (computed post hoc).
+///
+/// Vote treats every source as equally reliable — exactly the assumption
+/// the accuracy-aware methods relax, and the reason a copied lie repeated
+/// by many copiers beats the truth under Vote (experiment E2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MajorityVote;
+
+impl Fuser for MajorityVote {
+    fn resolve(&self, claims: &ClaimSet) -> Resolution {
+        let mut decided = BTreeMap::new();
+        for (i, item) in claims.items().iter().enumerate() {
+            let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+            for (_, v) in claims.claims_of(i) {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            if let Some((v, _)) = counts
+                .into_iter()
+                // max by count; BTreeMap iteration is value-ascending so
+                // `max_by_key` keeps the last (largest value) among ties —
+                // stable and deterministic
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+            {
+                decided.insert(item.clone(), v.clone());
+            }
+        }
+        // post-hoc agreement trust
+        let mut agree: BTreeMap<_, (u64, u64)> = BTreeMap::new();
+        for (i, s, v) in claims.iter() {
+            let e = agree.entry(s).or_insert((0, 0));
+            e.1 += 1;
+            if decided.get(&claims.items()[i]) == Some(v) {
+                e.0 += 1;
+            }
+        }
+        let source_trust = agree
+            .into_iter()
+            .map(|(s, (a, n))| (s, if n == 0 { 0.0 } else { a as f64 / n as f64 }))
+            .collect();
+        Resolution { decided, source_trust, iterations: 1 }
+    }
+
+    fn name(&self) -> &'static str {
+        "vote"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testkit::*;
+    use crate::model::ClaimSet;
+
+    #[test]
+    fn majority_wins() {
+        let cs = ClaimSet::from_triples(vec![
+            tr(0, 1, "red"),
+            tr(1, 1, "red"),
+            tr(2, 1, "blue"),
+        ]);
+        let r = MajorityVote.resolve(&cs);
+        assert_eq!(r.decided[&item(1)], bdi_types::Value::str("red"));
+    }
+
+    #[test]
+    fn tie_break_deterministic() {
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "b"), tr(1, 1, "a")]);
+        let r1 = MajorityVote.resolve(&cs);
+        let cs2 = ClaimSet::from_triples(vec![tr(1, 1, "a"), tr(0, 1, "b")]);
+        let r2 = MajorityVote.resolve(&cs2);
+        assert_eq!(r1.decided, r2.decided);
+        assert_eq!(r1.decided[&item(1)], bdi_types::Value::str("a"));
+    }
+
+    #[test]
+    fn trust_reflects_agreement() {
+        let cs = ClaimSet::from_triples(vec![
+            tr(0, 1, "red"),
+            tr(1, 1, "red"),
+            tr(2, 1, "blue"),
+            tr(0, 2, "x"),
+            tr(1, 2, "x"),
+            tr(2, 2, "x"),
+        ]);
+        let r = MajorityVote.resolve(&cs);
+        assert_eq!(r.source_trust[&bdi_types::SourceId(0)], 1.0);
+        assert_eq!(r.source_trust[&bdi_types::SourceId(2)], 0.5);
+    }
+
+    #[test]
+    fn empty_claims_empty_resolution() {
+        let r = MajorityVote.resolve(&ClaimSet::default());
+        assert!(r.decided.is_empty());
+    }
+}

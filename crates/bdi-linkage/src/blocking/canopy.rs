@@ -1,0 +1,142 @@
+//! Canopy clustering blocking (McCallum-Nigam-Ungar style).
+
+use super::Blocker;
+use crate::pair::{dedup_pairs, Pair};
+use bdi_types::{Dataset, RecordId};
+use std::collections::{HashMap, HashSet};
+
+/// Canopy blocking: repeatedly pick an unprocessed record as a canopy
+/// center; every record whose *cheap* similarity to the center exceeds
+/// `t_loose` joins the canopy (and pairs with its members); records above
+/// `t_tight` are removed from further consideration as centers.
+///
+/// The cheap similarity is token-overlap over title tokens, evaluated via
+/// an inverted index so each canopy touches only records sharing ≥ 1
+/// token with the center.
+#[derive(Clone, Copy, Debug)]
+pub struct CanopyBlocking {
+    /// Loose threshold (canopy membership). Must be ≤ `t_tight`.
+    pub t_loose: f64,
+    /// Tight threshold (center removal).
+    pub t_tight: f64,
+}
+
+impl CanopyBlocking {
+    /// Create with validation.
+    pub fn new(t_loose: f64, t_tight: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&t_loose) && (0.0..=1.0).contains(&t_tight),
+            "thresholds must be in [0,1]"
+        );
+        assert!(t_loose <= t_tight, "need t_loose <= t_tight");
+        Self { t_loose, t_tight }
+    }
+}
+
+impl Blocker for CanopyBlocking {
+    fn candidates(&self, ds: &Dataset) -> Vec<Pair> {
+        let recs = ds.records();
+        // tokenize once
+        let tokens: Vec<Vec<String>> = recs
+            .iter()
+            .map(|r| {
+                let mut t = bdi_textsim::tokenize(&r.title);
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        // inverted index token -> record indices
+        let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, ts) in tokens.iter().enumerate() {
+            for t in ts {
+                index.entry(t.as_str()).or_default().push(i);
+            }
+        }
+        let mut removed: HashSet<usize> = HashSet::new();
+        let mut out: Vec<Pair> = Vec::new();
+        for center in 0..recs.len() {
+            if removed.contains(&center) {
+                continue;
+            }
+            // gather candidates sharing >= 1 token with the center
+            let mut cand: HashSet<usize> = HashSet::new();
+            for t in &tokens[center] {
+                if let Some(posting) = index.get(t.as_str()) {
+                    cand.extend(posting.iter().copied());
+                }
+            }
+            cand.remove(&center);
+            let mut members: Vec<RecordId> = vec![recs[center].id];
+            for &j in &cand {
+                if removed.contains(&j) {
+                    continue;
+                }
+                let sim = bdi_textsim::jaccard_sim(&tokens[center], &tokens[j]);
+                if sim >= self.t_loose {
+                    members.push(recs[j].id);
+                    if sim >= self.t_tight {
+                        removed.insert(j);
+                    }
+                }
+            }
+            removed.insert(center);
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    if members[i].source != members[j].source {
+                        out.push(Pair::new(members[i], members[j]));
+                    }
+                }
+            }
+        }
+        dedup_pairs(&mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "canopy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tiny_dataset;
+    use super::super::{AllPairs, Blocker};
+    use super::*;
+
+    #[test]
+    fn finds_similar_titles() {
+        let ds = tiny_dataset();
+        let pairs = CanopyBlocking::new(0.3, 0.7).candidates(&ds);
+        // LX-100 titles share most tokens
+        assert!(
+            pairs.iter().any(|p| p.lo.seq == 0 && p.hi.seq == 0),
+            "LX-100 canopy missing: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn loose_zero_covers_token_sharers() {
+        let ds = tiny_dataset();
+        let all = AllPairs.candidates(&ds).len();
+        let loose = CanopyBlocking::new(0.0, 1.0).candidates(&ds).len();
+        // with t_loose 0 every token-sharing pair is a candidate; tiny
+        // dataset titles all share "camera"-ish tokens except some
+        assert!(loose <= all);
+        assert!(loose > 0);
+    }
+
+    #[test]
+    fn tight_threshold_reduces_candidates() {
+        let ds = tiny_dataset();
+        let few = CanopyBlocking::new(0.8, 0.8).candidates(&ds).len();
+        let many = CanopyBlocking::new(0.1, 1.0).candidates(&ds).len();
+        assert!(few <= many);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_loose <= t_tight")]
+    fn inverted_thresholds_rejected() {
+        CanopyBlocking::new(0.9, 0.1);
+    }
+}

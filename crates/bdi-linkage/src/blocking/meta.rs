@@ -1,0 +1,109 @@
+//! Meta-blocking: prune a redundancy-positive block collection by edge
+//! weighting (Papadakis et al., surveyed in the tutorial as the way to
+//! tame low-precision blocking at web scale).
+
+use super::Blocker;
+use crate::pair::Pair;
+use bdi_types::Dataset;
+use std::collections::HashMap;
+
+/// Weight-edge-pruning meta-blocking over an underlying block collection.
+///
+/// Builds the blocking graph (records = nodes, co-occurrence in a block =
+/// edge), weights every edge by its **common block count** (CBS), then
+/// keeps only edges whose weight exceeds the global mean weight. Records
+/// co-occurring in many blocks are much likelier to match; one shared
+/// stop-word-ish block is noise.
+#[derive(Clone, Debug)]
+pub struct MetaBlocking<B> {
+    /// The base block builder.
+    pub base: B,
+    /// Weight multiplier for the pruning threshold (1.0 = mean weight).
+    pub threshold_factor: f64,
+}
+
+impl<B> MetaBlocking<B> {
+    /// Standard mean-weight pruning.
+    pub fn new(base: B) -> Self {
+        Self { base, threshold_factor: 1.0 }
+    }
+}
+
+/// Anything that can expose its raw blocks (not just pairs).
+pub trait BlockSource {
+    /// The block collection to meta-prune.
+    fn blocks(&self, ds: &Dataset) -> Vec<Vec<bdi_types::RecordId>>;
+}
+
+impl BlockSource for super::StandardBlocking {
+    fn blocks(&self, ds: &Dataset) -> Vec<Vec<bdi_types::RecordId>> {
+        super::StandardBlocking::blocks(self, ds)
+    }
+}
+
+impl<B: BlockSource> Blocker for MetaBlocking<B> {
+    fn candidates(&self, ds: &Dataset) -> Vec<Pair> {
+        let blocks = self.base.blocks(ds);
+        let mut weights: HashMap<Pair, u32> = HashMap::new();
+        for b in &blocks {
+            for i in 0..b.len() {
+                for j in (i + 1)..b.len() {
+                    if b[i].source != b[j].source {
+                        *weights.entry(Pair::new(b[i], b[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        if weights.is_empty() {
+            return Vec::new();
+        }
+        let mean =
+            weights.values().map(|&w| w as f64).sum::<f64>() / weights.len() as f64;
+        let cut = mean * self.threshold_factor;
+        let mut out: Vec<Pair> = weights
+            .into_iter()
+            .filter_map(|(p, w)| (w as f64 > cut).then_some(p))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "meta-blocking"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tiny_dataset;
+    use super::super::{Blocker, StandardBlocking};
+    use super::*;
+
+    #[test]
+    fn prunes_relative_to_base() {
+        let ds = tiny_dataset();
+        let base = StandardBlocking::title();
+        let base_pairs = base.candidates(&ds).len();
+        let meta_pairs = MetaBlocking::new(base).candidates(&ds).len();
+        assert!(meta_pairs <= base_pairs, "meta {meta_pairs} > base {base_pairs}");
+    }
+
+    #[test]
+    fn keeps_multi_block_pairs() {
+        let ds = tiny_dataset();
+        // LX-100 records co-occur in several title-token blocks
+        // ("lumetra", "lx", "100"/"camera") so they survive mean pruning
+        let pairs = MetaBlocking::new(StandardBlocking::title()).candidates(&ds);
+        assert!(
+            pairs.iter().any(|p| p.lo.seq == 0 && p.hi.seq == 0),
+            "strongly co-blocked pair pruned: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn empty_dataset_empty_candidates() {
+        let ds = Dataset::new();
+        let pairs = MetaBlocking::new(StandardBlocking::title()).candidates(&ds);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! MinHash / LSH blocking: sub-quadratic candidate generation for
+//! set-similar records, the locality-sensitive-hashing answer the
+//! tutorial's scaling section points to when no identifier exists.
+//!
+//! Each record's title-token set is sketched with `bands × rows` min-wise
+//! hashes; records colliding on any full band become candidates. The
+//! collision probability of a pair with Jaccard similarity `s` is
+//! `1 − (1 − s^rows)^bands` — an S-curve whose threshold is tuned by the
+//! band/row split.
+
+use super::Blocker;
+use crate::pair::{dedup_pairs, Pair};
+use bdi_types::{Dataset, RecordId};
+use std::collections::HashMap;
+
+/// MinHash-LSH blocker over title tokens.
+#[derive(Clone, Copy, Debug)]
+pub struct MinHashBlocking {
+    /// Number of bands (each band is one hash table).
+    pub bands: usize,
+    /// Rows (hash functions) per band.
+    pub rows: usize,
+    /// Seed for the hash family.
+    pub seed: u64,
+    /// Drop LSH buckets larger than this (stop-bucket guard).
+    pub max_bucket: usize,
+}
+
+impl MinHashBlocking {
+    /// A sensible default: 8 bands × 4 rows ⇒ the S-curve midpoint sits
+    /// near Jaccard 0.5.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands >= 1 && rows >= 1, "bands and rows must be >= 1");
+        Self { bands, rows, seed: 0x5EED_CAFE, max_bucket: 200 }
+    }
+
+    /// The collision probability of a pair at Jaccard similarity `s`.
+    pub fn collision_probability(&self, s: f64) -> f64 {
+        1.0 - (1.0 - s.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+
+    /// MinHash signature of a token set.
+    fn signature(&self, tokens: &[String]) -> Vec<u64> {
+        let k = self.bands * self.rows;
+        let mut sig = vec![u64::MAX; k];
+        for t in tokens {
+            let base = fxhash(t.as_bytes(), self.seed);
+            for (i, slot) in sig.iter_mut().enumerate() {
+                // cheap per-function mixing of one strong base hash
+                let h = base
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15u64.wrapping_add((i as u64) << 1))
+                    .rotate_left((i % 63) as u32 + 1);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        sig
+    }
+}
+
+/// FNV-style byte hash with seed.
+fn fxhash(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    // final avalanche
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h
+}
+
+impl Blocker for MinHashBlocking {
+    fn candidates(&self, ds: &Dataset) -> Vec<Pair> {
+        let records = ds.records();
+        // band index -> bucket key -> record ids
+        let mut tables: Vec<HashMap<u64, Vec<RecordId>>> =
+            (0..self.bands).map(|_| HashMap::new()).collect();
+        for r in records {
+            let mut tokens = bdi_textsim::tokenize(&r.title);
+            tokens.sort_unstable();
+            tokens.dedup();
+            if tokens.is_empty() {
+                continue;
+            }
+            let sig = self.signature(&tokens);
+            for (b, table) in tables.iter_mut().enumerate() {
+                let band = &sig[b * self.rows..(b + 1) * self.rows];
+                let mut key = 0xcbf29ce484222325u64 ^ (b as u64);
+                for &v in band {
+                    key = (key ^ v).wrapping_mul(0x100000001b3);
+                }
+                table.entry(key).or_default().push(r.id);
+            }
+        }
+        let mut out = Vec::new();
+        for table in &tables {
+            for bucket in table.values() {
+                if bucket.len() < 2 || bucket.len() > self.max_bucket {
+                    continue;
+                }
+                for i in 0..bucket.len() {
+                    for j in (i + 1)..bucket.len() {
+                        if bucket[i].source != bucket[j].source {
+                            out.push(Pair::new(bucket[i], bucket[j]));
+                        }
+                    }
+                }
+            }
+        }
+        dedup_pairs(&mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "minhash-lsh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tiny_dataset;
+    use super::super::{AllPairs, Blocker};
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn similar_titles_collide() {
+        let ds = tiny_dataset();
+        let pairs = MinHashBlocking::new(8, 2).candidates(&ds);
+        // LX-100 titles share most tokens -> should be candidates
+        assert!(
+            pairs.iter().any(|p| p.lo.seq == 0 && p.hi.seq == 0),
+            "LX-100 pair missing: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn subset_of_all_pairs_and_cross_source() {
+        let ds = tiny_dataset();
+        let all: std::collections::HashSet<_> =
+            AllPairs.candidates(&ds).into_iter().collect();
+        for p in MinHashBlocking::new(8, 3).candidates(&ds) {
+            assert!(all.contains(&p));
+            assert!(!p.same_source());
+        }
+    }
+
+    #[test]
+    fn more_rows_fewer_candidates() {
+        let ds = tiny_dataset();
+        let loose = MinHashBlocking::new(8, 1).candidates(&ds).len();
+        let strict = MinHashBlocking::new(8, 6).candidates(&ds).len();
+        assert!(strict <= loose, "strict {strict} > loose {loose}");
+    }
+
+    #[test]
+    fn collision_curve_is_s_shaped() {
+        let b = MinHashBlocking::new(8, 4);
+        assert!(b.collision_probability(0.0) < 1e-9);
+        assert!((b.collision_probability(1.0) - 1.0).abs() < 1e-9);
+        assert!(b.collision_probability(0.8) > b.collision_probability(0.3));
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = tiny_dataset();
+        let b = MinHashBlocking::new(6, 3);
+        assert_eq!(b.candidates(&ds), b.candidates(&ds));
+    }
+
+    #[test]
+    #[should_panic(expected = "bands and rows")]
+    fn zero_bands_rejected() {
+        MinHashBlocking::new(0, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn signature_length_is_bands_times_rows(bands in 1usize..6, rows in 1usize..6) {
+            let b = MinHashBlocking::new(bands, rows);
+            let sig = b.signature(&["alpha".into(), "beta".into()]);
+            prop_assert_eq!(sig.len(), bands * rows);
+        }
+
+        #[test]
+        fn identical_token_sets_identical_signatures(tokens in proptest::collection::vec("[a-z]{2,6}", 1..8)) {
+            let b = MinHashBlocking::new(4, 4);
+            prop_assert_eq!(b.signature(&tokens), b.signature(&tokens));
+        }
+
+        #[test]
+        fn collision_probability_monotone(s1 in 0.0f64..1.0, s2 in 0.0f64..1.0) {
+            let b = MinHashBlocking::new(8, 4);
+            let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+            prop_assert!(b.collision_probability(lo) <= b.collision_probability(hi) + 1e-12);
+        }
+    }
+}

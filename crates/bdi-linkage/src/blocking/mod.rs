@@ -1,0 +1,261 @@
+//! Candidate generation: comparing every record to every other is O(n²)
+//! and dead on arrival at web scale, so every linkage run starts by
+//! *blocking* — cheaply grouping records so that only within-group pairs
+//! are ever scored.
+//!
+//! All blockers produce deduplicated **cross-source** pairs (a source
+//! publishes each product once, so same-source pairs are non-matches by
+//! assumption). Quality is measured by pair completeness (recall of true
+//! pairs) and reduction ratio (fraction of the all-pairs budget avoided) —
+//! see [`crate::eval`].
+
+pub mod canopy;
+pub mod meta;
+pub mod minhash;
+pub mod qgram;
+pub mod sorted_neighborhood;
+pub mod standard;
+
+pub use canopy::CanopyBlocking;
+pub use meta::MetaBlocking;
+pub use minhash::MinHashBlocking;
+pub use qgram::QGramBlocking;
+pub use sorted_neighborhood::SortedNeighborhood;
+pub use standard::StandardBlocking;
+
+use crate::pair::{dedup_pairs, Pair};
+use bdi_types::{Dataset, Record, RecordId};
+use std::collections::HashMap;
+
+/// A candidate-pair generator.
+pub trait Blocker {
+    /// Produce deduplicated cross-source candidate pairs.
+    fn candidates(&self, ds: &Dataset) -> Vec<Pair>;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The no-blocking baseline: every cross-source pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllPairs;
+
+impl Blocker for AllPairs {
+    fn candidates(&self, ds: &Dataset) -> Vec<Pair> {
+        let recs = ds.records();
+        let mut out = Vec::new();
+        for i in 0..recs.len() {
+            for j in (i + 1)..recs.len() {
+                if recs[i].id.source != recs[j].id.source {
+                    out.push(Pair::new(recs[i].id, recs[j].id));
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "all-pairs"
+    }
+}
+
+/// How a blocker derives keys from a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockingKey {
+    /// Normalized product identifiers (uppercased, non-alphanumerics
+    /// stripped) — the "products are named entities" opportunity.
+    Identifier,
+    /// The longest digit run of each identifier — robust to the
+    /// dash-dropping / reshuffling formatting variants sources apply.
+    IdentifierDigits,
+    /// Every title token of length ≥ 3.
+    TitleTokens,
+    /// Soundex code of the first title token (brand-phonetic blocking).
+    TitleSoundex,
+}
+
+impl BlockingKey {
+    /// Extract this key's values from a record.
+    pub fn keys(&self, r: &Record) -> Vec<String> {
+        match self {
+            BlockingKey::Identifier => {
+                r.identifiers.iter().map(|s| normalize_identifier(s)).collect()
+            }
+            BlockingKey::IdentifierDigits => r
+                .identifiers
+                .iter()
+                .filter_map(|s| longest_digit_run(s))
+                .collect(),
+            BlockingKey::TitleTokens => bdi_textsim::tokenize(&r.title)
+                .into_iter()
+                .filter(|t| t.len() >= 3)
+                .collect(),
+            BlockingKey::TitleSoundex => bdi_textsim::soundex(&r.title)
+                .into_iter()
+                .collect(),
+        }
+    }
+}
+
+/// Uppercase and strip non-alphanumerics: `cam-lum-01042` → `CAMLUM01042`.
+pub fn normalize_identifier(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_uppercase())
+        .collect()
+}
+
+/// The longest maximal run of ASCII digits in `s`, if any.
+pub fn longest_digit_run(s: &str) -> Option<String> {
+    let mut best: Option<&str> = None;
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let run = &s[start..i];
+            if best.is_none_or(|b| run.len() > b.len()) {
+                best = Some(run);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    best.map(str::to_string)
+}
+
+/// Group records into blocks by key. Blocks larger than `max_block_size`
+/// are dropped entirely (they are stop-word blocks: enormous cost, almost
+/// no signal).
+pub fn blocks_by_key(
+    ds: &Dataset,
+    key: BlockingKey,
+    max_block_size: usize,
+) -> Vec<Vec<RecordId>> {
+    let mut map: HashMap<String, Vec<RecordId>> = HashMap::new();
+    for r in ds.records() {
+        let mut ks = key.keys(r);
+        ks.sort_unstable();
+        ks.dedup();
+        for k in ks {
+            if k.is_empty() {
+                continue;
+            }
+            map.entry(k).or_default().push(r.id);
+        }
+    }
+    let mut blocks: Vec<Vec<RecordId>> = map
+        .into_values()
+        .filter(|b| b.len() >= 2 && b.len() <= max_block_size)
+        .collect();
+    // deterministic order for reproducible candidate lists
+    blocks.sort_unstable();
+    blocks
+}
+
+/// Expand blocks into deduplicated cross-source pairs.
+pub fn pairs_from_blocks(blocks: &[Vec<RecordId>]) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for b in blocks {
+        for i in 0..b.len() {
+            for j in (i + 1)..b.len() {
+                if b[i].source != b[j].source {
+                    out.push(Pair::new(b[i], b[j]));
+                }
+            }
+        }
+    }
+    dedup_pairs(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{Record, RecordId, Source, SourceId, SourceKind};
+
+    pub(crate) fn tiny_dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for s in 0..3u32 {
+            ds.add_source(Source::new(SourceId(s), format!("s{s}"), SourceKind::Tail));
+        }
+        let mk = |s: u32, q: u32, title: &str, id: Option<&str>| {
+            let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+            if let Some(i) = id {
+                r.identifiers.push(i.to_string());
+            }
+            r
+        };
+        ds.add_record(mk(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100"))).unwrap();
+        ds.add_record(mk(1, 0, "Lumetra LX-100", Some("camlum00100"))).unwrap();
+        ds.add_record(mk(2, 0, "camera LX-100 by Lumetra", Some("00100-LUM"))).unwrap();
+        ds.add_record(mk(0, 1, "Fotonix F-200 camera", Some("CAM-FOT-00200"))).unwrap();
+        ds.add_record(mk(1, 1, "Fotonix F-200", None)).unwrap();
+        ds
+    }
+
+    #[test]
+    fn all_pairs_excludes_same_source() {
+        let ds = tiny_dataset();
+        let pairs = AllPairs.candidates(&ds);
+        // 5 records -> 10 pairs, minus same-source (0,0)-(0,1) and (1,0)-(1,1)
+        assert_eq!(pairs.len(), 8);
+        assert!(pairs.iter().all(|p| !p.same_source()));
+    }
+
+    #[test]
+    fn identifier_normalization() {
+        assert_eq!(normalize_identifier("cam-lum-01042"), "CAMLUM01042");
+        assert_eq!(normalize_identifier("CAMLUM01042"), "CAMLUM01042");
+        assert_eq!(normalize_identifier("--"), "");
+    }
+
+    #[test]
+    fn digit_run_extraction() {
+        assert_eq!(longest_digit_run("CAM-LUM-01042").as_deref(), Some("01042"));
+        assert_eq!(longest_digit_run("a1b22c333").as_deref(), Some("333"));
+        assert_eq!(longest_digit_run("abc"), None);
+    }
+
+    #[test]
+    fn digit_key_bridges_format_variants() {
+        let ds = tiny_dataset();
+        let blocks = blocks_by_key(&ds, BlockingKey::IdentifierDigits, 50);
+        // all three LX-100 records share the "00100" digit run (and the
+        // two Fotonix ones "00200", but one has no id)
+        let big = blocks.iter().find(|b| b.len() == 3).expect("LX-100 block");
+        assert_eq!(big.len(), 3);
+    }
+
+    #[test]
+    fn oversized_blocks_dropped() {
+        let ds = tiny_dataset();
+        let blocks = blocks_by_key(&ds, BlockingKey::TitleTokens, 2);
+        for b in &blocks {
+            assert!(b.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn pairs_from_blocks_dedups_cross_source() {
+        let ds = tiny_dataset();
+        let blocks = blocks_by_key(&ds, BlockingKey::TitleTokens, 50);
+        let pairs = pairs_from_blocks(&blocks);
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            assert!(!p.same_source());
+            assert!(seen.insert(*p), "duplicate pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn soundex_key_present() {
+        let ds = tiny_dataset();
+        let r = &ds.records()[0];
+        let ks = BlockingKey::TitleSoundex.keys(r);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].len(), 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! CENTER clustering (Haveliwala et al. / star clustering variant).
+
+use super::Clustering;
+use crate::pair::Pair;
+use bdi_types::RecordId;
+use std::collections::HashMap;
+
+/// Cluster by scanning scored match edges in descending score order:
+/// when both endpoints are unassigned, the first becomes a *center* and
+/// the second its member; later edges can only attach unassigned records
+/// to existing centers — member-to-member edges are ignored, which blocks
+/// the chain merges that plague transitive closure.
+pub fn center_clustering(
+    scored: &[(Pair, f64)],
+    universe: &[RecordId],
+) -> Clustering {
+    let mut edges: Vec<(Pair, f64)> = scored.to_vec();
+    edges.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0)) // deterministic tiebreak
+    });
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Role {
+        Center(usize),
+        Member(usize),
+    }
+    let mut role: HashMap<RecordId, Role> = HashMap::new();
+    let mut clusters: Vec<Vec<RecordId>> = Vec::new();
+
+    for (p, _) in edges {
+        let (a, b) = p.members();
+        match (role.get(&a).copied(), role.get(&b).copied()) {
+            (None, None) => {
+                let idx = clusters.len();
+                clusters.push(vec![a, b]);
+                role.insert(a, Role::Center(idx));
+                role.insert(b, Role::Member(idx));
+            }
+            (Some(Role::Center(i)), None) => {
+                clusters[i].push(b);
+                role.insert(b, Role::Member(i));
+            }
+            (None, Some(Role::Center(i))) => {
+                clusters[i].push(a);
+                role.insert(a, Role::Member(i));
+            }
+            // member-to-anything and center-to-center edges are dropped
+            _ => {}
+        }
+    }
+    for &r in universe {
+        if !role.contains_key(&r) {
+            clusters.push(vec![r]);
+        }
+    }
+    Clustering::from_clusters(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::SourceId;
+
+    fn rid(s: u32, q: u32) -> RecordId {
+        RecordId::new(SourceId(s), q)
+    }
+
+    #[test]
+    fn resists_chain_merge() {
+        // a-b strong, b-c strong, but a-b first makes a the center; c can
+        // only join via an edge to the CENTER a, not to member b
+        let scored = vec![
+            (Pair::new(rid(0, 0), rid(1, 0)), 0.9),
+            (Pair::new(rid(1, 0), rid(2, 0)), 0.8),
+        ];
+        let uni = vec![rid(0, 0), rid(1, 0), rid(2, 0)];
+        let c = center_clustering(&scored, &uni);
+        assert!(c.same_cluster(rid(0, 0), rid(1, 0)));
+        assert!(!c.same_cluster(rid(1, 0), rid(2, 0)), "member edge must not merge");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn center_absorbs_direct_edges() {
+        let scored = vec![
+            (Pair::new(rid(0, 0), rid(1, 0)), 0.9),
+            (Pair::new(rid(0, 0), rid(2, 0)), 0.8),
+        ];
+        let uni: Vec<_> = (0..3).map(|s| rid(s, 0)).collect();
+        let c = center_clustering(&scored, &uni);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_score_ties() {
+        let scored = vec![
+            (Pair::new(rid(0, 0), rid(1, 0)), 0.9),
+            (Pair::new(rid(2, 0), rid(3, 0)), 0.9),
+        ];
+        let uni: Vec<_> = (0..4).map(|s| rid(s, 0)).collect();
+        let a = center_clustering(&scored, &uni);
+        let b = center_clustering(&scored, &uni);
+        assert_eq!(a.clusters(), b.clusters());
+    }
+
+    #[test]
+    fn empty_input_all_singletons() {
+        let uni: Vec<_> = (0..3).map(|s| rid(s, 0)).collect();
+        let c = center_clustering(&[], &uni);
+        assert_eq!(c.len(), 3);
+    }
+}

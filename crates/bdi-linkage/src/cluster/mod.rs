@@ -1,0 +1,152 @@
+//! From pairwise match decisions to entity clusters.
+//!
+//! Pairwise matchers are noisy and their decisions need not be
+//! transitive; a clustering step resolves the conflicts. Three standard
+//! strategies with different noise behaviour (experiment E11):
+//!
+//! * [`transitive`] — union-find closure: cheap, but one false positive
+//!   edge merges two whole entities (over-merge under noise).
+//! * [`center`] — CENTER clustering: each cluster grows around the
+//!   highest-scoring node, resisting chain merges.
+//! * [`correlation`] — greedy pivot correlation clustering: approximates
+//!   minimizing disagreement with the pairwise evidence.
+//! * [`swoosh`] — R-Swoosh generic match-merge ER: merged records carry
+//!   unioned evidence and can match what no member could alone.
+
+pub mod center;
+pub mod correlation;
+pub mod swoosh;
+pub mod transitive;
+pub mod union_find;
+
+pub use center::center_clustering;
+pub use correlation::correlation_clustering;
+pub use swoosh::{merge_records, r_swoosh, SwooshResult};
+pub use transitive::transitive_closure;
+pub use union_find::UnionFind;
+
+use bdi_types::RecordId;
+use std::collections::HashMap;
+
+/// A partition of records into entity clusters.
+#[derive(Clone, Debug, Default)]
+pub struct Clustering {
+    clusters: Vec<Vec<RecordId>>,
+    assignment: HashMap<RecordId, usize>,
+}
+
+impl Clustering {
+    /// Build from explicit clusters. Records may appear at most once;
+    /// empty clusters are dropped; members are sorted for determinism.
+    pub fn from_clusters(mut clusters: Vec<Vec<RecordId>>) -> Self {
+        clusters.retain(|c| !c.is_empty());
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort_unstable();
+        let mut assignment = HashMap::new();
+        for (i, c) in clusters.iter().enumerate() {
+            for &r in c {
+                let prev = assignment.insert(r, i);
+                assert!(prev.is_none(), "record {r} in two clusters");
+            }
+        }
+        Self { clusters, assignment }
+    }
+
+    /// The clusters, each sorted, in deterministic order.
+    pub fn clusters(&self) -> &[Vec<RecordId>] {
+        &self.clusters
+    }
+
+    /// Cluster index of a record, if clustered.
+    pub fn cluster_of(&self, r: RecordId) -> Option<usize> {
+        self.assignment.get(&r).copied()
+    }
+
+    /// Are two records in the same cluster?
+    pub fn same_cluster(&self, a: RecordId, b: RecordId) -> bool {
+        match (self.cluster_of(a), self.cluster_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total records covered.
+    pub fn record_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of within-cluster pairs (the "predicted matches" count for
+    /// pairwise evaluation).
+    pub fn pair_count(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| {
+                let n = c.len() as u64;
+                n * (n - 1) / 2
+            })
+            .sum()
+    }
+}
+
+/// Ensure every record of `universe` appears, adding singletons for the
+/// unclustered — evaluation needs total coverage.
+pub fn with_singletons(clustering: Clustering, universe: &[RecordId]) -> Clustering {
+    let mut clusters = clustering.clusters;
+    for &r in universe {
+        if !clustering.assignment.contains_key(&r) {
+            clusters.push(vec![r]);
+        }
+    }
+    Clustering::from_clusters(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::SourceId;
+
+    fn rid(s: u32, q: u32) -> RecordId {
+        RecordId::new(SourceId(s), q)
+    }
+
+    #[test]
+    fn from_clusters_basics() {
+        let c = Clustering::from_clusters(vec![
+            vec![rid(0, 0), rid(1, 0)],
+            vec![rid(2, 0)],
+            vec![],
+        ]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.record_count(), 3);
+        assert!(c.same_cluster(rid(0, 0), rid(1, 0)));
+        assert!(!c.same_cluster(rid(0, 0), rid(2, 0)));
+        assert_eq!(c.pair_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in two clusters")]
+    fn duplicate_membership_rejected() {
+        Clustering::from_clusters(vec![vec![rid(0, 0)], vec![rid(0, 0)]]);
+    }
+
+    #[test]
+    fn singleton_completion() {
+        let base = Clustering::from_clusters(vec![vec![rid(0, 0), rid(1, 0)]]);
+        let uni = vec![rid(0, 0), rid(1, 0), rid(2, 0), rid(3, 0)];
+        let full = with_singletons(base, &uni);
+        assert_eq!(full.record_count(), 4);
+        assert_eq!(full.len(), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! R-Swoosh: generic match-merge entity resolution (Benjelloun et al.,
+//! the "Swoosh" family).
+//!
+//! Unlike pairwise-then-cluster linkage, Swoosh *merges* matched records
+//! immediately and lets the merged record — which carries the union of
+//! the members' identifiers and attributes — match records neither member
+//! could match alone (merge dominance). R-Swoosh is the standard
+//! one-buffer formulation: pull a record, compare against the resolved
+//! set, merge on first hit and recycle, otherwise retire it as resolved.
+
+use super::Clustering;
+use crate::matcher::Matcher;
+use bdi_types::{Record, RecordId};
+use std::collections::VecDeque;
+
+/// Merge two records: the union of their content.
+///
+/// * identifiers: concatenated, deduplicated, first record's primary kept
+///   first (primary position is meaningful — see `matcher::features`);
+/// * title: the longer one (more tokens = more match evidence);
+/// * attributes: union; on a name clash the first record wins (value
+///   conflict resolution is fusion's job, not linkage's);
+/// * id: the smaller member id (stable, deterministic).
+pub fn merge_records(a: &Record, b: &Record) -> Record {
+    let (first, second) = if a.id <= b.id { (a, b) } else { (b, a) };
+    let mut out = first.clone();
+    if second.title.len() > out.title.len() {
+        out.title = second.title.clone();
+    }
+    for id in &second.identifiers {
+        if !out.identifiers.contains(id) {
+            out.identifiers.push(id.clone());
+        }
+    }
+    for (k, v) in &second.attributes {
+        out.attributes.entry(k.clone()).or_insert_with(|| v.clone());
+    }
+    out
+}
+
+/// The result of an R-Swoosh run.
+#[derive(Clone, Debug)]
+pub struct SwooshResult {
+    /// The resolved (merged) records.
+    pub records: Vec<Record>,
+    /// Which input records each resolved record absorbed
+    /// (index-aligned with `records`).
+    pub provenance: Vec<Vec<RecordId>>,
+    /// Pairwise comparisons performed.
+    pub comparisons: u64,
+}
+
+impl SwooshResult {
+    /// View the provenance as a [`Clustering`] for evaluation.
+    pub fn clustering(&self) -> Clustering {
+        Clustering::from_clusters(self.provenance.clone())
+    }
+}
+
+/// Run R-Swoosh over the records with a pairwise matcher and threshold.
+///
+/// Deterministic: records are processed in id order and the resolved set
+/// is scanned in insertion order.
+pub fn r_swoosh<M: Matcher>(records: &[Record], matcher: &M, threshold: f64) -> SwooshResult {
+    let mut input: VecDeque<(Record, Vec<RecordId>)> = {
+        let mut sorted: Vec<&Record> = records.iter().collect();
+        sorted.sort_by_key(|r| r.id);
+        sorted.into_iter().map(|r| (r.clone(), vec![r.id])).collect()
+    };
+    let mut resolved: Vec<(Record, Vec<RecordId>)> = Vec::new();
+    let mut comparisons = 0u64;
+    while let Some((rec, prov)) = input.pop_front() {
+        let mut hit = None;
+        for (i, (other, _)) in resolved.iter().enumerate() {
+            comparisons += 1;
+            if matcher.score(other, &rec) >= threshold {
+                hit = Some(i);
+                break;
+            }
+        }
+        match hit {
+            Some(i) => {
+                let (other, mut other_prov) = resolved.swap_remove(i);
+                let merged = merge_records(&other, &rec);
+                other_prov.extend(prov);
+                input.push_back((merged, other_prov));
+            }
+            None => resolved.push((rec, prov)),
+        }
+    }
+    let (records, mut provenance): (Vec<Record>, Vec<Vec<RecordId>>) =
+        resolved.into_iter().unzip();
+    for p in &mut provenance {
+        p.sort_unstable();
+        p.dedup();
+    }
+    SwooshResult { records, provenance, comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::IdentifierRule;
+    use bdi_types::{SourceId, Value};
+
+    fn rec(s: u32, q: u32, title: &str, ids: &[&str]) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+        r.identifiers = ids.iter().map(|x| x.to_string()).collect();
+        r
+    }
+
+    #[test]
+    fn clique_merges_to_one() {
+        let records = vec![
+            rec(0, 0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]),
+            rec(1, 0, "Lumetra LX-100", &["camlum00100"]),
+            rec(2, 0, "camera LX-100 by Lumetra", &["CAM-LUM-00100"]),
+        ];
+        let out = r_swoosh(&records, &IdentifierRule::default(), 0.9);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.provenance[0].len(), 3);
+        // merged record unions identifiers
+        assert!(out.records[0].identifiers.len() >= 2);
+    }
+
+    #[test]
+    fn non_matches_stay_separate() {
+        let records = vec![
+            rec(0, 0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]),
+            rec(1, 0, "Visionex V-900 monitor", &["MON-VIS-00900"]),
+        ];
+        let out = r_swoosh(&records, &IdentifierRule::default(), 0.9);
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn merge_unions_attributes_first_wins_conflicts() {
+        let a = rec(0, 0, "short", &["X-000111"])
+            .with_attr("color", Value::str("black"))
+            .with_attr("weight", Value::num(1.0));
+        let b = rec(1, 0, "a much longer title", &["Y-000222"])
+            .with_attr("color", Value::str("white"))
+            .with_attr("size", Value::num(2.0));
+        let m = merge_records(&a, &b);
+        assert_eq!(m.id, a.id, "smaller member id kept");
+        assert_eq!(m.title, "a much longer title");
+        assert_eq!(m.get("color"), Some(&Value::str("black")), "first wins");
+        assert!(m.get("size").is_some() && m.get("weight").is_some());
+        assert_eq!(m.identifiers, vec!["X-000111".to_string(), "Y-000222".to_string()]);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_content() {
+        let a = rec(0, 0, "alpha title", &["X-000111"]).with_attr("k", Value::num(1.0));
+        let b = rec(1, 0, "beta", &["Y-000222"]).with_attr("k", Value::num(2.0));
+        assert_eq!(merge_records(&a, &b), merge_records(&b, &a));
+    }
+
+    #[test]
+    fn partition_at_least_as_coarse_as_transitive_closure() {
+        // swoosh can only merge more (merged evidence), never less
+        let records = vec![
+            rec(0, 0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]),
+            rec(1, 0, "Lumetra LX-100", &["camlum00100"]),
+            rec(2, 0, "Fotonix F-200 camera", &["CAM-FOT-00200"]),
+            rec(3, 0, "Fotonix F-200", &["CAMFOT00200"]),
+        ];
+        let matcher = IdentifierRule::default();
+        let out = r_swoosh(&records, &matcher, 0.9);
+        // compute the pairwise match graph partition
+        let mut edges = Vec::new();
+        for i in 0..records.len() {
+            for j in (i + 1)..records.len() {
+                if matcher.score(&records[i], &records[j]) >= 0.9 {
+                    edges.push(crate::Pair::new(records[i].id, records[j].id));
+                }
+            }
+        }
+        let universe: Vec<RecordId> = records.iter().map(|r| r.id).collect();
+        let tc = super::super::transitive_closure(&edges, &universe);
+        let sw = out.clustering();
+        assert!(sw.len() <= tc.len(), "swoosh {} coarser than tc {}", sw.len(), tc.len());
+        // and in this clean case they agree exactly
+        assert_eq!(sw.clusters(), tc.clusters());
+    }
+
+    #[test]
+    fn provenance_partitions_input() {
+        let records: Vec<Record> = (0..6)
+            .map(|i| rec(i, 0, &format!("Product {i} gadget"), &[&format!("GAD-XXX-{i:05}")]))
+            .collect();
+        let out = r_swoosh(&records, &IdentifierRule::default(), 0.9);
+        let total: usize = out.provenance.iter().map(Vec::len).sum();
+        assert_eq!(total, records.len());
+        assert_eq!(out.clustering().record_count(), records.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let records = vec![
+            rec(0, 0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]),
+            rec(1, 0, "Lumetra LX-100", &["camlum00100"]),
+            rec(2, 0, "Fotonix F-200 camera", &["CAM-FOT-00200"]),
+        ];
+        let a = r_swoosh(&records, &IdentifierRule::default(), 0.9);
+        let b = r_swoosh(&records, &IdentifierRule::default(), 0.9);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.provenance, b.provenance);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = r_swoosh(&[], &IdentifierRule::default(), 0.9);
+        assert!(out.records.is_empty());
+        assert_eq!(out.comparisons, 0);
+    }
+}

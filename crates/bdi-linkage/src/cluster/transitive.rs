@@ -1,0 +1,79 @@
+//! Transitive-closure clustering (connected components of match edges).
+
+use super::{Clustering, UnionFind};
+use crate::pair::Pair;
+use bdi_types::RecordId;
+use std::collections::HashMap;
+
+/// Connected components over the matched pairs, with singletons for every
+/// universe record that matched nothing.
+///
+/// The cheapest consolidation and the default at scale — but a single
+/// false-positive edge glues two entities together, so its pairwise
+/// precision collapses first as matcher noise grows (experiment E11).
+pub fn transitive_closure(matches: &[Pair], universe: &[RecordId]) -> Clustering {
+    let mut index: HashMap<RecordId, usize> = HashMap::new();
+    let mut ids: Vec<RecordId> = Vec::new();
+    let mut intern = |r: RecordId, ids: &mut Vec<RecordId>| -> usize {
+        *index.entry(r).or_insert_with(|| {
+            ids.push(r);
+            ids.len() - 1
+        })
+    };
+    for &r in universe {
+        intern(r, &mut ids);
+    }
+    for p in matches {
+        intern(p.lo, &mut ids);
+        intern(p.hi, &mut ids);
+    }
+    let mut uf = UnionFind::new(ids.len());
+    for p in matches {
+        uf.union(index[&p.lo], index[&p.hi]);
+    }
+    let clusters = uf
+        .groups()
+        .into_iter()
+        .map(|g| g.into_iter().map(|i| ids[i]).collect())
+        .collect();
+    Clustering::from_clusters(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::SourceId;
+
+    fn rid(s: u32, q: u32) -> RecordId {
+        RecordId::new(SourceId(s), q)
+    }
+
+    #[test]
+    fn chains_merge() {
+        let matches = vec![
+            Pair::new(rid(0, 0), rid(1, 0)),
+            Pair::new(rid(1, 0), rid(2, 0)),
+        ];
+        let uni = vec![rid(0, 0), rid(1, 0), rid(2, 0), rid(3, 0)];
+        let c = transitive_closure(&matches, &uni);
+        assert_eq!(c.len(), 2); // {0,1,2} and singleton {3}
+        assert!(c.same_cluster(rid(0, 0), rid(2, 0)));
+        assert!(!c.same_cluster(rid(0, 0), rid(3, 0)));
+    }
+
+    #[test]
+    fn no_matches_all_singletons() {
+        let uni = vec![rid(0, 0), rid(1, 0)];
+        let c = transitive_closure(&[], &uni);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.pair_count(), 0);
+    }
+
+    #[test]
+    fn matches_outside_universe_still_clustered() {
+        let matches = vec![Pair::new(rid(5, 0), rid(6, 0))];
+        let c = transitive_closure(&matches, &[]);
+        assert_eq!(c.record_count(), 2);
+        assert!(c.same_cluster(rid(5, 0), rid(6, 0)));
+    }
+}

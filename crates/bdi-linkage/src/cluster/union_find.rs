@@ -1,0 +1,151 @@
+//! Disjoint-set forest with union by rank and path compression.
+
+/// Union-find over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // compress
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Extract the sets as sorted groups of element indices.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut map: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        for i in 0..n {
+            let r = self.find(i);
+            map.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Grow the structure by one singleton, returning its index.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.rank.push(0);
+        self.components += 1;
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.components(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn groups_cover_all() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        let g = uf.groups();
+        let total: usize = g.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(g.len(), uf.components());
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut uf = UnionFind::new(2);
+        let i = uf.push();
+        assert_eq!(i, 2);
+        assert_eq!(uf.components(), 3);
+        uf.union(i, 0);
+        assert!(uf.connected(2, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn components_equals_group_count(unions in proptest::collection::vec((0usize..20, 0usize..20), 0..40)) {
+            let mut uf = UnionFind::new(20);
+            for (a, b) in unions {
+                uf.union(a, b);
+            }
+            prop_assert_eq!(uf.components(), uf.groups().len());
+        }
+
+        #[test]
+        fn union_is_idempotent_and_symmetric(a in 0usize..10, b in 0usize..10) {
+            let mut uf1 = UnionFind::new(10);
+            let mut uf2 = UnionFind::new(10);
+            uf1.union(a, b);
+            uf2.union(b, a);
+            prop_assert_eq!(uf1.groups(), uf2.groups());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Linkage evaluation against ground truth.
+
+use crate::cluster::Clustering;
+use crate::pair::Pair;
+use bdi_types::{GroundTruth, RecordId};
+use std::collections::HashMap;
+
+/// Blocking quality: how many true pairs survive, at what candidate cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockingQuality {
+    /// Candidate pairs emitted.
+    pub candidates: u64,
+    /// Pair completeness: fraction of true matching pairs that are
+    /// candidates (blocking recall).
+    pub pair_completeness: f64,
+    /// Reduction ratio: `1 - candidates / all_pairs`.
+    pub reduction_ratio: f64,
+    /// Pairs quality (blocking precision): fraction of candidates that
+    /// truly match.
+    pub pairs_quality: f64,
+}
+
+/// Evaluate a candidate set against the oracle. `total_cross` is the
+/// number of cross-source pairs in the dataset (the comparison budget a
+/// blocker is saving against) — see
+/// [`crate::pair::cross_source_pair_count`].
+pub fn blocking_quality(
+    candidates: &[Pair],
+    truth: &GroundTruth,
+    total_cross: u64,
+) -> BlockingQuality {
+    let total_true = truth.matching_pair_count();
+    let mut true_candidates = 0u64;
+    for p in candidates {
+        if truth.same_entity(p.lo, p.hi) == Some(true) {
+            true_candidates += 1;
+        }
+    }
+    let all = total_cross.max(1);
+    BlockingQuality {
+        candidates: candidates.len() as u64,
+        pair_completeness: if total_true == 0 {
+            1.0
+        } else {
+            true_candidates as f64 / total_true as f64
+        },
+        reduction_ratio: 1.0 - candidates.len() as f64 / all as f64,
+        pairs_quality: if candidates.is_empty() {
+            0.0
+        } else {
+            true_candidates as f64 / candidates.len() as f64
+        },
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Prf {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+}
+
+impl Prf {
+    /// From raw counts.
+    pub fn from_counts(tp: u64, fp: u64, fn_: u64) -> Self {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { precision, recall, f1 }
+    }
+}
+
+/// Pairwise clustering quality: precision/recall/F1 over record pairs,
+/// counting a pair as predicted-positive when clustered together.
+pub fn pairwise_quality(clustering: &Clustering, truth: &GroundTruth) -> Prf {
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    for cluster in clustering.clusters() {
+        for i in 0..cluster.len() {
+            for j in (i + 1)..cluster.len() {
+                match truth.same_entity(cluster[i], cluster[j]) {
+                    Some(true) => tp += 1,
+                    _ => fp += 1,
+                }
+            }
+        }
+    }
+    let total_true = truth
+        .record_entity
+        .keys()
+        .filter(|r| clustering.cluster_of(**r).is_some())
+        .fold(HashMap::<_, u64>::new(), |mut m, r| {
+            *m.entry(truth.record_entity[r]).or_insert(0) += 1;
+            m
+        })
+        .values()
+        .map(|&n| n * (n - 1) / 2)
+        .sum::<u64>();
+    let fn_ = total_true.saturating_sub(tp);
+    Prf::from_counts(tp, fp, fn_)
+}
+
+/// B-cubed clustering quality: per-record precision/recall averaged over
+/// records — robust to cluster-size skew, the standard complement to
+/// pairwise F1.
+pub fn bcubed_quality(clustering: &Clustering, truth: &GroundTruth) -> Prf {
+    let records: Vec<RecordId> = clustering
+        .clusters()
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|r| truth.record_entity.contains_key(r))
+        .collect();
+    if records.is_empty() {
+        return Prf::default();
+    }
+    // entity -> count per cluster for recall denominator
+    let mut entity_sizes: HashMap<bdi_types::EntityId, u64> = HashMap::new();
+    for r in &records {
+        *entity_sizes.entry(truth.record_entity[r]).or_insert(0) += 1;
+    }
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    for cluster in clustering.clusters() {
+        // entity histogram within this cluster (truth-known members only)
+        let mut hist: HashMap<bdi_types::EntityId, u64> = HashMap::new();
+        let known: Vec<_> = cluster
+            .iter()
+            .filter(|r| truth.record_entity.contains_key(r))
+            .collect();
+        for r in &known {
+            *hist.entry(truth.record_entity[r]).or_insert(0) += 1;
+        }
+        let csize = known.len() as f64;
+        for r in &known {
+            let e = truth.record_entity[r];
+            let same_here = hist[&e] as f64;
+            p_sum += same_here / csize;
+            r_sum += same_here / entity_sizes[&e] as f64;
+        }
+    }
+    let n = records.len() as f64;
+    let precision = p_sum / n;
+    let recall = r_sum / n;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{EntityId, SourceId};
+
+    fn rid(s: u32, q: u32) -> RecordId {
+        RecordId::new(SourceId(s), q)
+    }
+
+    fn truth_two_entities() -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        // entity 0: records (0,0),(1,0),(2,0); entity 1: (0,1),(1,1)
+        for s in 0..3u32 {
+            gt.record_entity.insert(rid(s, 0), EntityId(0));
+        }
+        for s in 0..2u32 {
+            gt.record_entity.insert(rid(s, 1), EntityId(1));
+        }
+        gt
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let gt = truth_two_entities();
+        let c = Clustering::from_clusters(vec![
+            vec![rid(0, 0), rid(1, 0), rid(2, 0)],
+            vec![rid(0, 1), rid(1, 1)],
+        ]);
+        let pw = pairwise_quality(&c, &gt);
+        assert_eq!(pw, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        let b3 = bcubed_quality(&c, &gt);
+        assert!((b3.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_merge_hurts_precision_not_recall() {
+        let gt = truth_two_entities();
+        let c = Clustering::from_clusters(vec![vec![
+            rid(0, 0),
+            rid(1, 0),
+            rid(2, 0),
+            rid(0, 1),
+            rid(1, 1),
+        ]]);
+        let pw = pairwise_quality(&c, &gt);
+        assert_eq!(pw.recall, 1.0);
+        assert!(pw.precision < 1.0);
+    }
+
+    #[test]
+    fn under_merge_hurts_recall_not_precision() {
+        let gt = truth_two_entities();
+        let c = Clustering::from_clusters(vec![
+            vec![rid(0, 0), rid(1, 0)],
+            vec![rid(2, 0)],
+            vec![rid(0, 1)],
+            vec![rid(1, 1)],
+        ]);
+        let pw = pairwise_quality(&c, &gt);
+        assert_eq!(pw.precision, 1.0);
+        assert!(pw.recall < 1.0);
+    }
+
+    #[test]
+    fn blocking_quality_counts() {
+        let gt = truth_two_entities();
+        // candidates: one true pair, one false pair
+        let cands = vec![
+            Pair::new(rid(0, 0), rid(1, 0)),
+            Pair::new(rid(0, 0), rid(1, 1)),
+        ];
+        let q = blocking_quality(&cands, &gt, 10);
+        assert_eq!(q.candidates, 2);
+        // total true pairs = C(3,2)+C(2,2) = 3+1 = 4
+        assert!((q.pair_completeness - 0.25).abs() < 1e-12);
+        assert!((q.pairs_quality - 0.5).abs() < 1e-12);
+        assert!((q.reduction_ratio - (1.0 - 2.0 / 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates_quality() {
+        let gt = truth_two_entities();
+        let q = blocking_quality(&[], &gt, 10);
+        assert_eq!(q.pair_completeness, 0.0);
+        assert_eq!(q.reduction_ratio, 1.0);
+    }
+
+    #[test]
+    fn prf_zero_division_safe() {
+        assert_eq!(Prf::from_counts(0, 0, 0), Prf { precision: 0.0, recall: 0.0, f1: 0.0 });
+    }
+}

@@ -1,0 +1,39 @@
+//! # bdi-linkage — record linkage at web scale
+//!
+//! Given records from many sources, decide which refer to the same
+//! real-world product. The tutorial's scaling playbook, implemented in
+//! full:
+//!
+//! * [`blocking`] — candidate generation far below the O(n²) all-pairs
+//!   wall: key blocking, sorted neighborhood, canopies, q-gram indexing,
+//!   and meta-blocking graph pruning.
+//! * [`matcher`] — pairwise match scoring: an identifier-driven rule, a
+//!   weighted multi-field similarity, and a Fellegi-Sunter probabilistic
+//!   matcher with EM-estimated parameters.
+//! * [`cluster`] — turning noisy pairwise decisions into entity clusters:
+//!   transitive closure (union-find), center clustering, and greedy
+//!   correlation clustering.
+//! * [`incremental`] — maintaining a linkage result under record arrivals
+//!   without re-linking the world (the velocity answer).
+//! * [`parallel`] — multi-threaded candidate scoring (the volume answer;
+//!   stands in for the tutorial's MapReduce linkage).
+//! * [`eval`] — pair completeness, reduction ratio, pairwise and B³
+//!   cluster quality against ground truth.
+//!
+//! The linkage-before-alignment ordering is the point: product records
+//! carry identifiers, so linkage needs no aligned schema — and its output
+//! then *powers* schema alignment (see `bdi-schema`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod cluster;
+pub mod eval;
+pub mod incremental;
+pub mod matcher;
+pub mod pair;
+pub mod parallel;
+
+pub use cluster::Clustering;
+pub use pair::Pair;

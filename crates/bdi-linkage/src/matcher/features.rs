@@ -1,0 +1,170 @@
+//! Shared comparison features over a record pair.
+
+use crate::blocking::{longest_digit_run, normalize_identifier};
+use bdi_textsim::{jaccard_sim, jaro_winkler_sim, monge_elkan_sim, tokenize};
+use bdi_types::Record;
+
+/// The comparison vector both the weighted and the Fellegi-Sunter
+/// matchers consume.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PairFeatures {
+    /// 1.0 when any two normalized identifiers are byte-equal.
+    pub id_exact: f64,
+    /// Best Jaro-Winkler over normalized identifier cross pairs.
+    pub id_sim: f64,
+    /// 1.0 when the longest digit runs of any identifier pair agree.
+    pub digit_match: f64,
+    /// Jaccard over title tokens.
+    pub title_jaccard: f64,
+    /// Monge-Elkan over title tokens (typo/word-order tolerant).
+    pub title_me: f64,
+    /// Overlap of rendered attribute *values* (schema-agnostic: value
+    /// bags compared without attribute names, so it works before schema
+    /// alignment).
+    pub value_overlap: f64,
+}
+
+impl PairFeatures {
+    /// Features as a fixed-order slice (for generic learners).
+    pub fn as_array(&self) -> [f64; 6] {
+        [
+            self.id_exact,
+            self.id_sim,
+            self.digit_match,
+            self.title_jaccard,
+            self.title_me,
+            self.value_overlap,
+        ]
+    }
+
+    /// Feature names, index-aligned with [`Self::as_array`].
+    pub fn names() -> [&'static str; 6] {
+        ["id_exact", "id_sim", "digit_match", "title_jaccard", "title_me", "value_overlap"]
+    }
+}
+
+/// Compute the feature vector for a record pair.
+///
+/// Identifier features compare **primary** identifiers only (the first on
+/// each page): product pages leak *related-product* identifiers, and
+/// treating any-to-any identifier equality as match evidence chains whole
+/// brands together under transitive closure. The primary position is
+/// what extraction fights to get right (see `bdi-extract::wrapper`).
+pub fn pair_features(a: &Record, b: &Record) -> PairFeatures {
+    let pa = a.primary_identifier().map(normalize_identifier).unwrap_or_default();
+    let pb = b.primary_identifier().map(normalize_identifier).unwrap_or_default();
+
+    let mut id_exact = 0.0;
+    let mut id_sim: f64 = 0.0;
+    if !pa.is_empty() && !pb.is_empty() {
+        if pa == pb {
+            id_exact = 1.0;
+        }
+        id_sim = jaro_winkler_sim(&pa, &pb);
+    }
+
+    let digits_a = a.primary_identifier().and_then(longest_digit_run);
+    let digits_b = b.primary_identifier().and_then(longest_digit_run);
+    let digit_match = f64::from(matches!(
+        (&digits_a, &digits_b),
+        (Some(x), Some(y)) if x == y && x.len() >= 3
+    ));
+
+    let ta = tokenize(&a.title);
+    let tb = tokenize(&b.title);
+    let title_jaccard = jaccard_sim(&ta, &tb);
+    let title_me = monge_elkan_sim(&ta, &tb);
+
+    let va: Vec<String> = a
+        .attributes
+        .values()
+        .filter(|v| !v.is_null())
+        .map(|v| v.canonical().render())
+        .collect();
+    let vb: Vec<String> = b
+        .attributes
+        .values()
+        .filter(|v| !v.is_null())
+        .map(|v| v.canonical().render())
+        .collect();
+    let value_overlap = if va.is_empty() || vb.is_empty() {
+        0.0
+    } else {
+        bdi_textsim::overlap_sim(&va, &vb)
+    };
+
+    PairFeatures { id_exact, id_sim, digit_match, title_jaccard, title_me, value_overlap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId, Value};
+
+    fn rec(s: u32, title: &str, id: Option<&str>) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), 0), title);
+        if let Some(i) = id {
+            r.identifiers.push(i.into());
+        }
+        r
+    }
+
+    #[test]
+    fn exact_id_variants_detected() {
+        let a = rec(0, "Lumetra LX", Some("CAM-LUM-00100"));
+        let b = rec(1, "Lumetra LX", Some("camlum00100"));
+        let f = pair_features(&a, &b);
+        assert_eq!(f.id_exact, 1.0);
+        assert_eq!(f.digit_match, 1.0);
+    }
+
+    #[test]
+    fn reshuffled_id_caught_by_digits() {
+        let a = rec(0, "Lumetra LX", Some("CAM-LUM-00100"));
+        let b = rec(1, "Lumetra LX", Some("00100-LUM"));
+        let f = pair_features(&a, &b);
+        assert_eq!(f.id_exact, 0.0);
+        assert_eq!(f.digit_match, 1.0);
+    }
+
+    #[test]
+    fn short_digit_runs_ignored() {
+        let a = rec(0, "t", Some("AB-12"));
+        let b = rec(1, "t", Some("CD-12"));
+        assert_eq!(pair_features(&a, &b).digit_match, 0.0);
+    }
+
+    #[test]
+    fn title_features_reflect_similarity() {
+        let a = rec(0, "Fotonix F-200 camera", None);
+        let b = rec(1, "camera F-200 by Fotonix", None);
+        let f = pair_features(&a, &b);
+        assert!(f.title_jaccard > 0.5);
+        assert!(f.title_me > 0.8);
+        let c = rec(2, "Sanova towel rack", None);
+        let g = pair_features(&a, &c);
+        assert!(g.title_jaccard < 0.2);
+    }
+
+    #[test]
+    fn value_overlap_schema_agnostic() {
+        let mut a = rec(0, "x", None);
+        a.attributes.insert("weight".into(), Value::quantity(1.2, bdi_types::Unit::Kilogram));
+        a.attributes.insert("color".into(), Value::str("black"));
+        let mut b = rec(1, "y", None);
+        // same values, different attribute names and unit
+        b.attributes.insert("wt".into(), Value::quantity(1200.0, bdi_types::Unit::Gram));
+        b.attributes.insert("colour".into(), Value::str("Black"));
+        let f = pair_features(&a, &b);
+        assert!((f.value_overlap - 1.0).abs() < 1e-12, "{f:?}");
+    }
+
+    #[test]
+    fn all_features_unit_range() {
+        let a = rec(0, "Lumetra LX-100 camera", Some("CAM-LUM-00100"));
+        let b = rec(1, "totally different thing", Some("ZZZ"));
+        for v in pair_features(&a, &b).as_array() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Fellegi-Sunter probabilistic matcher with unsupervised EM fitting.
+//!
+//! The classical probabilistic record linkage model: each binary
+//! comparison feature `k` has an *m-probability* (agreement given match)
+//! and a *u-probability* (agreement given non-match). A pair's posterior
+//! match probability follows from naive-Bayes combination; the latent
+//! match/non-match labels and the m/u parameters are estimated jointly by
+//! EM over the candidate pairs — no training labels needed, which is the
+//! only kind of matcher you can afford across thousands of web sources.
+
+use super::{pair_features, Matcher, PairFeatures};
+use bdi_types::{Dataset, Record};
+
+const K: usize = 6;
+const EPS: f64 = 1e-4;
+
+/// Fitted Fellegi-Sunter model.
+#[derive(Clone, Debug)]
+pub struct FellegiSunter {
+    /// P(feature k agrees | match).
+    pub m: [f64; K],
+    /// P(feature k agrees | non-match).
+    pub u: [f64; K],
+    /// Prior match probability among candidate pairs.
+    pub prior: f64,
+    /// Feature agreement thresholds (feature value ≥ threshold ⇒ agree).
+    pub cutoffs: [f64; K],
+}
+
+impl Default for FellegiSunter {
+    /// A sensible prior model (usable without fitting): identifier
+    /// features are near-deterministic, title/value features weaker.
+    fn default() -> Self {
+        Self {
+            m: [0.7, 0.9, 0.9, 0.8, 0.9, 0.6],
+            u: [0.001, 0.05, 0.01, 0.05, 0.1, 0.1],
+            prior: 0.1,
+            cutoffs: default_cutoffs(),
+        }
+    }
+}
+
+fn default_cutoffs() -> [f64; K] {
+    // id_exact, id_sim, digit_match, title_jaccard, title_me, value_overlap
+    [0.5, 0.85, 0.5, 0.5, 0.8, 0.5]
+}
+
+impl FellegiSunter {
+    /// Fit m/u/prior by EM over the candidate pairs (binary agreement
+    /// patterns). `iterations` of 20 is plenty; the likelihood surface for
+    /// binary naive Bayes converges fast.
+    pub fn fit(ds: &Dataset, pairs: &[crate::Pair], iterations: usize) -> Self {
+        let mut model = Self::default();
+        if pairs.is_empty() {
+            return model;
+        }
+        let by_id: std::collections::HashMap<bdi_types::RecordId, &Record> =
+            ds.records().iter().map(|r| (r.id, r)).collect();
+        let patterns: Vec<[bool; K]> = pairs
+            .iter()
+            .filter_map(|p| {
+                let a = by_id.get(&p.lo)?;
+                let b = by_id.get(&p.hi)?;
+                Some(model.agreement(&pair_features(a, b)))
+            })
+            .collect();
+        if patterns.is_empty() {
+            return model;
+        }
+        for _ in 0..iterations {
+            // E step: posterior match probability per pattern
+            let mut m_acc = [0.0f64; K];
+            let mut u_acc = [0.0f64; K];
+            let mut g_sum = 0.0f64;
+            for pat in &patterns {
+                let g = model.posterior_pattern(pat);
+                g_sum += g;
+                for k in 0..K {
+                    if pat[k] {
+                        m_acc[k] += g;
+                        u_acc[k] += 1.0 - g;
+                    }
+                }
+            }
+            let n = patterns.len() as f64;
+            // M step
+            let total_nonmatch = (n - g_sum).max(EPS);
+            let total_match = g_sum.max(EPS);
+            for k in 0..K {
+                model.m[k] = (m_acc[k] / total_match).clamp(EPS, 1.0 - EPS);
+                model.u[k] = (u_acc[k] / total_nonmatch).clamp(EPS, 1.0 - EPS);
+            }
+            model.prior = (g_sum / n).clamp(EPS, 1.0 - EPS);
+        }
+        model
+    }
+
+    /// Binary agreement pattern of a feature vector.
+    pub fn agreement(&self, f: &PairFeatures) -> [bool; K] {
+        let arr = f.as_array();
+        let mut out = [false; K];
+        for k in 0..K {
+            out[k] = arr[k] >= self.cutoffs[k];
+        }
+        out
+    }
+
+    /// Posterior P(match | agreement pattern) under naive Bayes.
+    pub fn posterior_pattern(&self, pat: &[bool; K]) -> f64 {
+        let mut log_m = self.prior.ln();
+        let mut log_u = (1.0 - self.prior).ln();
+        for (k, &agree) in pat.iter().enumerate() {
+            if agree {
+                log_m += self.m[k].ln();
+                log_u += self.u[k].ln();
+            } else {
+                log_m += (1.0 - self.m[k]).ln();
+                log_u += (1.0 - self.u[k]).ln();
+            }
+        }
+        let max = log_m.max(log_u);
+        let em = (log_m - max).exp();
+        let eu = (log_u - max).exp();
+        em / (em + eu)
+    }
+
+    /// The Fellegi-Sunter log₂ match weight of a pattern (agreement sums
+    /// of log(m/u)); exposed for threshold-style analysis.
+    pub fn match_weight(&self, pat: &[bool; K]) -> f64 {
+        let mut w = 0.0;
+        for (k, &agree) in pat.iter().enumerate() {
+            w += if agree {
+                (self.m[k] / self.u[k]).log2()
+            } else {
+                ((1.0 - self.m[k]) / (1.0 - self.u[k])).log2()
+            };
+        }
+        w
+    }
+}
+
+impl Matcher for FellegiSunter {
+    fn score(&self, a: &Record, b: &Record) -> f64 {
+        let pat = self.agreement(&pair_features(a, b));
+        self.posterior_pattern(&pat)
+    }
+
+    fn name(&self) -> &'static str {
+        "fellegi-sunter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, Source, SourceId, SourceKind};
+
+    fn rec(s: u32, q: u32, title: &str, id: Option<&str>) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+        if let Some(i) = id {
+            r.identifiers.push(i.into());
+        }
+        r
+    }
+
+    fn ds_with_matches() -> (Dataset, Vec<crate::Pair>) {
+        let mut ds = Dataset::new();
+        for s in 0..2u32 {
+            ds.add_source(Source::new(SourceId(s), format!("s{s}"), SourceKind::Tail));
+        }
+        // 5 true matches + 5 clear non-matches as candidates
+        for i in 0..5u32 {
+            ds.add_record(rec(0, i, &format!("Lumetra LX-{i} camera"), Some(&format!("CAM-LUM-{i:05}")))).unwrap();
+            ds.add_record(rec(1, i, &format!("Lumetra LX-{i}"), Some(&format!("camlum{i:05}")))).unwrap();
+        }
+        let mut pairs = Vec::new();
+        for i in 0..5u32 {
+            pairs.push(crate::Pair::new(
+                RecordId::new(SourceId(0), i),
+                RecordId::new(SourceId(1), i),
+            ));
+            // non-match candidates: offset pairing
+            pairs.push(crate::Pair::new(
+                RecordId::new(SourceId(0), i),
+                RecordId::new(SourceId(1), (i + 2) % 5),
+            ));
+        }
+        (ds, pairs)
+    }
+
+    #[test]
+    fn default_model_separates() {
+        let fs = FellegiSunter::default();
+        let a = rec(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100"));
+        let b = rec(1, 0, "Lumetra LX-100", Some("camlum00100"));
+        let c = rec(1, 1, "Visionex V-900 monitor", Some("MON-VIS-00900"));
+        assert!(fs.score(&a, &b) > 0.9);
+        assert!(fs.score(&a, &c) < 0.1);
+    }
+
+    #[test]
+    fn em_fit_improves_separation() {
+        let (ds, pairs) = ds_with_matches();
+        let fitted = FellegiSunter::fit(&ds, &pairs, 25);
+        let recs = ds.records();
+        let (a, b) = (&recs[0], &recs[1]); // true match (s0#0, s1#0)
+        let c = recs.iter().find(|r| r.id == RecordId::new(SourceId(1), 2)).unwrap();
+        assert!(fitted.score(a, b) > 0.5, "fitted match score {}", fitted.score(a, b));
+        assert!(fitted.score(a, c) < 0.5, "fitted non-match score {}", fitted.score(a, c));
+        // m-probabilities should dominate u for identifier features
+        assert!(fitted.m[0] > fitted.u[0]);
+    }
+
+    #[test]
+    fn fit_on_empty_is_default() {
+        let ds = Dataset::new();
+        let fs = FellegiSunter::fit(&ds, &[], 10);
+        assert_eq!(fs.prior, FellegiSunter::default().prior);
+    }
+
+    #[test]
+    fn posterior_bounds() {
+        let fs = FellegiSunter::default();
+        for bits in 0..(1u32 << 6) {
+            let mut pat = [false; 6];
+            for (k, p) in pat.iter_mut().enumerate() {
+                *p = bits & (1 << k) != 0;
+            }
+            let post = fs.posterior_pattern(&pat);
+            assert!((0.0..=1.0).contains(&post));
+        }
+    }
+
+    #[test]
+    fn match_weight_monotone_in_agreement() {
+        let fs = FellegiSunter::default();
+        let none = fs.match_weight(&[false; 6]);
+        let all = fs.match_weight(&[true; 6]);
+        assert!(all > none);
+    }
+}

@@ -1,0 +1,48 @@
+//! Pairwise match scoring.
+//!
+//! A matcher maps a candidate record pair to a score in `[0, 1]`; pairs
+//! scoring above a threshold are declared matches and handed to
+//! [`crate::cluster`]. Three families, in increasing sophistication:
+//! [`rule::IdentifierRule`] (the product-domain exact-identifier
+//! opportunity), [`weighted::WeightedMatcher`] (linear multi-field
+//! similarity), and [`fellegi_sunter::FellegiSunter`] (probabilistic,
+//! EM-fitted).
+
+pub mod features;
+pub mod fellegi_sunter;
+pub mod rule;
+pub mod weighted;
+
+pub use features::{pair_features, PairFeatures};
+pub use fellegi_sunter::FellegiSunter;
+pub use rule::IdentifierRule;
+pub use weighted::WeightedMatcher;
+
+use bdi_types::Record;
+
+/// A pairwise record match scorer.
+pub trait Matcher: Sync {
+    /// Similarity of two records in `[0, 1]`.
+    fn score(&self, a: &Record, b: &Record) -> f64;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Score every candidate pair and keep those at or above `threshold`.
+pub fn match_pairs<M: Matcher + ?Sized>(
+    ds: &bdi_types::Dataset,
+    pairs: &[crate::Pair],
+    matcher: &M,
+    threshold: f64,
+) -> Vec<(crate::Pair, f64)> {
+    let by_id: std::collections::HashMap<bdi_types::RecordId, &Record> =
+        ds.records().iter().map(|r| (r.id, r)).collect();
+    pairs
+        .iter()
+        .filter_map(|p| {
+            let (a, b) = (by_id.get(&p.lo)?, by_id.get(&p.hi)?);
+            let s = matcher.score(a, b);
+            (s >= threshold).then_some((*p, s))
+        })
+        .collect()
+}

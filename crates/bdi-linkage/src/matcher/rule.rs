@@ -1,0 +1,91 @@
+//! Rule-based identifier matcher.
+
+use super::{pair_features, Matcher};
+use bdi_types::Record;
+
+/// The product-domain workhorse: two records match when they share a
+/// product identifier (exactly after normalization, or via the digit-run
+/// core with corroborating title overlap); otherwise fall back to title
+/// similarity alone.
+///
+/// Deliberately simple — this is the baseline the learned matchers are
+/// compared against in experiment E10, and the identifier half is the
+/// high-precision signal that lets linkage run before schema alignment.
+#[derive(Clone, Copy, Debug)]
+pub struct IdentifierRule {
+    /// Minimum title-token Jaccard required to accept a digit-run-only
+    /// identifier match (guards against related-product id leakage).
+    pub corroboration: f64,
+}
+
+impl Default for IdentifierRule {
+    fn default() -> Self {
+        Self { corroboration: 0.25 }
+    }
+}
+
+impl Matcher for IdentifierRule {
+    fn score(&self, a: &Record, b: &Record) -> f64 {
+        let f = pair_features(a, b);
+        // corroboration uses token Jaccard, not Monge-Elkan: ME is too
+        // generous across unrelated titles sharing stop-ish tokens, and a
+        // record whose "primary" identifier is really a leaked related-
+        // product id must not pass on the identifier alone
+        if f.id_exact == 1.0 && f.title_jaccard >= self.corroboration {
+            return 1.0;
+        }
+        if f.digit_match == 1.0 && f.title_jaccard >= self.corroboration {
+            return 0.95;
+        }
+        // no identifier evidence: titles only, discounted
+        0.8 * f.title_me.min(1.0) * f.title_jaccard.max(0.3)
+    }
+
+    fn name(&self) -> &'static str {
+        "identifier-rule"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId};
+
+    fn rec(s: u32, title: &str, ids: &[&str]) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), 0), title);
+        r.identifiers = ids.iter().map(|s| s.to_string()).collect();
+        r
+    }
+
+    #[test]
+    fn exact_id_match_scores_one() {
+        let a = rec(0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]);
+        let b = rec(1, "camera LX-100 by Lumetra", &["camlum00100"]);
+        assert_eq!(IdentifierRule::default().score(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn related_id_leak_rejected_without_title_support() {
+        // b's page leaks a's identifier (related product) but is a
+        // completely different product
+        let a = rec(0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]);
+        let b = rec(1, "Bassheim B-77 headphone", &["HPH-BAS-00077", "CAM-LUM-00100"]);
+        let s = IdentifierRule::default().score(&a, &b);
+        assert!(s < 0.5, "leaked id must not force a match, got {s}");
+    }
+
+    #[test]
+    fn different_products_score_low() {
+        let a = rec(0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]);
+        let b = rec(1, "Visionex V-900 monitor", &["MON-VIS-00900"]);
+        assert!(IdentifierRule::default().score(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn same_product_without_ids_still_scores() {
+        let a = rec(0, "Fotonix F-200 camera", &[]);
+        let b = rec(1, "Fotonix F-200", &[]);
+        let s = IdentifierRule::default().score(&a, &b);
+        assert!(s > 0.4, "got {s}");
+    }
+}

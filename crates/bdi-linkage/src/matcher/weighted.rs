@@ -1,0 +1,94 @@
+//! Linear weighted multi-feature matcher.
+
+use super::{pair_features, Matcher, PairFeatures};
+use bdi_types::Record;
+
+/// Weighted sum of the [`PairFeatures`] vector, normalized by total
+/// weight so the score stays in `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedMatcher {
+    /// Per-feature weights, index-aligned with [`PairFeatures::as_array`].
+    pub weights: [f64; 6],
+}
+
+impl Default for WeightedMatcher {
+    /// Hand-tuned defaults: identifier evidence dominates, then titles,
+    /// then value overlap.
+    fn default() -> Self {
+        Self { weights: [3.0, 1.0, 2.0, 1.5, 1.5, 1.0] }
+    }
+}
+
+impl WeightedMatcher {
+    /// Create from explicit weights (all must be ≥ 0, not all zero).
+    pub fn new(weights: [f64; 6]) -> Self {
+        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be nonnegative");
+        assert!(weights.iter().sum::<f64>() > 0.0, "at least one weight must be positive");
+        Self { weights }
+    }
+
+    /// Score a precomputed feature vector.
+    pub fn score_features(&self, f: &PairFeatures) -> f64 {
+        let arr = f.as_array();
+        let total: f64 = self.weights.iter().sum();
+        let dot: f64 = arr.iter().zip(&self.weights).map(|(x, w)| x * w).sum();
+        dot / total
+    }
+}
+
+impl Matcher for WeightedMatcher {
+    fn score(&self, a: &Record, b: &Record) -> f64 {
+        self.score_features(&pair_features(a, b))
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId};
+    use proptest::prelude::*;
+
+    fn rec(s: u32, title: &str, id: Option<&str>) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), 0), title);
+        if let Some(i) = id {
+            r.identifiers.push(i.into());
+        }
+        r
+    }
+
+    #[test]
+    fn same_product_beats_different() {
+        let m = WeightedMatcher::default();
+        let a = rec(0, "Lumetra LX-100 camera", Some("CAM-LUM-00100"));
+        let same = rec(1, "camera LX-100 by Lumetra", Some("camlum00100"));
+        let diff = rec(2, "Visionex V-900 monitor", Some("MON-VIS-00900"));
+        assert!(m.score(&a, &same) > m.score(&a, &diff) + 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn zero_weights_rejected() {
+        WeightedMatcher::new([0.0; 6]);
+    }
+
+    proptest! {
+        #[test]
+        fn score_in_unit_range(
+            w in proptest::array::uniform6(0.0f64..5.0),
+            f in proptest::array::uniform6(0.0f64..=1.0),
+        ) {
+            prop_assume!(w.iter().sum::<f64>() > 0.0);
+            let m = WeightedMatcher::new(w);
+            let feats = PairFeatures {
+                id_exact: f[0], id_sim: f[1], digit_match: f[2],
+                title_jaccard: f[3], title_me: f[4], value_overlap: f[5],
+            };
+            let s = m.score_features(&feats);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        }
+    }
+}

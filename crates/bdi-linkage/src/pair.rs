@@ -1,0 +1,109 @@
+//! Candidate record pairs.
+
+use bdi_types::RecordId;
+
+/// An unordered pair of record ids, stored normalized (`lo <= hi`) so the
+/// same pair never appears twice under different orderings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pair {
+    /// The smaller id.
+    pub lo: RecordId,
+    /// The larger id.
+    pub hi: RecordId,
+}
+
+impl Pair {
+    /// Build a normalized pair. Panics if `a == b` (a record is not a
+    /// candidate match of itself).
+    pub fn new(a: RecordId, b: RecordId) -> Self {
+        assert!(a != b, "self-pair {a}");
+        if a < b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// Both members.
+    pub fn members(self) -> (RecordId, RecordId) {
+        (self.lo, self.hi)
+    }
+
+    /// True when the two records come from the same source. Linkage
+    /// normally skips these: a source publishes each product once.
+    pub fn same_source(self) -> bool {
+        self.lo.source == self.hi.source
+    }
+}
+
+/// Deduplicate a candidate list in place (sort + dedup).
+pub fn dedup_pairs(pairs: &mut Vec<Pair>) {
+    pairs.sort_unstable();
+    pairs.dedup();
+}
+
+/// Number of distinct cross-source pairs among `n` records — the
+/// all-pairs comparison budget blocking is measured against.
+pub fn all_pairs_count(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+/// Number of distinct *cross-source* pairs in a dataset: `C(n,2)` minus
+/// the within-source pairs, which linkage never compares.
+pub fn cross_source_pair_count(ds: &bdi_types::Dataset) -> u64 {
+    let total = all_pairs_count(ds.len());
+    let within: u64 = ds
+        .sources()
+        .map(|s| all_pairs_count(ds.records_of(s.id).count()))
+        .sum();
+    total - within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::SourceId;
+
+    fn rid(s: u32, q: u32) -> RecordId {
+        RecordId::new(SourceId(s), q)
+    }
+
+    #[test]
+    fn pair_normalizes_order() {
+        let a = rid(2, 0);
+        let b = rid(1, 5);
+        assert_eq!(Pair::new(a, b), Pair::new(b, a));
+        assert_eq!(Pair::new(a, b).lo, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pair")]
+    fn self_pair_rejected() {
+        Pair::new(rid(1, 1), rid(1, 1));
+    }
+
+    #[test]
+    fn same_source_detection() {
+        assert!(Pair::new(rid(1, 0), rid(1, 1)).same_source());
+        assert!(!Pair::new(rid(1, 0), rid(2, 0)).same_source());
+    }
+
+    #[test]
+    fn dedup_removes_reorderings() {
+        let mut v = vec![
+            Pair::new(rid(1, 0), rid(2, 0)),
+            Pair::new(rid(2, 0), rid(1, 0)),
+            Pair::new(rid(1, 0), rid(3, 0)),
+        ];
+        dedup_pairs(&mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn all_pairs_formula() {
+        assert_eq!(all_pairs_count(0), 0);
+        assert_eq!(all_pairs_count(1), 0);
+        assert_eq!(all_pairs_count(10), 45);
+    }
+}

@@ -1,0 +1,355 @@
+//! Correspondence generation and attribute clustering.
+//!
+//! Comparing all attribute pairs is quadratic in tens of thousands of
+//! attribute names, so candidates are pruned first (shared name token or
+//! shared sampled value), then scored with a pluggable matcher, and the
+//! accepted correspondences clustered with union-find into *attribute
+//! clusters* — the inferred global attributes.
+
+use crate::matcher::AttrMatcher;
+use crate::profile::{AttrProfile, ProfileSet};
+use bdi_types::AttrRef;
+use std::collections::{BTreeMap, HashMap};
+
+/// One scored attribute correspondence (cross-source, `a < b`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Correspondence {
+    /// First attribute.
+    pub a: AttrRef,
+    /// Second attribute.
+    pub b: AttrRef,
+    /// Matcher score.
+    pub score: f64,
+}
+
+/// Generate candidate pairs: cross-source attribute pairs sharing at
+/// least one name token or one sampled value.
+pub fn candidate_pairs(profiles: &ProfileSet) -> Vec<(AttrRef, AttrRef)> {
+    let mut by_token: HashMap<&str, Vec<&AttrProfile>> = HashMap::new();
+    let mut by_value: HashMap<&str, Vec<&AttrProfile>> = HashMap::new();
+    for p in profiles.iter() {
+        for t in &p.name_tokens {
+            by_token.entry(t.as_str()).or_default().push(p);
+        }
+        for v in p.values.iter().take(50) {
+            by_value.entry(v.as_str()).or_default().push(p);
+        }
+    }
+    let mut pairs: Vec<(AttrRef, AttrRef)> = Vec::new();
+    let push_bucket = |bucket: &[&AttrProfile], pairs: &mut Vec<(AttrRef, AttrRef)>| {
+        if bucket.len() > 100 {
+            return; // stop-token/value guard
+        }
+        for i in 0..bucket.len() {
+            for j in (i + 1)..bucket.len() {
+                let (a, b) = (&bucket[i].attr, &bucket[j].attr);
+                if a.source == b.source {
+                    continue;
+                }
+                let key = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+                pairs.push(key);
+            }
+        }
+    };
+    for bucket in by_token.values() {
+        push_bucket(bucket, &mut pairs);
+    }
+    for bucket in by_value.values() {
+        push_bucket(bucket, &mut pairs);
+    }
+    pairs.sort();
+    pairs.dedup();
+    pairs.into_iter().collect()
+}
+
+/// Score candidates with a matcher, keep those at or above `threshold`.
+pub fn score_correspondences<M: AttrMatcher + ?Sized>(
+    profiles: &ProfileSet,
+    candidates: &[(AttrRef, AttrRef)],
+    matcher: &M,
+    threshold: f64,
+) -> Vec<Correspondence> {
+    candidates
+        .iter()
+        .filter_map(|(a, b)| {
+            let (pa, pb) = (profiles.get(a)?, profiles.get(b)?);
+            let score = matcher.score(pa, pb);
+            (score >= threshold).then(|| Correspondence { a: a.clone(), b: b.clone(), score })
+        })
+        .collect()
+}
+
+/// Attribute clusters: the inferred global attributes.
+#[derive(Clone, Debug, Default)]
+pub struct AttrClusters {
+    clusters: Vec<Vec<AttrRef>>,
+    assignment: BTreeMap<AttrRef, usize>,
+}
+
+impl AttrClusters {
+    /// Like [`AttrClusters::build`], but enforces the **one-attribute-
+    /// per-source constraint**: a source publishes each global attribute
+    /// under exactly one name, so no cluster may contain two attributes
+    /// of the same source. Correspondences are applied in descending
+    /// score order; a union that would violate the constraint is skipped
+    /// (the weaker evidence loses).
+    pub fn build_constrained(
+        correspondences: &[Correspondence],
+        profiles: &ProfileSet,
+    ) -> Self {
+        let mut ordered: Vec<&Correspondence> = correspondences.iter().collect();
+        ordered.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&a.a, &a.b).cmp(&(&b.a, &b.b)))
+        });
+        let mut ids: Vec<AttrRef> = profiles.iter().map(|p| p.attr.clone()).collect();
+        let mut index: BTreeMap<AttrRef, usize> =
+            ids.iter().enumerate().map(|(i, a)| (a.clone(), i)).collect();
+        for c in &ordered {
+            for a in [&c.a, &c.b] {
+                if !index.contains_key(a) {
+                    index.insert(a.clone(), ids.len());
+                    ids.push(a.clone());
+                }
+            }
+        }
+        let mut uf = bdi_linkage::cluster::UnionFind::new(ids.len());
+        // per-component source sets, indexed by current root
+        let mut sources: Vec<std::collections::BTreeSet<bdi_types::SourceId>> = ids
+            .iter()
+            .map(|a| std::iter::once(a.source).collect())
+            .collect();
+        for c in ordered {
+            let (ia, ib) = (index[&c.a], index[&c.b]);
+            let (ra, rb) = (uf.find(ia), uf.find(ib));
+            if ra == rb {
+                continue;
+            }
+            if sources[ra].intersection(&sources[rb]).next().is_some() {
+                continue; // would put two same-source attrs together
+            }
+            uf.union(ra, rb);
+            let new_root = uf.find(ra);
+            let absorbed = if new_root == ra { rb } else { ra };
+            let kept = new_root;
+            let moved = std::mem::take(&mut sources[absorbed]);
+            sources[kept].extend(moved);
+        }
+        let clusters: Vec<Vec<AttrRef>> = uf
+            .groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(|i| ids[i].clone()).collect())
+            .collect();
+        let mut assignment = BTreeMap::new();
+        for (ci, cluster) in clusters.iter().enumerate() {
+            for a in cluster {
+                assignment.insert(a.clone(), ci);
+            }
+        }
+        Self { clusters, assignment }
+    }
+
+    /// Union-find over accepted correspondences; every profiled attribute
+    /// not mentioned becomes a singleton.
+    pub fn build(correspondences: &[Correspondence], profiles: &ProfileSet) -> Self {
+        let mut ids: Vec<AttrRef> = profiles.iter().map(|p| p.attr.clone()).collect();
+        let mut index: BTreeMap<AttrRef, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
+        for c in correspondences {
+            for a in [&c.a, &c.b] {
+                if !index.contains_key(a) {
+                    index.insert(a.clone(), ids.len());
+                    ids.push(a.clone());
+                }
+            }
+        }
+        let mut uf = bdi_linkage::cluster::UnionFind::new(ids.len());
+        for c in correspondences {
+            uf.union(index[&c.a], index[&c.b]);
+        }
+        let clusters: Vec<Vec<AttrRef>> = uf
+            .groups()
+            .into_iter()
+            .map(|g| g.into_iter().map(|i| ids[i].clone()).collect())
+            .collect();
+        let mut assignment = BTreeMap::new();
+        for (ci, cluster) in clusters.iter().enumerate() {
+            for a in cluster {
+                assignment.insert(a.clone(), ci);
+            }
+        }
+        Self { clusters, assignment }
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[Vec<AttrRef>] {
+        &self.clusters
+    }
+
+    /// Cluster of one attribute.
+    pub fn cluster_of(&self, a: &AttrRef) -> Option<usize> {
+        self.assignment.get(a).copied()
+    }
+
+    /// Are two attributes aligned?
+    pub fn aligned(&self, a: &AttrRef, b: &AttrRef) -> bool {
+        matches!((self.cluster_of(a), self.cluster_of(b)), (Some(x), Some(y)) if x == y)
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Human-readable label for a cluster: its most common attribute name.
+    pub fn label(&self, cluster: usize) -> String {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for a in &self.clusters[cluster] {
+            *counts.entry(a.name.as_str()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::HybridMatcher;
+    use bdi_types::{Dataset, Record, RecordId, Source, SourceId, SourceKind, Unit, Value};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for s in 0..3u32 {
+            ds.add_source(Source::new(SourceId(s), format!("s{s}"), SourceKind::Tail));
+        }
+        for i in 0..8u32 {
+            let g = 900.0 + i as f64 * 20.0;
+            ds.add_record(
+                Record::new(RecordId::new(SourceId(0), i), "t")
+                    .with_attr("weight", Value::quantity(g, Unit::Gram))
+                    .with_attr("color", Value::str(["black", "white"][i as usize % 2])),
+            )
+            .unwrap();
+            ds.add_record(
+                Record::new(RecordId::new(SourceId(1), i), "t")
+                    .with_attr("item weight", Value::quantity(g / 1000.0, Unit::Kilogram))
+                    .with_attr("colour", Value::str(["black", "white"][i as usize % 2])),
+            )
+            .unwrap();
+            ds.add_record(
+                Record::new(RecordId::new(SourceId(2), i), "t")
+                    .with_attr("wt", Value::quantity(g, Unit::Gram))
+                    .with_attr("iso", Value::num(1600.0 * (1 + i as i32 % 4) as f64)),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn candidates_pruned_to_plausible_pairs() {
+        let ps = ProfileSet::build(&dataset());
+        let cands = candidate_pairs(&ps);
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            assert_ne!(a.source, b.source);
+        }
+        // weight & "item weight" share the token; weight & wt share values
+        let has = |x: (&u32, &str), y: (&u32, &str)| {
+            let a = AttrRef::new(SourceId(*x.0), x.1);
+            let b = AttrRef::new(SourceId(*y.0), y.1);
+            let key = if a <= b { (a, b) } else { (b, a) };
+            cands.contains(&key)
+        };
+        assert!(has((&0, "weight"), (&1, "item weight")));
+        assert!(has((&0, "weight"), (&2, "wt")));
+    }
+
+    #[test]
+    fn clusters_group_true_synonyms() {
+        let ps = ProfileSet::build(&dataset());
+        let cands = candidate_pairs(&ps);
+        let corrs = score_correspondences(&ps, &cands, &HybridMatcher::default(), 0.5);
+        let clusters = AttrClusters::build(&corrs, &ps);
+        let w0 = AttrRef::new(SourceId(0), "weight");
+        let w1 = AttrRef::new(SourceId(1), "item weight");
+        let w2 = AttrRef::new(SourceId(2), "wt");
+        assert!(clusters.aligned(&w0, &w1), "weight ~ item weight");
+        assert!(clusters.aligned(&w0, &w2), "weight ~ wt (instance-based)");
+        let iso = AttrRef::new(SourceId(2), "iso");
+        assert!(!clusters.aligned(&w0, &iso), "weight !~ iso");
+    }
+
+    #[test]
+    fn singletons_preserved() {
+        let ps = ProfileSet::build(&dataset());
+        let clusters = AttrClusters::build(&[], &ps);
+        assert_eq!(clusters.len(), ps.len());
+    }
+
+    #[test]
+    fn constrained_build_never_merges_same_source_attrs() {
+        let ps = ProfileSet::build(&dataset());
+        // adversarial correspondences chaining two source-0 attributes
+        // through a source-1 attribute
+        let mk = |s1: u32, n1: &str, s2: u32, n2: &str, score: f64| {
+            let a = AttrRef::new(SourceId(s1), n1);
+            let b = AttrRef::new(SourceId(s2), n2);
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            Correspondence { a, b, score }
+        };
+        let corrs = vec![
+            mk(0, "weight", 1, "item weight", 0.9),
+            mk(0, "color", 1, "item weight", 0.6), // wrong, weaker
+        ];
+        let unconstrained = AttrClusters::build(&corrs, &ps);
+        let constrained = AttrClusters::build_constrained(&corrs, &ps);
+        // unconstrained transitively puts weight and color (both source 0)
+        // together; constrained must not
+        assert!(unconstrained.aligned(
+            &AttrRef::new(SourceId(0), "weight"),
+            &AttrRef::new(SourceId(0), "color")
+        ));
+        assert!(!constrained.aligned(
+            &AttrRef::new(SourceId(0), "weight"),
+            &AttrRef::new(SourceId(0), "color")
+        ));
+        // and the strong (correct) edge survives
+        assert!(constrained.aligned(
+            &AttrRef::new(SourceId(0), "weight"),
+            &AttrRef::new(SourceId(1), "item weight")
+        ));
+        // invariant: no cluster holds two attrs of one source
+        for cluster in constrained.clusters() {
+            let mut seen = std::collections::BTreeSet::new();
+            for a in cluster {
+                assert!(seen.insert(a.source), "cluster violates 1-per-source: {cluster:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_label_majority_name() {
+        let ps = ProfileSet::build(&dataset());
+        let cands = candidate_pairs(&ps);
+        let corrs = score_correspondences(&ps, &cands, &HybridMatcher::default(), 0.5);
+        let clusters = AttrClusters::build(&corrs, &ps);
+        let ci = clusters.cluster_of(&AttrRef::new(SourceId(0), "color")).unwrap();
+        let label = clusters.label(ci);
+        assert!(label == "color" || label == "colour");
+    }
+}

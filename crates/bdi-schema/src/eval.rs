@@ -1,0 +1,175 @@
+//! Schema alignment evaluation against the oracle.
+
+use crate::correspondence::{AttrClusters, Correspondence};
+use bdi_types::{AttrRef, GroundTruth};
+
+/// Precision / recall / F1 triple (schema flavor).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SchemaQuality {
+    /// Precision over attribute pairs.
+    pub precision: f64,
+    /// Recall over attribute pairs.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+}
+
+fn prf(tp: usize, fp: usize, fn_: usize) -> SchemaQuality {
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    SchemaQuality { precision, recall, f1 }
+}
+
+/// Do two source-local attributes truly denote the same canonical
+/// attribute?
+pub fn truly_correspond(truth: &GroundTruth, a: &AttrRef, b: &AttrRef) -> Option<bool> {
+    let ca = truth.canonical_attr(a.source, &a.name)?;
+    let cb = truth.canonical_attr(b.source, &b.name)?;
+    Some(ca == cb)
+}
+
+/// Correspondence-list quality: precision over emitted pairs, recall over
+/// all true cross-source pairs among the attributes known to the oracle.
+pub fn correspondence_quality(
+    correspondences: &[Correspondence],
+    truth: &GroundTruth,
+) -> SchemaQuality {
+    let mut tp = 0;
+    let mut fp = 0;
+    for c in correspondences {
+        match truly_correspond(truth, &c.a, &c.b) {
+            Some(true) => tp += 1,
+            Some(false) => fp += 1,
+            None => {} // attribute unknown to oracle: not scored
+        }
+    }
+    let total_true = true_pair_count(truth);
+    let fn_ = total_true.saturating_sub(tp);
+    prf(tp, fp, fn_)
+}
+
+/// Cluster quality: pairwise P/R over the clustering's aligned pairs.
+pub fn cluster_quality(clusters: &AttrClusters, truth: &GroundTruth) -> SchemaQuality {
+    let mut tp = 0;
+    let mut fp = 0;
+    for cluster in clusters.clusters() {
+        for i in 0..cluster.len() {
+            for j in (i + 1)..cluster.len() {
+                if cluster[i].source == cluster[j].source {
+                    continue;
+                }
+                match truly_correspond(truth, &cluster[i], &cluster[j]) {
+                    Some(true) => tp += 1,
+                    Some(false) => fp += 1,
+                    None => {}
+                }
+            }
+        }
+    }
+    let total_true = true_pair_count(truth);
+    let fn_ = total_true.saturating_sub(tp);
+    prf(tp, fp, fn_)
+}
+
+/// Number of true cross-source attribute pairs in the oracle.
+fn true_pair_count(truth: &GroundTruth) -> usize {
+    use std::collections::BTreeMap;
+    // canonical -> sources count... need pairs of (source, attr) entries
+    // with same canonical and different source
+    let mut by_canon: BTreeMap<&str, Vec<&(bdi_types::SourceId, String)>> = BTreeMap::new();
+    for (key, canon) in &truth.attr_canonical {
+        by_canon.entry(canon.as_str()).or_default().push(key);
+    }
+    let mut total = 0;
+    for group in by_canon.values() {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                if group[i].0 != group[j].0 {
+                    total += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::SourceId;
+
+    fn truth() -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        for (s, local, canon) in [
+            (0u32, "weight", "weight"),
+            (1, "wt", "weight"),
+            (2, "item weight", "weight"),
+            (0, "color", "color"),
+            (1, "colour", "color"),
+        ] {
+            gt.attr_canonical
+                .insert((SourceId(s), local.to_string()), canon.to_string());
+        }
+        gt
+    }
+
+    fn corr(s1: u32, n1: &str, s2: u32, n2: &str) -> Correspondence {
+        Correspondence {
+            a: AttrRef::new(SourceId(s1), n1),
+            b: AttrRef::new(SourceId(s2), n2),
+            score: 0.9,
+        }
+    }
+
+    #[test]
+    fn perfect_correspondences() {
+        let gt = truth();
+        // all 4 true cross-source pairs: weight(0-1,0-2,1-2), color(0-1)
+        let corrs = vec![
+            corr(0, "weight", 1, "wt"),
+            corr(0, "weight", 2, "item weight"),
+            corr(1, "wt", 2, "item weight"),
+            corr(0, "color", 1, "colour"),
+        ];
+        let q = correspondence_quality(&corrs, &gt);
+        assert_eq!(q, SchemaQuality { precision: 1.0, recall: 1.0, f1: 1.0 });
+    }
+
+    #[test]
+    fn wrong_pair_hurts_precision() {
+        let gt = truth();
+        let corrs = vec![corr(0, "weight", 1, "colour")];
+        let q = correspondence_quality(&corrs, &gt);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+    }
+
+    #[test]
+    fn cluster_quality_counts_cross_source_pairs() {
+        let gt = truth();
+        let clusters = AttrClusters::build(
+            &[
+                corr(0, "weight", 1, "wt"),
+                corr(1, "wt", 2, "item weight"),
+            ],
+            &crate::profile::ProfileSet::default(),
+        );
+        let q = cluster_quality(&clusters, &gt);
+        // transitive closure gives all 3 weight pairs; color pair missed
+        assert_eq!(q.precision, 1.0);
+        assert!((q.recall - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_attrs_ignored() {
+        let gt = truth();
+        let corrs = vec![corr(5, "mystery", 6, "enigma")];
+        let q = correspondence_quality(&corrs, &gt);
+        assert_eq!(q.precision, 0.0); // no tp, no fp -> precision 0 by convention
+    }
+}

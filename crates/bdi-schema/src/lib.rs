@@ -1,0 +1,39 @@
+//! # bdi-schema — schema alignment without a global schema
+//!
+//! At web scale nobody hands you a mediated schema: tens of thousands of
+//! attribute names, most used by a handful of sources. This crate infers
+//! attribute correspondences bottom-up and keeps the uncertainty around,
+//! dataspace-style:
+//!
+//! * [`profile`] — per-attribute statistics (type histogram, value
+//!   samples, numeric distribution) computed source by source.
+//! * [`matcher`] — pairwise attribute matchers: name-based,
+//!   instance-based, and the hybrid of both.
+//! * [`linkage_based`] — the BDI ordering payoff: once records are
+//!   *linked*, two attributes that keep agreeing on linked records are
+//!   the same attribute, whatever they're called.
+//! * [`correspondence`] — scalable correspondence generation (candidate
+//!   pruning + scoring + thresholding) and attribute clustering.
+//! * [`mediated`] — probabilistic mediated schema: several plausible
+//!   attribute clusterings, each with a probability.
+//! * [`mapping`] — probabilistic mappings and by-table query answering
+//!   over them.
+//! * [`transform`] — value transformations between matched attributes:
+//!   unit conversion factors and composite-field (dimensions) splits.
+//! * [`eval`] — correspondence precision/recall against the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correspondence;
+pub mod eval;
+pub mod linkage_based;
+pub mod mapping;
+pub mod matcher;
+pub mod mediated;
+pub mod profile;
+pub mod transform;
+
+pub use correspondence::{AttrClusters, Correspondence};
+pub use mediated::MediatedSchema;
+pub use profile::{AttrProfile, ProfileSet};

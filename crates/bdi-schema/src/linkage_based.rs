@@ -1,0 +1,183 @@
+//! Linkage-powered schema alignment — the BDI ordering payoff.
+//!
+//! Once records are linked into entity clusters, two attributes (from
+//! different sources) that repeatedly publish *equivalent values on
+//! records of the same entity* are the same attribute. No name analysis
+//! needed, and abbreviations/foreign names fall out for free. This is the
+//! concrete realization of "perform data linkage before schema alignment"
+//! argued by the tutorial and the product-domain agenda.
+
+use bdi_linkage::Clustering;
+use bdi_types::{AttrRef, Dataset, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Co-occurrence evidence for one attribute pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CoOccurrence {
+    /// Linked record pairs where both attributes had a value.
+    pub together: usize,
+    /// Of those, pairs where the values were equivalent.
+    pub agree: usize,
+}
+
+impl CoOccurrence {
+    /// Agreement rate with additive smoothing (1 virtual disagreement),
+    /// so a single lucky agreement doesn't score 1.0.
+    pub fn score(&self) -> f64 {
+        if self.together == 0 {
+            0.0
+        } else {
+            self.agree as f64 / (self.together + 1) as f64
+        }
+    }
+}
+
+/// For every cross-source attribute pair co-occurring on linked records,
+/// count value agreements. Returns pairs with `together >= min_support`.
+pub fn linkage_correspondences(
+    ds: &Dataset,
+    clustering: &Clustering,
+    min_support: usize,
+) -> BTreeMap<(AttrRef, AttrRef), CoOccurrence> {
+    let by_id: HashMap<bdi_types::RecordId, &bdi_types::Record> =
+        ds.records().iter().map(|r| (r.id, r)).collect();
+    let mut evidence: BTreeMap<(AttrRef, AttrRef), CoOccurrence> = BTreeMap::new();
+    for cluster in clustering.clusters() {
+        for i in 0..cluster.len() {
+            for j in (i + 1)..cluster.len() {
+                let (Some(a), Some(b)) = (by_id.get(&cluster[i]), by_id.get(&cluster[j])) else {
+                    continue;
+                };
+                if a.id.source == b.id.source {
+                    continue;
+                }
+                for (na, va) in &a.attributes {
+                    if va.is_null() {
+                        continue;
+                    }
+                    for (nb, vb) in &b.attributes {
+                        if vb.is_null() {
+                            continue;
+                        }
+                        if !comparable(va, vb) {
+                            continue;
+                        }
+                        let ra = AttrRef::new(a.id.source, na.clone());
+                        let rb = AttrRef::new(b.id.source, nb.clone());
+                        let key = if ra <= rb { (ra, rb) } else { (rb, ra) };
+                        let e = evidence.entry(key).or_default();
+                        e.together += 1;
+                        if va.equivalent(vb) {
+                            e.agree += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    evidence.retain(|_, e| e.together >= min_support);
+    evidence
+}
+
+/// Cheap comparability pre-filter: only same-shape values can agree, so
+/// don't count cross-kind co-occurrences as disagreements. Booleans are
+/// excluded entirely: two unrelated flags agree half the time by chance
+/// (more when skewed), which manufactures false correspondences.
+fn comparable(a: &Value, b: &Value) -> bool {
+    matches!(
+        (a, b),
+        (Value::Str(_), Value::Str(_))
+            | (Value::Num(_), Value::Num(_))
+            | (Value::Num(_), Value::Quantity { .. })
+            | (Value::Quantity { .. }, Value::Num(_))
+            | (Value::Quantity { .. }, Value::Quantity { .. })
+            | (Value::List(_), Value::List(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_linkage::cluster::Clustering;
+    use bdi_types::{Record, RecordId, Source, SourceId, SourceKind, Unit};
+
+    /// Two sources publishing the same 6 entities; source 1 calls weight
+    /// "wt" and uses kg.
+    fn world() -> (Dataset, Clustering) {
+        let mut ds = Dataset::new();
+        for s in 0..2u32 {
+            ds.add_source(Source::new(SourceId(s), format!("s{s}"), SourceKind::Tail));
+        }
+        let mut clusters = Vec::new();
+        for e in 0..6u32 {
+            let grams = 1000.0 + e as f64 * 100.0;
+            let r0 = Record::new(RecordId::new(SourceId(0), e), format!("p{e}"))
+                .with_attr("weight", Value::quantity(grams, Unit::Gram))
+                .with_attr("color", Value::str("black"));
+            let r1 = Record::new(RecordId::new(SourceId(1), e), format!("p{e}"))
+                .with_attr("wt", Value::quantity(grams / 1000.0, Unit::Kilogram))
+                .with_attr("finish", Value::str("black"));
+            clusters.push(vec![r0.id, r1.id]);
+            ds.add_record(r0).unwrap();
+            ds.add_record(r1).unwrap();
+        }
+        (ds, Clustering::from_clusters(clusters))
+    }
+
+    #[test]
+    fn renamed_unit_changed_attr_aligns() {
+        let (ds, cl) = world();
+        let ev = linkage_correspondences(&ds, &cl, 3);
+        let key = (
+            AttrRef::new(SourceId(0), "weight"),
+            AttrRef::new(SourceId(1), "wt"),
+        );
+        let e = ev.get(&key).expect("weight-wt evidence");
+        assert_eq!(e.together, 6);
+        assert_eq!(e.agree, 6);
+        assert!(e.score() > 0.8);
+    }
+
+    #[test]
+    fn coincidental_constant_scores_lower_than_real_match() {
+        let (ds, cl) = world();
+        let ev = linkage_correspondences(&ds, &cl, 3);
+        // color-finish agree always here (all black) — legitimate match;
+        // but weight-wt (distinct per entity) must score at least as high
+        let wkey = (
+            AttrRef::new(SourceId(0), "weight"),
+            AttrRef::new(SourceId(1), "wt"),
+        );
+        let ckey = (
+            AttrRef::new(SourceId(0), "color"),
+            AttrRef::new(SourceId(1), "finish"),
+        );
+        assert!(ev[&wkey].score() >= ev[&ckey].score() - 1e-9);
+    }
+
+    #[test]
+    fn cross_kind_pairs_not_counted() {
+        let (ds, cl) = world();
+        let ev = linkage_correspondences(&ds, &cl, 1);
+        let key = (
+            AttrRef::new(SourceId(0), "weight"),
+            AttrRef::new(SourceId(1), "finish"),
+        );
+        assert!(!ev.contains_key(&key), "numeric-text pair should be pre-filtered");
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let (ds, cl) = world();
+        let ev = linkage_correspondences(&ds, &cl, 100);
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn smoothing_tempers_tiny_evidence() {
+        let e = CoOccurrence { together: 1, agree: 1 };
+        assert!(e.score() < 0.6);
+        let big = CoOccurrence { together: 20, agree: 20 };
+        assert!(big.score() > 0.9);
+    }
+}

@@ -1,0 +1,213 @@
+//! Probabilistic schema mappings and by-table query answering.
+//!
+//! A p-mapping assigns each source attribute a *distribution* over
+//! mediated-schema clusters rather than a single target. Queries against
+//! a mediated attribute are answered under by-table semantics: each
+//! possible assignment answers with its whole table, weighted by its
+//! probability — the dataspace approach to returning ranked, uncertain
+//! answers instead of wrong confident ones.
+
+use crate::correspondence::AttrClusters;
+use crate::matcher::AttrMatcher;
+use crate::profile::ProfileSet;
+use bdi_types::{AttrRef, Dataset, RecordId, SourceId, Value};
+use std::collections::BTreeMap;
+
+/// Probabilistic mapping of one source's attributes into mediated
+/// clusters.
+#[derive(Clone, Debug)]
+pub struct PMapping {
+    /// The mapped source.
+    pub source: SourceId,
+    /// local attribute name → normalized `(cluster, probability)` list,
+    /// descending probability.
+    pub assignments: BTreeMap<String, Vec<(usize, f64)>>,
+}
+
+impl PMapping {
+    /// Build from matcher scores: a local attribute can map to any
+    /// cluster containing an attribute it scores at least `floor`
+    /// against; probabilities proportional to the best per-cluster score.
+    pub fn build<M: AttrMatcher>(
+        source: SourceId,
+        profiles: &ProfileSet,
+        clusters: &AttrClusters,
+        matcher: &M,
+        floor: f64,
+    ) -> Self {
+        let mut assignments = BTreeMap::new();
+        for p in profiles.iter().filter(|p| p.attr.source == source) {
+            let mut per_cluster: BTreeMap<usize, f64> = BTreeMap::new();
+            // own cluster always eligible
+            if let Some(own) = clusters.cluster_of(&p.attr) {
+                per_cluster.insert(own, 1.0);
+            }
+            for q in profiles.iter().filter(|q| q.attr.source != source) {
+                let Some(ci) = clusters.cluster_of(&q.attr) else { continue };
+                let s = matcher.score(p, q);
+                if s >= floor {
+                    let e = per_cluster.entry(ci).or_insert(0.0);
+                    *e = e.max(s);
+                }
+            }
+            if per_cluster.is_empty() {
+                continue;
+            }
+            let z: f64 = per_cluster.values().sum();
+            let mut dist: Vec<(usize, f64)> =
+                per_cluster.into_iter().map(|(c, s)| (c, s / z)).collect();
+            dist.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            assignments.insert(p.attr.name.clone(), dist);
+        }
+        Self { source, assignments }
+    }
+
+    /// The deterministic "best mapping" view: each attribute to its
+    /// most probable cluster only (the baseline E13 compares against).
+    pub fn best_mapping(&self) -> BTreeMap<String, usize> {
+        self.assignments
+            .iter()
+            .filter_map(|(n, d)| d.first().map(|&(c, _)| (n.clone(), c)))
+            .collect()
+    }
+}
+
+/// One uncertain query answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    /// The record the value came from.
+    pub record: RecordId,
+    /// The local attribute it came from.
+    pub attr: AttrRef,
+    /// The value.
+    pub value: Value,
+    /// By-table probability of this answer.
+    pub probability: f64,
+}
+
+/// Answer "give me all values of mediated attribute `target`" under
+/// by-table semantics across the given p-mappings.
+pub fn answer_query(
+    ds: &Dataset,
+    mappings: &[PMapping],
+    target: usize,
+) -> Vec<Answer> {
+    let mut out = Vec::new();
+    for m in mappings {
+        for r in ds.records_of(m.source) {
+            for (name, value) in &r.attributes {
+                if value.is_null() {
+                    continue;
+                }
+                let Some(dist) = m.assignments.get(name) else { continue };
+                let Some(&(_, p)) = dist.iter().find(|&&(c, _)| c == target) else { continue };
+                out.push(Answer {
+                    record: r.id,
+                    attr: AttrRef::new(m.source, name.clone()),
+                    value: value.clone(),
+                    probability: p,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.record.cmp(&b.record))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::{candidate_pairs, score_correspondences};
+    use crate::matcher::HybridMatcher;
+    use bdi_types::{Record, Source, SourceKind, Unit};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for s in 0..2u32 {
+            ds.add_source(Source::new(SourceId(s), format!("s{s}"), SourceKind::Tail));
+        }
+        for i in 0..6u32 {
+            let g = 500.0 + i as f64 * 10.0;
+            ds.add_record(
+                Record::new(RecordId::new(SourceId(0), i), "t")
+                    .with_attr("weight", Value::quantity(g, Unit::Gram)),
+            )
+            .unwrap();
+            ds.add_record(
+                Record::new(RecordId::new(SourceId(1), i), "t")
+                    .with_attr("wt", Value::quantity(g, Unit::Gram)),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn setup() -> (Dataset, ProfileSet, AttrClusters) {
+        let ds = dataset();
+        let ps = ProfileSet::build(&ds);
+        let cands = candidate_pairs(&ps);
+        let corrs = score_correspondences(&ps, &cands, &HybridMatcher::default(), 0.5);
+        let clusters = AttrClusters::build(&corrs, &ps);
+        (ds, ps, clusters)
+    }
+
+    #[test]
+    fn pmapping_probabilities_normalized() {
+        let (_, ps, clusters) = setup();
+        let m = PMapping::build(SourceId(0), &ps, &clusters, &HybridMatcher::default(), 0.4);
+        for dist in m.assignments.values() {
+            let z: f64 = dist.iter().map(|&(_, p)| p).sum();
+            assert!((z - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn query_returns_both_sources_values() {
+        let (ds, ps, clusters) = setup();
+        let target = clusters
+            .cluster_of(&AttrRef::new(SourceId(0), "weight"))
+            .unwrap();
+        let mappings = vec![
+            PMapping::build(SourceId(0), &ps, &clusters, &HybridMatcher::default(), 0.4),
+            PMapping::build(SourceId(1), &ps, &clusters, &HybridMatcher::default(), 0.4),
+        ];
+        let answers = answer_query(&ds, &mappings, target);
+        let sources: std::collections::BTreeSet<u32> =
+            answers.iter().map(|a| a.record.source.0).collect();
+        assert_eq!(sources.len(), 2, "both weight and wt should answer");
+        assert_eq!(answers.len(), 12);
+        for a in &answers {
+            assert!(a.probability > 0.0 && a.probability <= 1.0);
+        }
+    }
+
+    #[test]
+    fn answers_sorted_by_probability() {
+        let (ds, ps, clusters) = setup();
+        let target = clusters
+            .cluster_of(&AttrRef::new(SourceId(0), "weight"))
+            .unwrap();
+        let mappings =
+            vec![PMapping::build(SourceId(0), &ps, &clusters, &HybridMatcher::default(), 0.4)];
+        let answers = answer_query(&ds, &mappings, target);
+        for w in answers.windows(2) {
+            assert!(w[0].probability >= w[1].probability);
+        }
+    }
+
+    #[test]
+    fn best_mapping_is_argmax() {
+        let (_, ps, clusters) = setup();
+        let m = PMapping::build(SourceId(0), &ps, &clusters, &HybridMatcher::default(), 0.4);
+        let best = m.best_mapping();
+        for (name, &c) in &best {
+            let dist = &m.assignments[name];
+            assert_eq!(dist[0].0, c);
+        }
+    }
+}

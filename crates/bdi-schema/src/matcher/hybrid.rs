@@ -1,0 +1,90 @@
+//! Hybrid name+instance attribute matching.
+
+use super::{AttrMatcher, InstanceMatcher, NameMatcher};
+use crate::profile::AttrProfile;
+
+/// Weighted blend of name and instance evidence, with an exact-name
+/// shortcut. The configuration the full pipeline uses.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridMatcher {
+    /// Weight of the name matcher (instance gets `1 - name_weight`).
+    pub name_weight: f64,
+}
+
+impl Default for HybridMatcher {
+    fn default() -> Self {
+        Self { name_weight: 0.45 }
+    }
+}
+
+impl AttrMatcher for HybridMatcher {
+    fn score(&self, a: &AttrProfile, b: &AttrProfile) -> f64 {
+        let name = NameMatcher.score(a, b);
+        if name >= 1.0 {
+            // identical normalized names across sources: accept outright
+            return 1.0;
+        }
+        let inst = InstanceMatcher.score(a, b);
+        // names can't be compared across value kinds anyway — when kinds
+        // disagree, instance evidence vetoes
+        if inst == 0.0 && a.kind != b.kind {
+            return 0.0;
+        }
+        (self.name_weight * name + (1.0 - self.name_weight) * inst).min(1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ValueKind;
+    use bdi_types::{AttrRef, SourceId};
+    use std::collections::BTreeSet;
+
+    fn p(name: &str, kind: ValueKind, values: &[&str], mean: f64, std: f64) -> AttrProfile {
+        AttrProfile {
+            attr: AttrRef::new(SourceId(0), name),
+            count: values.len(),
+            kind,
+            values: values.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            mean,
+            std,
+            name_tokens: bdi_textsim::normalize(name)
+                .split(' ')
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn exact_name_shortcut() {
+        let a = p("weight", ValueKind::Numeric, &[], 100.0, 5.0);
+        let b = p("Weight", ValueKind::Numeric, &[], 9000.0, 5.0);
+        assert_eq!(HybridMatcher::default().score(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn hybrid_recovers_renames_via_instances() {
+        let a = p("weight", ValueKind::Numeric, &["1200 g"], 1250.0, 60.0);
+        let b = p("wt", ValueKind::Numeric, &["1250 g", "1200 g"], 1240.0, 55.0);
+        let name_only = NameMatcher.score(&a, &b);
+        let hybrid = HybridMatcher::default().score(&a, &b);
+        assert!(hybrid > name_only, "hybrid {hybrid} vs name {name_only}");
+    }
+
+    #[test]
+    fn kind_mismatch_veto() {
+        let a = p("size", ValueKind::Text, &["large"], 0.0, 0.0);
+        let b = p("size", ValueKind::Numeric, &["42"], 42.0, 2.0);
+        // same name but incompatible kinds: exact-name shortcut fires
+        // first (score 1.0) — the veto only applies to non-identical names
+        assert_eq!(HybridMatcher::default().score(&a, &b), 1.0);
+        let c = p("dimension", ValueKind::Text, &["large"], 0.0, 0.0);
+        assert_eq!(HybridMatcher::default().score(&c, &b), 0.0);
+    }
+}

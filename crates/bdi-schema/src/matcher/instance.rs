@@ -1,0 +1,94 @@
+//! Instance-based attribute matching.
+
+use super::AttrMatcher;
+use crate::profile::{AttrProfile, ValueKind};
+
+/// Compare attributes by their *values*: shared value vocabulary for
+/// text/boolean attributes, distribution overlap for numeric ones.
+/// Completely ignores names — `"wt"` and `"weight"` align because both
+/// contain `1.2 kg`-shaped values around the same magnitudes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InstanceMatcher;
+
+impl AttrMatcher for InstanceMatcher {
+    fn score(&self, a: &AttrProfile, b: &AttrProfile) -> f64 {
+        if a.kind != b.kind {
+            return 0.0;
+        }
+        match a.kind {
+            ValueKind::Numeric => {
+                // canonical rendering already normalizes units, so value
+                // overlap contributes too (exact shared magnitudes)
+                let dist = a.numeric_similarity(b);
+                let overlap = a.value_overlap(b);
+                (0.6 * dist + 0.4 * overlap).min(1.0)
+            }
+            ValueKind::Boolean => {
+                // booleans carry almost no instance signal: any two flag
+                // attributes look alike — cap the score
+                0.3
+            }
+            ValueKind::Text | ValueKind::Composite => a.value_overlap(b),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "instance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{AttrRef, SourceId};
+    use std::collections::BTreeSet;
+
+    fn p(name: &str, kind: ValueKind, values: &[&str], mean: f64, std: f64) -> AttrProfile {
+        AttrProfile {
+            attr: AttrRef::new(SourceId(0), name),
+            count: values.len(),
+            kind,
+            values: values.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            mean,
+            std,
+            name_tokens: vec![name.to_string()],
+        }
+    }
+
+    #[test]
+    fn renamed_numeric_attrs_align_by_distribution() {
+        let a = p("weight", ValueKind::Numeric, &["1200 g", "1300 g"], 1250.0, 50.0);
+        let b = p("wt", ValueKind::Numeric, &["1250 g", "1200 g"], 1240.0, 60.0);
+        assert!(InstanceMatcher.score(&a, &b) > 0.5);
+    }
+
+    #[test]
+    fn different_magnitudes_do_not_align() {
+        let a = p("weight", ValueKind::Numeric, &["1200 g"], 1250.0, 50.0);
+        let b = p("iso", ValueKind::Numeric, &["6400"], 6400.0, 2000.0);
+        assert!(InstanceMatcher.score(&a, &b) < 0.2);
+    }
+
+    #[test]
+    fn kind_mismatch_scores_zero() {
+        let a = p("color", ValueKind::Text, &["black"], 0.0, 0.0);
+        let b = p("weight", ValueKind::Numeric, &["1200 g"], 1200.0, 10.0);
+        assert_eq!(InstanceMatcher.score(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn categorical_vocab_overlap() {
+        let a = p("color", ValueKind::Text, &["black", "white", "red"], 0.0, 0.0);
+        let b = p("colour", ValueKind::Text, &["white", "black", "blue"], 0.0, 0.0);
+        let c = p("material", ValueKind::Text, &["leather", "mesh"], 0.0, 0.0);
+        assert!(InstanceMatcher.score(&a, &b) > 0.5);
+        assert_eq!(InstanceMatcher.score(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn booleans_capped() {
+        let a = p("wifi", ValueKind::Boolean, &["yes", "no"], 0.0, 0.0);
+        let b = p("hdr", ValueKind::Boolean, &["yes", "no"], 0.0, 0.0);
+        assert!(InstanceMatcher.score(&a, &b) <= 0.3);
+    }
+}

@@ -1,0 +1,20 @@
+//! Pairwise attribute matchers.
+
+pub mod hybrid;
+pub mod instance;
+pub mod name;
+
+pub use hybrid::HybridMatcher;
+pub use instance::InstanceMatcher;
+pub use name::NameMatcher;
+
+use crate::profile::AttrProfile;
+
+/// Scores how likely two source-local attributes denote the same
+/// canonical attribute.
+pub trait AttrMatcher {
+    /// Similarity in `[0, 1]`.
+    fn score(&self, a: &AttrProfile, b: &AttrProfile) -> f64;
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,88 @@
+//! Name-based attribute matching.
+
+use super::AttrMatcher;
+use crate::profile::AttrProfile;
+use bdi_textsim::{jaccard_sim, jaro_winkler_sim, normalize_attr_name};
+
+/// Compare attributes by their published names only: exact normalized
+/// equality, token Jaccard, and Jaro-Winkler on the squashed name.
+///
+/// Fast and schema-only — and exactly the matcher that collapses under
+/// the renaming heterogeneity of the product web (experiment E12's
+/// baseline): `"weight"` vs `"wt"` share no tokens.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NameMatcher;
+
+impl AttrMatcher for NameMatcher {
+    fn score(&self, a: &AttrProfile, b: &AttrProfile) -> f64 {
+        let na = normalize_attr_name(&a.attr.name);
+        let nb = normalize_attr_name(&b.attr.name);
+        if na.is_empty() || nb.is_empty() {
+            return 0.0;
+        }
+        if na == nb {
+            return 1.0;
+        }
+        let token = jaccard_sim(&a.name_tokens, &b.name_tokens);
+        let string = jaro_winkler_sim(&na, &nb);
+        // token containment ("weight" vs "item weight") is strong evidence
+        let containment = if !a.name_tokens.is_empty()
+            && !b.name_tokens.is_empty()
+            && (a.name_tokens.iter().all(|t| b.name_tokens.contains(t))
+                || b.name_tokens.iter().all(|t| a.name_tokens.contains(t)))
+        {
+            0.9
+        } else {
+            0.0
+        };
+        token.max(string * 0.9).max(containment)
+    }
+
+    fn name(&self) -> &'static str {
+        "name"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{AttrRef, SourceId};
+
+    fn p(name: &str) -> AttrProfile {
+        AttrProfile {
+            attr: AttrRef::new(SourceId(0), name),
+            count: 0,
+            kind: crate::profile::ValueKind::Text,
+            values: Default::default(),
+            mean: 0.0,
+            std: 0.0,
+            name_tokens: bdi_textsim::normalize(name)
+                .split(' ')
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn exact_normalized_names_score_one() {
+        assert_eq!(NameMatcher.score(&p("Screen Size"), &p("screen-size")), 1.0);
+    }
+
+    #[test]
+    fn containment_scores_high() {
+        assert!(NameMatcher.score(&p("weight"), &p("item weight")) >= 0.9);
+    }
+
+    #[test]
+    fn unrelated_names_score_low() {
+        assert!(NameMatcher.score(&p("weight"), &p("color")) < 0.4);
+    }
+
+    #[test]
+    fn abbreviation_scores_low_without_instances() {
+        // the documented weakness: "wt" vs "weight" has no token overlap
+        let s = NameMatcher.score(&p("wt"), &p("weight"));
+        assert!(s < 0.8, "name matcher should struggle on abbreviations, got {s}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Probabilistic mediated schema (Sarma, Dong & Halevy, pay-as-you-go
+//! style).
+//!
+//! Instead of committing to one attribute clustering, keep several
+//! plausible ones, each weighted by how well it explains the pairwise
+//! correspondence scores: an in-cluster edge contributes its score, a
+//! cross-cluster edge its complement. Queries are answered against all
+//! candidates and results weighted — uncertainty is preserved instead of
+//! being rounded away at alignment time.
+
+use crate::correspondence::{AttrClusters, Correspondence};
+use crate::profile::ProfileSet;
+
+/// A probability-weighted set of candidate mediated schemas.
+#[derive(Clone, Debug, Default)]
+pub struct MediatedSchema {
+    /// `(clustering, probability)`, descending probability.
+    pub candidates: Vec<(AttrClusters, f64)>,
+}
+
+impl MediatedSchema {
+    /// Build candidates by sweeping acceptance thresholds over the scored
+    /// correspondences, then weight each candidate by its log-likelihood
+    /// under the independent-edge model.
+    pub fn build(
+        correspondences: &[Correspondence],
+        profiles: &ProfileSet,
+        thresholds: &[f64],
+    ) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        let mut candidates = Vec::with_capacity(thresholds.len());
+        for &t in thresholds {
+            let accepted: Vec<Correspondence> = correspondences
+                .iter()
+                .filter(|c| c.score >= t)
+                .cloned()
+                .collect();
+            let clusters = AttrClusters::build(&accepted, profiles);
+            let ll = log_likelihood(&clusters, correspondences);
+            candidates.push((clusters, ll));
+        }
+        // softmax over log-likelihoods
+        let max = candidates
+            .iter()
+            .map(|&(_, ll)| ll)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut z = 0.0;
+        for (_, ll) in &mut candidates {
+            *ll = (*ll - max).exp();
+            z += *ll;
+        }
+        if z > 0.0 {
+            for (_, p) in &mut candidates {
+                *p /= z;
+            }
+        }
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Self { candidates }
+    }
+
+    /// The most probable candidate.
+    pub fn consensus(&self) -> Option<&AttrClusters> {
+        self.candidates.first().map(|(c, _)| c)
+    }
+
+    /// Probability-weighted alignment confidence of an attribute pair:
+    /// the total probability mass of candidates aligning them.
+    pub fn alignment_probability(
+        &self,
+        a: &bdi_types::AttrRef,
+        b: &bdi_types::AttrRef,
+    ) -> f64 {
+        self.candidates
+            .iter()
+            .filter(|(c, _)| c.aligned(a, b))
+            .map(|&(_, p)| p)
+            .sum()
+    }
+}
+
+/// Log-likelihood of a clustering under the independent-edge model:
+/// in-cluster edges contribute `ln(s)`, cross-cluster edges `ln(1-s)`.
+fn log_likelihood(clusters: &AttrClusters, correspondences: &[Correspondence]) -> f64 {
+    let mut ll = 0.0;
+    for c in correspondences {
+        let s = c.score.clamp(0.01, 0.99);
+        if clusters.aligned(&c.a, &c.b) {
+            ll += s.ln();
+        } else {
+            ll += (1.0 - s).ln();
+        }
+    }
+    ll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{AttrRef, SourceId};
+
+    fn corr(s1: u32, n1: &str, s2: u32, n2: &str, score: f64) -> Correspondence {
+        let a = AttrRef::new(SourceId(s1), n1);
+        let b = AttrRef::new(SourceId(s2), n2);
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        Correspondence { a, b, score }
+    }
+
+    fn corrs() -> Vec<Correspondence> {
+        vec![
+            corr(0, "weight", 1, "wt", 0.9),
+            corr(0, "weight", 2, "mass", 0.55),
+            corr(0, "color", 1, "colour", 0.95),
+        ]
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let ms = MediatedSchema::build(&corrs(), &ProfileSet::default(), &[0.5, 0.7, 0.92]);
+        let total: f64 = ms.candidates.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(ms.candidates.len(), 3);
+    }
+
+    #[test]
+    fn high_score_edges_survive_in_consensus() {
+        let ms = MediatedSchema::build(&corrs(), &ProfileSet::default(), &[0.5, 0.7, 0.92]);
+        let c = ms.consensus().unwrap();
+        assert!(c.aligned(
+            &AttrRef::new(SourceId(0), "color"),
+            &AttrRef::new(SourceId(1), "colour")
+        ));
+    }
+
+    #[test]
+    fn alignment_probability_reflects_uncertainty() {
+        let ms = MediatedSchema::build(&corrs(), &ProfileSet::default(), &[0.5, 0.7, 0.92]);
+        let strong = ms.alignment_probability(
+            &AttrRef::new(SourceId(0), "color"),
+            &AttrRef::new(SourceId(1), "colour"),
+        );
+        let weak = ms.alignment_probability(
+            &AttrRef::new(SourceId(0), "weight"),
+            &AttrRef::new(SourceId(2), "mass"),
+        );
+        assert!(strong > weak, "strong {strong} vs weak {weak}");
+        assert!(weak > 0.0, "uncertain edge keeps nonzero mass");
+        assert!((0.0..=1.0 + 1e-9).contains(&strong));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn empty_thresholds_rejected() {
+        MediatedSchema::build(&[], &ProfileSet::default(), &[]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Attribute profiling: the statistics matchers compare.
+
+use bdi_textsim::normalize;
+use bdi_types::{AttrRef, Dataset, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Coarse value type for compatibility pruning.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ValueKind {
+    /// Free or categorical text.
+    Text,
+    /// Numbers and quantities.
+    Numeric,
+    /// Booleans.
+    Boolean,
+    /// Composite lists.
+    Composite,
+}
+
+/// Statistics of one source-local attribute.
+#[derive(Clone, Debug)]
+pub struct AttrProfile {
+    /// The attribute this profiles.
+    pub attr: AttrRef,
+    /// Observed (non-null) value count.
+    pub count: usize,
+    /// Dominant value kind.
+    pub kind: ValueKind,
+    /// Distinct canonical rendered values (capped sample).
+    pub values: BTreeSet<String>,
+    /// Mean of base magnitudes (numeric only).
+    pub mean: f64,
+    /// Std-dev of base magnitudes (numeric only).
+    pub std: f64,
+    /// Normalized name tokens.
+    pub name_tokens: Vec<String>,
+}
+
+const VALUE_SAMPLE_CAP: usize = 200;
+
+impl AttrProfile {
+    fn new(attr: AttrRef) -> Self {
+        let name_tokens = normalize(&attr.name)
+            .split(' ')
+            .filter(|t| !t.is_empty())
+            .map(str::to_string)
+            .collect();
+        Self {
+            attr,
+            count: 0,
+            kind: ValueKind::Text,
+            values: BTreeSet::new(),
+            mean: 0.0,
+            std: 0.0,
+            name_tokens,
+        }
+    }
+
+    /// Fraction of this profile's sampled values also present in `other`.
+    pub fn value_overlap(&self, other: &AttrProfile) -> f64 {
+        if self.values.is_empty() || other.values.is_empty() {
+            return 0.0;
+        }
+        let inter = self.values.intersection(&other.values).count();
+        inter as f64 / self.values.len().min(other.values.len()) as f64
+    }
+
+    /// Numeric distribution similarity: overlap of mean±2σ intervals
+    /// scaled into `[0, 1]`; 0 for non-numeric profiles.
+    pub fn numeric_similarity(&self, other: &AttrProfile) -> f64 {
+        if self.kind != ValueKind::Numeric || other.kind != ValueKind::Numeric {
+            return 0.0;
+        }
+        let (a_lo, a_hi) = (self.mean - 2.0 * self.std, self.mean + 2.0 * self.std);
+        let (b_lo, b_hi) = (other.mean - 2.0 * other.std, other.mean + 2.0 * other.std);
+        let inter = (a_hi.min(b_hi) - a_lo.max(b_lo)).max(0.0);
+        let union = (a_hi.max(b_hi) - a_lo.min(b_lo)).max(1e-9);
+        inter / union
+    }
+}
+
+/// All attribute profiles of a dataset, keyed by [`AttrRef`].
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSet {
+    profiles: BTreeMap<AttrRef, AttrProfile>,
+}
+
+/// Accumulator while profiling: the profile under construction plus the
+/// magnitudes and value-kind histogram needed for final statistics.
+type ProfileAcc = (AttrProfile, Vec<f64>, BTreeMap<ValueKind, usize>);
+
+impl ProfileSet {
+    /// Profile every (source, attribute) pair in one dataset pass.
+    pub fn build(ds: &Dataset) -> Self {
+        let mut acc: BTreeMap<AttrRef, ProfileAcc> = BTreeMap::new();
+        for r in ds.records() {
+            for (name, v) in &r.attributes {
+                if v.is_null() {
+                    continue;
+                }
+                let key = AttrRef::new(r.id.source, name.clone());
+                let entry = acc
+                    .entry(key.clone())
+                    .or_insert_with(|| (AttrProfile::new(key), Vec::new(), BTreeMap::new()));
+                entry.0.count += 1;
+                if entry.0.values.len() < VALUE_SAMPLE_CAP {
+                    entry.0.values.insert(v.canonical().render());
+                }
+                let kind = kind_of(v);
+                *entry.2.entry(kind).or_insert(0) += 1;
+                if let Some(m) = v.base_magnitude() {
+                    entry.1.push(m);
+                }
+            }
+        }
+        let profiles = acc
+            .into_iter()
+            .map(|(k, (mut p, mags, kinds))| {
+                p.kind = kinds
+                    .into_iter()
+                    .max_by_key(|&(_, c)| c)
+                    .map(|(k, _)| k)
+                    .unwrap_or(ValueKind::Text);
+                if !mags.is_empty() {
+                    let n = mags.len() as f64;
+                    p.mean = mags.iter().sum::<f64>() / n;
+                    p.std = (mags.iter().map(|m| (m - p.mean).powi(2)).sum::<f64>() / n).sqrt();
+                }
+                (k, p)
+            })
+            .collect();
+        Self { profiles }
+    }
+
+    /// All profiles in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &AttrProfile> {
+        self.profiles.values()
+    }
+
+    /// Profile of one attribute.
+    pub fn get(&self, attr: &AttrRef) -> Option<&AttrProfile> {
+        self.profiles.get(attr)
+    }
+
+    /// Number of profiled attributes.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+fn kind_of(v: &Value) -> ValueKind {
+    match v {
+        Value::Str(_) => ValueKind::Text,
+        Value::Num(_) | Value::Quantity { .. } => ValueKind::Numeric,
+        Value::Bool(_) => ValueKind::Boolean,
+        Value::List(_) => ValueKind::Composite,
+        Value::Null => ValueKind::Text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{Record, RecordId, Source, SourceId, SourceKind, Unit};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for s in 0..2u32 {
+            ds.add_source(Source::new(SourceId(s), format!("s{s}"), SourceKind::Tail));
+        }
+        for i in 0..10u32 {
+            let r = Record::new(RecordId::new(SourceId(0), i), "t")
+                .with_attr("weight", Value::quantity(100.0 + i as f64, Unit::Gram))
+                .with_attr("color", Value::str(if i % 2 == 0 { "black" } else { "white" }));
+            ds.add_record(r).unwrap();
+            let r = Record::new(RecordId::new(SourceId(1), i), "t")
+                .with_attr("wt", Value::quantity(0.1 + i as f64 / 1000.0, Unit::Kilogram))
+                .with_attr("wifi", Value::Bool(true));
+            ds.add_record(r).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn profiles_built_per_source_attr() {
+        let ps = ProfileSet::build(&dataset());
+        assert_eq!(ps.len(), 4);
+        let w = ps.get(&AttrRef::new(SourceId(0), "weight")).unwrap();
+        assert_eq!(w.count, 10);
+        assert_eq!(w.kind, ValueKind::Numeric);
+        assert!(w.mean > 100.0 && w.mean < 110.0);
+    }
+
+    #[test]
+    fn unit_variant_attrs_have_similar_numeric_profiles() {
+        let ps = ProfileSet::build(&dataset());
+        let a = ps.get(&AttrRef::new(SourceId(0), "weight")).unwrap();
+        let b = ps.get(&AttrRef::new(SourceId(1), "wt")).unwrap();
+        // both ~100-109 g in base magnitude
+        assert!(a.numeric_similarity(b) > 0.5, "sim {}", a.numeric_similarity(b));
+    }
+
+    #[test]
+    fn value_overlap_detects_shared_vocab() {
+        let ps = ProfileSet::build(&dataset());
+        let c = ps.get(&AttrRef::new(SourceId(0), "color")).unwrap();
+        assert_eq!(c.value_overlap(c), 1.0);
+        let w = ps.get(&AttrRef::new(SourceId(1), "wifi")).unwrap();
+        assert_eq!(c.value_overlap(w), 0.0);
+    }
+
+    #[test]
+    fn boolean_kind_detected() {
+        let ps = ProfileSet::build(&dataset());
+        let w = ps.get(&AttrRef::new(SourceId(1), "wifi")).unwrap();
+        assert_eq!(w.kind, ValueKind::Boolean);
+    }
+
+    #[test]
+    fn name_tokens_normalized() {
+        let p = AttrProfile::new(AttrRef::new(SourceId(0), "Screen-Size (cm)"));
+        assert_eq!(p.name_tokens, vec!["screen", "size", "cm"]);
+    }
+}

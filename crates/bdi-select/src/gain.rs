@@ -1,0 +1,102 @@
+//! Gain functions for source selection.
+
+use bdi_fusion::{Accu, ClaimSet};
+use bdi_types::SourceId;
+use std::collections::BTreeSet;
+
+/// Coverage gain: how many *new* data items the candidate source would
+/// add to the current selection.
+pub fn coverage_gain(
+    claims: &ClaimSet,
+    selected: &BTreeSet<SourceId>,
+    candidate: SourceId,
+) -> usize {
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    let mut candidate_items: BTreeSet<usize> = BTreeSet::new();
+    for (i, s, _) in claims.iter() {
+        if selected.contains(&s) {
+            covered.insert(i);
+        }
+        if s == candidate {
+            candidate_items.insert(i);
+        }
+    }
+    candidate_items.difference(&covered).count()
+}
+
+/// Model-expected fusion accuracy of a source subset, with no oracle:
+/// run Accu on the restricted claims and average the probability the
+/// model assigns to its own decisions. This is the self-assessed quality
+/// the selection algorithm optimizes (the oracle curve is computed
+/// separately by the experiment harness for comparison).
+pub fn expected_accuracy(claims: &ClaimSet, subset: &BTreeSet<SourceId>) -> f64 {
+    if subset.is_empty() {
+        return 0.0;
+    }
+    let restricted = claims.restrict_to(subset);
+    if restricted.is_empty() {
+        return 0.0;
+    }
+    let (_, probs) = Accu::default().resolve_weighted(&restricted, None);
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for item_probs in &probs {
+        if let Some(best) = item_probs.values().copied().fold(None::<f64>, |acc, p| {
+            Some(acc.map_or(p, |a| a.max(p)))
+        }) {
+            total += best;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{DataItem, EntityId, Value};
+
+    fn tr(s: u32, e: u64, v: &str) -> (SourceId, DataItem, Value) {
+        (SourceId(s), DataItem::new(EntityId(e), "a"), Value::str(v))
+    }
+
+    #[test]
+    fn coverage_gain_counts_new_items() {
+        let cs = ClaimSet::from_triples(vec![
+            tr(0, 1, "x"),
+            tr(0, 2, "x"),
+            tr(1, 2, "x"),
+            tr(1, 3, "x"),
+        ]);
+        let selected: BTreeSet<_> = [SourceId(0)].into();
+        assert_eq!(coverage_gain(&cs, &selected, SourceId(1)), 1); // item 3 only
+        assert_eq!(coverage_gain(&cs, &BTreeSet::new(), SourceId(1)), 2);
+    }
+
+    #[test]
+    fn expected_accuracy_rises_with_agreeing_sources() {
+        let mut triples = Vec::new();
+        for e in 0..10u64 {
+            for s in 0..4u32 {
+                triples.push(tr(s, e, "agree"));
+            }
+            triples.push(tr(4, e, &format!("noise{e}")));
+        }
+        let cs = ClaimSet::from_triples(triples);
+        let one: BTreeSet<_> = [SourceId(0)].into();
+        let three: BTreeSet<_> = [SourceId(0), SourceId(1), SourceId(2)].into();
+        let ea1 = expected_accuracy(&cs, &one);
+        let ea3 = expected_accuracy(&cs, &three);
+        assert!(ea3 >= ea1, "more agreement => more confidence: {ea1} vs {ea3}");
+    }
+
+    #[test]
+    fn empty_subset_zero() {
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "x")]);
+        assert_eq!(expected_accuracy(&cs, &BTreeSet::new()), 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # bdi-select — source selection ("less is more")
+//!
+//! With thousands of candidate sources, integrating everything is neither
+//! free nor even optimal: low-quality tail sources can *reduce* fused
+//! accuracy while integration cost keeps climbing. Following the
+//! Dong-Saha-Srivastava VLDB'13 line the tutorial covers, this crate
+//! selects sources greedily by marginal gain and exposes the resulting
+//! gain/cost curves — whose peak-before-the-end is the "less is more"
+//! signature (experiment E14).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gain;
+pub mod greedy;
+
+pub use gain::{coverage_gain, expected_accuracy};
+pub use greedy::{greedy_select, SelectionStep};

@@ -1,0 +1,360 @@
+//! Velocity: snapshot sequences with source/page churn, value drift and
+//! template drift.
+//!
+//! The product-web measurements that motivate this model: two-thirds of
+//! crawled pages and sources gone after three years, extraction rules
+//! brittle against template changes. We compress that dynamic into a
+//! per-snapshot survival process over a pre-generated world.
+
+use crate::world::World;
+use bdi_types::value::Value;
+use bdi_types::{BdiError, Dataset, GroundTruth, RecordId, SourceId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Churn process parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of snapshots to emit (≥ 1; snapshot 0 is the initial crawl).
+    pub snapshots: usize,
+    /// Per-snapshot probability an alive source disappears entirely.
+    pub p_source_death: f64,
+    /// Per-snapshot probability an alive page disappears.
+    pub p_page_death: f64,
+    /// Fraction of pages not present in snapshot 0 (they appear later,
+    /// uniformly over the horizon).
+    pub late_birth_fraction: f64,
+    /// Per-snapshot probability a numeric value drifts (price-like churn).
+    pub p_value_drift: f64,
+    /// Per-snapshot probability a source rewrites its template, renaming
+    /// every local attribute (breaks stale wrappers).
+    pub p_template_drift: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            snapshots: 6,
+            p_source_death: 0.05,
+            p_page_death: 0.08,
+            late_birth_fraction: 0.15,
+            p_value_drift: 0.1,
+            p_template_drift: 0.05,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), BdiError> {
+        if self.snapshots == 0 {
+            return Err(BdiError::config("snapshots must be >= 1"));
+        }
+        for (n, v) in [
+            ("p_source_death", self.p_source_death),
+            ("p_page_death", self.p_page_death),
+            ("late_birth_fraction", self.late_birth_fraction),
+            ("p_value_drift", self.p_value_drift),
+            ("p_template_drift", self.p_template_drift),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(BdiError::config(format!("{n} = {v} out of [0,1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sequence of dataset snapshots over a churning world.
+#[derive(Clone, Debug)]
+pub struct SnapshotSeries {
+    /// One observable dataset per snapshot.
+    pub snapshots: Vec<Dataset>,
+    /// Ground truth augmented with the drifted attribute names.
+    pub truth: GroundTruth,
+    /// Snapshot at which each source died (absent = survived the horizon).
+    pub source_death: BTreeMap<SourceId, usize>,
+    /// Per-record lifetime `[birth, death)` in snapshot indices.
+    pub page_lifetime: BTreeMap<RecordId, (usize, usize)>,
+    /// Snapshots at which each source drifted its template.
+    pub template_drifts: BTreeMap<SourceId, Vec<usize>>,
+}
+
+impl SnapshotSeries {
+    /// Generate the series from a world. Deterministic given the world's
+    /// seed and the churn config.
+    pub fn generate(world: &World, cfg: &ChurnConfig) -> Result<Self, BdiError> {
+        cfg.validate()?;
+        let horizon = cfg.snapshots;
+        let mut rng = StdRng::seed_from_u64(world.config.seed ^ 0xC0FFEE);
+        let mut truth = world.truth.clone();
+
+        // Source lifetimes.
+        let mut source_death: BTreeMap<SourceId, usize> = BTreeMap::new();
+        for s in world.dataset.sources() {
+            for t in 1..horizon {
+                if rng.gen_bool(cfg.p_source_death) {
+                    source_death.insert(s.id, t);
+                    break;
+                }
+            }
+        }
+
+        // Page lifetimes.
+        let mut page_lifetime: BTreeMap<RecordId, (usize, usize)> = BTreeMap::new();
+        for r in world.dataset.records() {
+            let birth = if rng.gen_bool(cfg.late_birth_fraction) && horizon > 1 {
+                rng.gen_range(1..horizon)
+            } else {
+                0
+            };
+            let mut death = horizon;
+            for t in (birth + 1)..horizon {
+                if rng.gen_bool(cfg.p_page_death) {
+                    death = t;
+                    break;
+                }
+            }
+            if let Some(&sd) = source_death.get(&r.id.source) {
+                death = death.min(sd);
+            }
+            page_lifetime.insert(r.id, (birth, death));
+        }
+
+        // Template drift schedule.
+        let mut template_drifts: BTreeMap<SourceId, Vec<usize>> = BTreeMap::new();
+        for s in world.dataset.sources() {
+            let mut drifts = Vec::new();
+            for t in 1..horizon {
+                if rng.gen_bool(cfg.p_template_drift) {
+                    drifts.push(t);
+                }
+            }
+            if !drifts.is_empty() {
+                template_drifts.insert(s.id, drifts);
+            }
+        }
+
+        // Emit snapshots.
+        let mut snapshots = Vec::with_capacity(horizon);
+        for t in 0..horizon {
+            let mut ds = Dataset::new();
+            let dead_sources: BTreeSet<SourceId> = source_death
+                .iter()
+                .filter(|&(_, &d)| d <= t)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in world.dataset.sources() {
+                if !dead_sources.contains(&s.id) {
+                    ds.add_source(s.clone());
+                }
+            }
+            for r in world.dataset.records() {
+                let (birth, death) = page_lifetime[&r.id];
+                if t < birth || t >= death {
+                    continue;
+                }
+                let mut rec = r.clone();
+                rec.timestamp = t as u32;
+                // value drift: deterministic per (record, snapshot)
+                if cfg.p_value_drift > 0.0 {
+                    let mut vrng = StdRng::seed_from_u64(
+                        world.config.seed ^ hash_rid(r.id) ^ (t as u64) << 32,
+                    );
+                    for v in rec.attributes.values_mut() {
+                        if vrng.gen_bool(cfg.p_value_drift) {
+                            drift_value(v, &mut vrng);
+                        }
+                    }
+                }
+                // template drift: rename local attributes with a version tag
+                let version = template_drifts
+                    .get(&r.id.source)
+                    .map(|ds| ds.iter().filter(|&&d| d <= t).count())
+                    .unwrap_or(0);
+                if version > 0 {
+                    let renamed: BTreeMap<String, Value> = rec
+                        .attributes
+                        .iter()
+                        .map(|(k, v)| (drifted_name(k, version), v.clone()))
+                        .collect();
+                    for new_name in renamed.keys() {
+                        // register the drifted name in the oracle
+                        if let Some(canon) = world
+                            .truth
+                            .canonical_attr(r.id.source, original_name(new_name))
+                        {
+                            truth
+                                .attr_canonical
+                                .insert((r.id.source, new_name.clone()), canon.to_string());
+                        }
+                    }
+                    rec.attributes = renamed;
+                }
+                ds.add_record(rec).expect("source registered");
+            }
+            snapshots.push(ds);
+        }
+
+        Ok(Self { snapshots, truth, source_death, page_lifetime, template_drifts })
+    }
+
+    /// Fraction of snapshot-0 pages still alive at snapshot `t` — the
+    /// headline velocity statistic ("just 30% of original pages valid").
+    pub fn page_survival(&self, t: usize) -> f64 {
+        let initial: Vec<_> = self
+            .page_lifetime
+            .values()
+            .filter(|(b, _)| *b == 0)
+            .collect();
+        if initial.is_empty() {
+            return 1.0;
+        }
+        let alive = initial.iter().filter(|(_, d)| *d > t).count();
+        alive as f64 / initial.len() as f64
+    }
+
+    /// Fraction of snapshot-0 sources with at least one alive page at `t`.
+    pub fn source_survival(&self, t: usize) -> f64 {
+        let mut initial: BTreeSet<SourceId> = BTreeSet::new();
+        let mut alive: BTreeSet<SourceId> = BTreeSet::new();
+        for (rid, (b, d)) in &self.page_lifetime {
+            if *b == 0 {
+                initial.insert(rid.source);
+                if *d > t {
+                    alive.insert(rid.source);
+                }
+            }
+        }
+        if initial.is_empty() {
+            return 1.0;
+        }
+        alive.len() as f64 / initial.len() as f64
+    }
+}
+
+fn hash_rid(r: RecordId) -> u64 {
+    (r.source.0 as u64) << 32 | r.seq as u64
+}
+
+/// Versioned attribute rename, reversible for oracle registration.
+fn drifted_name(name: &str, version: usize) -> String {
+    format!("{name} [v{version}]")
+}
+
+fn original_name(drifted: &str) -> &str {
+    match drifted.rfind(" [v") {
+        Some(i) => &drifted[..i],
+        None => drifted,
+    }
+}
+
+fn drift_value(v: &mut Value, rng: &mut StdRng) {
+    let factor = 1.0 + rng.gen_range(-0.15..0.15);
+    match v {
+        Value::Num(n) => {
+            *v = Value::num((n.get() * factor * 100.0).round() / 100.0);
+        }
+        Value::Quantity { magnitude, unit } => {
+            *v = Value::quantity((magnitude.get() * factor * 100.0).round() / 100.0, *unit);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    fn series(seed: u64, cfg: ChurnConfig) -> SnapshotSeries {
+        let w = World::generate(WorldConfig::tiny(seed));
+        SnapshotSeries::generate(&w, &cfg).unwrap()
+    }
+
+    #[test]
+    fn survival_declines_over_time() {
+        let s = series(1, ChurnConfig { snapshots: 8, ..ChurnConfig::default() });
+        let early = s.page_survival(1);
+        let late = s.page_survival(7);
+        assert!(late <= early, "survival must be nonincreasing: {early} -> {late}");
+        assert!(late < 1.0, "with death probability > 0 some pages must die");
+    }
+
+    #[test]
+    fn zero_churn_is_static() {
+        let cfg = ChurnConfig {
+            snapshots: 4,
+            p_source_death: 0.0,
+            p_page_death: 0.0,
+            late_birth_fraction: 0.0,
+            p_value_drift: 0.0,
+            p_template_drift: 0.0,
+        };
+        let s = series(2, cfg);
+        assert_eq!(s.page_survival(3), 1.0);
+        assert_eq!(s.source_survival(3), 1.0);
+        let n0 = s.snapshots[0].len();
+        for snap in &s.snapshots {
+            assert_eq!(snap.len(), n0);
+        }
+    }
+
+    #[test]
+    fn drifted_names_registered_in_truth() {
+        let cfg = ChurnConfig { snapshots: 6, p_template_drift: 0.5, ..ChurnConfig::default() };
+        let s = series(3, cfg);
+        // find a record in a late snapshot with drifted names
+        let mut found = false;
+        for snap in s.snapshots.iter().rev() {
+            for r in snap.records() {
+                for name in r.attributes.keys() {
+                    if name.contains(" [v") {
+                        found = true;
+                        assert!(
+                            s.truth.canonical_attr(r.id.source, name).is_some(),
+                            "drifted name {name} not registered"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(found, "expected at least one drifted template");
+    }
+
+    #[test]
+    fn late_births_appear() {
+        let cfg = ChurnConfig {
+            snapshots: 5,
+            late_birth_fraction: 0.5,
+            p_page_death: 0.0,
+            p_source_death: 0.0,
+            ..ChurnConfig::default()
+        };
+        let s = series(4, cfg);
+        assert!(
+            s.snapshots.last().unwrap().len() > s.snapshots[0].len(),
+            "late-born pages should grow the crawl"
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let w = World::generate(WorldConfig::tiny(5));
+        let bad = ChurnConfig { snapshots: 0, ..ChurnConfig::default() };
+        assert!(SnapshotSeries::generate(&w, &bad).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ChurnConfig::default();
+        let a = series(6, cfg.clone());
+        let b = series(6, cfg);
+        assert_eq!(a.page_lifetime, b.page_lifetime);
+        for (x, y) in a.snapshots.iter().zip(&b.snapshots) {
+            assert_eq!(x.records(), y.records());
+        }
+    }
+}

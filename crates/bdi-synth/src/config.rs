@@ -1,0 +1,219 @@
+//! World generation configuration.
+
+use bdi_types::BdiError;
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the generative product-web model. Every distributional
+/// claim in the experiment suite is a sweep over one or two of these.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// RNG seed — two worlds with the same config are identical.
+    pub seed: u64,
+    /// Number of real-world entities (products) across all categories.
+    pub n_entities: usize,
+    /// Number of sources (websites).
+    pub n_sources: usize,
+    /// Categories to draw entities from (names from [`crate::vocab`]);
+    /// empty = all ten.
+    pub categories: Vec<String>,
+
+    // ---- Volume shape ----
+    /// Zipf exponent of entity popularity (how head-heavy product
+    /// coverage is). 0 = uniform.
+    pub entity_popularity_exponent: f64,
+    /// Zipf exponent of source sizes. Higher = fewer, bigger head sources.
+    pub source_size_exponent: f64,
+    /// Records in the largest (rank-0) source.
+    pub max_source_size: usize,
+    /// Records in the smallest sources (floor).
+    pub min_source_size: usize,
+
+    // ---- Variety knobs ----
+    /// Probability a source renames an attribute to a non-primary synonym
+    /// (vs using the most common name).
+    pub p_rename: f64,
+    /// Probability a source publishing `dimensions` splits it into three
+    /// separate fields.
+    pub p_split_dimensions: f64,
+    /// Probability a numeric attribute is republished in an alternative
+    /// unit.
+    pub p_unit_change: f64,
+    /// Extra per-source attribute-name decoration probability (suffixes
+    /// like "(approx.)" → long-tail attribute names).
+    pub p_decorate: f64,
+
+    // ---- Identifier opportunity ----
+    /// Probability a source publishes the product identifier at all.
+    pub p_publish_identifier: f64,
+    /// Probability a published identifier is reformatted (dashes dropped,
+    /// case changed) rather than verbatim.
+    pub p_identifier_variant: f64,
+    /// Mean number of *related-product* identifiers leaking into a page
+    /// (the extraction hazard the product studies describe).
+    pub related_identifier_rate: f64,
+
+    // ---- Veracity knobs ----
+    /// Source accuracy is drawn uniformly from this range.
+    pub accuracy_range: (f64, f64),
+    /// Number of distinct false values in circulation per data item.
+    pub n_false_values: usize,
+    /// Fraction of sources that are deceitful (systematically publish the
+    /// same wrong value, instead of erring at random).
+    pub p_deceitful: f64,
+    /// Number of copier sources (they plagiarize another source).
+    pub n_copiers: usize,
+    /// Fraction of a copier's records copied verbatim from its original.
+    pub copy_fraction: f64,
+
+    /// Missing-value rate: probability a source omits an attribute value
+    /// it would otherwise publish.
+    pub p_missing: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            n_entities: 1_000,
+            n_sources: 50,
+            categories: Vec::new(),
+            entity_popularity_exponent: 1.0,
+            source_size_exponent: 1.2,
+            max_source_size: 2_000,
+            min_source_size: 5,
+            p_rename: 0.4,
+            p_split_dimensions: 0.3,
+            p_unit_change: 0.25,
+            p_decorate: 0.08,
+            p_publish_identifier: 0.9,
+            p_identifier_variant: 0.3,
+            related_identifier_rate: 0.4,
+            accuracy_range: (0.7, 0.95),
+            n_false_values: 5,
+            p_deceitful: 0.0,
+            n_copiers: 0,
+            copy_fraction: 0.8,
+            p_missing: 0.1,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small, fast configuration for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            n_entities: 60,
+            n_sources: 8,
+            max_source_size: 60,
+            min_source_size: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Validate parameter ranges; call before generation.
+    pub fn validate(&self) -> Result<(), BdiError> {
+        fn prob(name: &str, v: f64) -> Result<(), BdiError> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(BdiError::config(format!("{name} = {v} must be in [0,1]")));
+            }
+            Ok(())
+        }
+        if self.n_entities == 0 {
+            return Err(BdiError::config("n_entities must be > 0"));
+        }
+        if self.n_sources == 0 {
+            return Err(BdiError::config("n_sources must be > 0"));
+        }
+        if self.min_source_size == 0 || self.min_source_size > self.max_source_size {
+            return Err(BdiError::config(
+                "need 0 < min_source_size <= max_source_size",
+            ));
+        }
+        prob("p_rename", self.p_rename)?;
+        prob("p_split_dimensions", self.p_split_dimensions)?;
+        prob("p_unit_change", self.p_unit_change)?;
+        prob("p_decorate", self.p_decorate)?;
+        prob("p_publish_identifier", self.p_publish_identifier)?;
+        prob("p_identifier_variant", self.p_identifier_variant)?;
+        prob("p_deceitful", self.p_deceitful)?;
+        prob("copy_fraction", self.copy_fraction)?;
+        prob("p_missing", self.p_missing)?;
+        let (lo, hi) = self.accuracy_range;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(BdiError::config("accuracy_range must satisfy 0 <= lo <= hi <= 1"));
+        }
+        if self.n_false_values == 0 {
+            return Err(BdiError::config("n_false_values must be >= 1"));
+        }
+        if self.n_copiers >= self.n_sources {
+            return Err(BdiError::config("n_copiers must be < n_sources"));
+        }
+        if self.related_identifier_rate < 0.0 || !self.related_identifier_rate.is_finite() {
+            return Err(BdiError::config("related_identifier_rate must be finite and >= 0"));
+        }
+        for c in &self.categories {
+            if crate::vocab::category(c).is_none() {
+                return Err(BdiError::config(format!("unknown category '{c}'")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The category specs this world draws from.
+    pub fn category_specs(&self) -> Vec<&'static crate::vocab::CategorySpec> {
+        if self.categories.is_empty() {
+            crate::vocab::catalog().iter().collect()
+        } else {
+            self.categories
+                .iter()
+                .filter_map(|n| crate::vocab::category(n))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        WorldConfig::default().validate().unwrap();
+        WorldConfig::tiny(1).validate().unwrap();
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let cfg = WorldConfig { p_rename: 1.5, ..WorldConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn bad_accuracy_range_rejected() {
+        let cfg = WorldConfig { accuracy_range: (0.9, 0.5), ..WorldConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_category_rejected() {
+        let cfg = WorldConfig { categories: vec!["spaceship".into()], ..WorldConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn copiers_bounded_by_sources() {
+        let cfg = WorldConfig { n_copiers: 50, n_sources: 50, ..WorldConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn category_specs_subset() {
+        let cfg = WorldConfig {
+            categories: vec!["camera".into(), "monitor".into()],
+            ..WorldConfig::default()
+        };
+        assert_eq!(cfg.category_specs().len(), 2);
+        assert_eq!(WorldConfig::default().category_specs().len(), 10);
+    }
+}

@@ -1,0 +1,77 @@
+//! Copier assignment: which sources plagiarize which.
+//!
+//! Copy detection (the AccuCopy line of work) relies on copiers replaying
+//! their original's *errors* — shared true values are explainable by both
+//! being right, shared false values are the smoking gun. The copy model
+//! here: each copier picks one head source as its original and replays a
+//! `copy_fraction` of its items verbatim, publishing independently for the
+//! rest.
+
+use crate::config::WorldConfig;
+use crate::sources::SourcePlan;
+use bdi_types::SourceId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Mark `cfg.n_copiers` sources as copiers of head sources, mutating
+/// their hidden profiles. Returns `(copier, original)` pairs in
+/// materialization-dependency order (originals are never copiers, so one
+/// pass suffices).
+pub fn assign_copiers(
+    plans: &mut [SourcePlan],
+    cfg: &WorldConfig,
+    rng: &mut StdRng,
+) -> Vec<(SourceId, SourceId)> {
+    if cfg.n_copiers == 0 || plans.len() < 2 {
+        return Vec::new();
+    }
+    let n = cfg.n_copiers.min(plans.len() - 1);
+    // originals: the head half; copiers: drawn from the tail half so the
+    // copy direction matches the web (small sites scrape big ones)
+    let head_end = (plans.len() / 4).max(1);
+    let tail_start = plans.len() - n;
+    let mut pairs = Vec::with_capacity(n);
+    for c in tail_start..plans.len() {
+        let o = rng.gen_range(0..head_end);
+        let (copier_id, orig_id) = (plans[c].source.id, plans[o].source.id);
+        plans[c].profile.copies_from = Some((orig_id, cfg.copy_fraction));
+        // copier mirrors the original's schema for the categories they
+        // share (it scrapes those pages) — take the original's schemas
+        // restricted to the copier's size class
+        plans[c].schemas = plans[o].schemas.clone();
+        plans[c].source.categories = plans[o].source.categories.clone();
+        pairs.push((copier_id, orig_id));
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::plan_sources;
+    use rand::SeedableRng;
+
+    #[test]
+    fn copiers_assigned_from_tail_to_head() {
+        let cfg = WorldConfig { n_copiers: 3, n_sources: 12, ..WorldConfig::tiny(1) };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut plans = plan_sources(&cfg, &mut rng);
+        let pairs = assign_copiers(&mut plans, &cfg, &mut rng);
+        assert_eq!(pairs.len(), 3);
+        for (c, o) in &pairs {
+            assert!(c.0 >= 9, "copier {c} should be a tail source");
+            assert!(o.0 < 3, "original {o} should be a head source");
+            let cp = plans.iter().find(|p| p.source.id == *c).unwrap();
+            assert_eq!(cp.profile.copies_from.unwrap().0, *o);
+        }
+    }
+
+    #[test]
+    fn zero_copiers_noop() {
+        let cfg = WorldConfig::tiny(2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut plans = plan_sources(&cfg, &mut rng);
+        assert!(assign_copiers(&mut plans, &cfg, &mut rng).is_empty());
+        assert!(plans.iter().all(|p| p.profile.copies_from.is_none()));
+    }
+}

@@ -1,0 +1,229 @@
+//! Entity catalog generation: the hidden "real world" of products.
+
+use crate::config::WorldConfig;
+use crate::vocab::{AttrKind, AttrSpec, CategorySpec};
+use crate::zipf::Zipf;
+use bdi_types::value::{Unit, Value};
+use bdi_types::EntityId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One real-world product, with its true attribute values.
+#[derive(Clone, Debug)]
+pub struct Entity {
+    /// Globally unique id; doubles as the popularity rank (0 = head).
+    pub id: EntityId,
+    /// Category spec (static vocabulary).
+    pub category: &'static CategorySpec,
+    /// Brand name.
+    pub brand: &'static str,
+    /// Human-readable model designation, e.g. `"QX-1042"`.
+    pub model: String,
+    /// The canonical product identifier an honest source would publish.
+    pub identifier: String,
+    /// Canonical attribute name → true value.
+    pub truth: BTreeMap<&'static str, Value>,
+}
+
+impl Entity {
+    /// Display title a typical source would use.
+    pub fn title(&self) -> String {
+        format!("{} {} {}", self.brand, self.model, self.category.name.replace('_', " "))
+    }
+}
+
+/// The full entity catalog plus the popularity distribution over it.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    /// Entities indexed by `EntityId.0 as usize`; index = popularity rank.
+    pub entities: Vec<Entity>,
+    popularity: Zipf,
+}
+
+impl Catalog {
+    /// Generate `cfg.n_entities` entities spread round-robin over the
+    /// configured categories, with true values drawn per attribute spec.
+    pub fn generate(cfg: &WorldConfig) -> Self {
+        let specs = cfg.category_specs();
+        assert!(!specs.is_empty(), "no categories configured");
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xE17171E5);
+        let mut entities = Vec::with_capacity(cfg.n_entities);
+        for i in 0..cfg.n_entities {
+            let category = specs[i % specs.len()];
+            let brand = category.brands[rng.gen_range(0..category.brands.len())];
+            let number = 1000 + i as u64;
+            let model = format!("{}{}-{}", initial(brand), letter(&mut rng), number);
+            let identifier = format!(
+                "{}-{}-{:05}",
+                category.id_prefix,
+                &brand[..3].to_ascii_uppercase(),
+                number
+            );
+            let truth = category
+                .attrs
+                .iter()
+                .map(|a| (a.canonical, true_value(a, &mut rng)))
+                .collect();
+            entities.push(Entity {
+                id: EntityId(i as u64),
+                category,
+                brand,
+                model,
+                identifier,
+                truth,
+            });
+        }
+        let popularity = Zipf::new(cfg.n_entities, cfg.entity_popularity_exponent);
+        Self { entities, popularity }
+    }
+
+    /// Sample an entity by popularity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &Entity {
+        &self.entities[self.popularity.sample(rng)]
+    }
+
+    /// Entity by id.
+    pub fn get(&self, id: EntityId) -> &Entity {
+        &self.entities[id.0 as usize]
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the catalog is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+}
+
+fn initial(brand: &str) -> char {
+    brand.chars().next().unwrap_or('X').to_ascii_uppercase()
+}
+
+fn letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    char::from(b'A' + rng.gen_range(0..26u8))
+}
+
+/// Draw a true value for one attribute spec.
+fn true_value<R: Rng + ?Sized>(spec: &AttrSpec, rng: &mut R) -> Value {
+    match spec.kind {
+        AttrKind::Categorical(vocab) => Value::str(vocab[rng.gen_range(0..vocab.len())]),
+        AttrKind::Flag => Value::Bool(rng.gen_bool(0.5)),
+        AttrKind::Numeric { min, max, step, unit, .. } => {
+            let v = draw_stepped(min, max, step, rng);
+            match unit {
+                Some(u) => Value::quantity(v, u),
+                None => Value::num(v),
+            }
+        }
+        AttrKind::Dimensions => {
+            let w = draw_stepped(5.0, 120.0, 0.5, rng);
+            let h = draw_stepped(5.0, 120.0, 0.5, rng);
+            let d = draw_stepped(1.0, 60.0, 0.5, rng);
+            Value::List(vec![
+                Value::quantity(w, Unit::Centimeter),
+                Value::quantity(h, Unit::Centimeter),
+                Value::quantity(d, Unit::Centimeter),
+            ])
+        }
+    }
+}
+
+/// Uniform draw from `{min, min+step, …, max}`.
+fn draw_stepped<R: Rng + ?Sized>(min: f64, max: f64, step: f64, rng: &mut R) -> f64 {
+    let steps = ((max - min) / step).round() as u64;
+    let k = rng.gen_range(0..=steps);
+    // round to kill float drift so equal logical values are bit-equal
+    let v = min + k as f64 * step;
+    (v / step).round() * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let cfg = WorldConfig::tiny(7);
+        let a = Catalog::generate(&cfg);
+        let b = Catalog::generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(x.identifier, y.identifier);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn identifiers_unique() {
+        let cfg = WorldConfig::tiny(1);
+        let c = Catalog::generate(&cfg);
+        let mut ids: Vec<_> = c.entities.iter().map(|e| &e.identifier).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), c.len());
+    }
+
+    #[test]
+    fn truth_covers_all_category_attrs() {
+        let cfg = WorldConfig::tiny(2);
+        let c = Catalog::generate(&cfg);
+        for e in &c.entities {
+            assert_eq!(e.truth.len(), e.category.attrs.len());
+            for a in e.category.attrs {
+                assert!(!e.truth[a.canonical].is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_truth_in_range() {
+        let cfg = WorldConfig::tiny(3);
+        let c = Catalog::generate(&cfg);
+        for e in &c.entities {
+            for a in e.category.attrs {
+                if let AttrKind::Numeric { min, max, unit, .. } = a.kind {
+                    let v = &e.truth[a.canonical];
+                    let mag = match v {
+                        Value::Num(n) => n.get(),
+                        Value::Quantity { magnitude, unit: u } => {
+                            assert_eq!(Some(*u), unit);
+                            magnitude.get()
+                        }
+                        other => panic!("unexpected value {other:?}"),
+                    };
+                    assert!(mag >= min - 1e-9 && mag <= max + 1e-9, "{mag} not in [{min},{max}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_sampling_head_biased() {
+        let cfg = WorldConfig { entity_popularity_exponent: 1.5, ..WorldConfig::tiny(4) };
+        let c = Catalog::generate(&cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            if c.sample(&mut rng).id.0 < 5 {
+                head += 1;
+            }
+        }
+        // top-5 of 60 entities should absorb well over uniform share (8%)
+        assert!(head as f64 / n as f64 > 0.3, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn title_mentions_brand_and_model() {
+        let cfg = WorldConfig::tiny(5);
+        let c = Catalog::generate(&cfg);
+        let e = &c.entities[0];
+        let t = e.title();
+        assert!(t.contains(e.brand));
+        assert!(t.contains(&e.model));
+    }
+}

@@ -1,0 +1,177 @@
+//! Veracity model: false-value pools and per-source error application.
+//!
+//! We follow the classic truth-discovery setup (Dong, Berti-Équille &
+//! Srivastava, VLDB'09): every data item has one true value and a small
+//! pool of *plausible false values* in circulation. An honest source
+//! publishes the truth with probability `accuracy`, otherwise a uniform
+//! draw from the pool; a deceitful source always publishes the *same*
+//! false value (systematic misinformation), which is what makes deceit so
+//! much more damaging than honest noise once copiers spread it.
+
+use crate::entities::Entity;
+use crate::vocab::{AttrKind, AttrSpec};
+use bdi_types::value::{Unit, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pool of `k` distinct false values for one data item.
+///
+/// The pool is a function of `(world_seed, entity, attribute)` only, so
+/// every source draws errors from the *same* pool — without that, false
+/// values would never collide across sources and majority voting would be
+/// trivially perfect.
+pub fn false_pool(entity: &Entity, spec: &AttrSpec, k: usize, world_seed: u64) -> Vec<Value> {
+    let mut h = 0xcbf29ce484222325u64 ^ world_seed;
+    for b in spec.canonical.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^= entity.id.0.wrapping_mul(0x9E3779B97F4A7C15);
+    let mut rng = StdRng::seed_from_u64(h);
+    let truth = &entity.truth[spec.canonical];
+    let mut pool = Vec::with_capacity(k);
+    let mut guard = 0;
+    while pool.len() < k && guard < k * 40 {
+        guard += 1;
+        let cand = perturb(truth, &spec.kind, &mut rng);
+        if !cand.equivalent(truth) && !pool.iter().any(|p: &Value| p.equivalent(&cand)) {
+            pool.push(cand);
+        }
+    }
+    pool
+}
+
+fn perturb<R: Rng + ?Sized>(truth: &Value, kind: &AttrKind, rng: &mut R) -> Value {
+    match (kind, truth) {
+        (AttrKind::Categorical(vocab), _) => Value::str(vocab[rng.gen_range(0..vocab.len())]),
+        (AttrKind::Flag, Value::Bool(b)) => Value::Bool(!b),
+        (AttrKind::Numeric { min, max, step, unit, .. }, _) => {
+            let t = truth.base_magnitude().unwrap_or(*min);
+            // plausible error: within ±30% of the range, stepped
+            let span = (max - min) * 0.3;
+            let delta = (rng.gen_range(1..=((span / step).ceil() as i64).max(1)) as f64) * step;
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let raw = (t / unit.map_or(1.0, Unit::to_base)) + sign * delta;
+            let v = raw.clamp(*min, *max);
+            let v = (v / step).round() * step;
+            match unit {
+                Some(u) => Value::quantity(v, *u),
+                None => Value::num(v),
+            }
+        }
+        (AttrKind::Dimensions, Value::List(parts)) => Value::List(
+            parts
+                .iter()
+                .map(|p| {
+                    let m = p.base_magnitude().unwrap_or(10.0) / Unit::Centimeter.to_base();
+                    let m = (m + rng.gen_range(-5.0..5.0)).max(0.5);
+                    Value::quantity((m * 2.0).round() / 2.0, Unit::Centimeter)
+                })
+                .collect(),
+        ),
+        // shape mismatch (shouldn't happen for generated truth): fall back
+        // to a string marker distinct from anything real
+        _ => Value::str(format!("bogus-{}", rng.gen::<u32>())),
+    }
+}
+
+/// What a source publishes for one data item, given its hidden profile.
+pub fn publish_value<R: Rng + ?Sized>(
+    truth: &Value,
+    pool: &[Value],
+    accuracy: f64,
+    deceitful: bool,
+    rng: &mut R,
+) -> Value {
+    if pool.is_empty() {
+        return truth.clone();
+    }
+    if deceitful {
+        // systematic: always the same (first) false value
+        return pool[0].clone();
+    }
+    if rng.gen_bool(accuracy.clamp(0.0, 1.0)) {
+        truth.clone()
+    } else {
+        pool[rng.gen_range(0..pool.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::entities::Catalog;
+
+    fn first_entity_attr() -> (Catalog, usize) {
+        let cfg = WorldConfig::tiny(11);
+        (Catalog::generate(&cfg), 0)
+    }
+
+    #[test]
+    fn pool_excludes_truth_and_is_distinct() {
+        let (cat, i) = first_entity_attr();
+        let e = &cat.entities[i];
+        for spec in e.category.attrs {
+            let pool = false_pool(e, spec, 5, 99);
+            let truth = &e.truth[spec.canonical];
+            for v in &pool {
+                assert!(!v.equivalent(truth), "{}: pool contains truth", spec.canonical);
+            }
+            for a in 0..pool.len() {
+                for b in (a + 1)..pool.len() {
+                    assert!(!pool[a].equivalent(&pool[b]), "{}: dup false values", spec.canonical);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_deterministic_per_item() {
+        let (cat, i) = first_entity_attr();
+        let e = &cat.entities[i];
+        let spec = &e.category.attrs[0];
+        assert_eq!(false_pool(e, spec, 5, 1), false_pool(e, spec, 5, 1));
+        // different seed -> (almost surely) different pool for numeric attrs
+    }
+
+    #[test]
+    fn flag_pool_is_single_negation() {
+        let (cat, _) = first_entity_attr();
+        for e in &cat.entities {
+            for spec in e.category.attrs {
+                if matches!(spec.kind, AttrKind::Flag) {
+                    let pool = false_pool(e, spec, 5, 3);
+                    assert_eq!(pool.len(), 1, "flag pool must be the single negation");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn publish_respects_accuracy_extremes() {
+        let (cat, i) = first_entity_attr();
+        let e = &cat.entities[i];
+        let spec = &e.category.attrs[0];
+        let truth = &e.truth[spec.canonical];
+        let pool = false_pool(e, spec, 5, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert!(publish_value(truth, &pool, 1.0, false, &mut rng).equivalent(truth));
+            assert!(!publish_value(truth, &pool, 0.0, false, &mut rng).equivalent(truth));
+        }
+    }
+
+    #[test]
+    fn deceit_is_systematic() {
+        let (cat, i) = first_entity_attr();
+        let e = &cat.entities[i];
+        let spec = &e.category.attrs[0];
+        let truth = &e.truth[spec.canonical];
+        let pool = false_pool(e, spec, 5, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let first = publish_value(truth, &pool, 0.9, true, &mut rng);
+        for _ in 0..20 {
+            assert_eq!(publish_value(truth, &pool, 0.9, true, &mut rng), first);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # bdi-synth — a generative model of the product web
+//!
+//! The ICDE 2013 "Big Data Integration" tutorial's experiments live on the
+//! live web: thousands of sources, millions of product pages, copying,
+//! errors, churn. This crate replaces that world with a *controlled
+//! generative model* exposing exactly the knobs the surveyed results
+//! depend on:
+//!
+//! * **Volume** — Zipf-distributed source sizes and entity popularity
+//!   ([`zipf`]): a few head sources/entities, a long tail.
+//! * **Variety** — per-source local schemas derived from a hidden global
+//!   schema by renaming, attribute dropping, unit changes, and field
+//!   splitting ([`sources`], [`vocab`]).
+//! * **Veracity** — per-source accuracy, honest random errors versus
+//!   systematic deceit, and inter-source copying ([`errors`], [`copying`]).
+//! * **Velocity** — snapshot sequences with source/page churn and value
+//!   drift ([`churn`]).
+//!
+//! [`world::World`] bundles the generated [`bdi_types::Dataset`] with its
+//! [`bdi_types::GroundTruth`] oracle. Everything is deterministic given the
+//! seed in [`config::WorldConfig`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod config;
+pub mod copying;
+pub mod entities;
+pub mod errors;
+pub mod sources;
+pub mod stats;
+pub mod vocab;
+pub mod world;
+pub mod zipf;
+
+pub use config::WorldConfig;
+pub use world::{Claim, World};
+pub use zipf::Zipf;

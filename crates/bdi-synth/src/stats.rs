@@ -1,0 +1,157 @@
+//! Variety/volume statistics over a dataset — the numbers the product-web
+//! measurement studies report (attribute-name long tail, source size
+//! skew, entity redundancy). Experiment E16 checks our generated worlds
+//! exhibit the same shapes.
+
+use bdi_types::{Dataset, GroundTruth};
+use std::collections::{BTreeMap, HashMap};
+
+/// Head/tail statistics of attribute names across sources.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttrNameStats {
+    /// Distinct normalized attribute names.
+    pub distinct: usize,
+    /// Fraction of names used by fewer than 3% of sources.
+    pub tail_fraction_lt_3pct: f64,
+    /// Number of names used by at least 10% of sources.
+    pub names_in_ge_10pct: usize,
+    /// Source-fraction of the single most popular name.
+    pub top_name_source_fraction: f64,
+}
+
+/// Compute attribute-name statistics (names normalized by lowercasing,
+/// as the published measurements do).
+pub fn attr_name_stats(ds: &Dataset) -> AttrNameStats {
+    let n_sources = ds.source_count().max(1);
+    // name -> set of sources using it
+    let mut by_name: HashMap<String, std::collections::BTreeSet<u32>> = HashMap::new();
+    for r in ds.records() {
+        for name in r.attributes.keys() {
+            by_name
+                .entry(name.to_ascii_lowercase())
+                .or_default()
+                .insert(r.id.source.0);
+        }
+    }
+    let distinct = by_name.len();
+    if distinct == 0 {
+        return AttrNameStats {
+            distinct: 0,
+            tail_fraction_lt_3pct: 0.0,
+            names_in_ge_10pct: 0,
+            top_name_source_fraction: 0.0,
+        };
+    }
+    let mut tail = 0usize;
+    let mut head10 = 0usize;
+    let mut top = 0usize;
+    for sources in by_name.values() {
+        let k = sources.len();
+        if (k as f64) < 0.03 * n_sources as f64 {
+            tail += 1;
+        }
+        if k as f64 >= 0.10 * n_sources as f64 {
+            head10 += 1;
+        }
+        top = top.max(k);
+    }
+    AttrNameStats {
+        distinct,
+        tail_fraction_lt_3pct: tail as f64 / distinct as f64,
+        names_in_ge_10pct: head10,
+        top_name_source_fraction: top as f64 / n_sources as f64,
+    }
+}
+
+/// Source sizes (record counts) in descending order.
+pub fn source_sizes(ds: &Dataset) -> Vec<usize> {
+    let mut sizes: Vec<usize> = ds
+        .sources()
+        .map(|s| ds.records_of(s.id).count())
+        .collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Per-entity source coverage: how many sources publish each entity,
+/// in descending order. The redundancy that powers the whole approach.
+pub fn entity_coverage(truth: &GroundTruth) -> Vec<usize> {
+    let mut cov: BTreeMap<u64, std::collections::BTreeSet<u32>> = BTreeMap::new();
+    for (rid, e) in &truth.record_entity {
+        cov.entry(e.0).or_default().insert(rid.source.0);
+    }
+    let mut counts: Vec<usize> = cov.values().map(|s| s.len()).collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts
+}
+
+/// Gini coefficient of a nonnegative count vector — 0 is perfectly even,
+/// →1 is maximally skewed. Used to summarize head/tail shape.
+pub fn gini(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    #[test]
+    fn stats_on_generated_world_show_long_tail() {
+        let cfg = WorldConfig { n_sources: 40, ..WorldConfig::tiny(8) };
+        let w = World::generate(cfg);
+        let stats = attr_name_stats(&w.dataset);
+        assert!(stats.distinct > 30, "expected rich name variety, got {}", stats.distinct);
+        assert!(
+            stats.top_name_source_fraction < 1.0,
+            "no name should be universal"
+        );
+    }
+
+    #[test]
+    fn source_sizes_skewed() {
+        let w = World::generate(WorldConfig { n_sources: 20, ..WorldConfig::tiny(9) });
+        let sizes = source_sizes(&w.dataset);
+        assert_eq!(sizes.len(), 20);
+        assert!(sizes[0] >= sizes[sizes.len() - 1]);
+        assert!(gini(&sizes) > 0.2, "source sizes should be skewed, gini={}", gini(&sizes));
+    }
+
+    #[test]
+    fn entity_coverage_head_biased() {
+        let w = World::generate(WorldConfig { n_sources: 20, ..WorldConfig::tiny(10) });
+        let cov = entity_coverage(&w.truth);
+        assert!(!cov.is_empty());
+        assert!(cov[0] > cov[cov.len() - 1], "head entities should appear in more sources");
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!((gini(&[5, 5, 5, 5])).abs() < 1e-12);
+        assert!(gini(&[100, 0, 0, 0]) > 0.7);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let ds = Dataset::new();
+        let s = attr_name_stats(&ds);
+        assert_eq!(s.distinct, 0);
+    }
+}

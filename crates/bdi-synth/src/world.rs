@@ -1,0 +1,239 @@
+//! World assembly: catalog → plans → copiers → materialized dataset.
+
+use crate::config::WorldConfig;
+use crate::copying::assign_copiers;
+use crate::entities::Catalog;
+use crate::sources::{materialize_source, plan_sources, PublishedLedger, SourcePlan};
+use bdi_types::{DataItem, Dataset, GroundTruth, SourceId, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// One source's claim about one data item — the input format of data
+/// fusion. Values are in canonical form so equal claims group by equality.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Claim {
+    /// Claiming source.
+    pub source: SourceId,
+    /// The data item claimed about.
+    pub item: DataItem,
+    /// Claimed value (canonical form).
+    pub value: Value,
+}
+
+/// A fully generated synthetic product web: the observable dataset plus
+/// the hidden oracle.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// Configuration the world was generated from.
+    pub config: WorldConfig,
+    /// The observable records (what the pipeline sees).
+    pub dataset: Dataset,
+    /// The oracle (what only evaluation sees).
+    pub truth: GroundTruth,
+    /// The entity catalog (generator-internal; exposed for page rendering
+    /// and for experiments that need the true popularity ranking).
+    pub catalog: Catalog,
+    /// Source plans (generator-internal; exposed for page rendering).
+    pub plans: Vec<SourcePlan>,
+}
+
+impl World {
+    /// Generate a world. Panics on invalid config (validate first for a
+    /// `Result`).
+    pub fn generate(cfg: WorldConfig) -> Self {
+        cfg.validate().expect("invalid WorldConfig");
+        let catalog = Catalog::generate(&cfg);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x50AC_0FF5);
+        let mut plans = plan_sources(&cfg, &mut rng);
+        assign_copiers(&mut plans, &cfg, &mut rng);
+
+        let mut dataset = Dataset::new();
+        let mut truth = GroundTruth::default();
+        let mut ledger = PublishedLedger::new();
+        let mut mat_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0DA7_A5E7);
+
+        // originals first so copiers find their ledger entries
+        let (originals, copiers): (Vec<_>, Vec<_>) =
+            plans.iter().partition(|p| p.profile.copies_from.is_none());
+        for plan in &originals {
+            materialize_source(
+                plan, &cfg, &catalog, &mut mat_rng, &mut dataset, &mut truth, &mut ledger, None,
+            );
+        }
+        for plan in &copiers {
+            let (orig, frac) = plan.profile.copies_from.expect("copier has original");
+            let orig_entities: BTreeSet<u64> = ledger
+                .keys()
+                .filter(|(s, _, _)| *s == orig)
+                .map(|(_, e, _)| *e)
+                .collect();
+            let orig_ledger = ledger.clone();
+            materialize_source(
+                plan,
+                &cfg,
+                &catalog,
+                &mut mat_rng,
+                &mut dataset,
+                &mut truth,
+                &mut ledger,
+                Some((&orig_ledger, orig, frac, &orig_entities)),
+            );
+        }
+
+        Self { config: cfg, dataset, truth, catalog, plans }
+    }
+
+    /// Perfectly-aligned claims view: every published attribute value,
+    /// resolved to its data item via the *oracle's* linkage and alignment,
+    /// in canonical value form.
+    ///
+    /// This is what isolates fusion experiments from upstream stages —
+    /// exactly how the truth-discovery literature evaluates (claims
+    /// tables, not raw pages).
+    pub fn oracle_claims(&self) -> Vec<Claim> {
+        let mut out = Vec::new();
+        for r in self.dataset.records() {
+            let Some(entity) = self.truth.entity_of(r.id) else { continue };
+            for (local, v) in &r.attributes {
+                if v.is_null() {
+                    continue;
+                }
+                let Some(canon) = self.truth.canonical_attr(r.id.source, local) else { continue };
+                out.push(Claim {
+                    source: r.id.source,
+                    item: DataItem::new(entity, canon.to_string()),
+                    value: v.canonical(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Convenience: number of records.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// True when the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = World::generate(WorldConfig::tiny(9));
+        let b = World::generate(WorldConfig::tiny(9));
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        let ra = a.dataset.records();
+        let rb = b.dataset.records();
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldConfig::tiny(1));
+        let b = World::generate(WorldConfig::tiny(2));
+        let same = a
+            .dataset
+            .records()
+            .iter()
+            .zip(b.dataset.records())
+            .all(|(x, y)| x == y);
+        assert!(!same);
+    }
+
+    #[test]
+    fn every_record_has_entity_and_mapped_attrs() {
+        let w = World::generate(WorldConfig::tiny(3));
+        for r in w.dataset.records() {
+            let e = w.truth.entity_of(r.id).expect("entity known");
+            assert!(w.truth.entity_category.contains_key(&e));
+            for local in r.attributes.keys() {
+                assert!(w.truth.canonical_attr(r.id.source, local).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_claims_reference_registered_items() {
+        let w = World::generate(WorldConfig::tiny(4));
+        let claims = w.oracle_claims();
+        assert!(!claims.is_empty());
+        for c in &claims {
+            assert!(
+                w.truth.item_truth.contains_key(&c.item),
+                "claim about unregistered item {:?}",
+                c.item
+            );
+        }
+    }
+
+    #[test]
+    fn claim_truth_rate_tracks_accuracy_band() {
+        let cfg = WorldConfig {
+            accuracy_range: (0.9, 0.9),
+            p_deceitful: 0.0,
+            n_copiers: 0,
+            ..WorldConfig::tiny(5)
+        };
+        let w = World::generate(cfg);
+        let claims = w.oracle_claims();
+        let correct = claims
+            .iter()
+            .filter(|c| {
+                w.truth
+                    .true_value(&c.item)
+                    .map(|t| c.value.equivalent(&t.canonical()))
+                    .unwrap_or(false)
+            })
+            .count();
+        let rate = correct as f64 / claims.len() as f64;
+        assert!(
+            (0.84..=0.96).contains(&rate),
+            "claim truth rate {rate} should be near 0.9"
+        );
+    }
+
+    #[test]
+    fn copiers_share_errors_with_original() {
+        let cfg = WorldConfig {
+            n_sources: 12,
+            n_copiers: 2,
+            copy_fraction: 0.9,
+            accuracy_range: (0.6, 0.8),
+            ..WorldConfig::tiny(6)
+        };
+        let w = World::generate(cfg);
+        let pairs = w.truth.copier_pairs();
+        assert_eq!(pairs.len(), 2);
+        // copier and original agree on wrong values far more often than
+        // two independent sources would
+        let claims = w.oracle_claims();
+        let by_source_item: std::collections::HashMap<_, _> = claims
+            .iter()
+            .map(|c| ((c.source, c.item.clone()), &c.value))
+            .collect();
+        for (copier, orig) in pairs {
+            let mut shared_false = 0;
+            for c in claims.iter().filter(|c| c.source == copier) {
+                let t = w.truth.true_value(&c.item).unwrap().canonical();
+                if !c.value.equivalent(&t) {
+                    if let Some(ov) = by_source_item.get(&(orig, c.item.clone())) {
+                        if c.value.equivalent(ov) {
+                            shared_false += 1;
+                        }
+                    }
+                }
+            }
+            assert!(shared_false > 0, "copier {copier} shares no false values with {orig}");
+        }
+    }
+}

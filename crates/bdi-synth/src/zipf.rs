@@ -1,0 +1,155 @@
+//! Zipf sampling — the head/tail engine.
+//!
+//! Both source sizes and entity popularity in the product web follow
+//! heavy-tailed distributions; the tutorial's volume argument (tail
+//! sources matter) is a statement about this shape. We implement Zipf
+//! ourselves (precomputed CDF + binary search) to keep the substrate
+//! dependency-free and deterministic.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k+1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `n` must be ≥ 1; `s` ≥ 0 (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point leaving the last bucket slightly
+        // below 1.0, which would make sampling at u≈1 fall off the end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n ≥ 1 by construction); present for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sample a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.quantile(u)
+    }
+
+    /// Rank at quantile `u ∈ [0,1]`.
+    pub fn quantile(&self, u: f64) -> usize {
+        let u = u.clamp(0.0, 1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn head_dominates_when_s_large() {
+        let z = Zipf::new(100, 2.0);
+        assert!(z.pmf(0) > 0.6);
+        assert!(z.pmf(0) > 100.0 * z.pmf(50));
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: freq {freq} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let z = Zipf::new(5, 1.5);
+        assert_eq!(z.quantile(0.0), 0);
+        assert_eq!(z.quantile(1.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pmf_sums_to_one(n in 1usize..200, s in 0.0f64..3.0) {
+            let z = Zipf::new(n, s);
+            let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn pmf_monotone_nonincreasing(n in 2usize..100, s in 0.0f64..3.0) {
+            let z = Zipf::new(n, s);
+            for k in 1..n {
+                prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn samples_in_range(n in 1usize..50, s in 0.0f64..3.0, seed in 0u64..1000) {
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

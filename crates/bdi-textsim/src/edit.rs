@@ -1,0 +1,240 @@
+//! Character-level edit distances and similarities.
+
+/// Levenshtein distance (insert/delete/substitute, unit costs).
+///
+/// Two-row dynamic program: O(|a|·|b|) time, O(min(|a|,|b|)) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity: `1 - d / max_len`, `1.0` for two empty strings.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Damerau-Levenshtein distance (adds adjacent transposition), restricted
+/// variant (optimal string alignment).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut row0 = vec![0usize; m + 1];
+    let mut row1: Vec<usize> = (0..=m).collect();
+    let mut row2 = vec![0usize; m + 1];
+    for i in 1..=n {
+        row2[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (row1[j - 1] + cost).min(row1[j] + 1).min(row2[j - 1] + 1);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(row0[j - 2] + 1);
+            }
+            row2[j] = best;
+        }
+        std::mem::swap(&mut row0, &mut row1);
+        std::mem::swap(&mut row1, &mut row2);
+    }
+    row1[m]
+}
+
+/// Jaro similarity, the base of Jaro-Winkler. Returns in `[0, 1]`.
+pub fn jaro_sim(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &u)| u.then_some(c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by common-prefix length (up to 4
+/// chars, scaling factor 0.1). Designed for short name-like strings —
+/// exactly the product-identifier comparisons linkage relies on.
+pub fn jaro_winkler_sim(a: &str, b: &str) -> f64 {
+    let jaro = jaro_sim(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (jaro + prefix as f64 * 0.1 * (1.0 - jaro)).min(1.0)
+}
+
+/// Length of the longest common subsequence.
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// LCS similarity: `2·lcs / (|a|+|b|)`, `1.0` for two empty strings.
+pub fn lcs_sim(a: &str, b: &str) -> f64 {
+    let total = a.chars().count() + b.chars().count();
+    if total == 0 {
+        return 1.0;
+    }
+    2.0 * lcs_len(a, b) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("a cat", "a tac"), 2);
+        assert_eq!(damerau_levenshtein("", "xy"), 2);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        let s = jaro_sim("MARTHA", "MARHTA");
+        assert!((s - 0.944444).abs() < 1e-4, "got {s}");
+        let s = jaro_sim("DIXON", "DICKSONX");
+        assert!((s - 0.766667).abs() < 1e-4, "got {s}");
+        assert_eq!(jaro_sim("", ""), 1.0);
+        assert_eq!(jaro_sim("a", ""), 0.0);
+        assert_eq!(jaro_sim("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        let s = jaro_winkler_sim("MARTHA", "MARHTA");
+        assert!((s - 0.961111).abs() < 1e-4, "got {s}");
+        // identical prefix boosts over plain jaro
+        assert!(jaro_winkler_sim("prefixAAA", "prefixBBB") > jaro_sim("prefixAAA", "prefixBBB"));
+    }
+
+    #[test]
+    fn lcs_known_values() {
+        assert_eq!(lcs_len("ABCBDAB", "BDCABA"), 4);
+        assert_eq!(lcs_len("", "abc"), 0);
+        assert!((lcs_sim("abc", "abc") - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_symmetric(a in ".{0,24}", b in ".{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn levenshtein_identity(a in ".{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn levenshtein_triangle(a in ".{0,12}", b in ".{0,12}", c in ".{0,12}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn damerau_le_levenshtein(a in ".{0,16}", b in ".{0,16}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn sims_in_unit_interval(a in ".{0,20}", b in ".{0,20}") {
+            for s in [levenshtein_sim(&a, &b), jaro_sim(&a, &b),
+                      jaro_winkler_sim(&a, &b), lcs_sim(&a, &b)] {
+                prop_assert!((0.0..=1.0).contains(&s), "sim {s} out of range");
+            }
+        }
+
+        #[test]
+        fn sims_symmetric(a in ".{0,20}", b in ".{0,20}") {
+            prop_assert!((jaro_sim(&a, &b) - jaro_sim(&b, &a)).abs() < 1e-12);
+            prop_assert!((lcs_sim(&a, &b) - lcs_sim(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn sims_identity_is_one(a in ".{0,20}") {
+            prop_assert!((levenshtein_sim(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((jaro_winkler_sim(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Token/character hybrid similarities.
+//!
+//! Product titles mix stable tokens ("canon") with noisy ones ("eos-5d" vs
+//! "eos 5d mk ii"). Hybrids tokenize first, then compare tokens with a
+//! character-level inner similarity, tolerating both word reordering and
+//! within-word typos.
+
+use crate::edit::jaro_winkler_sim;
+
+/// Monge-Elkan similarity: for each token of `a`, the best inner
+/// similarity against any token of `b`, averaged. Uses Jaro-Winkler as the
+/// inner measure.
+///
+/// Note: Monge-Elkan is asymmetric by definition; this implementation
+/// symmetrizes by averaging both directions so it obeys the crate's
+/// symmetry convention.
+pub fn monge_elkan_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    (directional_me(a, b) + directional_me(b, a)) / 2.0
+}
+
+fn directional_me<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let total: f64 = a
+        .iter()
+        .map(|ta| {
+            b.iter()
+                .map(|tb| jaro_winkler_sim(ta.as_ref(), tb.as_ref()))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    total / a.len() as f64
+}
+
+/// Soft Jaccard: like Jaccard but tokens "match" when their inner
+/// similarity exceeds `threshold`. Greedy one-to-one matching by
+/// descending similarity.
+pub fn soft_jaccard_sim<S: AsRef<str>>(a: &[S], b: &[S], threshold: f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, ta) in a.iter().enumerate() {
+        for (j, tb) in b.iter().enumerate() {
+            let s = jaro_winkler_sim(ta.as_ref(), tb.as_ref());
+            if s >= threshold {
+                pairs.push((s, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut used_a = vec![false; a.len()];
+    let mut used_b = vec![false; b.len()];
+    let mut matched = 0usize;
+    for (_, i, j) in pairs {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            matched += 1;
+        }
+    }
+    matched as f64 / (a.len() + b.len() - matched) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_typos_and_reorder() {
+        let a = v(&["canon", "eos", "5d"]);
+        let b = v(&["5d", "eos", "cannon"]); // reordered + typo
+        assert!(monge_elkan_sim(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn monge_elkan_disjoint_low() {
+        let a = v(&["aaa"]);
+        let b = v(&["zzz"]);
+        assert!(monge_elkan_sim(&a, &b) < 0.5);
+    }
+
+    #[test]
+    fn soft_jaccard_matches_fuzzy_tokens() {
+        let a = v(&["blue", "widget"]);
+        let b = v(&["blu", "widgett"]);
+        assert!((soft_jaccard_sim(&a, &b, 0.85) - 1.0).abs() < 1e-12);
+        // with a strict threshold nothing matches
+        assert_eq!(soft_jaccard_sim(&a, &b, 0.999), 0.0);
+    }
+
+    #[test]
+    fn soft_jaccard_one_to_one() {
+        // one token of a cannot consume two tokens of b
+        let a = v(&["x"]);
+        let b = v(&["x", "x"]);
+        let s = soft_jaccard_sim(&a, &b, 0.9);
+        assert!((s - 0.5).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        assert_eq!(monge_elkan_sim::<String>(&[], &[]), 1.0);
+        assert_eq!(monge_elkan_sim(&v(&["a"]), &[]), 0.0);
+        assert_eq!(soft_jaccard_sim::<String>(&[], &[], 0.9), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn hybrid_sims_unit_range_and_symmetric(
+            a in proptest::collection::vec("[a-d]{1,4}", 0..5),
+            b in proptest::collection::vec("[a-d]{1,4}", 0..5),
+        ) {
+            let me = monge_elkan_sim(&a, &b);
+            let sj = soft_jaccard_sim(&a, &b, 0.9);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&me));
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&sj));
+            prop_assert!((me - monge_elkan_sim(&b, &a)).abs() < 1e-12);
+            prop_assert!((sj - soft_jaccard_sim(&b, &a, 0.9)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn identity_is_one(a in proptest::collection::vec("[a-d]{1,4}", 1..5)) {
+            prop_assert!((monge_elkan_sim(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((soft_jaccard_sim(&a, &a, 0.99) - 1.0).abs() < 1e-12);
+        }
+    }
+}

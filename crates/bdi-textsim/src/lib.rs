@@ -1,0 +1,45 @@
+//! # bdi-textsim — string similarity and tokenization substrate
+//!
+//! Record linkage and schema alignment both reduce, at the bottom, to
+//! "how similar are these two strings / token bags / value sets?". This
+//! crate provides that substrate, self-contained (no dependencies):
+//!
+//! * [`edit`] — character-level distances: Levenshtein, Damerau,
+//!   Jaro, Jaro-Winkler, longest common subsequence.
+//! * [`token`] — tokenizers and q-gram extraction.
+//! * [`set`] — set/bag similarities: Jaccard, Dice, overlap, cosine.
+//! * [`tfidf`] — corpus-weighted cosine similarity with a reusable
+//!   vocabulary index.
+//! * [`hybrid`] — token-level/character-level hybrids: Monge-Elkan,
+//!   soft-Jaccard.
+//! * [`phonetic`] — Soundex codes for phonetic blocking keys.
+//! * [`numeric`] — similarity of numeric magnitudes.
+//! * [`mod@normalize`] — the canonicalizations (casefold, strip punctuation)
+//!   applied before any comparison.
+//!
+//! ## Conventions
+//!
+//! Every `*_sim` function returns a similarity in `[0, 1]`, is symmetric,
+//! and returns exactly `1.0` for identical inputs — invariants enforced by
+//! property tests. `*_distance` functions return raw distances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edit;
+pub mod hybrid;
+pub mod normalize;
+pub mod numeric;
+pub mod phonetic;
+pub mod set;
+pub mod tfidf;
+pub mod token;
+
+pub use edit::{damerau_levenshtein, jaro_sim, jaro_winkler_sim, levenshtein, levenshtein_sim};
+pub use hybrid::{monge_elkan_sim, soft_jaccard_sim};
+pub use normalize::{normalize, normalize_attr_name};
+pub use numeric::relative_sim;
+pub use phonetic::soundex;
+pub use set::{cosine_sim, dice_sim, jaccard_sim, overlap_sim};
+pub use tfidf::TfIdfIndex;
+pub use token::{qgrams, tokenize, word_tokens};

@@ -1,0 +1,65 @@
+//! Canonicalization applied before comparison.
+
+/// Normalize a string for comparison: ASCII-lowercase, map punctuation to
+/// spaces, collapse whitespace runs, trim.
+///
+/// This mirrors the normalization used in the product-web studies when
+/// counting distinct attribute names ("after normalization by lowercasing
+/// and removal of non alphanumeric characters").
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        let c = if c.is_alphanumeric() { Some(c.to_ascii_lowercase()) } else { None };
+        match c {
+            Some(c) => {
+                out.push(c);
+                last_space = false;
+            }
+            None => {
+                if !last_space {
+                    out.push(' ');
+                    last_space = true;
+                }
+            }
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Normalize an attribute name: like [`normalize`] but also removes all
+/// spaces, so `"Screen Size"`, `"screen-size"` and `"screensize"` coincide.
+pub fn normalize_attr_name(s: &str) -> String {
+    normalize(s).replace(' ', "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_punctuation_and_case() {
+        assert_eq!(normalize("  Screen--Size (cm) "), "screen size cm");
+        assert_eq!(normalize("A.B.C"), "a b c");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn attr_name_variants_coincide() {
+        for v in ["Screen Size", "screen-size", "SCREEN_SIZE", "screensize"] {
+            assert_eq!(normalize_attr_name(v), "screensize");
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for s in ["Hello, World!", "a  b", "MIXED case-Text 42"] {
+            let once = normalize(s);
+            assert_eq!(normalize(&once), once);
+        }
+    }
+}

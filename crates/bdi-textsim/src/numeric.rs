@@ -1,0 +1,88 @@
+//! Numeric magnitude similarity.
+
+/// Relative similarity of two magnitudes: `1 - |a-b| / max(|a|,|b|)`,
+/// clamped to `[0,1]`. Equal values (including both zero) score `1.0`;
+/// opposite signs score `0.0`.
+///
+/// This is the comparison fusion and linkage use for prices, weights and
+/// other continuous attributes, where "129.99 vs 130.00" should be nearly
+/// identical but "129.99 vs 12.99" should not.
+pub fn relative_sim(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / scale).clamp(0.0, 1.0)
+}
+
+/// Similarity with an absolute tolerance: `1.0` inside `tol`, linearly
+/// decaying to `0.0` at `4·tol`. Useful when the tolerance is known
+/// (e.g. rounding to integer millimeters).
+pub fn tolerance_sim(a: f64, b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a.is_nan() || b.is_nan() {
+        return 0.0;
+    }
+    let d = (a - b).abs();
+    if d <= tol {
+        1.0
+    } else {
+        (1.0 - (d - tol) / (3.0 * tol)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relative_known() {
+        assert_eq!(relative_sim(100.0, 100.0), 1.0);
+        assert!(relative_sim(129.99, 130.0) > 0.999);
+        assert!(relative_sim(129.99, 12.99) < 0.2);
+        assert_eq!(relative_sim(1.0, -1.0), 0.0);
+        assert_eq!(relative_sim(0.0, 0.0), 1.0);
+        assert_eq!(relative_sim(f64::NAN, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tolerance_known() {
+        assert_eq!(tolerance_sim(10.0, 10.5, 1.0), 1.0);
+        assert_eq!(tolerance_sim(10.0, 14.0, 1.0), 0.0);
+        let mid = tolerance_sim(10.0, 12.5, 1.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn tolerance_rejects_nonpositive() {
+        tolerance_sim(1.0, 2.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn relative_unit_range_symmetric(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let s = relative_sim(a, b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - relative_sim(b, a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn relative_identity(a in -1e6f64..1e6) {
+            prop_assert_eq!(relative_sim(a, a), 1.0);
+        }
+
+        #[test]
+        fn tolerance_monotone_in_distance(a in 0.0f64..100.0, d1 in 0.0f64..10.0, d2 in 0.0f64..10.0) {
+            let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(tolerance_sim(a, a + near, 1.0) >= tolerance_sim(a, a + far, 1.0));
+        }
+    }
+}

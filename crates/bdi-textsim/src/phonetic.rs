@@ -1,0 +1,91 @@
+//! Phonetic encoding (Soundex) — cheap fuzzy blocking keys.
+
+/// American Soundex code of the first word of `s`, e.g. `"Robert"` →
+/// `"R163"`. Returns `None` when the input has no ASCII letter to anchor
+/// the code.
+pub fn soundex(s: &str) -> Option<String> {
+    let mut chars = s.chars().filter(|c| c.is_ascii_alphabetic()).map(|c| c.to_ascii_uppercase());
+    let first = chars.next()?;
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = soundex_digit(first);
+    for c in chars {
+        let d = soundex_digit(c);
+        match d {
+            // vowels and 'H'/'W'/'Y' reset-or-pass: vowels reset the
+            // adjacency, H/W are transparent
+            0 => {
+                if matches!(c, 'A' | 'E' | 'I' | 'O' | 'U' | 'Y') {
+                    last_digit = 0;
+                }
+            }
+            d if d != last_digit => {
+                code.push(char::from(b'0' + d));
+                last_digit = d;
+                if code.len() == 4 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+fn soundex_digit(c: char) -> u8 {
+    match c {
+        'B' | 'F' | 'P' | 'V' => 1,
+        'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+        'D' | 'T' => 3,
+        'L' => 4,
+        'M' | 'N' => 5,
+        'R' => 6,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn similar_sounding_names_collide() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Canon"), soundex("Cannon"));
+    }
+
+    #[test]
+    fn empty_and_nonalpha_none() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("12345"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn code_shape(s in "[A-Za-z]{1,12}") {
+            let c = soundex(&s).unwrap();
+            prop_assert_eq!(c.len(), 4);
+            prop_assert!(c.chars().next().unwrap().is_ascii_uppercase());
+            prop_assert!(c.chars().skip(1).all(|d| d.is_ascii_digit()));
+        }
+
+        #[test]
+        fn case_insensitive(s in "[A-Za-z]{1,12}") {
+            prop_assert_eq!(soundex(&s), soundex(&s.to_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Set and bag similarities over token collections.
+
+use std::collections::HashSet;
+
+fn to_set<'a, S: AsRef<str> + 'a>(items: &'a [S]) -> HashSet<&'a str> {
+    items.iter().map(AsRef::as_ref).collect()
+}
+
+/// Jaccard similarity `|A∩B| / |A∪B|`; `1.0` when both sets are empty.
+pub fn jaccard_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(&b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)`; `1.0` when both sets are empty.
+pub fn dice_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(&b).count();
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)`; `1.0` when either set is
+/// empty (vacuous containment).
+pub fn overlap_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 1.0;
+    }
+    a.intersection(&b).count() as f64 / min as f64
+}
+
+/// Unweighted cosine similarity over token multisets (bag model).
+pub fn cosine_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    use std::collections::HashMap;
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut ca: HashMap<&str, f64> = HashMap::new();
+    let mut cb: HashMap<&str, f64> = HashMap::new();
+    for t in a {
+        *ca.entry(t.as_ref()).or_insert(0.0) += 1.0;
+    }
+    for t in b {
+        *cb.entry(t.as_ref()).or_insert(0.0) += 1.0;
+    }
+    let dot: f64 = ca.iter().filter_map(|(k, va)| cb.get(k).map(|vb| va * vb)).sum();
+    let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_known() {
+        assert!((jaccard_sim(&v(&["a", "b", "c"]), &v(&["b", "c", "d"])) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_sim::<String>(&[], &[]), 1.0);
+        assert_eq!(jaccard_sim(&v(&["a"]), &[]), 0.0);
+    }
+
+    #[test]
+    fn dice_known() {
+        assert!((dice_sim(&v(&["a", "b"]), &v(&["b", "c"])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_containment_is_one() {
+        assert_eq!(overlap_sim(&v(&["a", "b"]), &v(&["a", "b", "c", "d"])), 1.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_and_identical() {
+        assert_eq!(cosine_sim(&v(&["a"]), &v(&["b"])), 0.0);
+        assert!((cosine_sim(&v(&["a", "a", "b"]), &v(&["a", "a", "b"])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_ignored_by_set_sims() {
+        assert!((jaccard_sim(&v(&["a", "a", "b"]), &v(&["a", "b", "b"])) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn all_sims_unit_range(a in proptest::collection::vec("[a-c]{1,2}", 0..8),
+                               b in proptest::collection::vec("[a-c]{1,2}", 0..8)) {
+            for s in [jaccard_sim(&a, &b), dice_sim(&a, &b), overlap_sim(&a, &b), cosine_sim(&a, &b)] {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+
+        #[test]
+        fn all_sims_symmetric(a in proptest::collection::vec("[a-c]{1,2}", 0..8),
+                              b in proptest::collection::vec("[a-c]{1,2}", 0..8)) {
+            prop_assert!((jaccard_sim(&a, &b) - jaccard_sim(&b, &a)).abs() < 1e-12);
+            prop_assert!((dice_sim(&a, &b) - dice_sim(&b, &a)).abs() < 1e-12);
+            prop_assert!((overlap_sim(&a, &b) - overlap_sim(&b, &a)).abs() < 1e-12);
+            prop_assert!((cosine_sim(&a, &b) - cosine_sim(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaccard_le_dice(a in proptest::collection::vec("[a-c]{1,2}", 1..8),
+                           b in proptest::collection::vec("[a-c]{1,2}", 1..8)) {
+            // Jaccard <= Dice always (algebraic identity)
+            prop_assert!(jaccard_sim(&a, &b) <= dice_sim(&a, &b) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! TF-IDF weighted cosine similarity with a reusable corpus index.
+//!
+//! At web scale, rare tokens (model numbers, brand names) carry almost all
+//! the linkage signal while frequent tokens ("camera", "black") carry
+//! almost none. [`TfIdfIndex`] learns inverse document frequencies from a
+//! corpus once, then scores document pairs cheaply.
+
+use std::collections::HashMap;
+
+/// A fitted TF-IDF vocabulary.
+#[derive(Clone, Debug, Default)]
+pub struct TfIdfIndex {
+    /// token -> vocab id
+    vocab: HashMap<String, u32>,
+    /// idf weight by vocab id
+    idf: Vec<f64>,
+    docs: usize,
+}
+
+/// A document projected into the index's weighted vector space, L2
+/// normalized. Sparse: sorted `(token id, weight)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct TfIdfVector(Vec<(u32, f64)>);
+
+impl TfIdfIndex {
+    /// Fit an index over a corpus of tokenized documents.
+    ///
+    /// IDF uses the smoothed formula `ln(1 + N / df)`, which keeps every
+    /// weight strictly positive (tokens seen in every document still get a
+    /// small weight rather than vanishing).
+    pub fn fit<D, S>(corpus: &[D]) -> Self
+    where
+        D: AsRef<[S]>,
+        S: AsRef<str>,
+    {
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen: Vec<&str> = doc.as_ref().iter().map(AsRef::as_ref).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        let n = corpus.len().max(1) as f64;
+        let mut tokens: Vec<(&str, usize)> = df.into_iter().collect();
+        tokens.sort_unstable(); // deterministic vocab ids
+        let mut vocab = HashMap::with_capacity(tokens.len());
+        let mut idf = Vec::with_capacity(tokens.len());
+        for (i, (t, d)) in tokens.into_iter().enumerate() {
+            vocab.insert(t.to_string(), i as u32);
+            idf.push((1.0 + n / d as f64).ln());
+        }
+        Self { vocab, idf, docs: corpus.len() }
+    }
+
+    /// Number of documents the index was fitted on.
+    pub fn corpus_size(&self) -> usize {
+        self.docs
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Project a tokenized document into the weighted space. Unknown
+    /// tokens are dropped (standard out-of-vocabulary handling).
+    pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> TfIdfVector {
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for t in tokens {
+            if let Some(&id) = self.vocab.get(t.as_ref()) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut v: Vec<(u32, f64)> = tf
+            .into_iter()
+            .map(|(id, count)| (id, count * self.idf[id as usize]))
+            .collect();
+        v.sort_unstable_by_key(|&(id, _)| id);
+        let norm: f64 = v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut v {
+                *w /= norm;
+            }
+        }
+        TfIdfVector(v)
+    }
+
+    /// Convenience: similarity of two raw token slices.
+    pub fn similarity<S: AsRef<str>>(&self, a: &[S], b: &[S]) -> f64 {
+        self.vectorize(a).cosine(&self.vectorize(b))
+    }
+}
+
+impl TfIdfVector {
+    /// Cosine similarity of two projected documents (both are unit-norm,
+    /// so this is a sparse dot product).
+    pub fn cosine(&self, other: &TfIdfVector) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut dot = 0.0;
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].0.cmp(&other.0[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += self.0[i].1 * other.0[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+
+    /// Number of distinct in-vocabulary tokens.
+    pub fn nnz(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(str::to_string).collect()
+    }
+
+    fn corpus() -> Vec<Vec<String>> {
+        vec![
+            toks("canon eos 5d camera"),
+            toks("canon eos 6d camera"),
+            toks("nikon d750 camera"),
+            toks("sony a7 camera"),
+        ]
+    }
+
+    #[test]
+    fn rare_tokens_dominate() {
+        let idx = TfIdfIndex::fit(&corpus());
+        // "5d" appears once, "camera" in all docs: sharing the rare token
+        // must outweigh sharing the common one.
+        let s_rare = idx.similarity(&toks("5d nikon"), &toks("5d sony"));
+        let s_common = idx.similarity(&toks("camera nikon"), &toks("camera sony"));
+        assert!(s_rare > s_common, "{s_rare} vs {s_common}");
+    }
+
+    #[test]
+    fn identical_docs_similarity_one() {
+        let idx = TfIdfIndex::fit(&corpus());
+        let s = idx.similarity(&toks("canon eos 5d camera"), &toks("canon eos 5d camera"));
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_docs_similarity_zero() {
+        let idx = TfIdfIndex::fit(&corpus());
+        assert_eq!(idx.similarity(&toks("canon"), &toks("nikon")), 0.0);
+    }
+
+    #[test]
+    fn oov_tokens_dropped() {
+        let idx = TfIdfIndex::fit(&corpus());
+        let v = idx.vectorize(&toks("zzz qqq"));
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.cosine(&idx.vectorize(&toks("canon"))), 0.0);
+    }
+
+    #[test]
+    fn vectors_unit_norm() {
+        let idx = TfIdfIndex::fit(&corpus());
+        let v = idx.vectorize(&toks("canon eos camera"));
+        let norm: f64 = v.0.iter().map(|&(_, w)| w * w).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_stats() {
+        let idx = TfIdfIndex::fit(&corpus());
+        assert_eq!(idx.corpus_size(), 4);
+        assert_eq!(idx.vocab_size(), 9);
+    }
+}

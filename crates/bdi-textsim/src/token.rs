@@ -1,0 +1,87 @@
+//! Tokenizers and q-gram extraction.
+
+use crate::normalize::normalize;
+
+/// Split a string into normalized word tokens.
+pub fn tokenize(s: &str) -> Vec<String> {
+    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_string).collect()
+}
+
+/// Word tokens without normalization (whitespace split) — for callers that
+/// already normalized.
+pub fn word_tokens(s: &str) -> Vec<&str> {
+    s.split_whitespace().collect()
+}
+
+/// Character q-grams of a string, padded with `#` on both sides so that
+/// prefixes/suffixes produce distinguishing grams (standard for q-gram
+/// blocking). Returns an empty vector for an empty string.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be >= 1");
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(s.chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Token frequency map (bag-of-words) for cosine-style comparisons.
+pub fn token_counts(tokens: &[String]) -> std::collections::HashMap<&str, usize> {
+    let mut m = std::collections::HashMap::new();
+    for t in tokens {
+        *m.entry(t.as_str()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tokenize_normalizes() {
+        assert_eq!(tokenize("Canon EOS-5D, Mark III"), vec!["canon", "eos", "5d", "mark", "iii"]);
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("---").is_empty());
+    }
+
+    #[test]
+    fn qgrams_padded() {
+        assert_eq!(qgrams("ab", 2), vec!["#a", "ab", "b#"]);
+        assert_eq!(qgrams("a", 3), vec!["##a", "#a#", "a##"]);
+        assert!(qgrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn qgrams_q1_is_chars() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn token_counts_bags() {
+        let toks = tokenize("a b a c a");
+        let m = token_counts(&toks);
+        assert_eq!(m["a"], 3);
+        assert_eq!(m["b"], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn qgram_count_formula(s in "[a-z]{1,30}", q in 1usize..5) {
+            // padded q-gram count = len + q - 1
+            let n = s.chars().count();
+            prop_assert_eq!(qgrams(&s, q).len(), n + q - 1);
+        }
+
+        #[test]
+        fn every_gram_has_length_q(s in "[a-z#]{0,20}", q in 1usize..5) {
+            for g in qgrams(&s, q) {
+                prop_assert_eq!(g.chars().count(), q);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Datasets: the unit of work flowing through the pipeline.
+
+use crate::error::BdiError;
+use crate::ids::{RecordId, SourceId};
+use crate::record::Record;
+use crate::source::Source;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A collection of sources and the records they publish.
+///
+/// Records are stored in one flat vector ordered by [`RecordId`]; a
+/// per-source index supports the "homogeneity at the local level"
+/// algorithms (wrapper induction, per-source schema profiling) that iterate
+/// source by source.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    sources: BTreeMap<SourceId, Source>,
+    records: Vec<Record>,
+    #[serde(skip)]
+    by_source: BTreeMap<SourceId, Vec<usize>>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source. Replaces any previous source with the same id.
+    pub fn add_source(&mut self, source: Source) {
+        self.sources.insert(source.id, source);
+    }
+
+    /// Append a record. The record's source must already be registered.
+    pub fn add_record(&mut self, record: Record) -> Result<(), BdiError> {
+        if !self.sources.contains_key(&record.id.source) {
+            return Err(BdiError::UnknownSource(record.id.source));
+        }
+        let idx = self.records.len();
+        self.by_source.entry(record.id.source).or_default().push(idx);
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// All sources, ordered by id.
+    pub fn sources(&self) -> impl Iterator<Item = &Source> {
+        self.sources.values()
+    }
+
+    /// Look up one source.
+    pub fn source(&self, id: SourceId) -> Option<&Source> {
+        self.sources.get(&id)
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Mutable access to records (e.g. for noise injection); keeps the
+    /// per-source index valid because record ids never change.
+    pub fn records_mut(&mut self) -> &mut [Record] {
+        &mut self.records
+    }
+
+    /// Records published by one source.
+    pub fn records_of(&self, source: SourceId) -> impl Iterator<Item = &Record> + '_ {
+        self.by_source
+            .get(&source)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.records[i])
+    }
+
+    /// Look up a record by id (O(log n) via binary search — records are
+    /// appended in id order per source but interleaved across sources, so
+    /// we search the per-source slice).
+    pub fn record(&self, id: RecordId) -> Option<&Record> {
+        let idxs = self.by_source.get(&id.source)?;
+        idxs.iter().map(|&i| &self.records[i]).find(|r| r.id == id)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are present.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Rebuild the per-source index after deserialization (the index is
+    /// `#[serde(skip)]` because it's derivable).
+    pub fn rebuild_index(&mut self) {
+        self.by_source.clear();
+        for (i, r) in self.records.iter().enumerate() {
+            self.by_source.entry(r.id.source).or_default().push(i);
+        }
+    }
+
+    /// Merge another dataset into this one. Source id collisions keep the
+    /// existing source; record ids are assumed globally unique by
+    /// construction.
+    pub fn absorb(&mut self, other: Dataset) {
+        for (id, s) in other.sources {
+            self.sources.entry(id).or_insert(s);
+        }
+        for r in other.records {
+            let idx = self.records.len();
+            self.by_source.entry(r.id.source).or_default().push(idx);
+            self.records.push(r);
+        }
+    }
+
+    /// Distinct attribute names across all sources (lower-cased, as the
+    /// variety statistics in the product-domain studies count them).
+    pub fn distinct_attribute_names(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for r in &self.records {
+            for k in r.attributes.keys() {
+                set.insert(k.to_ascii_lowercase());
+            }
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceKind;
+    use crate::value::Value;
+
+    fn mk() -> Dataset {
+        let mut d = Dataset::new();
+        d.add_source(Source::new(SourceId(1), "a.example", SourceKind::Head));
+        d.add_source(Source::new(SourceId(2), "b.example", SourceKind::Tail));
+        for s in [1u32, 2, 1] {
+            let seq = d.records_of(SourceId(s)).count() as u32;
+            let id = RecordId::new(SourceId(s), seq);
+            d.add_record(Record::new(id, format!("p{s}-{seq}")).with_attr("c", Value::num(1.0)))
+                .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn add_and_query() {
+        let d = mk();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.source_count(), 2);
+        assert_eq!(d.records_of(SourceId(1)).count(), 2);
+        assert_eq!(d.records_of(SourceId(2)).count(), 1);
+        let id = RecordId::new(SourceId(1), 1);
+        assert_eq!(d.record(id).unwrap().title, "p1-1");
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut d = Dataset::new();
+        let r = Record::new(RecordId::new(SourceId(9), 0), "x");
+        assert!(matches!(d.add_record(r), Err(BdiError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn rebuild_index_after_serde() {
+        let d = mk();
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: Dataset = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.records_of(SourceId(1)).count(), 2);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = mk();
+        let mut b = Dataset::new();
+        b.add_source(Source::new(SourceId(3), "c.example", SourceKind::Torso));
+        b.add_record(Record::new(RecordId::new(SourceId(3), 0), "z")).unwrap();
+        a.absorb(b);
+        assert_eq!(a.source_count(), 3);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.records_of(SourceId(3)).count(), 1);
+    }
+
+    #[test]
+    fn distinct_attribute_names_lowercases() {
+        let mut d = mk();
+        let id = RecordId::new(SourceId(2), 1);
+        d.add_record(Record::new(id, "t").with_attr("C", Value::num(2.0))).unwrap();
+        assert_eq!(d.distinct_attribute_names(), 1);
+    }
+}

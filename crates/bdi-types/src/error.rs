@@ -1,0 +1,65 @@
+//! Error type shared across the workspace.
+
+use crate::ids::SourceId;
+use std::fmt;
+
+/// Errors surfaced by BDI operations.
+///
+/// The pipeline is mostly infallible-by-construction (synthetic data can't
+/// be malformed), so the variants cover the genuinely fallible edges:
+/// referential integrity, configuration validation, and (de)serialization.
+#[derive(Debug)]
+pub enum BdiError {
+    /// A record referenced a source not registered in the dataset.
+    UnknownSource(SourceId),
+    /// An algorithm was configured with invalid parameters.
+    InvalidConfig(String),
+    /// An input dataset failed a precondition (e.g. empty where non-empty
+    /// required).
+    InvalidInput(String),
+    /// Serialization / deserialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for BdiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BdiError::UnknownSource(s) => write!(f, "record references unknown source {s}"),
+            BdiError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            BdiError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            BdiError::Serde(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BdiError {}
+
+impl BdiError {
+    /// Helper for configuration validation sites.
+    pub fn config(msg: impl Into<String>) -> Self {
+        BdiError::InvalidConfig(msg.into())
+    }
+
+    /// Helper for input validation sites.
+    pub fn input(msg: impl Into<String>) -> Self {
+        BdiError::InvalidInput(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = BdiError::UnknownSource(SourceId(3));
+        assert!(e.to_string().contains("S3"));
+        assert!(BdiError::config("bad k").to_string().contains("bad k"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BdiError::input("x"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # bdi-types — shared data model for Big Data Integration
+//!
+//! This crate defines the vocabulary every other `bdi-*` crate speaks:
+//!
+//! * [`Value`] — a typed attribute value (string, number, boolean, quantity
+//!   with unit), with a total order and hash so values can key fusion votes.
+//! * [`Record`] — one product specification as published by one source:
+//!   an attribute→value map plus extracted identifiers and provenance.
+//! * [`Source`] — a website publishing records.
+//! * [`Dataset`] — the unit of work for the pipeline: sources + records,
+//!   with per-source indices.
+//! * [`GroundTruth`] — the oracle used only for evaluation: which entity a
+//!   record denotes, the true value of every data item, which source copies
+//!   from which, and per-source accuracy.
+//!
+//! The model is deliberately schema-less: attribute names are per-source
+//! strings, because at web scale no global schema exists up front — schema
+//! alignment is a *pipeline stage*, not a precondition (the central point
+//! of the ICDE 2013 "Big Data Integration" tutorial).
+//!
+//! Everything is `serde`-serializable so datasets and reports round-trip to
+//! JSON for the example binaries and the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod ids;
+pub mod parse;
+pub mod record;
+pub mod serde_util;
+pub mod source;
+pub mod truth;
+pub mod value;
+
+pub use dataset::Dataset;
+pub use error::BdiError;
+pub use parse::parse_value;
+pub use ids::{AttrRef, EntityId, RecordId, SourceId};
+pub use record::Record;
+pub use source::{Source, SourceKind};
+pub use truth::{DataItem, GroundTruth, SourceProfile};
+pub use value::{OrderedF64, Unit, Value};
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, BdiError>;

@@ -1,0 +1,180 @@
+//! Value parsing: rendered page text back into typed [`Value`]s.
+//!
+//! Extraction recovers attribute values as *strings*; without re-typing
+//! them, every downstream consumer (instance-based schema matching, unit
+//! normalization, numeric fusion) sees only text. [`parse_value`] inverts
+//! [`Value::render`]'s formats: numbers, quantities with unit symbols,
+//! yes/no flags, and `A x B x C` dimension lists.
+
+use crate::value::{Unit, Value};
+
+/// Parse rendered value text into the most specific [`Value`] shape it
+/// matches; falls back to `Value::Str` (trimmed) when nothing fits, and
+/// `Value::Null` for empty text.
+pub fn parse_value(text: &str) -> Value {
+    let t = text.trim();
+    if t.is_empty() {
+        return Value::Null;
+    }
+    if let Some(b) = parse_bool(t) {
+        return Value::Bool(b);
+    }
+    // dimension list: parts joined by " x " (any case)
+    let parts: Vec<&str> = split_dimensions(t);
+    if parts.len() >= 2 {
+        let parsed: Vec<Value> = parts.iter().map(|p| parse_scalar(p)).collect();
+        if parsed
+            .iter()
+            .all(|v| matches!(v, Value::Num(_) | Value::Quantity { .. }))
+        {
+            return Value::List(parsed);
+        }
+    }
+    parse_scalar(t)
+}
+
+fn parse_bool(t: &str) -> Option<bool> {
+    match t.to_ascii_lowercase().as_str() {
+        "yes" | "true" => Some(true),
+        "no" | "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Split on the ` x ` separator [`Value::render`] uses for lists. The
+/// separator must be a standalone token so "Xerox x200" doesn't split.
+fn split_dimensions(t: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    while i + 3 <= t.len() {
+        if bytes[i] == b' '
+            && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+            && bytes.get(i + 2) == Some(&b' ')
+        {
+            parts.push(&t[start..i]);
+            start = i + 3;
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    parts.push(&t[start..]);
+    parts
+}
+
+/// Parse a bare number or `<number> <unit-symbol>` quantity.
+fn parse_scalar(t: &str) -> Value {
+    let t = t.trim();
+    if let Ok(n) = t.parse::<f64>() {
+        return Value::num(n);
+    }
+    // try "<magnitude> <symbol>" (symbol may be attached, e.g. "450g")
+    if let Some((mag_str, unit_str)) = split_magnitude_unit(t) {
+        if let (Ok(mag), Some(unit)) = (mag_str.parse::<f64>(), Unit::parse_symbol(unit_str)) {
+            return Value::quantity(mag, unit);
+        }
+    }
+    Value::str(t)
+}
+
+fn split_magnitude_unit(t: &str) -> Option<(&str, &str)> {
+    if let Some((a, b)) = t.rsplit_once(' ') {
+        return Some((a, b));
+    }
+    // attached symbol: longest numeric prefix
+    let split = t
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    if split == 0 || split == t.len() {
+        return None;
+    }
+    Some((&t[..split], &t[split..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn numbers_and_quantities() {
+        assert_eq!(parse_value("42"), Value::num(42.0));
+        assert_eq!(parse_value("12.5"), Value::num(12.5));
+        assert_eq!(parse_value("450 g"), Value::quantity(450.0, Unit::Gram));
+        assert_eq!(parse_value("450g"), Value::quantity(450.0, Unit::Gram));
+        assert_eq!(parse_value("13.3 in"), Value::quantity(13.3, Unit::Inch));
+        assert_eq!(parse_value("2.4 GHz"), Value::quantity(2.4, Unit::Gigahertz));
+    }
+
+    #[test]
+    fn booleans() {
+        assert_eq!(parse_value("yes"), Value::Bool(true));
+        assert_eq!(parse_value("No"), Value::Bool(false));
+    }
+
+    #[test]
+    fn dimension_lists() {
+        let v = parse_value("10 cm x 20 cm x 30 cm");
+        match &v {
+            Value::List(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(parts[1], Value::quantity(20.0, Unit::Centimeter));
+            }
+            other => panic!("expected list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_text_survives() {
+        assert_eq!(parse_value("stainless steel"), Value::str("stainless steel"));
+        assert_eq!(parse_value("Xerox x200 printer"), Value::str("Xerox x200 printer"));
+        assert_eq!(parse_value(""), Value::Null);
+        assert_eq!(parse_value("  "), Value::Null);
+    }
+
+    #[test]
+    fn render_parse_round_trip_on_typical_values() {
+        for v in [
+            Value::num(42.0),
+            Value::num(3.5),
+            Value::quantity(450.0, Unit::Gram),
+            Value::quantity(13.3, Unit::Inch),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::str("black"),
+            Value::List(vec![
+                Value::quantity(10.0, Unit::Centimeter),
+                Value::quantity(20.5, Unit::Centimeter),
+            ]),
+        ] {
+            let back = parse_value(&v.render());
+            assert!(
+                back.equivalent(&v),
+                "round trip failed: {v:?} -> {:?} -> {back:?}",
+                v.render()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantity_round_trip(mag in 0.5f64..5000.0) {
+            // two-decimal magnitudes render/parse losslessly
+            let mag = (mag * 100.0).round() / 100.0;
+            for unit in [Unit::Gram, Unit::Centimeter, Unit::Inch, Unit::Gigabyte] {
+                let v = Value::quantity(mag, unit);
+                let back = parse_value(&v.render());
+                prop_assert!(back.equivalent(&v), "{v:?} vs {back:?}");
+            }
+        }
+
+        #[test]
+        fn parse_never_panics(s in ".{0,40}") {
+            let _ = parse_value(&s);
+        }
+    }
+}

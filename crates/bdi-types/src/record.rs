@@ -1,0 +1,135 @@
+//! Records: one product specification page's structured content.
+
+use crate::ids::{RecordId, SourceId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One product specification as published by one source.
+///
+/// Attribute names are the source's own vocabulary (no global schema).
+/// `identifiers` holds candidate globally-recognizable product identifiers
+/// (MPN / GTIN-like strings) extracted from the page — the "products are
+/// named entities" opportunity that lets linkage run *before* schema
+/// alignment.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Record {
+    /// Stable identity (source + per-source sequence number).
+    pub id: RecordId,
+    /// The page title / product display name.
+    pub title: String,
+    /// Candidate product identifiers found on the page, best first.
+    pub identifiers: Vec<String>,
+    /// Attribute name → value, in the source's local schema.
+    /// `BTreeMap` keeps iteration deterministic for reproducible runs.
+    pub attributes: BTreeMap<String, Value>,
+    /// Snapshot timestamp (synthetic epoch, days).
+    pub timestamp: u32,
+}
+
+impl Record {
+    /// Create an empty record.
+    pub fn new(id: RecordId, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            identifiers: Vec::new(),
+            attributes: BTreeMap::new(),
+            timestamp: 0,
+        }
+    }
+
+    /// The publishing source.
+    pub fn source(&self) -> SourceId {
+        self.id.source
+    }
+
+    /// Insert or replace an attribute value (builder-style).
+    pub fn with_attr(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.attributes.insert(name.into(), value);
+        self
+    }
+
+    /// Add a candidate identifier (builder-style).
+    pub fn with_identifier(mut self, ident: impl Into<String>) -> Self {
+        self.identifiers.push(ident.into());
+        self
+    }
+
+    /// Look up an attribute value by its local name.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.attributes.get(attr)
+    }
+
+    /// The best (first) identifier candidate, if any.
+    pub fn primary_identifier(&self) -> Option<&str> {
+        self.identifiers.first().map(String::as_str)
+    }
+
+    /// Number of non-null attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.values().filter(|v| !v.is_null()).count()
+    }
+
+    /// All text content of the record, concatenated — used by token-based
+    /// blocking and by instance-based schema matching.
+    pub fn full_text(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str(&self.title);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(&v.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Unit;
+
+    fn rid(s: u32, q: u32) -> RecordId {
+        RecordId::new(SourceId(s), q)
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let r = Record::new(rid(1, 0), "Acme X100")
+            .with_identifier("ACM-X100")
+            .with_attr("color", Value::str("black"))
+            .with_attr("weight", Value::quantity(1.2, Unit::Kilogram));
+        assert_eq!(r.primary_identifier(), Some("ACM-X100"));
+        assert_eq!(r.get("color"), Some(&Value::str("black")));
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.source(), SourceId(1));
+    }
+
+    #[test]
+    fn arity_ignores_nulls() {
+        let r = Record::new(rid(1, 0), "t")
+            .with_attr("a", Value::Null)
+            .with_attr("b", Value::num(3.0));
+        assert_eq!(r.arity(), 1);
+    }
+
+    #[test]
+    fn full_text_contains_names_and_values() {
+        let r = Record::new(rid(2, 1), "Acme X100").with_attr("color", Value::str("red"));
+        let t = r.full_text();
+        assert!(t.contains("Acme X100"));
+        assert!(t.contains("color"));
+        assert!(t.contains("red"));
+    }
+
+    #[test]
+    fn attributes_iterate_deterministically() {
+        let r = Record::new(rid(1, 0), "t")
+            .with_attr("zeta", Value::num(1.0))
+            .with_attr("alpha", Value::num(2.0));
+        let keys: Vec<&str> = r.attributes.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+}

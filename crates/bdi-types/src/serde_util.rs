@@ -1,0 +1,57 @@
+//! Serde helpers.
+//!
+//! JSON objects require string keys, but the oracle maps are keyed by
+//! structured ids ([`crate::RecordId`], [`crate::DataItem`], tuples).
+//! `map_as_pairs` serializes such maps as sequences of `[key, value]`
+//! pairs instead, keeping the JSON export loss-free.
+
+/// Serialize/deserialize any map as a sequence of `(K, V)` pairs.
+pub mod map_as_pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    /// Serialize the map as a sequence of pairs.
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        s.collect_seq(map.iter())
+    }
+
+    /// Deserialize a sequence of pairs back into the map.
+    pub fn deserialize<'de, K, V, D>(d: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Wrapper {
+        #[serde(with = "super::map_as_pairs")]
+        map: BTreeMap<(u32, String), f64>,
+    }
+
+    #[test]
+    fn tuple_keyed_map_round_trips() {
+        let mut map = BTreeMap::new();
+        map.insert((1, "a".to_string()), 0.5);
+        map.insert((2, "b".to_string()), 1.5);
+        let w = Wrapper { map };
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Wrapper = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, w);
+    }
+}

@@ -1,0 +1,65 @@
+//! Sources: the websites publishing product records.
+
+use crate::ids::SourceId;
+use serde::{Deserialize, Serialize};
+
+/// Head/tail classification of a source by its size.
+///
+/// The tutorial's central volume observation: a few *head* sources publish
+/// very many entities, while an enormous number of *tail* sources each
+/// publish a few — and tail sources are collectively indispensable for
+/// coverage of tail entities, tail attributes, and tail categories.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// Large marketplace-style source (many products, strong template).
+    Head,
+    /// Mid-sized specialist source.
+    Torso,
+    /// Small niche source (few products).
+    Tail,
+}
+
+/// A website publishing product specification pages.
+///
+/// Only observable metadata lives here; hidden qualities (accuracy, copier
+/// status) live in [`crate::truth::SourceProfile`] so that pipeline code
+/// cannot accidentally peek at the oracle.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Source {
+    /// Stable identity.
+    pub id: SourceId,
+    /// Domain-name-like label, e.g. `"shop1042.example"`.
+    pub name: String,
+    /// Size class.
+    pub kind: SourceKind,
+    /// Product categories the source claims to cover (its local category
+    /// labels, not a global taxonomy).
+    pub categories: Vec<String>,
+}
+
+impl Source {
+    /// Create a source.
+    pub fn new(id: SourceId, name: impl Into<String>, kind: SourceKind) -> Self {
+        Self { id, name: name.into(), kind, categories: Vec::new() }
+    }
+
+    /// Builder-style category attachment.
+    pub fn with_category(mut self, cat: impl Into<String>) -> Self {
+        self.categories.push(cat.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_builder() {
+        let s = Source::new(SourceId(3), "shop3.example", SourceKind::Tail)
+            .with_category("camera")
+            .with_category("lens");
+        assert_eq!(s.categories, vec!["camera", "lens"]);
+        assert_eq!(s.kind, SourceKind::Tail);
+    }
+}

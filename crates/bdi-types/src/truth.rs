@@ -1,0 +1,158 @@
+//! Ground truth: the evaluation oracle.
+//!
+//! The synthetic generator records everything it knows here; pipeline
+//! stages never see this struct. Evaluation code compares pipeline output
+//! against it to produce precision/recall/accuracy numbers.
+
+use crate::ids::{EntityId, RecordId, SourceId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A *data item* in the fusion sense: one canonical attribute of one
+/// real-world entity (e.g. "the weight of camera E17"). Sources make
+/// conflicting claims about data items; fusion decides the truth.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct DataItem {
+    /// The entity the item describes.
+    pub entity: EntityId,
+    /// Canonical (global) attribute name.
+    pub attribute: String,
+}
+
+impl DataItem {
+    /// Construct a data item.
+    pub fn new(entity: EntityId, attribute: impl Into<String>) -> Self {
+        Self { entity, attribute: attribute.into() }
+    }
+}
+
+/// Hidden per-source qualities, known only to the generator and the
+/// evaluator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SourceProfile {
+    /// Probability that a published value is correct (before copying).
+    pub accuracy: f64,
+    /// If this source copies, the source it copies from and the fraction
+    /// of its items copied verbatim.
+    pub copies_from: Option<(SourceId, f64)>,
+    /// Whether errors are honest (random) or deceitful (systematically
+    /// plausible-but-wrong values).
+    pub deceitful: bool,
+}
+
+impl Default for SourceProfile {
+    fn default() -> Self {
+        Self { accuracy: 1.0, copies_from: None, deceitful: false }
+    }
+}
+
+/// The complete oracle for one synthetic world.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Which real-world entity each record denotes.
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pub record_entity: BTreeMap<RecordId, EntityId>,
+    /// The true value of every data item.
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pub item_truth: BTreeMap<DataItem, Value>,
+    /// Per-source local attribute name → canonical attribute name.
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pub attr_canonical: BTreeMap<(SourceId, String), String>,
+    /// Hidden source qualities.
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pub source_profiles: BTreeMap<SourceId, SourceProfile>,
+    /// Category of each entity (global taxonomy label).
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pub entity_category: BTreeMap<EntityId, String>,
+    /// The canonical identifier of each entity (what an honest source
+    /// would publish as MPN).
+    #[serde(with = "crate::serde_util::map_as_pairs")]
+    pub entity_identifier: BTreeMap<EntityId, String>,
+}
+
+impl GroundTruth {
+    /// Entity denoted by a record, if known.
+    pub fn entity_of(&self, r: RecordId) -> Option<EntityId> {
+        self.record_entity.get(&r).copied()
+    }
+
+    /// True value of a data item, if the item exists in this world.
+    pub fn true_value(&self, item: &DataItem) -> Option<&Value> {
+        self.item_truth.get(item)
+    }
+
+    /// Canonical attribute behind a source's local attribute name.
+    pub fn canonical_attr(&self, source: SourceId, local: &str) -> Option<&str> {
+        self.attr_canonical.get(&(source, local.to_string())).map(String::as_str)
+    }
+
+    /// All entities mentioned by at least one record.
+    pub fn entities(&self) -> BTreeSet<EntityId> {
+        self.record_entity.values().copied().collect()
+    }
+
+    /// Do two records denote the same entity? (`None` if either is
+    /// unknown to the oracle.)
+    pub fn same_entity(&self, a: RecordId, b: RecordId) -> Option<bool> {
+        Some(self.entity_of(a)? == self.entity_of(b)?)
+    }
+
+    /// Number of matching (same-entity) record pairs — the denominator of
+    /// pair-recall metrics. Computed from cluster sizes in O(#records).
+    pub fn matching_pair_count(&self) -> u64 {
+        let mut sizes: BTreeMap<EntityId, u64> = BTreeMap::new();
+        for e in self.record_entity.values() {
+            *sizes.entry(*e).or_insert(0) += 1;
+        }
+        sizes.values().map(|&n| n * (n - 1) / 2).sum()
+    }
+
+    /// True copier pairs `(copier, original)`.
+    pub fn copier_pairs(&self) -> Vec<(SourceId, SourceId)> {
+        self.source_profiles
+            .iter()
+            .filter_map(|(&s, p)| p.copies_from.map(|(orig, _)| (s, orig)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_pair_count_by_cluster_size() {
+        let mut gt = GroundTruth::default();
+        // cluster of 3 -> 3 pairs, cluster of 2 -> 1 pair
+        for (i, e) in [(0, 1u64), (1, 1), (2, 1), (3, 2), (4, 2)] {
+            gt.record_entity.insert(
+                RecordId::new(SourceId(0), i),
+                EntityId(e),
+            );
+        }
+        assert_eq!(gt.matching_pair_count(), 4);
+    }
+
+    #[test]
+    fn same_entity_requires_both_known() {
+        let mut gt = GroundTruth::default();
+        let a = RecordId::new(SourceId(0), 0);
+        let b = RecordId::new(SourceId(0), 1);
+        gt.record_entity.insert(a, EntityId(5));
+        assert_eq!(gt.same_entity(a, b), None);
+        gt.record_entity.insert(b, EntityId(5));
+        assert_eq!(gt.same_entity(a, b), Some(true));
+    }
+
+    #[test]
+    fn copier_pairs_extracted() {
+        let mut gt = GroundTruth::default();
+        gt.source_profiles.insert(
+            SourceId(1),
+            SourceProfile { accuracy: 0.9, copies_from: Some((SourceId(0), 0.8)), deceitful: false },
+        );
+        gt.source_profiles.insert(SourceId(0), SourceProfile::default());
+        assert_eq!(gt.copier_pairs(), vec![(SourceId(1), SourceId(0))]);
+    }
+}

@@ -1,0 +1,557 @@
+//! Attribute values.
+//!
+//! Fusion needs to count votes over values, linkage needs to compare them,
+//! and the synthetic generator needs to reformat them — so [`Value`] is
+//! `Eq + Ord + Hash` (floats via [`OrderedF64`], which bans NaN at
+//! construction) and carries enough structure (units, lists) to express the
+//! representation heterogeneity the paper describes (centimeters vs inches,
+//! one field vs three).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A finite (non-NaN) `f64` with total order and hash.
+///
+/// Construction rejects NaN so `Eq`/`Ord`/`Hash` are coherent; infinities
+/// are allowed and ordered at the extremes.
+#[derive(Clone, Copy, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wrap a float. Returns `None` for NaN.
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(Self(v))
+        }
+    }
+
+    /// Wrap a float, panicking on NaN. Use for literals / trusted math.
+    pub fn unwrap_new(v: f64) -> Self {
+        Self::new(v).expect("OrderedF64 cannot hold NaN")
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        // Normalize -0.0 == 0.0 to keep Eq consistent with Hash below.
+        self.0 == other.0
+    }
+}
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is banned, so partial_cmp is total.
+        self.0.partial_cmp(&other.0).expect("NaN is unreachable in OrderedF64")
+    }
+}
+
+impl Hash for OrderedF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // +0.0 and -0.0 compare equal, so hash them identically.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> f64 {
+        v.0
+    }
+}
+
+/// Measurement units understood by the pipeline.
+///
+/// Units come in dimension groups; [`Unit::dimension`] identifies the group
+/// and [`Unit::to_base`] converts a magnitude to the group's base unit, so
+/// schema alignment can discover `cm ↔ inch` transformations and fusion can
+/// compare quantities published in different units.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Unit {
+    // Length (base: millimeter)
+    Millimeter,
+    Centimeter,
+    Meter,
+    Inch,
+    // Mass (base: gram)
+    Gram,
+    Kilogram,
+    Ounce,
+    Pound,
+    // Data size (base: megabyte)
+    Megabyte,
+    Gigabyte,
+    Terabyte,
+    // Frequency (base: hertz)
+    Hertz,
+    Kilohertz,
+    Megahertz,
+    Gigahertz,
+    // Power (base: watt)
+    Watt,
+    // Currency (base: USD; synthetic world has a fixed exchange rate)
+    Usd,
+    Eur,
+    // Dimensionless
+    Count,
+}
+
+/// Physical dimension of a unit; only same-dimension quantities are
+/// comparable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Dimension {
+    Length,
+    Mass,
+    DataSize,
+    Frequency,
+    Power,
+    Currency,
+    Dimensionless,
+}
+
+impl Unit {
+    /// The dimension group this unit measures.
+    pub fn dimension(self) -> Dimension {
+        use Unit::*;
+        match self {
+            Millimeter | Centimeter | Meter | Inch => Dimension::Length,
+            Gram | Kilogram | Ounce | Pound => Dimension::Mass,
+            Megabyte | Gigabyte | Terabyte => Dimension::DataSize,
+            Hertz | Kilohertz | Megahertz | Gigahertz => Dimension::Frequency,
+            Watt => Dimension::Power,
+            Usd | Eur => Dimension::Currency,
+            Count => Dimension::Dimensionless,
+        }
+    }
+
+    /// Multiplier converting a magnitude in this unit to the dimension's
+    /// base unit (mm, g, MB, Hz, W, USD, 1).
+    pub fn to_base(self) -> f64 {
+        use Unit::*;
+        match self {
+            Millimeter => 1.0,
+            Centimeter => 10.0,
+            Meter => 1000.0,
+            Inch => 25.4,
+            Gram => 1.0,
+            Kilogram => 1000.0,
+            Ounce => 28.349_523_125,
+            Pound => 453.592_37,
+            Megabyte => 1.0,
+            Gigabyte => 1024.0,
+            Terabyte => 1024.0 * 1024.0,
+            Hertz => 1.0,
+            Kilohertz => 1e3,
+            Megahertz => 1e6,
+            Gigahertz => 1e9,
+            Watt => 1.0,
+            Usd => 1.0,
+            Eur => 1.1, // fixed synthetic-world exchange rate
+            Count => 1.0,
+        }
+    }
+
+    /// Conventional short symbol, as a source would print it.
+    pub fn symbol(self) -> &'static str {
+        use Unit::*;
+        match self {
+            Millimeter => "mm",
+            Centimeter => "cm",
+            Meter => "m",
+            Inch => "in",
+            Gram => "g",
+            Kilogram => "kg",
+            Ounce => "oz",
+            Pound => "lb",
+            Megabyte => "MB",
+            Gigabyte => "GB",
+            Terabyte => "TB",
+            Hertz => "Hz",
+            Kilohertz => "kHz",
+            Megahertz => "MHz",
+            Gigahertz => "GHz",
+            Watt => "W",
+            Usd => "$",
+            Eur => "€",
+            Count => "",
+        }
+    }
+
+    /// Parse a unit symbol (case-insensitive where unambiguous).
+    pub fn parse_symbol(s: &str) -> Option<Unit> {
+        use Unit::*;
+        Some(match s {
+            "mm" => Millimeter,
+            "cm" => Centimeter,
+            "m" => Meter,
+            "in" | "inch" | "inches" | "\"" => Inch,
+            "g" => Gram,
+            "kg" => Kilogram,
+            "oz" => Ounce,
+            "lb" | "lbs" => Pound,
+            "MB" | "mb" => Megabyte,
+            "GB" | "gb" => Gigabyte,
+            "TB" | "tb" => Terabyte,
+            "Hz" | "hz" => Hertz,
+            "kHz" | "khz" => Kilohertz,
+            "MHz" | "mhz" => Megahertz,
+            "GHz" | "ghz" => Gigahertz,
+            "W" | "w" => Watt,
+            "$" | "USD" | "usd" => Usd,
+            "€" | "EUR" | "eur" => Eur,
+            _ => return None,
+        })
+    }
+}
+
+/// One attribute value as published by a source.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// Explicit null / not-applicable marker (distinct from absent).
+    Null,
+    /// Free text.
+    Str(String),
+    /// Dimensionless number.
+    Num(OrderedF64),
+    /// Boolean flag (e.g. "wifi: yes").
+    Bool(bool),
+    /// A magnitude with a unit (e.g. `12.3 cm`).
+    Quantity {
+        /// The magnitude in `unit`.
+        magnitude: OrderedF64,
+        /// The unit the source published.
+        unit: Unit,
+    },
+    /// Multiple sub-values in one field (e.g. `10 x 20 x 30 cm`).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for numbers; NaN becomes `Null`.
+    pub fn num(v: f64) -> Self {
+        match OrderedF64::new(v) {
+            Some(o) => Value::Num(o),
+            None => Value::Null,
+        }
+    }
+
+    /// Convenience constructor for quantities; NaN magnitude becomes `Null`.
+    pub fn quantity(magnitude: f64, unit: Unit) -> Self {
+        match OrderedF64::new(magnitude) {
+            Some(o) => Value::Quantity { magnitude: o, unit },
+            None => Value::Null,
+        }
+    }
+
+    /// Is this the null marker?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Best-effort view of the value as text, as a source would print it.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Str(s) => s.clone(),
+            Value::Num(n) => format_magnitude(n.get()),
+            Value::Bool(b) => if *b { "yes" } else { "no" }.to_string(),
+            Value::Quantity { magnitude, unit } => {
+                let m = format_magnitude(magnitude.get());
+                if unit.symbol().is_empty() {
+                    m
+                } else {
+                    format!("{} {}", m, unit.symbol())
+                }
+            }
+            Value::List(vs) => vs.iter().map(Value::render).collect::<Vec<_>>().join(" x "),
+        }
+    }
+
+    /// Numeric magnitude normalized to the unit's base, if the value is
+    /// numeric or a quantity.
+    pub fn base_magnitude(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.get()),
+            Value::Quantity { magnitude, unit } => Some(magnitude.get() * unit.to_base()),
+            _ => None,
+        }
+    }
+
+    /// Canonical form for grouping: quantities converted to their
+    /// dimension's base unit with the magnitude rounded to 6 significant
+    /// decimals, strings ASCII-lowercased, lists canonicalized
+    /// element-wise. Two [`Value::equivalent`] values have equal canonical
+    /// forms (up to the rounding tolerance), so fusion can group votes by
+    /// canonical value with an ordinary hash map.
+    pub fn canonical(&self) -> Value {
+        fn round6(v: f64) -> f64 {
+            if v == 0.0 || !v.is_finite() {
+                return v;
+            }
+            let mag = v.abs().log10().floor();
+            let scale = 10f64.powf(5.0 - mag);
+            (v * scale).round() / scale
+        }
+        match self {
+            Value::Str(s) => Value::Str(s.to_ascii_lowercase()),
+            Value::Num(n) => Value::num(round6(n.get())),
+            Value::Quantity { .. } => {
+                let base = self.base_magnitude().expect("quantity has magnitude");
+                let unit = match self {
+                    Value::Quantity { unit, .. } => base_unit_of(unit.dimension()),
+                    _ => unreachable!(),
+                };
+                Value::quantity(round6(base), unit)
+            }
+            Value::List(vs) => Value::List(vs.iter().map(Value::canonical).collect()),
+            other => other.clone(),
+        }
+    }
+
+    /// Semantic equivalence: equal after unit normalization (quantities in
+    /// the same dimension compare by base magnitude with a small relative
+    /// tolerance), case-insensitive for strings. This is what fusion
+    /// evaluation uses to credit a "correct" value published in a different
+    /// but equivalent representation.
+    pub fn equivalent(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Quantity { unit: u1, .. }, Value::Quantity { unit: u2, .. }) => {
+                if u1.dimension() != u2.dimension() {
+                    return false;
+                }
+                let (a, b) = (
+                    self.base_magnitude().unwrap_or(f64::NAN),
+                    other.base_magnitude().unwrap_or(f64::NAN),
+                );
+                approx_eq(a, b)
+            }
+            (Value::Num(_), Value::Quantity { .. }) | (Value::Quantity { .. }, Value::Num(_)) => {
+                match (self.base_magnitude(), other.base_magnitude()) {
+                    (Some(a), Some(b)) => approx_eq(a, b),
+                    _ => false,
+                }
+            }
+            (Value::Str(a), Value::Str(b)) => a.eq_ignore_ascii_case(b),
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.equivalent(y))
+            }
+            _ => self == other,
+        }
+    }
+}
+
+/// The base unit of each dimension (what [`Value::canonical`] converts to).
+pub fn base_unit_of(d: Dimension) -> Unit {
+    match d {
+        Dimension::Length => Unit::Millimeter,
+        Dimension::Mass => Unit::Gram,
+        Dimension::DataSize => Unit::Megabyte,
+        Dimension::Frequency => Unit::Hertz,
+        Dimension::Power => Unit::Watt,
+        Dimension::Currency => Unit::Usd,
+        Dimension::Dimensionless => Unit::Count,
+    }
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    (a - b).abs() <= scale * 1e-4
+}
+
+/// Print a float the way product pages do: integers without decimals,
+/// otherwise up to two decimal places with trailing zeros trimmed.
+pub fn format_magnitude(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{:.2}", v);
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordered_f64_rejects_nan() {
+        assert!(OrderedF64::new(f64::NAN).is_none());
+        assert!(OrderedF64::new(1.5).is_some());
+    }
+
+    #[test]
+    fn ordered_f64_zero_signs_equal_and_hash_equal() {
+        let pos = OrderedF64::unwrap_new(0.0);
+        let neg = OrderedF64::unwrap_new(-0.0);
+        assert_eq!(pos, neg);
+        assert_eq!(hash_of(&pos), hash_of(&neg));
+    }
+
+    #[test]
+    fn ordered_f64_total_order() {
+        let mut v = vec![
+            OrderedF64::unwrap_new(3.0),
+            OrderedF64::unwrap_new(-1.0),
+            OrderedF64::unwrap_new(f64::INFINITY),
+            OrderedF64::unwrap_new(0.0),
+        ];
+        v.sort();
+        let got: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(got, vec![-1.0, 0.0, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn unit_conversion_cm_inch() {
+        let cm = Value::quantity(25.4, Unit::Centimeter);
+        let inch = Value::quantity(10.0, Unit::Inch);
+        assert!(cm.equivalent(&inch));
+        assert!(!cm.equivalent(&Value::quantity(11.0, Unit::Inch)));
+    }
+
+    #[test]
+    fn cross_dimension_quantities_never_equivalent() {
+        let w = Value::quantity(1.0, Unit::Gram);
+        let l = Value::quantity(1.0, Unit::Millimeter);
+        assert!(!w.equivalent(&l));
+    }
+
+    #[test]
+    fn string_equivalence_is_case_insensitive() {
+        assert!(Value::str("Black").equivalent(&Value::str("black")));
+        assert!(!Value::str("Black").equivalent(&Value::str("white")));
+    }
+
+    #[test]
+    fn render_formats_like_a_product_page() {
+        assert_eq!(Value::quantity(12.0, Unit::Centimeter).render(), "12 cm");
+        assert_eq!(Value::quantity(12.5, Unit::Inch).render(), "12.5 in");
+        assert_eq!(Value::Bool(true).render(), "yes");
+        assert_eq!(
+            Value::List(vec![Value::num(10.0), Value::num(20.0)]).render(),
+            "10 x 20"
+        );
+    }
+
+    #[test]
+    fn num_constructor_maps_nan_to_null() {
+        assert!(Value::num(f64::NAN).is_null());
+        assert!(Value::quantity(f64::NAN, Unit::Gram).is_null());
+    }
+
+    #[test]
+    fn unit_symbols_round_trip() {
+        for u in [
+            Unit::Millimeter,
+            Unit::Centimeter,
+            Unit::Meter,
+            Unit::Inch,
+            Unit::Gram,
+            Unit::Kilogram,
+            Unit::Ounce,
+            Unit::Pound,
+            Unit::Megabyte,
+            Unit::Gigabyte,
+            Unit::Terabyte,
+            Unit::Hertz,
+            Unit::Kilohertz,
+            Unit::Megahertz,
+            Unit::Gigahertz,
+            Unit::Watt,
+            Unit::Usd,
+            Unit::Eur,
+        ] {
+            assert_eq!(Unit::parse_symbol(u.symbol()), Some(u), "unit {u:?}");
+        }
+    }
+
+    #[test]
+    fn list_equivalence_elementwise() {
+        let a = Value::List(vec![
+            Value::quantity(2.54, Unit::Centimeter),
+            Value::str("RED"),
+        ]);
+        let b = Value::List(vec![Value::quantity(1.0, Unit::Inch), Value::str("red")]);
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn canonical_groups_equivalent_quantities() {
+        let cm = Value::quantity(25.4, Unit::Centimeter);
+        let inch = Value::quantity(10.0, Unit::Inch);
+        assert_eq!(cm.canonical(), inch.canonical());
+        assert_eq!(Value::str("Black").canonical(), Value::str("black").canonical());
+        let different = Value::quantity(11.0, Unit::Inch);
+        assert_ne!(cm.canonical(), different.canonical());
+    }
+
+    #[test]
+    fn canonical_idempotent() {
+        for v in [
+            Value::quantity(3.7, Unit::Kilogram),
+            Value::str("MiXeD"),
+            Value::num(1.0 / 3.0),
+            Value::List(vec![Value::quantity(1.0, Unit::Inch), Value::Bool(true)]),
+        ] {
+            let once = v.canonical();
+            assert_eq!(once.canonical(), once);
+        }
+    }
+
+    #[test]
+    fn format_magnitude_trims() {
+        assert_eq!(format_magnitude(3.0), "3");
+        assert_eq!(format_magnitude(3.10), "3.1");
+        assert_eq!(format_magnitude(3.14159), "3.14");
+    }
+}

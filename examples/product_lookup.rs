@@ -1,0 +1,80 @@
+//! Product lookup: the fused catalog as a query API.
+//!
+//! The integration pipeline's output as an application would consume it:
+//! look a product up by any formatting of its identifier, filter the
+//! catalog by fused attribute values, rank by a numeric attribute.
+//!
+//! ```sh
+//! cargo run --release --example product_lookup
+//! ```
+
+use bdi::core::{run_pipeline, Catalog, PipelineConfig};
+use bdi::synth::{World, WorldConfig};
+
+fn main() {
+    let world = World::generate(WorldConfig {
+        n_entities: 250,
+        n_sources: 20,
+        max_source_size: 160,
+        categories: vec!["notebook".into()],
+        ..WorldConfig::default()
+    });
+    let result = run_pipeline(&world.dataset, &PipelineConfig::default()).expect("valid config");
+    let catalog = Catalog::materialize(&world.dataset, &result);
+    println!(
+        "fused catalog: {} products from {} pages across {} sources\n",
+        catalog.len(),
+        world.dataset.len(),
+        world.dataset.source_count()
+    );
+
+    // 1. identifier lookup, robust to formatting
+    let sample = world
+        .dataset
+        .records()
+        .iter()
+        .find_map(|r| r.primary_identifier())
+        .expect("some record has an identifier");
+    for variant in [
+        sample.to_string(),
+        sample.to_ascii_lowercase(),
+        sample.replace('-', ""),
+    ] {
+        match catalog.lookup(&variant) {
+            Some(e) => println!(
+                "lookup({variant:<18}) -> \"{}\" ({} pages, {} fused attrs)",
+                e.title,
+                e.pages.len(),
+                e.attributes.len()
+            ),
+            None => println!("lookup({variant:<18}) -> not found"),
+        }
+    }
+
+    // 2. fused spec sheet of that product
+    if let Some(e) = catalog.lookup(sample) {
+        println!("\nfused spec sheet for \"{}\":", e.title);
+        for (attr, value) in &e.attributes {
+            println!("  {attr:<22} = {value}");
+        }
+        println!("  seen on sources      = {:?}", e.sources());
+    }
+
+    // 3. ranked query: lightest notebooks with a fused weight
+    let weight_label = catalog
+        .entries()
+        .iter()
+        .flat_map(|e| e.attributes.keys())
+        .find(|k| k.contains("weight"))
+        .cloned();
+    if let Some(label) = weight_label {
+        println!("\nheaviest notebooks by fused \"{label}\":");
+        for e in catalog.top_k_by(&label, 5) {
+            println!("  {:<40} {}", e.title, e.attributes[&label]);
+        }
+        let n_light = catalog
+            .filter(&label, |v| v.base_magnitude().unwrap_or(f64::MAX) < 1500.0)
+            .count();
+        println!("\nnotebooks under 1.5 kg (fused): {n_light}");
+    }
+}

@@ -1,0 +1,186 @@
+//! `bdi` — the command-line face of the integration pipeline.
+//!
+//! ```sh
+//! bdi generate  --seed 42 --entities 500 --sources 40 --out ./ds
+//! bdi integrate --in ./ds [--fusion accucopy] [--json]
+//! bdi integrate --seed 42 --entities 300 --sources 20
+//! bdi lookup    --in ./ds --id CAM-LUM-01042
+//! ```
+//!
+//! `generate` writes `dataset.json`, `ground_truth.json` and
+//! `config.json`; `integrate` runs linkage → alignment → fusion over a
+//! generated or loaded dataset and prints a run report (with oracle
+//! quality when ground truth is available); `lookup` integrates and then
+//! resolves one product identifier against the fused catalog.
+
+use bdi::core::report::RunReport;
+use bdi::core::{metrics, run_pipeline, Catalog, FusionMethod, PipelineConfig};
+use bdi::synth::{World, WorldConfig};
+use bdi::types::{Dataset, GroundTruth};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "integrate" => cmd_integrate(&opts),
+        "lookup" => cmd_lookup(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+bdi — big data integration pipeline
+
+USAGE:
+  bdi generate  --seed N [--entities N] [--sources N] --out DIR
+  bdi integrate (--in DIR | --seed N [--entities N] [--sources N])
+                [--fusion vote|truthfinder|accu|accucopy] [--json]
+  bdi lookup    (--in DIR | --seed N) --id IDENTIFIER
+  bdi help";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{flag}'"));
+        };
+        if key == "json" {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return Err(format!("--{key} needs a value"));
+        };
+        out.insert(key.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+    }
+}
+
+fn world_from_opts(opts: &HashMap<String, String>) -> Result<World, String> {
+    let cfg = WorldConfig {
+        seed: num(opts, "seed", 42u64)?,
+        n_entities: num(opts, "entities", 500usize)?,
+        n_sources: num(opts, "sources", 40usize)?,
+        max_source_size: num(opts, "entities", 500usize)?.max(20) / 2 + 50,
+        min_source_size: 5,
+        ..WorldConfig::default()
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(World::generate(cfg))
+}
+
+/// Load `(dataset, truth?)` from `--in`, or generate from `--seed`.
+fn load_or_generate(
+    opts: &HashMap<String, String>,
+) -> Result<(Dataset, Option<GroundTruth>), String> {
+    if let Some(dir) = opts.get("in") {
+        let ds_text = std::fs::read_to_string(format!("{dir}/dataset.json"))
+            .map_err(|e| format!("{dir}/dataset.json: {e}"))?;
+        let mut ds: Dataset = serde_json::from_str(&ds_text).map_err(|e| e.to_string())?;
+        ds.rebuild_index();
+        let truth = std::fs::read_to_string(format!("{dir}/ground_truth.json"))
+            .ok()
+            .and_then(|t| serde_json::from_str(&t).ok());
+        Ok((ds, truth))
+    } else {
+        let w = world_from_opts(opts)?;
+        Ok((w.dataset, Some(w.truth)))
+    }
+}
+
+fn pipeline_config(opts: &HashMap<String, String>) -> Result<PipelineConfig, String> {
+    let fusion = match opts.get("fusion").map(String::as_str) {
+        None | Some("accucopy") => FusionMethod::AccuCopy,
+        Some("accu") => FusionMethod::Accu,
+        Some("vote") => FusionMethod::Vote,
+        Some("truthfinder") => FusionMethod::TruthFinder,
+        Some(other) => return Err(format!("--fusion: unknown method '{other}'")),
+    };
+    Ok(PipelineConfig { fusion, ..PipelineConfig::default() })
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = opts.get("out").ok_or("generate needs --out DIR")?;
+    let w = world_from_opts(opts)?;
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    let dump = |name: &str, json: String| -> Result<(), String> {
+        std::fs::write(format!("{out}/{name}"), json).map_err(|e| e.to_string())
+    };
+    dump("dataset.json", serde_json::to_string_pretty(&w.dataset).map_err(|e| e.to_string())?)?;
+    dump(
+        "ground_truth.json",
+        serde_json::to_string_pretty(&w.truth).map_err(|e| e.to_string())?,
+    )?;
+    dump("config.json", serde_json::to_string_pretty(&w.config).map_err(|e| e.to_string())?)?;
+    println!(
+        "wrote {out}/dataset.json ({} records, {} sources, {} entities)",
+        w.dataset.len(),
+        w.dataset.source_count(),
+        w.catalog.len()
+    );
+    Ok(())
+}
+
+fn cmd_integrate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (ds, truth) = load_or_generate(opts)?;
+    let cfg = pipeline_config(opts)?;
+    let res = run_pipeline(&ds, &cfg).map_err(|e| e.to_string())?;
+    let quality = truth.as_ref().map(|t| metrics::evaluate(&res, &ds, t));
+    let report = RunReport::new(&ds, &res, quality.as_ref());
+    if opts.contains_key("json") {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
+fn cmd_lookup(opts: &HashMap<String, String>) -> Result<(), String> {
+    let id = opts.get("id").ok_or("lookup needs --id IDENTIFIER")?;
+    let (ds, _) = load_or_generate(opts)?;
+    let cfg = pipeline_config(opts)?;
+    let res = run_pipeline(&ds, &cfg).map_err(|e| e.to_string())?;
+    let catalog = Catalog::materialize(&ds, &res);
+    match catalog.lookup(id) {
+        Some(entry) => {
+            println!("\"{}\" ({} pages on {} sources)", entry.title, entry.pages.len(), entry.sources().len());
+            for (attr, value) in &entry.attributes {
+                println!("  {attr:<24} = {value}");
+            }
+            Ok(())
+        }
+        None => Err(format!("identifier '{id}' not found in the fused catalog")),
+    }
+}

@@ -1,0 +1,57 @@
+//! # bdi — Big Data Integration in Rust
+//!
+//! A full reproduction of the system described in the ICDE 2013 tutorial
+//! *"Big Data Integration"* (Dong & Srivastava): schema alignment, record
+//! linkage, and data fusion re-architected for the Volume / Velocity /
+//! Variety / Veracity of web data, plus every substrate needed to
+//! exercise it end-to-end (a generative product-web model, page
+//! rendering, wrapper induction, and an identifier-driven discovery
+//! crawler).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a stable module name.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bdi::synth::{World, WorldConfig};
+//! use bdi::core::{run_pipeline, PipelineConfig};
+//!
+//! // generate a small synthetic product web (deterministic by seed) …
+//! let world = World::generate(WorldConfig::tiny(42));
+//! // … and integrate it: linkage → schema alignment → fusion
+//! let result = run_pipeline(&world.dataset, &PipelineConfig::default()).unwrap();
+//! assert!(!result.resolution.decided.is_empty());
+//!
+//! // oracle evaluation (the synthetic world ships its ground truth)
+//! let quality = bdi::core::metrics::evaluate(&result, &world.dataset, &world.truth);
+//! assert!(quality.linkage_pairwise.f1 > 0.5);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `bdi-types` | values, records, sources, datasets, ground truth |
+//! | [`textsim`] | `bdi-textsim` | string similarities and tokenization |
+//! | [`synth`] | `bdi-synth` | the synthetic product-web generator |
+//! | [`extract`] | `bdi-extract` | page rendering, wrapper induction, discovery crawl |
+//! | [`linkage`] | `bdi-linkage` | blocking, matching, clustering, incremental linkage |
+//! | [`schema`] | `bdi-schema` | attribute profiling, matching, p-mediated schemas |
+//! | [`fusion`] | `bdi-fusion` | Vote, TruthFinder, Accu, copy detection, AccuCopy |
+//! | [`select`] | `bdi-select` | "less is more" source selection |
+//! | [`crowd`] | `bdi-crowd` | crowdsourced + active-learning linkage |
+//! | [`core`] | `bdi-core` | the end-to-end pipeline, metrics, velocity loop |
+
+#![forbid(unsafe_code)]
+
+pub use bdi_core as core;
+pub use bdi_crowd as crowd;
+pub use bdi_extract as extract;
+pub use bdi_fusion as fusion;
+pub use bdi_linkage as linkage;
+pub use bdi_schema as schema;
+pub use bdi_select as select;
+pub use bdi_synth as synth;
+pub use bdi_textsim as textsim;
+pub use bdi_types as types;

@@ -1,0 +1,88 @@
+//! Integration: the alternative linkage machinery (MinHash-LSH blocking,
+//! R-Swoosh match-merge) on full generated worlds.
+
+use bdi::linkage::blocking::{Blocker, MinHashBlocking, StandardBlocking};
+use bdi::linkage::cluster::{r_swoosh, transitive_closure};
+use bdi::linkage::eval::{blocking_quality, pairwise_quality};
+use bdi::linkage::matcher::{match_pairs, IdentifierRule};
+use bdi::linkage::pair::cross_source_pair_count;
+use bdi::synth::{World, WorldConfig};
+
+fn world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        seed,
+        n_entities: 200,
+        n_sources: 15,
+        max_source_size: 120,
+        ..WorldConfig::default()
+    })
+}
+
+#[test]
+fn minhash_blocking_is_effective_on_a_real_world() {
+    let w = world(9001);
+    let total = cross_source_pair_count(&w.dataset);
+    let pairs = MinHashBlocking::new(8, 2).candidates(&w.dataset);
+    let q = blocking_quality(&pairs, &w.truth, total);
+    assert!(q.reduction_ratio > 0.9, "LSH reduction {:.3}", q.reduction_ratio);
+    assert!(q.pair_completeness > 0.8, "LSH completeness {:.3}", q.pair_completeness);
+}
+
+#[test]
+fn minhash_parameters_trade_completeness_for_candidates() {
+    let w = world(9002);
+    let total = cross_source_pair_count(&w.dataset);
+    let loose = blocking_quality(
+        &MinHashBlocking::new(12, 1).candidates(&w.dataset),
+        &w.truth,
+        total,
+    );
+    let strict = blocking_quality(
+        &MinHashBlocking::new(4, 6).candidates(&w.dataset),
+        &w.truth,
+        total,
+    );
+    assert!(loose.pair_completeness >= strict.pair_completeness);
+    assert!(strict.candidates <= loose.candidates);
+}
+
+#[test]
+fn swoosh_matches_transitive_closure_quality_on_clean_world() {
+    let w = world(9003);
+    let matcher = IdentifierRule::default();
+    // swoosh over blocked record subsets would need block-local runs;
+    // at this scale the direct O(n²) run is fine
+    let sw = r_swoosh(w.dataset.records(), &matcher, 0.9);
+    let sw_quality = pairwise_quality(&sw.clustering(), &w.truth);
+
+    let mut pairs = StandardBlocking::identifier().candidates(&w.dataset);
+    pairs.extend(StandardBlocking::title().candidates(&w.dataset));
+    bdi::linkage::pair::dedup_pairs(&mut pairs);
+    let matched = match_pairs(&w.dataset, &pairs, &matcher, 0.9);
+    let edges: Vec<_> = matched.iter().map(|&(p, _)| p).collect();
+    let universe: Vec<_> = w.dataset.records().iter().map(|r| r.id).collect();
+    let tc_quality = pairwise_quality(&transitive_closure(&edges, &universe), &w.truth);
+
+    assert!(
+        (sw_quality.f1 - tc_quality.f1).abs() < 0.12,
+        "swoosh F1 {:.3} vs pipeline F1 {:.3}",
+        sw_quality.f1,
+        tc_quality.f1
+    );
+    assert!(sw_quality.f1 > 0.7, "swoosh F1 {:.3}", sw_quality.f1);
+}
+
+#[test]
+fn swoosh_merged_records_carry_union_provenance() {
+    let w = world(9004);
+    let sw = r_swoosh(w.dataset.records(), &IdentifierRule::default(), 0.9);
+    let total: usize = sw.provenance.iter().map(Vec::len).sum();
+    assert_eq!(total, w.dataset.len(), "provenance must partition the input");
+    for (rec, prov) in sw.records.iter().zip(&sw.provenance) {
+        assert!(prov.contains(&rec.id), "merged record keeps a member id");
+        if prov.len() > 1 {
+            // merged records accumulated identifiers from members
+            assert!(!rec.identifiers.is_empty());
+        }
+    }
+}

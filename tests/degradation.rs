@@ -1,0 +1,139 @@
+//! Failure injection: quality must degrade gracefully, in the right
+//! direction, when the world gets hostile.
+
+use bdi::core::{metrics, run_pipeline, PipelineConfig};
+use bdi::extract::extractor::extract_source;
+use bdi::extract::page::PageNoise;
+use bdi::fusion::eval::{claims_canonical, fusion_quality};
+use bdi::fusion::{AccuCopy, Fuser, MajorityVote};
+use bdi::synth::{World, WorldConfig};
+
+fn fusion_precision_at_accuracy(lo: f64, hi: f64) -> f64 {
+    let w = World::generate(WorldConfig {
+        seed: 2001,
+        n_entities: 150,
+        n_sources: 16,
+        max_source_size: 100,
+        accuracy_range: (lo, hi),
+        n_false_values: 1,
+        source_size_exponent: 0.5,
+        ..WorldConfig::default()
+    });
+    let claims = claims_canonical(
+        w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+    );
+    fusion_quality(&MajorityVote.resolve(&claims), &w.truth).precision
+}
+
+#[test]
+fn fusion_precision_monotone_in_source_accuracy() {
+    let good = fusion_precision_at_accuracy(0.9, 0.98);
+    let mid = fusion_precision_at_accuracy(0.7, 0.8);
+    let bad = fusion_precision_at_accuracy(0.45, 0.55);
+    assert!(good > mid && mid > bad, "expected {good} > {mid} > {bad}");
+}
+
+#[test]
+fn accucopy_resists_copier_injection_better_than_vote() {
+    let cfg = WorldConfig {
+        seed: 2002,
+        n_entities: 150,
+        n_sources: 24,
+        n_copiers: 8,
+        copy_fraction: 0.85,
+        max_source_size: 120,
+        accuracy_range: (0.55, 0.85),
+        n_false_values: 1,
+        source_size_exponent: 0.2,
+        p_missing: 0.05,
+        ..WorldConfig::default()
+    };
+    let w = World::generate(cfg);
+    let claims = claims_canonical(
+        w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+    );
+    let vote = fusion_quality(&MajorityVote.resolve(&claims), &w.truth).precision;
+    let acopy = fusion_quality(&AccuCopy::default().resolve(&claims), &w.truth).precision;
+    assert!(
+        acopy > vote,
+        "accucopy {acopy} should beat vote {vote} under copier injection"
+    );
+}
+
+#[test]
+fn identifier_scarcity_degrades_linkage() {
+    let quality_at = |p_id: f64| {
+        let w = World::generate(WorldConfig {
+            seed: 2003,
+            n_entities: 150,
+            n_sources: 14,
+            max_source_size: 100,
+            p_publish_identifier: p_id,
+            ..WorldConfig::default()
+        });
+        let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+        metrics::evaluate(&res, &w.dataset, &w.truth).linkage_pairwise.f1
+    };
+    let rich = quality_at(0.95);
+    let poor = quality_at(0.3);
+    assert!(
+        rich > poor + 0.05,
+        "identifier-rich linkage {rich} should clearly beat identifier-poor {poor}"
+    );
+}
+
+#[test]
+fn extraction_noise_degrades_recall_not_precision_first() {
+    let w = World::generate(WorldConfig {
+        seed: 2004,
+        n_entities: 120,
+        n_sources: 10,
+        max_source_size: 80,
+        ..WorldConfig::default()
+    });
+    let sid = w.dataset.sources().next().unwrap().id;
+    let n = w.dataset.records_of(sid).count();
+    let clean = extract_source(&w.dataset, sid, w.config.seed, PageNoise::default(), n)
+        .expect("clean extraction works")
+        .1;
+    let noisy = extract_source(
+        &w.dataset,
+        sid,
+        w.config.seed,
+        PageNoise { p_broken_row: 0.5, p_shuffle: 0.5, p_dropped_row: 0.1 },
+        n,
+    );
+    if let Some((_, q)) = noisy {
+        assert!(q.recall < clean.recall, "recall {} !< {}", q.recall, clean.recall);
+        // label-keyed extraction stays precise even when rows break
+        assert!(q.precision > 0.8, "precision should survive: {}", q.precision);
+    }
+}
+
+#[test]
+fn deceitful_sources_hurt_more_than_honest_errors() {
+    let precision_with = |p_deceit: f64, seed: u64| {
+        let w = World::generate(WorldConfig {
+            seed,
+            n_entities: 150,
+            n_sources: 16,
+            max_source_size: 100,
+            accuracy_range: (0.75, 0.9),
+            p_deceitful: p_deceit,
+            n_false_values: 1,
+            source_size_exponent: 0.5,
+            ..WorldConfig::default()
+        });
+        let claims = claims_canonical(
+            w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+        );
+        fusion_quality(&MajorityVote.resolve(&claims), &w.truth).precision
+    };
+    // average over seeds to smooth generator variance
+    let honest: f64 = (0..3).map(|s| precision_with(0.0, 2005 + s)).sum::<f64>() / 3.0;
+    let deceit: f64 = (0..3).map(|s| precision_with(0.4, 2005 + s)).sum::<f64>() / 3.0;
+    assert!(
+        honest > deceit,
+        "deceit should hurt fusion: honest {honest} vs deceitful {deceit}"
+    );
+}

@@ -1,0 +1,120 @@
+//! Integration tests: the full pipeline over generated worlds.
+
+use bdi::core::{metrics, run_pipeline, FusionMethod, LinkageMatcherKind, PipelineConfig, SchemaOrdering};
+use bdi::synth::{World, WorldConfig};
+
+fn standard_world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        seed,
+        n_entities: 300,
+        n_sources: 20,
+        max_source_size: 200,
+        min_source_size: 8,
+        ..WorldConfig::default()
+    })
+}
+
+#[test]
+fn pipeline_meets_quality_floors() {
+    let w = standard_world(1001);
+    let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+    let q = metrics::evaluate(&res, &w.dataset, &w.truth);
+    assert!(q.linkage_pairwise.f1 > 0.7, "linkage F1 {:?}", q.linkage_pairwise);
+    assert!(q.linkage_bcubed.f1 > 0.8, "B3 {:?}", q.linkage_bcubed);
+    assert!(q.schema.f1 > 0.6, "schema {:?}", q.schema);
+    assert!(q.fusion_precision > 0.65, "fusion {:?}", q.fusion_precision);
+    assert!(q.item_coverage > 0.6, "coverage {}", q.item_coverage);
+}
+
+#[test]
+fn every_matcher_produces_usable_linkage() {
+    let w = standard_world(1002);
+    for (matcher, threshold) in [
+        (LinkageMatcherKind::IdentifierRule, 0.9),
+        (LinkageMatcherKind::Weighted, 0.7),
+        (LinkageMatcherKind::FellegiSunter, 0.5),
+    ] {
+        let cfg = PipelineConfig { matcher, match_threshold: threshold, ..Default::default() };
+        let res = run_pipeline(&w.dataset, &cfg).unwrap();
+        let q = metrics::evaluate(&res, &w.dataset, &w.truth);
+        assert!(
+            q.linkage_pairwise.f1 > 0.5,
+            "{matcher:?} linkage F1 {:?}",
+            q.linkage_pairwise
+        );
+    }
+}
+
+#[test]
+fn every_fusion_method_meets_floor() {
+    let w = standard_world(1003);
+    for fusion in [
+        FusionMethod::Vote,
+        FusionMethod::TruthFinder,
+        FusionMethod::Accu,
+        FusionMethod::AccuCopy,
+    ] {
+        let cfg = PipelineConfig { fusion, ..Default::default() };
+        let res = run_pipeline(&w.dataset, &cfg).unwrap();
+        let q = metrics::evaluate(&res, &w.dataset, &w.truth);
+        assert!(q.fusion_precision > 0.6, "{fusion:?}: {}", q.fusion_precision);
+    }
+}
+
+#[test]
+fn linkage_first_at_least_matches_alignment_first_on_schema_recall() {
+    // the BDI ordering claim: linkage evidence adds correspondences that
+    // name+instance matching alone cannot see; it must not lose any
+    let w = standard_world(1004);
+    let lf = run_pipeline(
+        &w.dataset,
+        &PipelineConfig { ordering: SchemaOrdering::LinkageFirst, ..Default::default() },
+    )
+    .unwrap();
+    let af = run_pipeline(
+        &w.dataset,
+        &PipelineConfig { ordering: SchemaOrdering::AlignmentFirst, ..Default::default() },
+    )
+    .unwrap();
+    let qlf = metrics::evaluate(&lf, &w.dataset, &w.truth);
+    let qaf = metrics::evaluate(&af, &w.dataset, &w.truth);
+    assert!(
+        qlf.schema.recall >= qaf.schema.recall - 1e-9,
+        "linkage-first recall {} < alignment-first {}",
+        qlf.schema.recall,
+        qaf.schema.recall
+    );
+}
+
+#[test]
+fn single_category_worlds_integrate_cleanly() {
+    for cat in ["camera", "shoes", "software"] {
+        let w = World::generate(WorldConfig {
+            seed: 1005,
+            n_entities: 120,
+            n_sources: 12,
+            max_source_size: 90,
+            categories: vec![cat.to_string()],
+            ..WorldConfig::default()
+        });
+        let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+        let q = metrics::evaluate(&res, &w.dataset, &w.truth);
+        assert!(q.linkage_pairwise.f1 > 0.7, "{cat}: linkage {:?}", q.linkage_pairwise);
+        assert!(q.fusion_precision > 0.7, "{cat}: fusion {}", q.fusion_precision);
+    }
+}
+
+#[test]
+fn invalid_config_is_rejected_not_paniced() {
+    let w = World::generate(WorldConfig::tiny(1));
+    let bad = PipelineConfig { match_threshold: 2.0, ..Default::default() };
+    assert!(run_pipeline(&w.dataset, &bad).is_err());
+}
+
+#[test]
+fn empty_dataset_yields_empty_result() {
+    let ds = bdi::types::Dataset::new();
+    let res = run_pipeline(&ds, &PipelineConfig::default()).unwrap();
+    assert_eq!(res.clustering.record_count(), 0);
+    assert!(res.resolution.decided.is_empty());
+}

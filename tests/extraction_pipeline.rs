@@ -1,0 +1,108 @@
+//! Integration: discovery → wrapper extraction → pipeline, end to end
+//! from *pages* rather than oracle records.
+
+use bdi::core::{metrics, run_pipeline, PipelineConfig};
+use bdi::extract::discovery::{Crawler, SearchIndex};
+use bdi::extract::extractor::extract_source;
+use bdi::extract::page::PageNoise;
+use bdi::synth::{World, WorldConfig};
+use bdi::types::Dataset;
+
+fn world() -> World {
+    World::generate(WorldConfig {
+        seed: 3001,
+        n_entities: 150,
+        n_sources: 15,
+        max_source_size: 100,
+        min_source_size: 6,
+        ..WorldConfig::default()
+    })
+}
+
+fn reextracted(w: &World) -> Dataset {
+    let mut ds = Dataset::new();
+    for s in w.dataset.sources() {
+        ds.add_source(s.clone());
+    }
+    for s in w.dataset.sources() {
+        let n = w.dataset.records_of(s.id).count();
+        if let Some((records, _)) =
+            extract_source(&w.dataset, s.id, w.config.seed, PageNoise::default(), n)
+        {
+            for r in records {
+                ds.add_record(r).unwrap();
+            }
+        }
+    }
+    ds
+}
+
+#[test]
+fn extracted_records_integrate_nearly_as_well_as_originals() {
+    let w = world();
+    let extracted = reextracted(&w);
+    assert!(extracted.len() as f64 > w.dataset.len() as f64 * 0.9);
+
+    let direct = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+    let via_pages = run_pipeline(&extracted, &PipelineConfig::default()).unwrap();
+    let qd = metrics::evaluate(&direct, &w.dataset, &w.truth);
+    let qp = metrics::evaluate(&via_pages, &extracted, &w.truth);
+    assert!(
+        qp.linkage_pairwise.f1 > qd.linkage_pairwise.f1 - 0.15,
+        "extraction should not destroy linkage: {} vs {}",
+        qp.linkage_pairwise.f1,
+        qd.linkage_pairwise.f1
+    );
+}
+
+#[test]
+fn crawler_feeds_extraction_feeds_linkage() {
+    let w = world();
+    let index = SearchIndex::build(&w.dataset);
+    let seed_src = w.dataset.sources().next().unwrap().id;
+    let mut crawler = Crawler::new(&[seed_src], &w.dataset, 40);
+    crawler.run(&index, &w.dataset, 15);
+    assert!(
+        crawler.discovered().len() >= w.dataset.source_count() / 2,
+        "crawler found only {} of {} sources",
+        crawler.discovered().len(),
+        w.dataset.source_count()
+    );
+
+    // extract only discovered sources and integrate them
+    let mut ds = Dataset::new();
+    for s in w.dataset.sources() {
+        if crawler.discovered().contains(&s.id) {
+            ds.add_source(s.clone());
+        }
+    }
+    for &sid in crawler.discovered() {
+        let n = w.dataset.records_of(sid).count();
+        if let Some((records, _)) =
+            extract_source(&w.dataset, sid, w.config.seed, PageNoise::default(), n)
+        {
+            for r in records {
+                ds.add_record(r).unwrap();
+            }
+        }
+    }
+    let res = run_pipeline(&ds, &PipelineConfig::default()).unwrap();
+    let q = metrics::evaluate(&res, &ds, &w.truth);
+    assert!(q.linkage_pairwise.f1 > 0.6, "crawled linkage F1 {:?}", q.linkage_pairwise);
+}
+
+#[test]
+fn main_identifier_survives_extraction_first() {
+    // the related-products section must not displace the main id
+    let w = world();
+    let extracted = reextracted(&w);
+    let mut checked = 0;
+    for r in extracted.records() {
+        let orig = w.dataset.record(r.id).unwrap();
+        if let (Some(o), Some(e)) = (orig.identifiers.first(), r.identifiers.first()) {
+            checked += 1;
+            assert_eq!(o, e, "main id displaced on {}", r.id);
+        }
+    }
+    assert!(checked > 50, "too few identifier checks: {checked}");
+}

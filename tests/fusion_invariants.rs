@@ -1,0 +1,115 @@
+//! Cross-method fusion invariants on real generated claim sets.
+
+use bdi::fusion::eval::claims_canonical;
+use bdi::fusion::{Accu, AccuCopy, ClaimSet, Fuser, Investment, MajorityVote, TruthFinder};
+use bdi::synth::{World, WorldConfig};
+
+fn claims(seed: u64) -> (World, ClaimSet) {
+    let w = World::generate(WorldConfig {
+        seed,
+        n_entities: 120,
+        n_sources: 14,
+        max_source_size: 90,
+        ..WorldConfig::default()
+    });
+    let cs = claims_canonical(
+        w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+    );
+    (w, cs)
+}
+
+fn fusers() -> Vec<Box<dyn Fuser>> {
+    vec![
+        Box::new(MajorityVote),
+        Box::new(TruthFinder::default()),
+        Box::new(TruthFinder::with_implication()),
+        Box::new(Investment::default()),
+        Box::new(Investment::pooled()),
+        Box::new(Accu::default()),
+        Box::new(AccuCopy::default()),
+    ]
+}
+
+#[test]
+fn every_fuser_decides_every_item_with_a_claimed_value() {
+    let (_, cs) = claims(9101);
+    for f in fusers() {
+        let res = f.resolve(&cs);
+        assert_eq!(res.decided.len(), cs.len(), "{} skipped items", f.name());
+        for (i, item) in cs.items().iter().enumerate() {
+            let decided = &res.decided[item];
+            assert!(
+                cs.claims_of(i).iter().any(|(_, v)| v == decided),
+                "{} invented a value nobody claimed for {item:?}",
+                f.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_fuser_reports_trust_for_every_source() {
+    let (_, cs) = claims(9102);
+    for f in fusers() {
+        let res = f.resolve(&cs);
+        for s in cs.sources() {
+            let t = res
+                .source_trust
+                .get(s)
+                .unwrap_or_else(|| panic!("{} missing trust for {s}", f.name()));
+            assert!(t.is_finite() && *t >= 0.0, "{}: trust {t} for {s}", f.name());
+        }
+    }
+}
+
+#[test]
+fn every_fuser_is_deterministic() {
+    let (_, cs) = claims(9103);
+    for f in fusers() {
+        let a = f.resolve(&cs);
+        let b = f.resolve(&cs);
+        assert_eq!(a.decided, b.decided, "{} nondeterministic", f.name());
+    }
+}
+
+#[test]
+fn unanimous_items_are_decided_unanimously() {
+    let (_, cs) = claims(9104);
+    // items where all claims agree must be decided as that value by
+    // every method — no fuser may overrule unanimity
+    for f in fusers() {
+        let res = f.resolve(&cs);
+        for (i, item) in cs.items().iter().enumerate() {
+            let vals = cs.claims_of(i);
+            if vals.len() >= 2 && vals.iter().all(|(_, v)| *v == vals[0].1) {
+                assert_eq!(
+                    res.decided[item], vals[0].1,
+                    "{} overruled a unanimous item",
+                    f.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accuracy_aware_trust_correlates_with_hidden_accuracy() {
+    let (w, cs) = claims(9105);
+    let res = Accu::default().resolve(&cs);
+    // rank correlation proxy: mean estimated trust of the top hidden-
+    // accuracy half must exceed the bottom half's
+    let mut profiles: Vec<(f64, f64)> = res
+        .source_trust
+        .iter()
+        .filter_map(|(s, &est)| w.truth.source_profiles.get(s).map(|p| (p.accuracy, est)))
+        .collect();
+    profiles.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mid = profiles.len() / 2;
+    let low: f64 = profiles[..mid].iter().map(|&(_, e)| e).sum::<f64>() / mid as f64;
+    let high: f64 =
+        profiles[mid..].iter().map(|&(_, e)| e).sum::<f64>() / (profiles.len() - mid) as f64;
+    assert!(
+        high > low,
+        "estimated trust should track hidden accuracy: high {high:.3} vs low {low:.3}"
+    );
+}

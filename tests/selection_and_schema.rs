@@ -1,0 +1,86 @@
+//! Integration: source selection and schema alignment over full worlds.
+
+use bdi::fusion::eval::claims_canonical;
+use bdi::fusion::ClaimSet;
+use bdi::schema::correspondence::{candidate_pairs, score_correspondences, AttrClusters};
+use bdi::schema::eval::cluster_quality;
+use bdi::schema::matcher::{HybridMatcher, NameMatcher};
+use bdi::schema::mediated::MediatedSchema;
+use bdi::schema::profile::ProfileSet;
+use bdi::select::greedy_select;
+use bdi::synth::{World, WorldConfig};
+
+fn world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        seed,
+        n_entities: 200,
+        n_sources: 18,
+        max_source_size: 120,
+        ..WorldConfig::default()
+    })
+}
+
+fn world_claims(w: &World) -> ClaimSet {
+    claims_canonical(w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)))
+}
+
+#[test]
+fn hybrid_matcher_beats_name_only_on_heterogeneous_world() {
+    let w = World::generate(WorldConfig { p_rename: 0.7, ..world(5001).config.clone() });
+    let profiles = ProfileSet::build(&w.dataset);
+    let cands = candidate_pairs(&profiles);
+    let name = score_correspondences(&profiles, &cands, &NameMatcher, 0.75);
+    let hybrid = score_correspondences(&profiles, &cands, &HybridMatcher::default(), 0.55);
+    let qn = cluster_quality(&AttrClusters::build(&name, &profiles), &w.truth);
+    let qh = cluster_quality(&AttrClusters::build(&hybrid, &profiles), &w.truth);
+    assert!(qh.f1 > qn.f1, "hybrid {} !> name {}", qh.f1, qn.f1);
+}
+
+#[test]
+fn mediated_schema_probabilities_well_formed_on_real_world() {
+    let w = world(5002);
+    let profiles = ProfileSet::build(&w.dataset);
+    let cands = candidate_pairs(&profiles);
+    let corrs = score_correspondences(&profiles, &cands, &HybridMatcher::default(), 0.5);
+    let ms = MediatedSchema::build(&corrs, &profiles, &[0.5, 0.65, 0.8]);
+    let total: f64 = ms.candidates.iter().map(|&(_, p)| p).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    assert!(ms.consensus().is_some());
+    // alignment probability is a probability for arbitrary pairs
+    for c in corrs.iter().take(20) {
+        let p = ms.alignment_probability(&c.a, &c.b);
+        assert!((0.0..=1.0 + 1e-9).contains(&p));
+    }
+}
+
+#[test]
+fn greedy_selection_prefix_dominates_arbitrary_on_self_assessment() {
+    let w = world(5003);
+    let claims = world_claims(&w);
+    let trace = greedy_select(&claims, -1.0, 8);
+    assert!(!trace.is_empty());
+    // self-assessed accuracy must never be NaN and stays in [0,1]
+    for step in &trace {
+        assert!((0.0..=1.0).contains(&step.expected_accuracy), "{step:?}");
+    }
+    // greedy coverage grows monotonically
+    let mut seen = 0;
+    for step in &trace {
+        seen += step.coverage_gain;
+        assert!(seen > 0);
+    }
+}
+
+#[test]
+fn attribute_clusters_cover_all_profiled_attributes() {
+    let w = world(5004);
+    let profiles = ProfileSet::build(&w.dataset);
+    let cands = candidate_pairs(&profiles);
+    let corrs = score_correspondences(&profiles, &cands, &HybridMatcher::default(), 0.55);
+    let clusters = AttrClusters::build(&corrs, &profiles);
+    let covered: usize = clusters.clusters().iter().map(Vec::len).sum();
+    assert!(covered >= profiles.len(), "clusters dropped attributes");
+    for p in profiles.iter() {
+        assert!(clusters.cluster_of(&p.attr).is_some(), "{:?} unclustered", p.attr);
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration: the velocity loop over churning snapshots.
+
+use bdi::core::snapshots::{run_batch, run_incremental};
+use bdi::synth::churn::{ChurnConfig, SnapshotSeries};
+use bdi::synth::{World, WorldConfig};
+
+fn series(seed: u64, churn: ChurnConfig) -> SnapshotSeries {
+    let w = World::generate(WorldConfig {
+        seed,
+        n_entities: 150,
+        n_sources: 14,
+        max_source_size: 100,
+        ..WorldConfig::default()
+    });
+    SnapshotSeries::generate(&w, &churn).unwrap()
+}
+
+#[test]
+fn survival_statistics_are_fractions_and_nonincreasing() {
+    let s = series(4001, ChurnConfig { snapshots: 6, ..ChurnConfig::default() });
+    let mut prev_page = 1.0;
+    let mut prev_source = 1.0;
+    for t in 0..6 {
+        let p = s.page_survival(t);
+        let src = s.source_survival(t);
+        assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&src));
+        assert!(p <= prev_page + 1e-12);
+        assert!(src <= prev_source + 1e-12);
+        prev_page = p;
+        prev_source = src;
+    }
+}
+
+#[test]
+fn incremental_total_cost_beats_batch_and_quality_holds() {
+    let s = series(4002, ChurnConfig { snapshots: 5, ..ChurnConfig::default() });
+    let batch = run_batch(&s, 0.9);
+    let inc = run_incremental(&s, 0.9);
+    let batch_total: u64 = batch.comparisons[1..].iter().sum();
+    let inc_total: u64 = inc.comparisons[1..].iter().sum();
+    assert!(inc_total < batch_total, "incremental {inc_total} !< batch {batch_total}");
+    for (b, i) in batch.quality.iter().zip(&inc.quality) {
+        assert!((b.f1 - i.f1).abs() < 0.2, "quality diverged: {} vs {}", b.f1, i.f1);
+        assert!(i.f1 > 0.5, "incremental quality floor: {}", i.f1);
+    }
+}
+
+#[test]
+fn template_drift_registered_names_stay_resolvable() {
+    let s = series(
+        4003,
+        ChurnConfig { snapshots: 6, p_template_drift: 0.3, ..ChurnConfig::default() },
+    );
+    for snap in &s.snapshots {
+        for r in snap.records() {
+            for name in r.attributes.keys() {
+                assert!(
+                    s.truth.canonical_attr(r.id.source, name).is_some(),
+                    "unresolvable drifted attribute {name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn heavy_churn_still_produces_all_snapshots() {
+    let s = series(
+        4004,
+        ChurnConfig {
+            snapshots: 8,
+            p_source_death: 0.3,
+            p_page_death: 0.4,
+            late_birth_fraction: 0.1,
+            p_value_drift: 0.3,
+            p_template_drift: 0.2,
+        },
+    );
+    assert_eq!(s.snapshots.len(), 8);
+    // the world must be nearly dead at the end
+    assert!(s.page_survival(7) < 0.2, "survival {}", s.page_survival(7));
+}
