@@ -10,11 +10,15 @@ fn bench_fusion(c: &mut Criterion) {
     let w = World::generate(worlds::copier_world(21, 4, 0.8));
     let claims = world_claims(&w);
     let mut g = c.benchmark_group("fusion");
-    g.bench_function("vote", |b| b.iter(|| MajorityVote.resolve(black_box(&claims))));
+    g.bench_function("vote", |b| {
+        b.iter(|| MajorityVote.resolve(black_box(&claims)))
+    });
     g.bench_function("truthfinder", |b| {
         b.iter(|| TruthFinder::default().resolve(black_box(&claims)))
     });
-    g.bench_function("accu", |b| b.iter(|| Accu::default().resolve(black_box(&claims))));
+    g.bench_function("accu", |b| {
+        b.iter(|| Accu::default().resolve(black_box(&claims)))
+    });
     g.bench_function("accucopy", |b| {
         b.iter(|| AccuCopy::default().resolve(black_box(&claims)))
     });

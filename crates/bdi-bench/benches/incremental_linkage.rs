@@ -11,8 +11,7 @@ fn bench_incremental(c: &mut Criterion) {
     let records: Vec<_> = w.dataset.records().to_vec();
     c.bench_function("incremental_insert_full_corpus", |b| {
         b.iter(|| {
-            let mut linker =
-                IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+            let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
             for r in &records {
                 linker.insert(black_box(r.clone()));
             }

@@ -17,9 +17,7 @@ fn bench_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_linkage");
     for &threads in &[1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| {
-                match_pairs_parallel(&w.dataset, black_box(&pairs), &matcher, 0.7, t)
-            })
+            b.iter(|| match_pairs_parallel(&w.dataset, black_box(&pairs), &matcher, 0.7, t))
         });
     }
     g.finish();

@@ -10,14 +10,22 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 fn bench_schema(c: &mut Criterion) {
     let w = World::generate(worlds::standard(121));
     let mut g = c.benchmark_group("schema");
-    g.bench_function("profile", |b| b.iter(|| ProfileSet::build(black_box(&w.dataset))));
+    g.bench_function("profile", |b| {
+        b.iter(|| ProfileSet::build(black_box(&w.dataset)))
+    });
     let profiles = ProfileSet::build(&w.dataset);
-    g.bench_function("candidates", |b| b.iter(|| candidate_pairs(black_box(&profiles))));
+    g.bench_function("candidates", |b| {
+        b.iter(|| candidate_pairs(black_box(&profiles)))
+    });
     let cands = candidate_pairs(&profiles);
     g.bench_function("score_and_cluster", |b| {
         b.iter(|| {
-            let corrs =
-                score_correspondences(&profiles, black_box(&cands), &HybridMatcher::default(), 0.55);
+            let corrs = score_correspondences(
+                &profiles,
+                black_box(&cands),
+                &HybridMatcher::default(),
+                0.55,
+            );
             AttrClusters::build(&corrs, &profiles)
         })
     });

@@ -1,0 +1,43 @@
+//! E-serve: query latency and throughput against live ingest.
+//!
+//! For each reader count, a fresh server is started and the load driver
+//! replays a synthetic world through the ingest path while that many
+//! reader connections spin on `lookup`. Aggregate reads/s should grow
+//! with the reader count (snapshot reads don't contend), while ingest
+//! throughput stays in the same band — the point of the generation-swap
+//! design.
+
+use bdi_serve::{run_load, LoadConfig, Server, ServerConfig};
+
+fn main() {
+    let base = LoadConfig {
+        entities: 400,
+        sources: 20,
+        ..LoadConfig::default()
+    };
+    println!(
+        "serve_throughput: world seed {} ({} entities x {} sources), readers 1..8",
+        base.seed, base.entities, base.sources
+    );
+    println!(
+        "{:>7} {:>9} {:>12} {:>12} {:>9} {:>9}",
+        "readers", "records", "ingest r/s", "reads/s", "p50 us", "p99 us"
+    );
+    for readers in [1usize, 2, 4, 8] {
+        let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+        let cfg = LoadConfig {
+            readers,
+            ..base.clone()
+        };
+        let report = run_load(server.addr(), &cfg).expect("load run");
+        println!(
+            "{readers:>7} {:>9} {:>12.0} {:>12.0} {:>9} {:>9}",
+            report.records,
+            report.ingest_per_sec,
+            report.reads_per_sec,
+            report.p50_us,
+            report.p99_us
+        );
+        server.shutdown();
+    }
+}

@@ -6,7 +6,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        bdi_bench::experiments::ALL.iter().map(|s| s.to_string()).collect()
+        bdi_bench::experiments::ALL
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };
@@ -14,7 +17,10 @@ fn main() {
         let id = id.to_lowercase();
         eprintln!("[running {id}]");
         if !bdi_bench::experiments::run(&id) {
-            eprintln!("unknown experiment '{id}' — known: {:?}", bdi_bench::experiments::ALL);
+            eprintln!(
+                "unknown experiment '{id}' — known: {:?}",
+                bdi_bench::experiments::ALL
+            );
             std::process::exit(2);
         }
     }

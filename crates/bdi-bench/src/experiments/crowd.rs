@@ -34,7 +34,12 @@ pub fn e21_active_learning() {
             "E21 — matcher F1 vs crowd budget ({} candidates, 3-worker panels, 10% worker error)",
             pairs.len()
         ),
-        &["budget (questions)", "untrained prior", "random-sample", "active-learning"],
+        &[
+            "budget (questions)",
+            "untrained prior",
+            "random-sample",
+            "active-learning",
+        ],
     );
     for &budget in &[50u64, 150, 400, 1000] {
         let oa = CrowdOracle::panel(3, 0.1, 2100 + budget);
@@ -60,7 +65,14 @@ pub fn e22_crowd_transitivity() {
             "E22 — crowd resolution with transitive inference ({} candidate pairs)",
             pairs.len()
         ),
-        &["budget", "asked", "inferred free", "pairwise P", "pairwise R", "F1"],
+        &[
+            "budget",
+            "asked",
+            "inferred free",
+            "pairwise P",
+            "pairwise R",
+            "F1",
+        ],
     );
     for &budget in &[100u64, 400, u64::MAX] {
         let oracle = CrowdOracle::panel(5, 0.1, 2300);
@@ -75,7 +87,11 @@ pub fn e22_crowd_transitivity() {
         );
         let q = pairwise_quality(&report.clustering, &w.truth);
         t.row(vec![
-            if budget == u64::MAX { "unlimited".into() } else { budget.to_string() },
+            if budget == u64::MAX {
+                "unlimited".into()
+            } else {
+                budget.to_string()
+            },
             report.questions_asked.to_string(),
             report.questions_inferred.to_string(),
             f3(q.precision),

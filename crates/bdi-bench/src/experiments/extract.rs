@@ -9,25 +9,47 @@ use bdi_synth::{World, WorldConfig};
 
 /// E18: wrapper-based extraction quality, clean vs weak templates.
 pub fn e18_extraction_quality() {
-    let w = World::generate(WorldConfig { n_sources: 25, ..worlds::standard(181) });
+    let w = World::generate(WorldConfig {
+        n_sources: 25,
+        ..worlds::standard(181)
+    });
     let noises: Vec<(&str, PageNoise)> = vec![
         ("clean template", PageNoise::default()),
         (
             "mild noise",
-            PageNoise { p_broken_row: 0.1, p_shuffle: 0.3, p_dropped_row: 0.02 },
+            PageNoise {
+                p_broken_row: 0.1,
+                p_shuffle: 0.3,
+                p_dropped_row: 0.02,
+            },
         ),
         (
             "weak template",
-            PageNoise { p_broken_row: 0.4, p_shuffle: 0.5, p_dropped_row: 0.1 },
+            PageNoise {
+                p_broken_row: 0.4,
+                p_shuffle: 0.5,
+                p_dropped_row: 0.1,
+            },
         ),
         (
             "no template",
-            PageNoise { p_broken_row: 0.9, p_shuffle: 1.0, p_dropped_row: 0.2 },
+            PageNoise {
+                p_broken_row: 0.9,
+                p_shuffle: 1.0,
+                p_dropped_row: 0.2,
+            },
         ),
     ];
     let mut t = Table::new(
         "E18 — wrapper extraction quality vs template strength (mean over sources)",
-        &["template", "sources ok", "precision", "recall", "f1", "id accuracy"],
+        &[
+            "template",
+            "sources ok",
+            "precision",
+            "recall",
+            "f1",
+            "id accuracy",
+        ],
     );
     let sources: Vec<_> = w.dataset.sources().map(|s| s.id).collect();
     for (name, noise) in noises {
@@ -35,8 +57,7 @@ pub fn e18_extraction_quality() {
         let (mut p, mut r, mut f, mut ida) = (0.0, 0.0, 0.0, 0.0);
         for &sid in &sources {
             let n = w.dataset.records_of(sid).count();
-            if let Some((_, q)) = extract_source(&w.dataset, sid, w.config.seed, noise, n.min(50))
-            {
+            if let Some((_, q)) = extract_source(&w.dataset, sid, w.config.seed, noise, n.min(50)) {
                 n_ok += 1;
                 p += q.precision;
                 r += q.recall;
@@ -77,7 +98,13 @@ pub fn e19_discovery_curve() {
             "E19 — identifier-driven source discovery from 1 head seed ({} sources exist)",
             w.dataset.source_count()
         ),
-        &["round", "queries", "sources known", "identifiers known", "entity coverage"],
+        &[
+            "round",
+            "queries",
+            "sources known",
+            "identifiers known",
+            "entity coverage",
+        ],
     );
     t.row(vec![
         "0 (seed)".into(),
@@ -106,7 +133,10 @@ pub fn e19_discovery_curve() {
         .filter_map(|s| w.dataset.source(*s))
         .map(|s| s.kind)
         .collect();
-    let tails = kinds.iter().filter(|k| matches!(k, bdi_types::SourceKind::Tail)).count();
+    let tails = kinds
+        .iter()
+        .filter(|k| matches!(k, bdi_types::SourceKind::Tail))
+        .count();
     println!(
         "discovered {} sources, of which {} are tail sources",
         kinds.len(),

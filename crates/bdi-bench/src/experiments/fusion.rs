@@ -8,7 +8,11 @@ use bdi_synth::World;
 
 /// Oracle-aligned claims of a world.
 pub fn world_claims(w: &World) -> ClaimSet {
-    ClaimSet::from_triples(w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)))
+    ClaimSet::from_triples(
+        w.oracle_claims()
+            .into_iter()
+            .map(|c| (c.source, c.item, c.value)),
+    )
 }
 
 fn methods() -> Vec<Box<dyn Fuser>> {
@@ -43,7 +47,12 @@ pub fn e1_fusion_no_copiers() {
             iters += res.iterations as f64;
         }
         let n = seeds.len() as f64;
-        t.row(vec![m.name().into(), f3(prec / n), f3(mae / n), format!("{:.0}", iters / n)]);
+        t.row(vec![
+            m.name().into(),
+            f3(prec / n),
+            f3(mae / n),
+            format!("{:.0}", iters / n),
+        ]);
     }
     t.print();
 }
@@ -90,7 +99,13 @@ pub fn e4_precision_vs_error_rate() {
         "E4 — fusion precision vs accuracy heterogeneity (24 sources, upper bound fixed at 0.95)",
         &["accuracy band", "vote", "truthfinder", "accu"],
     );
-    for &(lo, hi) in &[(0.8, 0.95), (0.65, 0.95), (0.5, 0.95), (0.35, 0.95), (0.2, 0.95)] {
+    for &(lo, hi) in &[
+        (0.8, 0.95),
+        (0.65, 0.95),
+        (0.5, 0.95),
+        (0.35, 0.95),
+        (0.2, 0.95),
+    ] {
         let w = World::generate(worlds::fusion_world(41, 24, (lo, hi)));
         let claims = world_claims(&w);
         let v = fusion_quality(&MajorityVote.resolve(&claims), &w.truth);

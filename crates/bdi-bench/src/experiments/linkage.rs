@@ -21,17 +21,40 @@ pub fn e6_blocking_methods() {
     let n = w.dataset.len();
     let total_cross = bdi_linkage::pair::cross_source_pair_count(&w.dataset);
     let mut t = Table::new(
-        format!("E6 — blocking methods ({n} records, 25 sources, {total_cross} cross-source pairs)"),
-        &["method", "candidates", "pair completeness", "reduction ratio", "pairs quality"],
+        format!(
+            "E6 — blocking methods ({n} records, 25 sources, {total_cross} cross-source pairs)"
+        ),
+        &[
+            "method",
+            "candidates",
+            "pair completeness",
+            "reduction ratio",
+            "pairs quality",
+        ],
     );
     let blockers: Vec<(&str, Vec<bdi_linkage::Pair>)> = vec![
         ("all-pairs", AllPairs.candidates(&w.dataset)),
-        ("standard(id-digits)", StandardBlocking::identifier().candidates(&w.dataset)),
-        ("standard(title)", StandardBlocking::title().candidates(&w.dataset)),
-        ("sorted-neighborhood(w=10)", SortedNeighborhood::new(10).candidates(&w.dataset)),
+        (
+            "standard(id-digits)",
+            StandardBlocking::identifier().candidates(&w.dataset),
+        ),
+        (
+            "standard(title)",
+            StandardBlocking::title().candidates(&w.dataset),
+        ),
+        (
+            "sorted-neighborhood(w=10)",
+            SortedNeighborhood::new(10).candidates(&w.dataset),
+        ),
         ("qgram(3)", QGramBlocking::new(3).candidates(&w.dataset)),
-        ("canopy(0.4,0.8)", CanopyBlocking::new(0.4, 0.8).candidates(&w.dataset)),
-        ("minhash-lsh(8x4)", MinHashBlocking::new(8, 4).candidates(&w.dataset)),
+        (
+            "canopy(0.4,0.8)",
+            CanopyBlocking::new(0.4, 0.8).candidates(&w.dataset),
+        ),
+        (
+            "minhash-lsh(8x4)",
+            MinHashBlocking::new(8, 4).candidates(&w.dataset),
+        ),
         (
             "meta(title)",
             MetaBlocking::new(StandardBlocking::title()).candidates(&w.dataset),
@@ -54,7 +77,13 @@ pub fn e6_blocking_methods() {
 pub fn e7_runtime_scaling() {
     let mut t = Table::new(
         "E7 — linkage runtime vs corpus size (IdentifierRule matcher, threshold 0.9)",
-        &["records", "all-pairs cand", "all-pairs ms", "blocked cand", "blocked ms"],
+        &[
+            "records",
+            "all-pairs cand",
+            "all-pairs ms",
+            "blocked cand",
+            "blocked ms",
+        ],
     );
     for &n_entities in &[100usize, 200, 400, 800] {
         let w = World::generate(worlds::linkage_world(71, n_entities, 15));
@@ -162,11 +191,16 @@ pub fn e10_matcher_quality() {
     let universe: Vec<RecordId> = w.dataset.records().iter().map(|r| r.id).collect();
 
     let mut t = Table::new(
-        format!("E10 — matcher quality over {} candidates (cluster-level pairwise P/R/F1)", pairs.len()),
+        format!(
+            "E10 — matcher quality over {} candidates (cluster-level pairwise P/R/F1)",
+            pairs.len()
+        ),
         &["matcher", "threshold", "precision", "recall", "f1"],
     );
     let fs = FellegiSunter::fit(&w.dataset, &pairs, 20);
-    let id_rule = IdentifierRule { corroboration: 0.25 };
+    let id_rule = IdentifierRule {
+        corroboration: 0.25,
+    };
     let weighted = WeightedMatcher::default();
     let configs: Vec<(&str, &dyn Matcher, f64)> = vec![
         ("identifier-rule", &id_rule, 0.9),

@@ -12,8 +12,8 @@ pub mod stats;
 
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e21", "e22", "e23", "e17c",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "e18", "e19", "e21", "e22", "e23", "e17c",
 ];
 
 /// Run one experiment by id; returns false for unknown ids.

@@ -13,7 +13,14 @@ use bdi_synth::{World, WorldConfig};
 pub fn e15_end_to_end() {
     let mut t = Table::new(
         "E15 — end-to-end pipeline quality (per-stage F1 / precision)",
-        &["world", "ordering", "linkage F1", "schema F1", "fusion P", "coverage"],
+        &[
+            "world",
+            "ordering",
+            "linkage F1",
+            "schema F1",
+            "fusion P",
+            "coverage",
+        ],
     );
     let mut worlds_list: Vec<(String, WorldConfig)> = ["camera", "headphone", "monitor"]
         .iter()
@@ -29,12 +36,22 @@ pub fn e15_end_to_end() {
             )
         })
         .collect();
-    worlds_list.push(("all-10".into(), WorldConfig { n_entities: 600, n_sources: 30, ..worlds::standard(151) }));
+    worlds_list.push((
+        "all-10".into(),
+        WorldConfig {
+            n_entities: 600,
+            n_sources: 30,
+            ..worlds::standard(151)
+        },
+    ));
 
     for (name, cfg) in worlds_list {
         let w = World::generate(cfg);
         for ordering in [SchemaOrdering::LinkageFirst, SchemaOrdering::AlignmentFirst] {
-            let pcfg = PipelineConfig { ordering, ..PipelineConfig::default() };
+            let pcfg = PipelineConfig {
+                ordering,
+                ..PipelineConfig::default()
+            };
             let res = run_pipeline(&w.dataset, &pcfg).unwrap();
             let q = evaluate(&res, &w.dataset, &w.truth);
             t.row(vec![
@@ -52,7 +69,11 @@ pub fn e15_end_to_end() {
 
 /// E17: velocity — churning snapshots, batch vs incremental linkage.
 pub fn e17_velocity() {
-    let w = World::generate(WorldConfig { n_entities: 400, n_sources: 20, ..worlds::standard(171) });
+    let w = World::generate(WorldConfig {
+        n_entities: 400,
+        n_sources: 20,
+        ..worlds::standard(171)
+    });
     let churn = ChurnConfig {
         snapshots: 6,
         p_source_death: 0.06,
@@ -65,7 +86,12 @@ pub fn e17_velocity() {
 
     let mut survival = Table::new(
         "E17a — velocity: survival of the initial crawl",
-        &["snapshot", "pages alive", "page survival", "source survival"],
+        &[
+            "snapshot",
+            "pages alive",
+            "page survival",
+            "source survival",
+        ],
     );
     for t in 0..series.snapshots.len() {
         survival.row(vec![
@@ -78,7 +104,7 @@ pub fn e17_velocity() {
     survival.print();
 
     let batch = run_batch(&series, 0.9);
-    let inc = run_incremental(&series, 0.9);
+    let inc = run_incremental(series, 0.9);
     let mut t = Table::new(
         "E17b — velocity: batch re-linkage vs incremental linkage",
         &["snapshot", "batch cmp", "batch F1", "incr cmp", "incr F1"],
@@ -103,7 +129,11 @@ pub fn e17c_wrapper_staleness() {
     use bdi_extract::page::{render_page, PageNoise, Template};
     use bdi_extract::wrapper::Wrapper;
 
-    let w = World::generate(WorldConfig { n_entities: 300, n_sources: 12, ..worlds::standard(173) });
+    let w = World::generate(WorldConfig {
+        n_entities: 300,
+        n_sources: 12,
+        ..worlds::standard(173)
+    });
     let churn = ChurnConfig {
         snapshots: 6,
         p_source_death: 0.0,
@@ -116,9 +146,18 @@ pub fn e17c_wrapper_staleness() {
 
     let mut t = Table::new(
         "E17c — wrapper staleness under template drift (mean attr recall over sources)",
-        &["snapshot", "drifted sources", "stale wrapper recall", "re-induced recall"],
+        &[
+            "snapshot",
+            "drifted sources",
+            "stale wrapper recall",
+            "re-induced recall",
+        ],
     );
-    let sources: Vec<_> = w.dataset.sources().map(|s| (s.id, s.name.clone())).collect();
+    let sources: Vec<_> = w
+        .dataset
+        .sources()
+        .map(|s| (s.id, s.name.clone()))
+        .collect();
     // induce the t0 wrappers
     let mut stale_wrappers = std::collections::BTreeMap::new();
     for (sid, name) in &sources {
@@ -137,7 +176,9 @@ pub fn e17c_wrapper_staleness() {
         let mut fresh_recall = 0.0;
         let mut n = 0usize;
         for (sid, name) in &sources {
-            let Some(stale) = stale_wrappers.get(sid) else { continue };
+            let Some(stale) = stale_wrappers.get(sid) else {
+                continue;
+            };
             let template = Template::for_source(name, w.config.seed);
             let records: Vec<_> = snap.records_of(*sid).collect();
             if records.len() < 2 {

@@ -16,10 +16,19 @@ use bdi_types::AttrRef;
 pub fn e12_matching_vs_heterogeneity() {
     let mut t = Table::new(
         "E12 — schema alignment F1 vs rename rate (cluster-level pairwise)",
-        &["p_rename", "name-only", "instance-only", "hybrid", "hybrid+linkage"],
+        &[
+            "p_rename",
+            "name-only",
+            "instance-only",
+            "hybrid",
+            "hybrid+linkage",
+        ],
     );
     for &p_rename in &[0.1, 0.4, 0.8] {
-        let cfg = WorldConfig { p_rename, ..worlds::standard(121) };
+        let cfg = WorldConfig {
+            p_rename,
+            ..worlds::standard(121)
+        };
         let w = World::generate(cfg);
         let profiles = ProfileSet::build(&w.dataset);
         let cands = candidate_pairs(&profiles);
@@ -37,8 +46,7 @@ pub fn e12_matching_vs_heterogeneity() {
         }
         // hybrid + linkage evidence (the pipeline's configuration)
         let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
-        let mut corrs =
-            score_correspondences(&profiles, &cands, &HybridMatcher::default(), 0.55);
+        let mut corrs = score_correspondences(&profiles, &cands, &HybridMatcher::default(), 0.55);
         for ((a, b), e) in linkage_correspondences(&w.dataset, &res.clustering, 3) {
             let score = e.score();
             if score >= 0.55 && !corrs.iter().any(|c| c.a == a && c.b == b) {
@@ -91,7 +99,9 @@ pub fn e13_pmapping_query_answering() {
                 }
             }
         }
-        let Some((&target, _)) = per_cluster.iter().max_by_key(|&(_, c)| *c) else { continue };
+        let Some((&target, _)) = per_cluster.iter().max_by_key(|&(_, c)| *c) else {
+            continue;
+        };
         let answers = answer_query(&w.dataset, &mappings, target);
         let truly = |a: &bdi_schema::mapping::Answer| {
             w.truth.canonical_attr(a.attr.source, &a.attr.name) == Some(canon)
@@ -108,15 +118,37 @@ pub fn e13_pmapping_query_answering() {
         // deterministic: answers whose mapping argmax is the target
         let det: Vec<_> = answers.iter().filter(|a| a.probability >= 0.5).collect();
         let det_tp = det.iter().filter(|a| truly(a)).count();
-        let det_p = if det.is_empty() { 0.0 } else { det_tp as f64 / det.len() as f64 };
-        let det_r = if total_true == 0 { 0.0 } else { det_tp as f64 / total_true as f64 };
+        let det_p = if det.is_empty() {
+            0.0
+        } else {
+            det_tp as f64 / det.len() as f64
+        };
+        let det_r = if total_true == 0 {
+            0.0
+        } else {
+            det_tp as f64 / total_true as f64
+        };
         // probabilistic: all answers, precision weighted by probability
         let wsum: f64 = answers.iter().map(|a| a.probability).sum();
-        let wtp: f64 = answers.iter().filter(|a| truly(a)).map(|a| a.probability).sum();
+        let wtp: f64 = answers
+            .iter()
+            .filter(|a| truly(a))
+            .map(|a| a.probability)
+            .sum();
         let prob_p = if wsum == 0.0 { 0.0 } else { wtp / wsum };
         let prob_tp = answers.iter().filter(|a| truly(a)).count();
-        let prob_r = if total_true == 0 { 0.0 } else { prob_tp as f64 / total_true as f64 };
-        t.row(vec![canon.to_string(), f3(det_p), f3(det_r), f3(prob_p), f3(prob_r)]);
+        let prob_r = if total_true == 0 {
+            0.0
+        } else {
+            prob_tp as f64 / total_true as f64
+        };
+        t.row(vec![
+            canon.to_string(),
+            f3(det_p),
+            f3(det_r),
+            f3(prob_p),
+            f3(prob_r),
+        ]);
     }
     t.print();
 }
@@ -146,7 +178,10 @@ pub fn e23_transform_discovery() {
     // magnitudes differ (unit-variant pairs)
     let mut by_canon: BTreeMap<&str, Vec<AttrRef>> = BTreeMap::new();
     for ((s, local), canon) in &w.truth.attr_canonical {
-        by_canon.entry(canon.as_str()).or_default().push(AttrRef::new(*s, local.clone()));
+        by_canon
+            .entry(canon.as_str())
+            .or_default()
+            .push(AttrRef::new(*s, local.clone()));
     }
     let mut tried = 0usize;
     let mut found = 0usize;
@@ -184,11 +219,21 @@ pub fn e23_transform_discovery() {
         &["statistic", "value"],
     );
     t.row(vec!["true attr pairs probed".into(), tried.to_string()]);
-    t.row(vec!["ratio estimable (support >= 5)".into(), found.to_string()]);
-    t.row(vec!["snapped to a known conversion".into(), snapped.to_string()]);
+    t.row(vec![
+        "ratio estimable (support >= 5)".into(),
+        found.to_string(),
+    ]);
+    t.row(vec![
+        "snapped to a known conversion".into(),
+        snapped.to_string(),
+    ]);
     t.row(vec![
         "snap rate among estimable".into(),
-        f3(if found == 0 { 0.0 } else { snapped as f64 / found as f64 }),
+        f3(if found == 0 {
+            0.0
+        } else {
+            snapped as f64 / found as f64
+        }),
     ]);
     t.print();
     if !examples.is_empty() {

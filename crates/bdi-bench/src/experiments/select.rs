@@ -41,12 +41,23 @@ pub fn e14_less_is_more() {
             return (0.0, 0, 0);
         }
         let q = fusion_quality(&Accu::default().resolve(&restricted), &w.truth);
-        (q.precision, q.items, (q.precision * q.items as f64).round() as usize)
+        (
+            q.precision,
+            q.items,
+            (q.precision * q.items as f64).round() as usize,
+        )
     };
 
     let mut t = Table::new(
         "E14 — 'less is more': fused quality vs #sources integrated (cost = k)",
-        &["k sources", "greedy P", "greedy items", "greedy correct", "arbitrary P", "self-assessed"],
+        &[
+            "k sources",
+            "greedy P",
+            "greedy items",
+            "greedy correct",
+            "arbitrary P",
+            "self-assessed",
+        ],
     );
     let ks: Vec<usize> = vec![1, 2, 4, 6, 8, 12, 16, 20];
     for &k in &ks {
@@ -79,7 +90,11 @@ pub fn e14_less_is_more() {
         .filter(|&&k| k <= greedy_order.len())
         .map(|&k| (k, oracle_at(&greedy_order, k)))
         .filter(|(_, (_, items, _))| *items * 2 >= full.1)
-        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal));
+        .max_by(|a, b| {
+            a.1 .0
+                .partial_cmp(&b.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     if let Some((k, (p, _, _))) = peak {
         println!(
             "greedy peak (>=50% coverage): k={k} precision={p:.3} vs all {} sources: {:.3}",

@@ -9,10 +9,11 @@
 use crate::pipeline::PipelineResult;
 use bdi_linkage::blocking::normalize_identifier;
 use bdi_types::{Dataset, RecordId, SourceId, Value};
-use std::collections::{BTreeMap, HashMap};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One integrated product in the fused catalog.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CatalogEntry {
     /// Catalog-internal id (the entity cluster index).
     pub id: usize,
@@ -22,6 +23,9 @@ pub struct CatalogEntry {
     pub pages: Vec<RecordId>,
     /// Fused attribute values, keyed by the attribute cluster's label.
     pub attributes: BTreeMap<String, Value>,
+    /// Normalized identifiers published by member pages — the lookup
+    /// keys this entry answers to. Sorted, deduped.
+    pub identifiers: Vec<String>,
 }
 
 impl CatalogEntry {
@@ -58,30 +62,90 @@ impl Catalog {
                 continue;
             };
             let label = res.attr_clusters.label(attr_cluster);
-            fused.entry(entity).or_default().insert(label, value.clone());
+            fused
+                .entry(entity)
+                .or_default()
+                .insert(label, value.clone());
         }
         let mut entries = Vec::new();
-        let mut by_identifier = HashMap::new();
         for (ci, cluster) in res.clustering.clusters().iter().enumerate() {
-            let Some(first) = cluster.first().and_then(|r| by_id.get(r)) else { continue };
-            let entry_idx = entries.len();
-            for rid in cluster {
-                if let Some(rec) = by_id.get(rid) {
-                    if let Some(id) = rec.primary_identifier() {
-                        by_identifier
-                            .entry(normalize_identifier(id))
-                            .or_insert(entry_idx);
-                    }
-                }
-            }
+            let Some(first) = cluster.first().and_then(|r| by_id.get(r)) else {
+                continue;
+            };
+            let mut identifiers: Vec<String> = cluster
+                .iter()
+                .filter_map(|rid| by_id.get(rid))
+                .filter_map(|rec| rec.primary_identifier())
+                .map(normalize_identifier)
+                .filter(|n| !n.is_empty())
+                .collect();
+            identifiers.sort_unstable();
+            identifiers.dedup();
             entries.push(CatalogEntry {
                 id: ci,
                 title: first.title.clone(),
                 pages: cluster.clone(),
                 attributes: fused.remove(&ci).unwrap_or_default(),
+                identifiers,
             });
         }
-        Self { entries, by_identifier }
+        Self::from_entries(entries)
+    }
+
+    /// Build a catalog directly from entries (e.g. produced by an
+    /// incremental fusion refresh). Entries are ordered by cluster id;
+    /// the identifier index is derived from each entry's `identifiers`,
+    /// and on collision the lowest cluster id wins, matching
+    /// [`Catalog::materialize`].
+    pub fn from_entries(mut entries: Vec<CatalogEntry>) -> Self {
+        entries.sort_by_key(|e| e.id);
+        let mut by_identifier = HashMap::new();
+        for (idx, e) in entries.iter().enumerate() {
+            for id in &e.identifiers {
+                by_identifier.entry(id.clone()).or_insert(idx);
+            }
+        }
+        Self {
+            entries,
+            by_identifier,
+        }
+    }
+
+    /// Delta materialization: produce the next catalog generation from
+    /// this one by dropping the entries whose cluster ids are in
+    /// `removed` and upserting `upserts` (matched by `id`). Everything
+    /// untouched is shared by clone; the identifier index is rebuilt.
+    ///
+    /// This is the serve-path refresh: an insert dirties a handful of
+    /// clusters, fusion re-runs on those members only, and the swap cost
+    /// is proportional to the delta, not the catalog.
+    pub fn apply_delta(&self, removed: &BTreeSet<usize>, upserts: Vec<CatalogEntry>) -> Catalog {
+        let replaced: BTreeSet<usize> = upserts.iter().map(|e| e.id).collect();
+        let mut entries: Vec<CatalogEntry> = self
+            .entries
+            .iter()
+            .filter(|e| !removed.contains(&e.id) && !replaced.contains(&e.id))
+            .cloned()
+            .collect();
+        entries.extend(upserts);
+        Self::from_entries(entries)
+    }
+
+    /// The identifier index: normalized identifier → entry, in
+    /// unspecified order. The serve layer shards this map across readers.
+    pub fn identifier_entries(&self) -> impl Iterator<Item = (&str, &CatalogEntry)> {
+        self.by_identifier
+            .iter()
+            .map(|(id, &i)| (id.as_str(), &self.entries[i]))
+    }
+
+    /// Look up an entry by its cluster id.
+    pub fn entry_by_id(&self, id: usize) -> Option<&CatalogEntry> {
+        // entries are sorted by cluster id in every construction path
+        self.entries
+            .binary_search_by_key(&id, |e| e.id)
+            .ok()
+            .map(|i| &self.entries[i])
     }
 
     /// All entries.
@@ -228,5 +292,103 @@ mod tests {
     fn unknown_identifier_misses() {
         let (_, catalog) = setup();
         assert!(catalog.lookup("NO-SUCH-ID-999999").is_none());
+    }
+
+    fn entry(id: usize, magnitude: f64, idents: &[&str]) -> CatalogEntry {
+        let mut attributes = BTreeMap::new();
+        attributes.insert("weight".to_string(), Value::num(magnitude));
+        CatalogEntry {
+            id,
+            title: format!("product {id}"),
+            pages: vec![RecordId::new(SourceId(0), id as u32)],
+            attributes,
+            identifiers: idents.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn lookup_normalization_round_trips() {
+        let catalog = Catalog::from_entries(vec![entry(0, 1.0, &["CAMLUM01042"])]);
+        // every published formatting of the identifier resolves
+        for variant in [
+            "CAM-LUM-01042",
+            "camlum01042",
+            "cam-lum-01042",
+            " CAM LUM 01042 ",
+        ] {
+            assert_eq!(
+                catalog.lookup(variant).map(|e| e.id),
+                Some(0),
+                "variant {variant:?} should resolve"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_tie_breaks_by_cluster_id() {
+        // three entries with identical magnitude: order must be id order
+        let catalog = Catalog::from_entries(vec![
+            entry(2, 5.0, &["B2"]),
+            entry(0, 5.0, &["B0"]),
+            entry(1, 5.0, &["B1"]),
+        ]);
+        let top: Vec<usize> = catalog.top_k_by("weight", 3).iter().map(|e| e.id).collect();
+        assert_eq!(top, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filter_on_absent_attribute_is_empty() {
+        let (_, catalog) = setup();
+        assert_eq!(catalog.filter("no_such_attribute", |_| true).count(), 0);
+        let catalog = Catalog::from_entries(vec![entry(0, 1.0, &["A0"])]);
+        assert_eq!(catalog.filter("missing", |_| true).count(), 0);
+    }
+
+    #[test]
+    fn from_entries_orders_and_indexes() {
+        let catalog = Catalog::from_entries(vec![entry(3, 1.0, &["X3"]), entry(1, 2.0, &["X1"])]);
+        let ids: Vec<usize> = catalog.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(catalog.entry_by_id(3).unwrap().title, "product 3");
+        assert!(catalog.entry_by_id(2).is_none());
+        assert_eq!(catalog.lookup("x1").unwrap().id, 1);
+        assert_eq!(catalog.identifier_entries().count(), 2);
+    }
+
+    #[test]
+    fn apply_delta_removes_and_upserts() {
+        let base = Catalog::from_entries(vec![
+            entry(0, 1.0, &["D0"]),
+            entry(1, 2.0, &["D1"]),
+            entry(2, 3.0, &["D2"]),
+        ]);
+        let removed: BTreeSet<usize> = [1].into_iter().collect();
+        let next = base.apply_delta(
+            &removed,
+            vec![entry(2, 9.0, &["D2", "D1"]), entry(5, 4.0, &["D5"])],
+        );
+        // base is untouched
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.lookup("D1").unwrap().id, 1);
+        // next: 1 dropped, 2 replaced (absorbing D1), 5 added
+        let ids: Vec<usize> = next.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 2, 5]);
+        assert_eq!(next.lookup("D1").unwrap().id, 2);
+        assert_eq!(
+            next.entry_by_id(2).unwrap().attributes["weight"].base_magnitude(),
+            Some(9.0)
+        );
+        assert_eq!(next.lookup("D5").unwrap().id, 5);
+    }
+
+    #[test]
+    fn entry_serde_round_trips() {
+        let e = entry(7, 2.5, &["S7"]);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: CatalogEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.title, e.title);
+        assert_eq!(back.pages, e.pages);
+        assert_eq!(back.identifiers, e.identifiers);
     }
 }

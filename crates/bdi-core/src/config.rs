@@ -64,7 +64,10 @@ pub struct PipelineConfig {
     /// Default off: the dataspace/pay-as-you-go stance keeps recall and
     /// lets fusion absorb the noise.
     pub constrained_alignment: bool,
-    /// Worker threads for candidate scoring (1 = sequential).
+    /// Worker threads for candidate scoring (1 = sequential). Defaults to
+    /// the host's available parallelism; set explicitly to override.
+    /// Chunked scoring is order-preserving, so results are identical at
+    /// any thread count.
     pub threads: usize,
 }
 
@@ -78,7 +81,7 @@ impl Default for PipelineConfig {
             fusion: FusionMethod::AccuCopy,
             ordering: SchemaOrdering::LinkageFirst,
             constrained_alignment: false,
-            threads: 1,
+            threads: bdi_linkage::parallel::default_threads(),
         }
     }
 }
@@ -109,8 +112,18 @@ mod tests {
     }
 
     #[test]
+    fn default_threads_follow_host_parallelism() {
+        let threads = PipelineConfig::default().threads;
+        assert!(threads >= 1);
+        assert_eq!(threads, bdi_linkage::parallel::default_threads());
+    }
+
+    #[test]
     fn bad_threshold_rejected() {
-        let c = PipelineConfig { match_threshold: 1.2, ..Default::default() };
+        let c = PipelineConfig {
+            match_threshold: 1.2,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

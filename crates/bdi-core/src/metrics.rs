@@ -66,7 +66,9 @@ pub fn evaluate(res: &PipelineResult, ds: &Dataset, truth: &GroundTruth) -> Pipe
     let mut covered_items: std::collections::BTreeSet<DataItem> = Default::default();
     for (item, decided) in &res.resolution.decided {
         let ci = item.entity.0 as usize;
-        let Some(&true_entity) = entity_map.get(&ci) else { continue };
+        let Some(&true_entity) = entity_map.get(&ci) else {
+            continue;
+        };
         let Some(canon) = item
             .attribute
             .strip_prefix('g')
@@ -76,7 +78,9 @@ pub fn evaluate(res: &PipelineResult, ds: &Dataset, truth: &GroundTruth) -> Pipe
             continue;
         };
         let oracle_item = DataItem::new(true_entity, canon.clone());
-        let Some(true_value) = truth.true_value(&oracle_item) else { continue };
+        let Some(true_value) = truth.true_value(&oracle_item) else {
+            continue;
+        };
         total += 1;
         covered_items.insert(oracle_item.clone());
         if decided.equivalent(&true_value.canonical()) {
@@ -88,7 +92,11 @@ pub fn evaluate(res: &PipelineResult, ds: &Dataset, truth: &GroundTruth) -> Pipe
         linkage_pairwise,
         linkage_bcubed,
         schema,
-        fusion_precision: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
+        fusion_precision: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
         fused_items: total,
         item_coverage: if truth.item_truth.is_empty() {
             0.0
@@ -115,9 +123,17 @@ mod tests {
         let w = World::generate(cfg);
         let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
         let q = evaluate(&res, &w.dataset, &w.truth);
-        assert!(q.linkage_pairwise.f1 > 0.6, "linkage F1 {:?}", q.linkage_pairwise);
+        assert!(
+            q.linkage_pairwise.f1 > 0.6,
+            "linkage F1 {:?}",
+            q.linkage_pairwise
+        );
         assert!(q.schema.precision > 0.5, "schema {:?}", q.schema);
-        assert!(q.fusion_precision > 0.6, "fusion precision {}", q.fusion_precision);
+        assert!(
+            q.fusion_precision > 0.6,
+            "fusion precision {}",
+            q.fusion_precision
+        );
         assert!(q.fused_items > 0);
         assert!(q.item_coverage > 0.3, "coverage {}", q.item_coverage);
     }
@@ -133,8 +149,16 @@ mod tests {
             ..WorldConfig::tiny(56)
         });
         let cfg = PipelineConfig::default();
-        let qc = evaluate(&run_pipeline(&clean.dataset, &cfg).unwrap(), &clean.dataset, &clean.truth);
-        let qd = evaluate(&run_pipeline(&dirty.dataset, &cfg).unwrap(), &dirty.dataset, &dirty.truth);
+        let qc = evaluate(
+            &run_pipeline(&clean.dataset, &cfg).unwrap(),
+            &clean.dataset,
+            &clean.truth,
+        );
+        let qd = evaluate(
+            &run_pipeline(&dirty.dataset, &cfg).unwrap(),
+            &dirty.dataset,
+            &dirty.truth,
+        );
         assert!(
             qc.fusion_precision > qd.fusion_precision,
             "clean {} vs dirty {}",

@@ -93,8 +93,12 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineResult
     let t1 = Instant::now();
     let profiles = ProfileSet::build(ds);
     let cands = candidate_pairs(&profiles);
-    let mut correspondences =
-        score_correspondences(&profiles, &cands, &HybridMatcher::default(), cfg.schema_threshold);
+    let mut correspondences = score_correspondences(
+        &profiles,
+        &cands,
+        &HybridMatcher::default(),
+        cfg.schema_threshold,
+    );
     if cfg.ordering == SchemaOrdering::LinkageFirst {
         // merge linkage evidence: attributes that agree on linked records
         let evidence = linkage_correspondences(ds, &clustering, cfg.schema_min_support);
@@ -150,13 +154,17 @@ pub fn build_claims(
 ) -> ClaimSet {
     let mut triples: Vec<(bdi_types::SourceId, DataItem, Value)> = Vec::new();
     for r in ds.records() {
-        let Some(entity_cluster) = clustering.cluster_of(r.id) else { continue };
+        let Some(entity_cluster) = clustering.cluster_of(r.id) else {
+            continue;
+        };
         for (name, v) in &r.attributes {
             if v.is_null() {
                 continue;
             }
             let aref = bdi_types::AttrRef::new(r.id.source, name.clone());
-            let Some(attr_cluster) = attr_clusters.cluster_of(&aref) else { continue };
+            let Some(attr_cluster) = attr_clusters.cluster_of(&aref) else {
+                continue;
+            };
             triples.push((
                 r.id.source,
                 DataItem::new(EntityId(entity_cluster as u64), format!("g{attr_cluster}")),
@@ -201,7 +209,10 @@ mod tests {
         let seq = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
         let par = run_pipeline(
             &w.dataset,
-            &PipelineConfig { threads: 4, ..Default::default() },
+            &PipelineConfig {
+                threads: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(seq.clustering.clusters(), par.clustering.clusters());
@@ -217,10 +228,18 @@ mod tests {
             FusionMethod::Accu,
             FusionMethod::AccuCopy,
         ] {
-            let res =
-                run_pipeline(&w.dataset, &PipelineConfig { fusion, ..Default::default() })
-                    .unwrap();
-            assert!(!res.resolution.decided.is_empty(), "{fusion:?} decided nothing");
+            let res = run_pipeline(
+                &w.dataset,
+                &PipelineConfig {
+                    fusion,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                !res.resolution.decided.is_empty(),
+                "{fusion:?} decided nothing"
+            );
         }
     }
 
@@ -229,12 +248,18 @@ mod tests {
         let w = world();
         let lf = run_pipeline(
             &w.dataset,
-            &PipelineConfig { ordering: SchemaOrdering::LinkageFirst, ..Default::default() },
+            &PipelineConfig {
+                ordering: SchemaOrdering::LinkageFirst,
+                ..Default::default()
+            },
         )
         .unwrap();
         let af = run_pipeline(
             &w.dataset,
-            &PipelineConfig { ordering: SchemaOrdering::AlignmentFirst, ..Default::default() },
+            &PipelineConfig {
+                ordering: SchemaOrdering::AlignmentFirst,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(

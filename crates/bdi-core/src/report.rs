@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(back.candidates, report.candidates);
         assert_eq!(back.entity_clusters, report.entity_clusters);
         assert_eq!(back.claims, report.claims);
-        let (bq, rq) = (back.quality.as_ref().unwrap(), report.quality.as_ref().unwrap());
+        let (bq, rq) = (
+            back.quality.as_ref().unwrap(),
+            report.quality.as_ref().unwrap(),
+        );
         assert!((bq.linkage_f1 - rq.linkage_f1).abs() < 1e-9);
         assert!((bq.fusion_precision - rq.fusion_precision).abs() < 1e-9);
         let text = report.render();

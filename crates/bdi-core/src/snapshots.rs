@@ -44,7 +44,9 @@ pub fn run_batch(series: &SnapshotSeries, threshold: f64) -> VelocityTrace {
         let universe: Vec<RecordId> = snap.records().iter().map(|r| r.id).collect();
         let clustering = transitive_closure(&edges, &universe);
         trace.comparisons.push(pairs.len() as u64);
-        trace.quality.push(pairwise_quality(&clustering, &series.truth));
+        trace
+            .quality
+            .push(pairwise_quality(&clustering, &series.truth));
         trace.alive.push(snap.len());
     }
     trace
@@ -53,22 +55,32 @@ pub fn run_batch(series: &SnapshotSeries, threshold: f64) -> VelocityTrace {
 /// Incremental strategy: one long-lived linker, fed only new pages.
 /// (Departed pages stay in the index — matching real systems, where
 /// tombstoning lags; quality is evaluated on alive records only.)
-pub fn run_incremental(series: &SnapshotSeries, threshold: f64) -> VelocityTrace {
+///
+/// Consumes the series: records move into the linker's index instead of
+/// being cloned per snapshot, so the cost of a snapshot is its candidate
+/// comparisons, not a second copy of the corpus.
+pub fn run_incremental(series: SnapshotSeries, threshold: f64) -> VelocityTrace {
     let mut trace = VelocityTrace::default();
     let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), threshold);
     let mut seen: BTreeSet<RecordId> = BTreeSet::new();
     let mut cumulative = 0u64;
-    for snap in &series.snapshots {
-        for r in snap.records() {
+    let SnapshotSeries {
+        snapshots, truth, ..
+    } = series;
+    let truth = &truth;
+    for snap in snapshots {
+        // capture the alive-set before the snapshot's records move out
+        let alive: BTreeSet<RecordId> = snap.records().iter().map(|r| r.id).collect();
+        let alive_count = snap.len();
+        for r in snap.into_records() {
             if seen.insert(r.id) {
-                linker.insert(r.clone());
+                linker.insert(r);
             }
         }
         let delta = linker.comparisons() - cumulative;
         cumulative = linker.comparisons();
         let clustering = linker.clustering();
         // restrict quality to records alive in this snapshot
-        let alive: BTreeSet<RecordId> = snap.records().iter().map(|r| r.id).collect();
         let restricted = bdi_linkage::cluster::Clustering::from_clusters(
             clustering
                 .clusters()
@@ -77,8 +89,8 @@ pub fn run_incremental(series: &SnapshotSeries, threshold: f64) -> VelocityTrace
                 .collect(),
         );
         trace.comparisons.push(delta);
-        trace.quality.push(pairwise_quality(&restricted, &series.truth));
-        trace.alive.push(snap.len());
+        trace.quality.push(pairwise_quality(&restricted, truth));
+        trace.alive.push(alive_count);
     }
     trace
 }
@@ -93,7 +105,10 @@ mod tests {
         let w = World::generate(WorldConfig::tiny(91));
         SnapshotSeries::generate(
             &w,
-            &ChurnConfig { snapshots: 4, ..ChurnConfig::default() },
+            &ChurnConfig {
+                snapshots: 4,
+                ..ChurnConfig::default()
+            },
         )
         .unwrap()
     }
@@ -102,7 +117,7 @@ mod tests {
     fn both_strategies_produce_full_traces() {
         let s = series();
         let batch = run_batch(&s, 0.9);
-        let inc = run_incremental(&s, 0.9);
+        let inc = run_incremental(s, 0.9);
         assert_eq!(batch.comparisons.len(), 4);
         assert_eq!(inc.comparisons.len(), 4);
         assert_eq!(batch.alive, inc.alive);
@@ -112,7 +127,7 @@ mod tests {
     fn incremental_cheaper_after_first_snapshot() {
         let s = series();
         let batch = run_batch(&s, 0.9);
-        let inc = run_incremental(&s, 0.9);
+        let inc = run_incremental(s, 0.9);
         let batch_later: u64 = batch.comparisons[1..].iter().sum();
         let inc_later: u64 = inc.comparisons[1..].iter().sum();
         assert!(
@@ -125,7 +140,7 @@ mod tests {
     fn quality_comparable_between_strategies() {
         let s = series();
         let batch = run_batch(&s, 0.9);
-        let inc = run_incremental(&s, 0.9);
+        let inc = run_incremental(s, 0.9);
         for (b, i) in batch.quality.iter().zip(&inc.quality) {
             assert!(
                 (b.f1 - i.f1).abs() < 0.25,

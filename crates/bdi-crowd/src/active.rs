@@ -24,8 +24,7 @@ fn feature_table<'a>(
     ds: &'a Dataset,
     candidates: &[Pair],
 ) -> (HashMap<RecordId, &'a Record>, Vec<(Pair, PairFeatures)>) {
-    let by_id: HashMap<RecordId, &Record> =
-        ds.records().iter().map(|r| (r.id, r)).collect();
+    let by_id: HashMap<RecordId, &Record> = ds.records().iter().map(|r| (r.id, r)).collect();
     let feats = candidates
         .iter()
         .filter_map(|p| {
@@ -82,7 +81,11 @@ pub fn train_active(
         }
         matcher.fit(&labeled, 300, 0.5, 1e-4);
     }
-    TrainReport { matcher, questions, labels: labeled.len() }
+    TrainReport {
+        matcher,
+        questions,
+        labels: labeled.len(),
+    }
 }
 
 /// The baseline: spend the same budget on uniformly random candidates.
@@ -111,7 +114,11 @@ pub fn train_random(
         }
     }
     matcher.fit(&labeled, 300, 0.5, 1e-4);
-    TrainReport { matcher, questions, labels: labeled.len() }
+    TrainReport {
+        matcher,
+        questions,
+        labels: labeled.len(),
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ impl Default for LogisticMatcher {
     /// An untrained prior leaning on identifier evidence — the starting
     /// point active learning improves from.
     fn default() -> Self {
-        Self { weights: [2.0, 1.0, 2.0, 1.0, 1.0, 0.5], bias: -3.0 }
+        Self {
+            weights: [2.0, 1.0, 2.0, 1.0, 1.0, 0.5],
+            bias: -3.0,
+        }
     }
 }
 
@@ -30,8 +33,11 @@ impl LogisticMatcher {
     /// Match probability for a feature vector.
     pub fn probability(&self, f: &PairFeatures) -> f64 {
         let x = f.as_array();
-        let z: f64 =
-            self.bias + x.iter().zip(&self.weights).map(|(xi, wi)| xi * wi).sum::<f64>();
+        let z: f64 = self.bias
+            + x.iter()
+                .zip(&self.weights)
+                .map(|(xi, wi)| xi * wi)
+                .sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 
@@ -99,7 +105,10 @@ mod tests {
 
     #[test]
     fn fit_separates_labeled_data() {
-        let mut m = LogisticMatcher { weights: [0.0; 6], bias: 0.0 };
+        let mut m = LogisticMatcher {
+            weights: [0.0; 6],
+            bias: 0.0,
+        };
         let data: Vec<(PairFeatures, bool)> = (0..40)
             .map(|i| {
                 let pos = i % 2 == 0;
@@ -107,8 +116,16 @@ mod tests {
             })
             .collect();
         m.fit(&data, 500, 0.5, 1e-4);
-        assert!(m.probability(&feat(0.9)) > 0.8, "{}", m.probability(&feat(0.9)));
-        assert!(m.probability(&feat(0.1)) < 0.2, "{}", m.probability(&feat(0.1)));
+        assert!(
+            m.probability(&feat(0.9)) > 0.8,
+            "{}",
+            m.probability(&feat(0.9))
+        );
+        assert!(
+            m.probability(&feat(0.1)) < 0.2,
+            "{}",
+            m.probability(&feat(0.1))
+        );
     }
 
     #[test]

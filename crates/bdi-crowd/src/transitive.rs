@@ -43,8 +43,7 @@ pub fn crowd_resolve<M: Matcher>(
     budget: u64,
     min_machine_score: f64,
 ) -> CrowdResolveReport {
-    let by_id: HashMap<RecordId, &Record> =
-        ds.records().iter().map(|r| (r.id, r)).collect();
+    let by_id: HashMap<RecordId, &Record> = ds.records().iter().map(|r| (r.id, r)).collect();
     // order by machine confidence, most confident first
     let mut scored: Vec<(Pair, f64)> = candidates
         .iter()
@@ -62,8 +61,7 @@ pub fn crowd_resolve<M: Matcher>(
 
     // intern record ids
     let ids: Vec<RecordId> = ds.records().iter().map(|r| r.id).collect();
-    let index: HashMap<RecordId, usize> =
-        ids.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let index: HashMap<RecordId, usize> = ids.iter().enumerate().map(|(i, &r)| (r, i)).collect();
     let mut uf = UnionFind::new(ids.len());
     // confirmed-different cluster pairs (by current roots; refreshed on
     // union via re-rooting lookups)
@@ -105,8 +103,11 @@ pub fn crowd_resolve<M: Matcher>(
                     .collect();
                 for (x, y) in carried {
                     let other = if x == ra || x == rb { y } else { x };
-                    let k =
-                        if new_root < other { (new_root, other) } else { (other, new_root) };
+                    let k = if new_root < other {
+                        (new_root, other)
+                    } else {
+                        (other, new_root)
+                    };
                     not_same.insert(k);
                 }
             }
@@ -192,9 +193,7 @@ mod tests {
             "expected some inferred answers over {} candidates",
             pairs.len()
         );
-        assert!(
-            report.questions_asked + report.questions_inferred <= pairs.len() as u64
-        );
+        assert!(report.questions_asked + report.questions_inferred <= pairs.len() as u64);
         assert!(
             (report.questions_asked as usize) < pairs.len(),
             "asked {} of {} — nothing saved",

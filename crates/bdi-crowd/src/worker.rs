@@ -20,26 +20,39 @@ impl SimulatedWorker {
     /// Create a worker.
     pub fn new(id: u32, error_rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&error_rate), "error_rate in [0,1]");
-        Self { id, error_rate, seed }
+        Self {
+            id,
+            error_rate,
+            seed,
+        }
     }
 
     /// Answer a pair question. Returns `None` when the oracle itself
     /// doesn't know either record (can't simulate an answer).
     pub fn answer(&self, a: RecordId, b: RecordId, truth: &GroundTruth) -> Option<bool> {
         let correct = truth.same_entity(a, b)?;
-        let mut rng = StdRng::seed_from_u64(
-            self.seed
-                ^ (self.id as u64) << 48
-                ^ pair_hash(a, b),
-        );
-        Some(if rng.gen_bool(self.error_rate) { !correct } else { correct })
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (self.id as u64) << 48 ^ pair_hash(a, b));
+        Some(if rng.gen_bool(self.error_rate) {
+            !correct
+        } else {
+            correct
+        })
     }
 }
 
 fn pair_hash(a: RecordId, b: RecordId) -> u64 {
-    let (lo, hi) = if (a.source, a.seq) <= (b.source, b.seq) { (a, b) } else { (b, a) };
+    let (lo, hi) = if (a.source, a.seq) <= (b.source, b.seq) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let mut h = 0xcbf29ce484222325u64;
-    for v in [lo.source.0 as u64, lo.seq as u64, hi.source.0 as u64, hi.seq as u64] {
+    for v in [
+        lo.source.0 as u64,
+        lo.seq as u64,
+        hi.source.0 as u64,
+        hi.seq as u64,
+    ] {
         h = (h ^ v).wrapping_mul(0x100000001b3);
     }
     h
@@ -99,9 +112,12 @@ mod tests {
 
     fn truth() -> GroundTruth {
         let mut gt = GroundTruth::default();
-        gt.record_entity.insert(RecordId::new(SourceId(0), 0), EntityId(1));
-        gt.record_entity.insert(RecordId::new(SourceId(1), 0), EntityId(1));
-        gt.record_entity.insert(RecordId::new(SourceId(2), 0), EntityId(2));
+        gt.record_entity
+            .insert(RecordId::new(SourceId(0), 0), EntityId(1));
+        gt.record_entity
+            .insert(RecordId::new(SourceId(1), 0), EntityId(1));
+        gt.record_entity
+            .insert(RecordId::new(SourceId(2), 0), EntityId(2));
         gt
     }
 
@@ -130,7 +146,11 @@ mod tests {
         let w = SimulatedWorker::new(3, 0.5, 9);
         let ab = w.answer(rid(0), rid(1), &gt);
         assert_eq!(ab, w.answer(rid(0), rid(1), &gt));
-        assert_eq!(ab, w.answer(rid(1), rid(0), &gt), "question order must not matter");
+        assert_eq!(
+            ab,
+            w.answer(rid(1), rid(0), &gt),
+            "question order must not matter"
+        );
     }
 
     #[test]

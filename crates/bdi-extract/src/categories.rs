@@ -35,7 +35,11 @@ pub fn page_clusters(ds: &Dataset, source: SourceId, threshold: f64) -> Vec<Page
         for (i, c) in clusters.iter().enumerate() {
             let inter = c.fingerprint.intersection(&names).count();
             let union = c.fingerprint.len() + names.len() - inter;
-            let j = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+            let j = if union == 0 {
+                1.0
+            } else {
+                inter as f64 / union as f64
+            };
             if j >= threshold && best.is_none_or(|(_, b)| j > b) {
                 best = Some((i, j));
             }
@@ -73,7 +77,9 @@ pub fn cluster_purity(clusters: &[PageCluster], truth: &GroundTruth) -> f64 {
     for c in clusters {
         let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
         for rid in &c.pages {
-            let Some(e) = truth.entity_of(*rid) else { continue };
+            let Some(e) = truth.entity_of(*rid) else {
+                continue;
+            };
             if let Some(cat) = truth.entity_category.get(&e) {
                 *counts.entry(cat.as_str()).or_insert(0) += 1;
                 total += 1;
@@ -129,7 +135,10 @@ mod tests {
         let head = w.dataset.sources().next().unwrap().id;
         let n_pages = w.dataset.records_of(head).count();
         let clusters = page_clusters(&w.dataset, head, 0.25);
-        assert!(clusters.len() > 1, "head source should expose several local categories");
+        assert!(
+            clusters.len() > 1,
+            "head source should expose several local categories"
+        );
         assert!(
             clusters.len() * 4 < n_pages,
             "{} clusters for {} pages — no grouping happened",

@@ -33,7 +33,10 @@ impl SearchIndex {
                 }
             }
         }
-        Self { by_identifier, max_results: 20 }
+        Self {
+            by_identifier,
+            max_results: 20,
+        }
     }
 
     /// Sources whose pages mention this identifier (capped).
@@ -120,7 +123,9 @@ impl Crawler {
         let mut queries = 0;
         let mut new_sources = Vec::new();
         while queries < self.queries_per_round {
-            let Some(id) = self.id_queue.pop_front() else { break };
+            let Some(id) = self.id_queue.pop_front() else {
+                break;
+            };
             queries += 1;
             for s in index.search(&id) {
                 if self.discovered.insert(s) {
@@ -178,7 +183,7 @@ mod tests {
         World::generate(WorldConfig {
             n_sources: 20,
             p_publish_identifier: 0.95,
-            ..WorldConfig::tiny(31)
+            ..WorldConfig::tiny(33)
         })
     }
 
@@ -240,13 +245,7 @@ mod tests {
         let mut index = SearchIndex::build(&w.dataset);
         index.max_results = 2;
         // find an identifier indexed by many sources
-        let popular = w
-            .truth
-            .entity_identifier
-            .values()
-            .next()
-            .unwrap()
-            .clone();
+        let popular = w.truth.entity_identifier.values().next().unwrap().clone();
         assert!(index.search(&popular).len() <= 2);
     }
 }

@@ -66,8 +66,16 @@ fn score(originals: &[&Record], extracted: &[Record]) -> ExtractionQuality {
             _ => {}
         }
     }
-    let precision = if extracted_total == 0 { 0.0 } else { tp as f64 / extracted_total as f64 };
-    let recall = if original_total == 0 { 0.0 } else { tp as f64 / original_total as f64 };
+    let precision = if extracted_total == 0 {
+        0.0
+    } else {
+        tp as f64 / extracted_total as f64
+    };
+    let recall = if original_total == 0 {
+        0.0
+    } else {
+        tp as f64 / original_total as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -119,7 +127,11 @@ mod tests {
             &w.dataset,
             sid,
             w.config.seed,
-            PageNoise { p_broken_row: 0.6, p_shuffle: 0.5, p_dropped_row: 0.1 },
+            PageNoise {
+                p_broken_row: 0.6,
+                p_shuffle: 0.5,
+                p_dropped_row: 0.1,
+            },
             5,
         );
         // wrapper induction itself failing is also valid degradation

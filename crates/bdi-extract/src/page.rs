@@ -48,7 +48,11 @@ impl Template {
         let separators = [": ", " | ", " = "];
         let spec_headers = ["Specifications", "Details", "Tech Specs"];
         let id_labels = ["SKU", "MPN", "Item code"];
-        let related_headers = ["Related products", "You may also like", "Customers also viewed"];
+        let related_headers = [
+            "Related products",
+            "You may also like",
+            "Customers also viewed",
+        ];
         Template {
             banner: format!("== {source_name} =="),
             separator: separators[rng.gen_range(0..separators.len())],
@@ -77,14 +81,16 @@ pub struct PageNoise {
 /// as the main product id (id row); the rest render into the related
 /// section, mimicking related-product identifier leakage.
 pub fn render_page(record: &Record, template: &Template, noise: PageNoise, seed: u64) -> Page {
-    let mut rng = StdRng::seed_from_u64(
-        seed ^ ((record.id.source.0 as u64) << 32 | record.id.seq as u64),
-    );
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ ((record.id.source.0 as u64) << 32 | record.id.seq as u64));
     let mut lines = Vec::with_capacity(record.attributes.len() + 8);
     lines.push(template.banner.clone());
     lines.push(record.title.clone());
     if let Some(main_id) = record.identifiers.first() {
-        lines.push(format!("{}{}{}", template.id_label, template.separator, main_id));
+        lines.push(format!(
+            "{}{}{}",
+            template.id_label, template.separator, main_id
+        ));
     }
     lines.push(template.spec_header.to_string());
     let mut rows: Vec<(String, String)> = record
@@ -115,7 +121,10 @@ pub fn render_page(record: &Record, template: &Template, noise: PageNoise, seed:
         }
     }
     lines.push(template.footer.clone());
-    Page { record_id: record.id, lines }
+    Page {
+        record_id: record.id,
+        lines,
+    }
 }
 
 #[cfg(test)]
@@ -160,7 +169,11 @@ mod tests {
         let noisy = render_page(
             &record(),
             &t,
-            PageNoise { p_broken_row: 1.0, p_shuffle: 0.0, p_dropped_row: 0.0 },
+            PageNoise {
+                p_broken_row: 1.0,
+                p_shuffle: 0.0,
+                p_dropped_row: 0.0,
+            },
             1,
         );
         // no spec row keeps the separator
@@ -178,7 +191,14 @@ mod tests {
     #[test]
     fn render_deterministic() {
         let t = Template::for_source("s", 5);
-        let n = PageNoise { p_broken_row: 0.5, p_shuffle: 0.5, p_dropped_row: 0.2 };
-        assert_eq!(render_page(&record(), &t, n, 9), render_page(&record(), &t, n, 9));
+        let n = PageNoise {
+            p_broken_row: 0.5,
+            p_shuffle: 0.5,
+            p_dropped_row: 0.2,
+        };
+        assert_eq!(
+            render_page(&record(), &t, n, 9),
+            render_page(&record(), &t, n, 9)
+        );
     }
 }

@@ -119,7 +119,13 @@ impl Wrapper {
         if let Some(idl) = &id_label {
             final_labels.remove(idl);
         }
-        Some(Wrapper { separator, labels: final_labels, id_label, chrome, related_header })
+        Some(Wrapper {
+            separator,
+            labels: final_labels,
+            id_label,
+            chrome,
+            related_header,
+        })
     }
 
     /// Extract a structured record from one page of the same source.
@@ -171,7 +177,8 @@ impl Wrapper {
 pub fn looks_like_identifier(s: &str) -> bool {
     s.len() >= 6
         && s.chars().any(|c| c.is_ascii_digit())
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
 }
 
 fn parenthesized(line: &str) -> Option<&str> {
@@ -194,11 +201,14 @@ mod tests {
     fn records() -> Vec<Record> {
         (0..6u32)
             .map(|i| {
-                Record::new(RecordId::new(SourceId(0), i), format!("Lumetra LX-{i} camera"))
-                    .with_identifier(format!("CAM-LUM-{i:05}"))
-                    .with_identifier(format!("CAM-FOT-{:05}", i + 50))
-                    .with_attr("weight", Value::quantity(400.0 + i as f64, Unit::Gram))
-                    .with_attr("color", Value::str(["black", "white"][i as usize % 2]))
+                Record::new(
+                    RecordId::new(SourceId(0), i),
+                    format!("Lumetra LX-{i} camera"),
+                )
+                .with_identifier(format!("CAM-LUM-{i:05}"))
+                .with_identifier(format!("CAM-FOT-{:05}", i + 50))
+                .with_attr("weight", Value::quantity(400.0 + i as f64, Unit::Gram))
+                .with_attr("color", Value::str(["black", "white"][i as usize % 2]))
             })
             .collect()
     }
@@ -232,7 +242,10 @@ mod tests {
             let got = w.extract(page);
             assert_eq!(got.title, orig.title);
             assert_eq!(got.identifiers[0], orig.identifiers[0], "main id first");
-            assert!(got.identifiers.contains(&orig.identifiers[1]), "related id kept");
+            assert!(
+                got.identifiers.contains(&orig.identifiers[1]),
+                "related id kept"
+            );
             assert_eq!(
                 got.attributes.get("color").map(|v| v.render()),
                 orig.attributes.get("color").map(|v| v.render())
@@ -253,12 +266,22 @@ mod tests {
     #[test]
     fn broken_template_degrades_gracefully() {
         let clean = pages(PageNoise::default());
-        let broken = pages(PageNoise { p_broken_row: 0.9, p_shuffle: 0.5, p_dropped_row: 0.0 });
+        let broken = pages(PageNoise {
+            p_broken_row: 0.9,
+            p_shuffle: 0.5,
+            p_dropped_row: 0.0,
+        });
         let wc = Wrapper::induce(&clean).unwrap();
         // broken pages may or may not induce; if they do, fewer rows
         if let Some(wb) = Wrapper::induce(&broken) {
-            let c = clean.iter().map(|p| wc.extract(p).attributes.len()).sum::<usize>();
-            let b = broken.iter().map(|p| wb.extract(p).attributes.len()).sum::<usize>();
+            let c = clean
+                .iter()
+                .map(|p| wc.extract(p).attributes.len())
+                .sum::<usize>();
+            let b = broken
+                .iter()
+                .map(|p| wb.extract(p).attributes.len())
+                .sum::<usize>();
             assert!(b <= c, "broken pages must not extract more ({b} vs {c})");
         }
     }

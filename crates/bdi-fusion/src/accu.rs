@@ -27,7 +27,12 @@ pub struct Accu {
 
 impl Default for Accu {
     fn default() -> Self {
-        Self { n_false: 5.0, initial_accuracy: 0.8, tolerance: 1e-6, max_iterations: 50 }
+        Self {
+            n_false: 5.0,
+            initial_accuracy: 0.8,
+            tolerance: 1e-6,
+            max_iterations: 50,
+        }
     }
 }
 
@@ -63,8 +68,7 @@ impl Accu {
                             .and_then(|m| m.get(&(*s, i)))
                             .copied()
                             .unwrap_or(1.0);
-                        *score.entry(v).or_insert(0.0) +=
-                            w * (self.n_false * a / (1.0 - a)).ln();
+                        *score.entry(v).or_insert(0.0) += w * (self.n_false * a / (1.0 - a)).ln();
                     }
                     // softmax over observed values
                     let max = score.values().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -122,7 +126,14 @@ impl Accu {
             }
         }
         let source_trust = sources.into_iter().zip(acc).collect();
-        (Resolution { decided, source_trust, iterations }, probs)
+        (
+            Resolution {
+                decided,
+                source_trust,
+                iterations,
+            },
+            probs,
+        )
     }
 }
 
@@ -174,11 +185,7 @@ mod tests {
 
     #[test]
     fn agrees_with_vote_on_clean_data() {
-        let cs = ClaimSet::from_triples(vec![
-            tr(0, 1, "a"),
-            tr(1, 1, "a"),
-            tr(2, 1, "b"),
-        ]);
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "a"), tr(1, 1, "a"), tr(2, 1, "b")]);
         let r = Accu::default().resolve(&cs);
         assert_eq!(r.decided[&item(1)], bdi_types::Value::str("a"));
     }
@@ -187,11 +194,7 @@ mod tests {
     fn claim_weights_discount_votes() {
         // two sources say "a", one says "b"; but the "a" claims get tiny
         // weight -> "b" wins
-        let cs = ClaimSet::from_triples(vec![
-            tr(0, 1, "a"),
-            tr(1, 1, "a"),
-            tr(2, 1, "b"),
-        ]);
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "a"), tr(1, 1, "a"), tr(2, 1, "b")]);
         let mut w = ClaimWeights::new();
         w.insert((bdi_types::SourceId(0), 0), 0.05);
         w.insert((bdi_types::SourceId(1), 0), 0.05);

@@ -64,7 +64,11 @@ impl AccuCopy {
             .copier_pairs(claims, report, self.dependence_threshold);
         let mut originals: BTreeMap<SourceId, Vec<(SourceId, f64)>> = BTreeMap::new();
         for (copier, original) in pairs {
-            let key = if copier < original { (copier, original) } else { (original, copier) };
+            let key = if copier < original {
+                (copier, original)
+            } else {
+                (original, copier)
+            };
             let dep = report[&key].dependence;
             originals.entry(copier).or_default().push((original, dep));
         }
@@ -78,7 +82,9 @@ impl AccuCopy {
             let value_of: BTreeMap<SourceId, &bdi_types::Value> =
                 cs.iter().map(|(s, v)| (*s, v)).collect();
             for (s, v) in cs {
-                let Some(origs) = originals.get(s) else { continue };
+                let Some(origs) = originals.get(s) else {
+                    continue;
+                };
                 let mut w = 1.0;
                 for (o, dep) in origs {
                     if value_of.get(o) == Some(&v) {
@@ -125,7 +131,11 @@ mod tests {
         let mut triples = Vec::new();
         for e in 0..33u64 {
             let true_v = format!("t{e}");
-            let v3 = if e % 3 == 0 { format!("f{e}") } else { true_v.clone() };
+            let v3 = if e % 3 == 0 {
+                format!("f{e}")
+            } else {
+                true_v.clone()
+            };
             if e < 21 {
                 triples.push(tr(0, e, &true_v));
                 triples.push(tr(1, e, &true_v));
@@ -140,8 +150,9 @@ mod tests {
     #[test]
     fn accucopy_beats_vote_under_copying() {
         let cs = head_tail_with_copier();
-        let truth: std::collections::BTreeMap<_, _> =
-            (0..33u64).map(|e| (item(e), Value::str(format!("t{e}")))).collect();
+        let truth: std::collections::BTreeMap<_, _> = (0..33u64)
+            .map(|e| (item(e), Value::str(format!("t{e}"))))
+            .collect();
         let score = |decided: &std::collections::BTreeMap<_, Value>| {
             (0..33u64)
                 .filter(|e| decided.get(&item(*e)) == truth.get(&item(*e)))
@@ -179,9 +190,17 @@ mod tests {
         for e in 0..20u64 {
             triples.push(tr(0, e, &format!("t{e}")));
             triples.push(tr(1, e, &format!("t{e}")));
-            let v2 = if e % 4 == 0 { format!("a{e}") } else { format!("t{e}") };
+            let v2 = if e % 4 == 0 {
+                format!("a{e}")
+            } else {
+                format!("t{e}")
+            };
             triples.push(tr(2, e, &v2));
-            let v3 = if e % 5 == 0 { format!("b{e}") } else { format!("t{e}") };
+            let v3 = if e % 5 == 0 {
+                format!("b{e}")
+            } else {
+                format!("t{e}")
+            };
             triples.push(tr(3, e, &v3));
         }
         let cs = crate::ClaimSet::from_triples(triples);

@@ -27,7 +27,12 @@ pub struct CopyDetector {
 
 impl Default for CopyDetector {
     fn default() -> Self {
-        Self { copy_rate: 0.8, n_false: 5.0, prior: 0.05, min_overlap: 5 }
+        Self {
+            copy_rate: 0.8,
+            n_false: 5.0,
+            prior: 0.05,
+            min_overlap: 5,
+        }
     }
 }
 
@@ -88,12 +93,25 @@ impl CopyDetector {
             if kt + kf + kd < self.min_overlap {
                 continue;
             }
-            let a1 = accuracy.get(&key.0).copied().unwrap_or(default_acc).clamp(0.05, 0.95);
-            let a2 = accuracy.get(&key.1).copied().unwrap_or(default_acc).clamp(0.05, 0.95);
+            let a1 = accuracy
+                .get(&key.0)
+                .copied()
+                .unwrap_or(default_acc)
+                .clamp(0.05, 0.95);
+            let a2 = accuracy
+                .get(&key.1)
+                .copied()
+                .unwrap_or(default_acc)
+                .clamp(0.05, 0.95);
             let dependence = self.posterior(kt, kf, kd, a1, a2);
             report.insert(
                 key,
-                PairEvidence { agree_true: kt, agree_false: kf, disagree: kd, dependence },
+                PairEvidence {
+                    agree_true: kt,
+                    agree_false: kf,
+                    disagree: kd,
+                    dependence,
+                },
             );
         }
         let _ = sources;
@@ -167,10 +185,18 @@ mod tests {
             let false_v = format!("f{e}");
             // 0 errs on every 4th item; 1 replays 0 exactly; 2 errs on
             // every 5th item with a *different* false value
-            let v0 = if e % 4 == 0 { false_v.clone() } else { true_v.clone() };
+            let v0 = if e % 4 == 0 {
+                false_v.clone()
+            } else {
+                true_v.clone()
+            };
             triples.push(tr(0, e, &v0));
             triples.push(tr(1, e, &v0));
-            let v2 = if e % 5 == 0 { format!("g{e}") } else { true_v.clone() };
+            let v2 = if e % 5 == 0 {
+                format!("g{e}")
+            } else {
+                true_v.clone()
+            };
             triples.push(tr(2, e, &v2));
             // honest chorus pinning down the truth
             for s in 3..8 {
@@ -200,7 +226,10 @@ mod tests {
         let acc: BTreeMap<_, _> = cs.sources().iter().map(|&s| (s, 0.8)).collect();
         let report = CopyDetector::default().detect(&cs, &decided, &acc);
         let e = report[&(bdi_types::SourceId(0), bdi_types::SourceId(1))];
-        assert_eq!(e.agree_false, 10, "every 4th of 40 items shares a false value");
+        assert_eq!(
+            e.agree_false, 10,
+            "every 4th of 40 items shares a false value"
+        );
         assert_eq!(e.disagree, 0);
     }
 
@@ -232,9 +261,7 @@ mod tests {
         // the pair itself must be present exactly once
         let found: Vec<_> = pairs
             .iter()
-            .filter(|(a, b)| {
-                (a.0 == 0 && b.0 == 1) || (a.0 == 1 && b.0 == 0)
-            })
+            .filter(|(a, b)| (a.0 == 0 && b.0 == 1) || (a.0 == 1 && b.0 == 0))
             .collect();
         assert_eq!(found.len(), 1);
     }

@@ -23,7 +23,9 @@ pub fn fusion_quality(res: &Resolution, truth: &GroundTruth) -> FusionQuality {
     let mut correct = 0usize;
     let mut total = 0usize;
     for (item, v) in &res.decided {
-        let Some(t) = truth.true_value(item) else { continue };
+        let Some(t) = truth.true_value(item) else {
+            continue;
+        };
         total += 1;
         if v.equivalent(&t.canonical()) {
             correct += 1;
@@ -39,8 +41,16 @@ pub fn fusion_quality(res: &Resolution, truth: &GroundTruth) -> FusionQuality {
     }
     FusionQuality {
         items: total,
-        precision: if total == 0 { 0.0 } else { correct as f64 / total as f64 },
-        trust_mae: if mae_n == 0 { 0.0 } else { mae_sum / mae_n as f64 },
+        precision: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
+        trust_mae: if mae_n == 0 {
+            0.0
+        } else {
+            mae_sum / mae_n as f64
+        },
     }
 }
 
@@ -88,14 +98,27 @@ pub fn copy_detection_quality(
         }
     }
     let tp = detected.intersection(&actual).count();
-    let precision = if detected.is_empty() { 0.0 } else { tp as f64 / detected.len() as f64 };
-    let recall = if actual.is_empty() { 1.0 } else { tp as f64 / actual.len() as f64 };
+    let precision = if detected.is_empty() {
+        0.0
+    } else {
+        tp as f64 / detected.len() as f64
+    };
+    let recall = if actual.is_empty() {
+        1.0
+    } else {
+        tp as f64 / actual.len() as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    CopyDetectionQuality { detected: detected.len(), precision, recall, f1 }
+    CopyDetectionQuality {
+        detected: detected.len(),
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Build a claim set from a world-style triple iterator, canonicalizing
@@ -120,8 +143,10 @@ mod tests {
             .item_truth
             .insert(item.clone(), Value::quantity(1.0, bdi_types::Unit::Inch));
         let mut res = Resolution::default();
-        res.decided
-            .insert(item, Value::quantity(2.54, bdi_types::Unit::Centimeter).canonical());
+        res.decided.insert(
+            item,
+            Value::quantity(2.54, bdi_types::Unit::Centimeter).canonical(),
+        );
         let q = fusion_quality(&res, &truth);
         assert_eq!(q.items, 1);
         assert_eq!(q.precision, 1.0);
@@ -132,7 +157,11 @@ mod tests {
         let mut truth = GroundTruth::default();
         truth.source_profiles.insert(
             SourceId(0),
-            SourceProfile { accuracy: 0.9, copies_from: None, deceitful: false },
+            SourceProfile {
+                accuracy: 0.9,
+                copies_from: None,
+                deceitful: false,
+            },
         );
         let mut res = Resolution::default();
         res.source_trust.insert(SourceId(0), 0.8);
@@ -145,7 +174,11 @@ mod tests {
         let mut truth = GroundTruth::default();
         truth.source_profiles.insert(
             SourceId(5),
-            SourceProfile { accuracy: 0.8, copies_from: Some((SourceId(0), 0.8)), deceitful: false },
+            SourceProfile {
+                accuracy: 0.8,
+                copies_from: Some((SourceId(0), 0.8)),
+                deceitful: false,
+            },
         );
         let mut report = CopyReport::new();
         report.insert(

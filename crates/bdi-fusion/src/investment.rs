@@ -27,14 +27,21 @@ pub struct Investment {
 
 impl Default for Investment {
     fn default() -> Self {
-        Self { g: 1.2, iterations: 10, pooled: false }
+        Self {
+            g: 1.2,
+            iterations: 10,
+            pooled: false,
+        }
     }
 }
 
 impl Investment {
     /// The pooled variant.
     pub fn pooled() -> Self {
-        Self { pooled: true, ..Self::default() }
+        Self {
+            pooled: true,
+            ..Self::default()
+        }
     }
 }
 
@@ -98,8 +105,7 @@ impl Fuser for Investment {
                 }
             }
             // normalize trust to mean 1 to stop drift
-            let mean: f64 =
-                new_trust.iter().sum::<f64>() / sources.len().max(1) as f64;
+            let mean: f64 = new_trust.iter().sum::<f64>() / sources.len().max(1) as f64;
             if mean > 0.0 {
                 for t in &mut new_trust {
                     *t /= mean;
@@ -110,16 +116,12 @@ impl Fuser for Investment {
 
         let mut decided = BTreeMap::new();
         for (gi, item) in claims.items().iter().enumerate() {
-            if let Some((vi, _)) = cred[gi]
-                .iter()
-                .enumerate()
-                .max_by(|a, b| {
-                    a.1.partial_cmp(b.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        // deterministic tie-break toward the smaller value
-                        .then_with(|| grouped[gi][b.0].0.cmp(grouped[gi][a.0].0))
-                })
-            {
+            if let Some((vi, _)) = cred[gi].iter().enumerate().max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // deterministic tie-break toward the smaller value
+                    .then_with(|| grouped[gi][b.0].0.cmp(grouped[gi][a.0].0))
+            }) {
                 decided.insert(item.clone(), grouped[gi][vi].0.clone());
             }
         }
@@ -129,7 +131,11 @@ impl Fuser for Investment {
             .into_iter()
             .zip(trust.iter().map(|t| t / max_t))
             .collect();
-        Resolution { decided, source_trust, iterations: self.iterations }
+        Resolution {
+            decided,
+            source_trust,
+            iterations: self.iterations,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -175,19 +181,14 @@ mod tests {
                 fuser.name()
             );
             assert!(
-                r.source_trust[&bdi_types::SourceId(0)]
-                    > r.source_trust[&bdi_types::SourceId(2)]
+                r.source_trust[&bdi_types::SourceId(0)] > r.source_trust[&bdi_types::SourceId(2)]
             );
         }
     }
 
     #[test]
     fn majority_wins_with_uniform_sources() {
-        let cs = ClaimSet::from_triples(vec![
-            tr(0, 1, "a"),
-            tr(1, 1, "a"),
-            tr(2, 1, "b"),
-        ]);
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "a"), tr(1, 1, "a"), tr(2, 1, "b")]);
         let r = Investment::default().resolve(&cs);
         assert_eq!(r.decided[&item(1)], bdi_types::Value::str("a"));
     }

@@ -36,8 +36,8 @@ pub mod truthfinder;
 pub mod vote;
 
 pub use accu::Accu;
-pub use investment::Investment;
 pub use accucopy::AccuCopy;
+pub use investment::Investment;
 pub use model::{ClaimSet, Fuser, Resolution};
 pub use truthfinder::TruthFinder;
 pub use vote::MajorityVote;

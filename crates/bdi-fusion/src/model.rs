@@ -30,7 +30,11 @@ impl ClaimSet {
             }
         }
         let (items, claims): (Vec<_>, Vec<_>) = by_item.into_iter().unzip();
-        Self { items, claims, sources }
+        Self {
+            items,
+            claims,
+            sources,
+        }
     }
 
     /// The data items, deterministic order.

@@ -32,14 +32,23 @@ pub struct TruthFinder {
 
 impl Default for TruthFinder {
     fn default() -> Self {
-        Self { initial_trust: 0.9, gamma: 0.3, tolerance: 1e-6, max_iterations: 50, rho: 0.0 }
+        Self {
+            initial_trust: 0.9,
+            gamma: 0.3,
+            tolerance: 1e-6,
+            max_iterations: 50,
+            rho: 0.0,
+        }
     }
 }
 
 impl TruthFinder {
     /// The similarity-aware variant from the original paper (ρ = 0.5).
     pub fn with_implication() -> Self {
-        Self { rho: 0.5, ..Self::default() }
+        Self {
+            rho: 0.5,
+            ..Self::default()
+        }
     }
 }
 
@@ -159,7 +168,11 @@ impl Fuser for TruthFinder {
             }
         }
         let source_trust = sources.into_iter().zip(trust).collect();
-        Resolution { decided, source_trust, iterations }
+        Resolution {
+            decided,
+            source_trust,
+            iterations,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -237,7 +250,11 @@ mod tests {
         }
         let cs = crate::ClaimSet::from_triples(triples);
         let plain = TruthFinder::default().resolve(&cs);
-        assert_eq!(plain.decided[&item], bdi_types::Value::num(55.0), "plain TF: tie by count");
+        assert_eq!(
+            plain.decided[&item],
+            bdi_types::Value::num(55.0),
+            "plain TF: tie by count"
+        );
         let imp = TruthFinder::with_implication().resolve(&cs);
         let got = imp.decided[&item].base_magnitude().unwrap();
         assert!(
@@ -248,11 +265,7 @@ mod tests {
 
     #[test]
     fn trust_in_unit_interval() {
-        let cs = crate::ClaimSet::from_triples(vec![
-            tr(0, 1, "a"),
-            tr(1, 1, "b"),
-            tr(2, 2, "c"),
-        ]);
+        let cs = crate::ClaimSet::from_triples(vec![tr(0, 1, "a"), tr(1, 1, "b"), tr(2, 2, "c")]);
         let r = TruthFinder::default().resolve(&cs);
         for t in r.source_trust.values() {
             assert!((0.0..=1.0).contains(t));

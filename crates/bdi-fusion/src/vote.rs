@@ -45,7 +45,11 @@ impl Fuser for MajorityVote {
             .into_iter()
             .map(|(s, (a, n))| (s, if n == 0 { 0.0 } else { a as f64 / n as f64 }))
             .collect();
-        Resolution { decided, source_trust, iterations: 1 }
+        Resolution {
+            decided,
+            source_trust,
+            iterations: 1,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -61,11 +65,7 @@ mod tests {
 
     #[test]
     fn majority_wins() {
-        let cs = ClaimSet::from_triples(vec![
-            tr(0, 1, "red"),
-            tr(1, 1, "red"),
-            tr(2, 1, "blue"),
-        ]);
+        let cs = ClaimSet::from_triples(vec![tr(0, 1, "red"), tr(1, 1, "red"), tr(2, 1, "blue")]);
         let r = MajorityVote.resolve(&cs);
         assert_eq!(r.decided[&item(1)], bdi_types::Value::str("red"));
     }

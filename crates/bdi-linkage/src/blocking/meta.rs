@@ -25,7 +25,10 @@ pub struct MetaBlocking<B> {
 impl<B> MetaBlocking<B> {
     /// Standard mean-weight pruning.
     pub fn new(base: B) -> Self {
-        Self { base, threshold_factor: 1.0 }
+        Self {
+            base,
+            threshold_factor: 1.0,
+        }
     }
 }
 
@@ -57,8 +60,7 @@ impl<B: BlockSource> Blocker for MetaBlocking<B> {
         if weights.is_empty() {
             return Vec::new();
         }
-        let mean =
-            weights.values().map(|&w| w as f64).sum::<f64>() / weights.len() as f64;
+        let mean = weights.values().map(|&w| w as f64).sum::<f64>() / weights.len() as f64;
         let cut = mean * self.threshold_factor;
         let mut out: Vec<Pair> = weights
             .into_iter()
@@ -85,7 +87,10 @@ mod tests {
         let base = StandardBlocking::title();
         let base_pairs = base.candidates(&ds).len();
         let meta_pairs = MetaBlocking::new(base).candidates(&ds).len();
-        assert!(meta_pairs <= base_pairs, "meta {meta_pairs} > base {base_pairs}");
+        assert!(
+            meta_pairs <= base_pairs,
+            "meta {meta_pairs} > base {base_pairs}"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ impl MinHashBlocking {
     /// near Jaccard 0.5.
     pub fn new(bands: usize, rows: usize) -> Self {
         assert!(bands >= 1 && rows >= 1, "bands and rows must be >= 1");
-        Self { bands, rows, seed: 0x5EED_CAFE, max_bucket: 200 }
+        Self {
+            bands,
+            rows,
+            seed: 0x5EED_CAFE,
+            max_bucket: 200,
+        }
     }
 
     /// The collision probability of a pair at Jaccard similarity `s`.
@@ -140,8 +145,7 @@ mod tests {
     #[test]
     fn subset_of_all_pairs_and_cross_source() {
         let ds = tiny_dataset();
-        let all: std::collections::HashSet<_> =
-            AllPairs.candidates(&ds).into_iter().collect();
+        let all: std::collections::HashSet<_> = AllPairs.candidates(&ds).into_iter().collect();
         for p in MinHashBlocking::new(8, 3).candidates(&ds) {
             assert!(all.contains(&p));
             assert!(!p.same_source());

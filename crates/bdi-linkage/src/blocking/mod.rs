@@ -77,9 +77,11 @@ impl BlockingKey {
     /// Extract this key's values from a record.
     pub fn keys(&self, r: &Record) -> Vec<String> {
         match self {
-            BlockingKey::Identifier => {
-                r.identifiers.iter().map(|s| normalize_identifier(s)).collect()
-            }
+            BlockingKey::Identifier => r
+                .identifiers
+                .iter()
+                .map(|s| normalize_identifier(s))
+                .collect(),
             BlockingKey::IdentifierDigits => r
                 .identifiers
                 .iter()
@@ -89,9 +91,7 @@ impl BlockingKey {
                 .into_iter()
                 .filter(|t| t.len() >= 3)
                 .collect(),
-            BlockingKey::TitleSoundex => bdi_textsim::soundex(&r.title)
-                .into_iter()
-                .collect(),
+            BlockingKey::TitleSoundex => bdi_textsim::soundex(&r.title).into_iter().collect(),
         }
     }
 }
@@ -129,11 +129,7 @@ pub fn longest_digit_run(s: &str) -> Option<String> {
 /// Group records into blocks by key. Blocks larger than `max_block_size`
 /// are dropped entirely (they are stop-word blocks: enormous cost, almost
 /// no signal).
-pub fn blocks_by_key(
-    ds: &Dataset,
-    key: BlockingKey,
-    max_block_size: usize,
-) -> Vec<Vec<RecordId>> {
+pub fn blocks_by_key(ds: &Dataset, key: BlockingKey, max_block_size: usize) -> Vec<Vec<RecordId>> {
     let mut map: HashMap<String, Vec<RecordId>> = HashMap::new();
     for r in ds.records() {
         let mut ks = key.keys(r);
@@ -188,10 +184,14 @@ mod tests {
             }
             r
         };
-        ds.add_record(mk(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100"))).unwrap();
-        ds.add_record(mk(1, 0, "Lumetra LX-100", Some("camlum00100"))).unwrap();
-        ds.add_record(mk(2, 0, "camera LX-100 by Lumetra", Some("00100-LUM"))).unwrap();
-        ds.add_record(mk(0, 1, "Fotonix F-200 camera", Some("CAM-FOT-00200"))).unwrap();
+        ds.add_record(mk(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100")))
+            .unwrap();
+        ds.add_record(mk(1, 0, "Lumetra LX-100", Some("camlum00100")))
+            .unwrap();
+        ds.add_record(mk(2, 0, "camera LX-100 by Lumetra", Some("00100-LUM")))
+            .unwrap();
+        ds.add_record(mk(0, 1, "Fotonix F-200 camera", Some("CAM-FOT-00200")))
+            .unwrap();
         ds.add_record(mk(1, 1, "Fotonix F-200", None)).unwrap();
         ds
     }

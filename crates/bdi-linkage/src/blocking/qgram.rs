@@ -25,7 +25,11 @@ impl QGramBlocking {
     /// Sensible defaults: trigrams, ≥ 3 shared, stop-gram cap 200.
     pub fn new(q: usize) -> Self {
         assert!(q >= 1, "q must be >= 1");
-        Self { q, min_shared: 3, max_postings: 200 }
+        Self {
+            q,
+            min_shared: 3,
+            max_postings: 200,
+        }
     }
 
     fn record_text(r: &bdi_types::Record) -> String {
@@ -58,7 +62,9 @@ impl Blocker for QGramBlocking {
             for i in 0..postings.len() {
                 for j in (i + 1)..postings.len() {
                     if postings[i].source != postings[j].source {
-                        *shared.entry(Pair::new(postings[i], postings[j])).or_insert(0) += 1;
+                        *shared
+                            .entry(Pair::new(postings[i], postings[j]))
+                            .or_insert(0) += 1;
                     }
                 }
             }
@@ -126,8 +132,18 @@ mod tests {
     #[test]
     fn min_shared_prunes_weak_pairs() {
         let ds = tiny_dataset();
-        let loose = QGramBlocking { q: 3, min_shared: 1, max_postings: 200 }.candidates(&ds);
-        let strict = QGramBlocking { q: 3, min_shared: 6, max_postings: 200 }.candidates(&ds);
+        let loose = QGramBlocking {
+            q: 3,
+            min_shared: 1,
+            max_postings: 200,
+        }
+        .candidates(&ds);
+        let strict = QGramBlocking {
+            q: 3,
+            min_shared: 6,
+            max_postings: 200,
+        }
+        .candidates(&ds);
         assert!(strict.len() <= loose.len());
     }
 

@@ -23,12 +23,18 @@ impl StandardBlocking {
     /// Identifier-digit blocking with a sane block cap — the recommended
     /// default for product records.
     pub fn identifier() -> Self {
-        Self { key: BlockingKey::IdentifierDigits, max_block_size: 100 }
+        Self {
+            key: BlockingKey::IdentifierDigits,
+            max_block_size: 100,
+        }
     }
 
     /// Title-token blocking — the fallback when identifiers are missing.
     pub fn title() -> Self {
-        Self { key: BlockingKey::TitleTokens, max_block_size: 200 }
+        Self {
+            key: BlockingKey::TitleTokens,
+            max_block_size: 200,
+        }
     }
 
     /// The raw blocks (used by meta-blocking).

@@ -10,10 +10,7 @@ use std::collections::HashMap;
 /// the second its member; later edges can only attach unassigned records
 /// to existing centers — member-to-member edges are ignored, which blocks
 /// the chain merges that plague transitive closure.
-pub fn center_clustering(
-    scored: &[(Pair, f64)],
-    universe: &[RecordId],
-) -> Clustering {
+pub fn center_clustering(scored: &[(Pair, f64)], universe: &[RecordId]) -> Clustering {
     let mut edges: Vec<(Pair, f64)> = scored.to_vec();
     edges.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -78,7 +75,10 @@ mod tests {
         let uni = vec![rid(0, 0), rid(1, 0), rid(2, 0)];
         let c = center_clustering(&scored, &uni);
         assert!(c.same_cluster(rid(0, 0), rid(1, 0)));
-        assert!(!c.same_cluster(rid(1, 0), rid(2, 0)), "member edge must not merge");
+        assert!(
+            !c.same_cluster(rid(1, 0), rid(2, 0)),
+            "member edge must not merge"
+        );
         assert_eq!(c.len(), 2);
     }
 

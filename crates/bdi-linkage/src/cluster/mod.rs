@@ -51,7 +51,10 @@ impl Clustering {
                 assert!(prev.is_none(), "record {r} in two clusters");
             }
         }
-        Self { clusters, assignment }
+        Self {
+            clusters,
+            assignment,
+        }
     }
 
     /// The clusters, each sorted, in deterministic order.
@@ -123,11 +126,8 @@ mod tests {
 
     #[test]
     fn from_clusters_basics() {
-        let c = Clustering::from_clusters(vec![
-            vec![rid(0, 0), rid(1, 0)],
-            vec![rid(2, 0)],
-            vec![],
-        ]);
+        let c =
+            Clustering::from_clusters(vec![vec![rid(0, 0), rid(1, 0)], vec![rid(2, 0)], vec![]]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.record_count(), 3);
         assert!(c.same_cluster(rid(0, 0), rid(1, 0)));

@@ -65,7 +65,10 @@ pub fn r_swoosh<M: Matcher>(records: &[Record], matcher: &M, threshold: f64) -> 
     let mut input: VecDeque<(Record, Vec<RecordId>)> = {
         let mut sorted: Vec<&Record> = records.iter().collect();
         sorted.sort_by_key(|r| r.id);
-        sorted.into_iter().map(|r| (r.clone(), vec![r.id])).collect()
+        sorted
+            .into_iter()
+            .map(|r| (r.clone(), vec![r.id]))
+            .collect()
     };
     let mut resolved: Vec<(Record, Vec<RecordId>)> = Vec::new();
     let mut comparisons = 0u64;
@@ -88,13 +91,16 @@ pub fn r_swoosh<M: Matcher>(records: &[Record], matcher: &M, threshold: f64) -> 
             None => resolved.push((rec, prov)),
         }
     }
-    let (records, mut provenance): (Vec<Record>, Vec<Vec<RecordId>>) =
-        resolved.into_iter().unzip();
+    let (records, mut provenance): (Vec<Record>, Vec<Vec<RecordId>>) = resolved.into_iter().unzip();
     for p in &mut provenance {
         p.sort_unstable();
         p.dedup();
     }
-    SwooshResult { records, provenance, comparisons }
+    SwooshResult {
+        records,
+        provenance,
+        comparisons,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +152,10 @@ mod tests {
         assert_eq!(m.title, "a much longer title");
         assert_eq!(m.get("color"), Some(&Value::str("black")), "first wins");
         assert!(m.get("size").is_some() && m.get("weight").is_some());
-        assert_eq!(m.identifiers, vec!["X-000111".to_string(), "Y-000222".to_string()]);
+        assert_eq!(
+            m.identifiers,
+            vec!["X-000111".to_string(), "Y-000222".to_string()]
+        );
     }
 
     #[test]
@@ -179,7 +188,12 @@ mod tests {
         let universe: Vec<RecordId> = records.iter().map(|r| r.id).collect();
         let tc = super::super::transitive_closure(&edges, &universe);
         let sw = out.clustering();
-        assert!(sw.len() <= tc.len(), "swoosh {} coarser than tc {}", sw.len(), tc.len());
+        assert!(
+            sw.len() <= tc.len(),
+            "swoosh {} coarser than tc {}",
+            sw.len(),
+            tc.len()
+        );
         // and in this clean case they agree exactly
         assert_eq!(sw.clusters(), tc.clusters());
     }
@@ -187,7 +201,14 @@ mod tests {
     #[test]
     fn provenance_partitions_input() {
         let records: Vec<Record> = (0..6)
-            .map(|i| rec(i, 0, &format!("Product {i} gadget"), &[&format!("GAD-XXX-{i:05}")]))
+            .map(|i| {
+                rec(
+                    i,
+                    0,
+                    &format!("Product {i} gadget"),
+                    &[&format!("GAD-XXX-{i:05}")],
+                )
+            })
             .collect();
         let out = r_swoosh(&records, &IdentifierRule::default(), 0.9);
         let total: usize = out.provenance.iter().map(Vec::len).sum();

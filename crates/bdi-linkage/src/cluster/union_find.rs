@@ -11,7 +11,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), rank: vec![0; n], components: n }
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Number of elements.
@@ -71,7 +75,8 @@ impl UnionFind {
     /// Extract the sets as sorted groups of element indices.
     pub fn groups(&mut self) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut map: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
         for i in 0..n {
             let r = self.find(i);
             map.entry(r).or_default().push(i);

@@ -67,14 +67,26 @@ pub struct Prf {
 impl Prf {
     /// From raw counts.
     pub fn from_counts(tp: u64, fp: u64, fn_: u64) -> Self {
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -155,7 +167,11 @@ pub fn bcubed_quality(clustering: &Clustering, truth: &GroundTruth) -> Prf {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    Prf { precision, recall, f1 }
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +203,14 @@ mod tests {
             vec![rid(0, 1), rid(1, 1)],
         ]);
         let pw = pairwise_quality(&c, &gt);
-        assert_eq!(pw, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            pw,
+            Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
         let b3 = bcubed_quality(&c, &gt);
         assert!((b3.f1 - 1.0).abs() < 1e-12);
     }
@@ -247,6 +270,13 @@ mod tests {
 
     #[test]
     fn prf_zero_division_safe() {
-        assert_eq!(Prf::from_counts(0, 0, 0), Prf { precision: 0.0, recall: 0.0, f1: 0.0 });
+        assert_eq!(
+            Prf::from_counts(0, 0, 0),
+            Prf {
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0
+            }
+        );
     }
 }

@@ -60,6 +60,21 @@ impl<M: Matcher> IncrementalLinker<M> {
     /// Insert one record, linking it against the current state.
     /// Returns the number of candidate comparisons performed.
     pub fn insert(&mut self, record: Record) -> usize {
+        self.insert_traced(record).compared
+    }
+
+    /// Insert every record from an owning iterator (e.g.
+    /// [`bdi_types::Dataset::into_records`]) without per-record cloning.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = Record>) {
+        for record in records {
+            self.insert(record);
+        }
+    }
+
+    /// Insert one record and report which clusters the insert touched —
+    /// the contract downstream incremental fusion needs to refresh only
+    /// dirty clusters.
+    pub fn insert_traced(&mut self, record: Record) -> InsertTrace {
         let idx = self.records.len();
         let uf_idx = self.uf.push();
         debug_assert_eq!(idx, uf_idx);
@@ -84,6 +99,7 @@ impl<M: Matcher> IncrementalLinker<M> {
         cand.dedup();
 
         let mut compared = 0;
+        let mut merged_roots: Vec<usize> = Vec::new();
         for &c in &cand {
             let other = &self.records[c];
             if other.id.source == record.id.source {
@@ -91,6 +107,9 @@ impl<M: Matcher> IncrementalLinker<M> {
             }
             compared += 1;
             if self.matcher.score(other, &record) >= self.threshold {
+                // Record the candidate's pre-union root: any root that is
+                // not the final one was absorbed by this insert.
+                merged_roots.push(self.uf.find(c));
                 self.uf.union(c, idx);
             }
         }
@@ -104,7 +123,17 @@ impl<M: Matcher> IncrementalLinker<M> {
         }
         self.by_id.insert(record.id, idx);
         self.records.push(record);
-        compared
+
+        let cluster = self.uf.find(idx);
+        merged_roots.sort_unstable();
+        merged_roots.dedup();
+        merged_roots.retain(|&r| r != cluster);
+        InsertTrace {
+            compared,
+            index: idx,
+            cluster,
+            absorbed: merged_roots,
+        }
     }
 
     /// Total pairwise comparisons performed so far.
@@ -139,6 +168,43 @@ impl<M: Matcher> IncrementalLinker<M> {
         let (ia, ib) = (*self.by_id.get(&a)?, *self.by_id.get(&b)?);
         Some(self.uf.connected(ia, ib))
     }
+
+    /// All inserted records, in arrival order (index = insert position).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Current cluster root for the record at `index`.
+    pub fn cluster_of(&mut self, index: usize) -> usize {
+        self.uf.find(index)
+    }
+
+    /// Record indices grouped by current cluster root.
+    pub fn members_by_root(&mut self) -> HashMap<usize, Vec<usize>> {
+        let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.records.len() {
+            members.entry(self.uf.find(i)).or_default().push(i);
+        }
+        members
+    }
+}
+
+/// Outcome of one [`IncrementalLinker::insert_traced`] call.
+///
+/// Union-find roots only ever disappear by absorption — an absorbed root
+/// can never become a root again — so `absorbed` is a safe list of
+/// permanently dead cluster keys and `cluster` the single dirty one.
+#[derive(Clone, Debug)]
+pub struct InsertTrace {
+    /// Candidate comparisons performed for this insert.
+    pub compared: usize,
+    /// Arrival index assigned to the inserted record.
+    pub index: usize,
+    /// Root of the cluster containing the record after all unions.
+    pub cluster: usize,
+    /// Pre-union roots of formerly distinct clusters merged into
+    /// `cluster` by this insert.
+    pub absorbed: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -178,7 +244,12 @@ mod tests {
         let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
         // insert 30 unrelated products (distinct titles), then one match
         for i in 0..30u32 {
-            linker.insert(rec(0, i, &format!("Gadget{i} model{i}"), Some(&format!("XXX-YYY-{i:05}"))));
+            linker.insert(rec(
+                0,
+                i,
+                &format!("Gadget{i} model{i}"),
+                Some(&format!("XXX-YYY-{i:05}")),
+            ));
         }
         let compared = linker.insert(rec(1, 0, "Gadget5 model5", Some("XXX-YYY-00005")));
         // candidates come only from shared keys, far fewer than corpus size
@@ -201,5 +272,88 @@ mod tests {
     #[should_panic(expected = "at least one blocking key")]
     fn empty_keys_rejected() {
         IncrementalLinker::new(IdentifierRule::default(), 0.5, vec![]);
+    }
+
+    #[test]
+    fn traced_insert_reports_touched_clusters() {
+        let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        let a = linker.insert_traced(rec(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100")));
+        assert_eq!((a.index, a.cluster), (0, 0));
+        assert!(a.absorbed.is_empty(), "first insert cannot absorb anything");
+
+        let b = linker.insert_traced(rec(1, 0, "Visionex V-900 monitor", Some("MON-VIS-00900")));
+        assert!(
+            b.absorbed.is_empty(),
+            "unrelated insert cannot absorb anything"
+        );
+
+        let m = linker.insert_traced(rec(2, 0, "Lumetra LX-100", Some("camlum00100")));
+        assert_eq!(
+            m.cluster,
+            linker.cluster_of(0),
+            "merge lands in the camera cluster"
+        );
+        for &r in &m.absorbed {
+            assert_ne!(r, m.cluster, "a cluster never absorbs itself");
+        }
+    }
+
+    #[test]
+    fn traced_bridge_absorbs_previously_distinct_roots() {
+        let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        // Two clusters with the same identifier digits but disjoint sources.
+        linker.insert(rec(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100")));
+        linker.insert(rec(1, 0, "Orbix O-55 tripod", Some("TRI-ORB-00100")));
+        let ra = linker.cluster_of(0);
+        let rb = linker.cluster_of(1);
+        assert_ne!(ra, rb);
+        // A record matching both bridges them into one cluster.
+        let mut bridge = rec(2, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100"));
+        bridge.identifiers.push("TRI-ORB-00100".into());
+        bridge.title.push_str(" with Orbix O-55 tripod");
+        let t = linker.insert_traced(bridge);
+        if linker.cluster_of(0) == linker.cluster_of(1) {
+            assert!(
+                !t.absorbed.is_empty(),
+                "bridging two roots must absorb at least one of them"
+            );
+            let mut touched = t.absorbed.clone();
+            touched.push(t.cluster);
+            assert!(touched.contains(&ra) || touched.contains(&rb));
+        }
+    }
+
+    #[test]
+    fn extend_matches_repeated_insert() {
+        let records: Vec<Record> = (0..10u32)
+            .flat_map(|i| {
+                [
+                    rec(
+                        0,
+                        i,
+                        &format!("Gadget{i} model{i}"),
+                        Some(&format!("XXX-YYY-{i:05}")),
+                    ),
+                    rec(
+                        1,
+                        i,
+                        &format!("Gadget{i} model{i}"),
+                        Some(&format!("XXX-YYY-{i:05}")),
+                    ),
+                ]
+            })
+            .collect();
+        let mut by_insert = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        for r in records.clone() {
+            by_insert.insert(r);
+        }
+        let mut by_extend = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        by_extend.extend(records);
+        assert_eq!(by_insert.len(), by_extend.len());
+        assert_eq!(by_insert.comparisons(), by_extend.comparisons());
+        assert_eq!(
+            by_insert.clustering().clusters(),
+            by_extend.clustering().clusters()
+        );
     }
 }

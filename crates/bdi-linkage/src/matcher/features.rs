@@ -39,7 +39,14 @@ impl PairFeatures {
 
     /// Feature names, index-aligned with [`Self::as_array`].
     pub fn names() -> [&'static str; 6] {
-        ["id_exact", "id_sim", "digit_match", "title_jaccard", "title_me", "value_overlap"]
+        [
+            "id_exact",
+            "id_sim",
+            "digit_match",
+            "title_jaccard",
+            "title_me",
+            "value_overlap",
+        ]
     }
 }
 
@@ -51,8 +58,14 @@ impl PairFeatures {
 /// brands together under transitive closure. The primary position is
 /// what extraction fights to get right (see `bdi-extract::wrapper`).
 pub fn pair_features(a: &Record, b: &Record) -> PairFeatures {
-    let pa = a.primary_identifier().map(normalize_identifier).unwrap_or_default();
-    let pb = b.primary_identifier().map(normalize_identifier).unwrap_or_default();
+    let pa = a
+        .primary_identifier()
+        .map(normalize_identifier)
+        .unwrap_or_default();
+    let pb = b
+        .primary_identifier()
+        .map(normalize_identifier)
+        .unwrap_or_default();
 
     let mut id_exact = 0.0;
     let mut id_sim: f64 = 0.0;
@@ -93,7 +106,14 @@ pub fn pair_features(a: &Record, b: &Record) -> PairFeatures {
         bdi_textsim::overlap_sim(&va, &vb)
     };
 
-    PairFeatures { id_exact, id_sim, digit_match, title_jaccard, title_me, value_overlap }
+    PairFeatures {
+        id_exact,
+        id_sim,
+        digit_match,
+        title_jaccard,
+        title_me,
+        value_overlap,
+    }
 }
 
 #[cfg(test)]
@@ -149,11 +169,15 @@ mod tests {
     #[test]
     fn value_overlap_schema_agnostic() {
         let mut a = rec(0, "x", None);
-        a.attributes.insert("weight".into(), Value::quantity(1.2, bdi_types::Unit::Kilogram));
+        a.attributes.insert(
+            "weight".into(),
+            Value::quantity(1.2, bdi_types::Unit::Kilogram),
+        );
         a.attributes.insert("color".into(), Value::str("black"));
         let mut b = rec(1, "y", None);
         // same values, different attribute names and unit
-        b.attributes.insert("wt".into(), Value::quantity(1200.0, bdi_types::Unit::Gram));
+        b.attributes
+            .insert("wt".into(), Value::quantity(1200.0, bdi_types::Unit::Gram));
         b.attributes.insert("colour".into(), Value::str("Black"));
         let f = pair_features(&a, &b);
         assert!((f.value_overlap - 1.0).abs() < 1e-12, "{f:?}");

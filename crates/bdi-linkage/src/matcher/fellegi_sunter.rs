@@ -170,8 +170,20 @@ mod tests {
         }
         // 5 true matches + 5 clear non-matches as candidates
         for i in 0..5u32 {
-            ds.add_record(rec(0, i, &format!("Lumetra LX-{i} camera"), Some(&format!("CAM-LUM-{i:05}")))).unwrap();
-            ds.add_record(rec(1, i, &format!("Lumetra LX-{i}"), Some(&format!("camlum{i:05}")))).unwrap();
+            ds.add_record(rec(
+                0,
+                i,
+                &format!("Lumetra LX-{i} camera"),
+                Some(&format!("CAM-LUM-{i:05}")),
+            ))
+            .unwrap();
+            ds.add_record(rec(
+                1,
+                i,
+                &format!("Lumetra LX-{i}"),
+                Some(&format!("camlum{i:05}")),
+            ))
+            .unwrap();
         }
         let mut pairs = Vec::new();
         for i in 0..5u32 {
@@ -204,9 +216,20 @@ mod tests {
         let fitted = FellegiSunter::fit(&ds, &pairs, 25);
         let recs = ds.records();
         let (a, b) = (&recs[0], &recs[1]); // true match (s0#0, s1#0)
-        let c = recs.iter().find(|r| r.id == RecordId::new(SourceId(1), 2)).unwrap();
-        assert!(fitted.score(a, b) > 0.5, "fitted match score {}", fitted.score(a, b));
-        assert!(fitted.score(a, c) < 0.5, "fitted non-match score {}", fitted.score(a, c));
+        let c = recs
+            .iter()
+            .find(|r| r.id == RecordId::new(SourceId(1), 2))
+            .unwrap();
+        assert!(
+            fitted.score(a, b) > 0.5,
+            "fitted match score {}",
+            fitted.score(a, b)
+        );
+        assert!(
+            fitted.score(a, c) < 0.5,
+            "fitted non-match score {}",
+            fitted.score(a, c)
+        );
         // m-probabilities should dominate u for identifier features
         assert!(fitted.m[0] > fitted.u[0]);
     }

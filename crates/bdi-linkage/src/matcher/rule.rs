@@ -20,7 +20,9 @@ pub struct IdentifierRule {
 
 impl Default for IdentifierRule {
     fn default() -> Self {
-        Self { corroboration: 0.25 }
+        Self {
+            corroboration: 0.25,
+        }
     }
 }
 
@@ -69,7 +71,11 @@ mod tests {
         // b's page leaks a's identifier (related product) but is a
         // completely different product
         let a = rec(0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]);
-        let b = rec(1, "Bassheim B-77 headphone", &["HPH-BAS-00077", "CAM-LUM-00100"]);
+        let b = rec(
+            1,
+            "Bassheim B-77 headphone",
+            &["HPH-BAS-00077", "CAM-LUM-00100"],
+        );
         let s = IdentifierRule::default().score(&a, &b);
         assert!(s < 0.5, "leaked id must not force a match, got {s}");
     }

@@ -15,15 +15,23 @@ impl Default for WeightedMatcher {
     /// Hand-tuned defaults: identifier evidence dominates, then titles,
     /// then value overlap.
     fn default() -> Self {
-        Self { weights: [3.0, 1.0, 2.0, 1.5, 1.5, 1.0] }
+        Self {
+            weights: [3.0, 1.0, 2.0, 1.5, 1.5, 1.0],
+        }
     }
 }
 
 impl WeightedMatcher {
     /// Create from explicit weights (all must be ≥ 0, not all zero).
     pub fn new(weights: [f64; 6]) -> Self {
-        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be nonnegative");
-        assert!(weights.iter().sum::<f64>() > 0.0, "at least one weight must be positive");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0),
+            "weights must be nonnegative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "at least one weight must be positive"
+        );
         Self { weights }
     }
 

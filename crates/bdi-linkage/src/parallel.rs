@@ -11,6 +11,25 @@ use crate::pair::Pair;
 use bdi_types::{Dataset, Record, RecordId};
 use std::collections::HashMap;
 
+/// Worker count matching the host: `std::thread::available_parallelism`,
+/// falling back to 1 when the platform cannot report it.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// [`match_pairs_parallel`] with the thread count chosen from the host's
+/// available parallelism; results are identical to any explicit count.
+pub fn match_pairs_parallel_auto<M: Matcher>(
+    ds: &Dataset,
+    pairs: &[Pair],
+    matcher: &M,
+    threshold: f64,
+) -> Vec<(Pair, f64)> {
+    match_pairs_parallel(ds, pairs, matcher, threshold, default_threads())
+}
+
 /// Score `pairs` with `matcher` on `threads` worker threads, returning
 /// `(pair, score)` for those scoring at or above `threshold`, in the
 /// same order the sequential implementation would produce.
@@ -22,8 +41,7 @@ pub fn match_pairs_parallel<M: Matcher>(
     threads: usize,
 ) -> Vec<(Pair, f64)> {
     assert!(threads >= 1, "need at least one thread");
-    let by_id: HashMap<RecordId, &Record> =
-        ds.records().iter().map(|r| (r.id, r)).collect();
+    let by_id: HashMap<RecordId, &Record> = ds.records().iter().map(|r| (r.id, r)).collect();
     if threads == 1 || pairs.len() < 2 * threads {
         return score_chunk(pairs, &by_id, matcher, threshold);
     }
@@ -114,5 +132,16 @@ mod tests {
     fn zero_threads_rejected() {
         let ds = dataset(1);
         match_pairs_parallel(&ds, &[], &IdentifierRule::default(), 0.5, 0);
+    }
+
+    #[test]
+    fn auto_thread_count_matches_sequential_output() {
+        assert!(default_threads() >= 1);
+        let ds = dataset(9);
+        let pairs = AllPairs.candidates(&ds);
+        let m = IdentifierRule::default();
+        let seq = match_pairs(&ds, &pairs, &m, 0.9);
+        let auto = match_pairs_parallel_auto(&ds, &pairs, &m, 0.9);
+        assert_eq!(seq, auto);
     }
 }

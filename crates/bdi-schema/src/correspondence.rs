@@ -46,7 +46,11 @@ pub fn candidate_pairs(profiles: &ProfileSet) -> Vec<(AttrRef, AttrRef)> {
                 if a.source == b.source {
                     continue;
                 }
-                let key = if a <= b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+                let key = if a <= b {
+                    (a.clone(), b.clone())
+                } else {
+                    (b.clone(), a.clone())
+                };
                 pairs.push(key);
             }
         }
@@ -74,7 +78,11 @@ pub fn score_correspondences<M: AttrMatcher + ?Sized>(
         .filter_map(|(a, b)| {
             let (pa, pb) = (profiles.get(a)?, profiles.get(b)?);
             let score = matcher.score(pa, pb);
-            (score >= threshold).then(|| Correspondence { a: a.clone(), b: b.clone(), score })
+            (score >= threshold).then(|| Correspondence {
+                a: a.clone(),
+                b: b.clone(),
+                score,
+            })
         })
         .collect()
 }
@@ -93,10 +101,7 @@ impl AttrClusters {
     /// of the same source. Correspondences are applied in descending
     /// score order; a union that would violate the constraint is skipped
     /// (the weaker evidence loses).
-    pub fn build_constrained(
-        correspondences: &[Correspondence],
-        profiles: &ProfileSet,
-    ) -> Self {
+    pub fn build_constrained(correspondences: &[Correspondence], profiles: &ProfileSet) -> Self {
         let mut ordered: Vec<&Correspondence> = correspondences.iter().collect();
         ordered.sort_by(|a, b| {
             b.score
@@ -105,8 +110,11 @@ impl AttrClusters {
                 .then_with(|| (&a.a, &a.b).cmp(&(&b.a, &b.b)))
         });
         let mut ids: Vec<AttrRef> = profiles.iter().map(|p| p.attr.clone()).collect();
-        let mut index: BTreeMap<AttrRef, usize> =
-            ids.iter().enumerate().map(|(i, a)| (a.clone(), i)).collect();
+        let mut index: BTreeMap<AttrRef, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
         for c in &ordered {
             for a in [&c.a, &c.b] {
                 if !index.contains_key(a) {
@@ -148,7 +156,10 @@ impl AttrClusters {
                 assignment.insert(a.clone(), ci);
             }
         }
-        Self { clusters, assignment }
+        Self {
+            clusters,
+            assignment,
+        }
     }
 
     /// Union-find over accepted correspondences; every profiled attribute
@@ -183,7 +194,10 @@ impl AttrClusters {
                 assignment.insert(a.clone(), ci);
             }
         }
-        Self { clusters, assignment }
+        Self {
+            clusters,
+            assignment,
+        }
     }
 
     /// The clusters.
@@ -337,7 +351,10 @@ mod tests {
         for cluster in constrained.clusters() {
             let mut seen = std::collections::BTreeSet::new();
             for a in cluster {
-                assert!(seen.insert(a.source), "cluster violates 1-per-source: {cluster:?}");
+                assert!(
+                    seen.insert(a.source),
+                    "cluster violates 1-per-source: {cluster:?}"
+                );
             }
         }
     }
@@ -348,7 +365,9 @@ mod tests {
         let cands = candidate_pairs(&ps);
         let corrs = score_correspondences(&ps, &cands, &HybridMatcher::default(), 0.5);
         let clusters = AttrClusters::build(&corrs, &ps);
-        let ci = clusters.cluster_of(&AttrRef::new(SourceId(0), "color")).unwrap();
+        let ci = clusters
+            .cluster_of(&AttrRef::new(SourceId(0), "color"))
+            .unwrap();
         let label = clusters.label(ci);
         assert!(label == "color" || label == "colour");
     }

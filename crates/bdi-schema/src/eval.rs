@@ -15,14 +15,26 @@ pub struct SchemaQuality {
 }
 
 fn prf(tp: usize, fp: usize, fn_: usize) -> SchemaQuality {
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    SchemaQuality { precision, recall, f1 }
+    SchemaQuality {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Do two source-local attributes truly denote the same canonical
@@ -137,7 +149,14 @@ mod tests {
             corr(0, "color", 1, "colour"),
         ];
         let q = correspondence_quality(&corrs, &gt);
-        assert_eq!(q, SchemaQuality { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            q,
+            SchemaQuality {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
     }
 
     #[test]
@@ -153,10 +172,7 @@ mod tests {
     fn cluster_quality_counts_cross_source_pairs() {
         let gt = truth();
         let clusters = AttrClusters::build(
-            &[
-                corr(0, "weight", 1, "wt"),
-                corr(1, "wt", 2, "item weight"),
-            ],
+            &[corr(0, "weight", 1, "wt"), corr(1, "wt", 2, "item weight")],
             &crate::profile::ProfileSet::default(),
         );
         let q = cluster_quality(&clusters, &gt);

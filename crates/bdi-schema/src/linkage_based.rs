@@ -163,7 +163,10 @@ mod tests {
             AttrRef::new(SourceId(0), "weight"),
             AttrRef::new(SourceId(1), "finish"),
         );
-        assert!(!ev.contains_key(&key), "numeric-text pair should be pre-filtered");
+        assert!(
+            !ev.contains_key(&key),
+            "numeric-text pair should be pre-filtered"
+        );
     }
 
     #[test]
@@ -175,9 +178,15 @@ mod tests {
 
     #[test]
     fn smoothing_tempers_tiny_evidence() {
-        let e = CoOccurrence { together: 1, agree: 1 };
+        let e = CoOccurrence {
+            together: 1,
+            agree: 1,
+        };
         assert!(e.score() < 0.6);
-        let big = CoOccurrence { together: 20, agree: 20 };
+        let big = CoOccurrence {
+            together: 20,
+            agree: 20,
+        };
         assert!(big.score() > 0.9);
     }
 }

@@ -43,7 +43,9 @@ impl PMapping {
                 per_cluster.insert(own, 1.0);
             }
             for q in profiles.iter().filter(|q| q.attr.source != source) {
-                let Some(ci) = clusters.cluster_of(&q.attr) else { continue };
+                let Some(ci) = clusters.cluster_of(&q.attr) else {
+                    continue;
+                };
                 let s = matcher.score(p, q);
                 if s >= floor {
                     let e = per_cluster.entry(ci).or_insert(0.0);
@@ -59,7 +61,10 @@ impl PMapping {
             dist.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             assignments.insert(p.attr.name.clone(), dist);
         }
-        Self { source, assignments }
+        Self {
+            source,
+            assignments,
+        }
     }
 
     /// The deterministic "best mapping" view: each attribute to its
@@ -87,11 +92,7 @@ pub struct Answer {
 
 /// Answer "give me all values of mediated attribute `target`" under
 /// by-table semantics across the given p-mappings.
-pub fn answer_query(
-    ds: &Dataset,
-    mappings: &[PMapping],
-    target: usize,
-) -> Vec<Answer> {
+pub fn answer_query(ds: &Dataset, mappings: &[PMapping], target: usize) -> Vec<Answer> {
     let mut out = Vec::new();
     for m in mappings {
         for r in ds.records_of(m.source) {
@@ -99,8 +100,12 @@ pub fn answer_query(
                 if value.is_null() {
                     continue;
                 }
-                let Some(dist) = m.assignments.get(name) else { continue };
-                let Some(&(_, p)) = dist.iter().find(|&&(c, _)| c == target) else { continue };
+                let Some(dist) = m.assignments.get(name) else {
+                    continue;
+                };
+                let Some(&(_, p)) = dist.iter().find(|&&(c, _)| c == target) else {
+                    continue;
+                };
                 out.push(Answer {
                     record: r.id,
                     attr: AttrRef::new(m.source, name.clone()),
@@ -192,8 +197,13 @@ mod tests {
         let target = clusters
             .cluster_of(&AttrRef::new(SourceId(0), "weight"))
             .unwrap();
-        let mappings =
-            vec![PMapping::build(SourceId(0), &ps, &clusters, &HybridMatcher::default(), 0.4)];
+        let mappings = vec![PMapping::build(
+            SourceId(0),
+            &ps,
+            &clusters,
+            &HybridMatcher::default(),
+            0.4,
+        )];
         let answers = answer_query(&ds, &mappings, target);
         for w in answers.windows(2) {
             assert!(w[0].probability >= w[1].probability);

@@ -50,7 +50,10 @@ mod tests {
             attr: AttrRef::new(SourceId(0), name),
             count: values.len(),
             kind,
-            values: values.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            values: values
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
             mean,
             std,
             name_tokens: bdi_textsim::normalize(name)
@@ -71,7 +74,13 @@ mod tests {
     #[test]
     fn hybrid_recovers_renames_via_instances() {
         let a = p("weight", ValueKind::Numeric, &["1200 g"], 1250.0, 60.0);
-        let b = p("wt", ValueKind::Numeric, &["1250 g", "1200 g"], 1240.0, 55.0);
+        let b = p(
+            "wt",
+            ValueKind::Numeric,
+            &["1250 g", "1200 g"],
+            1240.0,
+            55.0,
+        );
         let name_only = NameMatcher.score(&a, &b);
         let hybrid = HybridMatcher::default().score(&a, &b);
         assert!(hybrid > name_only, "hybrid {hybrid} vs name {name_only}");

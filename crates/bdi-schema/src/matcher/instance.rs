@@ -48,7 +48,10 @@ mod tests {
             attr: AttrRef::new(SourceId(0), name),
             count: values.len(),
             kind,
-            values: values.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            values: values
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<BTreeSet<_>>(),
             mean,
             std,
             name_tokens: vec![name.to_string()],
@@ -57,8 +60,20 @@ mod tests {
 
     #[test]
     fn renamed_numeric_attrs_align_by_distribution() {
-        let a = p("weight", ValueKind::Numeric, &["1200 g", "1300 g"], 1250.0, 50.0);
-        let b = p("wt", ValueKind::Numeric, &["1250 g", "1200 g"], 1240.0, 60.0);
+        let a = p(
+            "weight",
+            ValueKind::Numeric,
+            &["1200 g", "1300 g"],
+            1250.0,
+            50.0,
+        );
+        let b = p(
+            "wt",
+            ValueKind::Numeric,
+            &["1250 g", "1200 g"],
+            1240.0,
+            60.0,
+        );
         assert!(InstanceMatcher.score(&a, &b) > 0.5);
     }
 
@@ -78,8 +93,20 @@ mod tests {
 
     #[test]
     fn categorical_vocab_overlap() {
-        let a = p("color", ValueKind::Text, &["black", "white", "red"], 0.0, 0.0);
-        let b = p("colour", ValueKind::Text, &["white", "black", "blue"], 0.0, 0.0);
+        let a = p(
+            "color",
+            ValueKind::Text,
+            &["black", "white", "red"],
+            0.0,
+            0.0,
+        );
+        let b = p(
+            "colour",
+            ValueKind::Text,
+            &["white", "black", "blue"],
+            0.0,
+            0.0,
+        );
         let c = p("material", ValueKind::Text, &["leather", "mesh"], 0.0, 0.0);
         assert!(InstanceMatcher.score(&a, &b) > 0.5);
         assert_eq!(InstanceMatcher.score(&a, &c), 0.0);

@@ -83,6 +83,9 @@ mod tests {
     fn abbreviation_scores_low_without_instances() {
         // the documented weakness: "wt" vs "weight" has no token overlap
         let s = NameMatcher.score(&p("wt"), &p("weight"));
-        assert!(s < 0.8, "name matcher should struggle on abbreviations, got {s}");
+        assert!(
+            s < 0.8,
+            "name matcher should struggle on abbreviations, got {s}"
+        );
     }
 }

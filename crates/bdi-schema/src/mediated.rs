@@ -65,11 +65,7 @@ impl MediatedSchema {
 
     /// Probability-weighted alignment confidence of an attribute pair:
     /// the total probability mass of candidates aligning them.
-    pub fn alignment_probability(
-        &self,
-        a: &bdi_types::AttrRef,
-        b: &bdi_types::AttrRef,
-    ) -> f64 {
+    pub fn alignment_probability(&self, a: &bdi_types::AttrRef, b: &bdi_types::AttrRef) -> f64 {
         self.candidates
             .iter()
             .filter(|(c, _)| c.aligned(a, b))

@@ -176,10 +176,16 @@ mod tests {
         for i in 0..10u32 {
             let r = Record::new(RecordId::new(SourceId(0), i), "t")
                 .with_attr("weight", Value::quantity(100.0 + i as f64, Unit::Gram))
-                .with_attr("color", Value::str(if i % 2 == 0 { "black" } else { "white" }));
+                .with_attr(
+                    "color",
+                    Value::str(if i % 2 == 0 { "black" } else { "white" }),
+                );
             ds.add_record(r).unwrap();
             let r = Record::new(RecordId::new(SourceId(1), i), "t")
-                .with_attr("wt", Value::quantity(0.1 + i as f64 / 1000.0, Unit::Kilogram))
+                .with_attr(
+                    "wt",
+                    Value::quantity(0.1 + i as f64 / 1000.0, Unit::Kilogram),
+                )
                 .with_attr("wifi", Value::Bool(true));
             ds.add_record(r).unwrap();
         }
@@ -202,7 +208,11 @@ mod tests {
         let a = ps.get(&AttrRef::new(SourceId(0), "weight")).unwrap();
         let b = ps.get(&AttrRef::new(SourceId(1), "wt")).unwrap();
         // both ~100-109 g in base magnitude
-        assert!(a.numeric_similarity(b) > 0.5, "sim {}", a.numeric_similarity(b));
+        assert!(
+            a.numeric_similarity(b) > 0.5,
+            "sim {}",
+            a.numeric_similarity(b)
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ pub fn discover_ratio(
         .iter()
         .find(|(f, _)| (factor - f).abs() / f <= 0.01 || (1.0 / factor - f).abs() / f <= 0.01)
         .map(|&(_, name)| name);
-    Some(RatioTransform { factor, known, support: ratios.len() })
+    Some(RatioTransform {
+        factor,
+        known,
+        support: ratios.len(),
+    })
 }
 
 /// The *published* magnitude, before unit normalization.

@@ -41,9 +41,11 @@ pub fn expected_accuracy(claims: &ClaimSet, subset: &BTreeSet<SourceId>) -> f64 
     let mut total = 0.0;
     let mut n = 0usize;
     for item_probs in &probs {
-        if let Some(best) = item_probs.values().copied().fold(None::<f64>, |acc, p| {
-            Some(acc.map_or(p, |a| a.max(p)))
-        }) {
+        if let Some(best) = item_probs
+            .values()
+            .copied()
+            .fold(None::<f64>, |acc, p| Some(acc.map_or(p, |a| a.max(p))))
+        {
             total += best;
             n += 1;
         }
@@ -91,7 +93,10 @@ mod tests {
         let three: BTreeSet<_> = [SourceId(0), SourceId(1), SourceId(2)].into();
         let ea1 = expected_accuracy(&cs, &one);
         let ea3 = expected_accuracy(&cs, &three);
-        assert!(ea3 >= ea1, "more agreement => more confidence: {ea1} vs {ea3}");
+        assert!(
+            ea3 >= ea1,
+            "more agreement => more confidence: {ea1} vs {ea3}"
+        );
     }
 
     #[test]

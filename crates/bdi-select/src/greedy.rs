@@ -41,13 +41,14 @@ pub fn greedy_select(claims: &ClaimSet, min_gain: f64, max_sources: usize) -> Ve
             let ea = expected_accuracy(claims, &with);
             // blended objective: half coverage (fraction of items), half
             // self-assessed accuracy
-            let score = 0.5 * (covered_after(claims, &with) as f64 / total_items as f64)
-                + 0.5 * ea;
+            let score = 0.5 * (covered_after(claims, &with) as f64 / total_items as f64) + 0.5 * ea;
             if best.as_ref().is_none_or(|&(_, s, _, _)| score > s) {
                 best = Some((cand, score, cov, ea));
             }
         }
-        let Some((src, score, cov, ea)) = best else { break };
+        let Some((src, score, cov, ea)) = best else {
+            break;
+        };
         if score - current_score < min_gain && !trace.is_empty() {
             break;
         }

@@ -1,0 +1,132 @@
+//! A small blocking client for the JSON-lines protocol — used by the
+//! load driver, the integration tests, and the `bdi load` subcommand.
+
+use crate::protocol::{Request, Response, StatsBody};
+use bdi_core::catalog::CatalogEntry;
+use bdi_types::Record;
+use std::io::{BufRead, BufReader, Error, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running [`crate::Server`].
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn bad(message: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, message.into())
+}
+
+impl Client {
+    /// Connect to a server address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        // request/response round trips are one small line each way; Nagle
+        // + delayed ACK would add ~40ms to every call
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Send one request, read one response.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        let line = serde_json::to_string(request).map_err(|e| bad(e.to_string()))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        serde_json::from_str(&reply).map_err(|e| bad(format!("bad response: {e}")))
+    }
+
+    /// Resolve an identifier to its entry, if integrated.
+    pub fn lookup(&mut self, identifier: &str) -> std::io::Result<Option<CatalogEntry>> {
+        Ok(self.lookup_traced(identifier)?.1)
+    }
+
+    /// [`Client::lookup`] plus the generation the answer was read from.
+    pub fn lookup_traced(
+        &mut self,
+        identifier: &str,
+    ) -> std::io::Result<(u64, Option<CatalogEntry>)> {
+        match self.call(&Request::Lookup {
+            identifier: identifier.to_string(),
+        })? {
+            Response::Entry { generation, entry } => Ok((generation, entry)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Products with `attribute` in `[min, max]`, at most `limit`.
+    pub fn filter(
+        &mut self,
+        attribute: &str,
+        min: Option<f64>,
+        max: Option<f64>,
+        limit: Option<usize>,
+    ) -> std::io::Result<Vec<CatalogEntry>> {
+        let request = Request::Filter {
+            attribute: attribute.to_string(),
+            min,
+            max,
+            limit,
+        };
+        match self.call(&request)? {
+            Response::Entries { entries, .. } => Ok(entries),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Top-k products by a numeric attribute.
+    pub fn top_k(&mut self, attribute: &str, k: usize) -> std::io::Result<Vec<CatalogEntry>> {
+        match self.call(&Request::TopK {
+            attribute: attribute.to_string(),
+            k,
+        })? {
+            Response::Entries { entries, .. } => Ok(entries),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Submit a record; returns the server's submitted counter. Blocks
+    /// while the ingest queue is full (backpressure).
+    pub fn ingest(&mut self, record: Record) -> std::io::Result<u64> {
+        match self.call(&Request::Ingest { record })? {
+            Response::Ack { submitted } => Ok(submitted),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Wait until everything submitted so far is queryable; returns
+    /// `(generation, applied)`.
+    pub fn flush(&mut self) -> std::io::Result<(u64, u64)> {
+        match self.call(&Request::Flush)? {
+            Response::Flushed {
+                generation,
+                applied,
+            } => Ok((generation, applied)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Service counters.
+    pub fn stats(&mut self) -> std::io::Result<StatsBody> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(body) => Ok(body),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Ask the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+}

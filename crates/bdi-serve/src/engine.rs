@@ -1,0 +1,233 @@
+//! The ingest engine: incremental linkage + dirty-cluster fusion.
+//!
+//! Every inserted record is linked by the [`IncrementalLinker`] against
+//! its blocking candidates only; the returned [`InsertTrace`] names the
+//! one cluster the record landed in and any formerly distinct clusters
+//! the insert bridged. Those are exactly the catalog entries that can
+//! have changed, so a refresh re-fuses *their members only* and derives
+//! the next catalog generation by [`Catalog::apply_delta`] — cost
+//! proportional to the churn, never to the catalog.
+//!
+//! Fusion here is per-cluster majority vote over the members' raw
+//! attribute names (lower-cased). Online serving trades the batch
+//! pipeline's corpus-wide schema alignment for bounded refresh cost —
+//! the pay-as-you-go stance from the dataspace line of work.
+
+use bdi_core::catalog::{Catalog, CatalogEntry};
+use bdi_fusion::{ClaimSet, Fuser, MajorityVote};
+use bdi_linkage::blocking::normalize_identifier;
+use bdi_linkage::incremental::{IncrementalLinker, InsertTrace};
+use bdi_linkage::matcher::IdentifierRule;
+use bdi_types::{DataItem, EntityId, Record, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Long-lived integration state behind the serve ingest path.
+pub struct Engine {
+    linker: IncrementalLinker<IdentifierRule>,
+    /// Cluster root → member arrival indices (ascending).
+    members: HashMap<usize, Vec<usize>>,
+    /// Roots whose membership changed since the last refresh.
+    dirty: BTreeSet<usize>,
+    /// Roots absorbed since the last refresh — permanently dead keys.
+    dead: BTreeSet<usize>,
+    /// The catalog as of the last refresh.
+    catalog: Catalog,
+}
+
+impl Engine {
+    /// Fresh engine with the product defaults (identifier + title
+    /// blocking, identifier-rule matcher) at `threshold`.
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            linker: IncrementalLinker::for_products(IdentifierRule::default(), threshold),
+            members: HashMap::new(),
+            dirty: BTreeSet::new(),
+            dead: BTreeSet::new(),
+            catalog: Catalog::default(),
+        }
+    }
+
+    /// Ingest one record: link it, mark the touched clusters dirty.
+    /// Returns the linker's trace (useful for instrumentation).
+    pub fn ingest(&mut self, record: Record) -> InsertTrace {
+        let trace = self.linker.insert_traced(record);
+        let mut merged = Vec::new();
+        for &root in &trace.absorbed {
+            if let Some(m) = self.members.remove(&root) {
+                merged.extend(m);
+            }
+            self.dirty.remove(&root);
+            self.dead.insert(root);
+        }
+        let home = self.members.entry(trace.cluster).or_default();
+        home.extend(merged);
+        home.push(trace.index);
+        home.sort_unstable();
+        self.dirty.insert(trace.cluster);
+        trace
+    }
+
+    /// Records ingested so far.
+    pub fn records(&self) -> usize {
+        self.linker.len()
+    }
+
+    /// Live clusters (catalog entries after the next refresh).
+    pub fn clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Clusters currently awaiting re-fusion.
+    pub fn dirty(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Re-fuse the dirty clusters and roll the catalog forward. Returns
+    /// the new catalog (also retained as the engine's refresh base).
+    /// A no-op refresh (nothing dirty) returns a clone of the current
+    /// catalog without rebuilding anything.
+    pub fn refresh(&mut self) -> Catalog {
+        if self.dirty.is_empty() && self.dead.is_empty() {
+            return self.catalog.clone();
+        }
+        let upserts: Vec<CatalogEntry> = self
+            .dirty
+            .iter()
+            .map(|&root| self.build_entry(root))
+            .collect();
+        let next = self.catalog.apply_delta(&self.dead, upserts);
+        self.catalog = next.clone();
+        self.dirty.clear();
+        self.dead.clear();
+        next
+    }
+
+    /// Materialize one cluster as a catalog entry: pages in arrival
+    /// order, title from the earliest member, identifiers from members'
+    /// primary identifiers (normalized), attributes by majority vote
+    /// over canonical values.
+    fn build_entry(&self, root: usize) -> CatalogEntry {
+        let members = &self.members[&root];
+        let records = self.linker.records();
+        let first = &records[members[0]];
+
+        let mut identifiers: Vec<String> = members
+            .iter()
+            .filter_map(|&i| records[i].primary_identifier())
+            .map(normalize_identifier)
+            .filter(|n| !n.is_empty())
+            .collect();
+        identifiers.sort_unstable();
+        identifiers.dedup();
+
+        let triples = members.iter().flat_map(|&i| {
+            let r = &records[i];
+            r.attributes
+                .iter()
+                .filter(|(_, v)| !v.is_null())
+                .map(move |(name, v)| {
+                    (
+                        r.id.source,
+                        DataItem::new(EntityId(root as u64), name.to_ascii_lowercase()),
+                        v.canonical(),
+                    )
+                })
+        });
+        let resolution = MajorityVote.resolve(&ClaimSet::from_triples(triples));
+        let attributes: std::collections::BTreeMap<String, Value> = resolution
+            .decided
+            .into_iter()
+            .map(|(item, value)| (item.attribute, value))
+            .collect();
+
+        CatalogEntry {
+            id: root,
+            title: first.title.clone(),
+            pages: members.iter().map(|&i| records[i].id).collect(),
+            attributes,
+            identifiers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId};
+
+    fn rec(s: u32, q: u32, title: &str, id: &str) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+        r.identifiers.push(id.into());
+        r
+    }
+
+    #[test]
+    fn ingest_then_refresh_builds_entries() {
+        let mut e = Engine::new(0.9);
+        e.ingest(rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100"));
+        e.ingest(rec(1, 0, "Lumetra LX-100", "camlum00100"));
+        e.ingest(rec(2, 0, "Visionex V-900 monitor", "MON-VIS-00900"));
+        assert_eq!(e.records(), 3);
+        assert_eq!(e.clusters(), 2);
+        assert_eq!(e.dirty(), 2);
+        let catalog = e.refresh();
+        assert_eq!(e.dirty(), 0);
+        assert_eq!(catalog.len(), 2);
+        let cam = catalog.lookup("CAM-LUM-00100").expect("camera resolves");
+        assert_eq!(cam.pages.len(), 2);
+        assert!(cam.identifiers.contains(&"CAMLUM00100".to_string()));
+    }
+
+    #[test]
+    fn refresh_is_incremental_across_batches() {
+        let mut e = Engine::new(0.9);
+        e.ingest(rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100"));
+        let g1 = e.refresh();
+        assert_eq!(g1.len(), 1);
+        // second batch only dirties the new product's cluster
+        e.ingest(rec(0, 1, "Visionex V-900 monitor", "MON-VIS-00900"));
+        assert_eq!(e.dirty(), 1);
+        let g2 = e.refresh();
+        assert_eq!(g2.len(), 2);
+        // previous generation is untouched (snapshot isolation upstream)
+        assert_eq!(g1.len(), 1);
+    }
+
+    #[test]
+    fn bridge_merges_entries_and_buries_dead_root() {
+        let mut e = Engine::new(0.9);
+        e.ingest(rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100"));
+        e.ingest(rec(1, 0, "Orbix O-55 tripod", "TRI-ORB-00100"));
+        let before = e.refresh();
+        assert_eq!(before.len(), 2);
+        let mut bridge = rec(2, 0, "Lumetra LX-100 camera", "CAM-LUM-00100");
+        bridge.identifiers.push("TRI-ORB-00100".into());
+        bridge.title.push_str(" with Orbix O-55 tripod");
+        e.ingest(bridge);
+        let after = e.refresh();
+        if e.clusters() == 1 {
+            assert_eq!(after.len(), 1);
+            let merged = after
+                .lookup("TRI-ORB-00100")
+                .expect("absorbed identifier resolves");
+            assert_eq!(merged.pages.len(), 3);
+        }
+        assert_eq!(before.len(), 2, "old generation still readable");
+    }
+
+    #[test]
+    fn attributes_fused_by_majority() {
+        let mut e = Engine::new(0.9);
+        for (s, color) in [(0, "black"), (1, "black"), (2, "silver")] {
+            let mut r = rec(s, 0, "Lumetra LX-100 camera", "CAM-LUM-00100");
+            r.attributes.insert("Color".into(), Value::str(color));
+            e.ingest(r);
+        }
+        let catalog = e.refresh();
+        let entry = catalog.lookup("CAM-LUM-00100").unwrap();
+        assert_eq!(
+            entry.attributes.get("color"),
+            Some(&Value::str("black").canonical())
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Generations and their publication point.
+//!
+//! A [`Generation`] is one immutable catalog snapshot: the fused
+//! [`Catalog`] plus a sharded identifier index built over it. The ingest
+//! worker builds the next generation off to the side and publishes it
+//! through a [`Swap`] — readers that loaded the previous `Arc` keep it
+//! alive for as long as their query runs, so a query always sees one
+//! consistent generation (snapshot isolation) and the writer never waits
+//! for readers to finish.
+
+use bdi_core::catalog::{Catalog, CatalogEntry};
+use bdi_linkage::blocking::normalize_identifier;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The atomic publication point: writers replace the `Arc`, readers
+/// clone it. The write lock is held only for the pointer swap, so reads
+/// are wait-free in practice and a slow reader can never delay the next
+/// generation — it just keeps its own snapshot alive.
+#[derive(Debug, Default)]
+pub struct Swap<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> Swap<T> {
+    /// Wrap an initial value.
+    pub fn new(value: T) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(value)),
+        }
+    }
+
+    /// Load the current snapshot. The returned `Arc` stays valid across
+    /// any number of subsequent [`Swap::store`] calls.
+    pub fn load(&self) -> Arc<T> {
+        self.slot.read().clone()
+    }
+
+    /// Publish a new snapshot, returning the one it replaced.
+    pub fn store(&self, value: Arc<T>) -> Arc<T> {
+        std::mem::replace(&mut *self.slot.write(), value)
+    }
+}
+
+/// Identifier → entry index, split across shards by key hash. Sharding
+/// keeps the per-generation rebuild embarrassingly parallel-friendly and
+/// bounds the probe cost of any one lookup to a single shard's map.
+#[derive(Clone, Debug)]
+pub struct ShardedIndex {
+    shards: Vec<HashMap<String, usize>>,
+}
+
+impl ShardedIndex {
+    /// Build over a catalog's identifier index. On identifier collision
+    /// the lowest cluster id wins, matching [`Catalog::lookup`].
+    pub fn build(catalog: &Catalog, shards: usize) -> Self {
+        let n = shards.max(1);
+        let mut out = vec![HashMap::new(); n];
+        for (pos, entry) in catalog.entries().iter().enumerate() {
+            for id in &entry.identifiers {
+                out[shard_of(id, n)].entry(id.clone()).or_insert(pos);
+            }
+        }
+        Self { shards: out }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entry position for an identifier (any published formatting).
+    pub fn get(&self, identifier: &str) -> Option<usize> {
+        let norm = normalize_identifier(identifier);
+        self.shards[shard_of(&norm, self.shards.len())]
+            .get(&norm)
+            .copied()
+    }
+
+    /// Total number of indexed identifiers.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+}
+
+/// FNV-1a over the key bytes; deterministic across processes (unlike the
+/// std hasher's per-instance random state), so shard layout is stable.
+fn shard_of(key: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// One immutable published snapshot of the integrated catalog.
+#[derive(Clone, Debug)]
+pub struct Generation {
+    /// Monotonic generation number (0 = the empty boot generation).
+    pub seq: u64,
+    /// The fused catalog.
+    pub catalog: Arc<Catalog>,
+    /// Sharded identifier index over `catalog`.
+    pub index: ShardedIndex,
+    /// Records integrated into this generation.
+    pub records: usize,
+}
+
+impl Generation {
+    /// The empty boot generation.
+    pub fn empty(shards: usize) -> Self {
+        let catalog = Arc::new(Catalog::default());
+        let index = ShardedIndex::build(&catalog, shards);
+        Self {
+            seq: 0,
+            catalog,
+            index,
+            records: 0,
+        }
+    }
+
+    /// Resolve an identifier to its catalog entry via the sharded index.
+    pub fn lookup(&self, identifier: &str) -> Option<&CatalogEntry> {
+        self.index
+            .get(identifier)
+            .map(|i| &self.catalog.entries()[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId, Value};
+    use std::collections::BTreeMap;
+
+    fn entry(id: usize, idents: &[&str]) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            title: format!("p{id}"),
+            pages: vec![RecordId::new(SourceId(0), id as u32)],
+            attributes: BTreeMap::from([("w".to_string(), Value::num(id as f64))]),
+            identifiers: idents.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn swap_isolates_readers() {
+        let swap = Swap::new(1u32);
+        let before = swap.load();
+        swap.store(Arc::new(2));
+        assert_eq!(*before, 1, "held snapshot survives the store");
+        assert_eq!(*swap.load(), 2);
+    }
+
+    #[test]
+    fn sharded_index_resolves_all_formats() {
+        let catalog =
+            Catalog::from_entries(vec![entry(0, &["CAMLUM00100"]), entry(1, &["MONVIS00900"])]);
+        let idx = ShardedIndex::build(&catalog, 4);
+        assert_eq!(idx.shard_count(), 4);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get("cam-lum-00100"), Some(0));
+        assert_eq!(idx.get("MON VIS 00900"), Some(1));
+        assert_eq!(idx.get("nope"), None);
+    }
+
+    #[test]
+    fn sharded_index_collision_prefers_lowest_id() {
+        let catalog = Catalog::from_entries(vec![entry(3, &["SHARED01"]), entry(7, &["SHARED01"])]);
+        let idx = ShardedIndex::build(&catalog, 2);
+        let pos = idx.get("shared01").unwrap();
+        assert_eq!(catalog.entries()[pos].id, 3);
+        assert_eq!(
+            catalog.lookup("shared01").unwrap().id,
+            3,
+            "matches Catalog::lookup"
+        );
+    }
+
+    #[test]
+    fn generation_lookup_round_trips() {
+        let catalog = Arc::new(Catalog::from_entries(vec![entry(0, &["ABC123"])]));
+        let index = ShardedIndex::build(&catalog, 8);
+        let g = Generation {
+            seq: 1,
+            catalog,
+            index,
+            records: 1,
+        };
+        assert_eq!(g.lookup("abc-123").unwrap().id, 0);
+        assert!(Generation::empty(4).lookup("abc-123").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # bdi-serve — the live integration service
+//!
+//! The tutorial's pipeline is a batch artifact: crawl, integrate, ship a
+//! fused catalog. Real consumers of web-scale integration sit *between*
+//! crawls — pages keep arriving while price-comparison queries keep
+//! coming in. This crate turns the pipeline into a long-running daemon:
+//!
+//! * **Ingest path** — records flow through a bounded, backpressured
+//!   queue into an [`engine::Engine`] wrapping the incremental linker;
+//!   each arrival dirties a handful of clusters, fusion re-runs on those
+//!   members only, and a fresh catalog generation is published
+//!   atomically ([`gen::Swap`]).
+//! * **Query path** — any number of reader threads resolve `lookup` /
+//!   `filter` / `top_k` against the generation they loaded; a snapshot
+//!   is an immutable `Arc`, so readers never observe a half-applied
+//!   batch and never block the writer.
+//! * **Wire protocol** — JSON lines over TCP ([`protocol`]): one request
+//!   object per line, one response object per line. `nc` is a usable
+//!   client.
+//!
+//! The load driver ([`load`]) replays a synthetic world as an ingest
+//! stream while reader threads hammer lookups, reporting ingest
+//! throughput and query latency percentiles — the serve-path analogue
+//! of the crate's batch experiments.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod engine;
+pub mod gen;
+pub mod load;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use engine::Engine;
+pub use gen::{Generation, ShardedIndex, Swap};
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use protocol::{Request, Response};
+pub use server::{Server, ServerConfig};

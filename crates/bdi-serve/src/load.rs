@@ -1,0 +1,173 @@
+//! The synthetic load driver: replay a generated product web as a live
+//! ingest stream while reader threads hammer lookups.
+//!
+//! This is the serve-path experiment harness. One writer connection
+//! feeds every record of a [`bdi_synth::World`] through the ingest
+//! queue; `readers` connections spin on `lookup` of identifiers drawn
+//! from the world's catalog the whole time. The report gives ingest
+//! throughput and read latency percentiles — the numbers the
+//! `serve_throughput` bench prints across reader counts.
+
+use crate::client::Client;
+use bdi_synth::{World, WorldConfig};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-run shape.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// World seed.
+    pub seed: u64,
+    /// Entities in the generated world.
+    pub entities: usize,
+    /// Sources in the generated world.
+    pub sources: usize,
+    /// Concurrent reader connections.
+    pub readers: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            entities: 120,
+            sources: 12,
+            readers: 4,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Records ingested.
+    pub records: usize,
+    /// Wall-clock seconds for the full ingest (including final flush).
+    pub ingest_secs: f64,
+    /// Records per second through the ingest path.
+    pub ingest_per_sec: f64,
+    /// Total lookups completed across all readers during the ingest.
+    pub queries: u64,
+    /// Lookups per second across all readers.
+    pub reads_per_sec: f64,
+    /// Median lookup latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile lookup latency, microseconds.
+    pub p99_us: u64,
+    /// Generation number after the final flush.
+    pub generation: u64,
+}
+
+/// Generate a world and replay it against a running server at `addr`.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    let world = World::generate(WorldConfig {
+        n_entities: cfg.entities,
+        n_sources: cfg.sources,
+        ..WorldConfig::tiny(cfg.seed)
+    });
+    let mut pool: Vec<String> = world
+        .dataset
+        .records()
+        .iter()
+        .filter_map(|r| r.primary_identifier().map(str::to_string))
+        .collect();
+    pool.sort_unstable();
+    pool.dedup();
+    if pool.is_empty() {
+        pool.push("NO-IDENTIFIERS-ANYWHERE".to_string());
+    }
+    let records = world.dataset.into_records();
+    let total = records.len();
+    let pool = Arc::new(pool);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..cfg.readers)
+        .map(|reader_idx| {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
+                let mut client = Client::connect(addr)?;
+                let mut latencies = Vec::new();
+                // stride the pool differently per reader so shards all
+                // see traffic without needing a shared RNG
+                let mut cursor = reader_idx * 31;
+                while !stop.load(Ordering::SeqCst) {
+                    let id = &pool[cursor % pool.len()];
+                    cursor = cursor
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let t = Instant::now();
+                    client.lookup(id)?;
+                    latencies.push(t.elapsed().as_micros() as u64);
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(addr)?;
+    let t0 = Instant::now();
+    for r in records {
+        writer.ingest(r)?;
+    }
+    let (generation, _) = writer.flush()?;
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::SeqCst);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in readers {
+        match handle.join() {
+            Ok(Ok(mut l)) => latencies.append(&mut l),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                return Err(std::io::Error::other("reader thread panicked"));
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let queries = latencies.len() as u64;
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+
+    Ok(LoadReport {
+        records: total,
+        ingest_secs,
+        ingest_per_sec: total as f64 / ingest_secs.max(1e-9),
+        queries,
+        reads_per_sec: queries as f64 / ingest_secs.max(1e-9),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        generation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn load_run_reports_progress() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let cfg = LoadConfig {
+            entities: 40,
+            sources: 6,
+            readers: 2,
+            ..Default::default()
+        };
+        let report = run_load(server.addr(), &cfg).unwrap();
+        assert!(report.records > 0);
+        assert!(report.ingest_per_sec > 0.0);
+        assert!(report.queries > 0, "readers ran during ingest");
+        assert!(report.p99_us >= report.p50_us);
+        assert!(report.generation >= 1);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,157 @@
+//! The wire protocol: JSON lines over TCP.
+//!
+//! One request object per line in, one response object per line out.
+//! Requests use externally tagged JSON (unit variants are bare strings),
+//! so a session from `nc` looks like:
+//!
+//! ```json
+//! {"lookup": {"identifier": "CAM-LUM-01042"}}
+//! {"top_k": {"attribute": "price", "k": 3}}
+//! "stats"
+//! ```
+
+use bdi_core::catalog::CatalogEntry;
+use bdi_types::Record;
+use serde::{Deserialize, Serialize};
+
+/// A client request.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Resolve one product identifier (any published formatting).
+    #[serde(rename = "lookup")]
+    Lookup { identifier: String },
+    /// Products whose fused numeric value for `attribute` lies in
+    /// `[min, max]` (either bound optional); at most `limit` results.
+    #[serde(rename = "filter")]
+    Filter {
+        attribute: String,
+        min: Option<f64>,
+        max: Option<f64>,
+        limit: Option<usize>,
+    },
+    /// Top-k products by a numeric attribute, descending.
+    #[serde(rename = "top_k")]
+    TopK { attribute: String, k: usize },
+    /// Submit one record to the ingest queue (blocks under backpressure).
+    #[serde(rename = "ingest")]
+    Ingest { record: Record },
+    /// Block until everything submitted so far is queryable.
+    #[serde(rename = "flush")]
+    Flush,
+    /// Service counters.
+    #[serde(rename = "stats")]
+    Stats,
+    /// Stop accepting connections and drain.
+    #[serde(rename = "shutdown")]
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// Lookup result (with the generation it was read from).
+    #[serde(rename = "entry")]
+    Entry {
+        generation: u64,
+        entry: Option<CatalogEntry>,
+    },
+    /// Filter / top-k results.
+    #[serde(rename = "entries")]
+    Entries {
+        generation: u64,
+        entries: Vec<CatalogEntry>,
+    },
+    /// Ingest accepted into the queue.
+    #[serde(rename = "ack")]
+    Ack { submitted: u64 },
+    /// Flush completed: all `applied` records are queryable.
+    #[serde(rename = "flushed")]
+    Flushed { generation: u64, applied: u64 },
+    /// Service counters.
+    #[serde(rename = "stats")]
+    Stats(StatsBody),
+    /// Request failed.
+    #[serde(rename = "error")]
+    Error { message: String },
+    /// Shutdown acknowledged.
+    #[serde(rename = "bye")]
+    Bye,
+}
+
+/// Counters reported by [`Response::Stats`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Published generation number.
+    pub generation: u64,
+    /// Integrated products in that generation.
+    pub products: usize,
+    /// Records integrated into that generation.
+    pub records: usize,
+    /// Records accepted into the queue so far.
+    pub submitted: u64,
+    /// Records applied (linked + fused + published) so far.
+    pub applied: u64,
+    /// Identifier-index shards per generation.
+    pub shards: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId};
+
+    #[test]
+    fn request_json_round_trips() {
+        let reqs = vec![
+            Request::Lookup {
+                identifier: "CAM-LUM-01042".into(),
+            },
+            Request::Filter {
+                attribute: "price".into(),
+                min: Some(1.0),
+                max: None,
+                limit: Some(5),
+            },
+            Request::TopK {
+                attribute: "weight".into(),
+                k: 3,
+            },
+            Request::Flush,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = serde_json::to_string(&r).unwrap();
+            assert!(!line.contains('\n'), "one request per line");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                line,
+                "round trip stable"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_carries_a_full_record() {
+        let mut rec = Record::new(RecordId::new(SourceId(3), 7), "Lumetra LX-100");
+        rec.identifiers.push("CAM-LUM-00100".into());
+        let line = serde_json::to_string(&Request::Ingest { record: rec }).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        let Request::Ingest { record } = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(record.id, RecordId::new(SourceId(3), 7));
+        assert_eq!(record.primary_identifier(), Some("CAM-LUM-00100"));
+    }
+
+    #[test]
+    fn the_nc_example_parses() {
+        let r: Request =
+            serde_json::from_str(r#"{"lookup": {"identifier": "CAM-LUM-01042"}}"#).unwrap();
+        assert!(matches!(r, Request::Lookup { .. }));
+        let r: Request =
+            serde_json::from_str(r#"{"top_k": {"attribute": "price", "k": 3}}"#).unwrap();
+        assert!(matches!(r, Request::TopK { k: 3, .. }));
+    }
+}

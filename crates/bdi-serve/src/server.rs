@@ -1,0 +1,503 @@
+//! The TCP daemon: accept loop, connection handlers, ingest worker.
+//!
+//! Threading model:
+//!
+//! * one **accept** thread hands each connection to its own handler
+//!   thread (queries are read-only against a loaded generation, so any
+//!   number can run concurrently);
+//! * one **ingest worker** owns the [`Engine`]. Handlers forward
+//!   `ingest` records through a bounded crossbeam channel — when the
+//!   worker falls behind, the channel fills and senders block, which is
+//!   the backpressure surfacing to clients as a slow `ack`;
+//! * the worker drains up to `refresh_batch` queued records per cycle,
+//!   refreshes the dirty clusters once, and publishes the new generation
+//!   through the [`Swap`] — readers pay one `Arc` clone, never a lock
+//!   held across a query.
+
+use crate::engine::Engine;
+use crate::gen::{Generation, ShardedIndex, Swap};
+use crate::protocol::{Request, Response, StatsBody};
+use bdi_types::Record;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Linkage match threshold.
+    pub threshold: f64,
+    /// Ingest queue capacity — the backpressure bound.
+    pub queue_capacity: usize,
+    /// Max records linked per refresh/publish cycle.
+    pub refresh_batch: usize,
+    /// Identifier-index shards per generation.
+    pub shards: usize,
+    /// Records integrated before the server starts accepting.
+    pub preload: Vec<Record>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threshold: 0.9,
+            queue_capacity: 256,
+            refresh_batch: 64,
+            shards: 8,
+            preload: Vec::new(),
+        }
+    }
+}
+
+/// State shared by handlers and the ingest worker.
+struct Shared {
+    current: Swap<Generation>,
+    submitted: AtomicU64,
+    applied: AtomicU64,
+    shutdown: AtomicBool,
+    shards: usize,
+}
+
+/// A running integration service.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    ingest_tx: Option<Sender<Record>>,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, integrate any preload, and start serving.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            current: Swap::new(Generation::empty(cfg.shards)),
+            submitted: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            shards: cfg.shards,
+        });
+
+        let mut engine = Engine::new(cfg.threshold);
+        if !cfg.preload.is_empty() {
+            let n = cfg.preload.len() as u64;
+            for r in cfg.preload {
+                engine.ingest(r);
+            }
+            publish(&shared, &mut engine, 1);
+            shared.submitted.store(n, Ordering::SeqCst);
+            shared.applied.store(n, Ordering::SeqCst);
+        }
+
+        let (tx, rx) = bounded(cfg.queue_capacity.max(1));
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let batch = cfg.refresh_batch.max(1);
+            std::thread::spawn(move || ingest_worker(engine, shared, rx, batch))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || accept_loop(listener, addr, shared, tx))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            ingest_tx: Some(tx),
+            accept: Some(accept),
+            worker: Some(worker),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The published generation readers currently see.
+    pub fn generation(&self) -> u64 {
+        self.shared.current.load().seq
+    }
+
+    /// Request shutdown and wait for the accept loop and ingest worker
+    /// to drain. Open connections must be closed by their clients (a
+    /// handler holding an ingest sender keeps the worker alive).
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // unblock the accept loop
+        let _ = TcpStream::connect(self.addr);
+        self.join();
+    }
+
+    /// Block until a client issues `shutdown` (which stops the accept
+    /// loop) and the ingest worker drains. This is what `bdi serve`
+    /// parks on.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        drop(self.ingest_tx.take());
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Publish the engine's current state as the next generation.
+fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
+    let catalog = Arc::new(engine.refresh());
+    let index = ShardedIndex::build(&catalog, shared.shards);
+    shared.current.store(Arc::new(Generation {
+        seq,
+        catalog,
+        index,
+        records: engine.records(),
+    }));
+}
+
+fn ingest_worker(mut engine: Engine, shared: Arc<Shared>, rx: Receiver<Record>, batch: usize) {
+    let mut seq = shared.current.load().seq;
+    while let Ok(first) = rx.recv() {
+        let mut n = 1u64;
+        engine.ingest(first);
+        while (n as usize) < batch {
+            match rx.try_recv() {
+                Ok(r) => {
+                    engine.ingest(r);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        seq += 1;
+        publish(&shared, &mut engine, seq);
+        // applied counts only after the records are queryable
+        shared.applied.fetch_add(n, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Record>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        std::thread::spawn(move || handle_connection(stream, addr, shared, tx));
+    }
+}
+
+fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Record>) {
+    // one small JSON line per response: never hold it back for Nagle
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(&line, &shared, &tx, addr);
+        let done = matches!(response, Response::Bye);
+        let Ok(body) = serde_json::to_string(&response) else {
+            break;
+        };
+        if writeln!(writer, "{body}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if done || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn dispatch(line: &str, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) -> Response {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Error {
+                message: format!("bad request: {e}"),
+            }
+        }
+    };
+    match request {
+        Request::Lookup { identifier } => {
+            let current = shared.current.load();
+            Response::Entry {
+                generation: current.seq,
+                entry: current.lookup(&identifier).cloned(),
+            }
+        }
+        Request::Filter {
+            attribute,
+            min,
+            max,
+            limit,
+        } => {
+            let current = shared.current.load();
+            let entries: Vec<_> = current
+                .catalog
+                .filter(&attribute, |v| {
+                    v.base_magnitude().is_some_and(|m| {
+                        min.is_none_or(|lo| m >= lo) && max.is_none_or(|hi| m <= hi)
+                    })
+                })
+                .take(limit.unwrap_or(100))
+                .cloned()
+                .collect();
+            Response::Entries {
+                generation: current.seq,
+                entries,
+            }
+        }
+        Request::TopK { attribute, k } => {
+            let current = shared.current.load();
+            let entries: Vec<_> = current
+                .catalog
+                .top_k_by(&attribute, k)
+                .into_iter()
+                .cloned()
+                .collect();
+            Response::Entries {
+                generation: current.seq,
+                entries,
+            }
+        }
+        Request::Ingest { record } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::Error {
+                    message: "shutting down".to_string(),
+                };
+            }
+            match tx.send(record) {
+                Ok(()) => {
+                    let submitted = shared.submitted.fetch_add(1, Ordering::SeqCst) + 1;
+                    Response::Ack { submitted }
+                }
+                Err(_) => Response::Error {
+                    message: "ingest queue closed".to_string(),
+                },
+            }
+        }
+        Request::Flush => {
+            let target = shared.submitted.load(Ordering::SeqCst);
+            while shared.applied.load(Ordering::SeqCst) < target {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            let current = shared.current.load();
+            Response::Flushed {
+                generation: current.seq,
+                applied: shared.applied.load(Ordering::SeqCst),
+            }
+        }
+        Request::Stats => {
+            let current = shared.current.load();
+            Response::Stats(StatsBody {
+                generation: current.seq,
+                products: current.catalog.len(),
+                records: current.records,
+                submitted: shared.submitted.load(Ordering::SeqCst),
+                applied: shared.applied.load(Ordering::SeqCst),
+                shards: shared.shards,
+            })
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // unblock the accept loop so it observes the flag
+            let _ = TcpStream::connect(addr);
+            Response::Bye
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use bdi_types::{RecordId, SourceId, Value};
+
+    fn rec(s: u32, q: u32, title: &str, id: &str, price: f64) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+        r.identifiers.push(id.into());
+        r.attributes.insert("price".into(), Value::num(price));
+        r
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        assert_eq!(
+            client
+                .ingest(rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100", 499.0))
+                .unwrap(),
+            1
+        );
+        client
+            .ingest(rec(1, 0, "Lumetra LX-100", "camlum00100", 489.0))
+            .unwrap();
+        client
+            .ingest(rec(0, 1, "Visionex V-900 monitor", "MON-VIS-00900", 199.0))
+            .unwrap();
+        let (generation, applied) = client.flush().unwrap();
+        assert!(generation >= 1);
+        assert_eq!(applied, 3);
+
+        let entry = client
+            .lookup("cam lum 00100")
+            .unwrap()
+            .expect("camera resolves");
+        assert_eq!(entry.pages.len(), 2);
+
+        let top = client.top_k("price", 5).unwrap();
+        assert_eq!(top.len(), 2, "two products have a fused price");
+        assert!(
+            top[0].attributes["price"].base_magnitude()
+                >= top[1].attributes["price"].base_magnitude()
+        );
+
+        let within = client
+            .filter("price", Some(400.0), Some(600.0), None)
+            .unwrap();
+        assert_eq!(within.len(), 1);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.applied, 3);
+        assert_eq!(stats.products, 2);
+        assert_eq!(stats.records, 3);
+
+        client.shutdown().unwrap();
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn preload_is_queryable_before_any_ingest() {
+        let cfg = ServerConfig {
+            preload: vec![
+                rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100", 499.0),
+                rec(1, 0, "Lumetra LX-100", "CAM-LUM-00100", 479.0),
+            ],
+            ..Default::default()
+        };
+        let server = Server::start(cfg).unwrap();
+        assert_eq!(server.generation(), 1);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let entry = client.lookup("CAM-LUM-00100").unwrap().expect("preloaded");
+        assert_eq!(entry.pages.len(), 2);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tiny_queue_still_delivers_everything() {
+        // queue capacity 1 forces the backpressure path on every send
+        let cfg = ServerConfig {
+            queue_capacity: 1,
+            refresh_batch: 1,
+            ..Default::default()
+        };
+        let server = Server::start(cfg).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for i in 0..40u32 {
+            client
+                .ingest(rec(
+                    i % 4,
+                    i / 4,
+                    &format!("Gadget{i} model{i}"),
+                    &format!("XXX-YYY-{i:05}"),
+                    f64::from(i),
+                ))
+                .unwrap();
+        }
+        let (_, applied) = client.flush().unwrap();
+        assert_eq!(applied, 40);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.records, 40);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_generations() {
+        let server = Server::start(ServerConfig {
+            refresh_batch: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut last_gen = 0u64;
+                    let mut queries = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let (generation, entry) = client.lookup_traced("CAM-LUM-00042").unwrap();
+                        assert!(
+                            generation >= last_gen,
+                            "generations are monotone per reader"
+                        );
+                        if let Some(e) = &entry {
+                            assert!(!e.pages.is_empty(), "no half-applied entries");
+                        }
+                        last_gen = generation;
+                        queries += 1;
+                    }
+                    queries
+                })
+            })
+            .collect();
+
+        let mut writer = Client::connect(addr).unwrap();
+        for i in 0..60u32 {
+            writer
+                .ingest(rec(
+                    i % 3,
+                    i / 3,
+                    "Lumetra LX-42 camera",
+                    "CAM-LUM-00042",
+                    100.0 + f64::from(i),
+                ))
+                .unwrap();
+        }
+        writer.flush().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "readers made progress during ingest");
+        let entry = writer
+            .lookup("CAM-LUM-00042")
+            .unwrap()
+            .expect("resolves after flush");
+        assert_eq!(entry.pages.len(), 60);
+        drop(writer);
+        server.shutdown();
+    }
+}

@@ -198,7 +198,13 @@ impl SnapshotSeries {
             snapshots.push(ds);
         }
 
-        Ok(Self { snapshots, truth, source_death, page_lifetime, template_drifts })
+        Ok(Self {
+            snapshots,
+            truth,
+            source_death,
+            page_lifetime,
+            template_drifts,
+        })
     }
 
     /// Fraction of snapshot-0 pages still alive at snapshot `t` — the
@@ -276,10 +282,19 @@ mod tests {
 
     #[test]
     fn survival_declines_over_time() {
-        let s = series(1, ChurnConfig { snapshots: 8, ..ChurnConfig::default() });
+        let s = series(
+            1,
+            ChurnConfig {
+                snapshots: 8,
+                ..ChurnConfig::default()
+            },
+        );
         let early = s.page_survival(1);
         let late = s.page_survival(7);
-        assert!(late <= early, "survival must be nonincreasing: {early} -> {late}");
+        assert!(
+            late <= early,
+            "survival must be nonincreasing: {early} -> {late}"
+        );
         assert!(late < 1.0, "with death probability > 0 some pages must die");
     }
 
@@ -304,7 +319,11 @@ mod tests {
 
     #[test]
     fn drifted_names_registered_in_truth() {
-        let cfg = ChurnConfig { snapshots: 6, p_template_drift: 0.5, ..ChurnConfig::default() };
+        let cfg = ChurnConfig {
+            snapshots: 6,
+            p_template_drift: 0.5,
+            ..ChurnConfig::default()
+        };
         let s = series(3, cfg);
         // find a record in a late snapshot with drifted names
         let mut found = false;
@@ -343,7 +362,10 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let w = World::generate(WorldConfig::tiny(5));
-        let bad = ChurnConfig { snapshots: 0, ..ChurnConfig::default() };
+        let bad = ChurnConfig {
+            snapshots: 0,
+            ..ChurnConfig::default()
+        };
         assert!(SnapshotSeries::generate(&w, &bad).is_err());
     }
 

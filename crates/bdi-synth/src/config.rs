@@ -141,7 +141,9 @@ impl WorldConfig {
         prob("p_missing", self.p_missing)?;
         let (lo, hi) = self.accuracy_range;
         if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
-            return Err(BdiError::config("accuracy_range must satisfy 0 <= lo <= hi <= 1"));
+            return Err(BdiError::config(
+                "accuracy_range must satisfy 0 <= lo <= hi <= 1",
+            ));
         }
         if self.n_false_values == 0 {
             return Err(BdiError::config("n_false_values must be >= 1"));
@@ -150,7 +152,9 @@ impl WorldConfig {
             return Err(BdiError::config("n_copiers must be < n_sources"));
         }
         if self.related_identifier_rate < 0.0 || !self.related_identifier_rate.is_finite() {
-            return Err(BdiError::config("related_identifier_rate must be finite and >= 0"));
+            return Err(BdiError::config(
+                "related_identifier_rate must be finite and >= 0",
+            ));
         }
         for c in &self.categories {
             if crate::vocab::category(c).is_none() {
@@ -185,25 +189,38 @@ mod tests {
 
     #[test]
     fn bad_probability_rejected() {
-        let cfg = WorldConfig { p_rename: 1.5, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            p_rename: 1.5,
+            ..WorldConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn bad_accuracy_range_rejected() {
-        let cfg = WorldConfig { accuracy_range: (0.9, 0.5), ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            accuracy_range: (0.9, 0.5),
+            ..WorldConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn unknown_category_rejected() {
-        let cfg = WorldConfig { categories: vec!["spaceship".into()], ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            categories: vec!["spaceship".into()],
+            ..WorldConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn copiers_bounded_by_sources() {
-        let cfg = WorldConfig { n_copiers: 50, n_sources: 50, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            n_copiers: 50,
+            n_sources: 50,
+            ..WorldConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -53,7 +53,11 @@ mod tests {
 
     #[test]
     fn copiers_assigned_from_tail_to_head() {
-        let cfg = WorldConfig { n_copiers: 3, n_sources: 12, ..WorldConfig::tiny(1) };
+        let cfg = WorldConfig {
+            n_copiers: 3,
+            n_sources: 12,
+            ..WorldConfig::tiny(1)
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let mut plans = plan_sources(&cfg, &mut rng);
         let pairs = assign_copiers(&mut plans, &cfg, &mut rng);

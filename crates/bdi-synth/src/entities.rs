@@ -29,7 +29,12 @@ pub struct Entity {
 impl Entity {
     /// Display title a typical source would use.
     pub fn title(&self) -> String {
-        format!("{} {} {}", self.brand, self.model, self.category.name.replace('_', " "))
+        format!(
+            "{} {} {}",
+            self.brand,
+            self.model,
+            self.category.name.replace('_', " ")
+        )
     }
 }
 
@@ -75,7 +80,10 @@ impl Catalog {
             });
         }
         let popularity = Zipf::new(cfg.n_entities, cfg.entity_popularity_exponent);
-        Self { entities, popularity }
+        Self {
+            entities,
+            popularity,
+        }
     }
 
     /// Sample an entity by popularity.
@@ -112,7 +120,13 @@ fn true_value<R: Rng + ?Sized>(spec: &AttrSpec, rng: &mut R) -> Value {
     match spec.kind {
         AttrKind::Categorical(vocab) => Value::str(vocab[rng.gen_range(0..vocab.len())]),
         AttrKind::Flag => Value::Bool(rng.gen_bool(0.5)),
-        AttrKind::Numeric { min, max, step, unit, .. } => {
+        AttrKind::Numeric {
+            min,
+            max,
+            step,
+            unit,
+            ..
+        } => {
             let v = draw_stepped(min, max, step, rng);
             match unit {
                 Some(u) => Value::quantity(v, u),
@@ -195,7 +209,10 @@ mod tests {
                         }
                         other => panic!("unexpected value {other:?}"),
                     };
-                    assert!(mag >= min - 1e-9 && mag <= max + 1e-9, "{mag} not in [{min},{max}]");
+                    assert!(
+                        mag >= min - 1e-9 && mag <= max + 1e-9,
+                        "{mag} not in [{min},{max}]"
+                    );
                 }
             }
         }
@@ -203,7 +220,10 @@ mod tests {
 
     #[test]
     fn popularity_sampling_head_biased() {
-        let cfg = WorldConfig { entity_popularity_exponent: 1.5, ..WorldConfig::tiny(4) };
+        let cfg = WorldConfig {
+            entity_popularity_exponent: 1.5,
+            ..WorldConfig::tiny(4)
+        };
         let c = Catalog::generate(&cfg);
         let mut rng = StdRng::seed_from_u64(9);
         let mut head = 0;
@@ -214,7 +234,11 @@ mod tests {
             }
         }
         // top-5 of 60 entities should absorb well over uniform share (8%)
-        assert!(head as f64 / n as f64 > 0.3, "head share {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.3,
+            "head share {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

@@ -44,7 +44,16 @@ fn perturb<R: Rng + ?Sized>(truth: &Value, kind: &AttrKind, rng: &mut R) -> Valu
     match (kind, truth) {
         (AttrKind::Categorical(vocab), _) => Value::str(vocab[rng.gen_range(0..vocab.len())]),
         (AttrKind::Flag, Value::Bool(b)) => Value::Bool(!b),
-        (AttrKind::Numeric { min, max, step, unit, .. }, _) => {
+        (
+            AttrKind::Numeric {
+                min,
+                max,
+                step,
+                unit,
+                ..
+            },
+            _,
+        ) => {
             let t = truth.base_magnitude().unwrap_or(*min);
             // plausible error: within ±30% of the range, stepped
             let span = (max - min) * 0.3;
@@ -115,11 +124,19 @@ mod tests {
             let pool = false_pool(e, spec, 5, 99);
             let truth = &e.truth[spec.canonical];
             for v in &pool {
-                assert!(!v.equivalent(truth), "{}: pool contains truth", spec.canonical);
+                assert!(
+                    !v.equivalent(truth),
+                    "{}: pool contains truth",
+                    spec.canonical
+                );
             }
             for a in 0..pool.len() {
                 for b in (a + 1)..pool.len() {
-                    assert!(!pool[a].equivalent(&pool[b]), "{}: dup false values", spec.canonical);
+                    assert!(
+                        !pool[a].equivalent(&pool[b]),
+                        "{}: dup false values",
+                        spec.canonical
+                    );
                 }
             }
         }

@@ -65,10 +65,7 @@ pub fn attr_name_stats(ds: &Dataset) -> AttrNameStats {
 
 /// Source sizes (record counts) in descending order.
 pub fn source_sizes(ds: &Dataset) -> Vec<usize> {
-    let mut sizes: Vec<usize> = ds
-        .sources()
-        .map(|s| ds.records_of(s.id).count())
-        .collect();
+    let mut sizes: Vec<usize> = ds.sources().map(|s| ds.records_of(s.id).count()).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     sizes
 }
@@ -114,10 +111,17 @@ mod tests {
 
     #[test]
     fn stats_on_generated_world_show_long_tail() {
-        let cfg = WorldConfig { n_sources: 40, ..WorldConfig::tiny(8) };
+        let cfg = WorldConfig {
+            n_sources: 40,
+            ..WorldConfig::tiny(8)
+        };
         let w = World::generate(cfg);
         let stats = attr_name_stats(&w.dataset);
-        assert!(stats.distinct > 30, "expected rich name variety, got {}", stats.distinct);
+        assert!(
+            stats.distinct > 30,
+            "expected rich name variety, got {}",
+            stats.distinct
+        );
         assert!(
             stats.top_name_source_fraction < 1.0,
             "no name should be universal"
@@ -126,19 +130,32 @@ mod tests {
 
     #[test]
     fn source_sizes_skewed() {
-        let w = World::generate(WorldConfig { n_sources: 20, ..WorldConfig::tiny(9) });
+        let w = World::generate(WorldConfig {
+            n_sources: 20,
+            ..WorldConfig::tiny(9)
+        });
         let sizes = source_sizes(&w.dataset);
         assert_eq!(sizes.len(), 20);
         assert!(sizes[0] >= sizes[sizes.len() - 1]);
-        assert!(gini(&sizes) > 0.2, "source sizes should be skewed, gini={}", gini(&sizes));
+        assert!(
+            gini(&sizes) > 0.2,
+            "source sizes should be skewed, gini={}",
+            gini(&sizes)
+        );
     }
 
     #[test]
     fn entity_coverage_head_biased() {
-        let w = World::generate(WorldConfig { n_sources: 20, ..WorldConfig::tiny(10) });
+        let w = World::generate(WorldConfig {
+            n_sources: 20,
+            ..WorldConfig::tiny(10)
+        });
         let cov = entity_coverage(&w.truth);
         assert!(!cov.is_empty());
-        assert!(cov[0] > cov[cov.len() - 1], "head entities should appear in more sources");
+        assert!(
+            cov[0] > cov[cov.len() - 1],
+            "head entities should appear in more sources"
+        );
     }
 
     #[test]

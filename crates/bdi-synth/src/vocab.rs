@@ -68,7 +68,12 @@ const YES_PREVALENT: f64 = 0.9;
 
 macro_rules! cat {
     ($name:literal, $prefix:literal, $brands:expr, $attrs:expr) => {
-        CategorySpec { name: $name, id_prefix: $prefix, brands: $brands, attrs: $attrs }
+        CategorySpec {
+            name: $name,
+            id_prefix: $prefix,
+            brands: $brands,
+            attrs: $attrs,
+        }
     };
 }
 
@@ -83,287 +88,986 @@ pub fn category(name: &str) -> Option<&'static CategorySpec> {
 }
 
 static CATALOG: &[CategorySpec] = &[
-    cat!("camera", "CAM", &["Lumetra", "Fotonix", "Opteka", "Zenmira", "Clarivo"], &[
-        AttrSpec { canonical: "resolution", prevalence: 0.95,
-            kind: AttrKind::Numeric { min: 8.0, max: 60.0, step: 0.1, unit: None, alt_units: &[] },
-            synonyms: &["resolution", "megapixels", "mp", "effective pixels", "sensor resolution"] },
-        AttrSpec { canonical: "sensor_size", prevalence: 0.6,
-            kind: AttrKind::Categorical(&["full frame", "aps-c", "micro four thirds", "1 inch", "1/2.3 inch"]),
-            synonyms: &["sensor size", "sensor", "sensor format", "imager size"] },
-        AttrSpec { canonical: "iso_max", prevalence: 0.55,
-            kind: AttrKind::Numeric { min: 1600.0, max: 204800.0, step: 1600.0, unit: None, alt_units: &[] },
-            synonyms: &["max iso", "iso maximum", "iso range max", "maximum light sensitivity"] },
-        AttrSpec { canonical: "weight", prevalence: 0.85,
-            kind: AttrKind::Numeric { min: 200.0, max: 1500.0, step: 5.0, unit: Some(Unit::Gram), alt_units: &[Unit::Kilogram, Unit::Ounce, Unit::Pound] },
-            synonyms: &["weight", "item weight", "wt", "product weight", "body weight"] },
-        AttrSpec { canonical: "dimensions", prevalence: 0.7,
-            kind: AttrKind::Dimensions,
-            synonyms: &["dimensions", "size", "product dimensions", "body dimensions", "measurements"] },
-        AttrSpec { canonical: "color", prevalence: 0.8,
-            kind: AttrKind::Categorical(COLORS),
-            synonyms: &["color", "colour", "body color", "finish"] },
-        AttrSpec { canonical: "wifi", prevalence: 0.5,
-            kind: AttrKind::Flag,
-            synonyms: &["wifi", "wi-fi", "wireless", "built-in wifi"] },
-        AttrSpec { canonical: "screen_size", prevalence: 0.65,
-            kind: AttrKind::Numeric { min: 2.0, max: 3.5, step: 0.1, unit: Some(Unit::Inch), alt_units: &[Unit::Centimeter] },
-            synonyms: &["screen size", "lcd size", "display size", "monitor size"] },
-        AttrSpec { canonical: "video_resolution", prevalence: 0.45,
-            kind: AttrKind::Categorical(&["720p", "1080p", "4k", "8k"]),
-            synonyms: &["video resolution", "movie resolution", "video", "max video"] },
-        AttrSpec { canonical: "battery_shots", prevalence: 0.25,
-            kind: AttrKind::Numeric { min: 200.0, max: 1200.0, step: 10.0, unit: None, alt_units: &[] },
-            synonyms: &["battery life", "shots per charge", "cipa rating", "battery shots"] },
-        AttrSpec { canonical: "mount", prevalence: 0.2,
-            kind: AttrKind::Categorical(&["ef", "rf", "e-mount", "z-mount", "mft", "x-mount"]),
-            synonyms: &["lens mount", "mount", "mount type"] },
-        AttrSpec { canonical: "burst_rate", prevalence: 0.15,
-            kind: AttrKind::Numeric { min: 3.0, max: 30.0, step: 0.5, unit: None, alt_units: &[] },
-            synonyms: &["burst rate", "continuous shooting", "fps shooting", "frames per second"] },
-    ]),
-    cat!("headphone", "HPH", &["Auralis", "Sonovex", "Echolite", "Bassheim", "Klarton"], &[
-        AttrSpec { canonical: "driver_size", prevalence: 0.8,
-            kind: AttrKind::Numeric { min: 6.0, max: 53.0, step: 1.0, unit: Some(Unit::Millimeter), alt_units: &[Unit::Centimeter, Unit::Inch] },
-            synonyms: &["driver size", "driver diameter", "driver", "driver unit"] },
-        AttrSpec { canonical: "impedance", prevalence: 0.75,
-            kind: AttrKind::Numeric { min: 16.0, max: 600.0, step: 2.0, unit: None, alt_units: &[] },
-            synonyms: &["impedance", "nominal impedance", "ohms", "impedance rating"] },
-        AttrSpec { canonical: "frequency_max", prevalence: 0.6,
-            kind: AttrKind::Numeric { min: 18.0, max: 60.0, step: 1.0, unit: Some(Unit::Kilohertz), alt_units: &[Unit::Hertz] },
-            synonyms: &["max frequency", "frequency response max", "upper frequency", "treble limit"] },
-        AttrSpec { canonical: "weight", prevalence: YES_PREVALENT,
-            kind: AttrKind::Numeric { min: 10.0, max: 450.0, step: 5.0, unit: Some(Unit::Gram), alt_units: &[Unit::Ounce] },
-            synonyms: &["weight", "item weight", "wt", "net weight"] },
-        AttrSpec { canonical: "wireless", prevalence: 0.85,
-            kind: AttrKind::Flag,
-            synonyms: &["wireless", "bluetooth", "cordless", "bt"] },
-        AttrSpec { canonical: "noise_cancelling", prevalence: 0.55,
-            kind: AttrKind::Flag,
-            synonyms: &["noise cancelling", "anc", "active noise cancellation", "noise canceling"] },
-        AttrSpec { canonical: "color", prevalence: 0.85,
-            kind: AttrKind::Categorical(COLORS),
-            synonyms: &["color", "colour", "finish"] },
-        AttrSpec { canonical: "battery_hours", prevalence: 0.5,
-            kind: AttrKind::Numeric { min: 4.0, max: 80.0, step: 1.0, unit: None, alt_units: &[] },
-            synonyms: &["battery life", "playtime", "battery hours", "play time"] },
-        AttrSpec { canonical: "form_factor", prevalence: 0.6,
-            kind: AttrKind::Categorical(&["over-ear", "on-ear", "in-ear", "earbud"]),
-            synonyms: &["form factor", "type", "wearing style", "design"] },
-        AttrSpec { canonical: "microphone", prevalence: 0.3,
-            kind: AttrKind::Flag,
-            synonyms: &["microphone", "mic", "built-in mic"] },
-    ]),
-    cat!("monitor", "MON", &["Visionex", "Pixelon", "Claruma", "Displayr", "Vuetech"], &[
-        AttrSpec { canonical: "screen_size", prevalence: 0.98,
-            kind: AttrKind::Numeric { min: 19.0, max: 49.0, step: 0.5, unit: Some(Unit::Inch), alt_units: &[Unit::Centimeter] },
-            synonyms: &["screen size", "display size", "diagonal", "panel size"] },
-        AttrSpec { canonical: "resolution_h", prevalence: 0.9,
-            kind: AttrKind::Numeric { min: 1280.0, max: 7680.0, step: 160.0, unit: None, alt_units: &[] },
-            synonyms: &["horizontal resolution", "resolution width", "native resolution h", "pixels across"] },
-        AttrSpec { canonical: "refresh_rate", prevalence: 0.8,
-            kind: AttrKind::Numeric { min: 60.0, max: 360.0, step: 15.0, unit: Some(Unit::Hertz), alt_units: &[] },
-            synonyms: &["refresh rate", "refresh", "max refresh rate", "vertical frequency"] },
-        AttrSpec { canonical: "panel_type", prevalence: 0.7,
-            kind: AttrKind::Categorical(&["ips", "va", "tn", "oled", "qd-oled"]),
-            synonyms: &["panel type", "panel", "display technology", "screen type"] },
-        AttrSpec { canonical: "response_time", prevalence: 0.6,
-            kind: AttrKind::Numeric { min: 0.5, max: 8.0, step: 0.5, unit: None, alt_units: &[] },
-            synonyms: &["response time", "gtg response", "pixel response", "ms response"] },
-        AttrSpec { canonical: "brightness", prevalence: 0.55,
-            kind: AttrKind::Numeric { min: 200.0, max: 1600.0, step: 50.0, unit: None, alt_units: &[] },
-            synonyms: &["brightness", "luminance", "peak brightness", "nits"] },
-        AttrSpec { canonical: "weight", prevalence: 0.7,
-            kind: AttrKind::Numeric { min: 2.0, max: 15.0, step: 0.1, unit: Some(Unit::Kilogram), alt_units: &[Unit::Pound, Unit::Gram] },
-            synonyms: &["weight", "item weight", "weight with stand", "net weight"] },
-        AttrSpec { canonical: "dimensions", prevalence: 0.6,
-            kind: AttrKind::Dimensions,
-            synonyms: &["dimensions", "product dimensions", "size with stand", "measurements"] },
-        AttrSpec { canonical: "curved", prevalence: 0.4,
-            kind: AttrKind::Flag,
-            synonyms: &["curved", "curved screen", "curvature"] },
-        AttrSpec { canonical: "hdr", prevalence: 0.35,
-            kind: AttrKind::Flag,
-            synonyms: &["hdr", "hdr support", "high dynamic range"] },
-    ]),
-    cat!("notebook", "NBK", &["Cognita", "Portix", "Ultrabyte", "Laptron", "Mobiq"], &[
-        AttrSpec { canonical: "screen_size", prevalence: 0.95,
-            kind: AttrKind::Numeric { min: 11.0, max: 18.0, step: 0.1, unit: Some(Unit::Inch), alt_units: &[Unit::Centimeter] },
-            synonyms: &["screen size", "display size", "display", "diagonal"] },
-        AttrSpec { canonical: "ram", prevalence: 0.9,
-            kind: AttrKind::Numeric { min: 4.0, max: 128.0, step: 4.0, unit: Some(Unit::Gigabyte), alt_units: &[Unit::Megabyte] },
-            synonyms: &["ram", "memory", "system memory", "installed ram"] },
-        AttrSpec { canonical: "storage", prevalence: 0.9,
-            kind: AttrKind::Numeric { min: 128.0, max: 4096.0, step: 128.0, unit: Some(Unit::Gigabyte), alt_units: &[Unit::Terabyte] },
-            synonyms: &["storage", "ssd capacity", "hard drive size", "disk"] },
-        AttrSpec { canonical: "cpu_speed", prevalence: 0.7,
-            kind: AttrKind::Numeric { min: 1.0, max: 5.5, step: 0.1, unit: Some(Unit::Gigahertz), alt_units: &[Unit::Megahertz] },
-            synonyms: &["cpu speed", "processor speed", "clock speed", "base frequency"] },
-        AttrSpec { canonical: "weight", prevalence: 0.85,
-            kind: AttrKind::Numeric { min: 0.8, max: 4.5, step: 0.05, unit: Some(Unit::Kilogram), alt_units: &[Unit::Pound, Unit::Gram] },
-            synonyms: &["weight", "item weight", "travel weight", "wt"] },
-        AttrSpec { canonical: "battery_hours", prevalence: 0.6,
-            kind: AttrKind::Numeric { min: 4.0, max: 24.0, step: 0.5, unit: None, alt_units: &[] },
-            synonyms: &["battery life", "battery hours", "runtime", "battery runtime"] },
-        AttrSpec { canonical: "os", prevalence: 0.65,
-            kind: AttrKind::Categorical(&["windows 11", "windows 10", "linux", "chrome os", "none"]),
-            synonyms: &["operating system", "os", "platform", "preinstalled os"] },
-        AttrSpec { canonical: "touchscreen", prevalence: 0.4,
-            kind: AttrKind::Flag,
-            synonyms: &["touchscreen", "touch screen", "touch display"] },
-        AttrSpec { canonical: "color", prevalence: 0.6,
-            kind: AttrKind::Categorical(COLORS),
-            synonyms: &["color", "colour", "chassis color"] },
-        AttrSpec { canonical: "dimensions", prevalence: 0.5,
-            kind: AttrKind::Dimensions,
-            synonyms: &["dimensions", "product dimensions", "size", "w x d x h"] },
-        AttrSpec { canonical: "backlit_keyboard", prevalence: 0.2,
-            kind: AttrKind::Flag,
-            synonyms: &["backlit keyboard", "keyboard backlight", "illuminated keyboard"] },
-    ]),
-    cat!("television", "TVS", &["Telora", "Vistascreen", "Lumivox", "Panoview", "Cinemax"], &[
-        AttrSpec { canonical: "screen_size", prevalence: 0.98,
-            kind: AttrKind::Numeric { min: 32.0, max: 98.0, step: 1.0, unit: Some(Unit::Inch), alt_units: &[Unit::Centimeter] },
-            synonyms: &["screen size", "display size", "diagonal", "class size"] },
-        AttrSpec { canonical: "resolution", prevalence: 0.9,
-            kind: AttrKind::Categorical(&["720p", "1080p", "4k", "8k"]),
-            synonyms: &["resolution", "display resolution", "native resolution", "picture resolution"] },
-        AttrSpec { canonical: "panel_type", prevalence: 0.6,
-            kind: AttrKind::Categorical(&["led", "qled", "oled", "mini-led"]),
-            synonyms: &["panel type", "display type", "screen technology", "backlight type"] },
-        AttrSpec { canonical: "refresh_rate", prevalence: 0.7,
-            kind: AttrKind::Numeric { min: 60.0, max: 144.0, step: 60.0, unit: Some(Unit::Hertz), alt_units: &[] },
-            synonyms: &["refresh rate", "motion rate", "refresh", "hz"] },
-        AttrSpec { canonical: "smart_tv", prevalence: 0.75,
-            kind: AttrKind::Flag,
-            synonyms: &["smart tv", "smart features", "smart platform", "internet tv"] },
-        AttrSpec { canonical: "hdmi_ports", prevalence: 0.5,
-            kind: AttrKind::Numeric { min: 1.0, max: 6.0, step: 1.0, unit: None, alt_units: &[] },
-            synonyms: &["hdmi ports", "hdmi inputs", "hdmi", "number of hdmi"] },
-        AttrSpec { canonical: "weight", prevalence: 0.65,
-            kind: AttrKind::Numeric { min: 4.0, max: 60.0, step: 0.5, unit: Some(Unit::Kilogram), alt_units: &[Unit::Pound] },
-            synonyms: &["weight", "item weight", "weight without stand", "net weight"] },
-        AttrSpec { canonical: "dimensions", prevalence: 0.55,
-            kind: AttrKind::Dimensions,
-            synonyms: &["dimensions", "product dimensions", "size without stand", "measurements"] },
-        AttrSpec { canonical: "hdr", prevalence: 0.45,
-            kind: AttrKind::Flag,
-            synonyms: &["hdr", "hdr compatible", "high dynamic range", "hdr10"] },
-        AttrSpec { canonical: "power", prevalence: 0.25,
-            kind: AttrKind::Numeric { min: 40.0, max: 600.0, step: 10.0, unit: Some(Unit::Watt), alt_units: &[] },
-            synonyms: &["power consumption", "power", "wattage", "energy use"] },
-    ]),
-    cat!("shoes", "SHO", &["Stridex", "Walkara", "Pacefit", "Tervano", "Soleus"], &[
-        AttrSpec { canonical: "size_eu", prevalence: 0.9,
-            kind: AttrKind::Numeric { min: 35.0, max: 49.0, step: 0.5, unit: None, alt_units: &[] },
-            synonyms: &["size", "eu size", "shoe size", "size eu"] },
-        AttrSpec { canonical: "color", prevalence: 0.95,
-            kind: AttrKind::Categorical(COLORS),
-            synonyms: &["color", "colour", "main color", "upper color"] },
-        AttrSpec { canonical: "material", prevalence: 0.7,
-            kind: AttrKind::Categorical(&["leather", "synthetic", "mesh", "canvas", "suede"]),
-            synonyms: &["material", "upper material", "fabric", "outer material"] },
-        AttrSpec { canonical: "weight", prevalence: 0.4,
-            kind: AttrKind::Numeric { min: 150.0, max: 600.0, step: 10.0, unit: Some(Unit::Gram), alt_units: &[Unit::Ounce] },
-            synonyms: &["weight", "item weight", "weight per shoe", "wt"] },
-        AttrSpec { canonical: "gender", prevalence: 0.8,
-            kind: AttrKind::Categorical(&["men", "women", "unisex", "kids"]),
-            synonyms: &["gender", "department", "target group", "for"] },
-        AttrSpec { canonical: "waterproof", prevalence: 0.35,
-            kind: AttrKind::Flag,
-            synonyms: &["waterproof", "water resistant", "weatherproof"] },
-        AttrSpec { canonical: "sole_material", prevalence: 0.3,
-            kind: AttrKind::Categorical(&["rubber", "eva", "pu", "tpu"]),
-            synonyms: &["sole material", "sole", "outsole", "outsole material"] },
-        AttrSpec { canonical: "heel_height", prevalence: 0.2,
-            kind: AttrKind::Numeric { min: 0.5, max: 12.0, step: 0.5, unit: Some(Unit::Centimeter), alt_units: &[Unit::Inch, Unit::Millimeter] },
-            synonyms: &["heel height", "heel", "drop", "heel measurement"] },
-    ]),
-    cat!("software", "SFT", &["Codexia", "Appforge", "Logicore", "Softwell", "Bitnest"], &[
-        AttrSpec { canonical: "license_type", prevalence: 0.85,
-            kind: AttrKind::Categorical(&["perpetual", "subscription", "trial", "open source"]),
-            synonyms: &["license type", "license", "licensing", "license model"] },
-        AttrSpec { canonical: "platform", prevalence: 0.9,
-            kind: AttrKind::Categorical(&["windows", "mac", "linux", "cross-platform", "web"]),
-            synonyms: &["platform", "operating system", "os", "compatible with"] },
-        AttrSpec { canonical: "users", prevalence: 0.6,
-            kind: AttrKind::Numeric { min: 1.0, max: 100.0, step: 1.0, unit: None, alt_units: &[] },
-            synonyms: &["users", "number of users", "seats", "devices"] },
-        AttrSpec { canonical: "subscription_months", prevalence: 0.5,
-            kind: AttrKind::Numeric { min: 1.0, max: 36.0, step: 1.0, unit: None, alt_units: &[] },
-            synonyms: &["subscription length", "duration", "term", "months"] },
-        AttrSpec { canonical: "download_size", prevalence: 0.3,
-            kind: AttrKind::Numeric { min: 50.0, max: 8000.0, step: 50.0, unit: Some(Unit::Megabyte), alt_units: &[Unit::Gigabyte] },
-            synonyms: &["download size", "install size", "file size", "disk space"] },
-        AttrSpec { canonical: "media", prevalence: 0.4,
-            kind: AttrKind::Categorical(&["download", "dvd", "usb", "license key only"]),
-            synonyms: &["media", "delivery", "format", "distribution"] },
-        AttrSpec { canonical: "language_count", prevalence: 0.2,
-            kind: AttrKind::Numeric { min: 1.0, max: 40.0, step: 1.0, unit: None, alt_units: &[] },
-            synonyms: &["languages", "language count", "supported languages"] },
-    ]),
-    cat!("cutlery", "CUT", &["Ferrova", "Klingenberg", "Steelique", "Cucina", "Tranchet"], &[
-        AttrSpec { canonical: "pieces", prevalence: 0.9,
-            kind: AttrKind::Numeric { min: 4.0, max: 72.0, step: 2.0, unit: None, alt_units: &[] },
-            synonyms: &["pieces", "piece count", "set size", "number of pieces"] },
-        AttrSpec { canonical: "material", prevalence: 0.85,
-            kind: AttrKind::Categorical(&["stainless steel", "silver plated", "titanium", "carbon steel"]),
-            synonyms: &["material", "blade material", "metal", "construction"] },
-        AttrSpec { canonical: "dishwasher_safe", prevalence: 0.7,
-            kind: AttrKind::Flag,
-            synonyms: &["dishwasher safe", "dishwasher", "machine washable"] },
-        AttrSpec { canonical: "weight", prevalence: 0.5,
-            kind: AttrKind::Numeric { min: 200.0, max: 5000.0, step: 50.0, unit: Some(Unit::Gram), alt_units: &[Unit::Kilogram, Unit::Pound] },
-            synonyms: &["weight", "item weight", "set weight", "total weight"] },
-        AttrSpec { canonical: "finish", prevalence: 0.45,
-            kind: AttrKind::Categorical(&["mirror", "matte", "brushed", "hammered"]),
-            synonyms: &["finish", "surface finish", "polish", "look"] },
-        AttrSpec { canonical: "length", prevalence: 0.3,
-            kind: AttrKind::Numeric { min: 10.0, max: 35.0, step: 0.5, unit: Some(Unit::Centimeter), alt_units: &[Unit::Inch, Unit::Millimeter] },
-            synonyms: &["length", "knife length", "blade length", "total length"] },
-    ]),
-    cat!("sunglasses", "SUN", &["Solvista", "Rayguard", "Lumishade", "Opticlair", "Veiluna"], &[
-        AttrSpec { canonical: "lens_color", prevalence: 0.85,
-            kind: AttrKind::Categorical(&["gray", "brown", "green", "blue", "mirror", "photochromic"]),
-            synonyms: &["lens color", "lens colour", "lens tint", "tint"] },
-        AttrSpec { canonical: "frame_material", prevalence: 0.7,
-            kind: AttrKind::Categorical(&["acetate", "metal", "titanium", "tr90", "wood"]),
-            synonyms: &["frame material", "frame", "material", "frame construction"] },
-        AttrSpec { canonical: "uv_protection", prevalence: 0.8,
-            kind: AttrKind::Categorical(&["uv400", "uv380", "polarized uv400"]),
-            synonyms: &["uv protection", "uv rating", "protection", "uv"] },
-        AttrSpec { canonical: "polarized", prevalence: 0.75,
-            kind: AttrKind::Flag,
-            synonyms: &["polarized", "polarised", "polarized lenses"] },
-        AttrSpec { canonical: "lens_width", prevalence: 0.5,
-            kind: AttrKind::Numeric { min: 45.0, max: 70.0, step: 1.0, unit: Some(Unit::Millimeter), alt_units: &[Unit::Centimeter] },
-            synonyms: &["lens width", "lens size", "eye size", "lens diameter"] },
-        AttrSpec { canonical: "weight", prevalence: 0.3,
-            kind: AttrKind::Numeric { min: 15.0, max: 60.0, step: 1.0, unit: Some(Unit::Gram), alt_units: &[Unit::Ounce] },
-            synonyms: &["weight", "item weight", "frame weight"] },
-        AttrSpec { canonical: "gender", prevalence: 0.6,
-            kind: AttrKind::Categorical(&["men", "women", "unisex"]),
-            synonyms: &["gender", "department", "designed for"] },
-    ]),
-    cat!("toilet_accessories", "TLT", &["Sanova", "Bathex", "Hygiea", "Purelle", "Aquadom"], &[
-        AttrSpec { canonical: "material", prevalence: 0.8,
-            kind: AttrKind::Categorical(&["ceramic", "stainless steel", "plastic", "bamboo", "glass"]),
-            synonyms: &["material", "made of", "construction", "body material"] },
-        AttrSpec { canonical: "color", prevalence: 0.85,
-            kind: AttrKind::Categorical(COLORS),
-            synonyms: &["color", "colour", "finish color"] },
-        AttrSpec { canonical: "mounting", prevalence: 0.6,
-            kind: AttrKind::Categorical(&["wall mounted", "freestanding", "adhesive", "suction"]),
-            synonyms: &["mounting", "mount type", "installation", "fixing"] },
-        AttrSpec { canonical: "weight", prevalence: 0.4,
-            kind: AttrKind::Numeric { min: 50.0, max: 3000.0, step: 50.0, unit: Some(Unit::Gram), alt_units: &[Unit::Kilogram] },
-            synonyms: &["weight", "item weight", "net weight"] },
-        AttrSpec { canonical: "dimensions", prevalence: 0.5,
-            kind: AttrKind::Dimensions,
-            synonyms: &["dimensions", "size", "product dimensions", "measurements"] },
-        AttrSpec { canonical: "rustproof", prevalence: 0.25,
-            kind: AttrKind::Flag,
-            synonyms: &["rustproof", "rust resistant", "anti-rust", "corrosion resistant"] },
-    ]),
+    cat!(
+        "camera",
+        "CAM",
+        &["Lumetra", "Fotonix", "Opteka", "Zenmira", "Clarivo"],
+        &[
+            AttrSpec {
+                canonical: "resolution",
+                prevalence: 0.95,
+                kind: AttrKind::Numeric {
+                    min: 8.0,
+                    max: 60.0,
+                    step: 0.1,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "resolution",
+                    "megapixels",
+                    "mp",
+                    "effective pixels",
+                    "sensor resolution"
+                ]
+            },
+            AttrSpec {
+                canonical: "sensor_size",
+                prevalence: 0.6,
+                kind: AttrKind::Categorical(&[
+                    "full frame",
+                    "aps-c",
+                    "micro four thirds",
+                    "1 inch",
+                    "1/2.3 inch"
+                ]),
+                synonyms: &["sensor size", "sensor", "sensor format", "imager size"]
+            },
+            AttrSpec {
+                canonical: "iso_max",
+                prevalence: 0.55,
+                kind: AttrKind::Numeric {
+                    min: 1600.0,
+                    max: 204800.0,
+                    step: 1600.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "max iso",
+                    "iso maximum",
+                    "iso range max",
+                    "maximum light sensitivity"
+                ]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.85,
+                kind: AttrKind::Numeric {
+                    min: 200.0,
+                    max: 1500.0,
+                    step: 5.0,
+                    unit: Some(Unit::Gram),
+                    alt_units: &[Unit::Kilogram, Unit::Ounce, Unit::Pound]
+                },
+                synonyms: &[
+                    "weight",
+                    "item weight",
+                    "wt",
+                    "product weight",
+                    "body weight"
+                ]
+            },
+            AttrSpec {
+                canonical: "dimensions",
+                prevalence: 0.7,
+                kind: AttrKind::Dimensions,
+                synonyms: &[
+                    "dimensions",
+                    "size",
+                    "product dimensions",
+                    "body dimensions",
+                    "measurements"
+                ]
+            },
+            AttrSpec {
+                canonical: "color",
+                prevalence: 0.8,
+                kind: AttrKind::Categorical(COLORS),
+                synonyms: &["color", "colour", "body color", "finish"]
+            },
+            AttrSpec {
+                canonical: "wifi",
+                prevalence: 0.5,
+                kind: AttrKind::Flag,
+                synonyms: &["wifi", "wi-fi", "wireless", "built-in wifi"]
+            },
+            AttrSpec {
+                canonical: "screen_size",
+                prevalence: 0.65,
+                kind: AttrKind::Numeric {
+                    min: 2.0,
+                    max: 3.5,
+                    step: 0.1,
+                    unit: Some(Unit::Inch),
+                    alt_units: &[Unit::Centimeter]
+                },
+                synonyms: &["screen size", "lcd size", "display size", "monitor size"]
+            },
+            AttrSpec {
+                canonical: "video_resolution",
+                prevalence: 0.45,
+                kind: AttrKind::Categorical(&["720p", "1080p", "4k", "8k"]),
+                synonyms: &["video resolution", "movie resolution", "video", "max video"]
+            },
+            AttrSpec {
+                canonical: "battery_shots",
+                prevalence: 0.25,
+                kind: AttrKind::Numeric {
+                    min: 200.0,
+                    max: 1200.0,
+                    step: 10.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "battery life",
+                    "shots per charge",
+                    "cipa rating",
+                    "battery shots"
+                ]
+            },
+            AttrSpec {
+                canonical: "mount",
+                prevalence: 0.2,
+                kind: AttrKind::Categorical(&["ef", "rf", "e-mount", "z-mount", "mft", "x-mount"]),
+                synonyms: &["lens mount", "mount", "mount type"]
+            },
+            AttrSpec {
+                canonical: "burst_rate",
+                prevalence: 0.15,
+                kind: AttrKind::Numeric {
+                    min: 3.0,
+                    max: 30.0,
+                    step: 0.5,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "burst rate",
+                    "continuous shooting",
+                    "fps shooting",
+                    "frames per second"
+                ]
+            },
+        ]
+    ),
+    cat!(
+        "headphone",
+        "HPH",
+        &["Auralis", "Sonovex", "Echolite", "Bassheim", "Klarton"],
+        &[
+            AttrSpec {
+                canonical: "driver_size",
+                prevalence: 0.8,
+                kind: AttrKind::Numeric {
+                    min: 6.0,
+                    max: 53.0,
+                    step: 1.0,
+                    unit: Some(Unit::Millimeter),
+                    alt_units: &[Unit::Centimeter, Unit::Inch]
+                },
+                synonyms: &["driver size", "driver diameter", "driver", "driver unit"]
+            },
+            AttrSpec {
+                canonical: "impedance",
+                prevalence: 0.75,
+                kind: AttrKind::Numeric {
+                    min: 16.0,
+                    max: 600.0,
+                    step: 2.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["impedance", "nominal impedance", "ohms", "impedance rating"]
+            },
+            AttrSpec {
+                canonical: "frequency_max",
+                prevalence: 0.6,
+                kind: AttrKind::Numeric {
+                    min: 18.0,
+                    max: 60.0,
+                    step: 1.0,
+                    unit: Some(Unit::Kilohertz),
+                    alt_units: &[Unit::Hertz]
+                },
+                synonyms: &[
+                    "max frequency",
+                    "frequency response max",
+                    "upper frequency",
+                    "treble limit"
+                ]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: YES_PREVALENT,
+                kind: AttrKind::Numeric {
+                    min: 10.0,
+                    max: 450.0,
+                    step: 5.0,
+                    unit: Some(Unit::Gram),
+                    alt_units: &[Unit::Ounce]
+                },
+                synonyms: &["weight", "item weight", "wt", "net weight"]
+            },
+            AttrSpec {
+                canonical: "wireless",
+                prevalence: 0.85,
+                kind: AttrKind::Flag,
+                synonyms: &["wireless", "bluetooth", "cordless", "bt"]
+            },
+            AttrSpec {
+                canonical: "noise_cancelling",
+                prevalence: 0.55,
+                kind: AttrKind::Flag,
+                synonyms: &[
+                    "noise cancelling",
+                    "anc",
+                    "active noise cancellation",
+                    "noise canceling"
+                ]
+            },
+            AttrSpec {
+                canonical: "color",
+                prevalence: 0.85,
+                kind: AttrKind::Categorical(COLORS),
+                synonyms: &["color", "colour", "finish"]
+            },
+            AttrSpec {
+                canonical: "battery_hours",
+                prevalence: 0.5,
+                kind: AttrKind::Numeric {
+                    min: 4.0,
+                    max: 80.0,
+                    step: 1.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["battery life", "playtime", "battery hours", "play time"]
+            },
+            AttrSpec {
+                canonical: "form_factor",
+                prevalence: 0.6,
+                kind: AttrKind::Categorical(&["over-ear", "on-ear", "in-ear", "earbud"]),
+                synonyms: &["form factor", "type", "wearing style", "design"]
+            },
+            AttrSpec {
+                canonical: "microphone",
+                prevalence: 0.3,
+                kind: AttrKind::Flag,
+                synonyms: &["microphone", "mic", "built-in mic"]
+            },
+        ]
+    ),
+    cat!(
+        "monitor",
+        "MON",
+        &["Visionex", "Pixelon", "Claruma", "Displayr", "Vuetech"],
+        &[
+            AttrSpec {
+                canonical: "screen_size",
+                prevalence: 0.98,
+                kind: AttrKind::Numeric {
+                    min: 19.0,
+                    max: 49.0,
+                    step: 0.5,
+                    unit: Some(Unit::Inch),
+                    alt_units: &[Unit::Centimeter]
+                },
+                synonyms: &["screen size", "display size", "diagonal", "panel size"]
+            },
+            AttrSpec {
+                canonical: "resolution_h",
+                prevalence: 0.9,
+                kind: AttrKind::Numeric {
+                    min: 1280.0,
+                    max: 7680.0,
+                    step: 160.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "horizontal resolution",
+                    "resolution width",
+                    "native resolution h",
+                    "pixels across"
+                ]
+            },
+            AttrSpec {
+                canonical: "refresh_rate",
+                prevalence: 0.8,
+                kind: AttrKind::Numeric {
+                    min: 60.0,
+                    max: 360.0,
+                    step: 15.0,
+                    unit: Some(Unit::Hertz),
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "refresh rate",
+                    "refresh",
+                    "max refresh rate",
+                    "vertical frequency"
+                ]
+            },
+            AttrSpec {
+                canonical: "panel_type",
+                prevalence: 0.7,
+                kind: AttrKind::Categorical(&["ips", "va", "tn", "oled", "qd-oled"]),
+                synonyms: &["panel type", "panel", "display technology", "screen type"]
+            },
+            AttrSpec {
+                canonical: "response_time",
+                prevalence: 0.6,
+                kind: AttrKind::Numeric {
+                    min: 0.5,
+                    max: 8.0,
+                    step: 0.5,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "response time",
+                    "gtg response",
+                    "pixel response",
+                    "ms response"
+                ]
+            },
+            AttrSpec {
+                canonical: "brightness",
+                prevalence: 0.55,
+                kind: AttrKind::Numeric {
+                    min: 200.0,
+                    max: 1600.0,
+                    step: 50.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["brightness", "luminance", "peak brightness", "nits"]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.7,
+                kind: AttrKind::Numeric {
+                    min: 2.0,
+                    max: 15.0,
+                    step: 0.1,
+                    unit: Some(Unit::Kilogram),
+                    alt_units: &[Unit::Pound, Unit::Gram]
+                },
+                synonyms: &["weight", "item weight", "weight with stand", "net weight"]
+            },
+            AttrSpec {
+                canonical: "dimensions",
+                prevalence: 0.6,
+                kind: AttrKind::Dimensions,
+                synonyms: &[
+                    "dimensions",
+                    "product dimensions",
+                    "size with stand",
+                    "measurements"
+                ]
+            },
+            AttrSpec {
+                canonical: "curved",
+                prevalence: 0.4,
+                kind: AttrKind::Flag,
+                synonyms: &["curved", "curved screen", "curvature"]
+            },
+            AttrSpec {
+                canonical: "hdr",
+                prevalence: 0.35,
+                kind: AttrKind::Flag,
+                synonyms: &["hdr", "hdr support", "high dynamic range"]
+            },
+        ]
+    ),
+    cat!(
+        "notebook",
+        "NBK",
+        &["Cognita", "Portix", "Ultrabyte", "Laptron", "Mobiq"],
+        &[
+            AttrSpec {
+                canonical: "screen_size",
+                prevalence: 0.95,
+                kind: AttrKind::Numeric {
+                    min: 11.0,
+                    max: 18.0,
+                    step: 0.1,
+                    unit: Some(Unit::Inch),
+                    alt_units: &[Unit::Centimeter]
+                },
+                synonyms: &["screen size", "display size", "display", "diagonal"]
+            },
+            AttrSpec {
+                canonical: "ram",
+                prevalence: 0.9,
+                kind: AttrKind::Numeric {
+                    min: 4.0,
+                    max: 128.0,
+                    step: 4.0,
+                    unit: Some(Unit::Gigabyte),
+                    alt_units: &[Unit::Megabyte]
+                },
+                synonyms: &["ram", "memory", "system memory", "installed ram"]
+            },
+            AttrSpec {
+                canonical: "storage",
+                prevalence: 0.9,
+                kind: AttrKind::Numeric {
+                    min: 128.0,
+                    max: 4096.0,
+                    step: 128.0,
+                    unit: Some(Unit::Gigabyte),
+                    alt_units: &[Unit::Terabyte]
+                },
+                synonyms: &["storage", "ssd capacity", "hard drive size", "disk"]
+            },
+            AttrSpec {
+                canonical: "cpu_speed",
+                prevalence: 0.7,
+                kind: AttrKind::Numeric {
+                    min: 1.0,
+                    max: 5.5,
+                    step: 0.1,
+                    unit: Some(Unit::Gigahertz),
+                    alt_units: &[Unit::Megahertz]
+                },
+                synonyms: &[
+                    "cpu speed",
+                    "processor speed",
+                    "clock speed",
+                    "base frequency"
+                ]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.85,
+                kind: AttrKind::Numeric {
+                    min: 0.8,
+                    max: 4.5,
+                    step: 0.05,
+                    unit: Some(Unit::Kilogram),
+                    alt_units: &[Unit::Pound, Unit::Gram]
+                },
+                synonyms: &["weight", "item weight", "travel weight", "wt"]
+            },
+            AttrSpec {
+                canonical: "battery_hours",
+                prevalence: 0.6,
+                kind: AttrKind::Numeric {
+                    min: 4.0,
+                    max: 24.0,
+                    step: 0.5,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &[
+                    "battery life",
+                    "battery hours",
+                    "runtime",
+                    "battery runtime"
+                ]
+            },
+            AttrSpec {
+                canonical: "os",
+                prevalence: 0.65,
+                kind: AttrKind::Categorical(&[
+                    "windows 11",
+                    "windows 10",
+                    "linux",
+                    "chrome os",
+                    "none"
+                ]),
+                synonyms: &["operating system", "os", "platform", "preinstalled os"]
+            },
+            AttrSpec {
+                canonical: "touchscreen",
+                prevalence: 0.4,
+                kind: AttrKind::Flag,
+                synonyms: &["touchscreen", "touch screen", "touch display"]
+            },
+            AttrSpec {
+                canonical: "color",
+                prevalence: 0.6,
+                kind: AttrKind::Categorical(COLORS),
+                synonyms: &["color", "colour", "chassis color"]
+            },
+            AttrSpec {
+                canonical: "dimensions",
+                prevalence: 0.5,
+                kind: AttrKind::Dimensions,
+                synonyms: &["dimensions", "product dimensions", "size", "w x d x h"]
+            },
+            AttrSpec {
+                canonical: "backlit_keyboard",
+                prevalence: 0.2,
+                kind: AttrKind::Flag,
+                synonyms: &[
+                    "backlit keyboard",
+                    "keyboard backlight",
+                    "illuminated keyboard"
+                ]
+            },
+        ]
+    ),
+    cat!(
+        "television",
+        "TVS",
+        &["Telora", "Vistascreen", "Lumivox", "Panoview", "Cinemax"],
+        &[
+            AttrSpec {
+                canonical: "screen_size",
+                prevalence: 0.98,
+                kind: AttrKind::Numeric {
+                    min: 32.0,
+                    max: 98.0,
+                    step: 1.0,
+                    unit: Some(Unit::Inch),
+                    alt_units: &[Unit::Centimeter]
+                },
+                synonyms: &["screen size", "display size", "diagonal", "class size"]
+            },
+            AttrSpec {
+                canonical: "resolution",
+                prevalence: 0.9,
+                kind: AttrKind::Categorical(&["720p", "1080p", "4k", "8k"]),
+                synonyms: &[
+                    "resolution",
+                    "display resolution",
+                    "native resolution",
+                    "picture resolution"
+                ]
+            },
+            AttrSpec {
+                canonical: "panel_type",
+                prevalence: 0.6,
+                kind: AttrKind::Categorical(&["led", "qled", "oled", "mini-led"]),
+                synonyms: &[
+                    "panel type",
+                    "display type",
+                    "screen technology",
+                    "backlight type"
+                ]
+            },
+            AttrSpec {
+                canonical: "refresh_rate",
+                prevalence: 0.7,
+                kind: AttrKind::Numeric {
+                    min: 60.0,
+                    max: 144.0,
+                    step: 60.0,
+                    unit: Some(Unit::Hertz),
+                    alt_units: &[]
+                },
+                synonyms: &["refresh rate", "motion rate", "refresh", "hz"]
+            },
+            AttrSpec {
+                canonical: "smart_tv",
+                prevalence: 0.75,
+                kind: AttrKind::Flag,
+                synonyms: &[
+                    "smart tv",
+                    "smart features",
+                    "smart platform",
+                    "internet tv"
+                ]
+            },
+            AttrSpec {
+                canonical: "hdmi_ports",
+                prevalence: 0.5,
+                kind: AttrKind::Numeric {
+                    min: 1.0,
+                    max: 6.0,
+                    step: 1.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["hdmi ports", "hdmi inputs", "hdmi", "number of hdmi"]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.65,
+                kind: AttrKind::Numeric {
+                    min: 4.0,
+                    max: 60.0,
+                    step: 0.5,
+                    unit: Some(Unit::Kilogram),
+                    alt_units: &[Unit::Pound]
+                },
+                synonyms: &[
+                    "weight",
+                    "item weight",
+                    "weight without stand",
+                    "net weight"
+                ]
+            },
+            AttrSpec {
+                canonical: "dimensions",
+                prevalence: 0.55,
+                kind: AttrKind::Dimensions,
+                synonyms: &[
+                    "dimensions",
+                    "product dimensions",
+                    "size without stand",
+                    "measurements"
+                ]
+            },
+            AttrSpec {
+                canonical: "hdr",
+                prevalence: 0.45,
+                kind: AttrKind::Flag,
+                synonyms: &["hdr", "hdr compatible", "high dynamic range", "hdr10"]
+            },
+            AttrSpec {
+                canonical: "power",
+                prevalence: 0.25,
+                kind: AttrKind::Numeric {
+                    min: 40.0,
+                    max: 600.0,
+                    step: 10.0,
+                    unit: Some(Unit::Watt),
+                    alt_units: &[]
+                },
+                synonyms: &["power consumption", "power", "wattage", "energy use"]
+            },
+        ]
+    ),
+    cat!(
+        "shoes",
+        "SHO",
+        &["Stridex", "Walkara", "Pacefit", "Tervano", "Soleus"],
+        &[
+            AttrSpec {
+                canonical: "size_eu",
+                prevalence: 0.9,
+                kind: AttrKind::Numeric {
+                    min: 35.0,
+                    max: 49.0,
+                    step: 0.5,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["size", "eu size", "shoe size", "size eu"]
+            },
+            AttrSpec {
+                canonical: "color",
+                prevalence: 0.95,
+                kind: AttrKind::Categorical(COLORS),
+                synonyms: &["color", "colour", "main color", "upper color"]
+            },
+            AttrSpec {
+                canonical: "material",
+                prevalence: 0.7,
+                kind: AttrKind::Categorical(&["leather", "synthetic", "mesh", "canvas", "suede"]),
+                synonyms: &["material", "upper material", "fabric", "outer material"]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.4,
+                kind: AttrKind::Numeric {
+                    min: 150.0,
+                    max: 600.0,
+                    step: 10.0,
+                    unit: Some(Unit::Gram),
+                    alt_units: &[Unit::Ounce]
+                },
+                synonyms: &["weight", "item weight", "weight per shoe", "wt"]
+            },
+            AttrSpec {
+                canonical: "gender",
+                prevalence: 0.8,
+                kind: AttrKind::Categorical(&["men", "women", "unisex", "kids"]),
+                synonyms: &["gender", "department", "target group", "for"]
+            },
+            AttrSpec {
+                canonical: "waterproof",
+                prevalence: 0.35,
+                kind: AttrKind::Flag,
+                synonyms: &["waterproof", "water resistant", "weatherproof"]
+            },
+            AttrSpec {
+                canonical: "sole_material",
+                prevalence: 0.3,
+                kind: AttrKind::Categorical(&["rubber", "eva", "pu", "tpu"]),
+                synonyms: &["sole material", "sole", "outsole", "outsole material"]
+            },
+            AttrSpec {
+                canonical: "heel_height",
+                prevalence: 0.2,
+                kind: AttrKind::Numeric {
+                    min: 0.5,
+                    max: 12.0,
+                    step: 0.5,
+                    unit: Some(Unit::Centimeter),
+                    alt_units: &[Unit::Inch, Unit::Millimeter]
+                },
+                synonyms: &["heel height", "heel", "drop", "heel measurement"]
+            },
+        ]
+    ),
+    cat!(
+        "software",
+        "SFT",
+        &["Codexia", "Appforge", "Logicore", "Softwell", "Bitnest"],
+        &[
+            AttrSpec {
+                canonical: "license_type",
+                prevalence: 0.85,
+                kind: AttrKind::Categorical(&["perpetual", "subscription", "trial", "open source"]),
+                synonyms: &["license type", "license", "licensing", "license model"]
+            },
+            AttrSpec {
+                canonical: "platform",
+                prevalence: 0.9,
+                kind: AttrKind::Categorical(&["windows", "mac", "linux", "cross-platform", "web"]),
+                synonyms: &["platform", "operating system", "os", "compatible with"]
+            },
+            AttrSpec {
+                canonical: "users",
+                prevalence: 0.6,
+                kind: AttrKind::Numeric {
+                    min: 1.0,
+                    max: 100.0,
+                    step: 1.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["users", "number of users", "seats", "devices"]
+            },
+            AttrSpec {
+                canonical: "subscription_months",
+                prevalence: 0.5,
+                kind: AttrKind::Numeric {
+                    min: 1.0,
+                    max: 36.0,
+                    step: 1.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["subscription length", "duration", "term", "months"]
+            },
+            AttrSpec {
+                canonical: "download_size",
+                prevalence: 0.3,
+                kind: AttrKind::Numeric {
+                    min: 50.0,
+                    max: 8000.0,
+                    step: 50.0,
+                    unit: Some(Unit::Megabyte),
+                    alt_units: &[Unit::Gigabyte]
+                },
+                synonyms: &["download size", "install size", "file size", "disk space"]
+            },
+            AttrSpec {
+                canonical: "media",
+                prevalence: 0.4,
+                kind: AttrKind::Categorical(&["download", "dvd", "usb", "license key only"]),
+                synonyms: &["media", "delivery", "format", "distribution"]
+            },
+            AttrSpec {
+                canonical: "language_count",
+                prevalence: 0.2,
+                kind: AttrKind::Numeric {
+                    min: 1.0,
+                    max: 40.0,
+                    step: 1.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["languages", "language count", "supported languages"]
+            },
+        ]
+    ),
+    cat!(
+        "cutlery",
+        "CUT",
+        &["Ferrova", "Klingenberg", "Steelique", "Cucina", "Tranchet"],
+        &[
+            AttrSpec {
+                canonical: "pieces",
+                prevalence: 0.9,
+                kind: AttrKind::Numeric {
+                    min: 4.0,
+                    max: 72.0,
+                    step: 2.0,
+                    unit: None,
+                    alt_units: &[]
+                },
+                synonyms: &["pieces", "piece count", "set size", "number of pieces"]
+            },
+            AttrSpec {
+                canonical: "material",
+                prevalence: 0.85,
+                kind: AttrKind::Categorical(&[
+                    "stainless steel",
+                    "silver plated",
+                    "titanium",
+                    "carbon steel"
+                ]),
+                synonyms: &["material", "blade material", "metal", "construction"]
+            },
+            AttrSpec {
+                canonical: "dishwasher_safe",
+                prevalence: 0.7,
+                kind: AttrKind::Flag,
+                synonyms: &["dishwasher safe", "dishwasher", "machine washable"]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.5,
+                kind: AttrKind::Numeric {
+                    min: 200.0,
+                    max: 5000.0,
+                    step: 50.0,
+                    unit: Some(Unit::Gram),
+                    alt_units: &[Unit::Kilogram, Unit::Pound]
+                },
+                synonyms: &["weight", "item weight", "set weight", "total weight"]
+            },
+            AttrSpec {
+                canonical: "finish",
+                prevalence: 0.45,
+                kind: AttrKind::Categorical(&["mirror", "matte", "brushed", "hammered"]),
+                synonyms: &["finish", "surface finish", "polish", "look"]
+            },
+            AttrSpec {
+                canonical: "length",
+                prevalence: 0.3,
+                kind: AttrKind::Numeric {
+                    min: 10.0,
+                    max: 35.0,
+                    step: 0.5,
+                    unit: Some(Unit::Centimeter),
+                    alt_units: &[Unit::Inch, Unit::Millimeter]
+                },
+                synonyms: &["length", "knife length", "blade length", "total length"]
+            },
+        ]
+    ),
+    cat!(
+        "sunglasses",
+        "SUN",
+        &["Solvista", "Rayguard", "Lumishade", "Opticlair", "Veiluna"],
+        &[
+            AttrSpec {
+                canonical: "lens_color",
+                prevalence: 0.85,
+                kind: AttrKind::Categorical(&[
+                    "gray",
+                    "brown",
+                    "green",
+                    "blue",
+                    "mirror",
+                    "photochromic"
+                ]),
+                synonyms: &["lens color", "lens colour", "lens tint", "tint"]
+            },
+            AttrSpec {
+                canonical: "frame_material",
+                prevalence: 0.7,
+                kind: AttrKind::Categorical(&["acetate", "metal", "titanium", "tr90", "wood"]),
+                synonyms: &["frame material", "frame", "material", "frame construction"]
+            },
+            AttrSpec {
+                canonical: "uv_protection",
+                prevalence: 0.8,
+                kind: AttrKind::Categorical(&["uv400", "uv380", "polarized uv400"]),
+                synonyms: &["uv protection", "uv rating", "protection", "uv"]
+            },
+            AttrSpec {
+                canonical: "polarized",
+                prevalence: 0.75,
+                kind: AttrKind::Flag,
+                synonyms: &["polarized", "polarised", "polarized lenses"]
+            },
+            AttrSpec {
+                canonical: "lens_width",
+                prevalence: 0.5,
+                kind: AttrKind::Numeric {
+                    min: 45.0,
+                    max: 70.0,
+                    step: 1.0,
+                    unit: Some(Unit::Millimeter),
+                    alt_units: &[Unit::Centimeter]
+                },
+                synonyms: &["lens width", "lens size", "eye size", "lens diameter"]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.3,
+                kind: AttrKind::Numeric {
+                    min: 15.0,
+                    max: 60.0,
+                    step: 1.0,
+                    unit: Some(Unit::Gram),
+                    alt_units: &[Unit::Ounce]
+                },
+                synonyms: &["weight", "item weight", "frame weight"]
+            },
+            AttrSpec {
+                canonical: "gender",
+                prevalence: 0.6,
+                kind: AttrKind::Categorical(&["men", "women", "unisex"]),
+                synonyms: &["gender", "department", "designed for"]
+            },
+        ]
+    ),
+    cat!(
+        "toilet_accessories",
+        "TLT",
+        &["Sanova", "Bathex", "Hygiea", "Purelle", "Aquadom"],
+        &[
+            AttrSpec {
+                canonical: "material",
+                prevalence: 0.8,
+                kind: AttrKind::Categorical(&[
+                    "ceramic",
+                    "stainless steel",
+                    "plastic",
+                    "bamboo",
+                    "glass"
+                ]),
+                synonyms: &["material", "made of", "construction", "body material"]
+            },
+            AttrSpec {
+                canonical: "color",
+                prevalence: 0.85,
+                kind: AttrKind::Categorical(COLORS),
+                synonyms: &["color", "colour", "finish color"]
+            },
+            AttrSpec {
+                canonical: "mounting",
+                prevalence: 0.6,
+                kind: AttrKind::Categorical(&[
+                    "wall mounted",
+                    "freestanding",
+                    "adhesive",
+                    "suction"
+                ]),
+                synonyms: &["mounting", "mount type", "installation", "fixing"]
+            },
+            AttrSpec {
+                canonical: "weight",
+                prevalence: 0.4,
+                kind: AttrKind::Numeric {
+                    min: 50.0,
+                    max: 3000.0,
+                    step: 50.0,
+                    unit: Some(Unit::Gram),
+                    alt_units: &[Unit::Kilogram]
+                },
+                synonyms: &["weight", "item weight", "net weight"]
+            },
+            AttrSpec {
+                canonical: "dimensions",
+                prevalence: 0.5,
+                kind: AttrKind::Dimensions,
+                synonyms: &["dimensions", "size", "product dimensions", "measurements"]
+            },
+            AttrSpec {
+                canonical: "rustproof",
+                prevalence: 0.25,
+                kind: AttrKind::Flag,
+                synonyms: &[
+                    "rustproof",
+                    "rust resistant",
+                    "anti-rust",
+                    "corrosion resistant"
+                ]
+            },
+        ]
+    ),
 ];
 
 #[cfg(test)]
@@ -389,7 +1093,12 @@ mod tests {
         for c in catalog() {
             assert!(!c.attrs.is_empty(), "{} has no attrs", c.name);
             for a in c.attrs {
-                assert!(!a.synonyms.is_empty(), "{}.{} has no synonyms", c.name, a.canonical);
+                assert!(
+                    !a.synonyms.is_empty(),
+                    "{}.{} has no synonyms",
+                    c.name,
+                    a.canonical
+                );
                 assert!(
                     a.prevalence > 0.0 && a.prevalence <= 1.0,
                     "{}.{} prevalence out of range",
@@ -397,10 +1106,20 @@ mod tests {
                     a.canonical
                 );
                 if let AttrKind::Numeric { min, max, step, .. } = a.kind {
-                    assert!(min < max && step > 0.0, "{}.{} bad numeric spec", c.name, a.canonical);
+                    assert!(
+                        min < max && step > 0.0,
+                        "{}.{} bad numeric spec",
+                        c.name,
+                        a.canonical
+                    );
                 }
                 if let AttrKind::Categorical(vs) = a.kind {
-                    assert!(vs.len() >= 2, "{}.{} needs >= 2 values", c.name, a.canonical);
+                    assert!(
+                        vs.len() >= 2,
+                        "{}.{} needs >= 2 values",
+                        c.name,
+                        a.canonical
+                    );
                 }
             }
         }

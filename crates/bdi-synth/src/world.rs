@@ -58,7 +58,14 @@ impl World {
             plans.iter().partition(|p| p.profile.copies_from.is_none());
         for plan in &originals {
             materialize_source(
-                plan, &cfg, &catalog, &mut mat_rng, &mut dataset, &mut truth, &mut ledger, None,
+                plan,
+                &cfg,
+                &catalog,
+                &mut mat_rng,
+                &mut dataset,
+                &mut truth,
+                &mut ledger,
+                None,
             );
         }
         for plan in &copiers {
@@ -81,7 +88,13 @@ impl World {
             );
         }
 
-        Self { config: cfg, dataset, truth, catalog, plans }
+        Self {
+            config: cfg,
+            dataset,
+            truth,
+            catalog,
+            plans,
+        }
     }
 
     /// Perfectly-aligned claims view: every published attribute value,
@@ -94,12 +107,16 @@ impl World {
     pub fn oracle_claims(&self) -> Vec<Claim> {
         let mut out = Vec::new();
         for r in self.dataset.records() {
-            let Some(entity) = self.truth.entity_of(r.id) else { continue };
+            let Some(entity) = self.truth.entity_of(r.id) else {
+                continue;
+            };
             for (local, v) in &r.attributes {
                 if v.is_null() {
                     continue;
                 }
-                let Some(canon) = self.truth.canonical_attr(r.id.source, local) else { continue };
+                let Some(canon) = self.truth.canonical_attr(r.id.source, local) else {
+                    continue;
+                };
                 out.push(Claim {
                     source: r.id.source,
                     item: DataItem::new(entity, canon.to_string()),
@@ -233,7 +250,10 @@ mod tests {
                     }
                 }
             }
-            assert!(shared_false > 0, "copier {copier} shares no false values with {orig}");
+            assert!(
+                shared_false > 0,
+                "copier {copier} shares no false values with {orig}"
+            );
         }
     }
 }

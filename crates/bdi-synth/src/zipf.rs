@@ -19,7 +19,10 @@ impl Zipf {
     /// Build the sampler. `n` must be ≥ 1; `s` ≥ 0 (s = 0 is uniform).
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {
@@ -55,7 +58,10 @@ impl Zipf {
     /// Rank at quantile `u ∈ [0,1]`.
     pub fn quantile(&self, u: f64) -> usize {
         let u = u.clamp(0.0, 1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf has no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -6,7 +6,11 @@
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -132,7 +136,11 @@ pub fn lcs_len(a: &str, b: &str) -> usize {
     let mut cur = vec![0usize; b.len() + 1];
     for &ca in &a {
         for (j, &cb) in b.iter().enumerate() {
-            cur[j + 1] = if ca == cb { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
         }
         std::mem::swap(&mut prev, &mut cur);
     }

@@ -10,7 +10,11 @@ pub fn normalize(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut last_space = true;
     for c in s.chars() {
-        let c = if c.is_alphanumeric() { Some(c.to_ascii_lowercase()) } else { None };
+        let c = if c.is_alphanumeric() {
+            Some(c.to_ascii_lowercase())
+        } else {
+            None
+        };
         match c {
             Some(c) => {
                 out.push(c);

@@ -4,7 +4,10 @@
 /// `"R163"`. Returns `None` when the input has no ASCII letter to anchor
 /// the code.
 pub fn soundex(s: &str) -> Option<String> {
-    let mut chars = s.chars().filter(|c| c.is_ascii_alphabetic()).map(|c| c.to_ascii_uppercase());
+    let mut chars = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase());
     let first = chars.next()?;
     let mut code = String::with_capacity(4);
     code.push(first);

@@ -55,7 +55,10 @@ pub fn cosine_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     for t in b {
         *cb.entry(t.as_ref()).or_insert(0.0) += 1.0;
     }
-    let dot: f64 = ca.iter().filter_map(|(k, va)| cb.get(k).map(|vb| va * vb)).sum();
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(k, va)| cb.get(k).map(|vb| va * vb))
+        .sum();
     let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
     (dot / (na * nb)).clamp(0.0, 1.0)

@@ -51,7 +51,11 @@ impl TfIdfIndex {
             vocab.insert(t.to_string(), i as u32);
             idf.push((1.0 + n / d as f64).ln());
         }
-        Self { vocab, idf, docs: corpus.len() }
+        Self {
+            vocab,
+            idf,
+            docs: corpus.len(),
+        }
     }
 
     /// Number of documents the index was fitted on.

@@ -4,7 +4,11 @@ use crate::normalize::normalize;
 
 /// Split a string into normalized word tokens.
 pub fn tokenize(s: &str) -> Vec<String> {
-    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_string).collect()
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 /// Word tokens without normalization (whitespace split) — for callers that
@@ -44,7 +48,10 @@ mod tests {
 
     #[test]
     fn tokenize_normalizes() {
-        assert_eq!(tokenize("Canon EOS-5D, Mark III"), vec!["canon", "eos", "5d", "mark", "iii"]);
+        assert_eq!(
+            tokenize("Canon EOS-5D, Mark III"),
+            vec!["canon", "eos", "5d", "mark", "iii"]
+        );
         assert!(tokenize("").is_empty());
         assert!(tokenize("---").is_empty());
     }

@@ -38,7 +38,10 @@ impl Dataset {
             return Err(BdiError::UnknownSource(record.id.source));
         }
         let idx = self.records.len();
-        self.by_source.entry(record.id.source).or_default().push(idx);
+        self.by_source
+            .entry(record.id.source)
+            .or_default()
+            .push(idx);
         self.records.push(record);
         Ok(())
     }
@@ -56,6 +59,12 @@ impl Dataset {
     /// All records, in insertion order.
     pub fn records(&self) -> &[Record] {
         &self.records
+    }
+
+    /// Consume the dataset, yielding owned records in insertion order —
+    /// the no-copy feed for long-lived incremental consumers.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
     }
 
     /// Mutable access to records (e.g. for noise injection); keeps the
@@ -183,7 +192,8 @@ mod tests {
         let mut a = mk();
         let mut b = Dataset::new();
         b.add_source(Source::new(SourceId(3), "c.example", SourceKind::Torso));
-        b.add_record(Record::new(RecordId::new(SourceId(3), 0), "z")).unwrap();
+        b.add_record(Record::new(RecordId::new(SourceId(3), 0), "z"))
+            .unwrap();
         a.absorb(b);
         assert_eq!(a.source_count(), 3);
         assert_eq!(a.len(), 4);
@@ -194,7 +204,8 @@ mod tests {
     fn distinct_attribute_names_lowercases() {
         let mut d = mk();
         let id = RecordId::new(SourceId(2), 1);
-        d.add_record(Record::new(id, "t").with_attr("C", Value::num(2.0))).unwrap();
+        d.add_record(Record::new(id, "t").with_attr("C", Value::num(2.0)))
+            .unwrap();
         assert_eq!(d.distinct_attribute_names(), 1);
     }
 }

@@ -85,7 +85,10 @@ pub struct AttrRef {
 impl AttrRef {
     /// Construct an attribute reference.
     pub fn new(source: SourceId, name: impl Into<String>) -> Self {
-        Self { source, name: name.into() }
+        Self {
+            source,
+            name: name.into(),
+        }
     }
 }
 

@@ -36,8 +36,8 @@ pub mod value;
 
 pub use dataset::Dataset;
 pub use error::BdiError;
-pub use parse::parse_value;
 pub use ids::{AttrRef, EntityId, RecordId, SourceId};
+pub use parse::parse_value;
 pub use record::Record;
 pub use source::{Source, SourceKind};
 pub use truth::{DataItem, GroundTruth, SourceProfile};

@@ -107,7 +107,10 @@ mod tests {
         assert_eq!(parse_value("450 g"), Value::quantity(450.0, Unit::Gram));
         assert_eq!(parse_value("450g"), Value::quantity(450.0, Unit::Gram));
         assert_eq!(parse_value("13.3 in"), Value::quantity(13.3, Unit::Inch));
-        assert_eq!(parse_value("2.4 GHz"), Value::quantity(2.4, Unit::Gigahertz));
+        assert_eq!(
+            parse_value("2.4 GHz"),
+            Value::quantity(2.4, Unit::Gigahertz)
+        );
     }
 
     #[test]
@@ -130,8 +133,14 @@ mod tests {
 
     #[test]
     fn free_text_survives() {
-        assert_eq!(parse_value("stainless steel"), Value::str("stainless steel"));
-        assert_eq!(parse_value("Xerox x200 printer"), Value::str("Xerox x200 printer"));
+        assert_eq!(
+            parse_value("stainless steel"),
+            Value::str("stainless steel")
+        );
+        assert_eq!(
+            parse_value("Xerox x200 printer"),
+            Value::str("Xerox x200 printer")
+        );
         assert_eq!(parse_value(""), Value::Null);
         assert_eq!(parse_value("  "), Value::Null);
     }

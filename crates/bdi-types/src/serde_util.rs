@@ -7,28 +7,25 @@
 
 /// Serialize/deserialize any map as a sequence of `(K, V)` pairs.
 pub mod map_as_pairs {
-    use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::collections::BTreeMap;
 
     /// Serialize the map as a sequence of pairs.
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn serialize<K, V>(map: &BTreeMap<K, V>) -> Value
     where
         K: Serialize,
         V: Serialize,
-        S: Serializer,
     {
-        s.collect_seq(map.iter())
+        Value::Array(map.iter().map(|pair| pair.serialize()).collect())
     }
 
     /// Deserialize a sequence of pairs back into the map.
-    pub fn deserialize<'de, K, V, D>(d: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn deserialize<K, V>(v: &Value) -> Result<BTreeMap<K, V>, Error>
     where
-        K: Deserialize<'de> + Ord,
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
+        K: Deserialize + Ord,
+        V: Deserialize,
     {
-        let pairs: Vec<(K, V)> = Vec::deserialize(d)?;
+        let pairs: Vec<(K, V)> = Vec::deserialize(v)?;
         Ok(pairs.into_iter().collect())
     }
 }

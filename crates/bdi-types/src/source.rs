@@ -40,7 +40,12 @@ pub struct Source {
 impl Source {
     /// Create a source.
     pub fn new(id: SourceId, name: impl Into<String>, kind: SourceKind) -> Self {
-        Self { id, name: name.into(), kind, categories: Vec::new() }
+        Self {
+            id,
+            name: name.into(),
+            kind,
+            categories: Vec::new(),
+        }
     }
 
     /// Builder-style category attachment.

@@ -23,7 +23,10 @@ pub struct DataItem {
 impl DataItem {
     /// Construct a data item.
     pub fn new(entity: EntityId, attribute: impl Into<String>) -> Self {
-        Self { entity, attribute: attribute.into() }
+        Self {
+            entity,
+            attribute: attribute.into(),
+        }
     }
 }
 
@@ -43,7 +46,11 @@ pub struct SourceProfile {
 
 impl Default for SourceProfile {
     fn default() -> Self {
-        Self { accuracy: 1.0, copies_from: None, deceitful: false }
+        Self {
+            accuracy: 1.0,
+            copies_from: None,
+            deceitful: false,
+        }
     }
 }
 
@@ -84,7 +91,9 @@ impl GroundTruth {
 
     /// Canonical attribute behind a source's local attribute name.
     pub fn canonical_attr(&self, source: SourceId, local: &str) -> Option<&str> {
-        self.attr_canonical.get(&(source, local.to_string())).map(String::as_str)
+        self.attr_canonical
+            .get(&(source, local.to_string()))
+            .map(String::as_str)
     }
 
     /// All entities mentioned by at least one record.
@@ -126,10 +135,8 @@ mod tests {
         let mut gt = GroundTruth::default();
         // cluster of 3 -> 3 pairs, cluster of 2 -> 1 pair
         for (i, e) in [(0, 1u64), (1, 1), (2, 1), (3, 2), (4, 2)] {
-            gt.record_entity.insert(
-                RecordId::new(SourceId(0), i),
-                EntityId(e),
-            );
+            gt.record_entity
+                .insert(RecordId::new(SourceId(0), i), EntityId(e));
         }
         assert_eq!(gt.matching_pair_count(), 4);
     }
@@ -150,9 +157,14 @@ mod tests {
         let mut gt = GroundTruth::default();
         gt.source_profiles.insert(
             SourceId(1),
-            SourceProfile { accuracy: 0.9, copies_from: Some((SourceId(0), 0.8)), deceitful: false },
+            SourceProfile {
+                accuracy: 0.9,
+                copies_from: Some((SourceId(0), 0.8)),
+                deceitful: false,
+            },
         );
-        gt.source_profiles.insert(SourceId(0), SourceProfile::default());
+        gt.source_profiles
+            .insert(SourceId(0), SourceProfile::default());
         assert_eq!(gt.copier_pairs(), vec![(SourceId(1), SourceId(0))]);
     }
 }

@@ -57,7 +57,9 @@ impl PartialOrd for OrderedF64 {
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> Ordering {
         // NaN is banned, so partial_cmp is total.
-        self.0.partial_cmp(&other.0).expect("NaN is unreachable in OrderedF64")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN is unreachable in OrderedF64")
     }
 }
 
@@ -530,7 +532,10 @@ mod tests {
         let cm = Value::quantity(25.4, Unit::Centimeter);
         let inch = Value::quantity(10.0, Unit::Inch);
         assert_eq!(cm.canonical(), inch.canonical());
-        assert_eq!(Value::str("Black").canonical(), Value::str("black").canonical());
+        assert_eq!(
+            Value::str("Black").canonical(),
+            Value::str("black").canonical()
+        );
         let different = Value::quantity(11.0, Unit::Inch);
         assert_ne!(cm.canonical(), different.canonical());
     }
@@ -552,6 +557,6 @@ mod tests {
     fn format_magnitude_trims() {
         assert_eq!(format_magnitude(3.0), "3");
         assert_eq!(format_magnitude(3.10), "3.1");
-        assert_eq!(format_magnitude(3.14159), "3.14");
+        assert_eq!(format_magnitude(3.14672), "3.15");
     }
 }

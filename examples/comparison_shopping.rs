@@ -29,7 +29,12 @@ fn main() {
 
     // --- 1. source discovery -------------------------------------------
     let index = SearchIndex::build(&world.dataset);
-    let seed_source = world.dataset.sources().next().expect("world has sources").id;
+    let seed_source = world
+        .dataset
+        .sources()
+        .next()
+        .expect("world has sources")
+        .id;
     let mut crawler = Crawler::new(&[seed_source], &world.dataset, 40);
     crawler.run(&index, &world.dataset, 20);
     println!(
@@ -50,9 +55,13 @@ fn main() {
     let mut extracted_sources = 0;
     for &sid in crawler.discovered() {
         let n = world.dataset.records_of(sid).count();
-        if let Some((records, q)) =
-            extract_source(&world.dataset, sid, world.config.seed, PageNoise::default(), n)
-        {
+        if let Some((records, q)) = extract_source(
+            &world.dataset,
+            sid,
+            world.config.seed,
+            PageNoise::default(),
+            n,
+        ) {
             extraction_f1 += q.f1;
             extracted_sources += 1;
             for r in records {

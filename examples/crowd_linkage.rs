@@ -43,7 +43,10 @@ fn main() {
 
     // --- part 1: train a matcher with a crowd budget ---------------------
     println!("== active learning vs random sampling (3-worker panels, 10% error) ==");
-    println!("untrained logistic prior: F1 {:.3}", f1(&LogisticMatcher::default(), 0.5));
+    println!(
+        "untrained logistic prior: F1 {:.3}",
+        f1(&LogisticMatcher::default(), 0.5)
+    );
     for budget in [100u64, 400] {
         let oracle_a = CrowdOracle::panel(3, 0.1, 42);
         let oracle_r = CrowdOracle::panel(3, 0.1, 42);

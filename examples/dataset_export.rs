@@ -38,14 +38,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {ds_path}, {gt_path}, {cfg_path}");
     println!("\ndataset card (seed {seed}):");
     println!("  records                 : {}", world.dataset.len());
-    println!("  sources                 : {}", world.dataset.source_count());
+    println!(
+        "  sources                 : {}",
+        world.dataset.source_count()
+    );
     println!("  entities                : {}", world.catalog.len());
     println!("  distinct attribute names: {}", stats.distinct);
-    println!("  names in <3% of sources : {:.0}%", stats.tail_fraction_lt_3pct * 100.0);
-    println!("  top name source share   : {:.0}%", stats.top_name_source_fraction * 100.0);
-    println!("  largest / median source : {} / {}", sizes[0], sizes[sizes.len() / 2]);
-    println!("  max / median redundancy : {} / {} sources per entity", cov[0], cov[cov.len() / 2]);
-    println!("  hidden copier pairs     : {}", world.truth.copier_pairs().len());
+    println!(
+        "  names in <3% of sources : {:.0}%",
+        stats.tail_fraction_lt_3pct * 100.0
+    );
+    println!(
+        "  top name source share   : {:.0}%",
+        stats.top_name_source_fraction * 100.0
+    );
+    println!(
+        "  largest / median source : {} / {}",
+        sizes[0],
+        sizes[sizes.len() / 2]
+    );
+    println!(
+        "  max / median redundancy : {} / {} sources per entity",
+        cov[0],
+        cov[cov.len() / 2]
+    );
+    println!(
+        "  hidden copier pairs     : {}",
+        world.truth.copier_pairs().len()
+    );
     println!("\nregenerate identically with the same seed; evaluate any pipeline");
     println!("against ground_truth.json (record→entity, item truths, copiers).");
     Ok(())

@@ -29,7 +29,10 @@ fn main() {
     // perfectly aligned claims (this example is about fusion, so linkage
     // and alignment come from the oracle)
     let claims = claims_canonical(
-        world.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+        world
+            .oracle_claims()
+            .into_iter()
+            .map(|c| (c.source, c.item, c.value)),
     );
     let resolution = Accu::default().resolve(&claims);
 
@@ -63,9 +66,21 @@ fn main() {
         weighted_median(&xs.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>()).unwrap_or(f64::NAN)
     };
     println!("median screen size (base units = mm of diagonal):");
-    println!("  naive over raw claims : {:>8.1}  ({} values, popular products overcounted)", median(&naive), naive.len());
-    println!("  fused  (one per item) : {:>8.1}  ({} items)", median(&fused), fused.len());
-    println!("  hidden truth          : {:>8.1}  ({} items)", median(&truth), truth.len());
+    println!(
+        "  naive over raw claims : {:>8.1}  ({} values, popular products overcounted)",
+        median(&naive),
+        naive.len()
+    );
+    println!(
+        "  fused  (one per item) : {:>8.1}  ({} items)",
+        median(&fused),
+        fused.len()
+    );
+    println!(
+        "  hidden truth          : {:>8.1}  ({} items)",
+        median(&truth),
+        truth.len()
+    );
 
     // Question: market share of curved monitors (a boolean attribute).
     let share = |iter: &mut dyn Iterator<Item = bool>| {
@@ -100,7 +115,11 @@ fn main() {
             }),
     );
     println!("\ncurved-monitor market share:");
-    println!("  fused estimate : {:.1}% (over {} products)", fused_share * 100.0, fused_n);
+    println!(
+        "  fused estimate : {:.1}% (over {} products)",
+        fused_share * 100.0,
+        fused_n
+    );
     println!("  hidden truth   : {:.1}%", true_share * 100.0);
 
     // Source trustworthiness leaderboard (estimated vs hidden accuracy).

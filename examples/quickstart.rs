@@ -22,8 +22,8 @@ fn main() {
 
     // The pipeline: identifier-driven record linkage -> schema alignment
     // (hybrid matcher + linkage evidence) -> AccuCopy data fusion.
-    let result = run_pipeline(&world.dataset, &PipelineConfig::default())
-        .expect("default config is valid");
+    let result =
+        run_pipeline(&world.dataset, &PipelineConfig::default()).expect("default config is valid");
 
     // Because the world is synthetic we can grade the output.
     let quality = metrics::evaluate(&result, &world.dataset, &world.truth);

@@ -49,7 +49,7 @@ fn main() {
     );
 
     let batch = run_batch(&series, 0.9);
-    let incremental = run_incremental(&series, 0.9);
+    let incremental = run_incremental(series, 0.9);
     println!("linkage maintenance cost (pairwise comparisons) and quality:");
     println!("snapshot  batch-cmp  batch-F1  incr-cmp  incr-F1");
     for t in 0..batch.comparisons.len() {

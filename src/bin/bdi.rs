@@ -5,13 +5,18 @@
 //! bdi integrate --in ./ds [--fusion accucopy] [--json]
 //! bdi integrate --seed 42 --entities 300 --sources 20
 //! bdi lookup    --in ./ds --id CAM-LUM-01042
+//! bdi serve     --addr 127.0.0.1:7171 [--seed 42 --entities 300]
+//! bdi load      --addr 127.0.0.1:7171 [--readers 4]
 //! ```
 //!
 //! `generate` writes `dataset.json`, `ground_truth.json` and
 //! `config.json`; `integrate` runs linkage → alignment → fusion over a
 //! generated or loaded dataset and prints a run report (with oracle
 //! quality when ground truth is available); `lookup` integrates and then
-//! resolves one product identifier against the fused catalog.
+//! resolves one product identifier against the fused catalog; `serve`
+//! runs the live integration daemon (JSON lines over TCP — see
+//! `bdi-serve`); `load` replays a synthetic world against a running
+//! server and reports throughput and latency.
 
 use bdi::core::report::RunReport;
 use bdi::core::{metrics, run_pipeline, Catalog, FusionMethod, PipelineConfig};
@@ -37,6 +42,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts),
         "integrate" => cmd_integrate(&opts),
         "lookup" => cmd_lookup(&opts),
+        "serve" => cmd_serve(&opts),
+        "load" => cmd_load(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,6 +67,9 @@ USAGE:
   bdi integrate (--in DIR | --seed N [--entities N] [--sources N])
                 [--fusion vote|truthfinder|accu|accucopy] [--json]
   bdi lookup    (--in DIR | --seed N) --id IDENTIFIER
+  bdi serve     [--addr HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
+                [--threshold X] [--queue N] [--shards N]
+  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--readers N]
   bdi help";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -81,10 +91,16 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(out)
 }
 
-fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
     }
 }
 
@@ -128,7 +144,10 @@ fn pipeline_config(opts: &HashMap<String, String>) -> Result<PipelineConfig, Str
         Some("truthfinder") => FusionMethod::TruthFinder,
         Some(other) => return Err(format!("--fusion: unknown method '{other}'")),
     };
-    Ok(PipelineConfig { fusion, ..PipelineConfig::default() })
+    Ok(PipelineConfig {
+        fusion,
+        ..PipelineConfig::default()
+    })
 }
 
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -138,12 +157,18 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     let dump = |name: &str, json: String| -> Result<(), String> {
         std::fs::write(format!("{out}/{name}"), json).map_err(|e| e.to_string())
     };
-    dump("dataset.json", serde_json::to_string_pretty(&w.dataset).map_err(|e| e.to_string())?)?;
+    dump(
+        "dataset.json",
+        serde_json::to_string_pretty(&w.dataset).map_err(|e| e.to_string())?,
+    )?;
     dump(
         "ground_truth.json",
         serde_json::to_string_pretty(&w.truth).map_err(|e| e.to_string())?,
     )?;
-    dump("config.json", serde_json::to_string_pretty(&w.config).map_err(|e| e.to_string())?)?;
+    dump(
+        "config.json",
+        serde_json::to_string_pretty(&w.config).map_err(|e| e.to_string())?,
+    )?;
     println!(
         "wrote {out}/dataset.json ({} records, {} sources, {} entities)",
         w.dataset.len(),
@@ -160,10 +185,67 @@ fn cmd_integrate(opts: &HashMap<String, String>) -> Result<(), String> {
     let quality = truth.as_ref().map(|t| metrics::evaluate(&res, &ds, t));
     let report = RunReport::new(&ds, &res, quality.as_ref());
     if opts.contains_key("json") {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
     } else {
         print!("{}", report.render());
     }
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let preload = if opts.contains_key("in") || opts.contains_key("seed") {
+        let (ds, _) = load_or_generate(opts)?;
+        ds.into_records()
+    } else {
+        Vec::new()
+    };
+    let cfg = bdi::serve::ServerConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+        threshold: num(opts, "threshold", 0.9f64)?,
+        queue_capacity: num(opts, "queue", 256usize)?,
+        shards: num(opts, "shards", 8usize)?,
+        preload,
+        ..Default::default()
+    };
+    let server = bdi::serve::Server::start(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "bdi-serve listening on {} (generation {}); send \"shutdown\" to stop",
+        server.addr(),
+        server.generation()
+    );
+    server.wait();
+    Ok(())
+}
+
+fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("--addr: cannot parse '{addr}'"))?;
+    let cfg = bdi::serve::LoadConfig {
+        seed: num(opts, "seed", 7u64)?,
+        entities: num(opts, "entities", 120usize)?,
+        sources: num(opts, "sources", 12usize)?,
+        readers: num(opts, "readers", 4usize)?,
+    };
+    let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "ingested {} records in {:.2}s ({:.0} rec/s), generation {}",
+        report.records, report.ingest_secs, report.ingest_per_sec, report.generation
+    );
+    println!(
+        "{} readers: {} lookups ({:.0}/s), p50 {}us, p99 {}us",
+        cfg.readers, report.queries, report.reads_per_sec, report.p50_us, report.p99_us
+    );
     Ok(())
 }
 
@@ -175,7 +257,12 @@ fn cmd_lookup(opts: &HashMap<String, String>) -> Result<(), String> {
     let catalog = Catalog::materialize(&ds, &res);
     match catalog.lookup(id) {
         Some(entry) => {
-            println!("\"{}\" ({} pages on {} sources)", entry.title, entry.pages.len(), entry.sources().len());
+            println!(
+                "\"{}\" ({} pages on {} sources)",
+                entry.title,
+                entry.pages.len(),
+                entry.sources().len()
+            );
             for (attr, value) in &entry.attributes {
                 println!("  {attr:<24} = {value}");
             }

@@ -42,6 +42,7 @@
 //! | [`select`] | `bdi-select` | "less is more" source selection |
 //! | [`crowd`] | `bdi-crowd` | crowdsourced + active-learning linkage |
 //! | [`core`] | `bdi-core` | the end-to-end pipeline, metrics, velocity loop |
+//! | [`serve`] | `bdi-serve` | live integration service: concurrent ingest, snapshot queries |
 
 #![forbid(unsafe_code)]
 
@@ -52,6 +53,7 @@ pub use bdi_fusion as fusion;
 pub use bdi_linkage as linkage;
 pub use bdi_schema as schema;
 pub use bdi_select as select;
+pub use bdi_serve as serve;
 pub use bdi_synth as synth;
 pub use bdi_textsim as textsim;
 pub use bdi_types as types;

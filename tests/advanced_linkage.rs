@@ -24,8 +24,16 @@ fn minhash_blocking_is_effective_on_a_real_world() {
     let total = cross_source_pair_count(&w.dataset);
     let pairs = MinHashBlocking::new(8, 2).candidates(&w.dataset);
     let q = blocking_quality(&pairs, &w.truth, total);
-    assert!(q.reduction_ratio > 0.9, "LSH reduction {:.3}", q.reduction_ratio);
-    assert!(q.pair_completeness > 0.8, "LSH completeness {:.3}", q.pair_completeness);
+    assert!(
+        q.reduction_ratio > 0.9,
+        "LSH reduction {:.3}",
+        q.reduction_ratio
+    );
+    assert!(
+        q.pair_completeness > 0.8,
+        "LSH completeness {:.3}",
+        q.pair_completeness
+    );
 }
 
 #[test]
@@ -77,7 +85,11 @@ fn swoosh_merged_records_carry_union_provenance() {
     let w = world(9004);
     let sw = r_swoosh(w.dataset.records(), &IdentifierRule::default(), 0.9);
     let total: usize = sw.provenance.iter().map(Vec::len).sum();
-    assert_eq!(total, w.dataset.len(), "provenance must partition the input");
+    assert_eq!(
+        total,
+        w.dataset.len(),
+        "provenance must partition the input"
+    );
     for (rec, prov) in sw.records.iter().zip(&sw.provenance) {
         assert!(prov.contains(&rec.id), "merged record keeps a member id");
         if prov.len() > 1 {

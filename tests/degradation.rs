@@ -20,7 +20,9 @@ fn fusion_precision_at_accuracy(lo: f64, hi: f64) -> f64 {
         ..WorldConfig::default()
     });
     let claims = claims_canonical(
-        w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+        w.oracle_claims()
+            .into_iter()
+            .map(|c| (c.source, c.item, c.value)),
     );
     fusion_quality(&MajorityVote.resolve(&claims), &w.truth).precision
 }
@@ -50,7 +52,9 @@ fn accucopy_resists_copier_injection_better_than_vote() {
     };
     let w = World::generate(cfg);
     let claims = claims_canonical(
-        w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+        w.oracle_claims()
+            .into_iter()
+            .map(|c| (c.source, c.item, c.value)),
     );
     let vote = fusion_quality(&MajorityVote.resolve(&claims), &w.truth).precision;
     let acopy = fusion_quality(&AccuCopy::default().resolve(&claims), &w.truth).precision;
@@ -72,7 +76,9 @@ fn identifier_scarcity_degrades_linkage() {
             ..WorldConfig::default()
         });
         let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
-        metrics::evaluate(&res, &w.dataset, &w.truth).linkage_pairwise.f1
+        metrics::evaluate(&res, &w.dataset, &w.truth)
+            .linkage_pairwise
+            .f1
     };
     let rich = quality_at(0.95);
     let poor = quality_at(0.3);
@@ -100,13 +106,26 @@ fn extraction_noise_degrades_recall_not_precision_first() {
         &w.dataset,
         sid,
         w.config.seed,
-        PageNoise { p_broken_row: 0.5, p_shuffle: 0.5, p_dropped_row: 0.1 },
+        PageNoise {
+            p_broken_row: 0.5,
+            p_shuffle: 0.5,
+            p_dropped_row: 0.1,
+        },
         n,
     );
     if let Some((_, q)) = noisy {
-        assert!(q.recall < clean.recall, "recall {} !< {}", q.recall, clean.recall);
+        assert!(
+            q.recall < clean.recall,
+            "recall {} !< {}",
+            q.recall,
+            clean.recall
+        );
         // label-keyed extraction stays precise even when rows break
-        assert!(q.precision > 0.8, "precision should survive: {}", q.precision);
+        assert!(
+            q.precision > 0.8,
+            "precision should survive: {}",
+            q.precision
+        );
     }
 }
 
@@ -125,7 +144,9 @@ fn deceitful_sources_hurt_more_than_honest_errors() {
             ..WorldConfig::default()
         });
         let claims = claims_canonical(
-            w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+            w.oracle_claims()
+                .into_iter()
+                .map(|c| (c.source, c.item, c.value)),
         );
         fusion_quality(&MajorityVote.resolve(&claims), &w.truth).precision
     };

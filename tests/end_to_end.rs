@@ -1,6 +1,8 @@
 //! Integration tests: the full pipeline over generated worlds.
 
-use bdi::core::{metrics, run_pipeline, FusionMethod, LinkageMatcherKind, PipelineConfig, SchemaOrdering};
+use bdi::core::{
+    metrics, run_pipeline, FusionMethod, LinkageMatcherKind, PipelineConfig, SchemaOrdering,
+};
 use bdi::synth::{World, WorldConfig};
 
 fn standard_world(seed: u64) -> World {
@@ -19,7 +21,11 @@ fn pipeline_meets_quality_floors() {
     let w = standard_world(1001);
     let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
     let q = metrics::evaluate(&res, &w.dataset, &w.truth);
-    assert!(q.linkage_pairwise.f1 > 0.7, "linkage F1 {:?}", q.linkage_pairwise);
+    assert!(
+        q.linkage_pairwise.f1 > 0.7,
+        "linkage F1 {:?}",
+        q.linkage_pairwise
+    );
     assert!(q.linkage_bcubed.f1 > 0.8, "B3 {:?}", q.linkage_bcubed);
     assert!(q.schema.f1 > 0.6, "schema {:?}", q.schema);
     assert!(q.fusion_precision > 0.65, "fusion {:?}", q.fusion_precision);
@@ -34,7 +40,11 @@ fn every_matcher_produces_usable_linkage() {
         (LinkageMatcherKind::Weighted, 0.7),
         (LinkageMatcherKind::FellegiSunter, 0.5),
     ] {
-        let cfg = PipelineConfig { matcher, match_threshold: threshold, ..Default::default() };
+        let cfg = PipelineConfig {
+            matcher,
+            match_threshold: threshold,
+            ..Default::default()
+        };
         let res = run_pipeline(&w.dataset, &cfg).unwrap();
         let q = metrics::evaluate(&res, &w.dataset, &w.truth);
         assert!(
@@ -54,10 +64,17 @@ fn every_fusion_method_meets_floor() {
         FusionMethod::Accu,
         FusionMethod::AccuCopy,
     ] {
-        let cfg = PipelineConfig { fusion, ..Default::default() };
+        let cfg = PipelineConfig {
+            fusion,
+            ..Default::default()
+        };
         let res = run_pipeline(&w.dataset, &cfg).unwrap();
         let q = metrics::evaluate(&res, &w.dataset, &w.truth);
-        assert!(q.fusion_precision > 0.6, "{fusion:?}: {}", q.fusion_precision);
+        assert!(
+            q.fusion_precision > 0.6,
+            "{fusion:?}: {}",
+            q.fusion_precision
+        );
     }
 }
 
@@ -68,12 +85,18 @@ fn linkage_first_at_least_matches_alignment_first_on_schema_recall() {
     let w = standard_world(1004);
     let lf = run_pipeline(
         &w.dataset,
-        &PipelineConfig { ordering: SchemaOrdering::LinkageFirst, ..Default::default() },
+        &PipelineConfig {
+            ordering: SchemaOrdering::LinkageFirst,
+            ..Default::default()
+        },
     )
     .unwrap();
     let af = run_pipeline(
         &w.dataset,
-        &PipelineConfig { ordering: SchemaOrdering::AlignmentFirst, ..Default::default() },
+        &PipelineConfig {
+            ordering: SchemaOrdering::AlignmentFirst,
+            ..Default::default()
+        },
     )
     .unwrap();
     let qlf = metrics::evaluate(&lf, &w.dataset, &w.truth);
@@ -99,15 +122,26 @@ fn single_category_worlds_integrate_cleanly() {
         });
         let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
         let q = metrics::evaluate(&res, &w.dataset, &w.truth);
-        assert!(q.linkage_pairwise.f1 > 0.7, "{cat}: linkage {:?}", q.linkage_pairwise);
-        assert!(q.fusion_precision > 0.7, "{cat}: fusion {}", q.fusion_precision);
+        assert!(
+            q.linkage_pairwise.f1 > 0.7,
+            "{cat}: linkage {:?}",
+            q.linkage_pairwise
+        );
+        assert!(
+            q.fusion_precision > 0.7,
+            "{cat}: fusion {}",
+            q.fusion_precision
+        );
     }
 }
 
 #[test]
 fn invalid_config_is_rejected_not_paniced() {
     let w = World::generate(WorldConfig::tiny(1));
-    let bad = PipelineConfig { match_threshold: 2.0, ..Default::default() };
+    let bad = PipelineConfig {
+        match_threshold: 2.0,
+        ..Default::default()
+    };
     assert!(run_pipeline(&w.dataset, &bad).is_err());
 }
 

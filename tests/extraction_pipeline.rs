@@ -88,7 +88,11 @@ fn crawler_feeds_extraction_feeds_linkage() {
     }
     let res = run_pipeline(&ds, &PipelineConfig::default()).unwrap();
     let q = metrics::evaluate(&res, &ds, &w.truth);
-    assert!(q.linkage_pairwise.f1 > 0.6, "crawled linkage F1 {:?}", q.linkage_pairwise);
+    assert!(
+        q.linkage_pairwise.f1 > 0.6,
+        "crawled linkage F1 {:?}",
+        q.linkage_pairwise
+    );
 }
 
 #[test]

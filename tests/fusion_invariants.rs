@@ -13,7 +13,9 @@ fn claims(seed: u64) -> (World, ClaimSet) {
         ..WorldConfig::default()
     });
     let cs = claims_canonical(
-        w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)),
+        w.oracle_claims()
+            .into_iter()
+            .map(|c| (c.source, c.item, c.value)),
     );
     (w, cs)
 }
@@ -57,7 +59,11 @@ fn every_fuser_reports_trust_for_every_source() {
                 .source_trust
                 .get(s)
                 .unwrap_or_else(|| panic!("{} missing trust for {s}", f.name()));
-            assert!(t.is_finite() && *t >= 0.0, "{}: trust {t} for {s}", f.name());
+            assert!(
+                t.is_finite() && *t >= 0.0,
+                "{}: trust {t} for {s}",
+                f.name()
+            );
         }
     }
 }
@@ -83,7 +89,8 @@ fn unanimous_items_are_decided_unanimously() {
             let vals = cs.claims_of(i);
             if vals.len() >= 2 && vals.iter().all(|(_, v)| *v == vals[0].1) {
                 assert_eq!(
-                    res.decided[item], vals[0].1,
+                    res.decided[item],
+                    vals[0].1,
                     "{} overruled a unanimous item",
                     f.name()
                 );

@@ -21,12 +21,19 @@ fn world(seed: u64) -> World {
 }
 
 fn world_claims(w: &World) -> ClaimSet {
-    claims_canonical(w.oracle_claims().into_iter().map(|c| (c.source, c.item, c.value)))
+    claims_canonical(
+        w.oracle_claims()
+            .into_iter()
+            .map(|c| (c.source, c.item, c.value)),
+    )
 }
 
 #[test]
 fn hybrid_matcher_beats_name_only_on_heterogeneous_world() {
-    let w = World::generate(WorldConfig { p_rename: 0.7, ..world(5001).config.clone() });
+    let w = World::generate(WorldConfig {
+        p_rename: 0.7,
+        ..world(5001).config.clone()
+    });
     let profiles = ProfileSet::build(&w.dataset);
     let cands = candidate_pairs(&profiles);
     let name = score_correspondences(&profiles, &cands, &NameMatcher, 0.75);
@@ -81,6 +88,10 @@ fn attribute_clusters_cover_all_profiled_attributes() {
     let covered: usize = clusters.clusters().iter().map(Vec::len).sum();
     assert!(covered >= profiles.len(), "clusters dropped attributes");
     for p in profiles.iter() {
-        assert!(clusters.cluster_of(&p.attr).is_some(), "{:?} unclustered", p.attr);
+        assert!(
+            clusters.cluster_of(&p.attr).is_some(),
+            "{:?} unclustered",
+            p.attr
+        );
     }
 }

@@ -1,0 +1,147 @@
+//! Serve-path consistency: feeding a world record-by-record through the
+//! live engine must land on exactly the clusters the batch pipeline
+//! finds, and a server built on it must answer queries that agree with
+//! the batch catalog.
+//!
+//! The one place the two paths may legitimately differ is identifier
+//! *collisions*: when the noisy world hands the same identifier to two
+//! distinct products, both catalogs keep both entries but index the key
+//! to the entry with the lowest cluster id — and cluster ids are batch
+//! cluster indices on one side, arrival-order roots on the other. The
+//! wire-level check therefore skips ambiguous identifiers; the
+//! engine-level check compares the full partitions, which must be equal.
+
+use bdi::core::{run_pipeline, Catalog, PipelineConfig};
+use bdi::serve::{Client, Engine, Server, ServerConfig};
+use bdi::synth::{World, WorldConfig};
+use bdi::types::RecordId;
+use std::collections::HashMap;
+
+fn world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        n_entities: 80,
+        n_sources: 10,
+        ..WorldConfig::tiny(seed)
+    })
+}
+
+/// A catalog's clustering as a canonical partition of record ids.
+fn partition(c: &Catalog) -> Vec<Vec<RecordId>> {
+    let mut sig: Vec<Vec<RecordId>> = c
+        .entries()
+        .iter()
+        .map(|e| {
+            let mut pages = e.pages.clone();
+            pages.sort_unstable();
+            pages
+        })
+        .collect();
+    sig.sort();
+    sig
+}
+
+#[test]
+fn incremental_engine_reproduces_batch_clustering() {
+    let w = world(501);
+    let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+    let batch = Catalog::materialize(&w.dataset, &res);
+    assert!(!batch.is_empty(), "batch catalog has products");
+
+    let mut engine = Engine::new(0.9);
+    for r in w.dataset.into_records() {
+        engine.ingest(r);
+    }
+    let live = engine.refresh();
+
+    assert_eq!(live.len(), batch.len(), "cluster counts agree");
+    assert_eq!(
+        partition(&live),
+        partition(&batch),
+        "record partitions are identical"
+    );
+}
+
+#[test]
+fn live_ingest_matches_batch_pipeline_over_the_wire() {
+    let w = world(502);
+    let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
+    let batch = Catalog::materialize(&w.dataset, &res);
+
+    // identifiers published by exactly one fused product
+    let mut claims: HashMap<&str, usize> = HashMap::new();
+    for entry in batch.entries() {
+        for id in &entry.identifiers {
+            *claims.entry(id.as_str()).or_default() += 1;
+        }
+    }
+
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let total = w.dataset.len();
+    for r in w.dataset.into_records() {
+        client.ingest(r).unwrap();
+    }
+    let (_, applied) = client.flush().unwrap();
+    assert_eq!(applied as usize, total, "every record applied");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.records, total);
+    assert_eq!(
+        stats.products,
+        batch.len(),
+        "live and batch cluster counts agree"
+    );
+
+    let mut checked = 0usize;
+    for entry in batch.entries() {
+        let Some(id) = entry.identifiers.iter().find(|id| claims[id.as_str()] == 1) else {
+            continue;
+        };
+        let served = client
+            .lookup(id)
+            .unwrap()
+            .unwrap_or_else(|| panic!("'{id}' resolves live"));
+        assert_eq!(
+            served.identifiers, entry.identifiers,
+            "fused identifiers for '{id}' agree with the batch catalog"
+        );
+        assert_eq!(
+            served.pages.len(),
+            entry.pages.len(),
+            "cluster membership size for '{id}' agrees with the batch catalog"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > batch.len() / 2,
+        "most products have an unambiguous identifier"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn flush_then_lookup_sees_every_submitted_identifier() {
+    let w = world(503);
+    let ids: Vec<String> = w
+        .dataset
+        .records()
+        .iter()
+        .filter_map(|r| r.primary_identifier().map(str::to_string))
+        .collect();
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for r in w.dataset.into_records() {
+        client.ingest(r).unwrap();
+    }
+    client.flush().unwrap();
+    for id in &ids {
+        assert!(
+            client.lookup(id).unwrap().is_some(),
+            "identifier '{id}' submitted before the flush must resolve after it"
+        );
+    }
+    drop(client);
+    server.shutdown();
+}

@@ -17,7 +17,13 @@ fn series(seed: u64, churn: ChurnConfig) -> SnapshotSeries {
 
 #[test]
 fn survival_statistics_are_fractions_and_nonincreasing() {
-    let s = series(4001, ChurnConfig { snapshots: 6, ..ChurnConfig::default() });
+    let s = series(
+        4001,
+        ChurnConfig {
+            snapshots: 6,
+            ..ChurnConfig::default()
+        },
+    );
     let mut prev_page = 1.0;
     let mut prev_source = 1.0;
     for t in 0..6 {
@@ -34,14 +40,28 @@ fn survival_statistics_are_fractions_and_nonincreasing() {
 
 #[test]
 fn incremental_total_cost_beats_batch_and_quality_holds() {
-    let s = series(4002, ChurnConfig { snapshots: 5, ..ChurnConfig::default() });
+    let s = series(
+        4002,
+        ChurnConfig {
+            snapshots: 5,
+            ..ChurnConfig::default()
+        },
+    );
     let batch = run_batch(&s, 0.9);
-    let inc = run_incremental(&s, 0.9);
+    let inc = run_incremental(s, 0.9);
     let batch_total: u64 = batch.comparisons[1..].iter().sum();
     let inc_total: u64 = inc.comparisons[1..].iter().sum();
-    assert!(inc_total < batch_total, "incremental {inc_total} !< batch {batch_total}");
+    assert!(
+        inc_total < batch_total,
+        "incremental {inc_total} !< batch {batch_total}"
+    );
     for (b, i) in batch.quality.iter().zip(&inc.quality) {
-        assert!((b.f1 - i.f1).abs() < 0.2, "quality diverged: {} vs {}", b.f1, i.f1);
+        assert!(
+            (b.f1 - i.f1).abs() < 0.2,
+            "quality diverged: {} vs {}",
+            b.f1,
+            i.f1
+        );
         assert!(i.f1 > 0.5, "incremental quality floor: {}", i.f1);
     }
 }
@@ -50,7 +70,11 @@ fn incremental_total_cost_beats_batch_and_quality_holds() {
 fn template_drift_registered_names_stay_resolvable() {
     let s = series(
         4003,
-        ChurnConfig { snapshots: 6, p_template_drift: 0.3, ..ChurnConfig::default() },
+        ChurnConfig {
+            snapshots: 6,
+            p_template_drift: 0.3,
+            ..ChurnConfig::default()
+        },
     );
     for snap in &s.snapshots {
         for r in snap.records() {

@@ -1,0 +1,264 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the call surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::default()
+//! .sample_size(n)`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, `black_box` — as a
+//! plain wall-clock runner: each benchmark is warmed up, timed over
+//! `sample_size` samples, and reported as median / mean / min per
+//! iteration on stdout. No statistical analysis, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Time `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Time `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (marker only; results were already printed).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times, recording the total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    // Calibrate: run once to size iteration batches to the budget.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time / sample_size as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{label}: median {} | mean {} | min {}  ({sample_size} samples x {iters} iters)",
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(samples[0]),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3).measurement_time(
+            std::time::Duration::from_millis(10));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, covering the two facilities this workspace uses:
+//!
+//! * [`thread::scope`] — scoped spawning with the crossbeam 0.8 call shape
+//!   (`scope(|s| { s.spawn(|_| ...) }).expect(...)`), implemented over
+//!   `std::thread::scope`. The closure argument passed to spawned threads is
+//!   a zero-sized placeholder, so nested spawning through it is not
+//!   supported (the workspace never nests).
+//! * [`channel`] — MPMC bounded/unbounded channels built on
+//!   `Mutex<VecDeque>` + `Condvar`, with crossbeam's disconnect semantics:
+//!   `recv` drains remaining items after all senders drop, `send` fails once
+//!   all receivers drop.
+
+#![forbid(unsafe_code)]
+
+/// Scoped thread spawning (crossbeam 0.8 surface).
+pub mod thread {
+    use std::any::Any;
+
+    /// Placeholder passed to spawned closures where crossbeam passes the
+    /// scope itself; supports the idiomatic `|_|` call sites only.
+    pub struct SpawnArg {
+        _private: (),
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope in which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives a placeholder [`SpawnArg`], not the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner.spawn(move || f(&SpawnArg { _private: () }));
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam, an unjoined panicking thread propagates
+    /// its panic here instead of surfacing through the `Result` — call
+    /// sites that `join().expect(...)` every handle behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// MPMC channels with crossbeam 0.8 semantics.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        items: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; clonable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel is disconnected; the unsent value is returned.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and all senders have disconnected.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Non-blocking receive failure.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Empty and no senders remain.
+        Disconnected,
+    }
+
+    /// Timed receive failure.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with nothing queued.
+        Timeout,
+        /// Empty and no senders remain.
+        Disconnected,
+    }
+
+    /// Create a bounded channel; `send` blocks while `cap` items are
+    /// queued. A capacity of 0 is treated as 1 (no rendezvous support).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    /// Create an unbounded channel; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is queued or every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.cap {
+                    Some(cap) if st.items.len() >= cap => {
+                        st = self.shared.not_full.wait(st).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued items (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .items
+                .len()
+        }
+
+        /// Whether the queue is empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until an item arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel poisoned");
+                st = guard;
+            }
+        }
+
+        /// Number of queued items (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .items
+                .len()
+        }
+
+        /// Whether the queue is empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.shared.state.lock().expect("channel poisoned");
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.shared.state.lock().expect("channel poisoned");
+                st.receivers -= 1;
+                st.receivers
+            };
+            if remaining == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::thread as cb_thread;
+    use std::time::Duration;
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let data = [1u64, 2, 3, 4];
+        let total = cb_thread::scope(|scope| {
+            let mid = data.len() / 2;
+            let (a, b) = data.split_at(mid);
+            let ha = scope.spawn(move |_| a.iter().sum::<u64>());
+            let hb = scope.spawn(move |_| b.iter().sum::<u64>());
+            ha.join().expect("left half") + hb.join().expect("right half")
+        })
+        .expect("thread scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_drains_after_sender_drop() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a slot frees
+            "sent"
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(handle.join().unwrap(), "sent");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn mpmc_fan_in_fan_out() {
+        let (tx, rx) = channel::bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let got: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+}

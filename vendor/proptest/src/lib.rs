@@ -1,0 +1,444 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the property-test surface this workspace uses:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
+//! * `prop_assert!` / `prop_assert_eq!` (with optional format message)
+//! * strategies: integer/float ranges (half-open and inclusive), string
+//!   patterns (a regex subset: char classes, `.`, `{m}`/`{m,n}` repeats),
+//!   tuples of strategies, [`collection::vec`], [`array::uniform6`]
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (reproducible across runs, no
+//! persistence files), there is **no shrinking** (the failing inputs are
+//! printed verbatim), and the default case count is 64 (override with the
+//! `PROPTEST_CASES` environment variable).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Failure raised by `prop_assert!`-style macros inside a property body.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            message: msg.into(),
+            reject: false,
+        }
+    }
+
+    /// Mark the case as rejected (`prop_assume!` miss): skipped, not failed.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            message: msg.into(),
+            reject: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than an assertion failure.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Number of cases per property (default 64, `PROPTEST_CASES` overrides).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test, per-case seed (FNV-1a over the test name).
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// RNG for one test case.
+pub fn test_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// ---- range strategies -------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64);
+
+// ---- tuple strategies -------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---- string pattern strategies ----------------------------------------
+
+/// One parsed pattern element: a repeated character source.
+struct Atom {
+    /// `None` = any printable char (`.`), `Some` = explicit class.
+    class: Option<Vec<char>>,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` may produce: printable ASCII plus a few multibyte
+/// code points so char-based algorithms see non-ASCII input.
+const ANY_EXTRA: [char; 6] = ['é', 'ß', 'λ', '中', 'Ω', '±'];
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in pattern `{pattern}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern `{pattern}`");
+                i += 1; // consume ']'
+                Some(set)
+            }
+            '.' => {
+                i += 1;
+                None
+            }
+            '\\' => {
+                i += 1;
+                let c = chars.get(i).copied().expect("dangling escape");
+                i += 1;
+                Some(vec![c])
+            }
+            c => {
+                i += 1;
+                Some(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repeat in pattern")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repeat lower bound"),
+                    hi.trim().parse().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+fn gen_from_pattern(atoms: &[Atom], rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            match &atom.class {
+                Some(set) => out.push(set[rng.gen_range(0..set.len())]),
+                None => {
+                    if rng.gen_range(0u32..8) == 0 {
+                        out.push(ANY_EXTRA[rng.gen_range(0..ANY_EXTRA.len())]);
+                    } else {
+                        out.push(char::from(rng.gen_range(0x20u8..0x7F)));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        gen_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+// ---- collection / array strategies ------------------------------------
+
+/// `proptest::collection` equivalents.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for vectors with element strategy `S` and a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::array` equivalents.
+pub mod array {
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `[S::Value; 6]`.
+    pub struct Uniform6<S> {
+        element: S,
+    }
+
+    /// Six independent draws from `element`.
+    pub fn uniform6<S: Strategy>(element: S) -> Uniform6<S> {
+        Uniform6 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform6<S> {
+        type Value = [S::Value; 6];
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            core::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestCaseError};
+}
+
+/// Define property tests: each `fn` runs [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let total = $crate::cases();
+            for case in 0..total {
+                let mut __rng = $crate::test_rng($crate::seed_for(stringify!($name), case));
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}; ", $arg));
+                    )+
+                    s
+                };
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    if e.is_reject() {
+                        continue; // prop_assume! miss: skip this case
+                    }
+                    panic!(
+                        "property `{}` failed on case {}/{}: {}\n  inputs: {}",
+                        stringify!($name), case, total, e, __inputs
+                    );
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Assert inside a property body; failure reports the inputs, not a panic
+/// backtrace.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Skip the current case unless `cond` holds (rejection, not failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_rng;
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = test_rng(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+
+            let t = Strategy::generate(&"[A-Za-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| c.is_ascii_alphabetic()));
+
+            let u = Strategy::generate(&"[a-z#]{0,20}", &mut rng);
+            assert!(u.chars().all(|c| c == '#' || c.is_ascii_lowercase()));
+
+            let dot = Strategy::generate(&".{0,24}", &mut rng);
+            assert!(dot.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn composite_strategies() {
+        let mut rng = test_rng(2);
+        let v = Strategy::generate(&crate::collection::vec("[a-c]{1,2}", 0..8), &mut rng);
+        assert!(v.len() < 8);
+        let a = Strategy::generate(&crate::array::uniform6(-5.0f64..5.0), &mut rng);
+        assert!(a.iter().all(|x| (-5.0..5.0).contains(x)));
+        let (p, q) = Strategy::generate(&(0usize..20, 0usize..20), &mut rng);
+        assert!(p < 20 && q < 20);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runs_and_passes(a in 0usize..10, b in 0usize..10) {
+            prop_assert!(a + b < 20);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            fn always_fails(a in 0usize..10) {
+                prop_assert!(a > 100, "a was {a}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the workspace vendors a minimal, dependency-free
+//! implementation of the `rand 0.8` API surface it actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] construction (the only construction the
+//!   workspace performs — every RNG is seeded for reproducibility),
+//! * [`Rng::gen`] for `f64` / `u32` / `u64` / `bool`,
+//! * [`Rng::gen_bool`] and [`Rng::gen_range`] over integer and float
+//!   ranges (half-open and inclusive),
+//! * [`rngs::StdRng`] / [`rngs::SmallRng`].
+//!
+//! The generator core is **xoshiro256++** seeded via SplitMix64 — a
+//! different stream than upstream `StdRng` (ChaCha12), so absolute synthetic
+//! worlds differ from runs made with the real crate, but every determinism
+//! property holds: the same seed always produces the same stream.
+
+#![forbid(unsafe_code)]
+
+/// Core random-number source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` path is provided).
+pub trait SeedableRng: Sized {
+    /// Deterministically construct the generator from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution via [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range; panics when empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_impl!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// User-facing sampling adapters over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution (`f64` in `[0,1)`, full-width
+    /// integers, fair `bool`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The provided generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the workspace's deterministic standard generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Small generator alias (same core; kept for API compatibility).
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as upstream rand seeds from u64.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_frequency() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 drew {hits}/10000");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let i = r.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&j));
+            let f = r.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+        // inclusive integer ranges can hit both endpoints
+        let draws: Vec<u32> = (0..200).map(|_| r.gen_range(0u32..=1)).collect();
+        assert!(draws.contains(&0) && draws.contains(&1));
+    }
+}

@@ -1,0 +1,696 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` shim (`Serialize::serialize(&self) -> serde::Value`,
+//! `Deserialize::deserialize(&serde::Value) -> Result<Self, serde::Error>`)
+//! without `syn`/`quote`: the item is lexed into a small token tree, the
+//! shape (named/tuple/unit struct or enum) is extracted by hand, and the
+//! impl is emitted as a string parsed back into a `TokenStream`.
+//!
+//! Supported `#[serde(...)]` attributes — exactly the set this workspace
+//! uses: `skip` (omit on serialize, `Default::default()` on deserialize),
+//! `transparent` (delegate to the single field), `with = "module"`
+//! (call `module::serialize` / `module::deserialize`), and
+//! `rename = "name"` on fields and variants. Enum representation follows
+//! serde's externally-tagged convention: unit variants serialize to
+//! their (wire) name as a string, data variants to a single-key object.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Simplified group delimiter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Delim {
+    Paren,
+    Brace,
+    Bracket,
+}
+
+/// Simplified token for shape parsing.
+#[derive(Clone, Debug)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Group(Delim, Vec<Tok>),
+    Lit(String),
+}
+
+/// Flatten a `TokenStream` into [`Tok`]s (transparent `None` groups are
+/// spliced inline).
+fn lex(ts: TokenStream) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for tt in ts {
+        match tt {
+            TokenTree::Ident(i) => out.push(Tok::Ident(i.to_string())),
+            TokenTree::Punct(p) => out.push(Tok::Punct(p.as_char())),
+            TokenTree::Literal(l) => out.push(Tok::Lit(l.to_string())),
+            TokenTree::Group(g) => match g.delimiter() {
+                Delimiter::Parenthesis => out.push(Tok::Group(Delim::Paren, lex(g.stream()))),
+                Delimiter::Brace => out.push(Tok::Group(Delim::Brace, lex(g.stream()))),
+                Delimiter::Bracket => out.push(Tok::Group(Delim::Bracket, lex(g.stream()))),
+                Delimiter::None => out.extend(lex(g.stream())),
+            },
+        }
+    }
+    out
+}
+
+/// One field of a struct or struct variant.
+#[derive(Clone, Debug)]
+struct Field {
+    name: Option<String>,
+    skip: bool,
+    with: Option<String>,
+    rename: Option<String>,
+}
+
+impl Field {
+    /// The key this field uses on the wire.
+    fn wire(&self) -> &str {
+        self.rename
+            .as_deref()
+            .or(self.name.as_deref())
+            .unwrap_or_default()
+    }
+}
+
+/// One enum variant.
+#[derive(Clone, Debug)]
+struct Variant {
+    name: String,
+    wire: String,
+    shape: Shape,
+}
+
+/// Variant payload shape.
+#[derive(Clone, Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed derive target.
+#[derive(Clone, Debug)]
+enum Kind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Full derive input: name, generic params, container attrs, shape.
+#[derive(Clone, Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// A single item from a `#[serde(...)]` attribute.
+struct SAttr {
+    name: String,
+    value: Option<String>,
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// If `inner` is the content of a `#[serde(...)]` attribute, return its
+/// comma-separated items.
+fn serde_attr_items(inner: &[Tok]) -> Option<Vec<SAttr>> {
+    match (inner.first(), inner.get(1)) {
+        (Some(Tok::Ident(s)), Some(Tok::Group(Delim::Paren, items))) if s == "serde" => {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < items.len() {
+                if let Tok::Ident(n) = &items[i] {
+                    let mut value = None;
+                    if matches!(items.get(i + 1), Some(Tok::Punct('='))) {
+                        if let Some(Tok::Lit(l)) = items.get(i + 2) {
+                            value = Some(unquote(l));
+                        }
+                        i += 3;
+                    } else {
+                        i += 1;
+                    }
+                    out.push(SAttr {
+                        name: n.clone(),
+                        value,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Attribute payload collected ahead of a field or variant.
+#[derive(Default)]
+struct TakenAttrs {
+    skip: bool,
+    with: Option<String>,
+    rename: Option<String>,
+}
+
+/// Consume leading `#[...]` attributes at `toks[i..]`, returning what any
+/// `#[serde(...)]` among them carried plus the next index.
+fn take_attrs(toks: &[Tok], mut i: usize) -> (TakenAttrs, usize) {
+    let mut out = TakenAttrs::default();
+    while matches!(toks.get(i), Some(Tok::Punct('#'))) {
+        if let Some(Tok::Group(Delim::Bracket, inner)) = toks.get(i + 1) {
+            if let Some(items) = serde_attr_items(inner) {
+                for a in items {
+                    match a.name.as_str() {
+                        "skip" => out.skip = true,
+                        "with" => out.with = a.value,
+                        "rename" => out.rename = a.value,
+                        _ => {}
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    (out, i)
+}
+
+fn expect_ident(tok: Option<&Tok>, what: &str) -> String {
+    match tok {
+        Some(Tok::Ident(s)) => s.clone(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse the fields of a `{ ... }` struct body or struct variant.
+fn parse_named_fields(toks: &[Tok]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (attrs, ni) = take_attrs(toks, i);
+        i = ni;
+        if i >= toks.len() {
+            break;
+        }
+        if matches!(&toks[i], Tok::Ident(s) if s == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(Tok::Group(Delim::Paren, _))) {
+                i += 1;
+            }
+        }
+        let name = expect_ident(toks.get(i), "field name");
+        i += 1;
+        assert!(
+            matches!(toks.get(i), Some(Tok::Punct(':'))),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: Some(name),
+            skip: attrs.skip,
+            with: attrs.with,
+            rename: attrs.rename,
+        });
+    }
+    fields
+}
+
+/// Parse the fields of a `( ... )` tuple body.
+fn parse_tuple_fields(toks: &[Tok]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (attrs, ni) = take_attrs(toks, i);
+        i = ni;
+        if i >= toks.len() {
+            break;
+        }
+        if matches!(&toks[i], Tok::Ident(s) if s == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(Tok::Group(Delim::Paren, _))) {
+                i += 1;
+            }
+        }
+        let mut depth = 0i32;
+        let mut saw_type = false;
+        while i < toks.len() {
+            match &toks[i] {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => saw_type = true,
+            }
+            i += 1;
+        }
+        if saw_type {
+            fields.push(Field {
+                name: None,
+                skip: attrs.skip,
+                with: attrs.with,
+                rename: attrs.rename,
+            });
+        }
+    }
+    fields
+}
+
+/// Parse the variants of an enum body.
+fn parse_variants(toks: &[Tok]) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (attrs, ni) = take_attrs(toks, i);
+        i = ni;
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(toks.get(i), "variant name");
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(Tok::Group(Delim::Paren, inner)) => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(inner).len())
+            }
+            Some(Tok::Group(Delim::Brace, inner)) => {
+                i += 1;
+                Shape::Struct(parse_named_fields(inner))
+            }
+            _ => Shape::Unit,
+        };
+        while i < toks.len() && !matches!(&toks[i], Tok::Punct(',')) {
+            i += 1;
+        }
+        i += 1;
+        let wire = attrs.rename.unwrap_or_else(|| name.clone());
+        out.push(Variant { name, wire, shape });
+    }
+    out
+}
+
+/// Parse the whole derive input item.
+fn parse_input(toks: &[Tok]) -> Input {
+    let mut i = 0;
+    let mut transparent = false;
+    // Container attributes and visibility keywords up to `struct`/`enum`.
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Punct('#') => {
+                if let Some(Tok::Group(Delim::Bracket, inner)) = toks.get(i + 1) {
+                    if let Some(items) = serde_attr_items(inner) {
+                        for a in items {
+                            if a.name == "transparent" {
+                                transparent = true;
+                            }
+                        }
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(s) if s == "struct" || s == "enum" => break,
+            _ => i += 1,
+        }
+    }
+    let is_struct = matches!(&toks[i], Tok::Ident(s) if s == "struct");
+    i += 1;
+    let name = expect_ident(toks.get(i), "type name");
+    i += 1;
+
+    let mut generics = Vec::new();
+    if matches!(toks.get(i), Some(Tok::Punct('<'))) {
+        i += 1;
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        while i < toks.len() && depth > 0 {
+            match &toks[i] {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => depth -= 1,
+                Tok::Punct(',') if depth == 1 => expect_param = true,
+                Tok::Punct(':') if depth == 1 => expect_param = false,
+                Tok::Punct('\'') => expect_param = false,
+                Tok::Ident(id) if depth == 1 && expect_param => {
+                    if id != "const" {
+                        generics.push(id.clone());
+                    }
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Skip any `where` clause; the body is the next brace/paren group or `;`.
+    let kind = loop {
+        match toks.get(i) {
+            Some(Tok::Group(Delim::Brace, inner)) => {
+                break if is_struct {
+                    Kind::Named(parse_named_fields(inner))
+                } else {
+                    Kind::Enum(parse_variants(inner))
+                };
+            }
+            Some(Tok::Group(Delim::Paren, inner)) if is_struct => {
+                break Kind::Tuple(parse_tuple_fields(inner));
+            }
+            Some(Tok::Punct(';')) => break Kind::Unit,
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no body found for `{name}`"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        transparent,
+        kind,
+    }
+}
+
+/// `impl<...>` and `<...>` strings for a generic target.
+fn generics_for(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> = input
+        .generics
+        .iter()
+        .map(|g| format!("{g}: {bound}"))
+        .collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", input.generics.join(", ")),
+    )
+}
+
+fn ser_field_expr(f: &Field, access: &str) -> String {
+    match &f.with {
+        Some(p) => format!("{p}::serialize({access})"),
+        None => format!("serde::Serialize::serialize({access})"),
+    }
+}
+
+fn de_field_expr(f: &Field, source: &str, label: &str) -> String {
+    let call = match &f.with {
+        Some(p) => format!("{p}::deserialize({source})"),
+        None => format!("serde::Deserialize::deserialize({source})"),
+    };
+    format!("{call}.map_err(|e| e.field(\"{label}\"))?")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (ig, tg) = generics_for(input, "serde::Serialize");
+    let body = match &input.kind {
+        Kind::Unit => "serde::Value::Null".to_string(),
+        Kind::Named(fields) => {
+            if input.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("serde(transparent) needs a field");
+                ser_field_expr(f, &format!("&self.{}", f.name.as_ref().unwrap()))
+            } else {
+                let mut s = String::from("let mut m = serde::Map::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    let fname = f.name.as_ref().unwrap();
+                    let wire = f.wire();
+                    let expr = ser_field_expr(f, &format!("&self.{fname}"));
+                    s.push_str(&format!("m.insert(String::from(\"{wire}\"), {expr});\n"));
+                }
+                s.push_str("serde::Value::Object(m)");
+                s
+            }
+        }
+        Kind::Tuple(fields) => {
+            if fields.len() == 1 || input.transparent {
+                ser_field_expr(&fields[0], "&self.0")
+            } else {
+                let items: Vec<String> = (0..fields.len())
+                    .map(|i| ser_field_expr(&fields[i], &format!("&self.{i}")))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let wn = &v.wire;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(String::from(\"{wn}\")),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{ let mut m = serde::Map::new(); \
+                             m.insert(String::from(\"{wn}\"), {inner}); \
+                             serde::Value::Object(m) }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let pat: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().unwrap();
+                                if f.skip {
+                                    format!("{fname}: _")
+                                } else {
+                                    fname.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::from("let mut inner = serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = f.name.as_ref().unwrap();
+                            let wire = f.wire();
+                            let expr = ser_field_expr(f, fname);
+                            inner.push_str(&format!(
+                                "inner.insert(String::from(\"{wire}\"), {expr});\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ {inner} \
+                             let mut m = serde::Map::new(); \
+                             m.insert(String::from(\"{wn}\"), serde::Value::Object(inner)); \
+                             serde::Value::Object(m) }}\n",
+                            pat = pat.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{ig} serde::Serialize for {name}{tg} {{ \
+         fn serialize(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (ig, tg) = generics_for(input, "serde::Deserialize");
+    let body = match &input.kind {
+        Kind::Unit => format!(
+            "match v {{ serde::Value::Null => Ok({name}), \
+             _ => Err(serde::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Kind::Named(fields) => {
+            if input.transparent {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let fname = f.name.as_ref().unwrap();
+                        if f.skip {
+                            format!("{fname}: ::std::default::Default::default()")
+                        } else {
+                            format!("{fname}: {}", de_field_expr(f, "v", fname))
+                        }
+                    })
+                    .collect();
+                format!("Ok({name} {{ {} }})", inits.join(", "))
+            } else {
+                let mut s = format!(
+                    "let obj = match v {{ serde::Value::Object(m) => m, \
+                     _ => return Err(serde::Error::custom(\"expected object for {name}\")) }};\n"
+                );
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let fname = f.name.as_ref().unwrap();
+                        if f.skip {
+                            format!("{fname}: ::std::default::Default::default()")
+                        } else {
+                            let wire = f.wire();
+                            let src = format!("obj.get(\"{wire}\").unwrap_or(&serde::Value::Null)");
+                            format!("{fname}: {}", de_field_expr(f, &src, wire))
+                        }
+                    })
+                    .collect();
+                s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+                s
+            }
+        }
+        Kind::Tuple(fields) => {
+            let n = fields.len();
+            if n == 1 {
+                format!("Ok({name}({}))", de_field_expr(&fields[0], "v", "0"))
+            } else {
+                let items: Vec<String> = (0..n)
+                    .map(|i| de_field_expr(&fields[i], &format!("&a[{i}]"), &i.to_string()))
+                    .collect();
+                format!(
+                    "let a = match v {{ serde::Value::Array(a) if a.len() == {n} => a, \
+                     _ => return Err(serde::Error::custom(\
+                     \"expected {n}-element array for {name}\")) }};\nOk({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tag_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let wn = &v.wire;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{wn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(1) => {
+                        tag_arms.push_str(&format!(
+                            "\"{wn}\" => Ok({name}::{vn}(\
+                             serde::Deserialize::deserialize(inner)\
+                             .map_err(|e| e.field(\"{vn}\"))?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::deserialize(&a[{i}])\
+                                     .map_err(|e| e.field(\"{vn}\"))?"
+                                )
+                            })
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{wn}\" => {{ let a = match inner {{ \
+                             serde::Value::Array(a) if a.len() == {n} => a, \
+                             _ => return Err(serde::Error::custom(\
+                             \"expected {n}-element array for {name}::{vn}\")) }}; \
+                             Ok({name}::{vn}({items})) }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().unwrap();
+                                if f.skip {
+                                    format!("{fname}: ::std::default::Default::default()")
+                                } else {
+                                    let wire = f.wire();
+                                    let src = format!(
+                                        "obj.get(\"{wire}\").unwrap_or(&serde::Value::Null)"
+                                    );
+                                    format!("{fname}: {}", de_field_expr(f, &src, wire))
+                                }
+                            })
+                            .collect();
+                        tag_arms.push_str(&format!(
+                            "\"{wn}\" => {{ let obj = match inner {{ \
+                             serde::Value::Object(o) => o, \
+                             _ => return Err(serde::Error::custom(\
+                             \"expected object for {name}::{vn}\")) }}; \
+                             Ok({name}::{vn} {{ {inits} }}) }}\n",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let mut s = String::from("match v {\n");
+            s.push_str("serde::Value::String(s) => match s.as_str() {\n");
+            s.push_str(&unit_arms);
+            s.push_str(&format!(
+                "other => Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n"
+            ));
+            s.push_str("},\n");
+            s.push_str("serde::Value::Object(m) if m.len() == 1 => {\n");
+            s.push_str("let (tag, inner) = m.iter().next().expect(\"len checked\");\n");
+            s.push_str("match tag.as_str() {\n");
+            s.push_str(&tag_arms);
+            s.push_str(&format!(
+                "other => Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n"
+            ));
+            s.push_str("}\n}\n");
+            s.push_str(&format!(
+                "_ => Err(serde::Error::custom(\
+                 \"expected string or single-key object for {name}\")),\n"
+            ));
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl{ig} serde::Deserialize for {name}{tg} {{ \
+         fn deserialize(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> \
+         {{ {body} }} }}"
+    )
+}
+
+/// Derive `serde::Serialize` (vendored shim semantics).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(&lex(input));
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (vendored shim semantics).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(&lex(input));
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
