@@ -6,8 +6,13 @@
 //! with the reader count (snapshot reads don't contend), while ingest
 //! throughput stays in the same band — the point of the generation-swap
 //! design.
+//!
+//! A second table compares ingest round-trip latency with the
+//! write-ahead log on versus purely in-memory, at the default fsync
+//! batch. The batched group commit should keep the durable ingest p50
+//! within 2x of the in-memory p50.
 
-use bdi_serve::{run_load, LoadConfig, Server, ServerConfig};
+use bdi_serve::{run_load, DurabilityConfig, LoadConfig, Server, ServerConfig};
 
 fn main() {
     let base = LoadConfig {
@@ -39,5 +44,51 @@ fn main() {
             report.p99_us
         );
         server.shutdown();
+    }
+
+    println!();
+    println!("durability: ingest round-trip latency, WAL on vs in-memory (1 reader)");
+    println!(
+        "{:>10} {:>9} {:>12} {:>11} {:>11}",
+        "mode", "records", "ingest r/s", "ing p50 us", "ing p99 us"
+    );
+    let cfg = LoadConfig {
+        readers: 1,
+        ..base.clone()
+    };
+    let mut memory_p50 = 0u64;
+    for durable in [false, true] {
+        let data_dir = std::env::temp_dir().join(format!(
+            "bdi-serve-bench-{}-{}",
+            std::process::id(),
+            durable
+        ));
+        let durability = durable.then(|| DurabilityConfig::new(&data_dir));
+        let server = Server::start(ServerConfig {
+            durability,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let report = run_load(server.addr(), &cfg).expect("load run");
+        println!(
+            "{:>10} {:>9} {:>12.0} {:>11} {:>11}",
+            if durable { "wal" } else { "in-memory" },
+            report.records,
+            report.ingest_per_sec,
+            report.ingest_p50_us,
+            report.ingest_p99_us
+        );
+        if durable {
+            if memory_p50 > 0 && report.ingest_p50_us > 2 * memory_p50 {
+                println!(
+                    "WARNING: durable ingest p50 {}us is more than 2x in-memory {}us",
+                    report.ingest_p50_us, memory_p50
+                );
+            }
+        } else {
+            memory_p50 = report.ingest_p50_us;
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&data_dir);
     }
 }

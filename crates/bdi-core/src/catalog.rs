@@ -45,6 +45,21 @@ pub struct Catalog {
     by_identifier: HashMap<String, usize>,
 }
 
+/// A catalog serializes as its entry list alone: the identifier index is
+/// derived state, rebuilt by [`Catalog::from_entries`] on deserialize, so
+/// the wire/disk form stays minimal and cannot go out of sync with it.
+impl Serialize for Catalog {
+    fn serialize(&self) -> serde::Value {
+        self.entries.serialize()
+    }
+}
+
+impl Deserialize for Catalog {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Catalog::from_entries(Vec::<CatalogEntry>::deserialize(v)?))
+    }
+}
+
 impl Catalog {
     /// Materialize a pipeline result over its dataset.
     pub fn materialize(ds: &Dataset, res: &PipelineResult) -> Self {
@@ -379,6 +394,24 @@ mod tests {
             Some(9.0)
         );
         assert_eq!(next.lookup("D5").unwrap().id, 5);
+    }
+
+    #[test]
+    fn catalog_serde_round_trips_with_index() {
+        let catalog = Catalog::from_entries(vec![
+            entry(0, 1.0, &["C0"]),
+            entry(2, 2.0, &["C2", "SHARED"]),
+            entry(5, 3.0, &["C5", "SHARED"]),
+        ]);
+        let json = serde_json::to_string(&catalog).unwrap();
+        let back: Catalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), catalog.len());
+        let ids: Vec<usize> = back.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 2, 5]);
+        // derived identifier index is rebuilt, collision rule included
+        assert_eq!(back.lookup("c2").unwrap().id, 2);
+        assert_eq!(back.lookup("shared").unwrap().id, 2, "lowest id wins");
+        assert_eq!(back.entry_by_id(5).unwrap().title, "product 5");
     }
 
     #[test]

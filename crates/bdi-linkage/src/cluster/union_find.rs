@@ -94,6 +94,34 @@ impl UnionFind {
         self.components += 1;
         i
     }
+
+    /// The raw forest state: `(parent, rank)` clones. Together with
+    /// [`UnionFind::from_parts`] this round-trips the structure exactly
+    /// (same roots, same future union behaviour) — the contract the
+    /// serve-path snapshots rely on to keep cluster ids stable across a
+    /// restart.
+    pub fn parts(&self) -> (Vec<usize>, Vec<u8>) {
+        (self.parent.clone(), self.rank.clone())
+    }
+
+    /// Rebuild from raw `(parent, rank)` state previously taken with
+    /// [`UnionFind::parts`]. Returns `None` when the arrays are
+    /// inconsistent (length mismatch or a parent index out of range).
+    pub fn from_parts(parent: Vec<usize>, rank: Vec<u8>) -> Option<Self> {
+        if parent.len() != rank.len() {
+            return None;
+        }
+        let n = parent.len();
+        if parent.iter().any(|&p| p >= n) {
+            return None;
+        }
+        let components = parent.iter().enumerate().filter(|&(i, &p)| i == p).count();
+        Some(Self {
+            parent,
+            rank,
+            components,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +160,30 @@ mod tests {
         assert_eq!(uf.components(), 3);
         uf.union(i, 0);
         assert!(uf.connected(2, 0));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_roots_and_unions() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        let roots: Vec<usize> = (0..8).map(|i| uf.find(i)).collect();
+        let (parent, rank) = uf.parts();
+        let mut back = UnionFind::from_parts(parent, rank).expect("consistent parts");
+        assert_eq!(back.components(), uf.components());
+        let back_roots: Vec<usize> = (0..8).map(|i| back.find(i)).collect();
+        assert_eq!(back_roots, roots, "restored forest keeps the same roots");
+        // the restored structure keeps working as a union-find
+        back.union(4, 5);
+        assert!(back.connected(4, 5));
+        assert_eq!(back.components(), uf.components() - 1);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_state() {
+        assert!(UnionFind::from_parts(vec![0, 1], vec![0]).is_none());
+        assert!(UnionFind::from_parts(vec![0, 9], vec![0, 0]).is_none());
     }
 
     proptest! {

@@ -187,6 +187,86 @@ impl<M: Matcher> IncrementalLinker<M> {
         }
         members
     }
+
+    /// Snapshot the linker's durable state: the records in arrival order
+    /// plus the raw union-find forest. The blocking index and the id map
+    /// are *derived* state (pure functions of the record sequence) and are
+    /// rebuilt by [`IncrementalLinker::restore`], so they are not part of
+    /// the snapshot.
+    pub fn export_state(&self) -> LinkerState {
+        let (parents, ranks) = self.uf.parts();
+        LinkerState {
+            records: self.records.clone(),
+            parents,
+            ranks,
+            comparisons: self.comparisons,
+        }
+    }
+
+    /// Rebuild a linker from a [`LinkerState`] previously taken with
+    /// [`IncrementalLinker::export_state`]. The blocking index and id map
+    /// are reconstructed by key extraction only — no pairwise matching is
+    /// re-run, so restore cost is linear in the record count. Returns
+    /// `None` when the state is internally inconsistent (array length
+    /// mismatch or an out-of-range parent pointer).
+    ///
+    /// `matcher`, `threshold` and `keys` must match the configuration the
+    /// state was exported under for subsequent inserts to behave as if the
+    /// linker had never been torn down.
+    pub fn restore(
+        matcher: M,
+        threshold: f64,
+        keys: Vec<BlockingKey>,
+        state: LinkerState,
+    ) -> Option<Self> {
+        assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+        assert!(!keys.is_empty(), "need at least one blocking key");
+        if state.parents.len() != state.records.len() {
+            return None;
+        }
+        let uf = UnionFind::from_parts(state.parents, state.ranks)?;
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_id = HashMap::new();
+        for (idx, record) in state.records.iter().enumerate() {
+            let mut record_keys: Vec<String> = keys
+                .iter()
+                .flat_map(|key| key.keys(record))
+                .filter(|k| !k.is_empty())
+                .collect();
+            record_keys.sort_unstable();
+            record_keys.dedup();
+            for k in record_keys {
+                index.entry(k).or_default().push(idx);
+            }
+            by_id.insert(record.id, idx);
+        }
+        Some(Self {
+            matcher,
+            threshold,
+            keys,
+            index,
+            records: state.records,
+            by_id,
+            uf,
+            comparisons: state.comparisons,
+            max_postings: 200,
+        })
+    }
+}
+
+/// Durable state of an [`IncrementalLinker`], produced by
+/// [`IncrementalLinker::export_state`]. Plain data — the serve layer
+/// owns its serialization.
+#[derive(Clone, Debug)]
+pub struct LinkerState {
+    /// Inserted records in arrival order (index = insert position).
+    pub records: Vec<Record>,
+    /// Raw union-find parent pointers, one per record.
+    pub parents: Vec<usize>,
+    /// Raw union-find ranks, one per record.
+    pub ranks: Vec<u8>,
+    /// Total pairwise comparisons performed so far.
+    pub comparisons: u64,
 }
 
 /// Outcome of one [`IncrementalLinker::insert_traced`] call.
@@ -321,6 +401,65 @@ mod tests {
             touched.push(t.cluster);
             assert!(touched.contains(&ra) || touched.contains(&rb));
         }
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_keeps_linking() {
+        let make = |i: u32, s: u32| {
+            rec(
+                s,
+                i,
+                &format!("Gadget{i} model{i}"),
+                Some(&format!("XXX-YYY-{i:05}")),
+            )
+        };
+        let mut original = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        for i in 0..12u32 {
+            original.insert(make(i, 0));
+            original.insert(make(i, 1));
+        }
+        let state = original.export_state();
+        let mut restored = IncrementalLinker::restore(
+            IdentifierRule::default(),
+            0.9,
+            vec![BlockingKey::IdentifierDigits, BlockingKey::TitleTokens],
+            state,
+        )
+        .expect("state is consistent");
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.comparisons(), original.comparisons());
+        assert_eq!(
+            restored.clustering().clusters(),
+            original.clustering().clusters()
+        );
+        // the same future inserts behave identically on both linkers
+        for i in 0..12u32 {
+            let a = original.insert_traced(make(i, 2));
+            let b = restored.insert_traced(make(i, 2));
+            assert_eq!(a.compared, b.compared, "same candidates after restore");
+            assert_eq!(a.cluster, b.cluster, "same cluster roots after restore");
+            assert_eq!(a.absorbed, b.absorbed);
+        }
+        assert_eq!(
+            restored.clustering().clusters(),
+            original.clustering().clusters()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        linker.insert(rec(0, 0, "Lumetra LX-100 camera", Some("CAM-LUM-00100")));
+        let mut state = linker.export_state();
+        state.parents.push(0);
+        state.ranks.push(0);
+        assert!(IncrementalLinker::restore(
+            IdentifierRule::default(),
+            0.9,
+            vec![BlockingKey::IdentifierDigits],
+            state,
+        )
+        .is_none());
     }
 
     #[test]

@@ -15,15 +15,18 @@
 
 use bdi_core::catalog::{Catalog, CatalogEntry};
 use bdi_fusion::{ClaimSet, Fuser, MajorityVote};
-use bdi_linkage::blocking::normalize_identifier;
-use bdi_linkage::incremental::{IncrementalLinker, InsertTrace};
+use bdi_linkage::blocking::{normalize_identifier, BlockingKey};
+use bdi_linkage::incremental::{IncrementalLinker, InsertTrace, LinkerState};
 use bdi_linkage::matcher::IdentifierRule;
 use bdi_types::{DataItem, EntityId, Record, Value};
-use std::collections::{BTreeSet, HashMap};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Long-lived integration state behind the serve ingest path.
 pub struct Engine {
     linker: IncrementalLinker<IdentifierRule>,
+    /// Linkage match threshold the linker was built with.
+    threshold: f64,
     /// Cluster root → member arrival indices (ascending).
     members: HashMap<usize, Vec<usize>>,
     /// Roots whose membership changed since the last refresh.
@@ -34,17 +37,106 @@ pub struct Engine {
     catalog: Catalog,
 }
 
+/// The complete durable state of an [`Engine`], as written into serve-path
+/// snapshots ([`crate::snapshot`]). Restoring through
+/// [`Engine::from_state`] reproduces the engine *exactly* — same cluster
+/// roots, same pending dirty/dead sets, same behaviour on every future
+/// insert — so a recovered server is indistinguishable from one that
+/// never went down.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Linkage match threshold the state was produced under.
+    pub threshold: f64,
+    /// Ingested records in arrival order.
+    pub records: Vec<Record>,
+    /// Raw union-find parent pointers, one per record.
+    pub parents: Vec<usize>,
+    /// Raw union-find ranks, one per record.
+    pub ranks: Vec<u8>,
+    /// Pairwise comparisons performed so far (instrumentation).
+    pub comparisons: u64,
+    /// Cluster root → member arrival indices (ascending).
+    pub members: BTreeMap<usize, Vec<usize>>,
+    /// Roots dirtied since the last refresh.
+    pub dirty: BTreeSet<usize>,
+    /// Roots absorbed since the last refresh.
+    pub dead: BTreeSet<usize>,
+    /// The catalog as of the last refresh.
+    pub catalog: Catalog,
+}
+
 impl Engine {
     /// Fresh engine with the product defaults (identifier + title
     /// blocking, identifier-rule matcher) at `threshold`.
     pub fn new(threshold: f64) -> Self {
         Self {
             linker: IncrementalLinker::for_products(IdentifierRule::default(), threshold),
+            threshold,
             members: HashMap::new(),
             dirty: BTreeSet::new(),
             dead: BTreeSet::new(),
             catalog: Catalog::default(),
         }
+    }
+
+    /// The linkage match threshold this engine links at.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Export the engine's complete durable state (see [`EngineState`]).
+    pub fn export_state(&self) -> EngineState {
+        let LinkerState {
+            records,
+            parents,
+            ranks,
+            comparisons,
+        } = self.linker.export_state();
+        EngineState {
+            threshold: self.threshold,
+            records,
+            parents,
+            ranks,
+            comparisons,
+            members: self.members.iter().map(|(&r, m)| (r, m.clone())).collect(),
+            dirty: self.dirty.clone(),
+            dead: self.dead.clone(),
+            catalog: self.catalog.clone(),
+        }
+    }
+
+    /// Rebuild an engine from a previously exported [`EngineState`].
+    /// The linker's blocking index is reconstructed by key extraction
+    /// only (no pairwise matching), so the cost is linear in the record
+    /// count. Returns `None` when the state is internally inconsistent.
+    pub fn from_state(state: EngineState) -> Option<Self> {
+        let threshold = state.threshold;
+        if !(0.0..=1.0).contains(&threshold) {
+            return None;
+        }
+        let n = state.records.len();
+        if state.members.values().flatten().any(|&i| i >= n) {
+            return None;
+        }
+        let linker = IncrementalLinker::restore(
+            IdentifierRule::default(),
+            threshold,
+            vec![BlockingKey::IdentifierDigits, BlockingKey::TitleTokens],
+            LinkerState {
+                records: state.records,
+                parents: state.parents,
+                ranks: state.ranks,
+                comparisons: state.comparisons,
+            },
+        )?;
+        Some(Self {
+            linker,
+            threshold,
+            members: state.members.into_iter().collect(),
+            dirty: state.dirty,
+            dead: state.dead,
+            catalog: state.catalog,
+        })
     }
 
     /// Ingest one record: link it, mark the touched clusters dirty.
@@ -213,6 +305,56 @@ mod tests {
             assert_eq!(merged.pages.len(), 3);
         }
         assert_eq!(before.len(), 2, "old generation still readable");
+    }
+
+    #[test]
+    fn export_from_state_round_trips_exactly() {
+        let mut original = Engine::new(0.9);
+        for i in 0..10u32 {
+            original.ingest(rec(
+                i % 3,
+                i / 3,
+                &format!("Gadget{} model{}", i / 2, i / 2),
+                &format!("XXX-YYY-{:05}", i / 2),
+            ));
+        }
+        original.refresh();
+        // leave some work pending so dirty state round-trips too
+        original.ingest(rec(0, 99, "Gadget0 model0", "XXX-YYY-00000"));
+
+        let json = serde_json::to_string(&original.export_state()).unwrap();
+        let state: EngineState = serde_json::from_str(&json).unwrap();
+        let mut restored = Engine::from_state(state).expect("state is consistent");
+        assert_eq!(restored.records(), original.records());
+        assert_eq!(restored.clusters(), original.clusters());
+        assert_eq!(restored.dirty(), original.dirty());
+        assert_eq!(restored.threshold(), original.threshold());
+
+        // both engines evolve identically from here on
+        for (s, q) in [(1u32, 50u32), (2, 50), (0, 51)] {
+            let a = original.ingest(rec(s, q, "Gadget1 model1", "XXX-YYY-00001"));
+            let b = restored.ingest(rec(s, q, "Gadget1 model1", "XXX-YYY-00001"));
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.absorbed, b.absorbed);
+        }
+        let ca = original.refresh();
+        let cb = restored.refresh();
+        assert_eq!(ca.len(), cb.len());
+        let ids_a: Vec<usize> = ca.entries().iter().map(|e| e.id).collect();
+        let ids_b: Vec<usize> = cb.entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids_a, ids_b, "cluster ids survive the round trip");
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistency() {
+        let mut e = Engine::new(0.9);
+        e.ingest(rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100"));
+        let mut s = e.export_state();
+        s.members.insert(9, vec![42]);
+        assert!(Engine::from_state(s).is_none(), "member index out of range");
+        let mut s = e.export_state();
+        s.threshold = 7.0;
+        assert!(Engine::from_state(s).is_none(), "threshold out of range");
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!   batch and never block the writer.
 //! * **Wire protocol** — JSON lines over TCP ([`protocol`]): one request
 //!   object per line, one response object per line. `nc` is a usable
-//!   client.
+//!   client. The full reference lives in `docs/PROTOCOL.md`.
+//! * **Durability** (optional, [`server::DurabilityConfig`]) — every
+//!   record is appended to a write-ahead log ([`wal`]) before it is
+//!   applied, fsync'd in batches; periodic on-disk checkpoints
+//!   ([`snapshot`]) of the full engine state bound the replay tail, so
+//!   a restart — graceful or `kill -9` — recovers the exact pre-crash
+//!   state from one snapshot load plus the WAL tail.
 //!
 //! The load driver ([`load`]) replays a synthetic world as an ingest
 //! stream while reader threads hammer lookups, reporting ingest
@@ -31,10 +37,14 @@ pub mod gen;
 pub mod load;
 pub mod protocol;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
 pub use client::Client;
-pub use engine::Engine;
+pub use engine::{Engine, EngineState};
 pub use gen::{Generation, ShardedIndex, Swap};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use protocol::{Request, Response};
-pub use server::{Server, ServerConfig};
+pub use server::{DurabilityConfig, Server, ServerConfig};
+pub use snapshot::Snapshot;
+pub use wal::Wal;

@@ -48,6 +48,12 @@ pub struct LoadReport {
     pub ingest_secs: f64,
     /// Records per second through the ingest path.
     pub ingest_per_sec: f64,
+    /// Median per-record `ingest` round-trip latency, microseconds —
+    /// the number the WAL fsync batching must keep close to in-memory.
+    pub ingest_p50_us: u64,
+    /// 99th-percentile per-record `ingest` round-trip latency,
+    /// microseconds (captures fsync and backpressure stalls).
+    pub ingest_p99_us: u64,
     /// Total lookups completed across all readers during the ingest.
     pub queries: u64,
     /// Lookups per second across all readers.
@@ -108,9 +114,12 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         .collect();
 
     let mut writer = Client::connect(addr)?;
+    let mut ingest_latencies: Vec<u64> = Vec::with_capacity(total);
     let t0 = Instant::now();
     for r in records {
+        let t = Instant::now();
         writer.ingest(r)?;
+        ingest_latencies.push(t.elapsed().as_micros() as u64);
     }
     let (generation, _) = writer.flush()?;
     let ingest_secs = t0.elapsed().as_secs_f64();
@@ -127,23 +136,26 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         }
     }
     latencies.sort_unstable();
+    ingest_latencies.sort_unstable();
     let queries = latencies.len() as u64;
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
             return 0;
         }
-        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
-        latencies[idx]
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
     };
 
     Ok(LoadReport {
         records: total,
         ingest_secs,
         ingest_per_sec: total as f64 / ingest_secs.max(1e-9),
+        ingest_p50_us: pct(&ingest_latencies, 0.50),
+        ingest_p99_us: pct(&ingest_latencies, 0.99),
         queries,
         reads_per_sec: queries as f64 / ingest_secs.max(1e-9),
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
+        p50_us: pct(&latencies, 0.50),
+        p99_us: pct(&latencies, 0.99),
         generation,
     })
 }
@@ -167,6 +179,8 @@ mod tests {
         assert!(report.ingest_per_sec > 0.0);
         assert!(report.queries > 0, "readers ran during ingest");
         assert!(report.p99_us >= report.p50_us);
+        assert!(report.ingest_p99_us >= report.ingest_p50_us);
+        assert!(report.ingest_p50_us > 0, "ingest round trips were timed");
         assert!(report.generation >= 1);
         server.shutdown();
     }

@@ -79,6 +79,11 @@ pub enum Response {
 }
 
 /// Counters reported by [`Response::Stats`].
+///
+/// The `wal_*` and `snapshot_*` fields describe the durability subsystem
+/// and are all zero when the server runs in-memory (`durable: false`).
+/// Positions are absolute ingest sequence numbers — a count of records
+/// ever applied — not file offsets.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct StatsBody {
     /// Published generation number.
@@ -91,8 +96,25 @@ pub struct StatsBody {
     pub submitted: u64,
     /// Records applied (linked + fused + published) so far.
     pub applied: u64,
+    /// Records that failed to apply (the handler caught a panic on the
+    /// ingest path); counted into `applied` so `flush` still terminates.
+    pub rejected: u64,
     /// Identifier-index shards per generation.
     pub shards: usize,
+    /// True when a write-ahead log backs the ingest path.
+    pub durable: bool,
+    /// Position one past the last record appended to the WAL.
+    pub wal_position: u64,
+    /// Position through which the WAL is known fsync'd — records below
+    /// this survive any crash.
+    pub wal_synced: u64,
+    /// WAL entries past the last snapshot (the replay tail a restart
+    /// would pay for right now).
+    pub wal_tail: u64,
+    /// Position covered by the last on-disk snapshot.
+    pub snapshot_records: u64,
+    /// Generation number the last snapshot was captured at.
+    pub snapshot_generation: u64,
 }
 
 #[cfg(test)]

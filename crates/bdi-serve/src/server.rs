@@ -13,18 +13,64 @@
 //!   refreshes the dirty clusters once, and publishes the new generation
 //!   through the [`Swap`] — readers pay one `Arc` clone, never a lock
 //!   held across a query.
+//!
+//! With a [`DurabilityConfig`], the worker also appends every record to
+//! a write-ahead log *before* linking it ([`crate::wal`]), fsyncs in
+//! batches, and periodically captures the engine into a snapshot
+//! ([`crate::snapshot`]) before compacting the log — so
+//! [`Server::start`] on the same data directory rebuilds the exact
+//! pre-crash state from one snapshot load plus the WAL tail.
+//!
+//! A panic anywhere on a connection's request path (malformed input
+//! reaching a deep invariant, say) is caught and answered with an
+//! `error` response instead of killing the handler thread; a panic while
+//! applying one record is caught, counted in `stats.rejected`, and the
+//! worker keeps draining.
 
 use crate::engine::Engine;
 use crate::gen::{Generation, ShardedIndex, Swap};
 use crate::protocol::{Request, Response, StatsBody};
+use crate::snapshot::Snapshot;
+use crate::wal::Wal;
 use bdi_types::Record;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Durability tunables: where state lives and how eagerly it hits disk.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal.log` and `snapshot.json` (created if
+    /// missing). Reusing a directory resumes its state.
+    pub data_dir: PathBuf,
+    /// fsync the WAL after this many appended records (1 = every
+    /// record). Larger batches keep the hot path off the disk's fsync
+    /// latency at the cost of losing up to that many acked records on a
+    /// hard crash. The log is also always synced when the ingest queue
+    /// drains, so a quiescent server is fully durable.
+    pub sync_every: usize,
+    /// Snapshot + compact once the WAL tail exceeds this many records —
+    /// the bound on replay work a restart can face.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability in `data_dir` with the default batching (fsync every
+    /// 64 records, snapshot every 4096).
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            sync_every: 64,
+            snapshot_every: 4096,
+        }
+    }
+}
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -41,6 +87,8 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Records integrated before the server starts accepting.
     pub preload: Vec<Record>,
+    /// Write-ahead log + snapshots; `None` serves purely in memory.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +100,7 @@ impl Default for ServerConfig {
             refresh_batch: 64,
             shards: 8,
             preload: Vec::new(),
+            durability: None,
         }
     }
 }
@@ -61,8 +110,15 @@ struct Shared {
     current: Swap<Generation>,
     submitted: AtomicU64,
     applied: AtomicU64,
+    rejected: AtomicU64,
     shutdown: AtomicBool,
     shards: usize,
+    durable: bool,
+    wal_position: AtomicU64,
+    wal_synced: AtomicU64,
+    wal_tail: AtomicU64,
+    snapshot_records: AtomicU64,
+    snapshot_seq: AtomicU64,
 }
 
 /// A running integration service.
@@ -75,7 +131,11 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind, integrate any preload, and start serving.
+    /// Bind, recover any durable state, integrate any preload, and start
+    /// serving. With a [`DurabilityConfig`], recovery loads the last
+    /// snapshot (if present) and replays the WAL tail through the engine
+    /// before the first connection is accepted — queries never observe a
+    /// partially recovered catalog.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
@@ -83,26 +143,53 @@ impl Server {
             current: Swap::new(Generation::empty(cfg.shards)),
             submitted: AtomicU64::new(0),
             applied: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             shards: cfg.shards,
+            durable: cfg.durability.is_some(),
+            wal_position: AtomicU64::new(0),
+            wal_synced: AtomicU64::new(0),
+            wal_tail: AtomicU64::new(0),
+            snapshot_records: AtomicU64::new(0),
+            snapshot_seq: AtomicU64::new(0),
         });
 
-        let mut engine = Engine::new(cfg.threshold);
+        let (mut engine, mut seq, mut durable) = match cfg.durability {
+            Some(d) => {
+                let (engine, seq, durable) = recover(d, cfg.threshold, &shared)?;
+                (engine, seq, Some(durable))
+            }
+            None => (Engine::new(cfg.threshold), 0, None),
+        };
+        if seq > 0 || engine.records() > 0 {
+            let n = engine.records() as u64;
+            seq = seq.max(1);
+            publish(&shared, &mut engine, seq);
+            shared.submitted.store(n, Ordering::SeqCst);
+            shared.applied.store(n, Ordering::SeqCst);
+        }
         if !cfg.preload.is_empty() {
             let n = cfg.preload.len() as u64;
             for r in cfg.preload {
+                if let Some(log) = &mut durable {
+                    log.append(&r, &shared)?;
+                }
                 engine.ingest(r);
             }
-            publish(&shared, &mut engine, 1);
-            shared.submitted.store(n, Ordering::SeqCst);
-            shared.applied.store(n, Ordering::SeqCst);
+            if let Some(log) = &mut durable {
+                log.sync(&shared)?;
+            }
+            seq += 1;
+            publish(&shared, &mut engine, seq);
+            shared.submitted.fetch_add(n, Ordering::SeqCst);
+            shared.applied.fetch_add(n, Ordering::SeqCst);
         }
 
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
         let worker = {
             let shared = Arc::clone(&shared);
             let batch = cfg.refresh_batch.max(1);
-            std::thread::spawn(move || ingest_worker(engine, shared, rx, batch))
+            std::thread::spawn(move || ingest_worker(engine, shared, rx, batch, seq, durable))
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -156,6 +243,120 @@ impl Server {
     }
 }
 
+/// The worker's durability handle: the open WAL plus the policy knobs.
+struct DurableLog {
+    wal: Wal,
+    data_dir: PathBuf,
+    sync_every: u64,
+    snapshot_every: u64,
+}
+
+impl DurableLog {
+    /// Append one record (buffered) and mirror the position into stats.
+    fn append(&mut self, record: &Record, shared: &Shared) -> std::io::Result<()> {
+        self.wal.append(record)?;
+        shared
+            .wal_position
+            .store(self.wal.position(), Ordering::SeqCst);
+        shared.wal_tail.store(self.wal.tail_len(), Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Force an fsync and mirror the synced position into stats.
+    fn sync(&mut self, shared: &Shared) -> std::io::Result<()> {
+        self.wal.sync()?;
+        shared.wal_synced.store(self.wal.synced(), Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// fsync when the batch policy says so (or the queue has drained, so
+    /// a quiescent server is always fully durable).
+    fn sync_if_due(&mut self, queue_empty: bool, shared: &Shared) -> std::io::Result<()> {
+        if self.wal.pending_sync() >= self.sync_every.max(1)
+            || (queue_empty && self.wal.pending_sync() > 0)
+        {
+            self.sync(shared)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the engine and compact the WAL when the tail has grown
+    /// past the policy bound (or unconditionally, at shutdown).
+    fn snapshot_if_due(
+        &mut self,
+        engine: &Engine,
+        seq: u64,
+        force: bool,
+        shared: &Shared,
+    ) -> std::io::Result<()> {
+        if !force && self.wal.tail_len() < self.snapshot_every.max(1) {
+            return Ok(());
+        }
+        self.sync(shared)?;
+        let snapshot = Snapshot::capture(engine, seq);
+        let covered = snapshot.records;
+        snapshot.write(&self.data_dir)?;
+        self.wal.compact_through(covered)?;
+        shared.snapshot_records.store(covered, Ordering::SeqCst);
+        shared.snapshot_seq.store(seq, Ordering::SeqCst);
+        shared.wal_tail.store(self.wal.tail_len(), Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// Rebuild the engine from the data directory: snapshot load (exact
+/// state, no re-linking) plus a WAL-tail replay through the incremental
+/// linker. Returns the recovered engine, the generation to publish it
+/// at, and the opened log positioned for appending.
+fn recover(
+    cfg: DurabilityConfig,
+    threshold: f64,
+    shared: &Shared,
+) -> std::io::Result<(Engine, u64, DurableLog)> {
+    let (mut engine, mut seq, covered) = match Snapshot::load(&cfg.data_dir)? {
+        Some(snapshot) => snapshot.restore_engine()?,
+        None => (Engine::new(threshold), 0, 0),
+    };
+    let opened = Wal::open(&cfg.data_dir)?;
+    let mut wal = opened.wal;
+    // Entries below the snapshot position are already inside the engine
+    // (a crash between snapshot and compaction leaves such overlap);
+    // replay strictly the tail so nothing is applied twice.
+    let mut replayed = 0u64;
+    for (pos, record) in opened.entries {
+        if pos < covered {
+            continue;
+        }
+        if catch_unwind(AssertUnwindSafe(|| engine.ingest(record))).is_err() {
+            shared.rejected.fetch_add(1, Ordering::SeqCst);
+        }
+        replayed += 1;
+    }
+    if replayed > 0 {
+        seq += 1;
+    }
+    if wal.position() < covered {
+        // The log was lost or started fresh behind the snapshot; re-base
+        // it so future appends get positions past the covered prefix.
+        wal.compact_through(covered)?;
+    }
+    shared.wal_position.store(wal.position(), Ordering::SeqCst);
+    shared.wal_synced.store(wal.synced(), Ordering::SeqCst);
+    shared.wal_tail.store(wal.tail_len(), Ordering::SeqCst);
+    shared.snapshot_records.store(covered, Ordering::SeqCst);
+    shared.snapshot_seq.store(seq, Ordering::SeqCst);
+    Ok((
+        engine,
+        seq,
+        DurableLog {
+            wal,
+            data_dir: cfg.data_dir,
+            sync_every: cfg.sync_every as u64,
+            snapshot_every: cfg.snapshot_every,
+        },
+    ))
+}
+
 /// Publish the engine's current state as the next generation.
 fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
     let catalog = Arc::new(engine.refresh());
@@ -168,24 +369,72 @@ fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
     }));
 }
 
-fn ingest_worker(mut engine: Engine, shared: Arc<Shared>, rx: Receiver<Record>, batch: usize) {
-    let mut seq = shared.current.load().seq;
+/// Apply one record, converting a panic anywhere down the linkage /
+/// fusion stack into a counted rejection instead of a dead worker.
+fn apply_record(engine: &mut Engine, record: Record, shared: &Shared) {
+    if catch_unwind(AssertUnwindSafe(|| engine.ingest(record))).is_err() {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn ingest_worker(
+    mut engine: Engine,
+    shared: Arc<Shared>,
+    rx: Receiver<Record>,
+    batch: usize,
+    mut seq: u64,
+    mut durable: Option<DurableLog>,
+) {
+    let log_io_error = |e: std::io::Error| {
+        // Durability degraded, service continues: surface loudly, and
+        // stats keep reporting the stale synced position.
+        eprintln!("bdi-serve: WAL error (durability degraded): {e}");
+    };
     while let Ok(first) = rx.recv() {
         let mut n = 1u64;
-        engine.ingest(first);
+        if let Some(log) = &mut durable {
+            if let Err(e) = log.append(&first, &shared) {
+                log_io_error(e);
+            }
+        }
+        apply_record(&mut engine, first, &shared);
         while (n as usize) < batch {
             match rx.try_recv() {
                 Ok(r) => {
-                    engine.ingest(r);
+                    if let Some(log) = &mut durable {
+                        if let Err(e) = log.append(&r, &shared) {
+                            log_io_error(e);
+                        }
+                    }
+                    apply_record(&mut engine, r, &shared);
                     n += 1;
                 }
                 Err(_) => break,
+            }
+        }
+        // write-ahead before publish: a record is only announced as
+        // applied once its WAL bytes are (batch-policy) durable
+        if let Some(log) = &mut durable {
+            if let Err(e) = log.sync_if_due(rx.is_empty(), &shared) {
+                log_io_error(e);
             }
         }
         seq += 1;
         publish(&shared, &mut engine, seq);
         // applied counts only after the records are queryable
         shared.applied.fetch_add(n, Ordering::SeqCst);
+        if let Some(log) = &mut durable {
+            if let Err(e) = log.snapshot_if_due(&engine, seq, false, &shared) {
+                log_io_error(e);
+            }
+        }
+    }
+    // graceful drain: leave a clean snapshot and an empty tail so the
+    // next start skips replay entirely
+    if let Some(log) = &mut durable {
+        if let Err(e) = log.snapshot_if_due(&engine, seq, true, &shared) {
+            log_io_error(e);
+        }
     }
 }
 
@@ -214,7 +463,13 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
         if line.trim().is_empty() {
             continue;
         }
-        let response = dispatch(&line, &shared, &tx, addr);
+        // a panic anywhere under dispatch (a malformed-but-parseable
+        // request tripping a deep invariant) answers this one request
+        // with an error instead of tearing down the connection thread
+        let response = catch_unwind(AssertUnwindSafe(|| dispatch(&line, &shared, &tx, addr)))
+            .unwrap_or_else(|_| Response::Error {
+                message: "internal error: request handler panicked".to_string(),
+            });
         let done = matches!(response, Response::Bye);
         let Ok(body) = serde_json::to_string(&response) else {
             break;
@@ -321,7 +576,14 @@ fn dispatch(line: &str, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) 
                 records: current.records,
                 submitted: shared.submitted.load(Ordering::SeqCst),
                 applied: shared.applied.load(Ordering::SeqCst),
+                rejected: shared.rejected.load(Ordering::SeqCst),
                 shards: shared.shards,
+                durable: shared.durable,
+                wal_position: shared.wal_position.load(Ordering::SeqCst),
+                wal_synced: shared.wal_synced.load(Ordering::SeqCst),
+                wal_tail: shared.wal_tail.load(Ordering::SeqCst),
+                snapshot_records: shared.snapshot_records.load(Ordering::SeqCst),
+                snapshot_generation: shared.snapshot_seq.load(Ordering::SeqCst),
             })
         }
         Request::Shutdown => {
@@ -441,6 +703,136 @@ mod tests {
         assert_eq!(stats.records, 40);
         drop(client);
         server.shutdown();
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdi-srv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_cfg(dir: &std::path::Path, sync_every: usize, snapshot_every: u64) -> ServerConfig {
+        ServerConfig {
+            durability: Some(DurabilityConfig {
+                data_dir: dir.to_path_buf(),
+                sync_every,
+                snapshot_every,
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn durable_server_survives_graceful_restart() {
+        let dir = tmp_dir("restart");
+        {
+            let server = Server::start(durable_cfg(&dir, 1, 4096)).unwrap();
+            let mut client = Client::connect(server.addr()).unwrap();
+            client
+                .ingest(rec(0, 0, "Lumetra LX-100 camera", "CAM-LUM-00100", 499.0))
+                .unwrap();
+            client
+                .ingest(rec(1, 0, "Lumetra LX-100", "camlum00100", 489.0))
+                .unwrap();
+            client
+                .ingest(rec(0, 1, "Visionex V-900 monitor", "MON-VIS-00900", 199.0))
+                .unwrap();
+            client.flush().unwrap();
+            let stats = client.stats().unwrap();
+            assert!(stats.durable);
+            assert_eq!(stats.wal_position, 3);
+            assert_eq!(stats.wal_synced, 3, "sync_every=1 syncs every record");
+            drop(client);
+            server.shutdown();
+        }
+        // graceful drain snapshots + compacts: restart replays nothing
+        let server = Server::start(durable_cfg(&dir, 1, 4096)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.records, 3, "all records recovered");
+        assert_eq!(stats.products, 2);
+        assert_eq!(stats.snapshot_records, 3, "shutdown snapshot found");
+        assert_eq!(stats.wal_tail, 0, "WAL compacted at shutdown");
+        let entry = client.lookup("CAM-LUM-00100").unwrap().expect("recovered");
+        assert_eq!(entry.pages.len(), 2);
+        // the recovered engine keeps integrating: merge into the old cluster
+        client
+            .ingest(rec(2, 0, "Lumetra LX-100 pro", "CAM-LUM-00100", 509.0))
+            .unwrap();
+        client.flush().unwrap();
+        let entry = client.lookup("cam lum 00100").unwrap().expect("merged");
+        assert_eq!(entry.pages.len(), 3);
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_only_recovery_without_snapshot() {
+        let dir = tmp_dir("walonly");
+        {
+            let server = Server::start(durable_cfg(&dir, 1, 1_000_000)).unwrap();
+            let mut client = Client::connect(server.addr()).unwrap();
+            for i in 0..10u32 {
+                client
+                    .ingest(rec(
+                        i % 2,
+                        i / 2,
+                        &format!("Gadget{} model{}", i / 2, i / 2),
+                        &format!("XXX-YYY-{:05}", i / 2),
+                        f64::from(i),
+                    ))
+                    .unwrap();
+            }
+            client.flush().unwrap();
+            drop(client);
+            // simulate a hard stop: drop the handles without shutdown();
+            // the synced WAL on disk is all that survives
+            std::mem::forget(server);
+        }
+        std::fs::remove_file(dir.join(crate::snapshot::SNAPSHOT_FILE)).ok();
+        let server = Server::start(durable_cfg(&dir, 1, 1_000_000)).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.records, 10, "full WAL replay");
+        assert_eq!(stats.products, 5, "pairs re-linked during replay");
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compaction_bounds_the_tail() {
+        let dir = tmp_dir("compaction");
+        let cfg = ServerConfig {
+            refresh_batch: 4,
+            ..durable_cfg(&dir, 4, 8)
+        };
+        let server = Server::start(cfg).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for i in 0..64u32 {
+            client
+                .ingest(rec(
+                    i % 4,
+                    i / 4,
+                    &format!("Gadget{i} model{i}"),
+                    &format!("XXX-YYY-{i:05}"),
+                    f64::from(i),
+                ))
+                .unwrap();
+        }
+        client.flush().unwrap();
+        let stats = client.stats().unwrap();
+        assert!(stats.snapshot_records > 0, "snapshot triggered");
+        assert!(
+            stats.wal_tail < 64,
+            "tail bounded by compaction, got {}",
+            stats.wal_tail
+        );
+        assert_eq!(stats.wal_position, 64);
+        drop(client);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Generation snapshots: the engine's full state, atomically on disk.
+//!
+//! A snapshot bounds recovery cost: instead of replaying every record
+//! ever ingested through the linker, recovery loads the last snapshot
+//! (a straight deserialization — no pairwise matching) and replays only
+//! the WAL tail past it. The ingest worker writes one whenever the tail
+//! grows beyond the configured threshold, then compacts the WAL through
+//! the snapshot position ([`crate::wal::Wal::compact_through`]).
+//!
+//! Writes are atomic in the classic way: serialize to `snapshot.json.tmp`,
+//! fsync, rename over `snapshot.json`, fsync the directory. A crash
+//! during the write leaves the previous snapshot intact; a crash between
+//! snapshot and WAL compaction merely replays a longer tail (records are
+//! idempotent to re-apply only if not already covered — the recovery path
+//! skips entries below the snapshot position, so double-apply cannot
+//! happen).
+
+use crate::engine::{Engine, EngineState};
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the live snapshot inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.json";
+const SNAPSHOT_TMP: &str = "snapshot.json.tmp";
+
+/// One on-disk snapshot: the engine state plus the positions needed to
+/// splice the WAL tail back on.
+#[derive(Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Generation sequence number published when this state was current.
+    pub seq: u64,
+    /// Absolute ingest position covered: every record at a position
+    /// below this is inside `engine`; WAL entries at or past it are not.
+    pub records: u64,
+    /// The complete engine state (see [`EngineState`]).
+    pub engine: EngineState,
+}
+
+impl Snapshot {
+    /// Capture the current engine state at generation `seq`.
+    pub fn capture(engine: &Engine, seq: u64) -> Self {
+        let state = engine.export_state();
+        Self {
+            seq,
+            records: state.records.len() as u64,
+            engine: state,
+        }
+    }
+
+    /// Atomically persist into `dir` (tmp + fsync + rename + dir fsync).
+    pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let body = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = dir.join(SNAPSHOT_TMP);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+        File::open(dir)?.sync_all()
+    }
+
+    /// Load the snapshot from `dir`, if one exists. A missing file is
+    /// `Ok(None)` (cold start); an unreadable or corrupt file is an
+    /// error — silently ignoring it would resurrect a stale state.
+    pub fn load(dir: &Path) -> std::io::Result<Option<Snapshot>> {
+        let path = dir.join(SNAPSHOT_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let snapshot: Snapshot = serde_json::from_str(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("corrupt snapshot {}: {e}", path.display()),
+            )
+        })?;
+        Ok(Some(snapshot))
+    }
+
+    /// Rebuild the engine this snapshot captured.
+    pub fn restore_engine(self) -> std::io::Result<(Engine, u64, u64)> {
+        let (seq, records) = (self.seq, self.records);
+        if records != self.engine.records.len() as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "snapshot position disagrees with its record count",
+            ));
+        }
+        let engine = Engine::from_state(self.engine).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "snapshot engine state is internally inconsistent",
+            )
+        })?;
+        Ok((engine, seq, records))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{Record, RecordId, SourceId};
+    use std::path::PathBuf;
+
+    fn rec(s: u32, q: u32, i: u32) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), format!("Gadget{i} model{i}"));
+        r.identifiers.push(format!("XXX-YYY-{i:05}"));
+        r
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdi-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_load_restore_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let mut engine = Engine::new(0.9);
+        for i in 0..8u32 {
+            engine.ingest(rec(i % 2, i, i / 2));
+        }
+        let catalog = engine.refresh();
+        Snapshot::capture(&engine, 3).write(&dir).unwrap();
+
+        let loaded = Snapshot::load(&dir).unwrap().expect("snapshot exists");
+        let (mut restored, seq, records) = loaded.restore_engine().unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(records, 8);
+        assert_eq!(restored.records(), engine.records());
+        let again = restored.refresh();
+        assert_eq!(again.len(), catalog.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none_and_corrupt_is_error() {
+        let dir = tmp_dir("corrupt");
+        assert!(Snapshot::load(&dir).unwrap().is_none());
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), b"{not json").unwrap();
+        assert!(Snapshot::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tmp_dir("rewrite");
+        let mut engine = Engine::new(0.9);
+        engine.ingest(rec(0, 0, 0));
+        engine.refresh();
+        Snapshot::capture(&engine, 1).write(&dir).unwrap();
+        engine.ingest(rec(1, 0, 0));
+        engine.refresh();
+        Snapshot::capture(&engine, 2).write(&dir).unwrap();
+        let loaded = Snapshot::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 2);
+        assert_eq!(loaded.records, 2);
+        assert!(
+            !dir.join(SNAPSHOT_TMP).exists(),
+            "tmp file consumed by rename"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -69,8 +69,15 @@ USAGE:
   bdi lookup    (--in DIR | --seed N) --id IDENTIFIER
   bdi serve     [--addr HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
                 [--threshold X] [--queue N] [--shards N]
+                [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
   bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--readers N]
-  bdi help";
+  bdi help
+
+Durability: --data-dir enables the write-ahead log and generation
+snapshots; restarting with the same directory recovers the ingested
+state. --sync-interval batches fsyncs (records per fsync, default 64);
+--snapshot-every bounds the WAL tail before compaction (default 4096);
+--no-wal forces purely in-memory serving.";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -79,7 +86,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{flag}'"));
         };
-        if key == "json" {
+        if key == "json" || key == "no-wal" {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -202,6 +209,15 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Vec::new()
     };
+    let durability = match opts.get("data-dir") {
+        Some(dir) if !opts.contains_key("no-wal") => Some(bdi::serve::DurabilityConfig {
+            data_dir: dir.into(),
+            sync_every: num(opts, "sync-interval", 64usize)?,
+            snapshot_every: num(opts, "snapshot-every", 4096u64)?,
+        }),
+        _ => None,
+    };
+    let durable = durability.is_some();
     let cfg = bdi::serve::ServerConfig {
         addr: opts
             .get("addr")
@@ -211,13 +227,15 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         queue_capacity: num(opts, "queue", 256usize)?,
         shards: num(opts, "shards", 8usize)?,
         preload,
+        durability,
         ..Default::default()
     };
     let server = bdi::serve::Server::start(cfg).map_err(|e| e.to_string())?;
     println!(
-        "bdi-serve listening on {} (generation {}); send \"shutdown\" to stop",
+        "bdi-serve listening on {} (generation {}, {}); send \"shutdown\" to stop",
         server.addr(),
-        server.generation()
+        server.generation(),
+        if durable { "durable" } else { "in-memory" }
     );
     server.wait();
     Ok(())
@@ -239,8 +257,13 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;
     println!(
-        "ingested {} records in {:.2}s ({:.0} rec/s), generation {}",
-        report.records, report.ingest_secs, report.ingest_per_sec, report.generation
+        "ingested {} records in {:.2}s ({:.0} rec/s), p50 {}us, p99 {}us, generation {}",
+        report.records,
+        report.ingest_secs,
+        report.ingest_per_sec,
+        report.ingest_p50_us,
+        report.ingest_p99_us,
+        report.generation
     );
     println!(
         "{} readers: {} lookups ({:.0}/s), p50 {}us, p99 {}us",

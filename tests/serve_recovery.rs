@@ -1,0 +1,211 @@
+//! Crash recovery: a `bdi serve` process killed with SIGKILL mid-ingest
+//! must come back from its data directory answering exactly as an
+//! uninterrupted engine would over the recovered prefix.
+//!
+//! The test drives the real binary (not an in-process server) so the
+//! kill is a genuine `kill -9`: no destructors, no flushes, no
+//! coordination. The durability contract under test is prefix
+//! atomicity — after restart the server holds the first R records of
+//! the ingest order for some R at least as large as the last
+//! acknowledged flush, and lookups / top-k / product counts over that
+//! state match a fresh engine fed the same R records.
+
+use bdi::serve::{Client, Engine};
+use bdi::synth::{World, WorldConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Kills the child on drop so a failing assertion can't leak a server.
+struct ServeProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServeProc {
+    /// Launch `bdi serve --data-dir dir` on an ephemeral port and parse
+    /// the bound address from its startup line.
+    fn start(data_dir: &Path) -> ServeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bdi"))
+            .args(["serve", "--addr", "127.0.0.1:0", "--data-dir"])
+            .arg(data_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn bdi serve");
+        let stdout = child.stdout.take().expect("child stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read startup line");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("no address in startup line {line:?}"))
+            .parse()
+            .unwrap_or_else(|e| panic!("bad address in startup line {line:?}: {e}"));
+        ServeProc { child, addr }
+    }
+
+    fn kill_hard(mut self) {
+        self.child.kill().expect("SIGKILL the server");
+        self.child.wait().expect("reap the killed server");
+        std::mem::forget(self); // already reaped
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn sigkill_mid_ingest_recovers_a_consistent_prefix() {
+    let data_dir: PathBuf =
+        std::env::temp_dir().join(format!("bdi-serve-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let world = World::generate(WorldConfig {
+        n_entities: 60,
+        n_sources: 8,
+        ..WorldConfig::tiny(9001)
+    });
+    let records = world.dataset.into_records();
+    let total = records.len();
+    assert!(total > 40, "world is big enough to interrupt");
+    let flushed_prefix = total / 2;
+    let sent_before_kill = flushed_prefix + (total - flushed_prefix) / 2;
+
+    // Phase 1: ingest a prefix, flush it (flush return implies the WAL
+    // is fsync'd through it), keep streaming, then SIGKILL mid-stream
+    // with records still unflushed and possibly still queued.
+    let server = ServeProc::start(&data_dir);
+    let mut client = Client::connect(server.addr).expect("connect");
+    for r in records.iter().take(flushed_prefix).cloned() {
+        client.ingest(r).expect("ingest");
+    }
+    let (_, applied) = client.flush().expect("flush");
+    assert_eq!(applied as usize, flushed_prefix, "prefix fully applied");
+    for r in records
+        .iter()
+        .skip(flushed_prefix)
+        .take(sent_before_kill - flushed_prefix)
+        .cloned()
+    {
+        client.ingest(r).expect("ingest past the flush");
+    }
+    drop(client);
+    server.kill_hard();
+
+    // Phase 2: restart on the same directory; recovery must surface a
+    // prefix no shorter than the flushed one.
+    let server = ServeProc::start(&data_dir);
+    let mut client = Client::connect(server.addr).expect("reconnect");
+    let stats = client.stats().expect("stats after recovery");
+    assert!(stats.durable, "restarted server reports durability");
+    let recovered = stats.records;
+    assert!(
+        recovered >= flushed_prefix,
+        "recovered {recovered} records but {flushed_prefix} were flushed before the kill"
+    );
+    assert!(
+        recovered <= sent_before_kill,
+        "recovered {recovered} records but only {sent_before_kill} were ever sent"
+    );
+    assert!(stats.wal_position >= recovered as u64);
+    assert!(stats.wal_synced >= flushed_prefix as u64);
+
+    // Reference: an uninterrupted engine over the same prefix, in the
+    // same order.
+    let mut engine = Engine::new(0.9);
+    for r in records.iter().take(recovered).cloned() {
+        engine.ingest(r);
+    }
+    let reference = engine.refresh();
+    assert_eq!(
+        stats.products,
+        reference.len(),
+        "recovered product count matches the uninterrupted engine"
+    );
+
+    // Every identifier claimed by exactly one reference product must
+    // resolve to the same fused entry on the recovered server.
+    let mut claims: HashMap<&str, usize> = HashMap::new();
+    for entry in reference.entries() {
+        for id in &entry.identifiers {
+            *claims.entry(id.as_str()).or_default() += 1;
+        }
+    }
+    let mut checked = 0usize;
+    for entry in reference.entries() {
+        let Some(id) = entry.identifiers.iter().find(|id| claims[id.as_str()] == 1) else {
+            continue;
+        };
+        let served = client
+            .lookup(id)
+            .expect("lookup")
+            .unwrap_or_else(|| panic!("'{id}' resolves after recovery"));
+        assert_eq!(
+            served.identifiers, entry.identifiers,
+            "fused identifiers for '{id}' survive the crash"
+        );
+        assert_eq!(
+            served.pages.len(),
+            entry.pages.len(),
+            "cluster membership for '{id}' survives the crash"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > reference.len() / 2,
+        "most products were checked over the wire"
+    );
+
+    // Ranked queries agree too — over an attribute the fused catalog
+    // actually carries numeric values for, so the comparison is not
+    // vacuously empty-vs-empty.
+    let attribute = reference
+        .entries()
+        .iter()
+        .flat_map(|e| e.attributes.iter())
+        .find(|(_, v)| v.base_magnitude().is_some())
+        .map(|(k, _)| k.clone())
+        .expect("the world fuses at least one numeric attribute");
+    let served_top: Vec<Vec<String>> = client
+        .top_k(&attribute, 5)
+        .expect("top_k")
+        .into_iter()
+        .map(|e| e.identifiers)
+        .collect();
+    let reference_top: Vec<Vec<String>> = reference
+        .top_k_by(&attribute, 5)
+        .into_iter()
+        .map(|e| e.identifiers.clone())
+        .collect();
+    assert!(
+        !reference_top.is_empty(),
+        "top-k over '{attribute}' returns products"
+    );
+    assert_eq!(
+        served_top, reference_top,
+        "top-k ranking over '{attribute}' survives the crash"
+    );
+
+    // The recovered server keeps ingesting: feed the rest of the world
+    // and confirm it lands.
+    for r in records.iter().skip(recovered).cloned() {
+        client.ingest(r).expect("ingest after recovery");
+    }
+    client.flush().expect("flush after recovery");
+    let stats = client.stats().expect("final stats");
+    assert_eq!(stats.records, total, "the full world is queryable");
+
+    client.shutdown().expect("graceful shutdown");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
