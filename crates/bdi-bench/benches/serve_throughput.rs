@@ -1,20 +1,48 @@
 //! E-serve: query latency and throughput against live ingest.
 //!
-//! For each reader count, a fresh server is started and the load driver
-//! replays a synthetic world through the ingest path while that many
-//! reader connections spin on `lookup`. Aggregate reads/s should grow
-//! with the reader count (snapshot reads don't contend), while ingest
-//! throughput stays in the same band — the point of the generation-swap
-//! design.
+//! Four sections, each persisted into `BENCH_serve.json` (repo root) by
+//! [`bdi_bench::bench_json`] so perf changes diff against the committed
+//! baseline:
 //!
-//! A second table compares ingest round-trip latency with the
-//! write-ahead log on versus purely in-memory, at the default fsync
-//! batch. The batched group commit should keep the durable ingest p50
-//! within 2x of the in-memory p50.
+//! 1. **readers sweep** — a fresh server per reader count, the load
+//!    driver replaying a synthetic world while that many connections
+//!    spin on `lookup`. Aggregate reads/s should grow with readers
+//!    (snapshot reads don't contend) while ingest stays in band.
+//! 2. **hot path** — a dense world (large `max_source_size` means heavy
+//!    candidate lists), WAL off, zero readers: ingest round-trip p50 is
+//!    dominated by engine time, not network scheduling. This is the
+//!    number the fingerprint fast path is accountable to.
+//! 3. **durability** — ingest round-trip latency, WAL on vs in-memory.
+//!    Batched group commit should keep durable p50 within 2x.
+//! 4. **refresh scaling** — an offline engine ingests the dense world
+//!    with no intermediate refresh, then one full refresh is timed at
+//!    1, 2 and 4 worker threads; the resulting catalogs must be equal.
 
-use bdi_serve::{run_load, DurabilityConfig, LoadConfig, Server, ServerConfig};
+use bdi_bench::bench_json::{num_f, num_u, obj, str_v, update_section};
+use bdi_serve::{run_load, DurabilityConfig, Engine, LoadConfig, Server, ServerConfig};
+use bdi_synth::{World, WorldConfig};
+use serde_json::Value;
+use std::time::Instant;
+
+/// The dense world both the hot-path and refresh sections measure on.
+fn dense() -> LoadConfig {
+    LoadConfig {
+        entities: 400,
+        sources: 24,
+        max_source_size: 400,
+        readers: 0,
+        ..LoadConfig::default()
+    }
+}
 
 fn main() {
+    readers_sweep();
+    hot_path();
+    durability();
+    refresh_scaling();
+}
+
+fn readers_sweep() {
     let base = LoadConfig {
         entities: 400,
         sources: 20,
@@ -28,6 +56,7 @@ fn main() {
         "{:>7} {:>9} {:>12} {:>12} {:>9} {:>9}",
         "readers", "records", "ingest r/s", "reads/s", "p50 us", "p99 us"
     );
+    let mut rows: Vec<Value> = Vec::new();
     for readers in [1usize, 2, 4, 8] {
         let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
         let cfg = LoadConfig {
@@ -43,9 +72,57 @@ fn main() {
             report.p50_us,
             report.p99_us
         );
+        rows.push(obj(&[
+            ("readers", num_u(readers as u64)),
+            ("records", num_u(report.records as u64)),
+            ("ingest_per_sec", num_f(report.ingest_per_sec)),
+            ("reads_per_sec", num_f(report.reads_per_sec)),
+            ("lookup_p50_us", num_u(report.p50_us)),
+            ("lookup_p99_us", num_u(report.p99_us)),
+        ]));
         server.shutdown();
     }
+    update_section("serve_readers", Value::Array(rows));
+}
 
+fn hot_path() {
+    let cfg = dense();
+    println!();
+    println!(
+        "hot path: dense world ({} entities x {} sources, max_source_size {}), WAL off, 0 readers",
+        cfg.entities, cfg.sources, cfg.max_source_size
+    );
+    let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+    let report = run_load(server.addr(), &cfg).expect("load run");
+    server.shutdown();
+    let cmp_per_insert = report.comparisons as f64 / report.records.max(1) as f64;
+    println!(
+        "{:>9} {:>12} {:>11} {:>11} {:>13} {:>11}",
+        "records", "ingest r/s", "ing p50 us", "ing p99 us", "comparisons", "cmp/insert"
+    );
+    println!(
+        "{:>9} {:>12.0} {:>11} {:>11} {:>13} {:>11.1}",
+        report.records,
+        report.ingest_per_sec,
+        report.ingest_p50_us,
+        report.ingest_p99_us,
+        report.comparisons,
+        cmp_per_insert
+    );
+    update_section(
+        "serve_hot_path",
+        obj(&[
+            ("records", num_u(report.records as u64)),
+            ("ingest_per_sec", num_f(report.ingest_per_sec)),
+            ("ingest_p50_us", num_u(report.ingest_p50_us)),
+            ("ingest_p99_us", num_u(report.ingest_p99_us)),
+            ("comparisons", num_u(report.comparisons)),
+            ("comparisons_per_insert", num_f(cmp_per_insert)),
+        ]),
+    );
+}
+
+fn durability() {
     println!();
     println!("durability: ingest round-trip latency, WAL on vs in-memory (1 reader)");
     println!(
@@ -53,10 +130,13 @@ fn main() {
         "mode", "records", "ingest r/s", "ing p50 us", "ing p99 us"
     );
     let cfg = LoadConfig {
+        entities: 400,
+        sources: 20,
         readers: 1,
-        ..base.clone()
+        ..LoadConfig::default()
     };
     let mut memory_p50 = 0u64;
+    let mut rows: Vec<Value> = Vec::new();
     for durable in [false, true] {
         let data_dir = std::env::temp_dir().join(format!(
             "bdi-serve-bench-{}-{}",
@@ -70,14 +150,18 @@ fn main() {
         })
         .expect("bind ephemeral port");
         let report = run_load(server.addr(), &cfg).expect("load run");
+        let mode = if durable { "wal" } else { "in-memory" };
         println!(
-            "{:>10} {:>9} {:>12.0} {:>11} {:>11}",
-            if durable { "wal" } else { "in-memory" },
-            report.records,
-            report.ingest_per_sec,
-            report.ingest_p50_us,
-            report.ingest_p99_us
+            "{mode:>10} {:>9} {:>12.0} {:>11} {:>11}",
+            report.records, report.ingest_per_sec, report.ingest_p50_us, report.ingest_p99_us
         );
+        rows.push(obj(&[
+            ("mode", str_v(mode)),
+            ("records", num_u(report.records as u64)),
+            ("ingest_per_sec", num_f(report.ingest_per_sec)),
+            ("ingest_p50_us", num_u(report.ingest_p50_us)),
+            ("ingest_p99_us", num_u(report.ingest_p99_us)),
+        ]));
         if durable {
             if memory_p50 > 0 && report.ingest_p50_us > 2 * memory_p50 {
                 println!(
@@ -91,4 +175,56 @@ fn main() {
         server.shutdown();
         let _ = std::fs::remove_dir_all(&data_dir);
     }
+    update_section("serve_durability", Value::Array(rows));
+}
+
+fn refresh_scaling() {
+    let cfg = dense();
+    let world = World::generate(WorldConfig {
+        n_entities: cfg.entities,
+        n_sources: cfg.sources,
+        max_source_size: cfg.max_source_size,
+        ..WorldConfig::tiny(cfg.seed)
+    });
+    let records = world.dataset.into_records();
+    println!();
+    println!(
+        "refresh scaling: {} records ingested offline, one full refresh per thread count",
+        records.len()
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>12}",
+        "threads", "records", "clusters", "refresh ms"
+    );
+    let mut rows: Vec<Value> = Vec::new();
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let mut engine = Engine::with_threads(0.9, threads);
+        for r in records.iter().cloned() {
+            engine.ingest(r);
+        }
+        let t = Instant::now();
+        let catalog = engine.refresh();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{threads:>8} {:>9} {:>10} {:>12.1}",
+            records.len(),
+            catalog.len(),
+            ms
+        );
+        rows.push(obj(&[
+            ("threads", num_u(threads as u64)),
+            ("records", num_u(records.len() as u64)),
+            ("clusters", num_u(catalog.len() as u64)),
+            ("refresh_ms", num_f(ms)),
+        ]));
+        match &reference {
+            None => reference = Some(catalog),
+            Some(base) => assert!(
+                **base == *catalog,
+                "refresh at {threads} threads diverged from single-threaded catalog"
+            ),
+        }
+    }
+    update_section("serve_refresh", Value::Array(rows));
 }

@@ -6,6 +6,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
 pub mod experiments;
 pub mod table;
 pub mod worlds;

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One integrated product in the fused catalog.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CatalogEntry {
     /// Catalog-internal id (the entity cluster index).
     pub id: usize,
@@ -43,6 +43,16 @@ impl CatalogEntry {
 pub struct Catalog {
     entries: Vec<CatalogEntry>,
     by_identifier: HashMap<String, usize>,
+}
+
+/// Catalogs compare by entry list alone: the identifier index is a pure
+/// function of the entries (see [`Catalog::from_entries`]), so equal
+/// entries imply equal indexes. Equivalence tests compare generations
+/// produced at different thread counts this way.
+impl PartialEq for Catalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 /// A catalog serializes as its entry list alone: the identifier index is

@@ -94,6 +94,24 @@ impl BlockingKey {
             BlockingKey::TitleSoundex => bdi_textsim::soundex(&r.title).into_iter().collect(),
         }
     }
+
+    /// [`Self::keys`] from a precomputed fingerprint: the same key
+    /// *set* (callers sort + dedup anyway; `TitleTokens` comes back
+    /// presorted and deduplicated here), with no tokenization or
+    /// normalization — the fingerprint already holds every key form.
+    pub fn keys_fp(&self, fp: &crate::fingerprint::RecordFingerprint) -> Vec<String> {
+        match self {
+            BlockingKey::Identifier => fp.ids_norm.clone(),
+            BlockingKey::IdentifierDigits => fp.id_digits.clone(),
+            BlockingKey::TitleTokens => fp
+                .title_token_set
+                .iter()
+                .filter(|t| t.len() >= 3)
+                .cloned()
+                .collect(),
+            BlockingKey::TitleSoundex => fp.title_soundex.iter().cloned().collect(),
+        }
+    }
 }
 
 /// Uppercase and strip non-alphanumerics: `cam-lum-01042` → `CAMLUM01042`.

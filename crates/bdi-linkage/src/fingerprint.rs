@@ -1,0 +1,165 @@
+//! Record fingerprints: every per-record computation the hot comparison
+//! loop needs, done **once** at insert time.
+//!
+//! [`crate::matcher::pair_features`] re-tokenizes both titles,
+//! re-normalizes both identifiers, and re-renders both value bags on
+//! *every* candidate comparison — an arriving record with 50 blocking
+//! candidates pays that 50 times over. A [`RecordFingerprint`] hoists
+//! all of it to insert time: the incremental linker computes one
+//! fingerprint per record (and rebuilds them on restore — they are
+//! derived state, never serialized), after which
+//! [`crate::matcher::pair_features_fp`] is pure merge-intersection over
+//! presorted token sets plus string similarity over preextracted
+//! identifiers, with zero per-comparison allocation.
+//!
+//! The fingerprint also carries every [`crate::blocking::BlockingKey`]'s
+//! raw material, so candidate-index registration reuses the same pass
+//! instead of tokenizing the title a second time.
+
+use crate::blocking::{longest_digit_run, normalize_identifier};
+use bdi_types::Record;
+
+/// Precomputed comparison state for one record. Construction is the only
+/// place tokenization / normalization / value rendering happens; all
+/// fields are ready-to-compare forms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordFingerprint {
+    /// Normalized identifiers, in the record's (best-first) order.
+    pub ids_norm: Vec<String>,
+    /// Longest digit run of each identifier that has one, in order.
+    pub id_digits: Vec<String>,
+    /// Normalized **primary** identifier (empty when the record has
+    /// none) — the identifier the matcher compares.
+    pub primary_id: String,
+    /// Longest digit run of the primary identifier.
+    pub primary_digits: Option<String>,
+    /// Title tokens in order, duplicates kept (Monge-Elkan input).
+    pub title_tokens: Vec<String>,
+    /// Title tokens sorted + deduplicated (Jaccard set input).
+    pub title_token_set: Vec<String>,
+    /// Rendered canonical non-null attribute values, sorted +
+    /// deduplicated (value-overlap set input). Empty exactly when the
+    /// record has no non-null attribute.
+    pub value_set: Vec<String>,
+    /// Soundex code of the title's first token, if any (phonetic
+    /// blocking key).
+    pub title_soundex: Option<String>,
+}
+
+impl RecordFingerprint {
+    /// Fingerprint one record.
+    pub fn of(record: &Record) -> Self {
+        let ids_norm: Vec<String> = record
+            .identifiers
+            .iter()
+            .map(|s| normalize_identifier(s))
+            .collect();
+        let id_digits: Vec<String> = record
+            .identifiers
+            .iter()
+            .filter_map(|s| longest_digit_run(s))
+            .collect();
+        let primary_id = ids_norm.first().cloned().unwrap_or_default();
+        let primary_digits = record.primary_identifier().and_then(longest_digit_run);
+
+        let title_tokens = bdi_textsim::tokenize(&record.title);
+        let mut title_token_set = title_tokens.clone();
+        title_token_set.sort_unstable();
+        title_token_set.dedup();
+
+        let mut value_set: Vec<String> = record
+            .attributes
+            .values()
+            .filter(|v| !v.is_null())
+            .map(|v| v.canonical().render())
+            .collect();
+        value_set.sort_unstable();
+        value_set.dedup();
+
+        let title_soundex = bdi_textsim::soundex(&record.title);
+
+        Self {
+            ids_norm,
+            id_digits,
+            primary_id,
+            primary_digits,
+            title_tokens,
+            title_token_set,
+            value_set,
+            title_soundex,
+        }
+    }
+}
+
+/// A record together with its fingerprint — what fingerprint-aware
+/// matchers ([`crate::matcher::Matcher::score_prepared`]) compare. Plain
+/// borrowed pair, `Copy`, so passing it around is free.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedRecord<'a> {
+    /// The record itself (fallback for matchers without a fingerprint
+    /// fast path).
+    pub record: &'a Record,
+    /// Its precomputed fingerprint.
+    pub fingerprint: &'a RecordFingerprint,
+}
+
+impl<'a> PreparedRecord<'a> {
+    /// Pair a record with its fingerprint.
+    pub fn new(record: &'a Record, fingerprint: &'a RecordFingerprint) -> Self {
+        Self {
+            record,
+            fingerprint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId, Value};
+
+    fn rec(title: &str, ids: &[&str]) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(0), 0), title);
+        r.identifiers = ids.iter().map(|s| s.to_string()).collect();
+        r
+    }
+
+    #[test]
+    fn fingerprint_precomputes_all_forms() {
+        let mut r = rec("Lumetra LX-100 camera camera", &["CAM-LUM-00100", "ABC"]);
+        r.attributes.insert("color".into(), Value::str("Black"));
+        r.attributes.insert("ghost".into(), Value::Null);
+        let fp = RecordFingerprint::of(&r);
+        assert_eq!(fp.ids_norm, vec!["CAMLUM00100", "ABC"]);
+        assert_eq!(fp.id_digits, vec!["00100"]);
+        assert_eq!(fp.primary_id, "CAMLUM00100");
+        assert_eq!(fp.primary_digits.as_deref(), Some("00100"));
+        assert_eq!(
+            fp.title_tokens,
+            vec!["lumetra", "lx", "100", "camera", "camera"]
+        );
+        assert_eq!(fp.title_token_set, vec!["100", "camera", "lumetra", "lx"]);
+        assert_eq!(fp.value_set, vec![Value::str("Black").canonical().render()]);
+        assert!(fp.title_soundex.is_some());
+    }
+
+    #[test]
+    fn empty_record_fingerprints_cleanly() {
+        let fp = RecordFingerprint::of(&rec("", &[]));
+        assert!(fp.ids_norm.is_empty());
+        assert!(fp.primary_id.is_empty());
+        assert_eq!(fp.primary_digits, None);
+        assert!(fp.title_tokens.is_empty());
+        assert!(fp.value_set.is_empty());
+        assert_eq!(fp.title_soundex, None);
+    }
+
+    #[test]
+    fn value_set_empty_iff_no_nonnull_attributes() {
+        let mut r = rec("x", &[]);
+        r.attributes.insert("a".into(), Value::Null);
+        assert!(RecordFingerprint::of(&r).value_set.is_empty());
+        r.attributes.insert("b".into(), Value::num(3.0));
+        assert!(!RecordFingerprint::of(&r).value_set.is_empty());
+    }
+}

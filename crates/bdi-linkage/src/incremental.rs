@@ -9,9 +9,14 @@
 
 use crate::blocking::BlockingKey;
 use crate::cluster::{Clustering, UnionFind};
+use crate::fingerprint::{PreparedRecord, RecordFingerprint};
 use crate::matcher::Matcher;
 use bdi_types::{Record, RecordId};
 use std::collections::HashMap;
+
+/// Candidate lists shorter than this are always scored sequentially:
+/// below it, thread spawn overhead exceeds the scoring work.
+const SCORE_PARALLEL_CUTOFF: usize = 64;
 
 /// Online record linker.
 pub struct IncrementalLinker<M> {
@@ -20,6 +25,9 @@ pub struct IncrementalLinker<M> {
     keys: Vec<BlockingKey>,
     index: HashMap<String, Vec<usize>>,
     records: Vec<Record>,
+    /// One fingerprint per record, index-aligned with `records`. Derived
+    /// state: rebuilt on [`IncrementalLinker::restore`], never exported.
+    fingerprints: Vec<RecordFingerprint>,
     by_id: HashMap<RecordId, usize>,
     uf: UnionFind,
     comparisons: u64,
@@ -27,6 +35,10 @@ pub struct IncrementalLinker<M> {
     /// used for candidate generation (they keep being appended to, so a
     /// key can recover relevance is not needed — hot keys only get hotter).
     max_postings: usize,
+    /// Worker threads for candidate scoring (1 = sequential). Scoring
+    /// fans out; unions are always applied sequentially in ascending
+    /// candidate order, so results are identical at every thread count.
+    threads: usize,
 }
 
 impl<M: Matcher> IncrementalLinker<M> {
@@ -41,10 +53,12 @@ impl<M: Matcher> IncrementalLinker<M> {
             keys,
             index: HashMap::new(),
             records: Vec::new(),
+            fingerprints: Vec::new(),
             by_id: HashMap::new(),
             uf: UnionFind::new(0),
             comparisons: 0,
             max_postings: 200,
+            threads: 1,
         }
     }
 
@@ -55,6 +69,17 @@ impl<M: Matcher> IncrementalLinker<M> {
             threshold,
             vec![BlockingKey::IdentifierDigits, BlockingKey::TitleTokens],
         )
+    }
+
+    /// Use `threads` worker threads for candidate scoring when a
+    /// candidate list is large enough to amortize the fan-out. The
+    /// clustering outcome (traces, roots, comparison counts) is
+    /// **identical** at every thread count: only score computation is
+    /// parallel, and unions are applied in candidate order.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
     }
 
     /// Insert one record, linking it against the current state.
@@ -79,11 +104,15 @@ impl<M: Matcher> IncrementalLinker<M> {
         let uf_idx = self.uf.push();
         debug_assert_eq!(idx, uf_idx);
 
+        // the only per-record tokenization/normalization pass: blocking
+        // keys and all comparison features come from this fingerprint
+        let fp = RecordFingerprint::of(&record);
+
         // collect candidates via the index
         let mut cand: Vec<usize> = Vec::new();
         let mut record_keys: Vec<String> = Vec::new();
         for key in &self.keys {
-            for k in key.keys(&record) {
+            for k in key.keys_fp(&fp) {
                 if k.is_empty() {
                     continue;
                 }
@@ -98,15 +127,16 @@ impl<M: Matcher> IncrementalLinker<M> {
         cand.sort_unstable();
         cand.dedup();
 
+        // score (possibly fanned out over threads), then union
+        // sequentially in ascending candidate order — the same order the
+        // sequential loop used, so traces are bit-identical
+        let scores = self.score_candidates(&cand, &record, &fp);
         let mut compared = 0;
         let mut merged_roots: Vec<usize> = Vec::new();
-        for &c in &cand {
-            let other = &self.records[c];
-            if other.id.source == record.id.source {
-                continue;
-            }
+        for (&c, score) in cand.iter().zip(&scores) {
+            let Some(s) = *score else { continue }; // same-source skip
             compared += 1;
-            if self.matcher.score(other, &record) >= self.threshold {
+            if s >= self.threshold {
                 // Record the candidate's pre-union root: any root that is
                 // not the final one was absorbed by this insert.
                 merged_roots.push(self.uf.find(c));
@@ -123,6 +153,7 @@ impl<M: Matcher> IncrementalLinker<M> {
         }
         self.by_id.insert(record.id, idx);
         self.records.push(record);
+        self.fingerprints.push(fp);
 
         let cluster = self.uf.find(idx);
         merged_roots.sort_unstable();
@@ -134,6 +165,45 @@ impl<M: Matcher> IncrementalLinker<M> {
             cluster,
             absorbed: merged_roots,
         }
+    }
+
+    /// Score the arriving record against each candidate, `None` marking
+    /// same-source candidates (never compared). Index-aligned with
+    /// `cand`. Fans out across `self.threads` when the list is long
+    /// enough; chunk results concatenate in order, so the output is
+    /// independent of the thread count.
+    fn score_candidates(
+        &self,
+        cand: &[usize],
+        record: &Record,
+        fp: &RecordFingerprint,
+    ) -> Vec<Option<f64>> {
+        let arriving = PreparedRecord::new(record, fp);
+        let score_one = |&c: &usize| -> Option<f64> {
+            let other = &self.records[c];
+            if other.id.source == record.id.source {
+                return None;
+            }
+            let other = PreparedRecord::new(other, &self.fingerprints[c]);
+            Some(self.matcher.score_prepared(other, arriving))
+        };
+        if self.threads <= 1 || cand.len() < SCORE_PARALLEL_CUTOFF {
+            return cand.iter().map(score_one).collect();
+        }
+        let chunk_size = cand.len().div_ceil(self.threads);
+        let mut results: Vec<Vec<Option<f64>>> = Vec::with_capacity(self.threads);
+        crossbeam::thread::scope(|scope| {
+            let score_one = &score_one;
+            let handles: Vec<_> = cand
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().map(score_one).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("scoring thread panicked"));
+            }
+        })
+        .expect("thread scope failed");
+        results.into_iter().flatten().collect()
     }
 
     /// Total pairwise comparisons performed so far.
@@ -225,12 +295,16 @@ impl<M: Matcher> IncrementalLinker<M> {
             return None;
         }
         let uf = UnionFind::from_parts(state.parents, state.ranks)?;
+        // fingerprints are derived state: recomputed here from the record
+        // sequence, exactly as the original inserts computed them
+        let fingerprints: Vec<RecordFingerprint> =
+            state.records.iter().map(RecordFingerprint::of).collect();
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
         let mut by_id = HashMap::new();
         for (idx, record) in state.records.iter().enumerate() {
             let mut record_keys: Vec<String> = keys
                 .iter()
-                .flat_map(|key| key.keys(record))
+                .flat_map(|key| key.keys_fp(&fingerprints[idx]))
                 .filter(|k| !k.is_empty())
                 .collect();
             record_keys.sort_unstable();
@@ -246,10 +320,12 @@ impl<M: Matcher> IncrementalLinker<M> {
             keys,
             index,
             records: state.records,
+            fingerprints,
             by_id,
             uf,
             comparisons: state.comparisons,
             max_postings: 200,
+            threads: 1,
         })
     }
 }
@@ -274,7 +350,7 @@ pub struct LinkerState {
 /// Union-find roots only ever disappear by absorption — an absorbed root
 /// can never become a root again — so `absorbed` is a safe list of
 /// permanently dead cluster keys and `cluster` the single dirty one.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InsertTrace {
     /// Candidate comparisons performed for this insert.
     pub compared: usize,
@@ -460,6 +536,50 @@ mod tests {
             state,
         )
         .is_none());
+    }
+
+    #[test]
+    fn parallel_scoring_identical_traces_at_every_thread_count() {
+        // 96 records sharing one title token from alternating sources so
+        // the final inserts see a candidate list past the parallel
+        // cutoff; traces must agree bit-for-bit at 1, 2 and 8 threads.
+        let corpus: Vec<Record> = (0..96u32)
+            .map(|i| {
+                rec(
+                    i % 4,
+                    i,
+                    &format!("Gadget{} common widget", i / 8),
+                    Some(&format!("XXX-YYY-{:05}", i / 8)),
+                )
+            })
+            .collect();
+        let run = |threads: usize| {
+            let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9)
+                .with_threads(threads);
+            let traces: Vec<(usize, usize, usize, Vec<usize>)> = corpus
+                .iter()
+                .cloned()
+                .map(|r| {
+                    let t = linker.insert_traced(r);
+                    (t.compared, t.index, t.cluster, t.absorbed)
+                })
+                .collect();
+            (
+                traces,
+                linker.comparisons(),
+                linker.clustering().clusters().to_vec(),
+            )
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), base, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        IncrementalLinker::for_products(IdentifierRule::default(), 0.9).with_threads(0);
     }
 
     #[test]

@@ -30,10 +30,12 @@
 pub mod blocking;
 pub mod cluster;
 pub mod eval;
+pub mod fingerprint;
 pub mod incremental;
 pub mod matcher;
 pub mod pair;
 pub mod parallel;
 
 pub use cluster::Clustering;
+pub use fingerprint::{PreparedRecord, RecordFingerprint};
 pub use pair::Pair;

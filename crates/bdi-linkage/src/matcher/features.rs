@@ -1,7 +1,11 @@
 //! Shared comparison features over a record pair.
 
 use crate::blocking::{longest_digit_run, normalize_identifier};
-use bdi_textsim::{jaccard_sim, jaro_winkler_sim, monge_elkan_sim, tokenize};
+use crate::fingerprint::RecordFingerprint;
+use bdi_textsim::{
+    jaccard_sim, jaccard_sorted_sim, jaro_winkler_sim, monge_elkan_sim, overlap_sorted_sim,
+    tokenize,
+};
 use bdi_types::Record;
 
 /// The comparison vector both the weighted and the Fellegi-Sunter
@@ -116,6 +120,53 @@ pub fn pair_features(a: &Record, b: &Record) -> PairFeatures {
     }
 }
 
+/// [`pair_features`] over precomputed [`RecordFingerprint`]s — the
+/// serve-path fast lane. Set features run as merge intersections over
+/// the fingerprints' presorted token sets; nothing is tokenized,
+/// normalized, rendered, or allocated per comparison (Monge-Elkan and
+/// Jaro-Winkler still walk characters, but over preextracted strings).
+///
+/// **Bit-identical** to `pair_features(a, b)` when the fingerprints were
+/// built from `a` and `b`: the intersection/union counts are the same
+/// integers the hashed path produces, so every division yields the same
+/// `f64`. A property test pins this.
+pub fn pair_features_fp(a: &RecordFingerprint, b: &RecordFingerprint) -> PairFeatures {
+    let (pa, pb) = (&a.primary_id, &b.primary_id);
+    let mut id_exact = 0.0;
+    let mut id_sim: f64 = 0.0;
+    if !pa.is_empty() && !pb.is_empty() {
+        if pa == pb {
+            id_exact = 1.0;
+        }
+        id_sim = jaro_winkler_sim(pa, pb);
+    }
+
+    let digit_match = f64::from(matches!(
+        (&a.primary_digits, &b.primary_digits),
+        (Some(x), Some(y)) if x == y && x.len() >= 3
+    ));
+
+    let title_jaccard = jaccard_sorted_sim(&a.title_token_set, &b.title_token_set);
+    // Monge-Elkan is a bag mean: it needs the in-order, duplicate-keeping
+    // token list, not the set
+    let title_me = monge_elkan_sim(&a.title_tokens, &b.title_tokens);
+
+    let value_overlap = if a.value_set.is_empty() || b.value_set.is_empty() {
+        0.0
+    } else {
+        overlap_sorted_sim(&a.value_set, &b.value_set)
+    };
+
+    PairFeatures {
+        id_exact,
+        id_sim,
+        digit_match,
+        title_jaccard,
+        title_me,
+        value_overlap,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +240,29 @@ mod tests {
         let b = rec(1, "totally different thing", Some("ZZZ"));
         for v in pair_features(&a, &b).as_array() {
             assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fingerprint_path_bit_identical() {
+        let mut a = rec(0, "Lumetra LX-100 camera camera", Some("CAM-LUM-00100"));
+        a.attributes.insert("color".into(), Value::str("black"));
+        let mut b = rec(1, "camera LX-100 by Lumetra", Some("00100-LUM"));
+        b.attributes.insert("colour".into(), Value::str("Black"));
+        let pairs = [
+            (a.clone(), b.clone()),
+            (a.clone(), rec(2, "", None)),
+            (rec(3, "", None), rec(4, "", None)),
+            (
+                a,
+                rec(5, "Lumetra LX-100 camera camera", Some("CAM-LUM-00100")),
+            ),
+        ];
+        for (x, y) in &pairs {
+            let (fx, fy) = (RecordFingerprint::of(x), RecordFingerprint::of(y));
+            // PairFeatures derives PartialEq over f64 fields: this is
+            // exact equality, which the deterministic serve path needs
+            assert_eq!(pair_features_fp(&fx, &fy), pair_features(x, y));
         }
     }
 }

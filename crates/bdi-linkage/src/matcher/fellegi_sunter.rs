@@ -145,6 +145,15 @@ impl Matcher for FellegiSunter {
         self.posterior_pattern(&pat)
     }
 
+    fn score_prepared(
+        &self,
+        a: crate::fingerprint::PreparedRecord<'_>,
+        b: crate::fingerprint::PreparedRecord<'_>,
+    ) -> f64 {
+        let pat = self.agreement(&super::pair_features_fp(a.fingerprint, b.fingerprint));
+        self.posterior_pattern(&pat)
+    }
+
     fn name(&self) -> &'static str {
         "fellegi-sunter"
     }

@@ -13,17 +13,31 @@ pub mod fellegi_sunter;
 pub mod rule;
 pub mod weighted;
 
-pub use features::{pair_features, PairFeatures};
+pub use features::{pair_features, pair_features_fp, PairFeatures};
 pub use fellegi_sunter::FellegiSunter;
 pub use rule::IdentifierRule;
 pub use weighted::WeightedMatcher;
 
+use crate::fingerprint::PreparedRecord;
 use bdi_types::Record;
 
 /// A pairwise record match scorer.
 pub trait Matcher: Sync {
     /// Similarity of two records in `[0, 1]`.
     fn score(&self, a: &Record, b: &Record) -> f64;
+
+    /// Fingerprint-aware scoring: the hot path the incremental linker
+    /// calls. Implementations whose score is a function of
+    /// [`PairFeatures`] override this to run on the precomputed
+    /// fingerprints ([`pair_features_fp`]) instead of re-deriving
+    /// tokens from the raw records; the default falls back to
+    /// [`Matcher::score`]. Overrides **must** return bit-identical
+    /// scores to `score` on the same pair — the serve path's
+    /// determinism (and its equivalence tests) depend on it.
+    fn score_prepared(&self, a: PreparedRecord<'_>, b: PreparedRecord<'_>) -> f64 {
+        self.score(a.record, b.record)
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }

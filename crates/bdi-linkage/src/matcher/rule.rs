@@ -1,6 +1,8 @@
 //! Rule-based identifier matcher.
 
-use super::{pair_features, Matcher};
+use super::{pair_features, Matcher, PairFeatures};
+use crate::fingerprint::PreparedRecord;
+use bdi_textsim::{jaccard_sorted_sim, monge_elkan_sim};
 use bdi_types::Record;
 
 /// The product-domain workhorse: two records match when they share a
@@ -26,9 +28,10 @@ impl Default for IdentifierRule {
     }
 }
 
-impl Matcher for IdentifierRule {
-    fn score(&self, a: &Record, b: &Record) -> f64 {
-        let f = pair_features(a, b);
+impl IdentifierRule {
+    /// Score from a precomputed feature vector — shared by both the
+    /// record and the fingerprint entry points so they cannot drift.
+    fn score_features(&self, f: &PairFeatures) -> f64 {
         // corroboration uses token Jaccard, not Monge-Elkan: ME is too
         // generous across unrelated titles sharing stop-ish tokens, and a
         // record whose "primary" identifier is really a leaked related-
@@ -41,6 +44,37 @@ impl Matcher for IdentifierRule {
         }
         // no identifier evidence: titles only, discounted
         0.8 * f.title_me.min(1.0) * f.title_jaccard.max(0.3)
+    }
+}
+
+impl Matcher for IdentifierRule {
+    fn score(&self, a: &Record, b: &Record) -> f64 {
+        self.score_features(&pair_features(a, b))
+    }
+
+    /// Lazy fingerprint scoring — the serve hot path. Evaluates exactly
+    /// the features [`Self::score_features`] would consult, in branch
+    /// order, and nothing else: this rule never reads `id_sim` or
+    /// `value_overlap`, and `title_me` only matters when no identifier
+    /// evidence fires, so most comparisons skip Monge-Elkan entirely.
+    /// Bit-identical to `score_features(&pair_features_fp(..))` — a
+    /// property test pins the two together.
+    fn score_prepared(&self, a: PreparedRecord<'_>, b: PreparedRecord<'_>) -> f64 {
+        let (fa, fb) = (a.fingerprint, b.fingerprint);
+        let title_jaccard = jaccard_sorted_sim(&fa.title_token_set, &fb.title_token_set);
+        if title_jaccard >= self.corroboration {
+            if !fa.primary_id.is_empty() && fa.primary_id == fb.primary_id {
+                return 1.0;
+            }
+            if matches!(
+                (&fa.primary_digits, &fb.primary_digits),
+                (Some(x), Some(y)) if x == y && x.len() >= 3
+            ) {
+                return 0.95;
+            }
+        }
+        let title_me = monge_elkan_sim(&fa.title_tokens, &fb.title_tokens);
+        0.8 * title_me.min(1.0) * title_jaccard.max(0.3)
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,7 @@
 //! Linear weighted multi-feature matcher.
 
-use super::{pair_features, Matcher, PairFeatures};
+use super::{pair_features, pair_features_fp, Matcher, PairFeatures};
+use crate::fingerprint::PreparedRecord;
 use bdi_types::Record;
 
 /// Weighted sum of the [`PairFeatures`] vector, normalized by total
@@ -47,6 +48,10 @@ impl WeightedMatcher {
 impl Matcher for WeightedMatcher {
     fn score(&self, a: &Record, b: &Record) -> f64 {
         self.score_features(&pair_features(a, b))
+    }
+
+    fn score_prepared(&self, a: PreparedRecord<'_>, b: PreparedRecord<'_>) -> f64 {
+        self.score_features(&pair_features_fp(a.fingerprint, b.fingerprint))
     }
 
     fn name(&self) -> &'static str {

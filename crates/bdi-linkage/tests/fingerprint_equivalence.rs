@@ -1,0 +1,105 @@
+//! The fingerprint fast path is only allowed to exist because it is
+//! *exactly* the scratch computation, hoisted: these properties pin
+//! [`bdi_linkage::matcher::pair_features_fp`] and
+//! [`bdi_linkage::blocking::BlockingKey::keys_fp`] to their from-scratch
+//! counterparts over arbitrary records — bit-identical feature vectors
+//! (`==` on every `f64`, no epsilon), identical blocking key sets.
+
+use bdi_linkage::blocking::BlockingKey;
+use bdi_linkage::matcher::{
+    pair_features, pair_features_fp, FellegiSunter, IdentifierRule, Matcher, WeightedMatcher,
+};
+use bdi_linkage::{PreparedRecord, RecordFingerprint};
+use bdi_types::{Record, RecordId, SourceId, Value};
+use proptest::prelude::*;
+
+/// Raw material for one arbitrary record, drawn from primitive
+/// strategies: messy title pieces (repeated words, punctuation, digits,
+/// the occasional non-ASCII char), identifiers in mixed formats, and
+/// attribute entries tagged with a value kind (null / string / number).
+type RawRecord = (
+    (u32, u32),
+    Vec<String>,
+    Vec<String>,
+    Vec<(String, u32, f64)>,
+);
+
+fn build(raw: RawRecord) -> Record {
+    let ((source, local), title_parts, identifiers, attrs) = raw;
+    let mut r = Record::new(RecordId::new(SourceId(source), local), title_parts.concat());
+    r.identifiers = identifiers;
+    for (key, kind, x) in attrs {
+        let value = match kind % 3 {
+            0 => Value::Null,
+            1 => Value::str(format!("v{:.0}", x * 3.0)),
+            _ => Value::num(x),
+        };
+        r.attributes.insert(key, value);
+    }
+    r
+}
+
+fn raw_record() -> impl Strategy<Value = RawRecord> {
+    (
+        (0u32..4, 0u32..50),
+        proptest::collection::vec("[a-cA-C0-9]{0,4}[ .-]", 0..6),
+        proptest::collection::vec("[a-zA-Z0-9-]{0,10}", 0..3),
+        proptest::collection::vec(("[a-c]{1,4}", 0u32..6, 0.0f64..1000.0), 0..3),
+    )
+}
+
+proptest! {
+    #[test]
+    fn pair_features_fp_bit_identical(ra in raw_record(), rb in raw_record()) {
+        let (a, b) = (build(ra), build(rb));
+        let (fa, fb) = (RecordFingerprint::of(&a), RecordFingerprint::of(&b));
+        // PairFeatures derives PartialEq over its f64 fields, so this is
+        // exact equality — the parallel serve path's determinism rests
+        // on the fast path never being "close", always being equal
+        prop_assert_eq!(pair_features_fp(&fa, &fb), pair_features(&a, &b));
+        // and symmetric in the same way the scratch path is
+        prop_assert_eq!(pair_features_fp(&fb, &fa), pair_features(&b, &a));
+    }
+
+    #[test]
+    fn blocking_keys_fp_same_key_set(raw in raw_record()) {
+        let r = build(raw);
+        let fp = RecordFingerprint::of(&r);
+        for key in [
+            BlockingKey::Identifier,
+            BlockingKey::IdentifierDigits,
+            BlockingKey::TitleTokens,
+            BlockingKey::TitleSoundex,
+        ] {
+            let mut from_record = key.keys(&r);
+            from_record.sort_unstable();
+            from_record.dedup();
+            let mut from_fp = key.keys_fp(&fp);
+            from_fp.sort_unstable();
+            from_fp.dedup();
+            prop_assert_eq!(from_record, from_fp, "key {:?} diverged", key);
+        }
+    }
+
+    #[test]
+    fn matcher_scores_bit_identical(ra in raw_record(), rb in raw_record()) {
+        // every matcher's score_prepared — including IdentifierRule's
+        // lazily-evaluated one — must produce the exact f64 its
+        // from-scratch score does
+        let (a, b) = (build(ra), build(rb));
+        let (fa, fb) = (RecordFingerprint::of(&a), RecordFingerprint::of(&b));
+        let (pa, pb) = (PreparedRecord::new(&a, &fa), PreparedRecord::new(&b, &fb));
+        let rule = IdentifierRule::default();
+        prop_assert_eq!(rule.score_prepared(pa, pb), rule.score(&a, &b));
+        let weighted = WeightedMatcher::default();
+        prop_assert_eq!(weighted.score_prepared(pa, pb), weighted.score(&a, &b));
+        let fs = FellegiSunter::default();
+        prop_assert_eq!(fs.score_prepared(pa, pb), fs.score(&a, &b));
+    }
+
+    #[test]
+    fn fingerprint_of_is_deterministic(raw in raw_record()) {
+        let r = build(raw);
+        prop_assert_eq!(RecordFingerprint::of(&r), RecordFingerprint::of(&r));
+    }
+}

@@ -18,9 +18,15 @@ use bdi_fusion::{ClaimSet, Fuser, MajorityVote};
 use bdi_linkage::blocking::{normalize_identifier, BlockingKey};
 use bdi_linkage::incremental::{IncrementalLinker, InsertTrace, LinkerState};
 use bdi_linkage::matcher::IdentifierRule;
+use bdi_linkage::parallel::default_threads;
 use bdi_types::{DataItem, EntityId, Record, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Dirty-root counts below this are re-fused sequentially: spawning
+/// threads costs more than fusing a handful of clusters.
+const REFRESH_PARALLEL_CUTOFF: usize = 8;
 
 /// Long-lived integration state behind the serve ingest path.
 pub struct Engine {
@@ -33,8 +39,13 @@ pub struct Engine {
     dirty: BTreeSet<usize>,
     /// Roots absorbed since the last refresh — permanently dead keys.
     dead: BTreeSet<usize>,
-    /// The catalog as of the last refresh.
-    catalog: Catalog,
+    /// The catalog as of the last refresh, shared with published
+    /// generations — [`Engine::refresh`] hands out this `Arc`, so
+    /// publication never copies the catalog.
+    catalog: Arc<Catalog>,
+    /// Worker threads for candidate scoring and dirty-cluster fusion.
+    /// Purely a throughput knob: results are identical at any value.
+    threads: usize,
 }
 
 /// The complete durable state of an [`Engine`], as written into serve-path
@@ -67,15 +78,28 @@ pub struct EngineState {
 
 impl Engine {
     /// Fresh engine with the product defaults (identifier + title
-    /// blocking, identifier-rule matcher) at `threshold`.
+    /// blocking, identifier-rule matcher) at `threshold`, using every
+    /// core the host reports for scoring and refresh fan-out.
     pub fn new(threshold: f64) -> Self {
+        Self::with_threads(threshold, default_threads())
+    }
+
+    /// [`Engine::new`] with an explicit worker-thread count (1 =
+    /// sequential). The clustering and every catalog generation are
+    /// **bit-identical** at any thread count — scoring and fusion fan
+    /// out, but unions and catalog deltas are applied in deterministic
+    /// order. The equivalence tests pin this.
+    pub fn with_threads(threshold: f64, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
         Self {
-            linker: IncrementalLinker::for_products(IdentifierRule::default(), threshold),
+            linker: IncrementalLinker::for_products(IdentifierRule::default(), threshold)
+                .with_threads(threads),
             threshold,
             members: HashMap::new(),
             dirty: BTreeSet::new(),
             dead: BTreeSet::new(),
-            catalog: Catalog::default(),
+            catalog: Arc::new(Catalog::default()),
+            threads,
         }
     }
 
@@ -101,7 +125,7 @@ impl Engine {
             members: self.members.iter().map(|(&r, m)| (r, m.clone())).collect(),
             dirty: self.dirty.clone(),
             dead: self.dead.clone(),
-            catalog: self.catalog.clone(),
+            catalog: (*self.catalog).clone(),
         }
     }
 
@@ -118,6 +142,7 @@ impl Engine {
         if state.members.values().flatten().any(|&i| i >= n) {
             return None;
         }
+        let threads = default_threads();
         let linker = IncrementalLinker::restore(
             IdentifierRule::default(),
             threshold,
@@ -128,14 +153,16 @@ impl Engine {
                 ranks: state.ranks,
                 comparisons: state.comparisons,
             },
-        )?;
+        )?
+        .with_threads(threads);
         Some(Self {
             linker,
             threshold,
             members: state.members.into_iter().collect(),
             dirty: state.dirty,
             dead: state.dead,
-            catalog: state.catalog,
+            catalog: Arc::new(state.catalog),
+            threads,
         })
     }
 
@@ -143,18 +170,23 @@ impl Engine {
     /// Returns the linker's trace (useful for instrumentation).
     pub fn ingest(&mut self, record: Record) -> InsertTrace {
         let trace = self.linker.insert_traced(record);
-        let mut merged = Vec::new();
+        let mut absorbed_lists: Vec<Vec<usize>> = Vec::new();
         for &root in &trace.absorbed {
             if let Some(m) = self.members.remove(&root) {
-                merged.extend(m);
+                absorbed_lists.push(m);
             }
             self.dirty.remove(&root);
             self.dead.insert(root);
         }
+        // member lists are kept ascending, so absorbed lists merge in
+        // O(m) and the new arrival — the largest index by construction —
+        // appends at the end: no per-insert re-sort of the home list
         let home = self.members.entry(trace.cluster).or_default();
-        home.extend(merged);
+        for m in absorbed_lists {
+            merge_sorted(home, m);
+        }
+        debug_assert!(home.last().is_none_or(|&l| l < trace.index));
         home.push(trace.index);
-        home.sort_unstable();
         self.dirty.insert(trace.cluster);
         trace
     }
@@ -174,24 +206,61 @@ impl Engine {
         self.dirty.len()
     }
 
+    /// Total pairwise comparisons the linker has performed.
+    pub fn comparisons(&self) -> u64 {
+        self.linker.comparisons()
+    }
+
     /// Re-fuse the dirty clusters and roll the catalog forward. Returns
-    /// the new catalog (also retained as the engine's refresh base).
-    /// A no-op refresh (nothing dirty) returns a clone of the current
-    /// catalog without rebuilding anything.
-    pub fn refresh(&mut self) -> Catalog {
+    /// the new catalog behind an `Arc` that is *shared* with the
+    /// engine's retained refresh base — publishing a generation is a
+    /// pointer copy, not a catalog copy. A no-op refresh (nothing
+    /// dirty) hands out the current catalog unchanged.
+    ///
+    /// Dirty clusters re-fuse in parallel across the engine's worker
+    /// threads when there are enough of them; upserts are assembled in
+    /// ascending root order either way, so the resulting catalog is
+    /// identical at every thread count.
+    pub fn refresh(&mut self) -> Arc<Catalog> {
         if self.dirty.is_empty() && self.dead.is_empty() {
-            return self.catalog.clone();
+            return Arc::clone(&self.catalog);
         }
-        let upserts: Vec<CatalogEntry> = self
-            .dirty
-            .iter()
-            .map(|&root| self.build_entry(root))
-            .collect();
-        let next = self.catalog.apply_delta(&self.dead, upserts);
-        self.catalog = next.clone();
+        let upserts = self.build_entries();
+        let next = Arc::new(self.catalog.apply_delta(&self.dead, upserts));
+        self.catalog = Arc::clone(&next);
         self.dirty.clear();
         self.dead.clear();
         next
+    }
+
+    /// Catalog entries for every dirty root, in ascending root order.
+    fn build_entries(&self) -> Vec<CatalogEntry> {
+        let roots: Vec<usize> = self.dirty.iter().copied().collect();
+        if self.threads <= 1 || roots.len() < REFRESH_PARALLEL_CUTOFF {
+            return roots.iter().map(|&r| self.build_entry(r)).collect();
+        }
+        let chunk_size = roots.len().div_ceil(self.threads);
+        let mut results: Vec<Vec<CatalogEntry>> = Vec::with_capacity(self.threads);
+        crossbeam::thread::scope(|scope| {
+            let this = &*self;
+            let handles: Vec<_> = roots
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&r| this.build_entry(r))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("refresh thread panicked"));
+            }
+        })
+        .expect("thread scope failed");
+        // chunks concatenate in order: still ascending root order
+        results.into_iter().flatten().collect()
     }
 
     /// Materialize one cluster as a catalog entry: pages in arrival
@@ -238,6 +307,34 @@ impl Engine {
             pages: members.iter().map(|&i| records[i].id).collect(),
             attributes,
             identifiers,
+        }
+    }
+}
+
+/// Merge ascending `src` into ascending `dst` (both duplicate-free and
+/// disjoint — they are member lists of distinct union-find roots).
+fn merge_sorted(dst: &mut Vec<usize>, src: Vec<usize>) {
+    if src.is_empty() {
+        return;
+    }
+    if dst.last().is_some_and(|&l| l < src[0]) {
+        dst.extend(src);
+        return;
+    }
+    let old = std::mem::replace(dst, Vec::with_capacity(dst.len() + src.len()));
+    let (mut a, mut b) = (old.into_iter().peekable(), src.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    dst.push(a.next().unwrap());
+                } else {
+                    dst.push(b.next().unwrap());
+                }
+            }
+            (Some(_), None) => dst.push(a.next().unwrap()),
+            (None, Some(_)) => dst.push(b.next().unwrap()),
+            (None, None) => break,
         }
     }
 }

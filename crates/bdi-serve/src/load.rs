@@ -24,6 +24,10 @@ pub struct LoadConfig {
     pub entities: usize,
     /// Sources in the generated world.
     pub sources: usize,
+    /// Records per source, at most — larger caps make denser worlds
+    /// (more records per entity, heavier candidate lists) for hot-path
+    /// measurement.
+    pub max_source_size: usize,
     /// Concurrent reader connections.
     pub readers: usize,
 }
@@ -34,6 +38,7 @@ impl Default for LoadConfig {
             seed: 7,
             entities: 120,
             sources: 12,
+            max_source_size: 60,
             readers: 4,
         }
     }
@@ -64,6 +69,9 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Generation number after the final flush.
     pub generation: u64,
+    /// Pairwise candidate comparisons the server performed for the
+    /// whole run (from its stats counters after the final flush).
+    pub comparisons: u64,
 }
 
 /// Generate a world and replay it against a running server at `addr`.
@@ -71,6 +79,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
     let world = World::generate(WorldConfig {
         n_entities: cfg.entities,
         n_sources: cfg.sources,
+        max_source_size: cfg.max_source_size,
         ..WorldConfig::tiny(cfg.seed)
     });
     let mut pool: Vec<String> = world
@@ -123,6 +132,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
     }
     let (generation, _) = writer.flush()?;
     let ingest_secs = t0.elapsed().as_secs_f64();
+    let comparisons = writer.stats()?.comparisons;
     stop.store(true, Ordering::SeqCst);
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -157,6 +167,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         p50_us: pct(&latencies, 0.50),
         p99_us: pct(&latencies, 0.99),
         generation,
+        comparisons,
     })
 }
 

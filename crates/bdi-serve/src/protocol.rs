@@ -99,6 +99,10 @@ pub struct StatsBody {
     /// Records that failed to apply (the handler caught a panic on the
     /// ingest path); counted into `applied` so `flush` still terminates.
     pub rejected: u64,
+    /// Pairwise candidate comparisons the linker has performed, as of
+    /// the published generation — `comparisons / applied` is the
+    /// per-insert comparison cost the blocking index is holding down.
+    pub comparisons: u64,
     /// Identifier-index shards per generation.
     pub shards: usize,
     /// True when a write-ahead log backs the ingest path.

@@ -111,6 +111,7 @@ struct Shared {
     submitted: AtomicU64,
     applied: AtomicU64,
     rejected: AtomicU64,
+    comparisons: AtomicU64,
     shutdown: AtomicBool,
     shards: usize,
     durable: bool,
@@ -144,6 +145,7 @@ impl Server {
             submitted: AtomicU64::new(0),
             applied: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            comparisons: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             shards: cfg.shards,
             durable: cfg.durability.is_some(),
@@ -357,10 +359,16 @@ fn recover(
     ))
 }
 
-/// Publish the engine's current state as the next generation.
+/// Publish the engine's current state as the next generation. The
+/// catalog `Arc` comes straight from [`Engine::refresh`] — the engine's
+/// retained refresh base and the published generation share one
+/// allocation, so publishing never copies the catalog.
 fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
-    let catalog = Arc::new(engine.refresh());
+    let catalog = engine.refresh();
     let index = ShardedIndex::build(&catalog, shared.shards);
+    shared
+        .comparisons
+        .store(engine.comparisons(), Ordering::SeqCst);
     shared.current.store(Arc::new(Generation {
         seq,
         catalog,
@@ -577,6 +585,7 @@ fn dispatch(line: &str, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) 
                 submitted: shared.submitted.load(Ordering::SeqCst),
                 applied: shared.applied.load(Ordering::SeqCst),
                 rejected: shared.rejected.load(Ordering::SeqCst),
+                comparisons: shared.comparisons.load(Ordering::SeqCst),
                 shards: shared.shards,
                 durable: shared.durable,
                 wal_position: shared.wal_position.load(Ordering::SeqCst),

@@ -68,45 +68,106 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     row1[m]
 }
 
+/// Stack capacity for [`jaro_sim`]'s scratch space; inputs longer than
+/// this (in chars) spill to the heap. Product tokens and identifiers
+/// are far shorter, so the hot path never allocates.
+const JARO_STACK: usize = 48;
+
+/// Collect a string's chars into `buf` when they fit, `spill` otherwise.
+fn jaro_chars<'x>(
+    s: &str,
+    buf: &'x mut [char; JARO_STACK],
+    spill: &'x mut Vec<char>,
+) -> &'x [char] {
+    let mut n = 0;
+    for c in s.chars() {
+        if n < JARO_STACK && spill.is_empty() {
+            buf[n] = c;
+            n += 1;
+        } else {
+            if spill.is_empty() {
+                spill.extend_from_slice(&buf[..n]);
+            }
+            spill.push(c);
+        }
+    }
+    if spill.is_empty() {
+        &buf[..n]
+    } else {
+        spill.as_slice()
+    }
+}
+
 /// Jaro similarity, the base of Jaro-Winkler. Returns in `[0, 1]`.
+///
+/// Allocation-free for inputs up to [`JARO_STACK`] chars: this runs
+/// inside Monge-Elkan's token cross-product on the serve hot path, so
+/// per-call `Vec`s would dominate the profile.
 pub fn jaro_sim(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
+    if a == b {
+        // all chars match in order, zero transpositions — exactly 1.0
+        // (or both empty, which is also defined as 1.0)
         return 1.0;
     }
+    let (mut abuf, mut aspill) = (['\0'; JARO_STACK], Vec::new());
+    let (mut bbuf, mut bspill) = (['\0'; JARO_STACK], Vec::new());
+    let a = jaro_chars(a, &mut abuf, &mut aspill);
+    let b = jaro_chars(b, &mut bbuf, &mut bspill);
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
+    let mut used_buf = [false; JARO_STACK];
+    let mut used_spill;
+    let b_used: &mut [bool] = if b.len() <= JARO_STACK {
+        &mut used_buf[..b.len()]
+    } else {
+        used_spill = vec![false; b.len()];
+        &mut used_spill
+    };
+    let mut match_buf = ['\0'; JARO_STACK];
+    let mut match_spill = Vec::new();
+    let mut m = 0usize;
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
         for j in lo..hi {
             if !b_used[j] && b[j] == ca {
                 b_used[j] = true;
-                matches_a.push(ca);
+                if m < JARO_STACK {
+                    match_buf[m] = ca;
+                } else {
+                    if match_spill.is_empty() {
+                        match_spill.extend_from_slice(&match_buf);
+                    }
+                    match_spill.push(ca);
+                }
+                m += 1;
                 break;
             }
         }
     }
-    let m = matches_a.len();
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> = b
-        .iter()
-        .zip(b_used.iter())
-        .filter_map(|(&c, &u)| u.then_some(c))
-        .collect();
-    let transpositions = matches_a
-        .iter()
-        .zip(matches_b.iter())
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
+    let matches_a: &[char] = if match_spill.is_empty() {
+        &match_buf[..m]
+    } else {
+        &match_spill
+    };
+    // walk b's matched chars in b-order against a's matched chars in
+    // a-order — the classic transposition count, no collection needed
+    let mut transpositions = 0usize;
+    let mut k = 0usize;
+    for (j, &cb) in b.iter().enumerate() {
+        if b_used[j] {
+            if matches_a[k] != cb {
+                transpositions += 1;
+            }
+            k += 1;
+        }
+    }
+    let transpositions = transpositions / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }

@@ -28,8 +28,16 @@ fn directional_me<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     let total: f64 = a
         .iter()
         .map(|ta| {
+            let ta = ta.as_ref();
+            // exact-token hit: jaro_winkler(t, t) is exactly 1.0 and no
+            // other value exceeds 1.0, so the max is decided — skip the
+            // character-level passes (blocking guarantees shared tokens
+            // on the hot path, so this fires constantly)
+            if b.iter().any(|tb| tb.as_ref() == ta) {
+                return 1.0;
+            }
             b.iter()
-                .map(|tb| jaro_winkler_sim(ta.as_ref(), tb.as_ref()))
+                .map(|tb| jaro_winkler_sim(ta, tb.as_ref()))
                 .fold(0.0f64, f64::max)
         })
         .sum();

@@ -40,6 +40,8 @@ pub use hybrid::{monge_elkan_sim, soft_jaccard_sim};
 pub use normalize::{normalize, normalize_attr_name};
 pub use numeric::relative_sim;
 pub use phonetic::soundex;
-pub use set::{cosine_sim, dice_sim, jaccard_sim, overlap_sim};
+pub use set::{
+    cosine_sim, dice_sim, jaccard_sim, jaccard_sorted_sim, overlap_sim, overlap_sorted_sim,
+};
 pub use tfidf::TfIdfIndex;
 pub use token::{qgrams, tokenize, word_tokens};

@@ -38,6 +38,48 @@ pub fn overlap_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     a.intersection(&b).count() as f64 / min as f64
 }
 
+/// Number of common elements between two **sorted, deduplicated**
+/// slices, by a single merge pass — no hashing, no allocation.
+fn sorted_intersection_count<S: AsRef<str>>(a: &[S], b: &[S]) -> usize {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].as_ref().cmp(b[j].as_ref()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// [`jaccard_sim`] over slices the caller has already sorted and
+/// deduplicated — the allocation-free fast path for precomputed token
+/// sets (e.g. record fingerprints). Produces bit-identical results to
+/// [`jaccard_sim`] on the same sets.
+pub fn jaccard_sorted_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = sorted_intersection_count(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// [`overlap_sim`] over slices the caller has already sorted and
+/// deduplicated — allocation-free, bit-identical to [`overlap_sim`] on
+/// the same sets.
+pub fn overlap_sorted_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 1.0;
+    }
+    sorted_intersection_count(a, b) as f64 / min as f64
+}
+
 /// Unweighted cosine similarity over token multisets (bag model).
 pub fn cosine_sim<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     use std::collections::HashMap;
@@ -101,6 +143,21 @@ mod tests {
         assert!((jaccard_sim(&v(&["a", "a", "b"]), &v(&["a", "b", "b"])) - 1.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn sorted_variants_known_values() {
+        assert_eq!(
+            jaccard_sorted_sim(&v(&["a", "b", "c"]), &v(&["b", "c", "d"])),
+            0.5
+        );
+        assert_eq!(jaccard_sorted_sim::<String>(&[], &[]), 1.0);
+        assert_eq!(jaccard_sorted_sim(&v(&["a"]), &[]), 0.0);
+        assert_eq!(
+            overlap_sorted_sim(&v(&["a", "b"]), &v(&["a", "b", "c", "d"])),
+            1.0
+        );
+        assert_eq!(overlap_sorted_sim::<String>(&[], &v(&["a"])), 1.0);
+    }
+
     proptest! {
         #[test]
         fn all_sims_unit_range(a in proptest::collection::vec("[a-c]{1,2}", 0..8),
@@ -117,6 +174,19 @@ mod tests {
             prop_assert!((dice_sim(&a, &b) - dice_sim(&b, &a)).abs() < 1e-12);
             prop_assert!((overlap_sim(&a, &b) - overlap_sim(&b, &a)).abs() < 1e-12);
             prop_assert!((cosine_sim(&a, &b) - cosine_sim(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn sorted_variants_equal_hashed_on_sorted_sets(
+            a in proptest::collection::vec("[a-c]{1,2}", 0..8),
+            b in proptest::collection::vec("[a-c]{1,2}", 0..8),
+        ) {
+            let mut a = a; a.sort_unstable(); a.dedup();
+            let mut b = b; b.sort_unstable(); b.dedup();
+            // bit-identical, not approximately equal: the fingerprint
+            // fast path depends on exact agreement
+            prop_assert!(jaccard_sorted_sim(&a, &b) == jaccard_sim(&a, &b));
+            prop_assert!(overlap_sorted_sim(&a, &b) == overlap_sim(&a, &b));
         }
 
         #[test]

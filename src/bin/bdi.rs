@@ -6,7 +6,7 @@
 //! bdi integrate --seed 42 --entities 300 --sources 20
 //! bdi lookup    --in ./ds --id CAM-LUM-01042
 //! bdi serve     --addr 127.0.0.1:7171 [--seed 42 --entities 300]
-//! bdi load      --addr 127.0.0.1:7171 [--readers 4]
+//! bdi load      --addr 127.0.0.1:7171 [--readers 4] [--max-source-size 60]
 //! ```
 //!
 //! `generate` writes `dataset.json`, `ground_truth.json` and
@@ -70,7 +70,7 @@ USAGE:
   bdi serve     [--addr HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
                 [--threshold X] [--queue N] [--shards N]
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
-  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--readers N]
+  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N]
   bdi help
 
 Durability: --data-dir enables the write-ahead log and generation
@@ -253,6 +253,7 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         seed: num(opts, "seed", 7u64)?,
         entities: num(opts, "entities", 120usize)?,
         sources: num(opts, "sources", 12usize)?,
+        max_source_size: num(opts, "max-source-size", 60usize)?,
         readers: num(opts, "readers", 4usize)?,
     };
     let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;

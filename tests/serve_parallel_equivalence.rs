@@ -1,0 +1,102 @@
+//! Parallel serve paths are *bit-identical* to sequential, not merely
+//! close: the linker scores candidates on worker threads but applies
+//! unions in ascending candidate order, and the engine builds dirty
+//! catalog entries on worker threads but applies the delta in ascending
+//! root order. These tests run the same noisy world at several thread
+//! counts and demand equality — traces, comparison counts, clusterings,
+//! and every published catalog generation along the way.
+
+use bdi::linkage::incremental::{IncrementalLinker, InsertTrace};
+use bdi::linkage::matcher::IdentifierRule;
+use bdi::serve::Engine;
+use bdi::synth::{World, WorldConfig};
+use bdi::types::Record;
+
+fn world_records(seed: u64) -> Vec<Record> {
+    World::generate(WorldConfig {
+        n_entities: 120,
+        n_sources: 12,
+        ..WorldConfig::tiny(seed)
+    })
+    .dataset
+    .into_records()
+}
+
+/// Everything observable about one linker run: per-insert traces, total
+/// comparison count, and the final clustering as (source, seq) groups.
+type LinkerRun = (Vec<InsertTrace>, u64, Vec<Vec<(u32, u32)>>);
+
+#[test]
+fn linker_traces_identical_at_every_thread_count() {
+    let records = world_records(801);
+    let run = |threads: usize| -> LinkerRun {
+        let mut linker =
+            IncrementalLinker::for_products(IdentifierRule::default(), 0.9).with_threads(threads);
+        let traces = records
+            .iter()
+            .cloned()
+            .map(|r| linker.insert_traced(r))
+            .collect();
+        let clusters = linker
+            .clustering()
+            .clusters()
+            .iter()
+            .map(|c| c.iter().map(|id| (id.source.0, id.seq)).collect())
+            .collect();
+        (traces, linker.comparisons(), clusters)
+    };
+    let sequential = run(1);
+    assert!(
+        sequential.1 > 0,
+        "world produced candidate comparisons (else the test is vacuous)"
+    );
+    for threads in [2usize, 3, 8] {
+        assert_eq!(run(threads), sequential, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn engine_catalogs_identical_at_every_thread_count() {
+    let records = world_records(802);
+    // refresh mid-stream several times so the parallel dirty-entry build
+    // runs against partial state, not just once at the end
+    let run = |threads: usize| {
+        let mut engine = Engine::with_threads(0.9, threads);
+        let mut generations = Vec::new();
+        for (i, r) in records.iter().cloned().enumerate() {
+            engine.ingest(r);
+            if i % 29 == 28 {
+                generations.push(engine.refresh());
+            }
+        }
+        generations.push(engine.refresh());
+        (generations, engine.comparisons())
+    };
+    let (base_gens, base_cmp) = run(1);
+    assert!(base_gens.len() > 3, "multiple refreshes happened");
+    for threads in [2usize, 4] {
+        let (gens, cmp) = run(threads);
+        assert_eq!(cmp, base_cmp, "{threads} threads: comparison count");
+        assert_eq!(gens.len(), base_gens.len());
+        for (i, (g, b)) in gens.iter().zip(&base_gens).enumerate() {
+            assert_eq!(
+                **g, **b,
+                "{threads} threads: catalog generation {i} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn default_engine_matches_explicit_single_thread() {
+    // Engine::new picks a host-dependent thread count; whatever it is,
+    // the catalog must equal the sequential one.
+    let records = world_records(803);
+    let mut auto = Engine::new(0.9);
+    let mut seq = Engine::with_threads(0.9, 1);
+    for r in records {
+        auto.ingest(r.clone());
+        seq.ingest(r);
+    }
+    assert_eq!(*auto.refresh(), *seq.refresh());
+}
