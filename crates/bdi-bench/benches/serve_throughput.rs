@@ -79,6 +79,8 @@ fn readers_sweep() {
             ("reads_per_sec", num_f(report.reads_per_sec)),
             ("lookup_p50_us", num_u(report.p50_us)),
             ("lookup_p99_us", num_u(report.p99_us)),
+            ("server_lookup_p50_us", num_u(report.server_lookup_p50_us)),
+            ("server_lookup_p99_us", num_u(report.server_lookup_p99_us)),
         ]));
         server.shutdown();
     }
@@ -109,6 +111,10 @@ fn hot_path() {
         report.comparisons,
         cmp_per_insert
     );
+    println!(
+        "server-side ingest handling: p50 {}us p99 {}us (round trip minus wire)",
+        report.server_ingest_p50_us, report.server_ingest_p99_us
+    );
     update_section(
         "serve_hot_path",
         obj(&[
@@ -116,8 +122,33 @@ fn hot_path() {
             ("ingest_per_sec", num_f(report.ingest_per_sec)),
             ("ingest_p50_us", num_u(report.ingest_p50_us)),
             ("ingest_p99_us", num_u(report.ingest_p99_us)),
+            ("server_ingest_p50_us", num_u(report.server_ingest_p50_us)),
+            ("server_ingest_p99_us", num_u(report.server_ingest_p99_us)),
             ("comparisons", num_u(report.comparisons)),
             ("comparisons_per_insert", num_f(cmp_per_insert)),
+        ]),
+    );
+
+    // instrumentation accountability: the hot path now records ~10
+    // histogram samples per request (request latency + bytes, four
+    // engine stages, WAL append) — each a handful of relaxed atomic
+    // adds. The committed pre-instrumentation baseline pins the
+    // allowed regression at 5%.
+    const PRE_OBS_BASELINE: f64 = 6658.6;
+    let overhead_pct = (1.0 - report.ingest_per_sec / PRE_OBS_BASELINE) * 100.0;
+    println!(
+        "obs overhead: {:.0} r/s vs pre-instrumentation {PRE_OBS_BASELINE:.0} r/s ({overhead_pct:+.1}%)",
+        report.ingest_per_sec
+    );
+    if overhead_pct > 5.0 {
+        println!("WARNING: instrumentation overhead {overhead_pct:.1}% exceeds the 5% budget");
+    }
+    update_section(
+        "obs_overhead",
+        obj(&[
+            ("baseline_ingest_per_sec", num_f(PRE_OBS_BASELINE)),
+            ("ingest_per_sec", num_f(report.ingest_per_sec)),
+            ("overhead_pct", num_f((overhead_pct * 10.0).round() / 10.0)),
         ]),
     );
 }

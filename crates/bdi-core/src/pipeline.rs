@@ -130,6 +130,21 @@ pub fn run_pipeline(ds: &Dataset, cfg: &PipelineConfig) -> Result<PipelineResult
     };
     let fusion_time = t2.elapsed();
 
+    // the batch pipeline has no server to own a registry, so stage
+    // timings land in the process-wide one (`bdi stats --prometheus`
+    // and the metrics file read the serve registry instead)
+    let registry = bdi_obs::Registry::global();
+    registry
+        .histogram("pipeline.linkage.latency_ns")
+        .record_duration(linkage_time);
+    registry
+        .histogram("pipeline.alignment.latency_ns")
+        .record_duration(alignment_time);
+    registry
+        .histogram("pipeline.fusion.latency_ns")
+        .record_duration(fusion_time);
+    registry.counter("pipeline.runs").inc();
+
     Ok(PipelineResult {
         clustering,
         attr_clusters,
@@ -187,11 +202,21 @@ mod tests {
     #[test]
     fn pipeline_runs_end_to_end() {
         let w = world();
+        let runs_before = bdi_obs::Registry::global().counter("pipeline.runs").get();
         let res = run_pipeline(&w.dataset, &PipelineConfig::default()).unwrap();
         assert!(res.clustering.record_count() == w.dataset.len());
         assert!(!res.resolution.decided.is_empty());
         assert!(res.claim_count > 0);
         assert!(res.candidates > 0);
+        let global = bdi_obs::Registry::global().snapshot();
+        assert!(
+            global.counters["pipeline.runs"] > runs_before,
+            "run counted into the global registry"
+        );
+        assert!(
+            global.histograms["pipeline.linkage.latency_ns"].count >= 1,
+            "linkage stage timing recorded"
+        );
     }
 
     #[test]

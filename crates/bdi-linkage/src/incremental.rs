@@ -100,6 +100,16 @@ impl<M: Matcher> IncrementalLinker<M> {
     /// the contract downstream incremental fusion needs to refresh only
     /// dirty clusters.
     pub fn insert_traced(&mut self, record: Record) -> InsertTrace {
+        self.insert_traced_timed(record).0
+    }
+
+    /// [`IncrementalLinker::insert_traced`] plus wall-clock phase
+    /// timings. The trace is byte-identical to the untimed call (that
+    /// method delegates here); timings ride alongside so observability
+    /// never perturbs the equivalence contracts pinned on
+    /// [`InsertTrace`].
+    pub fn insert_traced_timed(&mut self, record: Record) -> (InsertTrace, InsertTimings) {
+        let t0 = std::time::Instant::now();
         let idx = self.records.len();
         let uf_idx = self.uf.push();
         debug_assert_eq!(idx, uf_idx);
@@ -126,11 +136,15 @@ impl<M: Matcher> IncrementalLinker<M> {
         }
         cand.sort_unstable();
         cand.dedup();
+        let t_candidates = t0.elapsed();
 
         // score (possibly fanned out over threads), then union
         // sequentially in ascending candidate order — the same order the
         // sequential loop used, so traces are bit-identical
+        let t1 = std::time::Instant::now();
         let scores = self.score_candidates(&cand, &record, &fp);
+        let t_scoring = t1.elapsed();
+        let t2 = std::time::Instant::now();
         let mut compared = 0;
         let mut merged_roots: Vec<usize> = Vec::new();
         for (&c, score) in cand.iter().zip(&scores) {
@@ -159,12 +173,21 @@ impl<M: Matcher> IncrementalLinker<M> {
         merged_roots.sort_unstable();
         merged_roots.dedup();
         merged_roots.retain(|&r| r != cluster);
-        InsertTrace {
-            compared,
-            index: idx,
-            cluster,
-            absorbed: merged_roots,
-        }
+        let saturating_ns =
+            |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        (
+            InsertTrace {
+                compared,
+                index: idx,
+                cluster,
+                absorbed: merged_roots,
+            },
+            InsertTimings {
+                candidates_ns: saturating_ns(t_candidates),
+                scoring_ns: saturating_ns(t_scoring),
+                union_ns: saturating_ns(t2.elapsed()),
+            },
+        )
     }
 
     /// Score the arriving record against each candidate, `None` marking
@@ -343,6 +366,23 @@ pub struct LinkerState {
     pub ranks: Vec<u8>,
     /// Total pairwise comparisons performed so far.
     pub comparisons: u64,
+}
+
+/// Wall-clock phase timings of one
+/// [`IncrementalLinker::insert_traced_timed`] call, in nanoseconds.
+/// Instrumentation-only plain data — kept apart from [`InsertTrace`] so
+/// the trace stays a pure, comparable description of the clustering
+/// outcome (timings are never equal across runs; traces must be).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InsertTimings {
+    /// Fingerprinting the arrival plus collecting candidates from the
+    /// blocking index (key extraction, posting-list union, dedup).
+    pub candidates_ns: u64,
+    /// Scoring the candidate list (the possibly parallel phase).
+    pub scoring_ns: u64,
+    /// Applying unions in candidate order plus registering the record
+    /// into the index.
+    pub union_ns: u64,
 }
 
 /// Outcome of one [`IncrementalLinker::insert_traced`] call.

@@ -1,0 +1,208 @@
+//! A small Prometheus text-exposition **validator**.
+//!
+//! The integration tests and the CI smoke step need to assert that what
+//! `--metrics-file` writes (and what `bdi stats --prometheus` prints) is
+//! well-formed exposition text — without a Prometheus server in the
+//! loop. [`validate`] checks the grammar subset this crate emits and
+//! returns the parsed sample values so tests can assert on counts.
+
+use std::collections::BTreeMap;
+
+/// Validate Prometheus text exposition (the subset [`crate::RegistrySnapshot::to_prometheus`]
+/// emits: `# TYPE` comments, bare-name samples, and `name_bucket{le="..."}`
+/// histogram series with integer or `+Inf` bounds).
+///
+/// Checks:
+/// * every non-comment line is `name[{labels}] value`;
+/// * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+/// * sample values parse as finite numbers;
+/// * every sample's base family has a preceding `# TYPE` line;
+/// * histogram `_bucket` series are cumulative (non-decreasing in `le`
+///   order) and end with an `+Inf` bucket equal to `_count`.
+///
+/// Returns metric name (with label suffix verbatim) → value for every
+/// sample line, or a description of the first problem found.
+pub fn validate(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // histogram family → (last cumulative value, saw +Inf, inf value)
+    let mut hist_state: BTreeMap<String, (u64, Option<u64>)> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}: {line:?}", lineno + 1);
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(type_decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = type_decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without name".into()))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err("TYPE without kind".into()))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(format!("unknown TYPE kind {kind}")));
+                }
+                if !valid_name(name) {
+                    return Err(err(format!("invalid metric name {name}")));
+                }
+                types.insert(name.to_string(), kind.to_string());
+            }
+            continue; // other comments (HELP, freeform) are fine
+        }
+
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected `name value`".into()))?;
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| err(format!("bad sample value {value_part}")))?;
+        if !value.is_finite() {
+            return Err(err(format!("non-finite sample value {value_part}")));
+        }
+
+        let (bare, labels) = match name_part.split_once('{') {
+            Some((b, l)) => {
+                let l = l
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set".into()))?;
+                (b, Some(l))
+            }
+            None => (name_part, None),
+        };
+        if !valid_name(bare) {
+            return Err(err(format!("invalid metric name {bare}")));
+        }
+        let family = base_family(bare);
+        if !types.contains_key(family) {
+            return Err(err(format!(
+                "sample {bare} has no preceding # TYPE {family}"
+            )));
+        }
+
+        if let Some(fam) = bare.strip_suffix("_bucket") {
+            let labels = labels.ok_or_else(|| err("_bucket without le label".into()))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err(format!("unsupported label set {{{labels}}}")))?;
+            let cumulative = value as u64;
+            let state = hist_state.entry(fam.to_string()).or_insert((0, None));
+            if cumulative < state.0 {
+                return Err(err(format!(
+                    "histogram {fam} not cumulative: {cumulative} < {}",
+                    state.0
+                )));
+            }
+            state.0 = cumulative;
+            if le == "+Inf" {
+                state.1 = Some(cumulative);
+            } else if le.parse::<f64>().is_err() {
+                return Err(err(format!("bad le bound {le}")));
+            }
+        }
+
+        samples.insert(name_part.to_string(), value);
+    }
+
+    for (fam, (_, inf)) in &hist_state {
+        let inf = inf.ok_or_else(|| format!("histogram {fam} has no +Inf bucket"))?;
+        let count = samples
+            .get(&format!("{fam}_count"))
+            .ok_or_else(|| format!("histogram {fam} has no _count sample"))?;
+        if *count as u64 != inf {
+            return Err(format!(
+                "histogram {fam}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    Ok(samples)
+}
+
+/// Strip the histogram sample suffixes so `_bucket`/`_sum`/`_count`
+/// samples resolve to their declared family name.
+fn base_family(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(fam) = name.strip_suffix(suffix) {
+            return fam;
+        }
+    }
+    name
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(all(test, not(feature = "disabled")))]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn accepts_our_own_rendering() {
+        let r = Registry::new();
+        r.counter("serve.ingest.submitted").add(7);
+        r.gauge("serve.catalog.records").set(123);
+        let h = r.histogram("serve.request.lookup.latency_ns");
+        for v in [50u64, 900, 900, 12_000] {
+            h.record(v);
+        }
+        let text = r.snapshot().to_prometheus();
+        let samples = validate(&text).expect("own rendering validates");
+        assert_eq!(samples["serve_ingest_submitted"], 7.0);
+        assert_eq!(samples["serve_catalog_records"], 123.0);
+        assert_eq!(samples["serve_request_lookup_latency_ns_count"], 4.0);
+        assert_eq!(
+            samples["serve_request_lookup_latency_ns_bucket{le=\"+Inf\"}"],
+            4.0
+        );
+    }
+
+    #[test]
+    fn rejects_missing_type() {
+        assert!(validate("no_type_here 3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        assert!(validate("# TYPE a counter\na banana\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 5\n\
+                    h_bucket{le=\"20\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 1\nh_count 5\n";
+        let e = validate(text).unwrap_err();
+        assert!(e.contains("not cumulative"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 1\nh_count 6\n";
+        let e = validate(text).unwrap_err();
+        assert!(e.contains("!= _count"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_name() {
+        assert!(validate("# TYPE 9bad counter\n9bad 1\n").is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! Log-linear latency histograms and span timers.
+//!
+//! ## Bucket layout
+//!
+//! Values are `u64` (latencies record nanoseconds). The layout is
+//! **log-linear**: each power-of-two octave is split into
+//! `SUB = 2^SUB_BITS = 16` linear sub-buckets, so the relative bucket
+//! width is at most `1/16 ≈ 6.25%` everywhere past the linear range.
+//! Concretely, with `s = SUB_BITS`:
+//!
+//! * values `v < 16` get their own width-1 bucket (`index = v` — exact);
+//! * otherwise, with `e = floor(log2 v)`, the bucket index is
+//!   `(e - s + 1) * 16 + ((v >> (e - s)) - 16)`.
+//!
+//! The layout is total over `u64` — `(65 - s) * 2^s = 976` buckets, a
+//! fixed ~7.6 KiB of relaxed `AtomicU64`s per histogram — so recording
+//! never allocates, never locks, and never saturates. Two histograms
+//! with the same layout merge by bucket-wise addition, which is
+//! associative and commutative: per-shard histograms sum into a fleet
+//! view with no precision loss beyond the shared layout.
+//!
+//! Quantile extraction walks the cumulative counts to the target rank
+//! and returns the bucket midpoint, so any quantile is within one bucket
+//! width (≤ 6.25% relative) of the exact order statistic — the oracle
+//! tests pin this bound against sorted references.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Linear sub-buckets per octave, as a power of two.
+pub const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets: the layout is total over `u64`.
+pub const BUCKETS: usize = (65 - SUB_BITS as usize) * SUB as usize;
+
+/// Bucket index for a value. Total: every `u64` maps to a bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros();
+    let sub = ((v >> (e - SUB_BITS)) - SUB) as usize;
+    (((e - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// `[lower, upper)` bounds of a bucket. The final bucket's upper bound
+/// saturates at `u64::MAX`.
+#[inline]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    let lower = bucket_lower(index);
+    let upper = if index + 1 < BUCKETS {
+        bucket_lower(index + 1)
+    } else {
+        u64::MAX
+    };
+    (lower, upper)
+}
+
+#[inline]
+fn bucket_lower(index: usize) -> u64 {
+    let octave = index >> SUB_BITS;
+    if octave == 0 {
+        return index as u64;
+    }
+    let sub = (index as u64) & (SUB - 1);
+    (SUB + sub) << (octave - 1)
+}
+
+/// A lock-free log-linear histogram (see the module docs for the bucket
+/// layout). `record` is wait-free: one relaxed `fetch_add` into the
+/// value's bucket plus relaxed sum/max updates.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: Box::new([ZERO; BUCKETS]),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Compiled out entirely under the `disabled`
+    /// feature.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "disabled")]
+        {
+            let _ = value;
+        }
+        #[cfg(not(feature = "disabled"))]
+        {
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a duration in nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Start a [`Span`] that records its elapsed nanoseconds into this
+    /// histogram when dropped.
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        Span::on(self)
+    }
+
+    /// Total recorded values (exact — every `record` lands in exactly
+    /// one bucket).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the histogram's state. Under concurrent
+    /// recording the snapshot is a consistent *approximation* (buckets
+    /// are read one by one); once writers quiesce it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<(usize, u64)> = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+                count += c;
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// RAII stage timer: records the elapsed nanoseconds between creation
+/// and drop into its histogram. The hot-path cost is one `Instant::now`
+/// pair plus one relaxed atomic add; under the `disabled` feature the
+/// guard is a zero-sized no-op.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    #[cfg(not(feature = "disabled"))]
+    hist: &'a Histogram,
+    #[cfg(not(feature = "disabled"))]
+    start: Instant,
+    #[cfg(feature = "disabled")]
+    _hist: std::marker::PhantomData<&'a Histogram>,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing into `hist`.
+    #[inline]
+    pub fn on(hist: &'a Histogram) -> Self {
+        #[cfg(feature = "disabled")]
+        {
+            let _ = hist;
+            Span {
+                _hist: std::marker::PhantomData,
+            }
+        }
+        #[cfg(not(feature = "disabled"))]
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(not(feature = "disabled"))]
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// Time the rest of the enclosing scope into a histogram:
+/// `span!(metrics.fsync);` expands to a hygienic RAII guard that records
+/// on scope exit.
+#[macro_export]
+macro_rules! span {
+    ($hist:expr) => {
+        let _obs_span_guard = $crate::hist::Span::on(&$hist);
+    };
+}
+
+/// Plain-data copy of a [`Histogram`]: sparse `(bucket index, count)`
+/// pairs in ascending index order plus the count/sum/max scalars. This
+/// is the unit of merging and the shape the serve protocol serializes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(bucket index, count)`, ascending by index.
+    pub buckets: Vec<(usize, u64)>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Rebuild a snapshot from sparse parts (the wire-decode path).
+    /// Returns `None` if any bucket index is out of range, the list is
+    /// not strictly ascending, or any count is zero.
+    pub fn from_parts(buckets: Vec<(usize, u64)>, sum: u64, max: u64) -> Option<Self> {
+        let mut prev: Option<usize> = None;
+        let mut count = 0u64;
+        for &(i, c) in &buckets {
+            if i >= BUCKETS || c == 0 || prev.is_some_and(|p| p >= i) {
+                return None;
+            }
+            prev = Some(i);
+            count = count.checked_add(c)?;
+        }
+        Some(Self {
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the midpoint of
+    /// the bucket holding the rank-`round(q * (count - 1))` order
+    /// statistic, which is within one bucket width of the exact value.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen > rank {
+                let (lo, hi) = bucket_bounds(i);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge two snapshots taken from histograms of the same layout:
+    /// bucket-wise addition, so the operation is associative and
+    /// commutative and loses nothing beyond the shared bucket layout.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets: Vec<(usize, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        buckets.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        buckets.push((ib, cb));
+                        b.next();
+                    } else {
+                        buckets.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    buckets.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    buckets.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Self {
+            buckets,
+            count: self.count + other.count,
+            // sum wraps, matching the relaxed fetch_add on the live
+            // histogram (2^64 ns ≈ 584 years — unreachable for real
+            // latency totals, reachable for adversarial test inputs)
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "disabled")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..SUB {
+            let i = bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(bucket_bounds(i), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_line() {
+        // every bucket's upper bound is the next bucket's lower bound
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi, lo_next, "gap or overlap at bucket {i}");
+        }
+        // and the value→index map respects the bounds at the edges
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of {i}");
+            let top = if i + 1 < BUCKETS { hi - 1 } else { u64::MAX };
+            assert_eq!(bucket_index(top), i, "top value of {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_width_bounded_past_linear_range() {
+        for i in SUB as usize..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo;
+            assert!(
+                (width as f64) / (lo as f64) <= 1.0 / SUB as f64 + 1e-12,
+                "bucket {i} [{lo},{hi}) too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn record_count_sum_max() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 100, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(h.count(), 6);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(
+            s.sum,
+            0u64.wrapping_add(1 + 5 + 100 + 1_000_000)
+                .wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn span_records_once() {
+        let h = Histogram::new();
+        {
+            let _s = h.span();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            span!(h);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert!(s.max >= 1_000_000, "span measured at least the 1ms sleep");
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let (lo, hi) = bucket_bounds(bucket_index(50));
+        assert!(p50 >= lo && p50 <= hi, "p50 {p50} not near 50");
+        let (lo100, hi100) = bucket_bounds(bucket_index(100));
+        let p100 = s.quantile(1.0);
+        assert!(p100 >= lo100 && p100 <= hi100, "p100 {p100} not near 100");
+        assert_eq!(s.quantile(0.0), 1, "p0 lands in the width-1 bucket of 1");
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [3u64, 17, 900, 70_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 42, 900_000] {
+            b.record(v);
+            both.record(v);
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), both.snapshot());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(
+            HistogramSnapshot::from_parts(s.buckets.clone(), s.sum, s.max),
+            Some(s)
+        );
+        assert!(HistogramSnapshot::from_parts(vec![(BUCKETS, 1)], 0, 0).is_none());
+        assert!(HistogramSnapshot::from_parts(vec![(3, 0)], 0, 0).is_none());
+        assert!(HistogramSnapshot::from_parts(vec![(5, 1), (5, 1)], 0, 0).is_none());
+        assert!(HistogramSnapshot::from_parts(vec![(9, 1), (2, 1)], 0, 0).is_none());
+    }
+
+    #[test]
+    fn concurrent_recording_total_is_exact() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * 1_000 + i % 977);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), threads * per_thread);
+        assert_eq!(h.snapshot().count, threads * per_thread);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bdi-obs — zero-dependency metrics and stage tracing
+//!
+//! The serve and batch pipelines are measured from the *outside* (the
+//! load driver's clock) but spend their time on the *inside* — candidate
+//! generation, pair scoring, fsync batches, dirty-cluster refresh. This
+//! crate is the uniform substrate every subsystem records into:
+//!
+//! * a [`Registry`] of named atomic [`Counter`]s and [`Gauge`]s;
+//! * lock-free **log-linear [`Histogram`]s** with a fixed bucket layout
+//!   (mergeable across shards, exact total counts, p50/p90/p99/max
+//!   extraction within one bucket width — see [`hist`] for the layout
+//!   math);
+//! * a [`Span`] RAII timer — `let _s = hist.span();` costs one
+//!   `Instant::now` pair plus one relaxed atomic add, cheap enough for
+//!   the per-request and per-insert hot paths. The `disabled` cargo
+//!   feature compiles recording out entirely for overhead A/B runs;
+//! * two export formats: a plain-data [`RegistrySnapshot`] (the serve
+//!   protocol serializes it as the `metrics` response) and the
+//!   Prometheus text exposition
+//!   ([`RegistrySnapshot::to_prometheus`]), plus a small exposition
+//!   validator ([`expo`]) used by the integration tests and smoke
+//!   checks.
+//!
+//! Metric naming convention (enforced by no one, followed by everyone):
+//! dotted lower-case paths, `<subsystem>.<component>.<metric>`, with the
+//! unit as the last path segment where one applies — e.g.
+//! `serve.request.lookup.latency_ns`, `serve.wal.fsync.batch_records`.
+//! Dots become underscores in the Prometheus rendering. All latency
+//! histograms record **nanoseconds**.
+//!
+//! This crate is intentionally dependency-free (std only): anything in
+//! the workspace — down to `bdi-linkage`'s inner loops — can depend on
+//! it without cycles.
+
+#![forbid(unsafe_code)]
+
+pub mod expo;
+pub mod hist;
+pub mod registry;
+
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Span, BUCKETS};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};

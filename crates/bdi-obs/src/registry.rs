@@ -1,0 +1,349 @@
+//! Named metric registry: counters, gauges, histograms.
+//!
+//! A [`Registry`] is a concurrent map from metric name to metric. The
+//! map itself is behind a mutex, but that lock is touched only at
+//! *registration* time — callers resolve each metric once (at startup or
+//! connection setup), cache the returned handle, and the hot path is
+//! pure atomics. Names follow the crate-level convention: dotted
+//! lower-case `<subsystem>.<component>.<metric>` with the unit as the
+//! final segment where one applies.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// Monotone counter. Uses `SeqCst` so counters can stand in for the
+/// serve path's existing cross-thread barriers (the flush barrier
+/// spin-loops on submitted/applied ordering).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1 and return the **new** value.
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Overwrite the value. For counters that mirror a monotone value
+    /// computed elsewhere (e.g. the engine's cumulative comparison
+    /// count, recomputed each publish).
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::SeqCst);
+    }
+}
+
+/// Point-in-time gauge (last-write-wins).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A named collection of metrics. Cheap to clone (`Arc` inside); a
+/// server owns one, tests own private ones, and the batch pipeline
+/// records into [`Registry::global`].
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry, for code paths (like the batch
+    /// pipeline) with no natural owner to thread one through.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or create the counter named `name`. Resolve once and cache
+    /// the handle; this takes the registry lock.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("obs registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("obs registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().expect("obs registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Snapshot every registered metric. Histogram snapshots are
+    /// per-histogram consistent (see [`Histogram::snapshot`]).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Registry")
+            .field("counters", &s.counters.len())
+            .field("gauges", &s.gauges.len())
+            .field("histograms", &s.histograms.len())
+            .finish()
+    }
+}
+
+/// Plain-data copy of a [`Registry`]: what the `metrics` wire command
+/// serializes and what the Prometheus renderer consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram name → sparse snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Merge two snapshots (e.g. per-shard registries into a fleet
+    /// view): counters and histogram buckets add, gauges last-wins in
+    /// favor of `other` where both define a name.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            out.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            let merged = match out.histograms.get(k) {
+                Some(mine) => mine.merge(v),
+                None => v.clone(),
+            };
+            out.histograms.insert(k.clone(), merged);
+        }
+        out
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). Dotted metric names become underscore-separated;
+    /// histograms render cumulative `_bucket{le="..."}` series over the
+    /// non-empty buckets (each `le` is the bucket's inclusive top value)
+    /// plus `+Inf`, `_sum`, and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(idx, count) in &h.buckets {
+                cumulative += count;
+                let (_, upper) = crate::hist::bucket_bounds(idx);
+                // upper bound is exclusive; the largest value in the
+                // bucket is upper - 1, which is an exact inclusive le.
+                let le = upper.saturating_sub(1).max(1);
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n", h.sum));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Prometheus metric names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; our dotted
+/// lower-case names map dots (and any other odd byte) to underscores.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+#[cfg(all(test, not(feature = "disabled")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inc_returns_new_value() {
+        let r = Registry::new();
+        let c = r.counter("t.count");
+        assert_eq!(c.inc(), 1);
+        assert_eq!(c.inc(), 2);
+        c.add(10);
+        assert_eq!(c.get(), 12);
+        c.store(5);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 3);
+        r.gauge("g").set(9);
+        assert_eq!(r.gauge("g").get(), 9);
+        r.histogram("h").record(7);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_sees_everything() {
+        let r = Registry::new();
+        r.counter("c.one").add(1);
+        r.gauge("g.two").set(2);
+        r.histogram("h.three.latency_ns").record(42);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c.one"], 1);
+        assert_eq!(s.gauges["g.two"], 2);
+        assert_eq!(s.histograms["h.three.latency_ns"].count, 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let (a, b) = (Registry::new(), Registry::new());
+        a.counter("c").add(2);
+        b.counter("c").add(3);
+        b.counter("only_b").add(1);
+        a.gauge("g").set(1);
+        b.gauge("g").set(7);
+        a.histogram("h").record(10);
+        b.histogram("h").record(20);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.counters["c"], 5);
+        assert_eq!(m.counters["only_b"], 1);
+        assert_eq!(m.gauges["g"], 7, "gauge last-wins toward other");
+        assert_eq!(m.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("serve.ingest.submitted").add(4);
+        r.gauge("serve.catalog.generation").set(2);
+        let h = r.histogram("serve.request.lookup.latency_ns");
+        h.record(100);
+        h.record(100);
+        h.record(5_000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE serve_ingest_submitted counter\n"));
+        assert!(text.contains("serve_ingest_submitted 4\n"));
+        assert!(text.contains("# TYPE serve_catalog_generation gauge\n"));
+        assert!(text.contains("# TYPE serve_request_lookup_latency_ns histogram\n"));
+        assert!(text.contains("serve_request_lookup_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("serve_request_lookup_latency_ns_sum 5200\n"));
+        assert!(text.contains("serve_request_lookup_latency_ns_count 3\n"));
+        // cumulative: the 100s bucket holds 2, then the 5000s bucket 3
+        let b100 = text
+            .lines()
+            .find(|l| l.starts_with("serve_request_lookup_latency_ns_bucket") && l.ends_with(" 2"))
+            .expect("first cumulative bucket");
+        assert!(b100.contains("le=\""));
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(
+            sanitize("serve.wal.fsync.latency_ns"),
+            "serve_wal_fsync_latency_ns"
+        );
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        Registry::global().counter("test.global.shared").add(1);
+        assert!(Registry::global().snapshot().counters["test.global.shared"] >= 1);
+    }
+}

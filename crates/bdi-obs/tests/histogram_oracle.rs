@@ -1,0 +1,130 @@
+//! Property tests pinning the histogram's accuracy contract:
+//!
+//! * every quantile is within **one bucket width** of the exact sorted
+//!   order statistic (the acceptance bound the serve-path percentiles
+//!   rely on);
+//! * recorded totals are exact (count and sum are never approximated);
+//! * merge is associative/commutative and equals recording everything
+//!   into one histogram;
+//! * the value→bucket map respects the published bucket bounds.
+
+#![cfg(not(feature = "disabled"))]
+
+use bdi_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+/// Exact order statistic with the same rank rule the histogram uses:
+/// rank = round(q * (n - 1)) over the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank]
+}
+
+/// Raw sample material: a `(kind, x)` pair per value, decoded by
+/// [`decode`] so the sample set spans the linear range, the log range,
+/// and huge outliers (including exact `u64::MAX`).
+fn samples() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..4, 0u64..u64::MAX), 1..400)
+}
+
+fn decode(raw: &[(u64, u64)]) -> Vec<u64> {
+    raw.iter()
+        .map(|&(kind, x)| match kind {
+            0 => x % 64,
+            1 => 64 + x % 1_000_000,
+            2 => x,
+            _ => u64::MAX - x % 1_000,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn quantile_within_one_bucket_of_sorted_reference(raw in samples(), qs in proptest::collection::vec(0.0f64..=1.0, 1..6)) {
+        let values = decode(&raw);
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64, "count is exact");
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let exact = exact_quantile(&sorted, q);
+            let approx = snap.quantile(q);
+            // "within one bucket width": the approximation must lie in
+            // the bucket holding the exact order statistic
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(
+                approx >= lo && approx <= hi,
+                "q={} exact={} (bucket [{}, {}]) approx={}",
+                q, exact, lo, hi, approx
+            );
+        }
+    }
+
+    #[test]
+    fn totals_are_exact(raw in samples()) {
+        let values = decode(&raw);
+        let h = Histogram::new();
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for &v in &values {
+            h.record(v);
+            sum = sum.wrapping_add(v);
+            max = max.max(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, sum);
+        prop_assert_eq!(snap.max, max);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_single_histogram(
+        ra in samples(), rb in samples(), rc in samples()
+    ) {
+        let (a, b, c) = (decode(&ra), decode(&rb), decode(&rc));
+        let record_all = |vs: &[u64]| {
+            let h = Histogram::new();
+            for &v in vs {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // associativity and commutativity
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &sc.merge(&sb).merge(&sa));
+
+        // merge == recording everything into one histogram
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &record_all(&all));
+
+        // identity element
+        prop_assert_eq!(&sa.merge(&HistogramSnapshot::default()), &sa);
+    }
+
+    #[test]
+    fn bucket_map_respects_bounds(raw in (0u64..4, 0u64..u64::MAX)) {
+        let v = decode(&[raw])[0];
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(v >= lo, "value {} below bucket lower bound {}", v, lo);
+        // upper bound is exclusive except the saturated final bucket
+        if i + 1 < BUCKETS {
+            prop_assert!(v < hi, "value {} at/above bucket upper bound {}", v, hi);
+        } else {
+            prop_assert!(v <= hi);
+        }
+    }
+}

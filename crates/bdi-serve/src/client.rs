@@ -1,7 +1,7 @@
 //! A small blocking client for the JSON-lines protocol — used by the
 //! load driver, the integration tests, and the `bdi load` subcommand.
 
-use crate::protocol::{Request, Response, StatsBody};
+use crate::protocol::{MetricsBody, Request, Response, StatsBody};
 use bdi_core::catalog::CatalogEntry;
 use bdi_types::Record;
 use std::io::{BufRead, BufReader, Error, ErrorKind, Write};
@@ -118,6 +118,14 @@ impl Client {
     pub fn stats(&mut self) -> std::io::Result<StatsBody> {
         match self.call(&Request::Stats)? {
             Response::Stats(body) => Ok(body),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// The full metrics registry: counters, gauges, latency histograms.
+    pub fn metrics(&mut self) -> std::io::Result<MetricsBody> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(body) => Ok(body),
             other => Err(bad(format!("unexpected response: {other:?}"))),
         }
     }

@@ -19,6 +19,7 @@ use bdi_linkage::blocking::{normalize_identifier, BlockingKey};
 use bdi_linkage::incremental::{IncrementalLinker, InsertTrace, LinkerState};
 use bdi_linkage::matcher::IdentifierRule;
 use bdi_linkage::parallel::default_threads;
+use bdi_obs::{Histogram, Registry};
 use bdi_types::{DataItem, EntityId, Record, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -46,6 +47,44 @@ pub struct Engine {
     /// Worker threads for candidate scoring and dirty-cluster fusion.
     /// Purely a throughput knob: results are identical at any value.
     threads: usize,
+    /// Stage-timing histograms, when the owner attached any. Purely
+    /// observational: the clustering outcome is identical with or
+    /// without them (the timed insert path is the untimed path).
+    metrics: Option<EngineMetrics>,
+}
+
+/// Stage-timing histograms an [`Engine`] records into when attached via
+/// [`Engine::set_metrics`]. All latencies in nanoseconds.
+#[derive(Clone)]
+pub struct EngineMetrics {
+    /// Candidate generation per insert (fingerprint + blocking index).
+    pub candidates_ns: Arc<Histogram>,
+    /// Pair scoring per insert (the possibly parallel phase).
+    pub scoring_ns: Arc<Histogram>,
+    /// Union apply + registration per insert.
+    pub union_ns: Arc<Histogram>,
+    /// Whole [`Engine::ingest`] call (link + dirty bookkeeping).
+    pub ingest_ns: Arc<Histogram>,
+    /// Whole [`Engine::refresh`] call (dirty-cluster re-fusion +
+    /// catalog delta).
+    pub refresh_ns: Arc<Histogram>,
+    /// Dirty clusters re-fused per refresh (a size, not a latency).
+    pub refresh_dirty: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    /// Resolve the engine's histograms in `registry` under the
+    /// `serve.engine.*` names.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            candidates_ns: registry.histogram("serve.engine.candidates.latency_ns"),
+            scoring_ns: registry.histogram("serve.engine.scoring.latency_ns"),
+            union_ns: registry.histogram("serve.engine.union.latency_ns"),
+            ingest_ns: registry.histogram("serve.engine.ingest.latency_ns"),
+            refresh_ns: registry.histogram("serve.engine.refresh.latency_ns"),
+            refresh_dirty: registry.histogram("serve.engine.refresh.dirty_clusters"),
+        }
+    }
 }
 
 /// The complete durable state of an [`Engine`], as written into serve-path
@@ -100,7 +139,14 @@ impl Engine {
             dead: BTreeSet::new(),
             catalog: Arc::new(Catalog::default()),
             threads,
+            metrics: None,
         }
+    }
+
+    /// Attach stage-timing histograms. Subsequent [`Engine::ingest`] and
+    /// [`Engine::refresh`] calls record their phase timings into them.
+    pub fn set_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The linkage match threshold this engine links at.
@@ -163,13 +209,15 @@ impl Engine {
             dead: state.dead,
             catalog: Arc::new(state.catalog),
             threads,
+            metrics: None,
         })
     }
 
     /// Ingest one record: link it, mark the touched clusters dirty.
     /// Returns the linker's trace (useful for instrumentation).
     pub fn ingest(&mut self, record: Record) -> InsertTrace {
-        let trace = self.linker.insert_traced(record);
+        let t0 = std::time::Instant::now();
+        let (trace, timings) = self.linker.insert_traced_timed(record);
         let mut absorbed_lists: Vec<Vec<usize>> = Vec::new();
         for &root in &trace.absorbed {
             if let Some(m) = self.members.remove(&root) {
@@ -188,6 +236,12 @@ impl Engine {
         debug_assert!(home.last().is_none_or(|&l| l < trace.index));
         home.push(trace.index);
         self.dirty.insert(trace.cluster);
+        if let Some(m) = &self.metrics {
+            m.candidates_ns.record(timings.candidates_ns);
+            m.scoring_ns.record(timings.scoring_ns);
+            m.union_ns.record(timings.union_ns);
+            m.ingest_ns.record_duration(t0.elapsed());
+        }
         trace
     }
 
@@ -225,11 +279,17 @@ impl Engine {
         if self.dirty.is_empty() && self.dead.is_empty() {
             return Arc::clone(&self.catalog);
         }
+        let t0 = std::time::Instant::now();
+        let dirty_count = self.dirty.len() as u64;
         let upserts = self.build_entries();
         let next = Arc::new(self.catalog.apply_delta(&self.dead, upserts));
         self.catalog = Arc::clone(&next);
         self.dirty.clear();
         self.dead.clear();
+        if let Some(m) = &self.metrics {
+            m.refresh_dirty.record(dirty_count);
+            m.refresh_ns.record_duration(t0.elapsed());
+        }
         next
     }
 

@@ -28,6 +28,17 @@
 //! stream while reader threads hammer lookups, reporting ingest
 //! throughput and query latency percentiles — the serve-path analogue
 //! of the crate's batch experiments.
+//!
+//! * **Observability** — every stage of the serve path records into a
+//!   `bdi-obs` registry: per-command request latency and payload-size
+//!   histograms, engine stage timings (candidate generation, scoring,
+//!   union, refresh), WAL append/fsync latency and fsync batch sizes,
+//!   snapshot write and recovery replay timings. The registry is
+//!   readable three ways: the `metrics` wire command, a Prometheus
+//!   text-exposition file rewritten atomically on an interval
+//!   ([`server::ServerConfig::metrics_file`]), and `bdi stats
+//!   --prometheus`. Requests slower than a threshold can be logged
+//!   ([`server::ServerConfig::slow_ms`]).
 
 #![forbid(unsafe_code)]
 
@@ -44,7 +55,7 @@ pub use client::Client;
 pub use engine::{Engine, EngineState};
 pub use gen::{Generation, ShardedIndex, Swap};
 pub use load::{run_load, LoadConfig, LoadReport};
-pub use protocol::{Request, Response};
+pub use protocol::{MetricsBody, Request, Response, StatsBody};
 pub use server::{DurabilityConfig, Server, ServerConfig};
 pub use snapshot::Snapshot;
 pub use wal::Wal;

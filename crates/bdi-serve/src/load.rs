@@ -72,6 +72,19 @@ pub struct LoadReport {
     /// Pairwise candidate comparisons the server performed for the
     /// whole run (from its stats counters after the final flush).
     pub comparisons: u64,
+    /// Server-side median `ingest` handling latency, microseconds —
+    /// from `serve.request.ingest.latency_ns`; the gap to
+    /// [`LoadReport::ingest_p50_us`] is wire + client overhead.
+    pub server_ingest_p50_us: u64,
+    /// Server-side 99th-percentile `ingest` handling latency,
+    /// microseconds.
+    pub server_ingest_p99_us: u64,
+    /// Server-side median `lookup` handling latency, microseconds —
+    /// from `serve.request.lookup.latency_ns`.
+    pub server_lookup_p50_us: u64,
+    /// Server-side 99th-percentile `lookup` handling latency,
+    /// microseconds.
+    pub server_lookup_p99_us: u64,
 }
 
 /// Generate a world and replay it against a running server at `addr`.
@@ -133,6 +146,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
     let (generation, _) = writer.flush()?;
     let ingest_secs = t0.elapsed().as_secs_f64();
     let comparisons = writer.stats()?.comparisons;
+    let metrics = writer.metrics()?;
     stop.store(true, Ordering::SeqCst);
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -156,6 +170,11 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         sorted[idx]
     };
 
+    // server-side handling percentiles (exclude wire + client time),
+    // from the request-latency histograms captured after the flush
+    let server_us =
+        |histogram: &str, q: f64| metrics.quantile_ns(histogram, q).unwrap_or(0) / 1_000;
+
     Ok(LoadReport {
         records: total,
         ingest_secs,
@@ -168,6 +187,10 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         p99_us: pct(&latencies, 0.99),
         generation,
         comparisons,
+        server_ingest_p50_us: server_us("serve.request.ingest.latency_ns", 0.50),
+        server_ingest_p99_us: server_us("serve.request.ingest.latency_ns", 0.99),
+        server_lookup_p50_us: server_us("serve.request.lookup.latency_ns", 0.50),
+        server_lookup_p99_us: server_us("serve.request.lookup.latency_ns", 0.99),
     })
 }
 
@@ -192,6 +215,15 @@ mod tests {
         assert!(report.p99_us >= report.p50_us);
         assert!(report.ingest_p99_us >= report.ingest_p50_us);
         assert!(report.ingest_p50_us > 0, "ingest round trips were timed");
+        // server-side handling can be sub-microsecond (the ingest
+        // handler only enqueues), so p50 may floor to 0us — assert the
+        // slice relation, not positivity; tests/serve_metrics.rs pins
+        // that the histograms are actually populated
+        assert!(
+            report.server_ingest_p50_us <= report.ingest_p50_us,
+            "server-side handling time is a slice of the round trip"
+        );
+        assert!(report.server_lookup_p99_us >= report.server_lookup_p50_us);
         assert!(report.generation >= 1);
         server.shutdown();
     }

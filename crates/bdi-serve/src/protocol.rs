@@ -11,8 +11,10 @@
 //! ```
 
 use bdi_core::catalog::CatalogEntry;
+use bdi_obs::{HistogramSnapshot, RegistrySnapshot};
 use bdi_types::Record;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A client request.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -41,9 +43,29 @@ pub enum Request {
     /// Service counters.
     #[serde(rename = "stats")]
     Stats,
+    /// The full metrics registry: counters, gauges, latency histograms.
+    #[serde(rename = "metrics")]
+    Metrics,
     /// Stop accepting connections and drain.
     #[serde(rename = "shutdown")]
     Shutdown,
+}
+
+impl Request {
+    /// The command's wire name — the label per-command metrics are
+    /// recorded under (`serve.request.<kind>.latency_ns`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Lookup { .. } => "lookup",
+            Request::Filter { .. } => "filter",
+            Request::TopK { .. } => "top_k",
+            Request::Ingest { .. } => "ingest",
+            Request::Flush => "flush",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// A server response.
@@ -70,6 +92,9 @@ pub enum Response {
     /// Service counters.
     #[serde(rename = "stats")]
     Stats(StatsBody),
+    /// The full metrics registry.
+    #[serde(rename = "metrics")]
+    Metrics(MetricsBody),
     /// Request failed.
     #[serde(rename = "error")]
     Error { message: String },
@@ -121,6 +146,93 @@ pub struct StatsBody {
     pub snapshot_generation: u64,
 }
 
+/// The full metrics registry reported by [`Response::Metrics`] — the
+/// wire mirror of [`bdi_obs::RegistrySnapshot`]. Metric names follow
+/// the dotted convention documented in `bdi-obs` (all latency
+/// histograms record nanoseconds).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsBody {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram name → sparse histogram state.
+    pub histograms: BTreeMap<String, HistogramBody>,
+}
+
+/// One latency histogram on the wire: the sparse non-empty buckets of
+/// the `bdi-obs` log-linear layout (see its crate docs for the bucket
+/// math — both ends of the wire share the layout constants).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct HistogramBody {
+    /// Non-empty buckets as `(bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(usize, u64)>,
+    /// Total recorded values (the sum of the bucket counts — exact).
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl From<RegistrySnapshot> for MetricsBody {
+    fn from(snapshot: RegistrySnapshot) -> Self {
+        Self {
+            counters: snapshot.counters,
+            gauges: snapshot.gauges,
+            histograms: snapshot
+                .histograms
+                .into_iter()
+                .map(|(name, h)| {
+                    (
+                        name,
+                        HistogramBody {
+                            buckets: h.buckets,
+                            count: h.count,
+                            sum: h.sum,
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MetricsBody {
+    /// Rebuild the registry snapshot this body mirrors (the client-side
+    /// decode path behind `bdi stats --prometheus` and the load
+    /// driver's server-side percentiles). Returns `None` when a
+    /// histogram's sparse buckets are malformed — an out-of-range
+    /// index, a zero count, or a non-ascending index list.
+    pub fn to_snapshot(&self) -> Option<RegistrySnapshot> {
+        let mut histograms = BTreeMap::new();
+        for (name, h) in &self.histograms {
+            let snap = HistogramSnapshot::from_parts(h.buckets.clone(), h.sum, h.max)?;
+            if snap.count != h.count {
+                return None;
+            }
+            histograms.insert(name.clone(), snap);
+        }
+        Some(RegistrySnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms,
+        })
+    }
+
+    /// Quantile of a named histogram, in nanoseconds (`None` when the
+    /// histogram is absent or empty).
+    pub fn quantile_ns(&self, histogram: &str, q: f64) -> Option<u64> {
+        let h = self.histograms.get(histogram)?;
+        let snap = HistogramSnapshot::from_parts(h.buckets.clone(), h.sum, h.max)?;
+        if snap.count == 0 {
+            return None;
+        }
+        Some(snap.quantile(q))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +256,7 @@ mod tests {
             },
             Request::Flush,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for r in reqs {
@@ -169,6 +282,54 @@ mod tests {
         };
         assert_eq!(record.id, RecordId::new(SourceId(3), 7));
         assert_eq!(record.primary_identifier(), Some("CAM-LUM-00100"));
+    }
+
+    #[test]
+    fn metrics_body_round_trips_and_rebuilds_the_snapshot() {
+        let registry = bdi_obs::Registry::new();
+        registry.counter("serve.ingest.submitted").add(12);
+        registry.gauge("serve.catalog.generation").set(3);
+        let h = registry.histogram("serve.request.lookup.latency_ns");
+        for v in [800u64, 950, 52_000, 1_000_000] {
+            h.record(v);
+        }
+        let original = registry.snapshot();
+
+        let body = MetricsBody::from(original.clone());
+        let line = serde_json::to_string(&Response::Metrics(body)).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        let Response::Metrics(body) = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(body.counters["serve.ingest.submitted"], 12);
+        assert_eq!(
+            body.to_snapshot().expect("wire body is well-formed"),
+            original,
+            "registry snapshot survives the wire round trip exactly"
+        );
+        let p99 = body
+            .quantile_ns("serve.request.lookup.latency_ns", 0.99)
+            .unwrap();
+        let (lo, hi) = bdi_obs::bucket_bounds(bdi_obs::bucket_index(1_000_000));
+        assert!(
+            (lo..hi).contains(&p99),
+            "p99 lands in the bucket holding 1_000_000, got {p99}"
+        );
+    }
+
+    #[test]
+    fn malformed_histogram_body_is_rejected() {
+        let mut body = MetricsBody::default();
+        body.histograms.insert(
+            "h".into(),
+            HistogramBody {
+                buckets: vec![(3, 1), (2, 1)], // not ascending
+                count: 2,
+                sum: 10,
+                max: 8,
+            },
+        );
+        assert!(body.to_snapshot().is_none());
     }
 
     #[test]

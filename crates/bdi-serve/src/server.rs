@@ -27,21 +27,22 @@
 //! applying one record is caught, counted in `stats.rejected`, and the
 //! worker keeps draining.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineMetrics};
 use crate::gen::{Generation, ShardedIndex, Swap};
-use crate::protocol::{Request, Response, StatsBody};
+use crate::protocol::{MetricsBody, Request, Response, StatsBody};
 use crate::snapshot::Snapshot;
-use crate::wal::Wal;
+use crate::wal::{Wal, WalMetrics};
+use bdi_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 use bdi_types::Record;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Durability tunables: where state lives and how eagerly it hits disk.
 #[derive(Clone, Debug)]
@@ -89,6 +90,15 @@ pub struct ServerConfig {
     pub preload: Vec<Record>,
     /// Write-ahead log + snapshots; `None` serves purely in memory.
     pub durability: Option<DurabilityConfig>,
+    /// Log a structured one-line record to stderr for every request
+    /// slower than this many milliseconds. `None` disables the log.
+    pub slow_ms: Option<u64>,
+    /// Rewrite this file with the Prometheus text exposition of the
+    /// metrics registry every [`ServerConfig::metrics_interval`]
+    /// (atomic tmp + rename, so scrapers never read a torn file).
+    pub metrics_file: Option<PathBuf>,
+    /// How often the metrics file is rewritten.
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +111,100 @@ impl Default for ServerConfig {
             shards: 8,
             preload: Vec::new(),
             durability: None,
+            slow_ms: None,
+            metrics_file: None,
+            metrics_interval: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Wire names of every request command, in [`command_slot`] order.
+const COMMAND_KINDS: [&str; 8] = [
+    "lookup", "filter", "top_k", "ingest", "flush", "stats", "metrics", "shutdown",
+];
+
+/// Index of a command kind in the per-command metric handle arrays.
+fn command_slot(kind: &str) -> usize {
+    COMMAND_KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("Request::kind returns a known command")
+}
+
+/// Every serve-path metric handle, resolved once at startup so the
+/// request and ingest hot paths never take the registry's name lock.
+/// The nine counters/gauges that used to be ad-hoc `AtomicU64`s on
+/// `Shared` live here now — `stats` and `metrics` read the same cells
+/// and can never disagree.
+pub(crate) struct ServeMetrics {
+    registry: Registry,
+    /// Per-command request latency, ns ([`command_slot`] order).
+    request_ns: [Arc<Histogram>; COMMAND_KINDS.len()],
+    /// Per-command request payload size, bytes (the JSON line).
+    request_bytes: [Arc<Histogram>; COMMAND_KINDS.len()],
+    /// Unparseable requests plus error responses.
+    request_errors: Counter,
+    /// Records accepted into the ingest queue.
+    submitted: Counter,
+    /// Records applied and queryable.
+    applied: Counter,
+    /// Records whose apply panicked.
+    rejected: Counter,
+    /// Linker comparisons as of the published generation.
+    comparisons: Counter,
+    /// Published generation number.
+    generation: Gauge,
+    /// Products in the published generation.
+    products: Gauge,
+    /// Records in the published generation.
+    records: Gauge,
+    /// WAL append position (absolute records).
+    wal_position: Gauge,
+    /// WAL fsync'd position (absolute records).
+    wal_synced: Gauge,
+    /// WAL replay-tail length (records past the last snapshot).
+    wal_tail: Gauge,
+    /// Records covered by the last snapshot.
+    snapshot_records: Gauge,
+    /// Generation the last snapshot captured.
+    snapshot_generation: Gauge,
+    /// One refresh + index build + generation swap, ns.
+    publish_ns: Arc<Histogram>,
+    /// One atomic snapshot persist, ns.
+    snapshot_write_ns: Arc<Histogram>,
+    /// WAL-tail replay at recovery, ns (one sample per restart).
+    recovery_replay_ns: Arc<Histogram>,
+    /// Records replayed from the WAL tail at recovery.
+    recovery_replayed: Counter,
+}
+
+impl ServeMetrics {
+    fn new(registry: Registry) -> Self {
+        let request_ns = COMMAND_KINDS
+            .map(|kind| registry.histogram(&format!("serve.request.{kind}.latency_ns")));
+        let request_bytes =
+            COMMAND_KINDS.map(|kind| registry.histogram(&format!("serve.request.{kind}.bytes")));
+        Self {
+            request_ns,
+            request_bytes,
+            request_errors: registry.counter("serve.request.errors"),
+            submitted: registry.counter("serve.ingest.submitted"),
+            applied: registry.counter("serve.ingest.applied"),
+            rejected: registry.counter("serve.ingest.rejected"),
+            comparisons: registry.counter("serve.linkage.comparisons"),
+            generation: registry.gauge("serve.catalog.generation"),
+            products: registry.gauge("serve.catalog.products"),
+            records: registry.gauge("serve.catalog.records"),
+            wal_position: registry.gauge("serve.wal.position"),
+            wal_synced: registry.gauge("serve.wal.synced"),
+            wal_tail: registry.gauge("serve.wal.tail"),
+            snapshot_records: registry.gauge("serve.snapshot.records"),
+            snapshot_generation: registry.gauge("serve.snapshot.generation"),
+            publish_ns: registry.histogram("serve.publish.latency_ns"),
+            snapshot_write_ns: registry.histogram("serve.snapshot.write.latency_ns"),
+            recovery_replay_ns: registry.histogram("serve.recovery.replay.latency_ns"),
+            recovery_replayed: registry.counter("serve.recovery.replayed_records"),
+            registry,
         }
     }
 }
@@ -108,18 +212,11 @@ impl Default for ServerConfig {
 /// State shared by handlers and the ingest worker.
 struct Shared {
     current: Swap<Generation>,
-    submitted: AtomicU64,
-    applied: AtomicU64,
-    rejected: AtomicU64,
-    comparisons: AtomicU64,
+    metrics: ServeMetrics,
     shutdown: AtomicBool,
     shards: usize,
     durable: bool,
-    wal_position: AtomicU64,
-    wal_synced: AtomicU64,
-    wal_tail: AtomicU64,
-    snapshot_records: AtomicU64,
-    snapshot_seq: AtomicU64,
+    slow_ms: Option<u64>,
 }
 
 /// A running integration service.
@@ -129,6 +226,7 @@ pub struct Server {
     ingest_tx: Option<Sender<Record>>,
     accept: Option<JoinHandle<()>>,
     worker: Option<JoinHandle<()>>,
+    metrics_writer: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -140,20 +238,14 @@ impl Server {
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
+        let registry = Registry::new();
         let shared = Arc::new(Shared {
             current: Swap::new(Generation::empty(cfg.shards)),
-            submitted: AtomicU64::new(0),
-            applied: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            comparisons: AtomicU64::new(0),
+            metrics: ServeMetrics::new(registry.clone()),
             shutdown: AtomicBool::new(false),
             shards: cfg.shards,
             durable: cfg.durability.is_some(),
-            wal_position: AtomicU64::new(0),
-            wal_synced: AtomicU64::new(0),
-            wal_tail: AtomicU64::new(0),
-            snapshot_records: AtomicU64::new(0),
-            snapshot_seq: AtomicU64::new(0),
+            slow_ms: cfg.slow_ms,
         });
 
         let (mut engine, mut seq, mut durable) = match cfg.durability {
@@ -163,12 +255,13 @@ impl Server {
             }
             None => (Engine::new(cfg.threshold), 0, None),
         };
+        engine.set_metrics(EngineMetrics::register(&registry));
         if seq > 0 || engine.records() > 0 {
             let n = engine.records() as u64;
             seq = seq.max(1);
             publish(&shared, &mut engine, seq);
-            shared.submitted.store(n, Ordering::SeqCst);
-            shared.applied.store(n, Ordering::SeqCst);
+            shared.metrics.submitted.store(n);
+            shared.metrics.applied.store(n);
         }
         if !cfg.preload.is_empty() {
             let n = cfg.preload.len() as u64;
@@ -183,8 +276,8 @@ impl Server {
             }
             seq += 1;
             publish(&shared, &mut engine, seq);
-            shared.submitted.fetch_add(n, Ordering::SeqCst);
-            shared.applied.fetch_add(n, Ordering::SeqCst);
+            shared.metrics.submitted.add(n);
+            shared.metrics.applied.add(n);
         }
 
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
@@ -198,13 +291,25 @@ impl Server {
             let tx = tx.clone();
             std::thread::spawn(move || accept_loop(listener, addr, shared, tx))
         };
+        let metrics_writer = cfg.metrics_file.map(|path| {
+            let shared = Arc::clone(&shared);
+            let interval = cfg.metrics_interval.max(Duration::from_millis(100));
+            std::thread::spawn(move || metrics_file_writer(path, shared, interval))
+        });
         Ok(Server {
             addr,
             shared,
             ingest_tx: Some(tx),
             accept: Some(accept),
             worker: Some(worker),
+            metrics_writer,
         })
+    }
+
+    /// A point-in-time snapshot of the server's metrics registry — what
+    /// the `metrics` wire command returns, without a connection.
+    pub fn metrics(&self) -> RegistrySnapshot {
+        self.shared.metrics.registry.snapshot()
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -242,7 +347,46 @@ impl Server {
         if let Some(h) = self.worker.take() {
             let _ = h.join();
         }
+        // the writer exits on the shutdown flag (set by both shutdown
+        // paths before join) after one final rewrite
+        if let Some(h) = self.metrics_writer.take() {
+            let _ = h.join();
+        }
     }
+}
+
+/// Rewrite `path` with the Prometheus exposition of the registry every
+/// `interval` until shutdown, then once more on the way out. Each
+/// rewrite is atomic (tmp + rename) so a scraper never reads a torn
+/// exposition.
+fn metrics_file_writer(path: PathBuf, shared: Arc<Shared>, interval: Duration) {
+    let write = |shared: &Shared| {
+        let text = shared.metrics.registry.snapshot().to_prometheus();
+        let tmp = match path.file_name() {
+            Some(name) => {
+                let mut tmp_name = name.to_os_string();
+                tmp_name.push(".tmp");
+                path.with_file_name(tmp_name)
+            }
+            None => return, // unusable path; nothing sane to write
+        };
+        let result = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = result {
+            eprintln!("bdi-serve: metrics file write failed: {e}");
+        }
+    };
+    write(&shared);
+    let tick = Duration::from_millis(50);
+    let mut since_write = Duration::ZERO;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        since_write += tick;
+        if since_write >= interval {
+            write(&shared);
+            since_write = Duration::ZERO;
+        }
+    }
+    write(&shared);
 }
 
 /// The worker's durability handle: the open WAL plus the policy knobs.
@@ -257,17 +401,15 @@ impl DurableLog {
     /// Append one record (buffered) and mirror the position into stats.
     fn append(&mut self, record: &Record, shared: &Shared) -> std::io::Result<()> {
         self.wal.append(record)?;
-        shared
-            .wal_position
-            .store(self.wal.position(), Ordering::SeqCst);
-        shared.wal_tail.store(self.wal.tail_len(), Ordering::SeqCst);
+        shared.metrics.wal_position.set(self.wal.position());
+        shared.metrics.wal_tail.set(self.wal.tail_len());
         Ok(())
     }
 
     /// Force an fsync and mirror the synced position into stats.
     fn sync(&mut self, shared: &Shared) -> std::io::Result<()> {
         self.wal.sync()?;
-        shared.wal_synced.store(self.wal.synced(), Ordering::SeqCst);
+        shared.metrics.wal_synced.set(self.wal.synced());
         Ok(())
     }
 
@@ -297,11 +439,12 @@ impl DurableLog {
         self.sync(shared)?;
         let snapshot = Snapshot::capture(engine, seq);
         let covered = snapshot.records;
-        snapshot.write(&self.data_dir)?;
+        let took = snapshot.write_timed(&self.data_dir)?;
+        shared.metrics.snapshot_write_ns.record_duration(took);
         self.wal.compact_through(covered)?;
-        shared.snapshot_records.store(covered, Ordering::SeqCst);
-        shared.snapshot_seq.store(seq, Ordering::SeqCst);
-        shared.wal_tail.store(self.wal.tail_len(), Ordering::SeqCst);
+        shared.metrics.snapshot_records.set(covered);
+        shared.metrics.snapshot_generation.set(seq);
+        shared.metrics.wal_tail.set(self.wal.tail_len());
         Ok(())
     }
 }
@@ -321,32 +464,39 @@ fn recover(
     };
     let opened = Wal::open(&cfg.data_dir)?;
     let mut wal = opened.wal;
+    wal.set_metrics(WalMetrics::register(&shared.metrics.registry));
     // Entries below the snapshot position are already inside the engine
     // (a crash between snapshot and compaction leaves such overlap);
     // replay strictly the tail so nothing is applied twice.
+    let t0 = Instant::now();
     let mut replayed = 0u64;
     for (pos, record) in opened.entries {
         if pos < covered {
             continue;
         }
         if catch_unwind(AssertUnwindSafe(|| engine.ingest(record))).is_err() {
-            shared.rejected.fetch_add(1, Ordering::SeqCst);
+            shared.metrics.rejected.inc();
         }
         replayed += 1;
     }
     if replayed > 0 {
         seq += 1;
+        shared.metrics.recovery_replayed.add(replayed);
+        shared
+            .metrics
+            .recovery_replay_ns
+            .record_duration(t0.elapsed());
     }
     if wal.position() < covered {
         // The log was lost or started fresh behind the snapshot; re-base
         // it so future appends get positions past the covered prefix.
         wal.compact_through(covered)?;
     }
-    shared.wal_position.store(wal.position(), Ordering::SeqCst);
-    shared.wal_synced.store(wal.synced(), Ordering::SeqCst);
-    shared.wal_tail.store(wal.tail_len(), Ordering::SeqCst);
-    shared.snapshot_records.store(covered, Ordering::SeqCst);
-    shared.snapshot_seq.store(seq, Ordering::SeqCst);
+    shared.metrics.wal_position.set(wal.position());
+    shared.metrics.wal_synced.set(wal.synced());
+    shared.metrics.wal_tail.set(wal.tail_len());
+    shared.metrics.snapshot_records.set(covered);
+    shared.metrics.snapshot_generation.set(seq);
     Ok((
         engine,
         seq,
@@ -364,11 +514,13 @@ fn recover(
 /// retained refresh base and the published generation share one
 /// allocation, so publishing never copies the catalog.
 fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
+    let _span = shared.metrics.publish_ns.span();
     let catalog = engine.refresh();
     let index = ShardedIndex::build(&catalog, shared.shards);
-    shared
-        .comparisons
-        .store(engine.comparisons(), Ordering::SeqCst);
+    shared.metrics.comparisons.store(engine.comparisons());
+    shared.metrics.generation.set(seq);
+    shared.metrics.products.set(catalog.len() as u64);
+    shared.metrics.records.set(engine.records() as u64);
     shared.current.store(Arc::new(Generation {
         seq,
         catalog,
@@ -381,7 +533,7 @@ fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
 /// fusion stack into a counted rejection instead of a dead worker.
 fn apply_record(engine: &mut Engine, record: Record, shared: &Shared) {
     if catch_unwind(AssertUnwindSafe(|| engine.ingest(record))).is_err() {
-        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.rejected.inc();
     }
 }
 
@@ -430,7 +582,7 @@ fn ingest_worker(
         seq += 1;
         publish(&shared, &mut engine, seq);
         // applied counts only after the records are queryable
-        shared.applied.fetch_add(n, Ordering::SeqCst);
+        shared.metrics.applied.add(n);
         if let Some(log) = &mut durable {
             if let Err(e) = log.snapshot_if_due(&engine, seq, false, &shared) {
                 log_io_error(e);
@@ -471,13 +623,46 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
         if line.trim().is_empty() {
             continue;
         }
-        // a panic anywhere under dispatch (a malformed-but-parseable
-        // request tripping a deep invariant) answers this one request
-        // with an error instead of tearing down the connection thread
-        let response = catch_unwind(AssertUnwindSafe(|| dispatch(&line, &shared, &tx, addr)))
-            .unwrap_or_else(|_| Response::Error {
-                message: "internal error: request handler panicked".to_string(),
-            });
+        let response = match serde_json::from_str::<Request>(&line) {
+            Err(e) => {
+                shared.metrics.request_errors.inc();
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                }
+            }
+            Ok(request) => {
+                let kind = request.kind();
+                let slot = command_slot(kind);
+                shared.metrics.request_bytes[slot].record(line.len() as u64);
+                // a panic anywhere under dispatch (a malformed-but-
+                // parseable request tripping a deep invariant) answers
+                // this one request with an error instead of tearing
+                // down the connection thread
+                let t0 = Instant::now();
+                let response =
+                    catch_unwind(AssertUnwindSafe(|| dispatch(request, &shared, &tx, addr)))
+                        .unwrap_or_else(|_| Response::Error {
+                            message: "internal error: request handler panicked".to_string(),
+                        });
+                let elapsed = t0.elapsed();
+                shared.metrics.request_ns[slot].record_duration(elapsed);
+                if matches!(response, Response::Error { .. }) {
+                    shared.metrics.request_errors.inc();
+                }
+                if let Some(threshold_ms) = shared.slow_ms {
+                    let elapsed_ms = elapsed.as_millis() as u64;
+                    if elapsed_ms >= threshold_ms {
+                        eprintln!(
+                            "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
+                             bytes={} generation={}",
+                            line.len(),
+                            shared.current.load().seq,
+                        );
+                    }
+                }
+                response
+            }
+        };
         let done = matches!(response, Response::Bye);
         let Ok(body) = serde_json::to_string(&response) else {
             break;
@@ -494,15 +679,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
     }
 }
 
-fn dispatch(line: &str, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) -> Response {
-    let request: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => {
-            return Response::Error {
-                message: format!("bad request: {e}"),
-            }
-        }
-    };
+fn dispatch(request: Request, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) -> Response {
     match request {
         Request::Lookup { identifier } => {
             let current = shared.current.load();
@@ -553,18 +730,17 @@ fn dispatch(line: &str, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) 
                 };
             }
             match tx.send(record) {
-                Ok(()) => {
-                    let submitted = shared.submitted.fetch_add(1, Ordering::SeqCst) + 1;
-                    Response::Ack { submitted }
-                }
+                Ok(()) => Response::Ack {
+                    submitted: shared.metrics.submitted.inc(),
+                },
                 Err(_) => Response::Error {
                     message: "ingest queue closed".to_string(),
                 },
             }
         }
         Request::Flush => {
-            let target = shared.submitted.load(Ordering::SeqCst);
-            while shared.applied.load(Ordering::SeqCst) < target {
+            let target = shared.metrics.submitted.get();
+            while shared.metrics.applied.get() < target {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
@@ -573,27 +749,31 @@ fn dispatch(line: &str, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) 
             let current = shared.current.load();
             Response::Flushed {
                 generation: current.seq,
-                applied: shared.applied.load(Ordering::SeqCst),
+                applied: shared.metrics.applied.get(),
             }
         }
         Request::Stats => {
             let current = shared.current.load();
+            let m = &shared.metrics;
             Response::Stats(StatsBody {
                 generation: current.seq,
                 products: current.catalog.len(),
                 records: current.records,
-                submitted: shared.submitted.load(Ordering::SeqCst),
-                applied: shared.applied.load(Ordering::SeqCst),
-                rejected: shared.rejected.load(Ordering::SeqCst),
-                comparisons: shared.comparisons.load(Ordering::SeqCst),
+                submitted: m.submitted.get(),
+                applied: m.applied.get(),
+                rejected: m.rejected.get(),
+                comparisons: m.comparisons.get(),
                 shards: shared.shards,
                 durable: shared.durable,
-                wal_position: shared.wal_position.load(Ordering::SeqCst),
-                wal_synced: shared.wal_synced.load(Ordering::SeqCst),
-                wal_tail: shared.wal_tail.load(Ordering::SeqCst),
-                snapshot_records: shared.snapshot_records.load(Ordering::SeqCst),
-                snapshot_generation: shared.snapshot_seq.load(Ordering::SeqCst),
+                wal_position: m.wal_position.get(),
+                wal_synced: m.wal_synced.get(),
+                wal_tail: m.wal_tail.get(),
+                snapshot_records: m.snapshot_records.get(),
+                snapshot_generation: m.snapshot_generation.get(),
             })
+        }
+        Request::Metrics => {
+            Response::Metrics(MetricsBody::from(shared.metrics.registry.snapshot()))
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);

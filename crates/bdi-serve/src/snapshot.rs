@@ -51,6 +51,14 @@ impl Snapshot {
 
     /// Atomically persist into `dir` (tmp + fsync + rename + dir fsync).
     pub fn write(&self, dir: &Path) -> std::io::Result<()> {
+        self.write_timed(dir).map(|_| ())
+    }
+
+    /// [`Snapshot::write`], returning how long the whole persist took
+    /// (serialize through directory fsync) — what the serve path
+    /// records as `serve.snapshot.write.latency_ns`.
+    pub fn write_timed(&self, dir: &Path) -> std::io::Result<std::time::Duration> {
+        let t0 = std::time::Instant::now();
         std::fs::create_dir_all(dir)?;
         let body = serde_json::to_string(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -62,7 +70,8 @@ impl Snapshot {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
-        File::open(dir)?.sync_all()
+        File::open(dir)?.sync_all()?;
+        Ok(t0.elapsed())
     }
 
     /// Load the snapshot from `dir`, if one exists. A missing file is

@@ -26,10 +26,13 @@
 //! treats as the end of the log rather than an error, matching standard
 //! WAL semantics.
 
+use bdi_obs::{Histogram, Registry};
 use bdi_types::Record;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// File name of the live log inside a data directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -45,6 +48,35 @@ pub struct Wal {
     next: u64,
     /// Absolute position through which the file is known fsync'd.
     synced: u64,
+    /// Durability-timing histograms, when the owner attached any.
+    metrics: Option<WalMetrics>,
+}
+
+/// Durability-timing histograms a [`Wal`] records into when attached
+/// via [`Wal::set_metrics`].
+#[derive(Clone)]
+pub struct WalMetrics {
+    /// One buffered [`Wal::append`] (serialize + buffered write), ns.
+    pub append_ns: Arc<Histogram>,
+    /// One group-commit [`Wal::sync`] (flush + `fsync`), ns. Only
+    /// syncs that actually hit the disk are recorded — the early return
+    /// when nothing is pending is not an fsync.
+    pub fsync_ns: Arc<Histogram>,
+    /// Records made durable per fsync — the group-commit batch size
+    /// the `sync_every` policy is achieving in practice.
+    pub fsync_batch: Arc<Histogram>,
+}
+
+impl WalMetrics {
+    /// Resolve the WAL's histograms in `registry` under the
+    /// `serve.wal.*` names.
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            append_ns: registry.histogram("serve.wal.append.latency_ns"),
+            fsync_ns: registry.histogram("serve.wal.fsync.latency_ns"),
+            fsync_batch: registry.histogram("serve.wal.fsync.batch_records"),
+        }
+    }
 }
 
 /// What [`Wal::open`] found on disk.
@@ -133,21 +165,32 @@ impl Wal {
                 base,
                 next,
                 synced: next,
+                metrics: None,
             },
             entries,
             torn_tail,
         })
     }
 
+    /// Attach durability-timing histograms; subsequent appends and
+    /// syncs record into them.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
+    }
+
     /// Append one record, returning its absolute position. The write is
     /// buffered — durability requires a later [`Wal::sync`]; callers
     /// batch syncs to keep the hot path off the disk's fsync latency.
     pub fn append(&mut self, record: &Record) -> std::io::Result<u64> {
+        let t0 = Instant::now();
         let line = serde_json::to_string(record)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         writeln!(self.writer, "{line}")?;
         let pos = self.next;
         self.next += 1;
+        if let Some(m) = &self.metrics {
+            m.append_ns.record_duration(t0.elapsed());
+        }
         Ok(pos)
     }
 
@@ -157,9 +200,15 @@ impl Wal {
         if self.synced == self.next {
             return Ok(());
         }
+        let t0 = Instant::now();
+        let batch = self.next - self.synced;
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         self.synced = self.next;
+        if let Some(m) = &self.metrics {
+            m.fsync_batch.record(batch);
+            m.fsync_ns.record_duration(t0.elapsed());
+        }
         Ok(())
     }
 

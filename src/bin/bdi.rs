@@ -7,6 +7,7 @@
 //! bdi lookup    --in ./ds --id CAM-LUM-01042
 //! bdi serve     --addr 127.0.0.1:7171 [--seed 42 --entities 300]
 //! bdi load      --addr 127.0.0.1:7171 [--readers 4] [--max-source-size 60]
+//! bdi stats     --addr 127.0.0.1:7171 [--prometheus]
 //! ```
 //!
 //! `generate` writes `dataset.json`, `ground_truth.json` and
@@ -16,7 +17,9 @@
 //! resolves one product identifier against the fused catalog; `serve`
 //! runs the live integration daemon (JSON lines over TCP — see
 //! `bdi-serve`); `load` replays a synthetic world against a running
-//! server and reports throughput and latency.
+//! server and reports throughput and latency; `stats` prints a running
+//! server's counters, or its full metrics registry as Prometheus text
+//! exposition with `--prometheus`.
 
 use bdi::core::report::RunReport;
 use bdi::core::{metrics, run_pipeline, Catalog, FusionMethod, PipelineConfig};
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
         "lookup" => cmd_lookup(&opts),
         "serve" => cmd_serve(&opts),
         "load" => cmd_load(&opts),
+        "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,14 +74,22 @@ USAGE:
   bdi serve     [--addr HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
                 [--threshold X] [--queue N] [--shards N]
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
+                [--metrics-file PATH [--metrics-interval SECS]] [--slow-ms MS]
   bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N]
+  bdi stats     [--addr HOST:PORT] [--prometheus]
   bdi help
 
 Durability: --data-dir enables the write-ahead log and generation
 snapshots; restarting with the same directory recovers the ingested
 state. --sync-interval batches fsyncs (records per fsync, default 64);
 --snapshot-every bounds the WAL tail before compaction (default 4096);
---no-wal forces purely in-memory serving.";
+--no-wal forces purely in-memory serving.
+
+Observability: --metrics-file atomically rewrites PATH as Prometheus
+text exposition every --metrics-interval seconds (default 5);
+--slow-ms logs any request slower than MS milliseconds to stderr.
+`bdi stats` queries a running server; with --prometheus it prints the
+full metrics registry in exposition format instead of the counters.";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -86,7 +98,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{flag}'"));
         };
-        if key == "json" || key == "no-wal" {
+        if key == "json" || key == "no-wal" || key == "prometheus" {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -218,6 +230,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         _ => None,
     };
     let durable = durability.is_some();
+    let metrics_file = opts.get("metrics-file").map(std::path::PathBuf::from);
     let cfg = bdi::serve::ServerConfig {
         addr: opts
             .get("addr")
@@ -228,6 +241,15 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         shards: num(opts, "shards", 8usize)?,
         preload,
         durability,
+        slow_ms: opts
+            .get("slow-ms")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--slow-ms: cannot parse '{v}'"))
+            })
+            .transpose()?,
+        metrics_file: metrics_file.clone(),
+        metrics_interval: std::time::Duration::from_secs(num(opts, "metrics-interval", 5u64)?),
         ..Default::default()
     };
     let server = bdi::serve::Server::start(cfg).map_err(|e| e.to_string())?;
@@ -237,6 +259,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         server.generation(),
         if durable { "durable" } else { "in-memory" }
     );
+    if let Some(path) = metrics_file {
+        println!("metrics exposition at {}", path.display());
+    }
     server.wait();
     Ok(())
 }
@@ -270,6 +295,35 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         "{} readers: {} lookups ({:.0}/s), p50 {}us, p99 {}us",
         cfg.readers, report.queries, report.reads_per_sec, report.p50_us, report.p99_us
     );
+    println!(
+        "server-side: ingest p50 {}us p99 {}us, lookup p50 {}us p99 {}us",
+        report.server_ingest_p50_us,
+        report.server_ingest_p99_us,
+        report.server_lookup_p50_us,
+        report.server_lookup_p99_us
+    );
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let mut client = bdi::serve::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    if opts.contains_key("prometheus") {
+        let body = client.metrics().map_err(|e| e.to_string())?;
+        let snapshot = body
+            .to_snapshot()
+            .ok_or("server sent a malformed metrics body")?;
+        print!("{}", snapshot.to_prometheus());
+    } else {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+        );
+    }
     Ok(())
 }
 

@@ -43,6 +43,7 @@
 //! | [`crowd`] | `bdi-crowd` | crowdsourced + active-learning linkage |
 //! | [`core`] | `bdi-core` | the end-to-end pipeline, metrics, velocity loop |
 //! | [`serve`] | `bdi-serve` | live integration service: concurrent ingest, snapshot queries |
+//! | [`obs`] | `bdi-obs` | metrics registry: counters, gauges, latency histograms |
 
 #![forbid(unsafe_code)]
 
@@ -51,6 +52,7 @@ pub use bdi_crowd as crowd;
 pub use bdi_extract as extract;
 pub use bdi_fusion as fusion;
 pub use bdi_linkage as linkage;
+pub use bdi_obs as obs;
 pub use bdi_schema as schema;
 pub use bdi_select as select;
 pub use bdi_serve as serve;
