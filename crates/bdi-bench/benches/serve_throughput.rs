@@ -17,9 +17,18 @@
 //! 4. **refresh scaling** — an offline engine ingests the dense world
 //!    with no intermediate refresh, then one full refresh is timed at
 //!    1, 2 and 4 worker threads; the resulting catalogs must be equal.
+//! 5. **sharded ingest** — the dense world streamed in batches through
+//!    `bdi route` over 1, 2 and 4 backends (each backend's engine pool
+//!    capped at cores/shards so the sweep models N machines, not N
+//!    processes fighting for one pool), against a direct single-backend
+//!    baseline. Aggregate ingest should scale; the 2-shard row is
+//!    accountable to a ≥1.6x speedup.
 
 use bdi_bench::bench_json::{num_f, num_u, obj, str_v, update_section};
-use bdi_serve::{run_load, DurabilityConfig, Engine, LoadConfig, Server, ServerConfig};
+use bdi_serve::{
+    run_load, Client, DurabilityConfig, Engine, LoadConfig, Router, RouterConfig, Server,
+    ServerConfig,
+};
 use bdi_synth::{World, WorldConfig};
 use serde_json::Value;
 use std::time::Instant;
@@ -36,10 +45,30 @@ fn dense() -> LoadConfig {
 }
 
 fn main() {
-    readers_sweep();
-    hot_path();
-    durability();
-    refresh_scaling();
+    // `cargo bench --bench serve_throughput -- sharded refresh` runs a
+    // subset of sections (substring match); no args runs everything
+    // cargo passes harness flags like `--bench`; only bare words select sections
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let wants =
+        |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
+    if wants("readers") {
+        readers_sweep();
+    }
+    if wants("hot_path") {
+        hot_path();
+    }
+    if wants("durability") {
+        durability();
+    }
+    if wants("refresh") {
+        refresh_scaling();
+    }
+    if wants("sharded") {
+        sharded_sweep();
+    }
 }
 
 fn readers_sweep() {
@@ -79,8 +108,8 @@ fn readers_sweep() {
             ("reads_per_sec", num_f(report.reads_per_sec)),
             ("lookup_p50_us", num_u(report.p50_us)),
             ("lookup_p99_us", num_u(report.p99_us)),
-            ("server_lookup_p50_us", num_u(report.server_lookup_p50_us)),
-            ("server_lookup_p99_us", num_u(report.server_lookup_p99_us)),
+            ("server_lookup_p50_ns", num_u(report.server_lookup_p50_ns)),
+            ("server_lookup_p99_ns", num_u(report.server_lookup_p99_ns)),
         ]));
         server.shutdown();
     }
@@ -112,8 +141,8 @@ fn hot_path() {
         cmp_per_insert
     );
     println!(
-        "server-side ingest handling: p50 {}us p99 {}us (round trip minus wire)",
-        report.server_ingest_p50_us, report.server_ingest_p99_us
+        "server-side ingest handling: p50 {}ns p99 {}ns (round trip minus wire)",
+        report.server_ingest_p50_ns, report.server_ingest_p99_ns
     );
     update_section(
         "serve_hot_path",
@@ -122,8 +151,8 @@ fn hot_path() {
             ("ingest_per_sec", num_f(report.ingest_per_sec)),
             ("ingest_p50_us", num_u(report.ingest_p50_us)),
             ("ingest_p99_us", num_u(report.ingest_p99_us)),
-            ("server_ingest_p50_us", num_u(report.server_ingest_p50_us)),
-            ("server_ingest_p99_us", num_u(report.server_ingest_p99_us)),
+            ("server_ingest_p50_ns", num_u(report.server_ingest_p50_ns)),
+            ("server_ingest_p99_ns", num_u(report.server_ingest_p99_ns)),
             ("comparisons", num_u(report.comparisons)),
             ("comparisons_per_insert", num_f(cmp_per_insert)),
         ]),
@@ -258,4 +287,171 @@ fn refresh_scaling() {
         }
     }
     update_section("serve_refresh", Value::Array(rows));
+}
+
+/// Replay `records` into a fresh single backend in `batch`-sized
+/// `ingest_batch` requests and return the wall-clock seconds through
+/// the final flush — the per-machine ingest makespan.
+fn replay(records: Vec<bdi_types::Record>, batch: usize) -> f64 {
+    let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+    let mut client = Client::connect(server.addr()).expect("connect backend");
+    let t = Instant::now();
+    let mut stream = records.into_iter().peekable();
+    while stream.peek().is_some() {
+        let chunk: Vec<_> = stream.by_ref().take(batch).collect();
+        client.ingest_batch(chunk).expect("ingest batch");
+    }
+    client.flush().expect("flush");
+    let secs = t.elapsed().as_secs_f64();
+    drop(client);
+    server.shutdown();
+    secs
+}
+
+fn sharded_sweep() {
+    use bdi_linkage::fingerprint::RecordFingerprint;
+    use bdi_serve::bridge::BridgeIndex;
+
+    // denser than `dense()`: sharding divides *linkage* work (candidate
+    // blocks split across backends) but not wire work, so the sweep
+    // world is sized until scoring dominates the ingest wall-clock —
+    // the regime a multi-node tier exists for. Source sizes are
+    // Zipf-shaped from `max_source_size`, so raising it multiplies
+    // records over the same entities: bigger cross-entity candidate
+    // blocks (shared brand tokens, related-identifier leaks), which is
+    // exactly the per-insert work that shrinks when the stream splits.
+    let cfg = LoadConfig {
+        batch: 64,
+        max_source_size: 2_000,
+        ..dense()
+    };
+    let world = World::generate(WorldConfig {
+        n_entities: cfg.entities,
+        n_sources: cfg.sources,
+        max_source_size: cfg.max_source_size,
+        ..WorldConfig::tiny(cfg.seed)
+    });
+    let records = world.dataset.into_records();
+    let total = records.len();
+    println!();
+    println!(
+        "sharded ingest: {total} records through bdi route, batch {}",
+        cfg.batch
+    );
+    println!(
+        "aggregate = per-shard streams replayed on a dedicated backend each (models N \
+         machines); wall = end-to-end through the router with every backend sharing this host"
+    );
+
+    // every configuration is measured several times against a *fresh*
+    // fleet (re-ingesting into a warm one would change the workload)
+    // and keeps the fastest run: on a shared box a single cold run
+    // swings by ~20%, wider than the effect the sweep exists to show
+    const ATTEMPTS: usize = 3;
+
+    // single-backend baseline: the whole stream on one machine
+    let base_secs = (0..ATTEMPTS)
+        .map(|_| replay(records.clone(), cfg.batch))
+        .fold(f64::INFINITY, f64::min);
+    let base_per_sec = total as f64 / base_secs.max(1e-9);
+    println!(
+        "single backend: {base_per_sec:.0} rec/s (the speedup denominator, best of {ATTEMPTS})"
+    );
+    println!(
+        "{:>7} {:>9} {:>10} {:>14} {:>11} {:>12} {:>9}",
+        "shards", "records", "replicas", "aggregate r/s", "agg speedup", "wall r/s", "wall spd"
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        // partition the stream exactly as the router does — same
+        // bridge, same replication — into one substream per backend
+        let mut bridge = BridgeIndex::for_threshold(shards, 0.9);
+        let mut streams: Vec<Vec<bdi_types::Record>> = vec![Vec::new(); shards];
+        let mut replicated = 0u64;
+        for r in &records {
+            let fp = RecordFingerprint::of(r);
+            let route = bridge.route(r, &fp);
+            for s in route.shards() {
+                if s != route.home {
+                    replicated += 1;
+                }
+                streams[s].push(r.clone());
+            }
+        }
+
+        // modeled N-machine aggregate: each shard's stream replays on a
+        // dedicated fresh backend with the host to itself; the fleet's
+        // makespan is the slowest shard, so aggregate throughput is
+        // total records over that
+        let mut slowest = 0.0f64;
+        for stream in &streams {
+            let secs = (0..ATTEMPTS)
+                .map(|_| replay(stream.clone(), cfg.batch))
+                .fold(f64::INFINITY, f64::min);
+            slowest = slowest.max(secs);
+        }
+        let aggregate_per_sec = total as f64 / slowest.max(1e-9);
+        let aggregate_speedup = aggregate_per_sec / base_per_sec.max(1e-9);
+
+        // end-to-end wall clock through a live router, all backends
+        // contending for this host's cores — the deployment floor, not
+        // the scaling story
+        let mut wall: Option<f64> = None;
+        for _ in 0..ATTEMPTS {
+            let backends: Vec<Server> = (0..shards)
+                .map(|_| Server::start(ServerConfig::default()).expect("bind backend"))
+                .collect();
+            let router = Router::start(RouterConfig {
+                backends: backends.iter().map(|s| s.addr().to_string()).collect(),
+                batch: cfg.batch,
+                ..RouterConfig::default()
+            })
+            .expect("bind router");
+            let report = run_load(router.addr(), &cfg).expect("sharded load run");
+            router.shutdown();
+            for b in backends {
+                b.shutdown();
+            }
+            if wall.is_none_or(|w| report.ingest_per_sec > w) {
+                wall = Some(report.ingest_per_sec);
+            }
+        }
+        let wall_per_sec = wall.expect("at least one router attempt");
+        let wall_speedup = wall_per_sec / base_per_sec.max(1e-9);
+
+        println!(
+            "{shards:>7} {total:>9} {replicated:>10} {aggregate_per_sec:>14.0} \
+             {aggregate_speedup:>10.2}x {wall_per_sec:>12.0} {wall_speedup:>8.2}x"
+        );
+        if shards == 2 && aggregate_speedup < 1.6 {
+            println!(
+                "WARNING: 2-shard aggregate ingest speedup {aggregate_speedup:.2}x is below \
+                 the 1.6x target"
+            );
+        }
+        rows.push(obj(&[
+            ("shards", num_u(shards as u64)),
+            ("records", num_u(total as u64)),
+            ("replicated_records", num_u(replicated)),
+            ("aggregate_per_sec", num_f(aggregate_per_sec)),
+            (
+                "aggregate_speedup",
+                num_f((aggregate_speedup * 100.0).round() / 100.0),
+            ),
+            ("router_wall_per_sec", num_f(wall_per_sec)),
+            (
+                "router_wall_speedup",
+                num_f((wall_speedup * 100.0).round() / 100.0),
+            ),
+        ]));
+    }
+    update_section(
+        "serve_sharded",
+        obj(&[
+            ("batch", num_u(cfg.batch as u64)),
+            ("baseline_ingest_per_sec", num_f(base_per_sec)),
+            ("rows", Value::Array(rows)),
+        ]),
+    );
 }

@@ -1,0 +1,670 @@
+//! Cross-shard cluster bridging for the router tier.
+//!
+//! Hash-partitioning records across backends by identifier keeps each
+//! backend's linkage local — but two records whose identifiers hash to
+//! *different* shards can still be the same product (a record carrying
+//! both identifiers, a title-token match across shards). Single-node
+//! linkage would compare them because they share blocking evidence; a
+//! naive router never would, and the sharded clustering would diverge.
+//!
+//! The [`BridgeIndex`] closes that gap on the write path. The router
+//! extracts every record's blocking keys (the same
+//! `IdentifierDigits` + `TitleTokens` keys the backend engines block on)
+//! and remembers which shard each key has been seen on. When an arriving
+//! record's keys hit shards other than its routing home, the record is
+//! **replicated** to those shards too: the owning shard re-scores the
+//! bridged pairs with the full matcher, exactly as a single node would
+//! have. A pair sharing a blocking key therefore always coexists on at
+//! least one shard — whichever record arrives later lands (directly or
+//! as a replica) on the earlier record's shard and is compared there.
+//!
+//! The read path joins what replication split. A replicated record is a
+//! member of entries on several shards, so bridged entries *share a
+//! page* ([`bdi_types::RecordId`]) — [`merge_entries`] unions gathered
+//! entries through a union-find overlay keyed on shared pages, which is
+//! exact: two entries sharing a member record are the same logical
+//! cluster by construction. For single-shard `lookup`, the
+//! [`BridgeIndex`] also remembers the normalized primary identifiers of
+//! replicated records (`bridged`), so the router knows which extra
+//! shards to consult and how to chase a bridge chain to closure.
+//!
+//! **Selective bridging.** Replication is priced per blocking key, and
+//! broad keys are expensive: common title tokens ("camera", "monitor")
+//! are shared across *unrelated* entities, and pages routinely leak
+//! *related products'* identifiers, so bridging on every key a record
+//! carries replicates a large fraction of the stream and scaling
+//! collapses. But clustering equality only requires that pairs
+//! single-node linkage would *link* coexist on a shard (pairs
+//! compared-and-rejected contribute nothing), and with the engine's
+//! [`IdentifierRule`] matcher the link paths are narrow:
+//!
+//! * the title-only score path tops out at [`TITLE_ONLY_CEILING`], so
+//!   at any threshold above it a pair can only link through identifier
+//!   evidence;
+//! * identifier evidence is **primary-only** — the matcher compares
+//!   `primary_id` to `primary_id` and `primary_digits` to
+//!   `primary_digits`; a *non-primary* identifier (the related-product
+//!   leak case) never contributes to a link score;
+//! * equal primary identifiers imply equal routing keys, so that pair
+//!   **co-homes by construction** and needs no replication at all.
+//!
+//! The only genuinely cross-shard link path above the ceiling is
+//! therefore *different primary identifiers sharing a digit core*, so
+//! [`BridgeIndex::for_threshold`] replicates on the primary digit core
+//! alone when the threshold clears the ceiling, and falls back to full
+//! blocking-key parity (identifier digits + title tokens) below it.
+//! Replicated pairs the shard engine would not have compared are
+//! harmless: each backend applies the same blocking rules, so
+//! coexistence never creates comparisons single-node linkage lacks.
+//!
+//! Read routing is tracked separately from replication: every
+//! normalized identifier a record *publishes* (primary or not) is
+//! registered to the shards the record landed on, so a `lookup` of a
+//! secondary identifier is routed to a shard that actually indexed it
+//! even though the identifier never triggered replication.
+//!
+//! Limits (documented in `docs/PROTOCOL.md`): replication is keyed on
+//! blocking evidence, so a bridged record with *no identifiers* joins
+//! clusters on scatter reads (shared pages) but cannot widen a
+//! single-identifier `lookup`; and merged entries re-fuse attributes
+//! best-effort (dominant entry wins) while cluster *membership* is
+//! exact.
+//!
+//! [`IdentifierRule`]: bdi_linkage::matcher::IdentifierRule
+
+use crate::gen::shard_of;
+use crate::protocol::StatsBody;
+use bdi_core::catalog::CatalogEntry;
+use bdi_linkage::blocking::{normalize_identifier, BlockingKey};
+use bdi_linkage::cluster::UnionFind;
+use bdi_linkage::fingerprint::RecordFingerprint;
+use bdi_types::Record;
+use std::collections::HashMap;
+
+/// Set of shards as a bitmask — the router tops out at 64 backends.
+pub type ShardMask = u64;
+
+/// Largest backend count the mask representation supports.
+pub const MAX_SHARDS: usize = 64;
+
+/// The highest score `IdentifierRule` can produce without identifier
+/// evidence (the `0.8 * title_me * title_jaccard` fallback path).
+/// Thresholds strictly above this make title-only links impossible, so
+/// the bridge can skip title-token replication entirely.
+pub const TITLE_ONLY_CEILING: f64 = 0.8;
+
+/// Where one record goes: its routing home plus any shards it must be
+/// replicated to because they hold blocking-key evidence for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The shard the record hashes to.
+    pub home: usize,
+    /// Shards (excluding `home`) holding records that share a blocking
+    /// key with this one — the record is sent there too so the owning
+    /// shard can re-score the bridged pairs.
+    pub replicas: ShardMask,
+}
+
+impl Route {
+    /// Every shard the record is sent to, home first.
+    pub fn shards(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.home).chain(
+            (0..MAX_SHARDS).filter(move |&s| s != self.home && self.replicas & (1 << s) != 0),
+        )
+    }
+}
+
+/// The replication keys a bridge decides on (see
+/// [`BridgeIndex::for_threshold`]).
+enum BridgeKeys {
+    /// Exact above [`TITLE_ONLY_CEILING`]: the matcher's only
+    /// cross-home link path is equal primary digit cores (equal primary
+    /// identifiers co-home via the routing key; non-primary identifiers
+    /// never score).
+    PrimaryDigits,
+    /// Exact at any threshold: the full blocking-key set the backend
+    /// engines block on.
+    Parity(Vec<BlockingKey>),
+}
+
+impl BridgeKeys {
+    fn extract(&self, fp: &RecordFingerprint) -> Vec<String> {
+        match self {
+            // the matcher's digit path requires a run of >= 3 digits
+            BridgeKeys::PrimaryDigits => fp
+                .primary_digits
+                .iter()
+                .filter(|d| d.len() >= 3)
+                .cloned()
+                .collect(),
+            BridgeKeys::Parity(keys) => keys.iter().flat_map(|k| k.keys_fp(fp)).collect(),
+        }
+    }
+}
+
+/// The router-side bridge index: blocking key → shards seen, plus the
+/// identifiers of replicated records (the read-path join keys).
+pub struct BridgeIndex {
+    shards: usize,
+    /// Blocking key → shards on which a record carrying it was routed.
+    keys: HashMap<String, ShardMask>,
+    /// Normalized identifier (primary or not) → shards holding a record
+    /// that published it: read routing for identifiers that never
+    /// triggered replication (a secondary identifier lives wherever its
+    /// record's *primary* routed it).
+    published: HashMap<String, ShardMask>,
+    /// Normalized primary identifier of every replicated record → the
+    /// full shard set it lives on. Small: proportional to the number of
+    /// bridged records, not the stream.
+    bridged: HashMap<String, ShardMask>,
+    /// The keys replication is decided on (see [`Self::for_threshold`]).
+    blocking: BridgeKeys,
+}
+
+impl BridgeIndex {
+    /// An empty index over `shards` backends (at most [`MAX_SHARDS`])
+    /// with full blocking-key parity — exact at *any* match threshold.
+    /// Mirrors `IncrementalLinker::for_products`.
+    pub fn new(shards: usize) -> Self {
+        Self::with_keys(
+            shards,
+            BridgeKeys::Parity(vec![
+                BlockingKey::IdentifierDigits,
+                BlockingKey::TitleTokens,
+            ]),
+        )
+    }
+
+    /// An empty index bridging on the cheapest key set that is still
+    /// exact at `threshold`. Above [`TITLE_ONLY_CEILING`] the matcher
+    /// can only link cross-home through equal *primary* digit cores
+    /// (equal primary identifiers already co-home, non-primary
+    /// identifiers never score), so that single key suffices; at or
+    /// below the ceiling, title-only links are possible and the full
+    /// blocking-key set is used.
+    pub fn for_threshold(shards: usize, threshold: f64) -> Self {
+        let keys = if threshold > TITLE_ONLY_CEILING {
+            BridgeKeys::PrimaryDigits
+        } else {
+            BridgeKeys::Parity(vec![
+                BlockingKey::IdentifierDigits,
+                BlockingKey::TitleTokens,
+            ])
+        };
+        Self::with_keys(shards, keys)
+    }
+
+    fn with_keys(shards: usize, blocking: BridgeKeys) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "1..={MAX_SHARDS} shards"
+        );
+        Self {
+            shards,
+            keys: HashMap::new(),
+            published: HashMap::new(),
+            bridged: HashMap::new(),
+            blocking,
+        }
+    }
+
+    /// Number of backends routed over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The key a record routes on: its normalized primary identifier, or
+    /// the raw title for identifier-less records. Deterministic across
+    /// router restarts (FNV-1a, no per-process hash state).
+    pub fn routing_key(record: &Record) -> String {
+        match record.primary_identifier() {
+            Some(id) if !normalize_identifier(id).is_empty() => normalize_identifier(id),
+            _ => record.title.to_lowercase(),
+        }
+    }
+
+    /// Route one record: compute its home shard, decide which shards it
+    /// must additionally be replicated to, and register its blocking
+    /// keys under its home. Call under one lock per record — the
+    /// check-then-register must be atomic so that of any two records
+    /// sharing a key, the later-routed one always sees the earlier's
+    /// registration.
+    pub fn route(&mut self, record: &Record, fp: &RecordFingerprint) -> Route {
+        let home = shard_of(&Self::routing_key(record), self.shards);
+        let home_bit: ShardMask = 1 << home;
+        let mut replicas: ShardMask = 0;
+        for k in self.blocking.extract(fp) {
+            if k.is_empty() {
+                continue;
+            }
+            let mask = self.keys.entry(k).or_insert(0);
+            replicas |= *mask;
+            *mask |= home_bit;
+        }
+        replicas &= !home_bit;
+        if replicas != 0 {
+            // remember the replicated record's primary identifier: the
+            // join key single-shard lookups chase bridges through
+            if !fp.primary_id.is_empty() {
+                *self.bridged.entry(fp.primary_id.clone()).or_insert(0) |= home_bit | replicas;
+            }
+        }
+        // read routing: every identifier the record publishes is now
+        // indexed on every shard the record landed on
+        for id in &fp.ids_norm {
+            if !id.is_empty() {
+                *self.published.entry(id.clone()).or_insert(0) |= home_bit | replicas;
+            }
+        }
+        Route { home, replicas }
+    }
+
+    /// Shards a `lookup` for this identifier must consult: the hash
+    /// shard, widened by the shards of every record that published the
+    /// identifier (a secondary identifier lives wherever its record's
+    /// primary routed it) and by any shards a replicated record
+    /// carrying it reached.
+    pub fn lookup_shards(&self, identifier: &str) -> ShardMask {
+        let norm = normalize_identifier(identifier);
+        let mut mask: ShardMask = 1 << shard_of(&norm, self.shards);
+        if let Some(holders) = self.published.get(&norm) {
+            mask |= holders;
+        }
+        if let Some(extra) = self.bridged.get(&norm) {
+            mask |= extra;
+        }
+        mask
+    }
+
+    /// The shard set of a replicated record's identifier, if that
+    /// identifier belongs to one (`None` for never-replicated
+    /// identifiers) — the expansion step of bridge-chasing lookups.
+    pub fn bridged_mask(&self, norm_identifier: &str) -> Option<ShardMask> {
+        self.bridged.get(norm_identifier).copied()
+    }
+
+    /// Replicated records registered so far (monitoring).
+    pub fn bridged_len(&self) -> usize {
+        self.bridged.len()
+    }
+}
+
+/// Iterate the shard indices set in a mask.
+pub fn mask_shards(mask: ShardMask) -> impl Iterator<Item = usize> {
+    (0..MAX_SHARDS).filter(move |&s| mask & (1 << s) != 0)
+}
+
+/// Merge entries gathered from several shards into logical clusters:
+/// entries sharing any member page are the same cluster (a replicated
+/// record is a member on every shard it reached) and are unioned through
+/// a union-find overlay. Within a merged group, pages and identifiers
+/// union (sorted, deduplicated); title, id and attribute values come
+/// from the *dominant* entry — most pages, ties toward the lower shard
+/// then lower entry id — with the other entries' attributes filling in
+/// names the dominant lacks. Output order: groups by their dominant
+/// entry's (shard, id), ascending — deterministic for any gather order.
+pub fn merge_entries(gathered: Vec<(usize, CatalogEntry)>) -> Vec<CatalogEntry> {
+    if gathered.len() <= 1 {
+        return gathered.into_iter().map(|(_, e)| e).collect();
+    }
+    let mut uf = UnionFind::new(gathered.len());
+    let mut by_page: HashMap<bdi_types::RecordId, usize> = HashMap::new();
+    for (i, (_, entry)) in gathered.iter().enumerate() {
+        for &page in &entry.pages {
+            match by_page.entry(page) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    uf.union(*o.get(), i);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..gathered.len() {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut merged: Vec<((usize, usize), CatalogEntry)> = groups
+        .into_values()
+        .map(|members| merge_group(&gathered, members))
+        .collect();
+    merged.sort_by_key(|a| a.0);
+    merged.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Merge one union-found group; returns the dominant (shard, id) sort
+/// key alongside the merged entry.
+fn merge_group(
+    gathered: &[(usize, CatalogEntry)],
+    mut members: Vec<usize>,
+) -> ((usize, usize), CatalogEntry) {
+    // dominant: most pages, then lower shard, then lower entry id
+    members.sort_by(|&a, &b| {
+        let (sa, ea) = &gathered[a];
+        let (sb, eb) = &gathered[b];
+        eb.pages
+            .len()
+            .cmp(&ea.pages.len())
+            .then_with(|| sa.cmp(sb))
+            .then_with(|| ea.id.cmp(&eb.id))
+    });
+    let (dom_shard, dominant) = &gathered[members[0]];
+    let mut out = dominant.clone();
+    for &m in &members[1..] {
+        let (_, e) = &gathered[m];
+        out.pages.extend(e.pages.iter().copied());
+        out.identifiers.extend(e.identifiers.iter().cloned());
+        for (name, value) in &e.attributes {
+            out.attributes
+                .entry(name.clone())
+                .or_insert_with(|| value.clone());
+        }
+    }
+    out.pages.sort_unstable();
+    out.pages.dedup();
+    out.identifiers.sort_unstable();
+    out.identifiers.dedup();
+    ((*dom_shard, dominant.id), out)
+}
+
+/// Merge per-shard stats into the fleet view: every counter sums (a
+/// replicated record legitimately counts on each shard holding it);
+/// `durable` is the conjunction — the fleet is durable only when every
+/// backend is.
+pub fn merge_stats(gathered: &[StatsBody]) -> StatsBody {
+    let mut out = StatsBody {
+        durable: !gathered.is_empty(),
+        ..StatsBody::default()
+    };
+    for s in gathered {
+        out.generation += s.generation;
+        out.products += s.products;
+        out.records += s.records;
+        out.submitted += s.submitted;
+        out.applied += s.applied;
+        out.rejected += s.rejected;
+        out.comparisons += s.comparisons;
+        out.shards += s.shards;
+        out.durable &= s.durable;
+        out.wal_position += s.wal_position;
+        out.wal_synced += s.wal_synced;
+        out.wal_tail += s.wal_tail;
+        out.snapshot_records += s.snapshot_records;
+        out.snapshot_generation += s.snapshot_generation;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdi_types::{RecordId, SourceId, Value};
+    use std::collections::BTreeMap;
+
+    fn rec(s: u32, q: u32, title: &str, ids: &[&str]) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+        for id in ids {
+            r.identifiers.push((*id).to_string());
+        }
+        r
+    }
+
+    fn route(b: &mut BridgeIndex, r: &Record) -> Route {
+        let fp = RecordFingerprint::of(r);
+        b.route(r, &fp)
+    }
+
+    fn entry(id: usize, pages: &[(u32, u32)], idents: &[&str]) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            title: format!("p{id}"),
+            pages: pages
+                .iter()
+                .map(|&(s, q)| RecordId::new(SourceId(s), q))
+                .collect(),
+            attributes: BTreeMap::from([("w".to_string(), Value::num(id as f64))]),
+            identifiers: idents.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Two identifiers that provably hash to different shards at n=2.
+    fn split_identifiers(n: usize) -> (String, String) {
+        let a = "CAM-LUM-00100".to_string();
+        let home = shard_of(&normalize_identifier(&a), n);
+        for i in 0..10_000u32 {
+            let b = format!("TRI-ORB-{i:05}");
+            if shard_of(&normalize_identifier(&b), n) != home {
+                return (a, b);
+            }
+        }
+        panic!("no split pair found");
+    }
+
+    #[test]
+    fn unrelated_records_never_replicate() {
+        let mut b = BridgeIndex::new(2);
+        let r1 = route(
+            &mut b,
+            &rec(0, 0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]),
+        );
+        let r2 = route(
+            &mut b,
+            &rec(1, 0, "Visionex V-900 monitor", &["MON-VIS-00900"]),
+        );
+        assert_eq!(r1.replicas, 0);
+        assert_eq!(r2.replicas, 0);
+        assert_eq!(b.bridged_len(), 0);
+    }
+
+    #[test]
+    fn shared_key_on_another_shard_replicates_the_later_record() {
+        let n = 2;
+        let (ida, idb) = split_identifiers(n);
+        let mut b = BridgeIndex::new(n);
+        let ra = route(&mut b, &rec(0, 0, "Lumetra LX-100 camera", &[&ida]));
+        let rb = route(&mut b, &rec(1, 0, "Orbix O-55 tripod", &[&idb]));
+        assert_ne!(ra.home, rb.home, "identifiers chosen to split");
+        assert_eq!(ra.replicas | rb.replicas, 0, "distinct evidence so far");
+        // a record carrying both identifiers bridges the two shards
+        let bridge = rec(2, 0, "Lumetra LX-100 with tripod", &[&ida, &idb]);
+        let rb2 = route(&mut b, &bridge);
+        assert_eq!(rb2.home, ra.home, "routes by primary identifier");
+        assert_eq!(
+            rb2.replicas,
+            1 << rb.home,
+            "replicated to the shard holding the other identifier"
+        );
+        assert_eq!(
+            rb2.shards().collect::<Vec<_>>(),
+            vec![ra.home, rb.home].into_iter().collect::<Vec<_>>()
+        );
+        // the read path now knows lookups of either identifier span both
+        let mask = (1 << ra.home) | (1 << rb.home);
+        assert_eq!(b.lookup_shards(&ida) & mask, mask);
+        assert_eq!(b.bridged_mask(&normalize_identifier(&ida)), Some(mask));
+    }
+
+    #[test]
+    fn title_evidence_bridges_identifierless_records() {
+        let mut b = BridgeIndex::new(2);
+        // force records onto different shards via their routing titles
+        let mut first = None;
+        let mut replicated = false;
+        for i in 0..50u32 {
+            let r = rec(i, 0, &format!("Quantaflux widget mk{i}"), &[]);
+            let plan = route(&mut b, &r);
+            match first {
+                None => first = Some(plan.home),
+                Some(h) if plan.home != h => {
+                    // shares the "quantaflux"/"widget" title tokens seen
+                    // on the other shard → must be replicated there
+                    assert_ne!(plan.replicas & (1 << h), 0);
+                    replicated = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(replicated, "some title hashed to the other shard");
+    }
+
+    #[test]
+    fn threshold_gates_title_bridging() {
+        // above the ceiling title-only pairs cannot link, so shared
+        // title tokens must not replicate…
+        let mut hi = BridgeIndex::for_threshold(2, 0.9);
+        for i in 0..50u32 {
+            let r = rec(i, 0, &format!("Quantaflux widget mk{i}"), &[]);
+            let plan = route(&mut hi, &r);
+            assert_eq!(plan.replicas, 0, "no title replication at 0.9");
+        }
+        // …and neither do *secondary* identifiers: the matcher scores
+        // primary against primary only, so a record whose second
+        // identifier hashes elsewhere cannot link there and must not
+        // be replicated there — but a lookup of that secondary
+        // identifier is still routed to the record's shard
+        let n = 2;
+        let mut hi = BridgeIndex::for_threshold(n, 0.9);
+        let (ida, idb) = {
+            // find two letters-only ids hashing to different shards
+            let a = "ABCDEFG".to_string();
+            let home = shard_of(&normalize_identifier(&a), n);
+            let mut b = None;
+            for i in 0..26u8 {
+                for j in 0..26u8 {
+                    let cand = format!("ZYX{}{}", char::from(b'A' + i), char::from(b'A' + j));
+                    if shard_of(&normalize_identifier(&cand), n) != home {
+                        b = Some(cand);
+                        break;
+                    }
+                }
+                if b.is_some() {
+                    break;
+                }
+            }
+            (a, b.expect("some letters-only id lands on the other shard"))
+        };
+        route(&mut hi, &rec(0, 0, "Alpha thing", &[&ida]));
+        route(&mut hi, &rec(1, 0, "Beta thing", &[&idb]));
+        let plan = route(&mut hi, &rec(2, 0, "Alpha beta combo", &[&ida, &idb]));
+        assert_eq!(
+            plan.replicas, 0,
+            "secondary identifiers never score, so they never replicate"
+        );
+        assert_ne!(
+            hi.lookup_shards(&idb) & (1 << plan.home),
+            0,
+            "lookups of the secondary identifier still reach the record"
+        );
+        // what *does* bridge above the ceiling: different primary
+        // identifiers sharing a digit core, hashing to different shards
+        let mut hi = BridgeIndex::for_threshold(n, 0.9);
+        let dig_a = "CAM-LUM-00321".to_string();
+        let dig_home = shard_of(&normalize_identifier(&dig_a), n);
+        let dig_b = (b'A'..=b'Z')
+            .map(|c| format!("{}XX-TRI-00321", char::from(c)))
+            .find(|cand| shard_of(&normalize_identifier(cand), n) != dig_home)
+            .expect("some prefix hashes to the other shard");
+        let ra = route(&mut hi, &rec(0, 0, "Lumetra LX-321 camera", &[&dig_a]));
+        let rb = route(&mut hi, &rec(1, 0, "Lumetra LX-321 camera kit", &[&dig_b]));
+        assert_eq!(
+            rb.replicas,
+            1 << ra.home,
+            "shared primary digit core bridges across shards"
+        );
+        // at or below the ceiling the full blocking-key set is back
+        let mut lo = BridgeIndex::for_threshold(2, 0.8);
+        let mut first = None;
+        let mut replicated = false;
+        for i in 0..50u32 {
+            let r = rec(i, 0, &format!("Quantaflux widget mk{i}"), &[]);
+            let plan = route(&mut lo, &r);
+            match first {
+                None => first = Some(plan.home),
+                Some(h) if plan.home != h => {
+                    assert_ne!(plan.replicas & (1 << h), 0);
+                    replicated = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(replicated, "title bridging active at 0.8");
+    }
+
+    #[test]
+    fn merge_entries_joins_on_shared_pages_only() {
+        // shard 0 and shard 1 both hold the replicated record (2,0);
+        // shard 1 also holds an unrelated entry
+        let gathered = vec![
+            (0, entry(0, &[(0, 0), (2, 0)], &["CAMLUM00100"])),
+            (1, entry(0, &[(1, 0), (2, 0)], &["TRIORB00100"])),
+            (1, entry(1, &[(3, 0)], &["MONVIS00900"])),
+        ];
+        let merged = merge_entries(gathered);
+        assert_eq!(merged.len(), 2, "bridged pair joined, unrelated kept");
+        let joined = &merged[0];
+        assert_eq!(joined.pages.len(), 3, "pages union, replica deduped");
+        assert_eq!(
+            joined.identifiers,
+            vec!["CAMLUM00100".to_string(), "TRIORB00100".to_string()]
+        );
+        assert_eq!(merged[1].pages, vec![RecordId::new(SourceId(3), 0)]);
+    }
+
+    #[test]
+    fn merge_entries_is_transitive_across_shards() {
+        // A↔B share page (9,0), B↔C share page (9,1): one cluster
+        let gathered = vec![
+            (0, entry(0, &[(0, 0), (9, 0)], &["A"])),
+            (1, entry(0, &[(1, 0), (9, 0), (9, 1)], &["B"])),
+            (2, entry(0, &[(2, 0), (9, 1)], &["C"])),
+        ];
+        let merged = merge_entries(gathered);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].pages.len(), 5);
+        // dominant = most pages = the shard-1 entry
+        assert_eq!(merged[0].title, "p0");
+    }
+
+    #[test]
+    fn merge_stats_sums_counters() {
+        let a = StatsBody {
+            generation: 3,
+            products: 10,
+            records: 20,
+            submitted: 20,
+            applied: 20,
+            durable: true,
+            ..StatsBody::default()
+        };
+        let b = StatsBody {
+            generation: 2,
+            products: 5,
+            records: 9,
+            submitted: 9,
+            applied: 9,
+            durable: false,
+            ..StatsBody::default()
+        };
+        let m = merge_stats(&[a, b]);
+        assert_eq!(m.generation, 5);
+        assert_eq!(m.products, 15);
+        assert_eq!(m.records, 29);
+        assert_eq!(m.submitted, 29);
+        assert!(!m.durable, "fleet durable only when every backend is");
+    }
+
+    #[test]
+    fn routing_key_falls_back_to_title() {
+        assert_eq!(
+            BridgeIndex::routing_key(&rec(0, 0, "Lumetra LX-100", &["CAM-LUM-00100"])),
+            "CAMLUM00100"
+        );
+        assert_eq!(
+            BridgeIndex::routing_key(&rec(0, 0, "Lumetra LX-100", &[])),
+            "lumetra lx-100"
+        );
+    }
+}

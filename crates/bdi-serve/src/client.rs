@@ -102,6 +102,18 @@ impl Client {
         }
     }
 
+    /// Submit a whole batch of records in one request/response round
+    /// trip; returns the server's submitted counter after the last
+    /// record. Per-record round trips and syscalls amortize across the
+    /// batch — this is the call the router tier pipelines ingest over.
+    pub fn ingest_batch(&mut self, records: Vec<Record>) -> std::io::Result<u64> {
+        match self.call(&Request::IngestBatch { records })? {
+            Response::Ack { submitted } => Ok(submitted),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
     /// Wait until everything submitted so far is queryable; returns
     /// `(generation, applied)`.
     pub fn flush(&mut self) -> std::io::Result<(u64, u64)> {

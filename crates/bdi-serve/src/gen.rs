@@ -91,7 +91,10 @@ impl ShardedIndex {
 
 /// FNV-1a over the key bytes; deterministic across processes (unlike the
 /// std hasher's per-instance random state), so shard layout is stable.
-fn shard_of(key: &str, shards: usize) -> usize {
+/// The router tier uses the same function to partition records across
+/// backends — in-process index shards and cross-process backend shards
+/// are the same hash space at different granularities.
+pub fn shard_of(key: &str, shards: usize) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.as_bytes() {
         h ^= u64::from(*b);

@@ -42,20 +42,24 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bridge;
 pub mod client;
 pub mod engine;
 pub mod gen;
 pub mod load;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod snapshot;
 pub mod wal;
 
+pub use bridge::BridgeIndex;
 pub use client::Client;
 pub use engine::{Engine, EngineState};
 pub use gen::{Generation, ShardedIndex, Swap};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use protocol::{MetricsBody, Request, Response, StatsBody};
+pub use router::{Router, RouterConfig};
 pub use server::{DurabilityConfig, Server, ServerConfig};
 pub use snapshot::Snapshot;
 pub use wal::Wal;

@@ -37,6 +37,12 @@ pub enum Request {
     /// Submit one record to the ingest queue (blocks under backpressure).
     #[serde(rename = "ingest")]
     Ingest { record: Record },
+    /// Submit many records in one length-framed request: the whole batch
+    /// is enqueued in order and answered with a single `ack`, so
+    /// per-record round trips and syscalls amortize across the batch.
+    /// This is the command the router tier pipelines ingest over.
+    #[serde(rename = "ingest_batch")]
+    IngestBatch { records: Vec<Record> },
     /// Block until everything submitted so far is queryable.
     #[serde(rename = "flush")]
     Flush,
@@ -60,6 +66,7 @@ impl Request {
             Request::Filter { .. } => "filter",
             Request::TopK { .. } => "top_k",
             Request::Ingest { .. } => "ingest",
+            Request::IngestBatch { .. } => "ingest_batch",
             Request::Flush => "flush",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
@@ -282,6 +289,30 @@ mod tests {
         };
         assert_eq!(record.id, RecordId::new(SourceId(3), 7));
         assert_eq!(record.primary_identifier(), Some("CAM-LUM-00100"));
+    }
+
+    #[test]
+    fn ingest_batch_carries_records_in_order() {
+        let records: Vec<Record> = (0..3u32)
+            .map(|i| {
+                let mut r = Record::new(RecordId::new(SourceId(i), 0), format!("Gadget{i}"));
+                r.identifiers.push(format!("XXX-YYY-{i:05}"));
+                r
+            })
+            .collect();
+        let line = serde_json::to_string(&Request::IngestBatch {
+            records: records.clone(),
+        })
+        .unwrap();
+        assert!(!line.contains('\n'), "one batch per line");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        let Request::IngestBatch { records: got } = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(got.len(), 3);
+        for (i, r) in got.iter().enumerate() {
+            assert_eq!(r.id, records[i].id, "batch order preserved");
+        }
     }
 
     #[test]

@@ -1,0 +1,1188 @@
+//! The router tier: one process that makes N backends look like one.
+//!
+//! `bdi route` binds the same JSON-lines protocol a single backend
+//! speaks and hash-partitions work across `bdi serve` processes, so a
+//! client needs no sharding awareness at all — point `bdi load` at the
+//! router and the stream fans out.
+//!
+//! **Write path.** Every ingested record is routed by the FNV-1a hash
+//! of its routing key ([`BridgeIndex::routing_key`]) to a home shard,
+//! widened by the bridge index to any shards holding blocking-key
+//! evidence for it (see [`crate::bridge`]). Records travel to backends
+//! over one long-lived *lane* per backend: a bounded channel drained by
+//! a worker thread that packs records into `ingest_batch` requests and
+//! **pipelines** them — up to [`RouterConfig::pipeline`] batches are in
+//! flight before the worker stops to read acks, so neither the
+//! per-record round trip nor the per-batch round trip gates aggregate
+//! throughput. Client `ingest`/`ingest_batch` acks mean *accepted and
+//! routed*; `flush` is the delivery barrier — it waits until every lane
+//! has settled every routed record, then flushes each backend.
+//!
+//! **Read path.** `lookup` consults the shard its identifier hashes to,
+//! widened (and chased to closure) through the bridge index when the
+//! identifier belongs to a replicated record; gathered entries are
+//! joined by [`merge_entries`]. `filter`, `top_k`, `stats` and
+//! `metrics` scatter to every backend — requests are written to all
+//! backend connections before any response is read, so backends work
+//! concurrently — and gather/merge: entries through the shared-page
+//! union-find overlay, top-k through a heap over the deduplicated
+//! candidates, stats through [`merge_stats`], metrics through
+//! `bdi-obs`'s mergeable [`RegistrySnapshot`]s (the router's own
+//! `route.*` registry is merged in alongside the backends' `serve.*`
+//! families).
+//!
+//! **Failure.** A dead backend never hangs the router: lane workers
+//! mark their backend down on any I/O error and keep draining (so
+//! barriers terminate), and every query that needed the dead shard
+//! answers with an `error` response naming it. Reported `generation`
+//! and `applied` values are fleet sums, monotone per shard.
+//!
+//! [`RegistrySnapshot`]: bdi_obs::RegistrySnapshot
+
+use crate::bridge::{mask_shards, merge_entries, merge_stats, BridgeIndex, ShardMask, MAX_SHARDS};
+use crate::protocol::{MetricsBody, Request, Response, StatsBody};
+use bdi_core::catalog::CatalogEntry;
+use bdi_linkage::blocking::normalize_identifier;
+use bdi_linkage::fingerprint::RecordFingerprint;
+use bdi_obs::{Counter, Gauge, Histogram, Registry};
+use bdi_types::Record;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Router tunables.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Backend `bdi serve` addresses, one per shard (1..=64). Shard
+    /// index is position in this list — keep the order stable across
+    /// router restarts or records will re-home.
+    pub backends: Vec<String>,
+    /// Match threshold the backends were started with. Routing
+    /// correctness depends on it: above the title-only score ceiling
+    /// the bridge replicates on identifier evidence alone (see
+    /// [`BridgeIndex::for_threshold`]).
+    pub threshold: f64,
+    /// Records per `ingest_batch` request sent to a backend.
+    pub batch: usize,
+    /// Batches in flight per backend before the lane worker stops to
+    /// read acks — the pipelining depth.
+    pub pipeline: usize,
+    /// Buffered records per lane — the router-side backpressure bound.
+    pub queue_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            threshold: 0.9,
+            batch: 64,
+            pipeline: 4,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// Router-side metric handles, resolved once at startup. All names live
+/// under `route.*` so a merged `metrics` response keeps them distinct
+/// from the backends' `serve.*` families.
+struct RouteMetrics {
+    registry: Registry,
+    /// Records routed (counted once each, replicas excluded).
+    submitted: Counter,
+    /// Extra copies sent to non-home shards for bridging.
+    replicated: Counter,
+    /// Replica sends skipped because the target backend was down.
+    replicas_dropped: Counter,
+    /// Unparseable requests plus error responses.
+    request_errors: Counter,
+    /// Records per client-facing `ingest_batch` request.
+    batch_records: Arc<Histogram>,
+    /// Records per `ingest_batch` request sent to a backend lane.
+    backend_batch_records: Arc<Histogram>,
+    /// Replicated records the bridge currently tracks.
+    bridged_records: Gauge,
+    /// Backends currently marked down.
+    backends_down: Gauge,
+}
+
+impl RouteMetrics {
+    fn new(registry: Registry) -> Self {
+        Self {
+            submitted: registry.counter("route.ingest.submitted"),
+            replicated: registry.counter("route.ingest.replicated"),
+            replicas_dropped: registry.counter("route.ingest.replicas_dropped"),
+            request_errors: registry.counter("route.request.errors"),
+            batch_records: registry.histogram("route.ingest.batch_records"),
+            backend_batch_records: registry.histogram("route.backend.batch_records"),
+            bridged_records: registry.gauge("route.bridge.bridged_records"),
+            backends_down: registry.gauge("route.backend.down"),
+            registry,
+        }
+    }
+}
+
+/// One backend's ingest lane: the channel handlers route into plus the
+/// counters the flush barrier reconciles.
+struct Lane {
+    addr: SocketAddr,
+    tx: Sender<Record>,
+    /// Records handed to this lane (home copies and replicas).
+    enqueued: AtomicU64,
+    /// Records acked by the backend — or discarded after its death, so
+    /// `settled == enqueued` is always eventually true.
+    settled: AtomicU64,
+    /// Set on the first I/O error; never cleared (backends don't
+    /// rejoin a running router).
+    down: AtomicBool,
+}
+
+/// State shared by connection handlers and lane workers.
+struct RouterShared {
+    lanes: Vec<Lane>,
+    bridge: Mutex<BridgeIndex>,
+    metrics: RouteMetrics,
+    shutdown: AtomicBool,
+}
+
+impl RouterShared {
+    fn mark_down(&self, shard: usize, err: &str) {
+        if !self.lanes[shard].down.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "bdi-route: shard {shard} ({}) marked down: {err}",
+                self.lanes[shard].addr
+            );
+            let down = self
+                .lanes
+                .iter()
+                .filter(|l| l.down.load(Ordering::SeqCst))
+                .count();
+            self.metrics.backends_down.set(down as u64);
+        }
+    }
+}
+
+/// A running router.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+    lane_workers: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind and start routing over the configured backends. Backend
+    /// connections are opened lazily — a backend that is down at start
+    /// surfaces as per-shard errors, not a failed bind.
+    pub fn start(cfg: RouterConfig) -> std::io::Result<Router> {
+        if cfg.backends.is_empty() || cfg.backends.len() > MAX_SHARDS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("need 1..={MAX_SHARDS} backends, got {}", cfg.backends.len()),
+            ));
+        }
+        let mut addrs = Vec::with_capacity(cfg.backends.len());
+        for b in &cfg.backends {
+            let addr = b.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("backend '{b}' resolves to no address"),
+                )
+            })?;
+            addrs.push(addr);
+        }
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        let addr = listener.local_addr()?;
+
+        let mut lanes = Vec::with_capacity(addrs.len());
+        let mut receivers = Vec::with_capacity(addrs.len());
+        for &backend in &addrs {
+            let (tx, rx) = bounded(cfg.queue_capacity.max(1));
+            lanes.push(Lane {
+                addr: backend,
+                tx,
+                enqueued: AtomicU64::new(0),
+                settled: AtomicU64::new(0),
+                down: AtomicBool::new(false),
+            });
+            receivers.push(rx);
+        }
+        let shared = Arc::new(RouterShared {
+            lanes,
+            bridge: Mutex::new(BridgeIndex::for_threshold(addrs.len(), cfg.threshold)),
+            metrics: RouteMetrics::new(Registry::new()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let batch = cfg.batch.max(1);
+        let depth = cfg.pipeline.max(1);
+        let lane_workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || lane_worker(shard, shared, rx, batch, depth))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, addr, shared))
+        };
+        Ok(Router {
+            addr,
+            shared,
+            accept: Some(accept),
+            lane_workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request shutdown and wait for the accept loop and lane workers
+    /// to drain. Backends are left running — the router does not own
+    /// them.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        self.join();
+    }
+
+    /// Block until a client issues `shutdown`, then drain. This is what
+    /// `bdi route` parks on.
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in self.lane_workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One raw backend connection: unlike [`crate::Client`], requests and
+/// responses are decoupled so callers can write to several backends
+/// before reading from any (scatter) or run writes ahead of acks
+/// (pipelining).
+struct LaneConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LaneConn {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.send_line(&line)
+    }
+
+    fn recv(&mut self) -> std::io::Result<Response> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend closed connection",
+            ));
+        }
+        serde_json::from_str(&reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Read one response that must be an ingest ack.
+    fn recv_ack(&mut self) -> std::io::Result<()> {
+        match self.recv()? {
+            Response::Ack { .. } => Ok(()),
+            Response::Error { message } => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("backend rejected batch: {message}"),
+            )),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected response to ingest_batch: {other:?}"),
+            )),
+        }
+    }
+}
+
+/// One backend's ingest worker: drain the lane channel into pipelined
+/// `ingest_batch` requests. After an I/O error the worker marks the
+/// backend down and keeps draining the channel, settling (discarding)
+/// records so flush barriers always terminate.
+fn lane_worker(
+    shard: usize,
+    shared: Arc<RouterShared>,
+    rx: Receiver<Record>,
+    batch: usize,
+    depth: usize,
+) {
+    let lane = &shared.lanes[shard];
+    let mut conn: Option<LaneConn> = None;
+    // records per in-flight ingest_batch, oldest first
+    let mut outstanding: VecDeque<u64> = VecDeque::new();
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if lane.down.load(Ordering::SeqCst) {
+            // drain mode: settle everything so barriers terminate
+            let mut settled = u64::from(first.is_some());
+            while rx.try_recv().is_ok() {
+                settled += 1;
+            }
+            if settled > 0 {
+                lane.settled.fetch_add(settled, Ordering::SeqCst);
+            }
+            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let Some(first) = first else {
+            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() && outstanding.is_empty() {
+                break;
+            }
+            continue;
+        };
+        let mut records = vec![first];
+        while records.len() < batch {
+            match rx.try_recv() {
+                Ok(r) => records.push(r),
+                Err(_) => break,
+            }
+        }
+        let n = records.len() as u64;
+        shared.metrics.backend_batch_records.record(n);
+        let sent = ensure_conn(&mut conn, lane.addr)
+            .and_then(|c| c.send(&Request::IngestBatch { records }));
+        match sent {
+            Ok(()) => outstanding.push_back(n),
+            Err(e) => {
+                fail_lane(&shared, shard, &mut outstanding, n, &e.to_string());
+                conn = None;
+                continue;
+            }
+        }
+        // read acks once the pipeline is full, and always drain fully
+        // when no more input is waiting — an idle lane owes no acks, so
+        // the flush barrier sees settled == enqueued promptly
+        while outstanding.len() >= depth || (rx.is_empty() && !outstanding.is_empty()) {
+            let acked = conn.as_mut().expect("sent over this conn").recv_ack();
+            match acked {
+                Ok(()) => {
+                    let n = outstanding.pop_front().expect("one ack per batch");
+                    lane.settled.fetch_add(n, Ordering::SeqCst);
+                }
+                Err(e) => {
+                    fail_lane(&shared, shard, &mut outstanding, 0, &e.to_string());
+                    conn = None;
+                    break;
+                }
+            }
+        }
+    }
+    // disconnected or shutdown: collect acks still owed
+    if let Some(c) = conn.as_mut() {
+        while !outstanding.is_empty() {
+            match c.recv_ack() {
+                Ok(()) => {
+                    let n = outstanding.pop_front().expect("one ack per batch");
+                    lane.settled.fetch_add(n, Ordering::SeqCst);
+                }
+                Err(e) => {
+                    fail_lane(&shared, shard, &mut outstanding, 0, &e.to_string());
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn ensure_conn(conn: &mut Option<LaneConn>, addr: SocketAddr) -> std::io::Result<&mut LaneConn> {
+    if conn.is_none() {
+        *conn = Some(LaneConn::connect(addr)?);
+    }
+    Ok(conn.as_mut().expect("just connected"))
+}
+
+/// Mark a lane's backend down and settle everything it will never ack:
+/// the batch that failed to send (`pending`) plus every batch in
+/// flight.
+fn fail_lane(
+    shared: &RouterShared,
+    shard: usize,
+    outstanding: &mut VecDeque<u64>,
+    pending: u64,
+    err: &str,
+) {
+    let lost: u64 = pending + outstanding.drain(..).sum::<u64>();
+    if lost > 0 {
+        shared.lanes[shard]
+            .settled
+            .fetch_add(lost, Ordering::SeqCst);
+    }
+    shared.mark_down(shard, err);
+}
+
+fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<RouterShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || handle_connection(stream, addr, shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<RouterShared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    // per-connection backend connections for scatter-gather reads; lazy,
+    // so a connection that only ingests opens none
+    let mut conns = QueryConns::new(shared.lanes.len());
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Err(e) => {
+                shared.metrics.request_errors.inc();
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                }
+            }
+            Ok(request) => {
+                let response = catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(request, &shared, &mut conns, addr)
+                }))
+                .unwrap_or_else(|_| Response::Error {
+                    message: "internal error: request handler panicked".to_string(),
+                });
+                if matches!(response, Response::Error { .. }) {
+                    shared.metrics.request_errors.inc();
+                }
+                response
+            }
+        };
+        let done = matches!(response, Response::Bye);
+        let Ok(body) = serde_json::to_string(&response) else {
+            break;
+        };
+        if writeln!(writer, "{body}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if done || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Per-connection lazy backend connections for the scatter-gather read
+/// path (the write path goes through the shared lanes instead).
+struct QueryConns {
+    conns: Vec<Option<LaneConn>>,
+}
+
+impl QueryConns {
+    fn new(n: usize) -> Self {
+        Self {
+            conns: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    fn ensure(&mut self, shard: usize, addr: SocketAddr) -> std::io::Result<&mut LaneConn> {
+        if self.conns[shard].is_none() {
+            self.conns[shard] = Some(LaneConn::connect(addr)?);
+        }
+        Ok(self.conns[shard].as_mut().expect("just connected"))
+    }
+
+    /// Write `request` to every shard in `mask`, *then* read one
+    /// response from each — backends process concurrently. Results come
+    /// back in shard order; a failed shard yields an `Err` naming it.
+    fn scatter(
+        &mut self,
+        shared: &RouterShared,
+        mask: ShardMask,
+        request: &Request,
+    ) -> Vec<(usize, Result<Response, String>)> {
+        let line = serde_json::to_string(request).expect("requests serialize");
+        let mut results: Vec<(usize, Result<Response, String>)> = Vec::new();
+        let mut sent: Vec<usize> = Vec::new();
+        let n = self.conns.len();
+        for shard in mask_shards(mask).filter(|&s| s < n) {
+            let addr = shared.lanes[shard].addr;
+            match self.ensure(shard, addr).and_then(|c| c.send_line(&line)) {
+                Ok(()) => sent.push(shard),
+                Err(e) => {
+                    self.conns[shard] = None;
+                    results.push((shard, Err(format!("shard {shard} ({addr}): {e}"))));
+                }
+            }
+        }
+        for shard in sent {
+            let addr = shared.lanes[shard].addr;
+            match self.conns[shard].as_mut().expect("sent over it").recv() {
+                Ok(resp) => results.push((shard, Ok(resp))),
+                Err(e) => {
+                    self.conns[shard] = None;
+                    results.push((shard, Err(format!("shard {shard} ({addr}): {e}"))));
+                }
+            }
+        }
+        results.sort_by_key(|(s, _)| *s);
+        results
+    }
+
+    /// Scatter to every backend; any per-shard failure collapses the
+    /// whole request into one error naming each failed shard.
+    fn gather_all(
+        &mut self,
+        shared: &RouterShared,
+        request: &Request,
+    ) -> Result<Vec<(usize, Response)>, String> {
+        let mask = if shared.lanes.len() == MAX_SHARDS {
+            ShardMask::MAX
+        } else {
+            (1u64 << shared.lanes.len()) - 1
+        };
+        let mut out = Vec::new();
+        let mut errors = Vec::new();
+        for (shard, result) in self.scatter(shared, mask, request) {
+            match result {
+                Ok(resp) => out.push((shard, resp)),
+                Err(e) => errors.push(e),
+            }
+        }
+        if errors.is_empty() {
+            Ok(out)
+        } else {
+            Err(errors.join("; "))
+        }
+    }
+}
+
+/// Route one record: bridge decision under the lock, then fan the
+/// record out to its home lane and any replica lanes. Returns the
+/// router's submitted counter after this record.
+fn route_one(shared: &RouterShared, record: Record) -> Result<u64, String> {
+    let fp = RecordFingerprint::of(&record);
+    let route = {
+        let mut bridge = shared.bridge.lock();
+        let route = bridge.route(&record, &fp);
+        shared
+            .metrics
+            .bridged_records
+            .set(bridge.bridged_len() as u64);
+        route
+    };
+    let home = &shared.lanes[route.home];
+    if home.down.load(Ordering::SeqCst) {
+        return Err(format!("shard {} ({}) is down", route.home, home.addr));
+    }
+    let targets: Vec<usize> = route
+        .shards()
+        .filter(|&s| {
+            let up = !shared.lanes[s].down.load(Ordering::SeqCst);
+            if !up {
+                shared.metrics.replicas_dropped.inc();
+            }
+            up
+        })
+        .collect();
+    if targets.is_empty() {
+        // home went down between the check above and the filter
+        return Err(format!("shard {} ({}) is down", route.home, home.addr));
+    }
+    let mut record = Some(record);
+    for (i, &shard) in targets.iter().enumerate() {
+        let lane = &shared.lanes[shard];
+        lane.enqueued.fetch_add(1, Ordering::SeqCst);
+        let copy = if i + 1 == targets.len() {
+            record.take().expect("moved exactly once")
+        } else {
+            record
+                .as_ref()
+                .expect("present until the last target")
+                .clone()
+        };
+        if lane.tx.send(copy).is_err() {
+            lane.settled.fetch_add(1, Ordering::SeqCst);
+            if shard == route.home {
+                return Err("ingest lane closed".to_string());
+            }
+        }
+        if shard != route.home {
+            shared.metrics.replicated.inc();
+        }
+    }
+    Ok(shared.metrics.submitted.inc())
+}
+
+/// Wait until every lane has settled every record routed to it. Lane
+/// workers settle even after a backend death (drain mode), so this
+/// always terminates; a down backend then surfaces as an error.
+fn ingest_barrier(shared: &RouterShared) -> Result<(), String> {
+    loop {
+        let pending = shared
+            .lanes
+            .iter()
+            .any(|l| l.settled.load(Ordering::SeqCst) < l.enqueued.load(Ordering::SeqCst));
+        if !pending {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err("shutting down".to_string());
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    let down: Vec<String> = shared
+        .lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.down.load(Ordering::SeqCst))
+        .map(|(i, l)| format!("shard {i} ({})", l.addr))
+        .collect();
+    if down.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("backend(s) down: {}", down.join(", ")))
+    }
+}
+
+fn err(message: String) -> Response {
+    Response::Error { message }
+}
+
+fn dispatch(
+    request: Request,
+    shared: &RouterShared,
+    conns: &mut QueryConns,
+    addr: SocketAddr,
+) -> Response {
+    match request {
+        Request::Lookup { identifier } => lookup(shared, conns, &identifier),
+        Request::Filter {
+            attribute,
+            min,
+            max,
+            limit,
+        } => {
+            let request = Request::Filter {
+                attribute,
+                min,
+                max,
+                limit,
+            };
+            match gather_entries(shared, conns, &request) {
+                Ok((generation, gathered)) => {
+                    let mut entries = merge_entries(gathered);
+                    entries.truncate(limit.unwrap_or(100));
+                    Response::Entries {
+                        generation,
+                        entries,
+                    }
+                }
+                Err(e) => err(e),
+            }
+        }
+        Request::TopK { attribute, k } => top_k(shared, conns, &attribute, k),
+        Request::Ingest { record } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return err("shutting down".to_string());
+            }
+            match route_one(shared, record) {
+                Ok(submitted) => Response::Ack { submitted },
+                Err(e) => err(e),
+            }
+        }
+        Request::IngestBatch { records } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return err("shutting down".to_string());
+            }
+            shared.metrics.batch_records.record(records.len() as u64);
+            let mut submitted = shared.metrics.submitted.get();
+            for record in records {
+                match route_one(shared, record) {
+                    Ok(s) => submitted = s,
+                    Err(e) => return err(e),
+                }
+            }
+            Response::Ack { submitted }
+        }
+        Request::Flush => {
+            if let Err(e) = ingest_barrier(shared) {
+                return err(e);
+            }
+            match conns.gather_all(shared, &Request::Flush) {
+                Ok(responses) => {
+                    let (mut generation, mut applied) = (0u64, 0u64);
+                    for (shard, resp) in responses {
+                        match resp {
+                            Response::Flushed {
+                                generation: g,
+                                applied: a,
+                            } => {
+                                generation += g;
+                                applied += a;
+                            }
+                            other => {
+                                return err(format!("shard {shard}: unexpected {other:?}"));
+                            }
+                        }
+                    }
+                    Response::Flushed {
+                        generation,
+                        applied,
+                    }
+                }
+                Err(e) => err(e),
+            }
+        }
+        Request::Stats => match conns.gather_all(shared, &Request::Stats) {
+            Ok(responses) => {
+                let mut bodies: Vec<StatsBody> = Vec::with_capacity(responses.len());
+                for (shard, resp) in responses {
+                    match resp {
+                        Response::Stats(body) => bodies.push(body),
+                        other => return err(format!("shard {shard}: unexpected {other:?}")),
+                    }
+                }
+                Response::Stats(merge_stats(&bodies))
+            }
+            Err(e) => err(e),
+        },
+        Request::Metrics => match conns.gather_all(shared, &Request::Metrics) {
+            Ok(responses) => {
+                let mut merged = shared.metrics.registry.snapshot();
+                for (shard, resp) in responses {
+                    match resp {
+                        Response::Metrics(body) => match body.to_snapshot() {
+                            Some(snap) => merged = merged.merge(&snap),
+                            None => {
+                                return err(format!("shard {shard}: malformed metrics body"));
+                            }
+                        },
+                        other => return err(format!("shard {shard}: unexpected {other:?}")),
+                    }
+                }
+                Response::Metrics(MetricsBody::from(merged))
+            }
+            Err(e) => err(e),
+        },
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
+            Response::Bye
+        }
+    }
+}
+
+/// Scatter an entry-listing request to every backend and pool the
+/// returned entries with their shard tags; generation is the fleet sum.
+fn gather_entries(
+    shared: &RouterShared,
+    conns: &mut QueryConns,
+    request: &Request,
+) -> Result<(u64, Vec<(usize, CatalogEntry)>), String> {
+    let mut generation = 0u64;
+    let mut gathered = Vec::new();
+    for (shard, resp) in conns.gather_all(shared, request)? {
+        match resp {
+            Response::Entries {
+                generation: g,
+                entries,
+            } => {
+                generation += g;
+                gathered.extend(entries.into_iter().map(|e| (shard, e)));
+            }
+            other => return Err(format!("shard {shard}: unexpected {other:?}")),
+        }
+    }
+    Ok((generation, gathered))
+}
+
+/// Resolve one identifier: consult the shards the bridge says can hold
+/// it, chase bridge chains to closure, and join what comes back.
+fn lookup(shared: &RouterShared, conns: &mut QueryConns, identifier: &str) -> Response {
+    let norm = normalize_identifier(identifier);
+    let request = Request::Lookup {
+        identifier: identifier.to_string(),
+    };
+    let mut mask = shared.bridge.lock().lookup_shards(identifier);
+    let mut queried: ShardMask = 0;
+    let mut generation = 0u64;
+    let mut gathered: Vec<(usize, CatalogEntry)> = Vec::new();
+    while mask & !queried != 0 {
+        let fresh = mask & !queried;
+        queried |= fresh;
+        for (shard, result) in conns.scatter(shared, fresh, &request) {
+            match result {
+                Ok(Response::Entry {
+                    generation: g,
+                    entry,
+                }) => {
+                    generation += g;
+                    if let Some(e) = entry {
+                        // a bridged identifier in the answer can widen
+                        // the shard set — chase it next round
+                        let bridge = shared.bridge.lock();
+                        for id in &e.identifiers {
+                            if let Some(extra) = bridge.bridged_mask(id) {
+                                mask |= extra;
+                            }
+                        }
+                        gathered.push((shard, e));
+                    }
+                }
+                Ok(other) => return err(format!("shard {shard}: unexpected {other:?}")),
+                Err(e) => return err(e),
+            }
+        }
+    }
+    let merged = merge_entries(gathered);
+    // identifier collisions can leave several merged clusters claiming
+    // the key; prefer the one actually publishing it (deterministic:
+    // merge order is fixed), mirroring the backend's lowest-id rule
+    let entry = if merged.len() <= 1 {
+        merged.into_iter().next()
+    } else {
+        let mut merged = merged;
+        let at = merged
+            .iter()
+            .position(|e| e.identifiers.contains(&norm))
+            .unwrap_or(0);
+        Some(merged.swap_remove(at))
+    };
+    Response::Entry { generation, entry }
+}
+
+/// A deduplicated candidate ranked for the top-k heap: highest fused
+/// magnitude first, ties to the earlier merged entry (deterministic for
+/// any gather order, since merge order is deterministic).
+struct Ranked {
+    magnitude: f64,
+    index: usize,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Ranked {}
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.magnitude
+            .total_cmp(&other.magnitude)
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+/// Global top-k: scatter per-shard top-k, dedup bridged clusters, then
+/// heap-select the k best of the merged candidates. Each shard returns
+/// its own k best, which over-fetches exactly enough — a cluster in the
+/// global top k is in the top k of every shard holding a piece of it.
+fn top_k(shared: &RouterShared, conns: &mut QueryConns, attribute: &str, k: usize) -> Response {
+    let request = Request::TopK {
+        attribute: attribute.to_string(),
+        k,
+    };
+    let (generation, gathered) = match gather_entries(shared, conns, &request) {
+        Ok(x) => x,
+        Err(e) => return err(e),
+    };
+    let merged = merge_entries(gathered);
+    let mut heap: BinaryHeap<Ranked> = merged
+        .iter()
+        .enumerate()
+        .filter_map(|(index, e)| {
+            let magnitude = e.attributes.get(attribute)?.base_magnitude()?;
+            Some(Ranked { magnitude, index })
+        })
+        .collect();
+    let mut picked = Vec::with_capacity(k.min(heap.len()));
+    while picked.len() < k {
+        match heap.pop() {
+            Some(r) => picked.push(r.index),
+            None => break,
+        }
+    }
+    let mut take: Vec<Option<CatalogEntry>> = merged.into_iter().map(Some).collect();
+    let entries = picked
+        .into_iter()
+        .map(|i| take[i].take().expect("heap indices are unique"))
+        .collect();
+    Response::Entries {
+        generation,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::server::{Server, ServerConfig};
+    use bdi_types::{RecordId, SourceId, Value};
+
+    fn rec(s: u32, q: u32, title: &str, ids: &[&str], price: f64) -> Record {
+        let mut r = Record::new(RecordId::new(SourceId(s), q), title);
+        for id in ids {
+            r.identifiers.push((*id).to_string());
+        }
+        r.attributes.insert("price".into(), Value::num(price));
+        r
+    }
+
+    fn fleet(n: usize) -> (Vec<Server>, Router) {
+        let backends: Vec<Server> = (0..n)
+            .map(|_| Server::start(ServerConfig::default()).expect("backend binds"))
+            .collect();
+        let router = Router::start(RouterConfig {
+            backends: backends.iter().map(|s| s.addr().to_string()).collect(),
+            batch: 4,
+            ..RouterConfig::default()
+        })
+        .expect("router binds");
+        (backends, router)
+    }
+
+    #[test]
+    fn routed_fleet_serves_like_one_node() {
+        let (backends, router) = fleet(2);
+        let mut client = Client::connect(router.addr()).unwrap();
+        // enough distinct identifiers that both shards get records
+        let records: Vec<Record> = (0..24u32)
+            .map(|i| {
+                rec(
+                    i % 4,
+                    i / 4,
+                    &format!("Gadget{} model{}", i / 2, i / 2),
+                    &[&format!("XXX-YYY-{:05}", i / 2)],
+                    f64::from(i),
+                )
+            })
+            .collect();
+        for r in records.iter().take(12).cloned() {
+            client.ingest(r).unwrap();
+        }
+        let submitted = client.ingest_batch(records[12..].to_vec()).unwrap();
+        assert_eq!(submitted, 24, "router counts each record once");
+        let (_, applied) = client.flush().unwrap();
+        assert_eq!(applied, 24, "every copy applied across the fleet");
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.submitted, 24, "no bridging needed: no replicas");
+        assert_eq!(stats.records, 24);
+        assert_eq!(stats.products, 12, "each pair fused on one shard");
+
+        // per-shard placement is real: both backends hold something
+        for b in &backends {
+            let mut direct = Client::connect(b.addr()).unwrap();
+            assert!(direct.stats().unwrap().records > 0, "both shards used");
+        }
+
+        // single-shard lookup resolves through the router
+        let entry = client.lookup("xxx-yyy-00003").unwrap().expect("resolves");
+        assert_eq!(entry.pages.len(), 2);
+
+        // scatter-gather top_k sees the global order
+        let top = client.top_k("price", 3).unwrap();
+        assert_eq!(top.len(), 3);
+        let mags: Vec<f64> = top
+            .iter()
+            .map(|e| e.attributes["price"].base_magnitude().unwrap())
+            .collect();
+        assert!(mags[0] >= mags[1] && mags[1] >= mags[2]);
+
+        // filter crosses shards too
+        let within = client.filter("price", Some(10.0), None, None).unwrap();
+        assert!(!within.is_empty());
+
+        // merged metrics carry both router and backend families
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.counters["route.ingest.submitted"], 24);
+        assert_eq!(metrics.counters["serve.ingest.submitted"], 24);
+        assert!(metrics
+            .histograms
+            .contains_key("route.backend.batch_records"));
+
+        drop(client);
+        router.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+    }
+
+    #[test]
+    fn cross_shard_bridge_joins_clusters_on_read() {
+        let (backends, router) = fleet(2);
+        let n = backends.len();
+        // records sharing a *primary* identifier route to the same home,
+        // so the genuinely cross-shard link path is the digit-run match:
+        // two identifiers with the same "00100" core whose full
+        // normalized forms hash to different shards
+        let ida = "CAM-LUM-00100".to_string();
+        let home_a = crate::gen::shard_of(&normalize_identifier(&ida), n);
+        let idb = (b'A'..=b'Z')
+            .flat_map(|c1| {
+                (b'A'..=b'Z')
+                    .map(move |c2| format!("{}{}C-TRI-00100", char::from(c1), char::from(c2)))
+            })
+            .find(|cand| crate::gen::shard_of(&normalize_identifier(cand), n) != home_a)
+            .expect("some prefix hashes to the other shard");
+
+        let mut client = Client::connect(router.addr()).unwrap();
+        client
+            .ingest(rec(0, 0, "Lumetra LX-100 camera", &[&ida], 499.0))
+            .unwrap();
+        // same digit core + corroborating title: scores 0.95 via the
+        // digit-run path, exactly as single-node linkage would — but
+        // only because the bridge replicated it onto ida's shard
+        client
+            .ingest(rec(1, 0, "Lumetra LX-100 camera kit", &[&idb], 549.0))
+            .unwrap();
+        client.flush().unwrap();
+
+        let via_a = client.lookup(&ida).unwrap().expect("cluster via ida");
+        assert_eq!(
+            via_a.pages.len(),
+            2,
+            "digit-core pair fused across the shard boundary"
+        );
+        // idb hashes to the other shard, whose local entry is the lone
+        // replica — the bridge chase pulls in the owning shard's cluster
+        let via_b = client.lookup(&idb).unwrap().expect("cluster via idb");
+        assert_eq!(
+            via_b.pages, via_a.pages,
+            "lookup crosses the shard boundary through the bridge"
+        );
+        assert!(via_b.identifiers.contains(&normalize_identifier(&ida)));
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.submitted, 3, "one replica counted on its shard");
+
+        drop(client);
+        router.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+    }
+
+    #[test]
+    fn dead_backend_is_a_clean_error_not_a_hang() {
+        let (mut backends, router) = fleet(2);
+        let mut client = Client::connect(router.addr()).unwrap();
+        let ids: Vec<String> = (0..8u32).map(|i| format!("WID-GET-{i:05}")).collect();
+        for (i, id) in ids.iter().enumerate() {
+            client
+                .ingest(rec(i as u32, 0, &format!("Widget mk{i}"), &[id], i as f64))
+                .unwrap();
+        }
+        client.flush().unwrap();
+
+        // kill shard 1 in the background. Its accept loop dies at once;
+        // its open connections each close after one more request — which
+        // is exactly how a remote kill looks from the router's side.
+        let victim = backends.remove(1);
+        let killer = std::thread::spawn(move || victim.shutdown());
+
+        // scatter path: polling stats soon fails cleanly, naming the
+        // dead shard — and the router connection survives the error
+        let mut named = None;
+        for _ in 0..200 {
+            match client.stats() {
+                Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+                Err(e) => {
+                    named = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        let named = named.expect("scatter reports the dead shard, no hang");
+        assert!(named.contains("shard 1"), "error names the shard: {named}");
+
+        // ingest path: keep routing until a record homes on the dead
+        // shard; the ack becomes a clean error, and flush's barrier
+        // still terminates (drained, not applied) and reports the death
+        let mut saw_error = false;
+        for i in 100..2000u32 {
+            let r = rec(
+                i,
+                0,
+                &format!("Late widget mk{i}"),
+                &[&format!("LAT-WID-{i:05}")],
+                1.0,
+            );
+            if client.ingest(r).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "some late record homes on the dead shard");
+        let flush = client.flush();
+        assert!(flush.is_err(), "flush reports the dead shard: {flush:?}");
+
+        // the surviving shard keeps answering single-shard lookups
+        let survivor = ids
+            .iter()
+            .find(|id| crate::gen::shard_of(&normalize_identifier(id), 2) == 0)
+            .expect("some identifier homes on shard 0");
+        assert!(
+            client.lookup(survivor).unwrap().is_some(),
+            "surviving shard still serves"
+        );
+
+        drop(client);
+        router.shutdown();
+        killer.join().expect("backend shutdown completes");
+        for b in backends {
+            b.shutdown();
+        }
+    }
+}

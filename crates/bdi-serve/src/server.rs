@@ -86,6 +86,12 @@ pub struct ServerConfig {
     pub refresh_batch: usize,
     /// Identifier-index shards per generation.
     pub shards: usize,
+    /// Engine worker threads for candidate scoring and refresh fan-out
+    /// (0 = one per host core). Purely a throughput knob — results are
+    /// identical at any value. Multi-backend deployments on one host
+    /// (the sharded bench, a local router fleet) set this so backends
+    /// split the cores instead of all oversubscribing them.
+    pub engine_threads: usize,
     /// Records integrated before the server starts accepting.
     pub preload: Vec<Record>,
     /// Write-ahead log + snapshots; `None` serves purely in memory.
@@ -109,6 +115,7 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             refresh_batch: 64,
             shards: 8,
+            engine_threads: 0,
             preload: Vec::new(),
             durability: None,
             slow_ms: None,
@@ -119,8 +126,16 @@ impl Default for ServerConfig {
 }
 
 /// Wire names of every request command, in [`command_slot`] order.
-const COMMAND_KINDS: [&str; 8] = [
-    "lookup", "filter", "top_k", "ingest", "flush", "stats", "metrics", "shutdown",
+const COMMAND_KINDS: [&str; 9] = [
+    "lookup",
+    "filter",
+    "top_k",
+    "ingest",
+    "ingest_batch",
+    "flush",
+    "stats",
+    "metrics",
+    "shutdown",
 ];
 
 /// Index of a command kind in the per-command metric handle arrays.
@@ -144,6 +159,8 @@ pub(crate) struct ServeMetrics {
     request_bytes: [Arc<Histogram>; COMMAND_KINDS.len()],
     /// Unparseable requests plus error responses.
     request_errors: Counter,
+    /// Records per `ingest_batch` request (a size, not a latency).
+    ingest_batch_records: Arc<Histogram>,
     /// Records accepted into the ingest queue.
     submitted: Counter,
     /// Records applied and queryable.
@@ -188,6 +205,7 @@ impl ServeMetrics {
             request_ns,
             request_bytes,
             request_errors: registry.counter("serve.request.errors"),
+            ingest_batch_records: registry.histogram("serve.ingest.batch_records"),
             submitted: registry.counter("serve.ingest.submitted"),
             applied: registry.counter("serve.ingest.applied"),
             rejected: registry.counter("serve.ingest.rejected"),
@@ -248,12 +266,17 @@ impl Server {
             slow_ms: cfg.slow_ms,
         });
 
+        let engine_threads = if cfg.engine_threads == 0 {
+            bdi_linkage::parallel::default_threads()
+        } else {
+            cfg.engine_threads
+        };
         let (mut engine, mut seq, mut durable) = match cfg.durability {
             Some(d) => {
-                let (engine, seq, durable) = recover(d, cfg.threshold, &shared)?;
+                let (engine, seq, durable) = recover(d, cfg.threshold, engine_threads, &shared)?;
                 (engine, seq, Some(durable))
             }
-            None => (Engine::new(cfg.threshold), 0, None),
+            None => (Engine::with_threads(cfg.threshold, engine_threads), 0, None),
         };
         engine.set_metrics(EngineMetrics::register(&registry));
         if seq > 0 || engine.records() > 0 {
@@ -456,11 +479,12 @@ impl DurableLog {
 fn recover(
     cfg: DurabilityConfig,
     threshold: f64,
+    engine_threads: usize,
     shared: &Shared,
 ) -> std::io::Result<(Engine, u64, DurableLog)> {
     let (mut engine, mut seq, covered) = match Snapshot::load(&cfg.data_dir)? {
         Some(snapshot) => snapshot.restore_engine()?,
-        None => (Engine::new(threshold), 0, 0),
+        None => (Engine::with_threads(threshold, engine_threads), 0, 0),
     };
     let opened = Wal::open(&cfg.data_dir)?;
     let mut wal = opened.wal;
@@ -738,6 +762,29 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Record>, addr: Socket
                 },
             }
         }
+        Request::IngestBatch { records } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::Error {
+                    message: "shutting down".to_string(),
+                };
+            }
+            shared
+                .metrics
+                .ingest_batch_records
+                .record(records.len() as u64);
+            // enqueue the whole batch in order; the submitted counter
+            // moves per record so a concurrent flush barriers correctly
+            let mut submitted = shared.metrics.submitted.get();
+            for record in records {
+                if tx.send(record).is_err() {
+                    return Response::Error {
+                        message: "ingest queue closed".to_string(),
+                    };
+                }
+                submitted = shared.metrics.submitted.inc();
+            }
+            Response::Ack { submitted }
+        }
         Request::Flush => {
             let target = shared.metrics.submitted.get();
             while shared.metrics.applied.get() < target {
@@ -861,6 +908,39 @@ mod tests {
         let mut client = Client::connect(server.addr()).unwrap();
         let entry = client.lookup("CAM-LUM-00100").unwrap().expect("preloaded");
         assert_eq!(entry.pages.len(), 2);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ingest_batch_applies_like_single_ingests() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let batch: Vec<Record> = (0..20u32)
+            .map(|i| {
+                rec(
+                    i % 4,
+                    i / 4,
+                    &format!("Gadget{} model{}", i / 2, i / 2),
+                    &format!("XXX-YYY-{:05}", i / 2),
+                    f64::from(i),
+                )
+            })
+            .collect();
+        let submitted = client.ingest_batch(batch).unwrap();
+        assert_eq!(submitted, 20, "one ack covers the whole batch");
+        let (_, applied) = client.flush().unwrap();
+        assert_eq!(applied, 20);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.records, 20);
+        assert_eq!(stats.products, 10, "pairs linked across sources");
+        // the batch-size histogram saw exactly one sample of 20
+        let metrics = client.metrics().unwrap();
+        let h = &metrics.histograms["serve.ingest.batch_records"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 20);
+        // an empty batch is a no-op ack at the current counter
+        assert_eq!(client.ingest_batch(Vec::new()).unwrap(), 20);
         drop(client);
         server.shutdown();
     }

@@ -6,6 +6,7 @@
 //! bdi integrate --seed 42 --entities 300 --sources 20
 //! bdi lookup    --in ./ds --id CAM-LUM-01042
 //! bdi serve     --addr 127.0.0.1:7171 [--seed 42 --entities 300]
+//! bdi route     --addr 127.0.0.1:7070 --backends 127.0.0.1:7171,127.0.0.1:7172
 //! bdi load      --addr 127.0.0.1:7171 [--readers 4] [--max-source-size 60]
 //! bdi stats     --addr 127.0.0.1:7171 [--prometheus]
 //! ```
@@ -16,9 +17,11 @@
 //! quality when ground truth is available); `lookup` integrates and then
 //! resolves one product identifier against the fused catalog; `serve`
 //! runs the live integration daemon (JSON lines over TCP — see
-//! `bdi-serve`); `load` replays a synthetic world against a running
-//! server and reports throughput and latency; `stats` prints a running
-//! server's counters, or its full metrics registry as Prometheus text
+//! `bdi-serve`); `route` runs the router tier, making N backends look
+//! like one server (hash-partitioned ingest, scatter-gather reads);
+//! `load` replays a synthetic world against a running server and
+//! reports throughput and latency; `stats` prints a running server's
+//! counters, or its full metrics registry as Prometheus text
 //! exposition with `--prometheus`.
 
 use bdi::core::report::RunReport;
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "integrate" => cmd_integrate(&opts),
         "lookup" => cmd_lookup(&opts),
         "serve" => cmd_serve(&opts),
+        "route" => cmd_route(&opts),
         "load" => cmd_load(&opts),
         "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
@@ -72,10 +76,12 @@ USAGE:
                 [--fusion vote|truthfinder|accu|accucopy] [--json]
   bdi lookup    (--in DIR | --seed N) --id IDENTIFIER
   bdi serve     [--addr HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
-                [--threshold X] [--queue N] [--shards N]
+                [--threshold X] [--queue N] [--shards N] [--engine-threads N]
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
                 [--metrics-file PATH [--metrics-interval SECS]] [--slow-ms MS]
-  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N]
+  bdi route     --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+                [--threshold X] [--batch N] [--pipeline N] [--queue N]
+  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N]
   bdi stats     [--addr HOST:PORT] [--prometheus]
   bdi help
 
@@ -84,6 +90,15 @@ snapshots; restarting with the same directory recovers the ingested
 state. --sync-interval batches fsyncs (records per fsync, default 64);
 --snapshot-every bounds the WAL tail before compaction (default 4096);
 --no-wal forces purely in-memory serving.
+
+Sharding: bdi route hash-partitions ingest across its --backends (all
+started with the same --threshold) over pipelined, batched connections
+and scatter-gathers reads, so clients talk to one address. --batch sets
+records per backend request (default 64), --pipeline the batches in
+flight per backend (default 4), --queue the per-backend router buffer
+(default 1024). --engine-threads caps one backend's linkage thread pool
+(default 0 = all cores) — set it to cores/backends when packing several
+backends onto one machine.
 
 Observability: --metrics-file atomically rewrites PATH as Prometheus
 text exposition every --metrics-interval seconds (default 5);
@@ -239,6 +254,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         threshold: num(opts, "threshold", 0.9f64)?,
         queue_capacity: num(opts, "queue", 256usize)?,
         shards: num(opts, "shards", 8usize)?,
+        engine_threads: num(opts, "engine-threads", 0usize)?,
         preload,
         durability,
         slow_ms: opts
@@ -266,6 +282,36 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
+    let backends: Vec<String> = opts
+        .get("backends")
+        .ok_or("route needs --backends HOST:PORT,HOST:PORT,...")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let cfg = bdi::serve::RouterConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        backends,
+        threshold: num(opts, "threshold", 0.9f64)?,
+        batch: num(opts, "batch", 64usize)?,
+        pipeline: num(opts, "pipeline", 4usize)?,
+        queue_capacity: num(opts, "queue", 1024usize)?,
+    };
+    let n = cfg.backends.len();
+    let router = bdi::serve::Router::start(cfg).map_err(|e| e.to_string())?;
+    println!(
+        "bdi-route listening on {} over {n} backend{}; send \"shutdown\" to stop",
+        router.addr(),
+        if n == 1 { "" } else { "s" }
+    );
+    router.wait();
+    Ok(())
+}
+
 fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
     let addr = opts
         .get("addr")
@@ -280,6 +326,7 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         sources: num(opts, "sources", 12usize)?,
         max_source_size: num(opts, "max-source-size", 60usize)?,
         readers: num(opts, "readers", 4usize)?,
+        batch: num(opts, "batch", 1usize)?,
     };
     let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;
     println!(
@@ -291,16 +338,22 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         report.ingest_p99_us,
         report.generation
     );
+    if cfg.batch > 1 {
+        println!(
+            "batched: {} records per request (median), per-request p50/p99 above",
+            report.batch_records_p50
+        );
+    }
     println!(
         "{} readers: {} lookups ({:.0}/s), p50 {}us, p99 {}us",
         cfg.readers, report.queries, report.reads_per_sec, report.p50_us, report.p99_us
     );
     println!(
-        "server-side: ingest p50 {}us p99 {}us, lookup p50 {}us p99 {}us",
-        report.server_ingest_p50_us,
-        report.server_ingest_p99_us,
-        report.server_lookup_p50_us,
-        report.server_lookup_p99_us
+        "server-side: ingest p50 {}ns p99 {}ns, lookup p50 {}ns p99 {}ns",
+        report.server_ingest_p50_ns,
+        report.server_ingest_p99_ns,
+        report.server_lookup_p50_ns,
+        report.server_lookup_p99_ns
     );
     Ok(())
 }
