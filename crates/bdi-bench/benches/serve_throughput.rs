@@ -23,6 +23,15 @@
 //!    processes fighting for one pool), against a direct single-backend
 //!    baseline. Aggregate ingest should scale; the 2-shard row is
 //!    accountable to a ≥1.6x speedup.
+//! 6. **fleet failover** — the ingest cost of mirroring every lane
+//!    (R=2 vs R=1 through the router on this host), plus read failover
+//!    latency: a replicated shard's preferred replica is killed under a
+//!    read loop, and the worst lookup in the window — the one that paid
+//!    for error detection, reconnect and re-send — is compared to the
+//!    healthy-path median.
+//! 7. **fleet rebalance** — a live shard split: wall time from the
+//!    `split` request to the routing flip, and the rate at which the
+//!    re-homed slice replayed onto the new backend.
 
 use bdi_bench::bench_json::{num_f, num_u, obj, str_v, update_section};
 use bdi_serve::{
@@ -31,7 +40,7 @@ use bdi_serve::{
 };
 use bdi_synth::{World, WorldConfig};
 use serde_json::Value;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The dense world both the hot-path and refresh sections measure on.
 fn dense() -> LoadConfig {
@@ -68,6 +77,12 @@ fn main() {
     }
     if wants("sharded") {
         sharded_sweep();
+    }
+    if wants("failover") {
+        fleet_failover();
+    }
+    if wants("rebalance") {
+        fleet_rebalance();
     }
 }
 
@@ -454,4 +469,198 @@ fn sharded_sweep() {
             ("rows", Value::Array(rows)),
         ]),
     );
+}
+
+fn fleet_failover() {
+    println!();
+    println!("fleet failover: replication ingest cost and read failover latency");
+
+    // ingest cost of mirroring: the same stream through a 2-shard
+    // router at R=1 and R=2, every backend sharing this host — the R=2
+    // row pays double the apply work, so the ratio is the honest
+    // single-box mirroring cost (N-machine fleets pay wire fan-out only)
+    let cfg = LoadConfig {
+        batch: 64,
+        ..dense()
+    };
+    let shards = 2usize;
+    println!(
+        "{:>9} {:>9} {:>12} {:>8}",
+        "replicas", "records", "ingest r/s", "vs R=1"
+    );
+    let mut rows: Vec<Value> = Vec::new();
+    let mut r1_per_sec = 0.0f64;
+    for replicas in [1usize, 2] {
+        let backends: Vec<Server> = (0..shards * replicas)
+            .map(|_| Server::start(ServerConfig::default()).expect("bind backend"))
+            .collect();
+        let router = Router::start(RouterConfig {
+            backends: backends.iter().map(|s| s.addr().to_string()).collect(),
+            replicas,
+            batch: cfg.batch,
+            ..RouterConfig::default()
+        })
+        .expect("bind router");
+        let report = run_load(router.addr(), &cfg).expect("replicated load run");
+        router.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+        if replicas == 1 {
+            r1_per_sec = report.ingest_per_sec;
+        }
+        let ratio = report.ingest_per_sec / r1_per_sec.max(1e-9);
+        println!(
+            "{replicas:>9} {:>9} {:>12.0} {ratio:>7.2}x",
+            report.records, report.ingest_per_sec
+        );
+        rows.push(obj(&[
+            ("replicas", num_u(replicas as u64)),
+            ("records", num_u(report.records as u64)),
+            ("ingest_per_sec", num_f(report.ingest_per_sec)),
+            ("vs_r1", num_f((ratio * 100.0).round() / 100.0)),
+        ]));
+    }
+
+    // read failover latency: warm a read loop against a 1-shard x 2
+    // replica fleet, kill the preferred replica, keep reading — every
+    // lookup must still succeed, and the worst one in the window is the
+    // one that paid for error detection, reconnect and re-send
+    let world = World::generate(WorldConfig {
+        n_entities: 200,
+        n_sources: 12,
+        ..WorldConfig::tiny(7)
+    });
+    let mut pool: Vec<String> = world
+        .dataset
+        .records()
+        .iter()
+        .filter_map(|r| r.primary_identifier().map(str::to_string))
+        .collect();
+    pool.sort_unstable();
+    pool.dedup();
+    let records = world.dataset.into_records();
+    let mut backends: Vec<Server> = (0..2)
+        .map(|_| Server::start(ServerConfig::default()).expect("bind backend"))
+        .collect();
+    let router = Router::start(RouterConfig {
+        backends: backends.iter().map(|s| s.addr().to_string()).collect(),
+        replicas: 2,
+        batch: 64,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    for chunk in records.chunks(64) {
+        client.ingest_batch(chunk.to_vec()).expect("ingest");
+    }
+    client.flush().expect("flush");
+
+    let lookup_us = |client: &mut Client, i: usize| {
+        let t = Instant::now();
+        client
+            .lookup(&pool[i % pool.len()])
+            .expect("reads keep succeeding under failover");
+        t.elapsed().as_micros() as u64
+    };
+    let mut baseline: Vec<u64> = (0..200).map(|i| lookup_us(&mut client, i)).collect();
+    baseline.sort_unstable();
+    let baseline_p50 = baseline[baseline.len() / 2];
+
+    let victim = backends.remove(0);
+    let killer = std::thread::spawn(move || victim.shutdown());
+    let t0 = Instant::now();
+    let mut worst = 0u64;
+    let mut i = 0usize;
+    while t0.elapsed() < Duration::from_secs(2) {
+        worst = worst.max(lookup_us(&mut client, i));
+        i += 1;
+    }
+    let failovers = client
+        .metrics()
+        .expect("metrics scatter succeeds")
+        .counters
+        .get("route.read.failovers")
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "read failover: healthy p50 {baseline_p50}us, worst lookup while the preferred \
+         replica died {worst}us ({failovers} failover(s), {i} reads, none errored)"
+    );
+    update_section(
+        "fleet_failover",
+        obj(&[
+            ("rows", Value::Array(rows)),
+            ("read_baseline_p50_us", num_u(baseline_p50)),
+            ("read_failover_worst_us", num_u(worst)),
+            ("read_failovers", num_u(failovers)),
+        ]),
+    );
+
+    drop(client);
+    router.shutdown();
+    killer.join().expect("victim shutdown completed");
+    for b in backends {
+        b.shutdown();
+    }
+}
+
+fn fleet_rebalance() {
+    println!();
+    let cfg = LoadConfig {
+        batch: 64,
+        ..dense()
+    };
+    let world = World::generate(WorldConfig {
+        n_entities: cfg.entities,
+        n_sources: cfg.sources,
+        max_source_size: cfg.max_source_size,
+        ..WorldConfig::tiny(cfg.seed)
+    });
+    let records = world.dataset.into_records();
+    let total = records.len();
+    println!("fleet rebalance: live split of a {total}-record shard onto a fresh backend");
+
+    let backend = Server::start(ServerConfig::default()).expect("bind backend");
+    let router = Router::start(RouterConfig {
+        backends: vec![backend.addr().to_string()],
+        batch: cfg.batch,
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    for chunk in records.chunks(cfg.batch) {
+        client.ingest_batch(chunk.to_vec()).expect("ingest");
+    }
+    client.flush().expect("flush");
+
+    // the measured span is the whole rebalance: barrier, snapshot +
+    // WAL-tail shipping from the source, replay of the re-homed slice
+    // onto the fresh backend, and the routing-table flip
+    let fresh = Server::start(ServerConfig::default()).expect("bind fresh backend");
+    let t = Instant::now();
+    let (new_shard, moved) = client
+        .split(0, vec![fresh.addr().to_string()])
+        .expect("split succeeds");
+    let secs = t.elapsed().as_secs_f64();
+    let split_ms = secs * 1e3;
+    let replayed_per_sec = moved as f64 / secs.max(1e-9);
+    println!(
+        "split in {split_ms:.1} ms: {moved}/{total} records re-homed to shard {new_shard} \
+         ({replayed_per_sec:.0} rec/s replayed)"
+    );
+    update_section(
+        "fleet_rebalance",
+        obj(&[
+            ("records", num_u(total as u64)),
+            ("moved", num_u(moved)),
+            ("split_ms", num_f((split_ms * 10.0).round() / 10.0)),
+            ("replayed_per_sec", num_f(replayed_per_sec.round())),
+        ]),
+    );
+
+    drop(client);
+    router.shutdown();
+    backend.shutdown();
+    fresh.shutdown();
 }

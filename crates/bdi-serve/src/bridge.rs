@@ -72,7 +72,7 @@
 //!
 //! [`IdentifierRule`]: bdi_linkage::matcher::IdentifierRule
 
-use crate::gen::shard_of;
+use crate::fleet::RoutingTable;
 use crate::protocol::StatsBody;
 use bdi_core::catalog::CatalogEntry;
 use bdi_linkage::blocking::{normalize_identifier, BlockingKey};
@@ -145,7 +145,9 @@ impl BridgeKeys {
 /// The router-side bridge index: blocking key → shards seen, plus the
 /// identifiers of replicated records (the read-path join keys).
 pub struct BridgeIndex {
-    shards: usize,
+    /// Key → home shard mapping; starts identical to flat hashing and
+    /// absorbs live shard splits (see [`crate::fleet`]).
+    table: RoutingTable,
     /// Blocking key → shards on which a record carrying it was routed.
     keys: HashMap<String, ShardMask>,
     /// Normalized identifier (primary or not) → shards holding a record
@@ -200,7 +202,7 @@ impl BridgeIndex {
             "1..={MAX_SHARDS} shards"
         );
         Self {
-            shards,
+            table: RoutingTable::new(shards),
             keys: HashMap::new(),
             published: HashMap::new(),
             bridged: HashMap::new(),
@@ -208,9 +210,47 @@ impl BridgeIndex {
         }
     }
 
-    /// Number of backends routed over.
+    /// Number of backends routed over (grows by one per [`Self::split`]).
     pub fn shard_count(&self) -> usize {
-        self.shards
+        self.table.len()
+    }
+
+    /// The live routing table — cloneable, so a split can be *previewed*
+    /// (which records would move) before anything is flipped.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Split `shard`'s hash range, returning the new shard's id. The
+    /// routing table moves half of the shard's keyspace to the new id;
+    /// every recorded mask (blocking keys, published identifiers,
+    /// bridged records) that covered the split shard is conservatively
+    /// widened to cover the new shard too. Widening is *correct*, not
+    /// just safe: the split copies the old backend's state onto the new
+    /// backend's half, so pre-split evidence genuinely exists on both —
+    /// replication keyed on it keeps landing wherever the matching
+    /// records live, and lookups keep resolving. Stale copies left on
+    /// the old shard are deduplicated on reads by [`merge_entries`]
+    /// (shared member pages).
+    ///
+    /// Call with the router's record routing stalled (the bridge lock
+    /// held) — the table flip must be atomic with the backend data move.
+    pub fn split(&mut self, shard: usize) -> usize {
+        let new = self.table.split(shard);
+        assert!(new < MAX_SHARDS, "mask representation caps the fleet");
+        let old_bit: ShardMask = 1 << shard;
+        let new_bit: ShardMask = 1 << new;
+        for mask in self
+            .keys
+            .values_mut()
+            .chain(self.published.values_mut())
+            .chain(self.bridged.values_mut())
+        {
+            if *mask & old_bit != 0 {
+                *mask |= new_bit;
+            }
+        }
+        new
     }
 
     /// The key a record routes on: its normalized primary identifier, or
@@ -230,7 +270,7 @@ impl BridgeIndex {
     /// sharing a key, the later-routed one always sees the earlier's
     /// registration.
     pub fn route(&mut self, record: &Record, fp: &RecordFingerprint) -> Route {
-        let home = shard_of(&Self::routing_key(record), self.shards);
+        let home = self.table.home(&Self::routing_key(record));
         let home_bit: ShardMask = 1 << home;
         let mut replicas: ShardMask = 0;
         for k in self.blocking.extract(fp) {
@@ -266,7 +306,7 @@ impl BridgeIndex {
     /// carrying it reached.
     pub fn lookup_shards(&self, identifier: &str) -> ShardMask {
         let norm = normalize_identifier(identifier);
-        let mut mask: ShardMask = 1 << shard_of(&norm, self.shards);
+        let mut mask: ShardMask = 1 << self.table.home(&norm);
         if let Some(holders) = self.published.get(&norm) {
             mask |= holders;
         }
@@ -399,6 +439,7 @@ pub fn merge_stats(gathered: &[StatsBody]) -> StatsBody {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gen::shard_of;
     use bdi_types::{RecordId, SourceId, Value};
     use std::collections::BTreeMap;
 
@@ -654,6 +695,49 @@ mod tests {
         assert_eq!(m.records, 29);
         assert_eq!(m.submitted, 29);
         assert!(!m.durable, "fleet durable only when every backend is");
+    }
+
+    #[test]
+    fn split_widens_masks_and_keeps_lookups_resolving() {
+        let n = 2;
+        let (ida, idb) = split_identifiers(n);
+        let mut b = BridgeIndex::new(n);
+        route(&mut b, &rec(0, 0, "Lumetra LX-100 camera", &[&ida]));
+        route(&mut b, &rec(1, 0, "Orbix O-55 tripod", &[&idb]));
+        route(
+            &mut b,
+            &rec(2, 0, "Lumetra LX-100 with tripod", &[&ida, &idb]),
+        );
+        let pre_a = b.lookup_shards(&ida);
+        let home_a = shard_of(&normalize_identifier(&ida), n);
+
+        let new = b.split(home_a);
+        assert_eq!(new, 2);
+        assert_eq!(b.shard_count(), 3);
+        // every pre-split shard set covering the split shard now covers
+        // the new shard too — a lookup still reaches whichever of the
+        // two now holds the record
+        let widened = b.lookup_shards(&ida);
+        assert_eq!(widened & pre_a, pre_a, "no shard was dropped");
+        assert_ne!(widened & (1 << new), 0, "the new shard is consulted");
+        // identifiers homed on the *unsplit* shard are untouched unless
+        // they were bridged onto the split one
+        let mask_b = b.lookup_shards(&idb);
+        assert_ne!(mask_b & (1 << shard_of(&normalize_identifier(&idb), n)), 0);
+        // future records route through the split table: homes stay in
+        // range and the split shard's keyspace is genuinely divided
+        let mut homes = [0usize; 3];
+        for i in 0..200u32 {
+            let r = rec(
+                3,
+                i,
+                &format!("Probe item {i}"),
+                &[&format!("PRB-ITM-{i:05}")],
+            );
+            let plan = route(&mut b, &r);
+            homes[plan.home] += 1;
+        }
+        assert!(homes[new] > 0, "some new keys home on the split-off shard");
     }
 
     #[test]

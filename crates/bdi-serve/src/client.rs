@@ -2,6 +2,7 @@
 //! load driver, the integration tests, and the `bdi load` subcommand.
 
 use crate::protocol::{MetricsBody, Request, Response, StatsBody};
+use crate::snapshot::Snapshot;
 use bdi_core::catalog::CatalogEntry;
 use bdi_types::Record;
 use std::io::{BufRead, BufReader, Error, ErrorKind, Write};
@@ -146,6 +147,77 @@ impl Client {
     pub fn shutdown(&mut self) -> std::io::Result<()> {
         match self.call(&Request::Shutdown)? {
             Response::Bye => Ok(()),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Version/feature handshake: `(protocol_version, features)`. A
+    /// pre-v2 peer answers `hello` with an error response, which is
+    /// surfaced as an `InvalidData` error here.
+    pub fn hello(&mut self) -> std::io::Result<(u32, Vec<String>)> {
+        match self.call(&Request::Hello)? {
+            Response::Hello { version, features } => Ok((version, features)),
+            Response::Error { message } => Err(bad(format!("peer rejected hello: {message}"))),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Ship a backend's state from absolute position `from`:
+    /// `(position, snapshot, tail)`. Backend-only (routers reject it).
+    pub fn sync(&mut self, from: u64) -> std::io::Result<(u64, Option<Snapshot>, Vec<Record>)> {
+        match self.call(&Request::Sync { from })? {
+            Response::SyncState {
+                position,
+                snapshot,
+                tail,
+            } => Ok((position, snapshot, tail)),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Install shipped state onto a backend, replacing whatever it
+    /// held; returns the installed record count. Backend-only.
+    pub fn restore(
+        &mut self,
+        snapshot: Option<Snapshot>,
+        tail: Vec<Record>,
+        position: u64,
+    ) -> std::io::Result<u64> {
+        match self.call(&Request::Restore {
+            snapshot,
+            tail,
+            position,
+        })? {
+            Response::Restored { records, .. } => Ok(records),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Split `shard`'s hash range onto new backends at `addrs` (one per
+    /// replica); returns `(new_shard, moved_records)`. Router-only.
+    pub fn split(&mut self, shard: usize, addrs: Vec<String>) -> std::io::Result<(usize, u64)> {
+        match self.call(&Request::Split { shard, addrs })? {
+            Response::SplitDone {
+                new_shard, moved, ..
+            } => Ok((new_shard, moved)),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Replace replica `replica` of `shard` with a fresh backend at
+    /// `addr`, bootstrapped over the wire from a live peer; returns the
+    /// record count the replacement was synced to. Router-only.
+    pub fn replace(&mut self, shard: usize, replica: usize, addr: String) -> std::io::Result<u64> {
+        match self.call(&Request::Replace {
+            shard,
+            replica,
+            addr,
+        })? {
+            Response::Replaced { synced, .. } => Ok(synced),
+            Response::Error { message } => Err(bad(message)),
             other => Err(bad(format!("unexpected response: {other:?}"))),
         }
     }

@@ -95,12 +95,21 @@ impl ShardedIndex {
 /// backends — in-process index shards and cross-process backend shards
 /// are the same hash space at different granularities.
 pub fn shard_of(key: &str, shards: usize) -> usize {
+    (fnv64(key) % shards as u64) as usize
+}
+
+/// The raw FNV-1a hash [`shard_of`] reduces. Exposed so the routing
+/// table ([`crate::fleet::RoutingTable`]) can consume the *same* hash at
+/// two granularities — slot (`h % base`) and within-slot chain position
+/// (`h / base`) — and stay bit-compatible with `shard_of` until the
+/// first split.
+pub fn fnv64(key: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in key.as_bytes() {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    (h % shards as u64) as usize
+    h
 }
 
 /// One immutable published snapshot of the integrated catalog.

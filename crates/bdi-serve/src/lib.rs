@@ -45,9 +45,11 @@
 pub mod bridge;
 pub mod client;
 pub mod engine;
+pub mod fleet;
 pub mod gen;
 pub mod load;
 pub mod protocol;
+pub mod replica;
 pub mod router;
 pub mod server;
 pub mod snapshot;
@@ -56,6 +58,7 @@ pub mod wal;
 pub use bridge::BridgeIndex;
 pub use client::Client;
 pub use engine::{Engine, EngineState};
+pub use fleet::RoutingTable;
 pub use gen::{Generation, ShardedIndex, Swap};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use protocol::{MetricsBody, Request, Response, StatsBody};

@@ -101,6 +101,18 @@ pub struct LoadReport {
     /// Server-side 99th-percentile `lookup` handling latency,
     /// nanoseconds.
     pub server_lookup_p99_ns: u64,
+    /// Reads the router re-sent to another replica after an I/O error
+    /// (`route.read.failovers`; 0 against a single backend).
+    pub read_failovers: u64,
+    /// Backend connect attempts the router retried after transient
+    /// failures (`route.backend.retries`).
+    pub backend_retries: u64,
+    /// Record copies the router dropped because a lane was down
+    /// (`route.ingest.replicas_dropped`).
+    pub replicas_dropped: u64,
+    /// Per-lane error counters (`route.shard{s}.replica{r}.errors`),
+    /// name-sorted — non-empty only when lanes actually failed.
+    pub replica_errors: Vec<(String, u64)>,
 }
 
 /// Generate a world and replay it against a running server at `addr`.
@@ -212,6 +224,16 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         "serve.request.ingest_batch.latency_ns"
     };
 
+    // router-tier failure accounting (all-zero against a single backend:
+    // the route.* families simply aren't in the merged registry)
+    let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+    let replica_errors: Vec<(String, u64)> = metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("route.shard") && name.ends_with(".errors"))
+        .map(|(name, v)| (name.clone(), *v))
+        .collect();
+
     Ok(LoadReport {
         records: total,
         ingest_secs,
@@ -229,6 +251,10 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         server_ingest_p99_ns: server_ns(ingest_hist, 0.99),
         server_lookup_p50_ns: server_ns("serve.request.lookup.latency_ns", 0.50),
         server_lookup_p99_ns: server_ns("serve.request.lookup.latency_ns", 0.99),
+        read_failovers: counter("route.read.failovers"),
+        backend_retries: counter("route.backend.retries"),
+        replicas_dropped: counter("route.ingest.replicas_dropped"),
+        replica_errors,
     })
 }
 
@@ -263,6 +289,10 @@ mod tests {
         assert!(report.server_lookup_p99_ns >= report.server_lookup_p50_ns);
         assert_eq!(report.batch_records_p50, 1, "unbatched run");
         assert!(report.generation >= 1);
+        // single backend: no router tier, so no failover accounting
+        assert_eq!(report.read_failovers, 0);
+        assert_eq!(report.backend_retries, 0);
+        assert!(report.replica_errors.is_empty());
         server.shutdown();
     }
 

@@ -10,11 +10,19 @@
 //! "stats"
 //! ```
 
+use crate::snapshot::Snapshot;
 use bdi_core::catalog::CatalogEntry;
 use bdi_obs::{HistogramSnapshot, RegistrySnapshot};
 use bdi_types::Record;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// The protocol generation this build speaks. Bumped to 2 with the
+/// fleet commands (`hello`, `sync`, `restore`, `split`, `replace`);
+/// `hello` lets a router verify the peer's version and feature set up
+/// front instead of discovering a mismatch as an unknown-command error
+/// mid-stream.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// A client request.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -55,6 +63,42 @@ pub enum Request {
     /// Stop accepting connections and drain.
     #[serde(rename = "shutdown")]
     Shutdown,
+    /// Version / feature handshake: answered with [`Response::Hello`]
+    /// by every build that speaks protocol version ≥ 2; older builds
+    /// answer with an `error`, which a caller must treat as a mismatch.
+    #[serde(rename = "hello")]
+    Hello,
+    /// Stream this backend's state from absolute position `from`
+    /// onward: a snapshot + WAL-tail pair sufficient to rebuild a peer
+    /// (answered with [`Response::SyncState`]). Backend-only — the WAL
+    /// shipping half of node replacement and shard splits.
+    #[serde(rename = "sync")]
+    Sync { from: u64 },
+    /// Install shipped state: replace this backend's engine with
+    /// `snapshot` (or a fresh engine when `None`), replay `tail` on
+    /// top, and adopt `position` as the applied record count. Backend-
+    /// only; answered with [`Response::Restored`].
+    #[serde(rename = "restore")]
+    Restore {
+        snapshot: Option<Snapshot>,
+        tail: Vec<Record>,
+        position: u64,
+    },
+    /// Split `shard`'s hash range onto new backends at `addrs` (one per
+    /// replica), moving half of its keyspace with no dropped or
+    /// double-applied records. Router-only; answered with
+    /// [`Response::SplitDone`].
+    #[serde(rename = "split")]
+    Split { shard: usize, addrs: Vec<String> },
+    /// Replace replica `replica` of `shard` with a fresh backend at
+    /// `addr`, bootstrapped from a live peer via `sync`. Router-only;
+    /// answered with [`Response::Replaced`].
+    #[serde(rename = "replace")]
+    Replace {
+        shard: usize,
+        replica: usize,
+        addr: String,
+    },
 }
 
 impl Request {
@@ -71,6 +115,11 @@ impl Request {
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
+            Request::Hello => "hello",
+            Request::Sync { .. } => "sync",
+            Request::Restore { .. } => "restore",
+            Request::Split { .. } => "split",
+            Request::Replace { .. } => "replace",
         }
     }
 }
@@ -108,6 +157,41 @@ pub enum Response {
     /// Shutdown acknowledged.
     #[serde(rename = "bye")]
     Bye,
+    /// Handshake reply: the peer's protocol version and the wire
+    /// features it supports (e.g. `ingest_batch`, `sync`).
+    #[serde(rename = "hello")]
+    Hello { version: u32, features: Vec<String> },
+    /// Shipped state: everything needed to rebuild this backend from
+    /// `position` — a full snapshot when the requested `from` predates
+    /// the WAL (or the backend is in-memory), else just the WAL tail.
+    #[serde(rename = "sync_state")]
+    SyncState {
+        /// Applied record count the shipped state reaches.
+        position: u64,
+        /// Full engine snapshot (`None` for a tail-only delta).
+        snapshot: Option<Snapshot>,
+        /// Records past the snapshot (or past `from`), in apply order.
+        tail: Vec<Record>,
+    },
+    /// Restore installed and published.
+    #[serde(rename = "restored")]
+    Restored { generation: u64, records: u64 },
+    /// Split finished: `new_shard` serves half of `shard`'s former
+    /// range; `moved` records were replayed onto it.
+    #[serde(rename = "split_done")]
+    SplitDone {
+        shard: usize,
+        new_shard: usize,
+        moved: u64,
+    },
+    /// Replica replaced: the new backend was synced to `synced` records
+    /// and swapped into the replica set.
+    #[serde(rename = "replaced")]
+    Replaced {
+        shard: usize,
+        replica: usize,
+        synced: u64,
+    },
 }
 
 /// Counters reported by [`Response::Stats`].
@@ -265,6 +349,17 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
+            Request::Hello,
+            Request::Sync { from: 42 },
+            Request::Split {
+                shard: 1,
+                addrs: vec!["127.0.0.1:7100".into()],
+            },
+            Request::Replace {
+                shard: 0,
+                replica: 1,
+                addr: "127.0.0.1:7101".into(),
+            },
         ];
         for r in reqs {
             let line = serde_json::to_string(&r).unwrap();
@@ -361,6 +456,63 @@ mod tests {
             },
         );
         assert!(body.to_snapshot().is_none());
+    }
+
+    #[test]
+    fn sync_state_round_trips_with_and_without_a_snapshot() {
+        let mut engine = crate::engine::Engine::new(0.9);
+        let mut r = Record::new(RecordId::new(SourceId(0), 0), "Lumetra LX-100");
+        r.identifiers.push("CAM-LUM-00100".into());
+        engine.ingest(r.clone());
+        let snap = Snapshot::capture(&engine, 1);
+
+        for resp in [
+            Response::SyncState {
+                position: 1,
+                snapshot: Some(snap.clone()),
+                tail: vec![],
+            },
+            Response::SyncState {
+                position: 2,
+                snapshot: None,
+                tail: vec![r.clone()],
+            },
+        ] {
+            let line = serde_json::to_string(&resp).unwrap();
+            assert!(!line.contains('\n'), "one response per line");
+            let back: Response = serde_json::from_str(&line).unwrap();
+            let Response::SyncState {
+                position,
+                snapshot,
+                tail,
+            } = back
+            else {
+                panic!("wrong variant")
+            };
+            match snapshot {
+                Some(s) => {
+                    assert_eq!(position, 1);
+                    assert_eq!(s.records, 1);
+                    assert!(tail.is_empty());
+                }
+                None => {
+                    assert_eq!(position, 2);
+                    assert_eq!(tail.len(), 1);
+                    assert_eq!(tail[0].id, r.id);
+                }
+            }
+        }
+
+        let line = serde_json::to_string(&Request::Restore {
+            snapshot: Some(snap),
+            tail: vec![r],
+            position: 2,
+        })
+        .unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        let Request::Restore { position: 2, .. } = back else {
+            panic!("wrong variant")
+        };
     }
 
     #[test]

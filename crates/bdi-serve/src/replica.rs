@@ -1,0 +1,361 @@
+//! The replica lane layer: everything between a routing decision and a
+//! backend's TCP socket.
+//!
+//! The router used to own one lane per backend; with `--replicas R`
+//! each shard owns R lanes, every routed record is mirrored onto all of
+//! them, and reads fail over between them. This module holds the pieces
+//! that are per-*backend* rather than per-shard:
+//!
+//! * [`LaneConn`] — a raw request/response-decoupled connection (writes
+//!   can run ahead of reads for scatter and pipelining), plus the
+//!   version/feature handshake ([`LaneConn::connect_checked`]) and
+//!   bounded-retry connect ([`connect_with_retry`]) that front it.
+//! * [`ReplicaLane`] — the bounded channel handlers route into and the
+//!   `enqueued`/`settled` counters the flush barrier reconciles, one
+//!   per (shard, replica).
+//! * [`ShardState`] — a shard's replica set behind an `RwLock`, so node
+//!   replacement can swap a lane and shard splits can append a shard
+//!   without stopping the world.
+//! * [`lane_worker`] — the thread that drains one lane into pipelined
+//!   `ingest_batch` requests. Workers hold their lane [`Weak`]: when a
+//!   replacement swaps the lane out of the shard's set, the worker
+//!   observes the drop and exits instead of idling forever.
+//!
+//! Connect failures are retried with exponential backoff (transient —
+//! a backend mid-restart); a *handshake* failure is permanent and never
+//! retried; a *write* failure is never retried at all — the protocol
+//! has no request ids, so the router cannot know whether the backend
+//! applied the batch before dying, and resending would risk
+//! double-apply. The lane is marked down instead and the replica is
+//! rebuilt through `replace` (WAL shipping), which restores from an
+//! exact position.
+
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+use crate::router::RouterShared;
+use bdi_obs::Counter;
+use bdi_types::Record;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// One raw backend connection: unlike [`crate::Client`], requests and
+/// responses are decoupled so callers can write to several backends
+/// before reading from any (scatter) or run writes ahead of acks
+/// (pipelining).
+pub(crate) struct LaneConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl LaneConn {
+    pub(crate) fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Connect and run the `hello` handshake: the peer must speak
+    /// exactly [`PROTOCOL_VERSION`] and advertise every feature in
+    /// `required`. A mismatch is `InvalidData` — a *permanent* error
+    /// that [`connect_with_retry`] will not retry, so a mixed-version
+    /// fleet fails fast instead of flapping.
+    pub(crate) fn connect_checked(addr: SocketAddr, required: &[&str]) -> std::io::Result<Self> {
+        let mut conn = Self::connect(addr)?;
+        conn.send(&Request::Hello)?;
+        match conn.recv()? {
+            Response::Hello { version, features } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(invalid(format!(
+                        "protocol mismatch: {addr} speaks v{version}, \
+                         this router speaks v{PROTOCOL_VERSION}"
+                    )));
+                }
+                if let Some(missing) = required
+                    .iter()
+                    .find(|need| !features.iter().any(|have| have == *need))
+                {
+                    return Err(invalid(format!(
+                        "{addr} lacks required feature '{missing}'"
+                    )));
+                }
+                Ok(conn)
+            }
+            // pre-v2 builds answer hello with an error response
+            Response::Error { message } => Err(invalid(format!(
+                "{addr} rejected hello (pre-v{PROTOCOL_VERSION} build?): {message}"
+            ))),
+            other => Err(invalid(format!("{addr} answered hello with {other:?}"))),
+        }
+    }
+
+    pub(crate) fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    pub(crate) fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.send_line(&line)
+    }
+
+    pub(crate) fn recv(&mut self) -> std::io::Result<Response> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backend closed connection",
+            ));
+        }
+        serde_json::from_str(&reply)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Read one response that must be an ingest ack.
+    pub(crate) fn recv_ack(&mut self) -> std::io::Result<()> {
+        match self.recv()? {
+            Response::Ack { .. } => Ok(()),
+            Response::Error { message } => {
+                Err(invalid(format!("backend rejected batch: {message}")))
+            }
+            other => Err(invalid(format!(
+                "unexpected response to ingest_batch: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// [`LaneConn::connect_checked`] behind bounded exponential backoff:
+/// `retries` extra attempts at 10ms, 20ms, 40ms… before the error is
+/// surfaced, each retry counted on `retry_counter`
+/// (`route.backend.retries`). Only *transient* failures retry — a
+/// handshake mismatch (`InvalidData`) is permanent and returns at once.
+pub(crate) fn connect_with_retry(
+    addr: SocketAddr,
+    required: &[&str],
+    retries: u32,
+    retry_counter: &Counter,
+) -> std::io::Result<LaneConn> {
+    let mut attempt = 0u32;
+    loop {
+        match LaneConn::connect_checked(addr, required) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => return Err(e),
+            Err(e) if attempt >= retries => return Err(e),
+            Err(_) => {
+                retry_counter.inc();
+                std::thread::sleep(Duration::from_millis(10u64 << attempt.min(6)));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One backend's ingest lane: the channel handlers route into plus the
+/// counters the flush barrier reconciles.
+pub(crate) struct ReplicaLane {
+    /// Shard this lane serves (stable across replacement).
+    pub(crate) shard: usize,
+    /// Position in the shard's replica set (stable across replacement).
+    pub(crate) replica: usize,
+    pub(crate) addr: SocketAddr,
+    pub(crate) tx: Sender<Record>,
+    /// Records handed to this lane (home copies and bridge replicas).
+    pub(crate) enqueued: AtomicU64,
+    /// Records acked by the backend — or discarded after its death, so
+    /// `settled == enqueued` is always eventually true.
+    pub(crate) settled: AtomicU64,
+    /// Set on the first I/O error; cleared only by `replace`, which
+    /// swaps in a whole new lane.
+    pub(crate) down: AtomicBool,
+}
+
+impl ReplicaLane {
+    pub(crate) fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Records routed here that the backend has not yet acked.
+    pub(crate) fn pending(&self) -> bool {
+        self.settled.load(Ordering::SeqCst) < self.enqueued.load(Ordering::SeqCst)
+    }
+}
+
+/// One shard's replica set. Behind an `RwLock` so `replace` can swap a
+/// single lane while ingest keeps routing through the others.
+pub(crate) struct ShardState {
+    pub(crate) replicas: RwLock<Vec<Arc<ReplicaLane>>>,
+}
+
+impl ShardState {
+    /// Replica addresses in replica order.
+    pub(crate) fn addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.read().iter().map(|l| l.addr).collect()
+    }
+}
+
+/// Create a lane for `(shard, replica)` at `addr` and start its worker
+/// thread (registered on the shared worker list for join-at-shutdown).
+/// The worker holds the lane only weakly: swapping the lane out of its
+/// [`ShardState`] retires the worker.
+pub(crate) fn spawn_lane(
+    shard: usize,
+    replica: usize,
+    addr: SocketAddr,
+    shared: &Arc<RouterShared>,
+) -> Arc<ReplicaLane> {
+    let (tx, rx) = bounded(shared.queue_capacity.max(1));
+    let lane = Arc::new(ReplicaLane {
+        shard,
+        replica,
+        addr,
+        tx,
+        enqueued: AtomicU64::new(0),
+        settled: AtomicU64::new(0),
+        down: AtomicBool::new(false),
+    });
+    let weak = Arc::downgrade(&lane);
+    let worker_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || lane_worker(weak, worker_shared, rx));
+    shared.lane_workers.lock().push(handle);
+    lane
+}
+
+/// One backend's ingest worker: drain the lane channel into pipelined
+/// `ingest_batch` requests. After an I/O error the worker marks the
+/// lane down and keeps draining, settling (discarding) records so flush
+/// barriers always terminate. Exits when the lane is retired (its
+/// [`Weak`] no longer upgrades), the channel disconnects, or shutdown
+/// finds it idle.
+fn lane_worker(lane_ref: Weak<ReplicaLane>, shared: Arc<RouterShared>, rx: Receiver<Record>) {
+    let mut conn: Option<LaneConn> = None;
+    // records per in-flight ingest_batch, oldest first
+    let mut outstanding: VecDeque<u64> = VecDeque::new();
+    loop {
+        // upgrade per iteration: a replaced lane stops being held by its
+        // shard, the upgrade fails, and this worker retires
+        let Some(lane) = lane_ref.upgrade() else {
+            break;
+        };
+        let first = match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if lane.is_down() {
+            // drain mode: settle everything so barriers terminate
+            let mut settled = u64::from(first.is_some());
+            while rx.try_recv().is_ok() {
+                settled += 1;
+            }
+            if settled > 0 {
+                lane.settled.fetch_add(settled, Ordering::SeqCst);
+            }
+            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let Some(first) = first else {
+            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() && outstanding.is_empty() {
+                break;
+            }
+            continue;
+        };
+        let mut records = vec![first];
+        while records.len() < shared.batch {
+            match rx.try_recv() {
+                Ok(r) => records.push(r),
+                Err(_) => break,
+            }
+        }
+        let n = records.len() as u64;
+        shared.metrics.backend_batch_records.record(n);
+        let sent = ensure_conn(&mut conn, &lane, &shared)
+            .and_then(|c| c.send(&Request::IngestBatch { records }));
+        match sent {
+            Ok(()) => outstanding.push_back(n),
+            Err(e) => {
+                fail_lane(&shared, &lane, &mut outstanding, n, &e.to_string());
+                conn = None;
+                continue;
+            }
+        }
+        // read acks once the pipeline is full, and always drain fully
+        // when no more input is waiting — an idle lane owes no acks, so
+        // the flush barrier sees settled == enqueued promptly
+        while outstanding.len() >= shared.depth || (rx.is_empty() && !outstanding.is_empty()) {
+            let acked = conn.as_mut().expect("sent over this conn").recv_ack();
+            match acked {
+                Ok(()) => {
+                    let n = outstanding.pop_front().expect("one ack per batch");
+                    lane.settled.fetch_add(n, Ordering::SeqCst);
+                }
+                Err(e) => {
+                    fail_lane(&shared, &lane, &mut outstanding, 0, &e.to_string());
+                    conn = None;
+                    break;
+                }
+            }
+        }
+    }
+    // disconnected or shutdown: collect acks still owed (skipped when
+    // the lane itself is already retired — nobody reads its counters)
+    if let (Some(c), Some(lane)) = (conn.as_mut(), lane_ref.upgrade()) {
+        while !outstanding.is_empty() {
+            match c.recv_ack() {
+                Ok(()) => {
+                    let n = outstanding.pop_front().expect("one ack per batch");
+                    lane.settled.fetch_add(n, Ordering::SeqCst);
+                }
+                Err(e) => {
+                    fail_lane(&shared, &lane, &mut outstanding, 0, &e.to_string());
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn ensure_conn<'a>(
+    conn: &'a mut Option<LaneConn>,
+    lane: &ReplicaLane,
+    shared: &RouterShared,
+) -> std::io::Result<&'a mut LaneConn> {
+    if conn.is_none() {
+        *conn = Some(connect_with_retry(
+            lane.addr,
+            &["ingest_batch"],
+            shared.retries,
+            &shared.metrics.retries,
+        )?);
+    }
+    Ok(conn.as_mut().expect("just connected"))
+}
+
+/// Mark a lane's backend down and settle everything it will never ack:
+/// the batch that failed to send (`pending`) plus every batch in
+/// flight.
+fn fail_lane(
+    shared: &RouterShared,
+    lane: &ReplicaLane,
+    outstanding: &mut VecDeque<u64>,
+    pending: u64,
+    err: &str,
+) {
+    let lost: u64 = pending + outstanding.drain(..).sum::<u64>();
+    if lost > 0 {
+        lane.settled.fetch_add(lost, Ordering::SeqCst);
+    }
+    shared.mark_down(lane, err);
+}

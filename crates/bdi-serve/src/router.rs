@@ -6,66 +6,77 @@
 //! router and the stream fans out.
 //!
 //! **Write path.** Every ingested record is routed by the FNV-1a hash
-//! of its routing key ([`BridgeIndex::routing_key`]) to a home shard,
-//! widened by the bridge index to any shards holding blocking-key
-//! evidence for it (see [`crate::bridge`]). Records travel to backends
-//! over one long-lived *lane* per backend: a bounded channel drained by
-//! a worker thread that packs records into `ingest_batch` requests and
+//! of its routing key ([`BridgeIndex::routing_key`]) through the
+//! [`crate::fleet::RoutingTable`] to a home shard, widened by the
+//! bridge index to any shards holding blocking-key evidence for it
+//! (see [`crate::bridge`]). With `--replicas R` each shard is R
+//! backends, and the record is mirrored onto every live replica.
+//! Records travel over one long-lived *lane* per replica
+//! ([`crate::replica::ReplicaLane`]): a bounded channel drained by a
+//! worker thread that packs records into `ingest_batch` requests and
 //! **pipelines** them — up to [`RouterConfig::pipeline`] batches are in
-//! flight before the worker stops to read acks, so neither the
-//! per-record round trip nor the per-batch round trip gates aggregate
-//! throughput. Client `ingest`/`ingest_batch` acks mean *accepted and
-//! routed*; `flush` is the delivery barrier — it waits until every lane
-//! has settled every routed record, then flushes each backend.
+//! flight before the worker stops to read acks. Client
+//! `ingest`/`ingest_batch` acks mean *accepted and routed*; `flush` is
+//! the delivery barrier — it waits until every lane has settled every
+//! routed record, then flushes every replica of every shard (each copy
+//! is its own engine) while summing one representative replica per
+//! shard.
 //!
 //! **Read path.** `lookup` consults the shard its identifier hashes to,
-//! widened (and chased to closure) through the bridge index when the
-//! identifier belongs to a replicated record; gathered entries are
-//! joined by [`merge_entries`]. `filter`, `top_k`, `stats` and
-//! `metrics` scatter to every backend — requests are written to all
-//! backend connections before any response is read, so backends work
-//! concurrently — and gather/merge: entries through the shared-page
-//! union-find overlay, top-k through a heap over the deduplicated
-//! candidates, stats through [`merge_stats`], metrics through
-//! `bdi-obs`'s mergeable [`RegistrySnapshot`]s (the router's own
-//! `route.*` registry is merged in alongside the backends' `serve.*`
-//! families).
+//! widened (and chased to closure) through the bridge index; `filter`,
+//! `top_k`, `stats` and `metrics` scatter to every shard and
+//! gather/merge. Each shard is queried on one preferred replica; an
+//! I/O error *fails over* to the next replica in order (reads are
+//! idempotent, so the request is simply re-sent) and only when every
+//! replica of a shard fails does the client see an error naming that
+//! shard. Failovers count on `route.read.failovers`.
 //!
 //! **Failure.** A dead backend never hangs the router: lane workers
-//! mark their backend down on any I/O error and keep draining (so
-//! barriers terminate), and every query that needed the dead shard
-//! answers with an `error` response naming it. Reported `generation`
-//! and `applied` values are fleet sums, monotone per shard.
+//! mark their lane down on any I/O error and keep draining (so barriers
+//! terminate). Writes are never retried — the protocol has no request
+//! ids, so a resend could double-apply; a down replica is instead
+//! rebuilt via `replace` (WAL shipping, see [`crate::fleet`]). A shard
+//! only errors when *all* of its replicas are down.
+//!
+//! **Elasticity.** The `split` and `replace` admin commands
+//! ([`crate::fleet`]) grow the fleet and replace dead replicas live,
+//! under the same bridge-lock barrier the write path routes through.
 //!
 //! [`RegistrySnapshot`]: bdi_obs::RegistrySnapshot
 
 use crate::bridge::{mask_shards, merge_entries, merge_stats, BridgeIndex, ShardMask, MAX_SHARDS};
-use crate::protocol::{MetricsBody, Request, Response, StatsBody};
+use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
+use crate::replica::{spawn_lane, LaneConn, ReplicaLane, ShardState};
 use bdi_core::catalog::CatalogEntry;
 use bdi_linkage::blocking::normalize_identifier;
 use bdi_linkage::fingerprint::RecordFingerprint;
 use bdi_obs::{Counter, Gauge, Histogram, Registry};
 use bdi_types::Record;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-use std::collections::{BinaryHeap, VecDeque};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Wire features this router tier itself advertises on `hello`.
+pub const ROUTER_FEATURES: [&str; 4] = ["ingest_batch", "flush_barrier", "split", "replace"];
 
 /// Router tunables.
 #[derive(Clone, Debug)]
 pub struct RouterConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Backend `bdi serve` addresses, one per shard (1..=64). Shard
-    /// index is position in this list — keep the order stable across
-    /// router restarts or records will re-home.
+    /// Backend `bdi serve` addresses. With `replicas == R`, consecutive
+    /// groups of R addresses form one shard: `backends[s*R..(s+1)*R]`
+    /// are shard `s`'s replicas. Shard index is group position — keep
+    /// the order stable across router restarts or records will re-home.
     pub backends: Vec<String>,
+    /// Replicas per shard (1..). `backends.len()` must divide evenly.
+    pub replicas: usize,
     /// Match threshold the backends were started with. Routing
     /// correctness depends on it: above the title-only score ceiling
     /// the bridge replicates on identifier evidence alone (see
@@ -78,6 +89,9 @@ pub struct RouterConfig {
     pub pipeline: usize,
     /// Buffered records per lane — the router-side backpressure bound.
     pub queue_capacity: usize,
+    /// Extra connect attempts (exponential backoff) before a backend
+    /// that refuses connections is declared dead.
+    pub retries: u32,
 }
 
 impl Default for RouterConfig {
@@ -85,10 +99,12 @@ impl Default for RouterConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             backends: Vec::new(),
+            replicas: 1,
             threshold: 0.9,
             batch: 64,
             pipeline: 4,
             queue_capacity: 1024,
+            retries: 2,
         }
     }
 }
@@ -96,24 +112,35 @@ impl Default for RouterConfig {
 /// Router-side metric handles, resolved once at startup. All names live
 /// under `route.*` so a merged `metrics` response keeps them distinct
 /// from the backends' `serve.*` families.
-struct RouteMetrics {
-    registry: Registry,
-    /// Records routed (counted once each, replicas excluded).
-    submitted: Counter,
-    /// Extra copies sent to non-home shards for bridging.
-    replicated: Counter,
-    /// Replica sends skipped because the target backend was down.
-    replicas_dropped: Counter,
+pub(crate) struct RouteMetrics {
+    pub(crate) registry: Registry,
+    /// Records routed (counted once each, copies excluded).
+    pub(crate) submitted: Counter,
+    /// Extra copies sent to non-home shards for bridging (per shard,
+    /// not per replica — replica mirroring is not bridging).
+    pub(crate) replicated: Counter,
+    /// Record copies skipped because the target lane was down.
+    pub(crate) replicas_dropped: Counter,
     /// Unparseable requests plus error responses.
-    request_errors: Counter,
+    pub(crate) request_errors: Counter,
+    /// Backend connect attempts retried after a transient failure.
+    pub(crate) retries: Counter,
+    /// Reads re-sent to another replica after an I/O error.
+    pub(crate) read_failovers: Counter,
+    /// Records replayed onto new shards by `split`.
+    pub(crate) split_moved: Counter,
     /// Records per client-facing `ingest_batch` request.
-    batch_records: Arc<Histogram>,
+    pub(crate) batch_records: Arc<Histogram>,
     /// Records per `ingest_batch` request sent to a backend lane.
-    backend_batch_records: Arc<Histogram>,
+    pub(crate) backend_batch_records: Arc<Histogram>,
+    /// Wall time of `sync` state transfers (flush + snapshot + tail).
+    pub(crate) sync_ns: Arc<Histogram>,
+    /// Wall time of whole `split` operations (barrier through flip).
+    pub(crate) split_ns: Arc<Histogram>,
     /// Replicated records the bridge currently tracks.
-    bridged_records: Gauge,
-    /// Backends currently marked down.
-    backends_down: Gauge,
+    pub(crate) bridged_records: Gauge,
+    /// Lanes currently marked down.
+    pub(crate) backends_down: Gauge,
 }
 
 impl RouteMetrics {
@@ -123,8 +150,13 @@ impl RouteMetrics {
             replicated: registry.counter("route.ingest.replicated"),
             replicas_dropped: registry.counter("route.ingest.replicas_dropped"),
             request_errors: registry.counter("route.request.errors"),
+            retries: registry.counter("route.backend.retries"),
+            read_failovers: registry.counter("route.read.failovers"),
+            split_moved: registry.counter("route.split.moved_records"),
             batch_records: registry.histogram("route.ingest.batch_records"),
             backend_batch_records: registry.histogram("route.backend.batch_records"),
+            sync_ns: registry.histogram("route.sync.latency_ns"),
+            split_ns: registry.histogram("route.split.latency_ns"),
             bridged_records: registry.gauge("route.bridge.bridged_records"),
             backends_down: registry.gauge("route.backend.down"),
             registry,
@@ -132,43 +164,59 @@ impl RouteMetrics {
     }
 }
 
-/// One backend's ingest lane: the channel handlers route into plus the
-/// counters the flush barrier reconciles.
-struct Lane {
-    addr: SocketAddr,
-    tx: Sender<Record>,
-    /// Records handed to this lane (home copies and replicas).
-    enqueued: AtomicU64,
-    /// Records acked by the backend — or discarded after its death, so
-    /// `settled == enqueued` is always eventually true.
-    settled: AtomicU64,
-    /// Set on the first I/O error; never cleared (backends don't
-    /// rejoin a running router).
-    down: AtomicBool,
-}
-
-/// State shared by connection handlers and lane workers.
-struct RouterShared {
-    lanes: Vec<Lane>,
-    bridge: Mutex<BridgeIndex>,
-    metrics: RouteMetrics,
-    shutdown: AtomicBool,
+/// State shared by connection handlers, lane workers, and the fleet
+/// admin operations. Lock order everywhere: `bridge` → `shards` → a
+/// shard's `replicas`.
+pub(crate) struct RouterShared {
+    /// The fleet: one [`ShardState`] per shard, appended to by `split`.
+    pub(crate) shards: RwLock<Vec<Arc<ShardState>>>,
+    pub(crate) bridge: Mutex<BridgeIndex>,
+    pub(crate) metrics: RouteMetrics,
+    pub(crate) shutdown: AtomicBool,
+    /// Records per backend `ingest_batch`.
+    pub(crate) batch: usize,
+    /// Pipelining depth per lane.
+    pub(crate) depth: usize,
+    /// Bounded-channel capacity per lane.
+    pub(crate) queue_capacity: usize,
+    /// Connect retry budget per attempt.
+    pub(crate) retries: u32,
+    /// Every lane worker ever spawned (split/replace add more), joined
+    /// at shutdown.
+    pub(crate) lane_workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl RouterShared {
-    fn mark_down(&self, shard: usize, err: &str) {
-        if !self.lanes[shard].down.swap(true, Ordering::SeqCst) {
+    /// Record a lane failure: per-replica error counter, one-shot down
+    /// flag, stderr note, and the down gauge.
+    pub(crate) fn mark_down(&self, lane: &ReplicaLane, err: &str) {
+        self.metrics
+            .registry
+            .counter(&format!(
+                "route.shard{}.replica{}.errors",
+                lane.shard, lane.replica
+            ))
+            .inc();
+        if !lane.down.swap(true, Ordering::SeqCst) {
             eprintln!(
-                "bdi-route: shard {shard} ({}) marked down: {err}",
-                self.lanes[shard].addr
+                "bdi-route: shard {} replica {} ({}) marked down: {err}",
+                lane.shard, lane.replica, lane.addr
             );
-            let down = self
-                .lanes
-                .iter()
-                .filter(|l| l.down.load(Ordering::SeqCst))
-                .count();
-            self.metrics.backends_down.set(down as u64);
+            self.refresh_down_gauge();
         }
+    }
+
+    /// Recount `route.backend.down` from the live topology (replacement
+    /// and splits change the denominator, so the gauge is recomputed,
+    /// not incremented).
+    pub(crate) fn refresh_down_gauge(&self) {
+        let down = self
+            .shards
+            .read()
+            .iter()
+            .map(|s| s.replicas.read().iter().filter(|l| l.is_down()).count())
+            .sum::<usize>();
+        self.metrics.backends_down.set(down as u64);
     }
 }
 
@@ -177,7 +225,6 @@ pub struct Router {
     addr: SocketAddr,
     shared: Arc<RouterShared>,
     accept: Option<JoinHandle<()>>,
-    lane_workers: Vec<JoinHandle<()>>,
 }
 
 impl Router {
@@ -185,55 +232,56 @@ impl Router {
     /// connections are opened lazily — a backend that is down at start
     /// surfaces as per-shard errors, not a failed bind.
     pub fn start(cfg: RouterConfig) -> std::io::Result<Router> {
-        if cfg.backends.is_empty() || cfg.backends.len() > MAX_SHARDS {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                format!("need 1..={MAX_SHARDS} backends, got {}", cfg.backends.len()),
-            ));
+        let bad_input = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, m);
+        let replicas = cfg.replicas.max(1);
+        if cfg.backends.is_empty() || !cfg.backends.len().is_multiple_of(replicas) {
+            return Err(bad_input(format!(
+                "{} backend(s) do not form whole shards of {replicas} replica(s)",
+                cfg.backends.len()
+            )));
+        }
+        let shard_count = cfg.backends.len() / replicas;
+        if shard_count == 0 || shard_count > MAX_SHARDS {
+            return Err(bad_input(format!(
+                "need 1..={MAX_SHARDS} shards, got {shard_count}"
+            )));
         }
         let mut addrs = Vec::with_capacity(cfg.backends.len());
         for b in &cfg.backends {
-            let addr = b.to_socket_addrs()?.next().ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidInput,
-                    format!("backend '{b}' resolves to no address"),
-                )
-            })?;
+            let addr = b
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| bad_input(format!("backend '{b}' resolves to no address")))?;
             addrs.push(addr);
         }
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
 
-        let mut lanes = Vec::with_capacity(addrs.len());
-        let mut receivers = Vec::with_capacity(addrs.len());
-        for &backend in &addrs {
-            let (tx, rx) = bounded(cfg.queue_capacity.max(1));
-            lanes.push(Lane {
-                addr: backend,
-                tx,
-                enqueued: AtomicU64::new(0),
-                settled: AtomicU64::new(0),
-                down: AtomicBool::new(false),
-            });
-            receivers.push(rx);
-        }
         let shared = Arc::new(RouterShared {
-            lanes,
-            bridge: Mutex::new(BridgeIndex::for_threshold(addrs.len(), cfg.threshold)),
+            shards: RwLock::new(Vec::new()),
+            bridge: Mutex::new(BridgeIndex::for_threshold(shard_count, cfg.threshold)),
             metrics: RouteMetrics::new(Registry::new()),
             shutdown: AtomicBool::new(false),
+            batch: cfg.batch.max(1),
+            depth: cfg.pipeline.max(1),
+            queue_capacity: cfg.queue_capacity,
+            retries: cfg.retries,
+            lane_workers: Mutex::new(Vec::new()),
         });
-
-        let batch = cfg.batch.max(1);
-        let depth = cfg.pipeline.max(1);
-        let lane_workers = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(shard, rx)| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || lane_worker(shard, shared, rx, batch, depth))
+        let shards: Vec<Arc<ShardState>> = (0..shard_count)
+            .map(|shard| {
+                let lanes = (0..replicas)
+                    .map(|replica| {
+                        spawn_lane(shard, replica, addrs[shard * replicas + replica], &shared)
+                    })
+                    .collect();
+                Arc::new(ShardState {
+                    replicas: RwLock::new(lanes),
+                })
             })
             .collect();
+        *shared.shards.write() = shards;
+
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(listener, addr, shared))
@@ -242,7 +290,6 @@ impl Router {
             addr,
             shared,
             accept: Some(accept),
-            lane_workers,
         })
     }
 
@@ -271,187 +318,11 @@ impl Router {
             let _ = h.join();
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        for h in self.lane_workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> = self.shared.lane_workers.lock().drain(..).collect();
+        for h in workers {
             let _ = h.join();
         }
     }
-}
-
-/// One raw backend connection: unlike [`crate::Client`], requests and
-/// responses are decoupled so callers can write to several backends
-/// before reading from any (scatter) or run writes ahead of acks
-/// (pipelining).
-struct LaneConn {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
-}
-
-impl LaneConn {
-    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader })
-    }
-
-    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()
-    }
-
-    fn send(&mut self, request: &Request) -> std::io::Result<()> {
-        let line = serde_json::to_string(request)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        self.send_line(&line)
-    }
-
-    fn recv(&mut self) -> std::io::Result<Response> {
-        let mut reply = String::new();
-        if self.reader.read_line(&mut reply)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "backend closed connection",
-            ));
-        }
-        serde_json::from_str(&reply)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
-    }
-
-    /// Read one response that must be an ingest ack.
-    fn recv_ack(&mut self) -> std::io::Result<()> {
-        match self.recv()? {
-            Response::Ack { .. } => Ok(()),
-            Response::Error { message } => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("backend rejected batch: {message}"),
-            )),
-            other => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unexpected response to ingest_batch: {other:?}"),
-            )),
-        }
-    }
-}
-
-/// One backend's ingest worker: drain the lane channel into pipelined
-/// `ingest_batch` requests. After an I/O error the worker marks the
-/// backend down and keeps draining the channel, settling (discarding)
-/// records so flush barriers always terminate.
-fn lane_worker(
-    shard: usize,
-    shared: Arc<RouterShared>,
-    rx: Receiver<Record>,
-    batch: usize,
-    depth: usize,
-) {
-    let lane = &shared.lanes[shard];
-    let mut conn: Option<LaneConn> = None;
-    // records per in-flight ingest_batch, oldest first
-    let mut outstanding: VecDeque<u64> = VecDeque::new();
-    loop {
-        let first = match rx.recv_timeout(Duration::from_millis(25)) {
-            Ok(r) => Some(r),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        if lane.down.load(Ordering::SeqCst) {
-            // drain mode: settle everything so barriers terminate
-            let mut settled = u64::from(first.is_some());
-            while rx.try_recv().is_ok() {
-                settled += 1;
-            }
-            if settled > 0 {
-                lane.settled.fetch_add(settled, Ordering::SeqCst);
-            }
-            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
-                break;
-            }
-            continue;
-        }
-        let Some(first) = first else {
-            if shared.shutdown.load(Ordering::SeqCst) && rx.is_empty() && outstanding.is_empty() {
-                break;
-            }
-            continue;
-        };
-        let mut records = vec![first];
-        while records.len() < batch {
-            match rx.try_recv() {
-                Ok(r) => records.push(r),
-                Err(_) => break,
-            }
-        }
-        let n = records.len() as u64;
-        shared.metrics.backend_batch_records.record(n);
-        let sent = ensure_conn(&mut conn, lane.addr)
-            .and_then(|c| c.send(&Request::IngestBatch { records }));
-        match sent {
-            Ok(()) => outstanding.push_back(n),
-            Err(e) => {
-                fail_lane(&shared, shard, &mut outstanding, n, &e.to_string());
-                conn = None;
-                continue;
-            }
-        }
-        // read acks once the pipeline is full, and always drain fully
-        // when no more input is waiting — an idle lane owes no acks, so
-        // the flush barrier sees settled == enqueued promptly
-        while outstanding.len() >= depth || (rx.is_empty() && !outstanding.is_empty()) {
-            let acked = conn.as_mut().expect("sent over this conn").recv_ack();
-            match acked {
-                Ok(()) => {
-                    let n = outstanding.pop_front().expect("one ack per batch");
-                    lane.settled.fetch_add(n, Ordering::SeqCst);
-                }
-                Err(e) => {
-                    fail_lane(&shared, shard, &mut outstanding, 0, &e.to_string());
-                    conn = None;
-                    break;
-                }
-            }
-        }
-    }
-    // disconnected or shutdown: collect acks still owed
-    if let Some(c) = conn.as_mut() {
-        while !outstanding.is_empty() {
-            match c.recv_ack() {
-                Ok(()) => {
-                    let n = outstanding.pop_front().expect("one ack per batch");
-                    lane.settled.fetch_add(n, Ordering::SeqCst);
-                }
-                Err(e) => {
-                    fail_lane(&shared, shard, &mut outstanding, 0, &e.to_string());
-                    break;
-                }
-            }
-        }
-    }
-}
-
-fn ensure_conn(conn: &mut Option<LaneConn>, addr: SocketAddr) -> std::io::Result<&mut LaneConn> {
-    if conn.is_none() {
-        *conn = Some(LaneConn::connect(addr)?);
-    }
-    Ok(conn.as_mut().expect("just connected"))
-}
-
-/// Mark a lane's backend down and settle everything it will never ack:
-/// the batch that failed to send (`pending`) plus every batch in
-/// flight.
-fn fail_lane(
-    shared: &RouterShared,
-    shard: usize,
-    outstanding: &mut VecDeque<u64>,
-    pending: u64,
-    err: &str,
-) {
-    let lost: u64 = pending + outstanding.drain(..).sum::<u64>();
-    if lost > 0 {
-        shared.lanes[shard]
-            .settled
-            .fetch_add(lost, Ordering::SeqCst);
-    }
-    shared.mark_down(shard, err);
 }
 
 fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<RouterShared>) {
@@ -474,7 +345,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<RouterShar
     let reader = BufReader::new(read_half);
     // per-connection backend connections for scatter-gather reads; lazy,
     // so a connection that only ingests opens none
-    let mut conns = QueryConns::new(shared.lanes.len());
+    let mut conns = QueryConns::new();
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -517,28 +388,142 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<RouterShar
 }
 
 /// Per-connection lazy backend connections for the scatter-gather read
-/// path (the write path goes through the shared lanes instead).
+/// path (the write path goes through the shared lanes instead). Keyed
+/// by `(shard, replica)`; each shard remembers the replica that last
+/// answered and fails over in replica order when it stops doing so.
 struct QueryConns {
-    conns: Vec<Option<LaneConn>>,
+    conns: HashMap<(usize, usize), (SocketAddr, LaneConn)>,
+    preferred: HashMap<usize, usize>,
 }
 
 impl QueryConns {
-    fn new(n: usize) -> Self {
+    fn new() -> Self {
         Self {
-            conns: (0..n).map(|_| None).collect(),
+            conns: HashMap::new(),
+            preferred: HashMap::new(),
         }
     }
 
-    fn ensure(&mut self, shard: usize, addr: SocketAddr) -> std::io::Result<&mut LaneConn> {
-        if self.conns[shard].is_none() {
-            self.conns[shard] = Some(LaneConn::connect(addr)?);
+    fn ensure(
+        &mut self,
+        shard: usize,
+        replica: usize,
+        addr: SocketAddr,
+    ) -> std::io::Result<&mut LaneConn> {
+        // a cached connection whose slot was re-pointed by `replace` or
+        // `split` must not be reused: the retired backend may still be
+        // alive and would answer with stale state
+        if self
+            .conns
+            .get(&(shard, replica))
+            .is_some_and(|(cached, _)| *cached != addr)
+        {
+            self.conns.remove(&(shard, replica));
         }
-        Ok(self.conns[shard].as_mut().expect("just connected"))
+        match self.conns.entry((shard, replica)) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(&mut e.into_mut().1),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                Ok(&mut e.insert((addr, LaneConn::connect(addr)?)).1)
+            }
+        }
     }
 
-    /// Write `request` to every shard in `mask`, *then* read one
-    /// response from each — backends process concurrently. Results come
-    /// back in shard order; a failed shard yields an `Err` naming it.
+    fn recv_from(&mut self, shard: usize, replica: usize) -> std::io::Result<Response> {
+        match self.conns.get_mut(&(shard, replica)) {
+            Some((_, c)) => c.recv(),
+            None => Err(std::io::Error::other("connection vanished")),
+        }
+    }
+
+    fn drop_conn(&mut self, shard: usize, replica: usize) {
+        self.conns.remove(&(shard, replica));
+    }
+
+    /// Write `line` to some replica of `shard`, trying the preferred
+    /// replica first and failing over in order. Returns the replica
+    /// index written to.
+    fn send_failover(
+        &mut self,
+        shared: &RouterShared,
+        shard: usize,
+        line: &str,
+    ) -> Result<usize, String> {
+        let replicas = shard_addrs(shared, shard);
+        let k = replicas.len().max(1);
+        let pref = self.preferred.get(&shard).copied().unwrap_or(0) % k;
+        let mut last = format!("shard {shard}: no replicas");
+        for attempt in 0..replicas.len() {
+            let r = (pref + attempt) % k;
+            let addr = replicas[r];
+            match self.ensure(shard, r, addr).and_then(|c| c.send_line(line)) {
+                Ok(()) => {
+                    self.preferred.insert(shard, r);
+                    return Ok(r);
+                }
+                Err(e) => {
+                    self.drop_conn(shard, r);
+                    if attempt + 1 < replicas.len() {
+                        shared.metrics.read_failovers.inc();
+                    }
+                    last = format!("shard {shard} replica {r} ({addr}): {e}");
+                }
+            }
+        }
+        Err(format!("shard {shard}: all replicas failed; last: {last}"))
+    }
+
+    /// Read the response owed by `first` (written by
+    /// [`Self::send_failover`]); on failure, serially re-send to the
+    /// remaining replicas — every read request is idempotent.
+    fn recv_failover(
+        &mut self,
+        shared: &RouterShared,
+        shard: usize,
+        first: usize,
+        line: &str,
+    ) -> Result<Response, String> {
+        let replicas = shard_addrs(shared, shard);
+        let k = replicas.len().max(1);
+        let mut last = match self.recv_from(shard, first) {
+            Ok(resp) => return Ok(resp),
+            Err(e) => {
+                self.drop_conn(shard, first);
+                if replicas.len() > 1 {
+                    shared.metrics.read_failovers.inc();
+                }
+                let addr = replicas.get(first).copied();
+                format!(
+                    "shard {shard} replica {first} ({}): {e}",
+                    addr.map_or_else(|| "?".to_string(), |a| a.to_string())
+                )
+            }
+        };
+        for attempt in 1..replicas.len() {
+            let r = (first + attempt) % k;
+            let addr = replicas[r];
+            let result = self
+                .ensure(shard, r, addr)
+                .and_then(|c| c.send_line(line).and_then(|()| c.recv()));
+            match result {
+                Ok(resp) => {
+                    self.preferred.insert(shard, r);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.drop_conn(shard, r);
+                    if attempt + 1 < replicas.len() {
+                        shared.metrics.read_failovers.inc();
+                    }
+                    last = format!("shard {shard} replica {r} ({addr}): {e}");
+                }
+            }
+        }
+        Err(format!("shard {shard}: all replicas failed; last: {last}"))
+    }
+
+    /// Write `request` to one replica of every shard in `mask`, *then*
+    /// read the responses — backends process concurrently. Results come
+    /// back in shard order; a shard fails only when every replica does.
     fn scatter(
         &mut self,
         shared: &RouterShared,
@@ -546,48 +531,32 @@ impl QueryConns {
         request: &Request,
     ) -> Vec<(usize, Result<Response, String>)> {
         let line = serde_json::to_string(request).expect("requests serialize");
+        let n = shared.shards.read().len();
         let mut results: Vec<(usize, Result<Response, String>)> = Vec::new();
-        let mut sent: Vec<usize> = Vec::new();
-        let n = self.conns.len();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
         for shard in mask_shards(mask).filter(|&s| s < n) {
-            let addr = shared.lanes[shard].addr;
-            match self.ensure(shard, addr).and_then(|c| c.send_line(&line)) {
-                Ok(()) => sent.push(shard),
-                Err(e) => {
-                    self.conns[shard] = None;
-                    results.push((shard, Err(format!("shard {shard} ({addr}): {e}"))));
-                }
+            match self.send_failover(shared, shard, &line) {
+                Ok(replica) => pending.push((shard, replica)),
+                Err(e) => results.push((shard, Err(e))),
             }
         }
-        for shard in sent {
-            let addr = shared.lanes[shard].addr;
-            match self.conns[shard].as_mut().expect("sent over it").recv() {
-                Ok(resp) => results.push((shard, Ok(resp))),
-                Err(e) => {
-                    self.conns[shard] = None;
-                    results.push((shard, Err(format!("shard {shard} ({addr}): {e}"))));
-                }
-            }
+        for (shard, replica) in pending {
+            results.push((shard, self.recv_failover(shared, shard, replica, &line)));
         }
         results.sort_by_key(|(s, _)| *s);
         results
     }
 
-    /// Scatter to every backend; any per-shard failure collapses the
+    /// Scatter to every shard; any per-shard failure collapses the
     /// whole request into one error naming each failed shard.
     fn gather_all(
         &mut self,
         shared: &RouterShared,
         request: &Request,
     ) -> Result<Vec<(usize, Response)>, String> {
-        let mask = if shared.lanes.len() == MAX_SHARDS {
-            ShardMask::MAX
-        } else {
-            (1u64 << shared.lanes.len()) - 1
-        };
         let mut out = Vec::new();
         let mut errors = Vec::new();
-        for (shard, result) in self.scatter(shared, mask, request) {
+        for (shard, result) in self.scatter(shared, all_shards_mask(shared), request) {
             match result {
                 Ok(resp) => out.push((shard, resp)),
                 Err(e) => errors.push(e),
@@ -601,58 +570,74 @@ impl QueryConns {
     }
 }
 
-/// Route one record: bridge decision under the lock, then fan the
-/// record out to its home lane and any replica lanes. Returns the
-/// router's submitted counter after this record.
+/// Addresses of `shard`'s replicas, snapshotted out of the locks so no
+/// lock is held across I/O.
+fn shard_addrs(shared: &RouterShared, shard: usize) -> Vec<SocketAddr> {
+    let shards = shared.shards.read();
+    shards.get(shard).map(|s| s.addrs()).unwrap_or_default()
+}
+
+fn all_shards_mask(shared: &RouterShared) -> ShardMask {
+    let n = shared.shards.read().len();
+    if n >= MAX_SHARDS {
+        ShardMask::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Route one record: bridge decision and per-lane enqueue accounting
+/// under the bridge lock (so a split or replace barrier can never miss
+/// an in-flight record), then the actual channel sends outside every
+/// lock. Returns the router's submitted counter after this record.
 fn route_one(shared: &RouterShared, record: Record) -> Result<u64, String> {
     let fp = RecordFingerprint::of(&record);
-    let route = {
+    let mut lanes: Vec<Arc<ReplicaLane>> = Vec::new();
+    {
         let mut bridge = shared.bridge.lock();
         let route = bridge.route(&record, &fp);
         shared
             .metrics
             .bridged_records
             .set(bridge.bridged_len() as u64);
-        route
-    };
-    let home = &shared.lanes[route.home];
-    if home.down.load(Ordering::SeqCst) {
-        return Err(format!("shard {} ({}) is down", route.home, home.addr));
-    }
-    let targets: Vec<usize> = route
-        .shards()
-        .filter(|&s| {
-            let up = !shared.lanes[s].down.load(Ordering::SeqCst);
-            if !up {
-                shared.metrics.replicas_dropped.inc();
+        let shards = shared.shards.read();
+        // home first (route.shards() yields it first): a fully-down home
+        // errors before anything was enqueued, so nothing needs undoing
+        for shard in route.shards() {
+            let replicas = shards[shard].replicas.read();
+            let before = lanes.len();
+            for lane in replicas.iter() {
+                if lane.is_down() {
+                    shared.metrics.replicas_dropped.inc();
+                    continue;
+                }
+                lane.enqueued.fetch_add(1, Ordering::SeqCst);
+                lanes.push(Arc::clone(lane));
             }
-            up
-        })
-        .collect();
-    if targets.is_empty() {
-        // home went down between the check above and the filter
-        return Err(format!("shard {} ({}) is down", route.home, home.addr));
+            if shard == route.home && lanes.len() == before {
+                let addrs: Vec<String> = replicas.iter().map(|l| l.addr.to_string()).collect();
+                return Err(format!("shard {shard} ({}) is down", addrs.join(", ")));
+            }
+            if shard != route.home && lanes.len() > before {
+                shared.metrics.replicated.inc();
+            }
+        }
     }
+    let last = lanes.len() - 1;
     let mut record = Some(record);
-    for (i, &shard) in targets.iter().enumerate() {
-        let lane = &shared.lanes[shard];
-        lane.enqueued.fetch_add(1, Ordering::SeqCst);
-        let copy = if i + 1 == targets.len() {
+    for (i, lane) in lanes.iter().enumerate() {
+        let copy = if i == last {
             record.take().expect("moved exactly once")
         } else {
             record
                 .as_ref()
-                .expect("present until the last target")
+                .expect("present until the last copy")
                 .clone()
         };
         if lane.tx.send(copy).is_err() {
+            // lane retired mid-flight (replaced): the record was already
+            // shipped to the replacement via sync — just settle the count
             lane.settled.fetch_add(1, Ordering::SeqCst);
-            if shard == route.home {
-                return Err("ingest lane closed".to_string());
-            }
-        }
-        if shard != route.home {
-            shared.metrics.replicated.inc();
         }
     }
     Ok(shared.metrics.submitted.inc())
@@ -660,32 +645,52 @@ fn route_one(shared: &RouterShared, record: Record) -> Result<u64, String> {
 
 /// Wait until every lane has settled every record routed to it. Lane
 /// workers settle even after a backend death (drain mode), so this
-/// always terminates; a down backend then surfaces as an error.
-fn ingest_barrier(shared: &RouterShared) -> Result<(), String> {
+/// always terminates. No health verdict — callers that require live
+/// shards use [`ingest_barrier`].
+pub(crate) fn settle_barrier(shared: &RouterShared) -> Result<(), String> {
     loop {
-        let pending = shared
-            .lanes
-            .iter()
-            .any(|l| l.settled.load(Ordering::SeqCst) < l.enqueued.load(Ordering::SeqCst));
+        let pending = {
+            let shards = shared.shards.read();
+            shards
+                .iter()
+                .any(|s| s.replicas.read().iter().any(|l| l.pending()))
+        };
         if !pending {
-            break;
+            return Ok(());
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             return Err("shutting down".to_string());
         }
         std::thread::sleep(Duration::from_micros(500));
     }
-    let down: Vec<String> = shared
-        .lanes
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| l.down.load(Ordering::SeqCst))
-        .map(|(i, l)| format!("shard {i} ({})", l.addr))
-        .collect();
-    if down.is_empty() {
+}
+
+/// [`settle_barrier`], then fail if any shard lost *all* of its
+/// replicas — records routed there were drained, not applied. A down
+/// replica whose peers survive is not an error: its copies are the
+/// redundancy being spent.
+fn ingest_barrier(shared: &RouterShared) -> Result<(), String> {
+    settle_barrier(shared)?;
+    let dead: Vec<String> = {
+        let shards = shared.shards.read();
+        shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let replicas = s.replicas.read();
+                if replicas.iter().all(|l| l.is_down()) {
+                    let addrs: Vec<String> = replicas.iter().map(|l| l.addr.to_string()).collect();
+                    Some(format!("shard {i} ({})", addrs.join(", ")))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    if dead.is_empty() {
         Ok(())
     } else {
-        Err(format!("backend(s) down: {}", down.join(", ")))
+        Err(format!("backend(s) down: {}", dead.join(", ")))
     }
 }
 
@@ -695,7 +700,7 @@ fn err(message: String) -> Response {
 
 fn dispatch(
     request: Request,
-    shared: &RouterShared,
+    shared: &Arc<RouterShared>,
     conns: &mut QueryConns,
     addr: SocketAddr,
 ) -> Response {
@@ -753,30 +758,7 @@ fn dispatch(
             if let Err(e) = ingest_barrier(shared) {
                 return err(e);
             }
-            match conns.gather_all(shared, &Request::Flush) {
-                Ok(responses) => {
-                    let (mut generation, mut applied) = (0u64, 0u64);
-                    for (shard, resp) in responses {
-                        match resp {
-                            Response::Flushed {
-                                generation: g,
-                                applied: a,
-                            } => {
-                                generation += g;
-                                applied += a;
-                            }
-                            other => {
-                                return err(format!("shard {shard}: unexpected {other:?}"));
-                            }
-                        }
-                    }
-                    Response::Flushed {
-                        generation,
-                        applied,
-                    }
-                }
-                Err(e) => err(e),
-            }
+            flush_fleet(shared, conns)
         }
         Request::Stats => match conns.gather_all(shared, &Request::Stats) {
             Ok(responses) => {
@@ -809,6 +791,20 @@ fn dispatch(
             }
             Err(e) => err(e),
         },
+        Request::Hello => Response::Hello {
+            version: PROTOCOL_VERSION,
+            features: ROUTER_FEATURES.iter().map(|f| (*f).to_string()).collect(),
+        },
+        Request::Sync { .. } | Request::Restore { .. } => err(
+            "backend-only command: issue it against a `bdi serve` backend, not the router"
+                .to_string(),
+        ),
+        Request::Split { shard, addrs } => crate::fleet::split_shard(shared, shard, &addrs),
+        Request::Replace {
+            shard,
+            replica,
+            addr,
+        } => crate::fleet::replace_replica(shared, shard, replica, &addr),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(addr);
@@ -817,7 +813,87 @@ fn dispatch(
     }
 }
 
-/// Scatter an entry-listing request to every backend and pool the
+/// Flush every replica of every shard (each copy is its own engine and
+/// must fold in its queue), summing one representative replica per
+/// shard — summing all copies would multiply the fleet totals by R.
+/// Two-phase like scatter: all writes go out before any read.
+fn flush_fleet(shared: &RouterShared, conns: &mut QueryConns) -> Response {
+    let line = serde_json::to_string(&Request::Flush).expect("requests serialize");
+    let topo: Vec<Vec<SocketAddr>> = {
+        let shards = shared.shards.read();
+        shards.iter().map(|s| s.addrs()).collect()
+    };
+    let mut sent: Vec<(usize, usize, SocketAddr)> = Vec::new();
+    let mut retry: Vec<(usize, usize, SocketAddr)> = Vec::new();
+    for (shard, replicas) in topo.iter().enumerate() {
+        for (replica, &addr) in replicas.iter().enumerate() {
+            match conns
+                .ensure(shard, replica, addr)
+                .and_then(|c| c.send_line(&line))
+            {
+                Ok(()) => sent.push((shard, replica, addr)),
+                Err(_) => {
+                    conns.drop_conn(shard, replica);
+                    retry.push((shard, replica, addr));
+                }
+            }
+        }
+    }
+    let mut per_shard: Vec<Option<(u64, u64)>> = vec![None; topo.len()];
+    for (shard, replica, addr) in sent {
+        match conns.recv_from(shard, replica) {
+            Ok(Response::Flushed {
+                generation,
+                applied,
+            }) => {
+                if per_shard[shard].is_none() {
+                    per_shard[shard] = Some((generation, applied));
+                }
+            }
+            Ok(other) => return err(format!("shard {shard}: unexpected {other:?}")),
+            Err(_) => {
+                conns.drop_conn(shard, replica);
+                retry.push((shard, replica, addr));
+            }
+        }
+    }
+    // one serial second chance on a fresh connection: a failed copy may
+    // just have held a connection that died with a killed or replaced
+    // backend, and every live replica must fold in its queue
+    for (shard, replica, addr) in retry {
+        let result = conns
+            .ensure(shard, replica, addr)
+            .and_then(|c| c.send_line(&line).and_then(|()| c.recv()));
+        match result {
+            Ok(Response::Flushed {
+                generation,
+                applied,
+            }) => {
+                if per_shard[shard].is_none() {
+                    per_shard[shard] = Some((generation, applied));
+                }
+            }
+            Ok(other) => return err(format!("shard {shard}: unexpected {other:?}")),
+            Err(_) => conns.drop_conn(shard, replica),
+        }
+    }
+    let (mut generation, mut applied) = (0u64, 0u64);
+    for (shard, state) in per_shard.iter().enumerate() {
+        match state {
+            Some((g, a)) => {
+                generation += g;
+                applied += a;
+            }
+            None => return err(format!("shard {shard}: no replica completed flush")),
+        }
+    }
+    Response::Flushed {
+        generation,
+        applied,
+    }
+}
+
+/// Scatter an entry-listing request to every shard and pool the
 /// returned entries with their shard tags; generation is the fleet sum.
 fn gather_entries(
     shared: &RouterShared,
@@ -980,11 +1056,16 @@ mod tests {
     }
 
     fn fleet(n: usize) -> (Vec<Server>, Router) {
-        let backends: Vec<Server> = (0..n)
+        fleet_replicated(n, 1)
+    }
+
+    fn fleet_replicated(shards: usize, replicas: usize) -> (Vec<Server>, Router) {
+        let backends: Vec<Server> = (0..shards * replicas)
             .map(|_| Server::start(ServerConfig::default()).expect("backend binds"))
             .collect();
         let router = Router::start(RouterConfig {
             backends: backends.iter().map(|s| s.addr().to_string()).collect(),
+            replicas,
             batch: 4,
             ..RouterConfig::default()
         })
@@ -1051,6 +1132,44 @@ mod tests {
         assert!(metrics
             .histograms
             .contains_key("route.backend.batch_records"));
+
+        drop(client);
+        router.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+    }
+
+    #[test]
+    fn replicas_mirror_every_copy() {
+        let (backends, router) = fleet_replicated(2, 2);
+        let mut client = Client::connect(router.addr()).unwrap();
+        let records: Vec<Record> = (0..16u32)
+            .map(|i| {
+                rec(
+                    i % 4,
+                    i / 4,
+                    &format!("Gadget{} model{}", i / 2, i / 2),
+                    &[&format!("XXX-YYY-{:05}", i / 2)],
+                    f64::from(i),
+                )
+            })
+            .collect();
+        let submitted = client.ingest_batch(records).unwrap();
+        assert_eq!(submitted, 16, "each record still counted once");
+        let (_, applied) = client.flush().unwrap();
+        assert_eq!(applied, 16, "representative replicas sum to the total");
+
+        // both replicas of each shard hold identical record counts
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.records, 16, "merged stats count one copy per shard");
+        for pair in backends.chunks(2) {
+            let counts: Vec<usize> = pair
+                .iter()
+                .map(|b| Client::connect(b.addr()).unwrap().stats().unwrap().records)
+                .collect();
+            assert_eq!(counts[0], counts[1], "replicas mirror the shard's stream");
+        }
 
         drop(client);
         router.shutdown();

@@ -29,7 +29,7 @@
 
 use crate::engine::{Engine, EngineMetrics};
 use crate::gen::{Generation, ShardedIndex, Swap};
-use crate::protocol::{MetricsBody, Request, Response, StatsBody};
+use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
 use crate::snapshot::Snapshot;
 use crate::wal::{Wal, WalMetrics};
 use bdi_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
@@ -126,7 +126,7 @@ impl Default for ServerConfig {
 }
 
 /// Wire names of every request command, in [`command_slot`] order.
-const COMMAND_KINDS: [&str; 9] = [
+const COMMAND_KINDS: [&str; 14] = [
     "lookup",
     "filter",
     "top_k",
@@ -136,7 +136,18 @@ const COMMAND_KINDS: [&str; 9] = [
     "stats",
     "metrics",
     "shutdown",
+    "hello",
+    "sync",
+    "restore",
+    "split",
+    "replace",
 ];
+
+/// The wire features this build advertises in its `hello` reply. A
+/// router checks for the ones it depends on (`ingest_batch` for the
+/// pipelined lanes, `sync` for replacement bootstrap) instead of
+/// discovering their absence as unknown-command errors mid-stream.
+pub const FEATURES: [&str; 4] = ["ingest_batch", "flush_barrier", "sync", "restore"];
 
 /// Index of a command kind in the per-command metric handle arrays.
 fn command_slot(kind: &str) -> usize {
@@ -227,6 +238,29 @@ impl ServeMetrics {
     }
 }
 
+/// One unit of work on the ingest worker's queue. Control jobs
+/// (`sync`, `restore`) ride the same channel as records, so they
+/// observe the queue position they were submitted at: by the time the
+/// worker reaches one, every record enqueued before it has been
+/// appended and applied — which is what makes a `sync` reply a
+/// consistent cut of the stream.
+enum Job {
+    /// One record to append + apply (the ingest hot path).
+    Record(Record),
+    /// Ship a consistent snapshot/tail cut back to the handler.
+    Sync { from: u64, reply: Sender<Response> },
+    /// Install shipped state in place of the current engine.
+    Restore(Box<RestoreJob>),
+}
+
+/// The restore payload (boxed: a full engine snapshot dwarfs a record).
+struct RestoreJob {
+    snapshot: Option<Snapshot>,
+    tail: Vec<Record>,
+    position: u64,
+    reply: Sender<Response>,
+}
+
 /// State shared by handlers and the ingest worker.
 struct Shared {
     current: Swap<Generation>,
@@ -241,7 +275,7 @@ struct Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    ingest_tx: Option<Sender<Record>>,
+    ingest_tx: Option<Sender<Job>>,
     accept: Option<JoinHandle<()>>,
     worker: Option<JoinHandle<()>>,
     metrics_writer: Option<JoinHandle<()>>,
@@ -306,8 +340,12 @@ impl Server {
         let (tx, rx) = bounded(cfg.queue_capacity.max(1));
         let worker = {
             let shared = Arc::clone(&shared);
-            let batch = cfg.refresh_batch.max(1);
-            std::thread::spawn(move || ingest_worker(engine, shared, rx, batch, seq, durable))
+            let opts = WorkerOpts {
+                batch: cfg.refresh_batch.max(1),
+                threshold: cfg.threshold,
+                engine_threads,
+            };
+            std::thread::spawn(move || ingest_worker(engine, shared, rx, seq, durable, opts))
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -561,30 +599,56 @@ fn apply_record(engine: &mut Engine, record: Record, shared: &Shared) {
     }
 }
 
+/// Worker knobs beyond the engine itself: the per-cycle batch bound
+/// plus what a snapshot-less `restore` needs to build a fresh engine.
+struct WorkerOpts {
+    batch: usize,
+    threshold: f64,
+    engine_threads: usize,
+}
+
+fn log_io_error(e: std::io::Error) {
+    // Durability degraded, service continues: surface loudly, and
+    // stats keep reporting the stale synced position.
+    eprintln!("bdi-serve: WAL error (durability degraded): {e}");
+}
+
 fn ingest_worker(
     mut engine: Engine,
     shared: Arc<Shared>,
-    rx: Receiver<Record>,
-    batch: usize,
+    rx: Receiver<Job>,
     mut seq: u64,
     mut durable: Option<DurableLog>,
+    opts: WorkerOpts,
 ) {
-    let log_io_error = |e: std::io::Error| {
-        // Durability degraded, service continues: surface loudly, and
-        // stats keep reporting the stale synced position.
-        eprintln!("bdi-serve: WAL error (durability degraded): {e}");
-    };
-    while let Ok(first) = rx.recv() {
+    while let Ok(job) = rx.recv() {
+        let first = match job {
+            Job::Record(r) => r,
+            control_job => {
+                control(
+                    control_job,
+                    &mut engine,
+                    &mut seq,
+                    &mut durable,
+                    &shared,
+                    &opts,
+                );
+                continue;
+            }
+        };
         let mut n = 1u64;
+        // a control job pulled mid-batch waits until the batch's records
+        // are applied and published — queue order is preserved
+        let mut pending: Option<Job> = None;
         if let Some(log) = &mut durable {
             if let Err(e) = log.append(&first, &shared) {
                 log_io_error(e);
             }
         }
         apply_record(&mut engine, first, &shared);
-        while (n as usize) < batch {
+        while (n as usize) < opts.batch {
             match rx.try_recv() {
-                Ok(r) => {
+                Ok(Job::Record(r)) => {
                     if let Some(log) = &mut durable {
                         if let Err(e) = log.append(&r, &shared) {
                             log_io_error(e);
@@ -592,6 +656,10 @@ fn ingest_worker(
                     }
                     apply_record(&mut engine, r, &shared);
                     n += 1;
+                }
+                Ok(control_job) => {
+                    pending = Some(control_job);
+                    break;
                 }
                 Err(_) => break,
             }
@@ -612,6 +680,9 @@ fn ingest_worker(
                 log_io_error(e);
             }
         }
+        if let Some(job) = pending.take() {
+            control(job, &mut engine, &mut seq, &mut durable, &shared, &opts);
+        }
     }
     // graceful drain: leave a clean snapshot and an empty tail so the
     // next start skips replay entirely
@@ -622,7 +693,126 @@ fn ingest_worker(
     }
 }
 
-fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Record>) {
+/// Handle one control job on the worker thread, where exclusive engine
+/// and WAL access is free. Replies go back through the job's own
+/// channel; a send failure just means the requesting handler went away.
+fn control(
+    job: Job,
+    engine: &mut Engine,
+    seq: &mut u64,
+    durable: &mut Option<DurableLog>,
+    shared: &Shared,
+    opts: &WorkerOpts,
+) {
+    match job {
+        Job::Record(_) => unreachable!("records take the batching path"),
+        Job::Sync { from, reply } => {
+            let response = handle_sync(from, engine, *seq, durable, shared).unwrap_or_else(|e| {
+                Response::Error {
+                    message: format!("sync failed: {e}"),
+                }
+            });
+            let _ = reply.send(response);
+        }
+        Job::Restore(job) => {
+            let RestoreJob {
+                snapshot,
+                tail,
+                position,
+                reply,
+            } = *job;
+            let response =
+                handle_restore(snapshot, tail, position, engine, seq, durable, shared, opts)
+                    .unwrap_or_else(|e| Response::Error {
+                        message: format!("restore failed: {e}"),
+                    });
+            let _ = reply.send(response);
+        }
+    }
+}
+
+/// Build the `sync` reply: a consistent cut of this backend's stream.
+/// With a WAL whose retained window still covers `from`, ship the tail
+/// alone (cheap delta); otherwise — compacted past `from`, or an
+/// in-memory server with no journal at all — ship a full snapshot.
+fn handle_sync(
+    from: u64,
+    engine: &Engine,
+    seq: u64,
+    durable: &mut Option<DurableLog>,
+    shared: &Shared,
+) -> std::io::Result<Response> {
+    if let Some(log) = durable {
+        // everything applied so far must be on disk before it is shipped
+        log.sync(shared)?;
+        if from >= log.wal.base() && from <= log.wal.position() {
+            let tail = crate::wal::replay_from(&log.data_dir, from)?;
+            return Ok(Response::SyncState {
+                position: log.wal.position(),
+                snapshot: None,
+                tail,
+            });
+        }
+    }
+    let snapshot = Snapshot::capture(engine, seq);
+    Ok(Response::SyncState {
+        position: snapshot.records,
+        snapshot: Some(snapshot),
+        tail: Vec::new(),
+    })
+}
+
+/// Install shipped state: rebuild the engine from the snapshot (or
+/// fresh, for a tail-only ship), replay the tail, adopt `position` as
+/// the applied count, and publish. Durable backends reset their journal
+/// to `position` and write a covering snapshot, so a restart recovers
+/// the restored state, not the pre-restore one. Not crash-atomic: a
+/// backend that dies mid-restore must be bootstrapped again.
+#[allow(clippy::too_many_arguments)]
+fn handle_restore(
+    snapshot: Option<Snapshot>,
+    tail: Vec<Record>,
+    position: u64,
+    engine: &mut Engine,
+    seq: &mut u64,
+    durable: &mut Option<DurableLog>,
+    shared: &Shared,
+    opts: &WorkerOpts,
+) -> std::io::Result<Response> {
+    let mut fresh = match snapshot {
+        Some(s) => s.restore_engine()?.0,
+        None => Engine::with_threads(opts.threshold, opts.engine_threads),
+    };
+    fresh.set_metrics(EngineMetrics::register(&shared.metrics.registry));
+    for r in tail {
+        if catch_unwind(AssertUnwindSafe(|| fresh.ingest(r))).is_err() {
+            shared.metrics.rejected.inc();
+        }
+    }
+    *engine = fresh;
+    *seq += 1;
+    publish(shared, engine, *seq);
+    shared.metrics.submitted.store(position);
+    shared.metrics.applied.store(position);
+    if let Some(log) = durable {
+        log.wal.rebase(position)?;
+        let snap = Snapshot::capture(engine, *seq);
+        let covered = snap.records;
+        let took = snap.write_timed(&log.data_dir)?;
+        shared.metrics.snapshot_write_ns.record_duration(took);
+        shared.metrics.snapshot_records.set(covered);
+        shared.metrics.snapshot_generation.set(*seq);
+        shared.metrics.wal_position.set(log.wal.position());
+        shared.metrics.wal_synced.set(log.wal.synced());
+        shared.metrics.wal_tail.set(log.wal.tail_len());
+    }
+    Ok(Response::Restored {
+        generation: *seq,
+        records: engine.records() as u64,
+    })
+}
+
+fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Job>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -634,7 +824,7 @@ fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<Shared>, tx:
     }
 }
 
-fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Record>) {
+fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Job>) {
     // one small JSON line per response: never hold it back for Nagle
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
@@ -703,7 +893,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
     }
 }
 
-fn dispatch(request: Request, shared: &Shared, tx: &Sender<Record>, addr: SocketAddr) -> Response {
+fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) -> Response {
     match request {
         Request::Lookup { identifier } => {
             let current = shared.current.load();
@@ -753,7 +943,7 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Record>, addr: Socket
                     message: "shutting down".to_string(),
                 };
             }
-            match tx.send(record) {
+            match tx.send(Job::Record(record)) {
                 Ok(()) => Response::Ack {
                     submitted: shared.metrics.submitted.inc(),
                 },
@@ -776,7 +966,7 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Record>, addr: Socket
             // moves per record so a concurrent flush barriers correctly
             let mut submitted = shared.metrics.submitted.get();
             for record in records {
-                if tx.send(record).is_err() {
+                if tx.send(Job::Record(record)).is_err() {
                     return Response::Error {
                         message: "ingest queue closed".to_string(),
                     };
@@ -828,6 +1018,45 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Record>, addr: Socket
             let _ = TcpStream::connect(addr);
             Response::Bye
         }
+        Request::Hello => Response::Hello {
+            version: PROTOCOL_VERSION,
+            features: FEATURES.iter().map(|f| (*f).to_string()).collect(),
+        },
+        Request::Sync { from } => {
+            let (reply, reply_rx) = bounded(1);
+            if tx.send(Job::Sync { from, reply }).is_err() {
+                return Response::Error {
+                    message: "ingest queue closed".to_string(),
+                };
+            }
+            reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                message: "sync worker unavailable".to_string(),
+            })
+        }
+        Request::Restore {
+            snapshot,
+            tail,
+            position,
+        } => {
+            let (reply, reply_rx) = bounded(1);
+            let job = Job::Restore(Box::new(RestoreJob {
+                snapshot,
+                tail,
+                position,
+                reply,
+            }));
+            if tx.send(job).is_err() {
+                return Response::Error {
+                    message: "ingest queue closed".to_string(),
+                };
+            }
+            reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                message: "restore worker unavailable".to_string(),
+            })
+        }
+        Request::Split { .. } | Request::Replace { .. } => Response::Error {
+            message: "router-only command: issue it against `bdi route`, not a backend".to_string(),
+        },
     }
 }
 

@@ -26,8 +26,10 @@ pub const SNAPSHOT_FILE: &str = "snapshot.json";
 const SNAPSHOT_TMP: &str = "snapshot.json.tmp";
 
 /// One on-disk snapshot: the engine state plus the positions needed to
-/// splice the WAL tail back on.
-#[derive(Serialize, Deserialize)]
+/// splice the WAL tail back on. Also the unit of WAL shipping — the
+/// `sync` wire command carries one to bootstrap a replacement backend
+/// (hence `Clone`: the wire path serializes a copy).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Generation sequence number published when this state was current.
     pub seq: u64,

@@ -212,6 +212,14 @@ impl Wal {
         Ok(())
     }
 
+    /// Absolute position of the first entry still in the file — the
+    /// oldest position this log can serve a tail from. A `sync` request
+    /// whose `from` predates this must fall back to full-snapshot
+    /// shipping.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
     /// Absolute position one past the last appended entry.
     pub fn position(&self) -> u64 {
         self.next
@@ -280,6 +288,35 @@ impl Wal {
         self.base = through;
         self.next = through + keep.len() as u64;
         self.synced = self.next;
+        Ok(())
+    }
+
+    /// Atomically replace the journal with an empty one based at `at` —
+    /// the restore path's reset. Unlike [`Wal::compact_through`], this
+    /// drops *every* local entry including ones past `at`: shipped
+    /// state supersedes the local history wholesale, and entries beyond
+    /// the shipped position are exactly the ones that must not replay
+    /// on top of it.
+    pub fn rebase(&mut self, at: u64) -> std::io::Result<()> {
+        let tmp = self.dir.join(WAL_TMP);
+        {
+            let mut f = BufWriter::new(File::create(&tmp)?);
+            writeln!(f, "{}", header_line(at))?;
+            f.flush()?;
+            f.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(WAL_FILE))?;
+        sync_dir(&self.dir)?;
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.dir.join(WAL_FILE))?;
+        use std::io::Seek;
+        f.seek(std::io::SeekFrom::End(0))?;
+        self.writer = BufWriter::new(f);
+        self.base = at;
+        self.next = at;
+        self.synced = at;
         Ok(())
     }
 }
@@ -412,5 +449,140 @@ mod tests {
     fn replay_from_missing_dir_is_empty() {
         let dir = tmp_dir("missing");
         assert!(replay_from(&dir, 0).unwrap().is_empty());
+    }
+
+    // The replacement-bootstrap path (`sync` + `restore`) leans on the
+    // WAL behaving at its edges: the four cases below are exactly the
+    // states a donor backend can be in when asked for a tail.
+
+    #[test]
+    fn rebase_drops_everything_even_past_the_base() {
+        let dir = tmp_dir("rebase");
+        let mut wal = Wal::open(&dir).unwrap().wal;
+        for i in 0..6 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        // rebase *below* the head: compact_through would keep entries
+        // 3..6, rebase must not
+        wal.rebase(3).unwrap();
+        assert_eq!(wal.base(), 3);
+        assert_eq!(wal.position(), 3);
+        assert_eq!(wal.tail_len(), 0);
+        assert_eq!(wal.append(&rec(3)).unwrap(), 3);
+        wal.sync().unwrap();
+        drop(wal);
+        let opened = Wal::open(&dir).unwrap();
+        let positions: Vec<u64> = opened.entries.iter().map(|(p, _)| *p).collect();
+        assert_eq!(positions, vec![3], "pre-rebase entries are gone");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_a_fresh_log() {
+        let dir = tmp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(WAL_FILE), b"").unwrap();
+        let opened = Wal::open(&dir).unwrap();
+        assert_eq!(opened.entries.len(), 0);
+        assert_eq!(opened.wal.base(), 0);
+        assert_eq!(opened.wal.position(), 0);
+        // a zero-length file has no intact header, so it is rewritten
+        // as a fresh log and stays appendable
+        let mut wal = opened.wal;
+        assert_eq!(wal.append(&rec(0)).unwrap(), 0);
+        wal.sync().unwrap();
+        let reopened = Wal::open(&dir).unwrap();
+        assert!(!reopened.torn_tail);
+        assert_eq!(reopened.entries.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_only_file_replays_nothing_and_keeps_its_base() {
+        let dir = tmp_dir("header-only");
+        {
+            let mut wal = Wal::open(&dir).unwrap().wal;
+            for i in 0..4 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+            wal.compact_through(4).unwrap(); // empty log, base 4
+        }
+        let opened = Wal::open(&dir).unwrap();
+        assert!(!opened.torn_tail);
+        assert!(opened.entries.is_empty());
+        assert_eq!(opened.wal.base(), 4, "compacted base survives reopen");
+        assert_eq!(opened.wal.position(), 4);
+        assert!(replay_from(&dir, 0).unwrap().is_empty());
+        // appends continue at the re-based position
+        let mut wal = opened.wal;
+        assert_eq!(wal.append(&rec(4)).unwrap(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_exactly_at_a_record_boundary() {
+        let dir = tmp_dir("torn-boundary");
+        {
+            let mut wal = Wal::open(&dir).unwrap().wal;
+            for i in 0..2 {
+                wal.append(&rec(i)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // crash after writing a *complete* JSON record but before its
+        // newline: the line parses, yet it must still count as torn —
+        // the newline is the commit point
+        {
+            use std::io::Write as _;
+            let full = serde_json::to_string(&rec(2)).unwrap();
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(dir.join(WAL_FILE))
+                .unwrap();
+            f.write_all(full.as_bytes()).unwrap();
+        }
+        let opened = Wal::open(&dir).unwrap();
+        assert!(opened.torn_tail, "missing newline means torn");
+        assert_eq!(
+            opened.entries.len(),
+            2,
+            "the unterminated record is not replayed"
+        );
+        // truncation restored the boundary: position 2 is reusable
+        let mut wal = opened.wal;
+        assert_eq!(wal.append(&rec(2)).unwrap(), 2);
+        wal.sync().unwrap();
+        let reopened = Wal::open(&dir).unwrap();
+        assert!(!reopened.torn_tail);
+        assert_eq!(reopened.entries.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_from_mid_file_position() {
+        let dir = tmp_dir("mid-replay");
+        let mut wal = Wal::open(&dir).unwrap().wal;
+        for i in 0..8 {
+            wal.append(&rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let tail = replay_from(&dir, 5).unwrap();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].title, "Gadget5", "tail starts exactly at `from`");
+        assert_eq!(tail[2].title, "Gadget7");
+        assert_eq!(
+            replay_from(&dir, 8).unwrap().len(),
+            0,
+            "from == head is empty"
+        );
+        assert_eq!(
+            replay_from(&dir, 0).unwrap().len(),
+            8,
+            "from 0 is everything"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "route" => cmd_route(&opts),
         "load" => cmd_load(&opts),
         "stats" => cmd_stats(&opts),
+        "admin" => cmd_admin(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -80,9 +81,13 @@ USAGE:
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
                 [--metrics-file PATH [--metrics-interval SECS]] [--slow-ms MS]
   bdi route     --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+                [--replicas N] [--retries N]
                 [--threshold X] [--batch N] [--pipeline N] [--queue N]
   bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N]
   bdi stats     [--addr HOST:PORT] [--prometheus]
+  bdi admin     --addr HOST:PORT (--hello
+                | --split SHARD --backends HOST:PORT,...
+                | --replace SHARD:REPLICA --backend HOST:PORT)
   bdi help
 
 Durability: --data-dir enables the write-ahead log and generation
@@ -100,6 +105,17 @@ flight per backend (default 4), --queue the per-backend router buffer
 (default 0 = all cores) — set it to cores/backends when packing several
 backends onto one machine.
 
+Replication: with --replicas R, consecutive groups of R --backends
+form one shard; ingest mirrors onto every replica and reads fail over
+between them, so losing R-1 replicas of a shard loses nothing.
+--retries sets extra connect attempts (exponential backoff, default 2)
+before a backend is declared dead. bdi admin drives the elastic-fleet
+commands against a running router: --hello prints the protocol
+version/features of any peer, --split replays half of SHARD's keyspace
+onto fresh backends (one per replica) and flips routing live, and
+--replace rebuilds one replica on a fresh backend via WAL shipping
+from a live peer.
+
 Observability: --metrics-file atomically rewrites PATH as Prometheus
 text exposition every --metrics-interval seconds (default 5);
 --slow-ms logs any request slower than MS milliseconds to stderr.
@@ -113,7 +129,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{flag}'"));
         };
-        if key == "json" || key == "no-wal" || key == "prometheus" {
+        if key == "json" || key == "no-wal" || key == "prometheus" || key == "hello" {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -296,17 +312,22 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
             .cloned()
             .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
         backends,
+        replicas: num(opts, "replicas", 1usize)?,
         threshold: num(opts, "threshold", 0.9f64)?,
         batch: num(opts, "batch", 64usize)?,
         pipeline: num(opts, "pipeline", 4usize)?,
         queue_capacity: num(opts, "queue", 1024usize)?,
+        retries: num(opts, "retries", 2u32)?,
     };
     let n = cfg.backends.len();
+    let replicas = cfg.replicas.max(1);
     let router = bdi::serve::Router::start(cfg).map_err(|e| e.to_string())?;
     println!(
-        "bdi-route listening on {} over {n} backend{}; send \"shutdown\" to stop",
+        "bdi-route listening on {} over {} shard{} x {replicas} replica{}; send \"shutdown\" to stop",
         router.addr(),
-        if n == 1 { "" } else { "s" }
+        n / replicas,
+        if n / replicas == 1 { "" } else { "s" },
+        if replicas == 1 { "" } else { "s" }
     );
     router.wait();
     Ok(())
@@ -355,7 +376,77 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         report.server_lookup_p50_ns,
         report.server_lookup_p99_ns
     );
+    if report.read_failovers > 0
+        || report.backend_retries > 0
+        || report.replicas_dropped > 0
+        || !report.replica_errors.is_empty()
+    {
+        println!(
+            "fleet: {} read failover{}, {} connect retr{}, {} copy(ies) dropped on down lanes",
+            report.read_failovers,
+            if report.read_failovers == 1 { "" } else { "s" },
+            report.backend_retries,
+            if report.backend_retries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            report.replicas_dropped
+        );
+        for (lane, errors) in &report.replica_errors {
+            println!("  {lane} = {errors}");
+        }
+    }
     Ok(())
+}
+
+fn cmd_admin(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let mut client = bdi::serve::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+    if opts.contains_key("hello") {
+        let (version, features) = client.hello().map_err(|e| e.to_string())?;
+        println!(
+            "{addr}: protocol v{version}, features: {}",
+            features.join(", ")
+        );
+        return Ok(());
+    }
+    if let Some(shard) = opts.get("split") {
+        let shard: usize = shard
+            .parse()
+            .map_err(|_| format!("--split: cannot parse shard '{shard}'"))?;
+        let backends: Vec<String> = opts
+            .get("backends")
+            .ok_or("--split needs --backends HOST:PORT[,HOST:PORT...] (one per replica)")?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let (new_shard, moved) = client.split(shard, backends).map_err(|e| e.to_string())?;
+        println!("split shard {shard}: shard {new_shard} now serves {moved} replayed record(s)");
+        return Ok(());
+    }
+    if let Some(slot) = opts.get("replace") {
+        let (shard, replica) = slot
+            .split_once(':')
+            .and_then(|(s, r)| Some((s.parse().ok()?, r.parse().ok()?)))
+            .ok_or_else(|| format!("--replace: expected SHARD:REPLICA, got '{slot}'"))?;
+        let backend = opts
+            .get("backend")
+            .ok_or("--replace needs --backend HOST:PORT")?
+            .clone();
+        let synced = client
+            .replace(shard, replica, backend.clone())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "replaced shard {shard} replica {replica} with {backend} ({synced} records synced)"
+        );
+        return Ok(());
+    }
+    Err("admin needs one of --hello, --split, --replace".to_string())
 }
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
