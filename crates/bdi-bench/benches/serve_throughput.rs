@@ -32,14 +32,26 @@
 //! 7. **fleet rebalance** — a live shard split: wall time from the
 //!    `split` request to the routing flip, and the rate at which the
 //!    re-homed slice replayed onto the new backend.
+//! 8. **c10k** — connection scaling of the two front-ends. A `bdi
+//!    serve` child process (its own fd budget) holds 1k and 10k idle
+//!    connections while 1k active connections spin on `lookup`;
+//!    thread-per-connection vs the readiness loop, plus an HTTP/1.1
+//!    keep-alive row through the same readiness front. The readiness
+//!    loop is accountable to matching thread-per-conn throughput
+//!    while holding 10k sockets.
 
 use bdi_bench::bench_json::{num_f, num_u, obj, str_v, update_section};
 use bdi_serve::{
-    run_load, Client, DurabilityConfig, Engine, LoadConfig, Router, RouterConfig, Server,
-    ServerConfig,
+    raise_nofile_limit, run_load, Client, DurabilityConfig, Engine, HttpClient, LoadConfig, Router,
+    RouterConfig, Server, ServerConfig,
 };
 use bdi_synth::{World, WorldConfig};
 use serde_json::Value;
+use std::io::BufRead;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// The dense world both the hot-path and refresh sections measure on.
@@ -83,6 +95,9 @@ fn main() {
     }
     if wants("rebalance") {
         fleet_rebalance();
+    }
+    if wants("c10k") {
+        serve_c10k();
     }
 }
 
@@ -663,4 +678,290 @@ fn fleet_rebalance() {
     router.shutdown();
     backend.shutdown();
     fresh.shutdown();
+}
+
+/// The `bdi` CLI built alongside this bench (`target/<profile>/bdi`);
+/// the c10k section spawns it as a child so the server's 10k sockets
+/// come out of a separate process fd budget from the driver's.
+fn bdi_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.parent()?.join("bdi");
+    bin.exists().then_some(bin)
+}
+
+/// Spawn `bdi serve` on an ephemeral port, parse the bound address out
+/// of the banner, and leave a thread draining the rest of stdout so
+/// the child never blocks on a full pipe.
+fn spawn_front(bin: &PathBuf, threaded: bool) -> (Child, String) {
+    let mut cmd = Command::new(bin);
+    cmd.args(["serve", "--addr", "127.0.0.1:0"]);
+    if threaded {
+        cmd.arg("--threaded");
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bdi serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("read serve banner");
+    let addr = banner
+        .split_whitespace()
+        .nth(3)
+        .expect("address in serve banner")
+        .to_string();
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(lines.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (child, addr)
+}
+
+/// `conns` concurrent connections each spinning on `lookup` for
+/// `window`, released together by a barrier once every socket is up.
+/// Returns (requests, reqs/s, p50 us, p99 us) over the merged window.
+fn drive_lookups(
+    addr: &str,
+    conns: usize,
+    window: Duration,
+    http: bool,
+    pool: &Arc<Vec<String>>,
+) -> (u64, f64, u64, u64) {
+    enum Driver {
+        Wire(Client),
+        Http(HttpClient),
+    }
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let mut handles = Vec::with_capacity(conns);
+    for c in 0..conns {
+        let barrier = Arc::clone(&barrier);
+        let pool = Arc::clone(pool);
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || -> Vec<u64> {
+            // a thundering herd of connects can overflow the listen
+            // backlog; retry instead of failing the whole row — but
+            // bounded, so a server that stopped accepting (fd cap,
+            // wedged accept loop) costs this thread its row, not the
+            // whole bench
+            let connect_deadline = Instant::now() + Duration::from_secs(30);
+            let driver = loop {
+                let attempt = if http {
+                    HttpClient::connect(&addr).map(Driver::Http)
+                } else {
+                    Client::connect(&addr).map(Driver::Wire)
+                };
+                match attempt {
+                    Ok(d) => break Some(d),
+                    Err(_) if Instant::now() < connect_deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break None,
+                }
+            };
+            // a read bound turns a server that accepted us but never
+            // answers (conn parked in the backlog with no handler)
+            // into a terminated row instead of a hang
+            match &driver {
+                Some(Driver::Wire(cl)) => {
+                    let _ = cl.set_read_timeout(Some(Duration::from_secs(5)));
+                }
+                Some(Driver::Http(cl)) => {
+                    let _ = cl.set_read_timeout(Some(Duration::from_secs(5)));
+                }
+                None => {}
+            }
+            barrier.wait();
+            let Some(mut driver) = driver else {
+                return Vec::new();
+            };
+            let deadline = Instant::now() + window;
+            let mut lat = Vec::new();
+            let mut i = c;
+            while Instant::now() < deadline {
+                let id = &pool[i % pool.len()];
+                let t = Instant::now();
+                let ok = match &mut driver {
+                    Driver::Wire(cl) => cl.lookup(id).is_ok(),
+                    Driver::Http(cl) => cl.lookup(id).is_ok(),
+                };
+                if !ok {
+                    break; // timed out or dropped: stop, keep what we got
+                }
+                lat.push(t.elapsed().as_micros() as u64);
+                i += 1;
+            }
+            lat
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut all: Vec<u64> = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("driver thread"));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    all.sort_unstable();
+    let total = all.len() as u64;
+    let per_sec = total as f64 / secs.max(1e-9);
+    let p50 = all.get(all.len() / 2).copied().unwrap_or(0);
+    let p99 = all
+        .get(all.len().saturating_mul(99) / 100)
+        .copied()
+        .unwrap_or(0);
+    (total, per_sec, p50, p99)
+}
+
+fn serve_c10k() {
+    println!();
+    let Some(bin) = bdi_binary() else {
+        println!(
+            "c10k: no `bdi` binary next to the bench executable; run \
+             `cargo build --release` first — skipping section"
+        );
+        return;
+    };
+    const ACTIVE: usize = 1_000;
+    const WINDOW: Duration = Duration::from_secs(2);
+    let tiers = [1_000usize, 10_000];
+    // the driver pays one fd per idle socket plus one per active
+    // connection; leave headroom for the process's own files
+    let budget = raise_nofile_limit((tiers[tiers.len() - 1] + ACTIVE + 2_048) as u64);
+    let idle_cap = (budget as usize).saturating_sub(ACTIVE + 512);
+
+    let world = World::generate(WorldConfig {
+        n_entities: 200,
+        n_sources: 12,
+        ..WorldConfig::tiny(811)
+    });
+    let mut pool: Vec<String> = world
+        .dataset
+        .records()
+        .iter()
+        .filter_map(|r| r.primary_identifier().map(str::to_string))
+        .collect();
+    pool.sort_unstable();
+    pool.dedup();
+    let pool = Arc::new(pool);
+    let records = world.dataset.into_records();
+    println!(
+        "c10k: {} preloaded records, {ACTIVE} active lookup connections for {:.0}s per row, \
+         idle tiers {:?} (driver fd budget {budget})",
+        records.len(),
+        WINDOW.as_secs_f64(),
+        tiers
+    );
+    println!(
+        "{:>10} {:>9} {:>6} {:>8} {:>11} {:>9} {:>9}",
+        "front", "protocol", "idle", "requests", "lookups/s", "p50 us", "p99 us"
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+    let mut throughput = std::collections::BTreeMap::new();
+    let mut run_row = |threaded: bool, idle_target: usize, http: bool| {
+        let front = if threaded { "threaded" } else { "readiness" };
+        let protocol = if http { "http" } else { "json" };
+        let idle_target = idle_target.min(idle_cap);
+        let (child, addr) = spawn_front(&bin, threaded);
+        {
+            let mut client = Client::connect(&addr).expect("connect for preload");
+            for chunk in records.chunks(64) {
+                client.ingest_batch(chunk.to_vec()).expect("preload ingest");
+            }
+            client.flush().expect("preload flush");
+        }
+        let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_target);
+        let open_deadline = Instant::now() + Duration::from_secs(120);
+        while idle.len() < idle_target && Instant::now() < open_deadline {
+            match TcpStream::connect(&addr) {
+                Ok(s) => idle.push(s),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        let idle_held = idle.len();
+        if idle_held < idle_target {
+            println!(
+                "  note: {front} front accepted only {idle_held}/{idle_target} idle \
+                 connections before the open deadline"
+            );
+        }
+        let (requests, per_sec, p50, p99) = drive_lookups(&addr, ACTIVE, WINDOW, http, &pool);
+        drop(idle);
+        // best-effort graceful stop; a server wedged at its fd cap may
+        // not accept this connection, and the kill below covers it
+        let _ = Client::connect(&addr).and_then(|mut c| {
+            c.set_read_timeout(Some(Duration::from_secs(5)))?;
+            c.shutdown()
+        });
+        let mut child = child;
+        for _ in 0..400 {
+            if child.try_wait().expect("poll child").is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        if child.try_wait().expect("poll child").is_none() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        println!(
+            "{front:>10} {protocol:>9} {idle_held:>6} {requests:>8} {per_sec:>11.0} \
+             {p50:>9} {p99:>9}"
+        );
+        throughput.insert((front, protocol, idle_target), per_sec);
+        rows.push(obj(&[
+            ("front", str_v(front)),
+            ("protocol", str_v(protocol)),
+            ("idle_conns", num_u(idle_held as u64)),
+            ("active_conns", num_u(ACTIVE as u64)),
+            ("requests", num_u(requests)),
+            ("lookups_per_sec", num_f(per_sec.round())),
+            ("lookup_p50_us", num_u(p50)),
+            ("lookup_p99_us", num_u(p99)),
+        ]));
+    };
+
+    // the threaded front spends TWO server-side fds per connection
+    // (the stream plus its reader clone), so its top tier is bounded
+    // by the inherited fd limit — drive it at the biggest tier it can
+    // actually hold, and let the readiness loop run the full ladder
+    let threaded_cap = ((budget as usize) / 2).saturating_sub(ACTIVE + 256);
+    for tier in tiers {
+        run_row(true, tier.min(threaded_cap), false);
+    }
+    for tier in tiers {
+        run_row(false, tier, false);
+    }
+    // the gateway row: same readiness front, HTTP/1.1 keep-alive
+    run_row(false, tiers[0], true);
+
+    // acceptance: the readiness loop holding the FULL 10k tier must
+    // sustain at least the thread-per-conn front's best tier
+    let tenk = tiers[1].min(idle_cap);
+    let threaded_best = throughput
+        .iter()
+        .filter(|((front, protocol, _), _)| *front == "threaded" && *protocol == "json")
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max);
+    let readiness_10k = throughput
+        .get(&("readiness", "json", tenk))
+        .copied()
+        .unwrap_or(0.0);
+    if readiness_10k < threaded_best {
+        println!(
+            "WARNING: readiness loop at {tenk} idle conns ({readiness_10k:.0}/s) is below \
+             the thread-per-conn front's best tier ({threaded_best:.0}/s)"
+        );
+    }
+    update_section(
+        "serve_c10k",
+        obj(&[
+            ("active_conns", num_u(ACTIVE as u64)),
+            ("window_secs", num_f(WINDOW.as_secs_f64())),
+            ("rows", Value::Array(rows)),
+        ]),
+    );
 }

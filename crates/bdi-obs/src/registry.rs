@@ -64,6 +64,24 @@ impl Gauge {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::SeqCst)
     }
+
+    /// Add 1. For gauges tracking a live population (open connections)
+    /// rather than mirroring a value computed elsewhere.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Subtract 1, saturating at zero (a double-decrement bug should
+    /// read as an empty population, not 2^64).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
 }
 
 /// A named collection of metrics. Cheap to clone (`Arc` inside); a

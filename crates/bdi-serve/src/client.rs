@@ -1,12 +1,15 @@
-//! A small blocking client for the JSON-lines protocol — used by the
-//! load driver, the integration tests, and the `bdi load` subcommand.
+//! Small blocking clients for both wire surfaces: [`Client`] for the
+//! JSON-lines protocol and [`HttpClient`] for the HTTP/1.1 gateway —
+//! used by the load driver, the integration tests, and the `bdi load`
+//! subcommand.
 
 use crate::protocol::{MetricsBody, Request, Response, StatsBody};
 use crate::snapshot::Snapshot;
 use bdi_core::catalog::CatalogEntry;
 use bdi_types::Record;
-use std::io::{BufRead, BufReader, Error, ErrorKind, Write};
+use std::io::{BufRead, BufReader, Error, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One connection to a running [`crate::Server`].
 pub struct Client {
@@ -27,6 +30,14 @@ impl Client {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self { writer, reader })
+    }
+
+    /// Bound every future read on this connection, so a wedged or
+    /// overloaded server surfaces as a [`ErrorKind::WouldBlock`] /
+    /// [`ErrorKind::TimedOut`] error instead of hanging the caller.
+    /// `None` removes the bound.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Send one request, read one response.
@@ -218,6 +229,222 @@ impl Client {
         })? {
             Response::Replaced { synced, .. } => Ok(synced),
             Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+}
+
+/// One keep-alive connection to the HTTP/1.1 gateway — the same server
+/// and port as [`Client`] (the front-end sniffs the protocol). Just
+/// enough HTTP for the load driver, the integration tests, and the CI
+/// smoke: `Content-Length` framing, no chunking, no redirects.
+///
+/// Success bodies are the wire response objects (see
+/// `docs/HTTP_API.md`), so the typed helpers parse them with the same
+/// serde types the JSON-lines client uses.
+pub struct HttpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// The server announced `Connection: close` on the last response;
+    /// further calls would read from a dead socket.
+    closed: bool,
+}
+
+impl HttpClient {
+    /// Connect to a server (or router) address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            writer,
+            reader,
+            closed: false,
+        })
+    }
+
+    /// Bound every future read on this connection (`None` removes the
+    /// bound); see [`Client::set_read_timeout`].
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// `GET path` → `(status, body)`. The connection stays usable
+    /// across calls (keep-alive) until the server closes it.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body → `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        if self.closed {
+            return Err(Error::new(
+                ErrorKind::NotConnected,
+                "server closed this connection; reconnect",
+            ));
+        }
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bdi\r\n");
+        if let Some(b) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                b.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        if let Some(b) = body {
+            self.writer.write_all(b)?;
+        }
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| bad(format!("bad status line: {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(Error::new(ErrorKind::UnexpectedEof, "truncated head"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad content-length: {value:?}")))?;
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
+                {
+                    self.closed = true;
+                }
+            }
+        }
+        if status == 100 {
+            // interim: the real response follows
+            return self.read_response();
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, body))
+    }
+
+    /// Parse a body as the wire response object; statuses ≥ 400 carry
+    /// the error shape and surface as errors here.
+    fn wire(&mut self, status: u16, body: &[u8]) -> std::io::Result<Response> {
+        let response: Response =
+            serde_json::from_slice(body).map_err(|e| bad(format!("bad response body: {e}")))?;
+        match response {
+            Response::Error { message } => Err(bad(format!("HTTP {status}: {message}"))),
+            other => Ok(other),
+        }
+    }
+
+    /// `GET /lookup/:id` (percent-encoded); 404 is `Ok(None)`.
+    pub fn lookup(&mut self, identifier: &str) -> std::io::Result<Option<CatalogEntry>> {
+        let path = format!("/lookup/{}", crate::http::percent_encode(identifier));
+        let (status, body) = self.get(&path)?;
+        if status == 404 {
+            return Ok(None);
+        }
+        match self.wire(status, &body)? {
+            Response::Entry { entry, .. } => Ok(entry),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `POST /ingest` with one record; returns the submitted counter.
+    pub fn ingest(&mut self, record: &Record) -> std::io::Result<u64> {
+        let body = serde_json::to_string(record).map_err(|e| bad(e.to_string()))?;
+        let (status, body) = self.post("/ingest", body.as_bytes())?;
+        match self.wire(status, &body)? {
+            Response::Ack { submitted } => Ok(submitted),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `POST /ingest` with an array body (the batch form).
+    pub fn ingest_batch(&mut self, records: &[Record]) -> std::io::Result<u64> {
+        let body = serde_json::to_string(records).map_err(|e| bad(e.to_string()))?;
+        let (status, body) = self.post("/ingest", body.as_bytes())?;
+        match self.wire(status, &body)? {
+            Response::Ack { submitted } => Ok(submitted),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `POST /flush` → `(generation, applied)`.
+    pub fn flush(&mut self) -> std::io::Result<(u64, u64)> {
+        let (status, body) = self.post("/flush", b"")?;
+        match self.wire(status, &body)? {
+            Response::Flushed {
+                generation,
+                applied,
+            } => Ok((generation, applied)),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `GET /stats`.
+    pub fn stats(&mut self) -> std::io::Result<StatsBody> {
+        let (status, body) = self.get("/stats")?;
+        match self.wire(status, &body)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `GET /top_k?attribute=&k=`.
+    pub fn top_k(&mut self, attribute: &str, k: usize) -> std::io::Result<Vec<CatalogEntry>> {
+        let path = format!(
+            "/top_k?attribute={}&k={k}",
+            crate::http::percent_encode(attribute)
+        );
+        let (status, body) = self.get(&path)?;
+        match self.wire(status, &body)? {
+            Response::Entries { entries, .. } => Ok(entries),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// `GET /metrics`: the Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let (status, body) = self.get("/metrics")?;
+        if status != 200 {
+            return Err(bad(format!("HTTP {status} from /metrics")));
+        }
+        String::from_utf8(body).map_err(|e| bad(e.to_string()))
+    }
+
+    /// `POST /shutdown`; the server answers, then closes.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        let (status, body) = self.post("/shutdown", b"")?;
+        match self.wire(status, &body)? {
+            Response::Bye => Ok(()),
             other => Err(bad(format!("unexpected response: {other:?}"))),
         }
     }

@@ -8,9 +8,10 @@
 //! throughput and read latency percentiles — the numbers the
 //! `serve_throughput` bench prints across reader counts.
 
-use crate::client::Client;
+use crate::client::{Client, HttpClient};
 use bdi_obs::Registry;
 use bdi_synth::{World, WorldConfig};
+use bdi_types::Record;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,6 +37,11 @@ pub struct LoadConfig {
     /// requests, amortizing round trips — the mode that feeds the
     /// router tier at full rate.
     pub batch: usize,
+    /// Drive the server over HTTP/1.1 (`GET /lookup/:id`,
+    /// `POST /ingest`) instead of JSON lines. Same port: the readiness
+    /// front-end autodetects the protocol from the first bytes of each
+    /// connection.
+    pub http: bool,
 }
 
 impl Default for LoadConfig {
@@ -47,6 +53,53 @@ impl Default for LoadConfig {
             max_source_size: 60,
             readers: 4,
             batch: 1,
+            http: false,
+        }
+    }
+}
+
+/// One load connection, speaking whichever protocol the run selected.
+/// Both arms hit the same handlers server-side, so the measured work is
+/// identical — only the framing differs.
+enum Driver {
+    Wire(Client),
+    Http(HttpClient),
+}
+
+impl Driver {
+    fn connect(addr: SocketAddr, http: bool) -> std::io::Result<Self> {
+        Ok(if http {
+            Driver::Http(HttpClient::connect(addr)?)
+        } else {
+            Driver::Wire(Client::connect(addr)?)
+        })
+    }
+
+    fn lookup(&mut self, identifier: &str) -> std::io::Result<()> {
+        match self {
+            Driver::Wire(c) => c.lookup(identifier).map(drop),
+            Driver::Http(c) => c.lookup(identifier).map(drop),
+        }
+    }
+
+    fn ingest(&mut self, record: Record) -> std::io::Result<u64> {
+        match self {
+            Driver::Wire(c) => c.ingest(record),
+            Driver::Http(c) => c.ingest(&record),
+        }
+    }
+
+    fn ingest_batch(&mut self, records: Vec<Record>) -> std::io::Result<u64> {
+        match self {
+            Driver::Wire(c) => c.ingest_batch(records),
+            Driver::Http(c) => c.ingest_batch(&records),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<(u64, u64)> {
+        match self {
+            Driver::Wire(c) => c.flush(),
+            Driver::Http(c) => c.flush(),
         }
     }
 }
@@ -139,12 +192,14 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
     let pool = Arc::new(pool);
     let stop = Arc::new(AtomicBool::new(false));
 
+    let http = cfg.http;
+
     let readers: Vec<_> = (0..cfg.readers)
         .map(|reader_idx| {
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
-                let mut client = Client::connect(addr)?;
+                let mut client = Driver::connect(addr, http)?;
                 let mut latencies = Vec::new();
                 // stride the pool differently per reader so shards all
                 // see traffic without needing a shared RNG
@@ -163,7 +218,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         })
         .collect();
 
-    let mut writer = Client::connect(addr)?;
+    let mut writer = Driver::connect(addr, cfg.http)?;
     let mut ingest_latencies: Vec<u64> = Vec::with_capacity(total);
     // driver-side batch-size distribution (the last chunk is partial)
     let batch_hist = Registry::new().histogram("load.ingest.batch_records");
@@ -188,8 +243,14 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
     }
     let (generation, _) = writer.flush()?;
     let ingest_secs = t0.elapsed().as_secs_f64();
-    let comparisons = writer.stats()?.comparisons;
-    let metrics = writer.metrics()?;
+    // The accounting scrape always speaks JSON lines: the `metrics`
+    // command returns the full histogram snapshot, which the HTTP
+    // Prometheus exposition doesn't. The front-end autodetects the
+    // protocol per connection, so this works on the same port even when
+    // the load traffic itself was HTTP.
+    let mut scrape = Client::connect(addr)?;
+    let comparisons = scrape.stats()?.comparisons;
+    let metrics = scrape.metrics()?;
     stop.store(true, Ordering::SeqCst);
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -293,6 +354,26 @@ mod tests {
         assert_eq!(report.read_failovers, 0);
         assert_eq!(report.backend_retries, 0);
         assert!(report.replica_errors.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_load_drives_the_same_handlers() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let cfg = LoadConfig {
+            entities: 40,
+            sources: 6,
+            readers: 2,
+            batch: 8,
+            http: true,
+            ..Default::default()
+        };
+        // same port as JSON lines: the front-end sniffs the protocol
+        let report = run_load(server.addr(), &cfg).unwrap();
+        assert!(report.records > 0);
+        assert!(report.queries > 0, "HTTP readers ran during ingest");
+        assert!(report.generation >= 1, "HTTP flush advanced a generation");
+        assert!(report.comparisons > 0, "scrape still works over JSON lines");
         server.shutdown();
     }
 

@@ -1,0 +1,222 @@
+//! Raw `epoll` via syscalls — the one `unsafe` corner of the crate.
+//!
+//! The vendored-deps policy rules out `mio` and even `libc`, but the
+//! std runtime already links the platform C library, so the four
+//! symbols a readiness loop needs (`epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` / `close`, plus `getrlimit`/`setrlimit` for the C10K
+//! bench) are declared here directly. Everything above this module is
+//! safe Rust: the loop sees an [`Epoll`] that registers `RawFd`s under
+//! `u64` tokens and yields `(token, readiness)` pairs.
+//!
+//! Level-triggered mode only. The loop re-arms `EPOLLOUT` explicitly
+//! when a connection has backlog, so edge-triggered's
+//! read-until-EAGAIN discipline buys nothing here and level-triggered
+//! removes a whole class of lost-wakeup bugs.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between the 32-bit event mask and the 64-bit payload).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+const RLIMIT_NOFILE: i32 = 7;
+
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+/// An epoll instance plus its reusable event buffer.
+pub(crate) struct Epoll {
+    fd: RawFd,
+    buf: Vec<EpollEvent>,
+}
+
+impl Epoll {
+    pub(crate) fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            fd,
+            buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` under `token` with the given interest mask.
+    pub(crate) fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change `fd`'s interest mask.
+    pub(crate) fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregister `fd`. Errors are ignored — the fd may already be
+    /// closed, which deregisters implicitly.
+    pub(crate) fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Block up to `timeout_ms` (-1 = forever) and append the ready
+    /// `(token, events)` pairs to `out`.
+    pub(crate) fn wait(&mut self, out: &mut Vec<(u64, u32)>, timeout_ms: i32) -> io::Result<()> {
+        // SAFETY: the buffer is sized and valid for `maxevents` entries.
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for ev in &self.buf[..n as usize] {
+            // copy out of the packed struct before taking references
+            let (events, data) = (ev.events, ev.data);
+            out.push((data, events));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this instance and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Raise `RLIMIT_NOFILE` toward `target` (root may raise the hard
+/// limit too) and return the soft limit actually in effect. Used by
+/// the C10K bench and the 10k-idle-connections smoke test, where one
+/// process holds both ends of every connection.
+pub fn raise_nofile_limit(target: u64) -> u64 {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: out-pointer to a live struct.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.cur >= target {
+        return lim.cur;
+    }
+    let want = Rlimit {
+        cur: target,
+        max: lim.max.max(target),
+    };
+    // SAFETY: in-pointer to a live struct.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &want) } != 0 {
+        // can't touch the hard limit: settle for soft = hard
+        let fallback = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        // SAFETY: in-pointer to a live struct.
+        unsafe { setrlimit(RLIMIT_NOFILE, &fallback) };
+    }
+    // SAFETY: out-pointer to a live struct.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    lim.cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut epoll = Epoll::new().unwrap();
+        epoll.add(listener.as_raw_fd(), 7, EPOLLIN).unwrap();
+
+        let mut events = Vec::new();
+        epoll.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing pending yet");
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        epoll.wait(&mut events, 1000).unwrap();
+        assert!(
+            events.iter().any(|&(t, e)| t == 7 && e & EPOLLIN != 0),
+            "pending accept surfaces as EPOLLIN on the listener token"
+        );
+
+        // a connected socket is write-ready at once
+        client.write_all(b"x").unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        epoll
+            .add(server_side.as_raw_fd(), 9, EPOLLIN | EPOLLOUT)
+            .unwrap();
+        events.clear();
+        epoll.wait(&mut events, 1000).unwrap();
+        let ev = events
+            .iter()
+            .find(|&&(t, _)| t == 9)
+            .expect("conn token fires");
+        assert!(ev.1 & EPOLLIN != 0, "1 byte to read");
+        assert!(ev.1 & EPOLLOUT != 0, "empty socket buffer is writable");
+        epoll.delete(server_side.as_raw_fd());
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let now = raise_nofile_limit(1024);
+        assert!(now >= 1024, "limit at least the floor we asked for");
+        assert!(raise_nofile_limit(1024) >= now, "idempotent");
+    }
+}

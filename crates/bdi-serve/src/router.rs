@@ -45,6 +45,8 @@
 //! [`RegistrySnapshot`]: bdi_obs::RegistrySnapshot
 
 use crate::bridge::{mask_shards, merge_entries, merge_stats, BridgeIndex, ShardMask, MAX_SHARDS};
+use crate::http::{self, HttpMetrics};
+use crate::nio;
 use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
 use crate::replica::{spawn_lane, LaneConn, ReplicaLane, ShardState};
 use bdi_core::catalog::CatalogEntry;
@@ -54,7 +56,6 @@ use bdi_obs::{Counter, Gauge, Histogram, Registry};
 use bdi_types::Record;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,8 +69,15 @@ pub const ROUTER_FEATURES: [&str; 4] = ["ingest_batch", "flush_barrier", "split"
 /// Router tunables.
 #[derive(Clone, Debug)]
 pub struct RouterConfig {
-    /// Bind address; use port 0 for an ephemeral port.
+    /// Bind address; use port 0 for an ephemeral port. The readiness
+    /// front-end answers JSON lines and HTTP/1.1 on this one port
+    /// (protocol sniffed per connection).
     pub addr: String,
+    /// Additional dedicated HTTP listener (served by the same loop).
+    pub http_addr: Option<String>,
+    /// Dispatch worker threads (0 = a small default). Bounds how many
+    /// blocking fleet operations (flush barriers, splits) run at once.
+    pub workers: usize,
     /// Backend `bdi serve` addresses. With `replicas == R`, consecutive
     /// groups of R addresses form one shard: `backends[s*R..(s+1)*R]`
     /// are shard `s`'s replicas. Shard index is group position — keep
@@ -98,6 +106,8 @@ impl Default for RouterConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            http_addr: None,
+            workers: 0,
             backends: Vec::new(),
             replicas: 1,
             threshold: 0.9,
@@ -123,6 +133,8 @@ pub(crate) struct RouteMetrics {
     pub(crate) replicas_dropped: Counter,
     /// Unparseable requests plus error responses.
     pub(crate) request_errors: Counter,
+    /// HTTP-adapter counters and per-endpoint latency (`route.http.*`).
+    pub(crate) http: HttpMetrics,
     /// Backend connect attempts retried after a transient failure.
     pub(crate) retries: Counter,
     /// Reads re-sent to another replica after an I/O error.
@@ -150,6 +162,7 @@ impl RouteMetrics {
             replicated: registry.counter("route.ingest.replicated"),
             replicas_dropped: registry.counter("route.ingest.replicas_dropped"),
             request_errors: registry.counter("route.request.errors"),
+            http: HttpMetrics::register(&registry, "route"),
             retries: registry.counter("route.backend.retries"),
             read_failovers: registry.counter("route.read.failovers"),
             split_moved: registry.counter("route.split.moved_records"),
@@ -223,6 +236,7 @@ impl RouterShared {
 /// A running router.
 pub struct Router {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     shared: Arc<RouterShared>,
     accept: Option<JoinHandle<()>>,
 }
@@ -282,12 +296,25 @@ impl Router {
             .collect();
         *shared.shards.write() = shards;
 
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, addr, shared))
+        let mut listeners = vec![listener];
+        let http_addr = match &cfg.http_addr {
+            Some(a) => {
+                let l = TcpListener::bind(a.as_str())?;
+                let bound = l.local_addr()?;
+                listeners.push(l);
+                Some(bound)
+            }
+            None => None,
         };
+        let service = Arc::new(RouteService {
+            shared: Arc::clone(&shared),
+            addr,
+        });
+        let registry = shared.metrics.registry.clone();
+        let accept = nio::spawn_front_end(listeners, service, &registry, "route", cfg.workers)?;
         Ok(Router {
             addr,
+            http_addr,
             shared,
             accept: Some(accept),
         })
@@ -296,6 +323,13 @@ impl Router {
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound dedicated-HTTP address, when
+    /// [`RouterConfig::http_addr`] was set. The main [`Router::addr`]
+    /// also answers HTTP via protocol autodetection.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// Request shutdown and wait for the accept loop and lane workers
@@ -325,66 +359,77 @@ impl Router {
     }
 }
 
-fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<RouterShared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || handle_connection(stream, addr, shared));
+/// The router as a [`nio::Service`]. Per-connection state is the lazy
+/// scatter-gather backend connections ([`QueryConns`]) the old
+/// handler-thread owned — the front-end hands it to whichever worker
+/// services the connection, one at a time, so the ownership story is
+/// unchanged.
+struct RouteService {
+    shared: Arc<RouterShared>,
+    addr: SocketAddr,
+}
+
+impl nio::Service for RouteService {
+    type Conn = QueryConns;
+
+    fn new_conn(&self) -> QueryConns {
+        // lazy: a connection that only ingests opens none
+        QueryConns::new()
+    }
+
+    fn handle_line(&self, conns: &mut QueryConns, line: &str) -> (String, bool) {
+        handle_line(line, &self.shared, conns, self.addr)
+    }
+
+    fn handle_http(&self, conns: &mut QueryConns, req: http::HttpRequest) -> http::HttpResponse {
+        http::respond(&req, &self.shared.metrics.http, |request| {
+            catch_unwind(AssertUnwindSafe(|| {
+                dispatch(request, &self.shared, conns, self.addr)
+            }))
+            .unwrap_or_else(|_| Response::Error {
+                message: "internal error: request handler panicked".to_string(),
+            })
+        })
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 }
 
-fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<RouterShared>) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    // per-connection backend connections for scatter-gather reads; lazy,
-    // so a connection that only ingests opens none
-    let mut conns = QueryConns::new();
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// Handle one JSON-lines request against the fleet: parse, dispatch
+/// (panics answered as errors), serialize. Returns the response line
+/// (no trailing newline) and whether to close after writing it.
+fn handle_line(
+    line: &str,
+    shared: &Arc<RouterShared>,
+    conns: &mut QueryConns,
+    addr: SocketAddr,
+) -> (String, bool) {
+    let response = match serde_json::from_str::<Request>(line) {
+        Err(e) => {
+            shared.metrics.request_errors.inc();
+            Response::Error {
+                message: format!("bad request: {e}"),
+            }
         }
-        let response = match serde_json::from_str::<Request>(&line) {
-            Err(e) => {
+        Ok(request) => {
+            let response =
+                catch_unwind(AssertUnwindSafe(|| dispatch(request, shared, conns, addr)))
+                    .unwrap_or_else(|_| Response::Error {
+                        message: "internal error: request handler panicked".to_string(),
+                    });
+            if matches!(response, Response::Error { .. }) {
                 shared.metrics.request_errors.inc();
-                Response::Error {
-                    message: format!("bad request: {e}"),
-                }
             }
-            Ok(request) => {
-                let response = catch_unwind(AssertUnwindSafe(|| {
-                    dispatch(request, &shared, &mut conns, addr)
-                }))
-                .unwrap_or_else(|_| Response::Error {
-                    message: "internal error: request handler panicked".to_string(),
-                });
-                if matches!(response, Response::Error { .. }) {
-                    shared.metrics.request_errors.inc();
-                }
-                response
-            }
-        };
-        let done = matches!(response, Response::Bye);
-        let Ok(body) = serde_json::to_string(&response) else {
-            break;
-        };
-        if writeln!(writer, "{body}")
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
+            response
         }
-        if done || shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-    }
+    };
+    let close = matches!(response, Response::Bye);
+    let body = serde_json::to_string(&response).unwrap_or_else(|_| {
+        "{\"error\":{\"message\":\"internal error: response serialization failed\"}}".to_string()
+    });
+    (body, close)
 }
 
 /// Per-connection lazy backend connections for the scatter-gather read

@@ -1,10 +1,17 @@
-//! The TCP daemon: accept loop, connection handlers, ingest worker.
+//! The TCP daemon: connection front-end, dispatch, ingest worker.
 //!
 //! Threading model:
 //!
-//! * one **accept** thread hands each connection to its own handler
-//!   thread (queries are read-only against a loaded generation, so any
-//!   number can run concurrently);
+//! * the **front-end** owns the sockets. The default is the readiness
+//!   loop ([`crate::nio`]): one epoll thread multiplexing every
+//!   connection (JSON lines and HTTP/1.1, auto-detected per
+//!   connection) plus a small dispatch worker pool, so tens of
+//!   thousands of mostly-idle connections cost buffers, not threads.
+//!   [`FrontEndKind::Threaded`] retains the original
+//!   thread-per-connection accept loop (JSON lines only) as the
+//!   `serve_c10k` bench baseline and an escape hatch — both call the
+//!   same [`dispatch`] via the same `handle_line`, so responses are
+//!   byte-identical;
 //! * one **ingest worker** owns the [`Engine`]. Handlers forward
 //!   `ingest` records through a bounded crossbeam channel — when the
 //!   worker falls behind, the channel fills and senders block, which is
@@ -29,6 +36,8 @@
 
 use crate::engine::{Engine, EngineMetrics};
 use crate::gen::{Generation, ShardedIndex, Swap};
+use crate::http::{self, HttpMetrics};
+use crate::nio;
 use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
 use crate::snapshot::Snapshot;
 use crate::wal::{Wal, WalMetrics};
@@ -73,11 +82,38 @@ impl DurabilityConfig {
     }
 }
 
+/// Which connection front-end owns the sockets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FrontEndKind {
+    /// The readiness loop ([`crate::nio`], the default): one epoll
+    /// thread plus a dispatch worker pool. Serves JSON lines *and*
+    /// HTTP/1.1 on the same port (protocol sniffed from a connection's
+    /// first bytes) and holds tens of thousands of idle connections.
+    #[default]
+    Readiness,
+    /// The original thread-per-connection accept loop (JSON lines
+    /// only). Retained as the `serve_c10k` bench baseline and an
+    /// escape hatch; dispatch and responses are identical.
+    Threaded,
+}
+
 /// Server tunables.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
+    /// Connection front-end (readiness loop by default).
+    pub front_end: FrontEndKind,
+    /// Dispatch worker threads for the readiness front-end (0 = a
+    /// small default). This bounds how many *blocking* commands (flush
+    /// barriers, backpressured ingests) run at once — queries are
+    /// cheap and rarely queue.
+    pub workers: usize,
+    /// Additional dedicated HTTP listener address. Optional: the
+    /// readiness front-end already answers HTTP on the main port via
+    /// autodetection; this serves deployments that want the human/API
+    /// port firewalled separately. Served by the same loop.
+    pub http_addr: Option<String>,
     /// Linkage match threshold.
     pub threshold: f64,
     /// Ingest queue capacity — the backpressure bound.
@@ -111,6 +147,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            front_end: FrontEndKind::default(),
+            workers: 0,
+            http_addr: None,
             threshold: 0.9,
             queue_capacity: 256,
             refresh_batch: 64,
@@ -170,6 +209,12 @@ pub(crate) struct ServeMetrics {
     request_bytes: [Arc<Histogram>; COMMAND_KINDS.len()],
     /// Unparseable requests plus error responses.
     request_errors: Counter,
+    /// HTTP-adapter counters and per-endpoint latency (`serve.http.*`).
+    http: HttpMetrics,
+    /// Open connections right now (both front-ends count here).
+    conn_open: Gauge,
+    /// Connections accepted since start.
+    conn_accepted: Counter,
     /// Records per `ingest_batch` request (a size, not a latency).
     ingest_batch_records: Arc<Histogram>,
     /// Records accepted into the ingest queue.
@@ -216,6 +261,9 @@ impl ServeMetrics {
             request_ns,
             request_bytes,
             request_errors: registry.counter("serve.request.errors"),
+            http: HttpMetrics::register(&registry, "serve"),
+            conn_open: registry.gauge("serve.conn.open"),
+            conn_accepted: registry.counter("serve.conn.accepted"),
             ingest_batch_records: registry.histogram("serve.ingest.batch_records"),
             submitted: registry.counter("serve.ingest.submitted"),
             applied: registry.counter("serve.ingest.applied"),
@@ -274,6 +322,7 @@ struct Shared {
 /// A running integration service.
 pub struct Server {
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     ingest_tx: Option<Sender<Job>>,
     accept: Option<JoinHandle<()>>,
@@ -347,10 +396,42 @@ impl Server {
             };
             std::thread::spawn(move || ingest_worker(engine, shared, rx, seq, durable, opts))
         };
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let tx = tx.clone();
-            std::thread::spawn(move || accept_loop(listener, addr, shared, tx))
+        let http_listener = match &cfg.http_addr {
+            Some(a) => Some(TcpListener::bind(a.as_str())?),
+            None => None,
+        };
+        let http_addr = match &http_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let accept = match cfg.front_end {
+            FrontEndKind::Readiness => {
+                let mut listeners = vec![listener];
+                listeners.extend(http_listener);
+                let service = Arc::new(ServeService {
+                    shared: Arc::clone(&shared),
+                    tx: tx.clone(),
+                    addr,
+                });
+                nio::spawn_front_end(listeners, service, &registry, "serve", cfg.workers)?
+            }
+            FrontEndKind::Threaded => {
+                // a dedicated HTTP port still gets a readiness loop of
+                // its own, so `--http` works under either front-end
+                if let Some(l) = http_listener {
+                    let service = Arc::new(ServeService {
+                        shared: Arc::clone(&shared),
+                        tx: tx.clone(),
+                        addr,
+                    });
+                    // joined transitively: it exits on the same
+                    // shutdown flag the accept loop watches
+                    nio::spawn_front_end(vec![l], service, &registry, "serve", cfg.workers)?;
+                }
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || accept_loop(listener, addr, shared, tx))
+            }
         };
         let metrics_writer = cfg.metrics_file.map(|path| {
             let shared = Arc::clone(&shared);
@@ -359,6 +440,7 @@ impl Server {
         });
         Ok(Server {
             addr,
+            http_addr,
             shared,
             ingest_tx: Some(tx),
             accept: Some(accept),
@@ -376,6 +458,13 @@ impl Server {
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound dedicated-HTTP address, when
+    /// [`ServerConfig::http_addr`] was set. The main [`Server::addr`]
+    /// also answers HTTP under the readiness front-end.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// The published generation readers currently see.
@@ -812,12 +901,107 @@ fn handle_restore(
     })
 }
 
+/// The backend as a [`nio::Service`]: stateless per connection (every
+/// query runs against whatever generation is published), both
+/// protocols funneling into the same [`dispatch`].
+struct ServeService {
+    shared: Arc<Shared>,
+    tx: Sender<Job>,
+    addr: SocketAddr,
+}
+
+impl nio::Service for ServeService {
+    type Conn = ();
+
+    fn new_conn(&self) {}
+
+    fn handle_line(&self, _conn: &mut (), line: &str) -> (String, bool) {
+        handle_line(line, &self.shared, &self.tx, self.addr)
+    }
+
+    fn handle_http(&self, _conn: &mut (), req: http::HttpRequest) -> http::HttpResponse {
+        http::respond(&req, &self.shared.metrics.http, |request| {
+            catch_unwind(AssertUnwindSafe(|| {
+                dispatch(request, &self.shared, &self.tx, self.addr)
+            }))
+            .unwrap_or_else(|_| Response::Error {
+                message: "internal error: request handler panicked".to_string(),
+            })
+        })
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Handle one JSON-lines request: parse, meter, dispatch (panics
+/// answered as errors), serialize. Returns the response line (no
+/// trailing newline) and whether the connection should close after it.
+/// Both front-ends call this, which is what keeps their output
+/// byte-identical.
+fn handle_line(line: &str, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) -> (String, bool) {
+    let response = match serde_json::from_str::<Request>(line) {
+        Err(e) => {
+            shared.metrics.request_errors.inc();
+            Response::Error {
+                message: format!("bad request: {e}"),
+            }
+        }
+        Ok(request) => {
+            let kind = request.kind();
+            let slot = command_slot(kind);
+            shared.metrics.request_bytes[slot].record(line.len() as u64);
+            // a panic anywhere under dispatch (a malformed-but-
+            // parseable request tripping a deep invariant) answers
+            // this one request with an error instead of tearing
+            // down the connection
+            let t0 = Instant::now();
+            let response = catch_unwind(AssertUnwindSafe(|| dispatch(request, shared, tx, addr)))
+                .unwrap_or_else(|_| Response::Error {
+                    message: "internal error: request handler panicked".to_string(),
+                });
+            let elapsed = t0.elapsed();
+            shared.metrics.request_ns[slot].record_duration(elapsed);
+            if matches!(response, Response::Error { .. }) {
+                shared.metrics.request_errors.inc();
+            }
+            if let Some(threshold_ms) = shared.slow_ms {
+                let elapsed_ms = elapsed.as_millis() as u64;
+                if elapsed_ms >= threshold_ms {
+                    eprintln!(
+                        "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
+                         bytes={} generation={}",
+                        line.len(),
+                        shared.current.load().seq,
+                    );
+                }
+            }
+            response
+        }
+    };
+    let close = matches!(response, Response::Bye);
+    let body = serde_json::to_string(&response).unwrap_or_else(|_| {
+        "{\"error\":{\"message\":\"internal error: response serialization failed\"}}".to_string()
+    });
+    (body, close)
+}
+
 fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Job>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // EMFILE and friends: this listener keeps failing until an
+            // fd frees up, so back off instead of spinning on it
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
         let shared = Arc::clone(&shared);
         let tx = tx.clone();
         std::thread::spawn(move || handle_connection(stream, addr, shared, tx));
@@ -830,6 +1014,8 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    shared.metrics.conn_accepted.inc();
+    shared.metrics.conn_open.inc();
     let mut writer = stream;
     let reader = BufReader::new(read_half);
     for line in reader.lines() {
@@ -837,50 +1023,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
         if line.trim().is_empty() {
             continue;
         }
-        let response = match serde_json::from_str::<Request>(&line) {
-            Err(e) => {
-                shared.metrics.request_errors.inc();
-                Response::Error {
-                    message: format!("bad request: {e}"),
-                }
-            }
-            Ok(request) => {
-                let kind = request.kind();
-                let slot = command_slot(kind);
-                shared.metrics.request_bytes[slot].record(line.len() as u64);
-                // a panic anywhere under dispatch (a malformed-but-
-                // parseable request tripping a deep invariant) answers
-                // this one request with an error instead of tearing
-                // down the connection thread
-                let t0 = Instant::now();
-                let response =
-                    catch_unwind(AssertUnwindSafe(|| dispatch(request, &shared, &tx, addr)))
-                        .unwrap_or_else(|_| Response::Error {
-                            message: "internal error: request handler panicked".to_string(),
-                        });
-                let elapsed = t0.elapsed();
-                shared.metrics.request_ns[slot].record_duration(elapsed);
-                if matches!(response, Response::Error { .. }) {
-                    shared.metrics.request_errors.inc();
-                }
-                if let Some(threshold_ms) = shared.slow_ms {
-                    let elapsed_ms = elapsed.as_millis() as u64;
-                    if elapsed_ms >= threshold_ms {
-                        eprintln!(
-                            "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
-                             bytes={} generation={}",
-                            line.len(),
-                            shared.current.load().seq,
-                        );
-                    }
-                }
-                response
-            }
-        };
-        let done = matches!(response, Response::Bye);
-        let Ok(body) = serde_json::to_string(&response) else {
-            break;
-        };
+        let (body, done) = handle_line(&line, &shared, &tx, addr);
         if writeln!(writer, "{body}")
             .and_then(|()| writer.flush())
             .is_err()
@@ -891,6 +1034,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
             break;
         }
     }
+    shared.metrics.conn_open.dec();
 }
 
 fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) -> Response {

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Guard against drift between the wire/HTTP surface and its docs.
+
+Cross-checks, in both directions:
+
+* every `Request` variant in crates/bdi-serve/src/protocol.rs has a
+  backticked mention in docs/PROTOCOL.md, and every request command the
+  doc documents as a `### `cmd`` heading exists in the enum;
+* every `Response` variant likewise;
+* every route the HTTP index endpoint advertises (http.rs `index()`)
+  is documented in docs/HTTP_API.md, and every per-endpoint metric
+  label (`HTTP_ENDPOINTS`) appears there too;
+* the per-command metrics row in PROTOCOL.md names every request
+  command (the instrumentation registers one histogram per command).
+
+Run from the repo root: `python3 scripts/check_docs_drift.py`.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+PROTOCOL_RS = ROOT / "crates/bdi-serve/src/protocol.rs"
+HTTP_RS = ROOT / "crates/bdi-serve/src/http.rs"
+PROTOCOL_MD = ROOT / "docs/PROTOCOL.md"
+HTTP_API_MD = ROOT / "docs/HTTP_API.md"
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def renames(source, enum_name):
+    """serde rename strings of one enum's variants, in order."""
+    m = re.search(
+        rf"pub enum {enum_name} \{{(.*?)\n\}}", source, re.DOTALL
+    )
+    check(m, f"enum {enum_name} not found in {PROTOCOL_RS}")
+    return re.findall(r'#\[serde\(rename = "(\w+)"\)\]', m.group(1)) if m else []
+
+
+protocol_rs = PROTOCOL_RS.read_text()
+protocol_md = PROTOCOL_MD.read_text()
+http_rs = HTTP_RS.read_text()
+http_api_md = HTTP_API_MD.read_text()
+
+requests = renames(protocol_rs, "Request")
+responses = renames(protocol_rs, "Response")
+check(len(requests) >= 14, f"suspiciously few Request variants: {requests}")
+
+# 1. every wire command/response is mentioned (backticked) in PROTOCOL.md
+for cmd in requests:
+    check(
+        f"`{cmd}`" in protocol_md,
+        f"request `{cmd}` exists on the wire but is not documented in PROTOCOL.md",
+    )
+for resp in responses:
+    check(
+        f"`{resp}`" in protocol_md,
+        f"response `{resp}` exists on the wire but is not documented in PROTOCOL.md",
+    )
+
+# 2. every command the doc headlines actually exists on the wire
+#    (headings look like "### `lookup` — ..." or "### `split` / `replace` — ...")
+documented = set()
+for heading in re.findall(r"^###\s+(.+)$", protocol_md, re.MULTILINE):
+    documented.update(re.findall(r"`(\w+)`", heading))
+known = set(requests) | set(responses)
+for name in sorted(documented):
+    check(
+        name in known,
+        f"PROTOCOL.md documents `{name}` but the wire enum has no such variant",
+    )
+
+# 3. the per-command metrics row names every request command
+metrics_row = next(
+    (
+        line
+        for line in protocol_md.splitlines()
+        if "serve.request.<cmd>.latency_ns" in line
+    ),
+    "",
+)
+check(metrics_row, "PROTOCOL.md lost the serve.request.<cmd>.latency_ns metrics row")
+for cmd in requests:
+    check(
+        f"`{cmd}`" in metrics_row,
+        f"metrics row in PROTOCOL.md does not list per-command histogram for `{cmd}`",
+    )
+
+# 4. HTTP routes advertised by GET / are documented in HTTP_API.md
+for route in re.findall(r'\\"((?:GET|POST) /[^?\\"]*)', http_rs):
+    check(
+        route in http_api_md,
+        f"http.rs index() advertises {route!r} but HTTP_API.md does not document it",
+    )
+
+# 5. every per-endpoint metric label appears in HTTP_API.md or PROTOCOL.md
+m = re.search(r"HTTP_ENDPOINTS[^=]*=\s*\[(.*?)\]", http_rs, re.DOTALL)
+check(m, "HTTP_ENDPOINTS not found in http.rs")
+for label in re.findall(r'"(\w+)"', m.group(1)) if m else []:
+    check(
+        f"`{label}`" in http_api_md or f"`{label}`" in protocol_md,
+        f"HTTP endpoint label `{label}` is not mentioned in HTTP_API.md or PROTOCOL.md",
+    )
+
+if errors:
+    for e in errors:
+        print(f"::error::{e}")
+    sys.exit(1)
+print(
+    f"docs in sync: {len(requests)} wire commands, {len(responses)} responses, "
+    "HTTP index routes and endpoint labels all documented"
+)

@@ -16,8 +16,9 @@
 //! generated or loaded dataset and prints a run report (with oracle
 //! quality when ground truth is available); `lookup` integrates and then
 //! resolves one product identifier against the fused catalog; `serve`
-//! runs the live integration daemon (JSON lines over TCP — see
-//! `bdi-serve`); `route` runs the router tier, making N backends look
+//! runs the live integration daemon (JSON lines and HTTP/1.1 over TCP,
+//! autodetected per connection — see `bdi-serve` and
+//! `docs/HTTP_API.md`); `route` runs the router tier, making N backends look
 //! like one server (hash-partitioned ingest, scatter-gather reads);
 //! `load` replays a synthetic world against a running server and
 //! reports throughput and latency; `stats` prints a running server's
@@ -37,7 +38,7 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let opts = match parse_opts(rest) {
+    let opts = match parse_opts(cmd, rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -76,19 +77,29 @@ USAGE:
   bdi integrate (--in DIR | --seed N [--entities N] [--sources N])
                 [--fusion vote|truthfinder|accu|accucopy] [--json]
   bdi lookup    (--in DIR | --seed N) --id IDENTIFIER
-  bdi serve     [--addr HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
+  bdi serve     [--addr HOST:PORT] [--http HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
                 [--threshold X] [--queue N] [--shards N] [--engine-threads N]
+                [--workers N] [--threaded]
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
                 [--metrics-file PATH [--metrics-interval SECS]] [--slow-ms MS]
-  bdi route     --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
-                [--replicas N] [--retries N]
+  bdi route     --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--http HOST:PORT]
+                [--replicas N] [--retries N] [--workers N]
                 [--threshold X] [--batch N] [--pipeline N] [--queue N]
-  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N]
+  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N] [--http]
   bdi stats     [--addr HOST:PORT] [--prometheus]
   bdi admin     --addr HOST:PORT (--hello
                 | --split SHARD --backends HOST:PORT,...
                 | --replace SHARD:REPLICA --backend HOST:PORT)
   bdi help
+
+Front-end: serve and route accept any number of connections on one
+readiness loop (epoll) with a small dispatch pool (--workers, default
+0 = CPU count); each connection autodetects its protocol from the
+first bytes — JSON lines or HTTP/1.1 (see docs/HTTP_API.md). --http
+binds an extra HTTP-flavored listener on its own port for gateway
+separation; --threaded falls back to the thread-per-connection
+front-end (JSON lines only, benchmark baseline). `bdi load --http`
+drives the load over the HTTP gateway instead of JSON lines.
 
 Durability: --data-dir enables the write-ahead log and generation
 snapshots; restarting with the same directory recovers the ingested
@@ -122,14 +133,18 @@ text exposition every --metrics-interval seconds (default 5);
 `bdi stats` queries a running server; with --prometheus it prints the
 full metrics registry in exposition format instead of the counters.";
 
-fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_opts(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(key) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{flag}'"));
         };
-        if key == "json" || key == "no-wal" || key == "prometheus" || key == "hello" {
+        // `--http` is a boolean for `load` (drive the server over HTTP)
+        // but takes a bind address for `serve`/`route`.
+        let boolean = matches!(key, "json" | "no-wal" | "prometheus" | "hello" | "threaded")
+            || (key == "http" && cmd == "load");
+        if boolean {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -282,6 +297,13 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .transpose()?,
         metrics_file: metrics_file.clone(),
         metrics_interval: std::time::Duration::from_secs(num(opts, "metrics-interval", 5u64)?),
+        http_addr: opts.get("http").cloned(),
+        workers: num(opts, "workers", 0usize)?,
+        front_end: if opts.contains_key("threaded") {
+            bdi::serve::FrontEndKind::Threaded
+        } else {
+            bdi::serve::FrontEndKind::Readiness
+        },
         ..Default::default()
     };
     let server = bdi::serve::Server::start(cfg).map_err(|e| e.to_string())?;
@@ -291,6 +313,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         server.generation(),
         if durable { "durable" } else { "in-memory" }
     );
+    if let Some(http) = server.http_addr() {
+        println!("HTTP gateway on http://{http}/ (see docs/HTTP_API.md)");
+    }
     if let Some(path) = metrics_file {
         println!("metrics exposition at {}", path.display());
     }
@@ -318,6 +343,8 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
         pipeline: num(opts, "pipeline", 4usize)?,
         queue_capacity: num(opts, "queue", 1024usize)?,
         retries: num(opts, "retries", 2u32)?,
+        http_addr: opts.get("http").cloned(),
+        workers: num(opts, "workers", 0usize)?,
     };
     let n = cfg.backends.len();
     let replicas = cfg.replicas.max(1);
@@ -329,6 +356,9 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
         if n / replicas == 1 { "" } else { "s" },
         if replicas == 1 { "" } else { "s" }
     );
+    if let Some(http) = router.http_addr() {
+        println!("HTTP gateway on http://{http}/ (see docs/HTTP_API.md)");
+    }
     router.wait();
     Ok(())
 }
@@ -348,6 +378,7 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         max_source_size: num(opts, "max-source-size", 60usize)?,
         readers: num(opts, "readers", 4usize)?,
         batch: num(opts, "batch", 1usize)?,
+        http: opts.contains_key("http"),
     };
     let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;
     println!(
