@@ -29,6 +29,10 @@
 //! (oversized or unparseable head), where the response carries
 //! `Connection: close`.
 //!
+//! `HEAD` is answered like the corresponding `GET` — same status,
+//! `Content-Type`, and `Content-Length` — with no body bytes on the
+//! wire, as HTTP/1.1 requires.
+//!
 //! Endpoints (full reference with `curl` examples: `docs/HTTP_API.md`):
 //!
 //! | endpoint | wire command |
@@ -73,6 +77,11 @@ pub(crate) struct HttpResponse {
     /// Close the connection after writing (protocol-fatal request, an
     /// explicit `Connection: close`, or `shutdown`).
     pub close: bool,
+    /// Answering a `HEAD` request: advertise `Content-Length` as if the
+    /// body were sent, but put no body bytes on the wire — a keep-alive
+    /// client that got the body would read it as the start of the next
+    /// response and desync.
+    pub head: bool,
 }
 
 const JSON: &str = "application/json";
@@ -112,7 +121,9 @@ pub(crate) fn encode(resp: &HttpResponse) -> Vec<u8> {
         out.extend_from_slice(b"Connection: close\r\n");
     }
     out.extend_from_slice(b"\r\n");
-    out.extend_from_slice(&resp.body);
+    if !resp.head {
+        out.extend_from_slice(&resp.body);
+    }
     out
 }
 
@@ -131,6 +142,7 @@ fn error_response(status: u16, message: &str) -> HttpResponse {
         content_type: JSON,
         body: error_body(message),
         close: false,
+        head: false,
     }
 }
 
@@ -264,6 +276,7 @@ fn ok(response: &Response) -> HttpResponse {
             .expect("responses serialize")
             .into_bytes(),
         close: false,
+        head: false,
     }
 }
 
@@ -288,7 +301,24 @@ pub(crate) fn respond(
     dispatch: impl FnOnce(Request) -> Response,
 ) -> HttpResponse {
     let t0 = Instant::now();
-    let (endpoint, mut resp) = route(req, dispatch);
+    // HEAD is GET with the body suppressed on the wire: same status,
+    // Content-Type, and Content-Length, zero body bytes. Routing the
+    // GET twin keeps HEAD read-only (GET /shutdown is a 405, so a HEAD
+    // can never trigger a POST side effect).
+    let head_only = req.method == "HEAD";
+    let (endpoint, mut resp) = if head_only {
+        let twin = HttpRequest {
+            method: "GET".to_string(),
+            path: req.path.clone(),
+            query: req.query.clone(),
+            body: Vec::new(),
+            close: req.close,
+        };
+        route(&twin, dispatch)
+    } else {
+        route(req, dispatch)
+    };
+    resp.head = head_only;
     metrics.requests.inc();
     metrics.latency_ns[endpoint_slot(endpoint)].record_duration(t0.elapsed());
     if resp.status >= 400 {
@@ -402,6 +432,7 @@ fn route(
                         content_type: PROMETHEUS,
                         body: snap.to_prometheus().into_bytes(),
                         close: false,
+                        head: false,
                     },
                     None => error_response(500, "internal error: malformed metrics body"),
                 },
@@ -449,6 +480,7 @@ fn index() -> HttpResponse {
         content_type: JSON,
         body: body.as_bytes().to_vec(),
         close: false,
+        head: false,
     }
 }
 
@@ -582,11 +614,52 @@ mod tests {
             content_type: JSON,
             body: b"{\"ok\":1}".to_vec(),
             close: false,
+            head: false,
         });
         let text = String::from_utf8(text).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 8\r\n"));
         assert!(!text.contains("Connection: close"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":1}"));
+    }
+
+    #[test]
+    fn head_advertises_length_but_sends_no_body() {
+        let metrics = HttpMetrics::register(&Registry::new(), "test");
+        let req = HttpRequest {
+            method: "HEAD".into(),
+            path: "/stats".into(),
+            query: String::new(),
+            body: Vec::new(),
+            close: false,
+        };
+        let resp = respond(&req, &metrics, |_| Response::Entry {
+            generation: 1,
+            entry: None,
+        });
+        assert_eq!(resp.status, 200);
+        assert!(resp.head);
+        assert!(!resp.body.is_empty(), "length still reflects the GET body");
+        let text = String::from_utf8(encode(&resp)).unwrap();
+        assert!(
+            text.contains(&format!("Content-Length: {}\r\n", resp.body.len())),
+            "got: {text}"
+        );
+        assert!(text.ends_with("\r\n\r\n"), "no body bytes after the head");
+    }
+
+    #[test]
+    fn head_shutdown_is_405_not_a_side_effect() {
+        let metrics = HttpMetrics::register(&Registry::new(), "test");
+        let req = HttpRequest {
+            method: "HEAD".into(),
+            path: "/shutdown".into(),
+            query: String::new(),
+            body: Vec::new(),
+            close: false,
+        };
+        let resp = respond(&req, &metrics, |_| unreachable!("never dispatched"));
+        assert_eq!(resp.status, 405);
+        assert!(resp.head);
     }
 }

@@ -46,6 +46,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use sys::{Epoll, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
@@ -59,6 +60,12 @@ const MAX_HTTP_BODY: usize = 64 << 20;
 /// Read at most this much per readiness event before yielding to other
 /// connections (level-triggered epoll re-fires for the remainder).
 const READ_QUANTUM: usize = 256 * 1024;
+/// How long the shutdown drain waits for in-flight work and undelivered
+/// response bytes before force-dropping what remains. A client that
+/// stops reading its socket keeps its `wbuf` non-empty forever; without
+/// a deadline, `Server::shutdown()` (which joins the loop thread) would
+/// hang on it.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 
 const TOKEN_WAKER: u64 = u64::MAX;
 /// First connection token; listener tokens are their index below this.
@@ -292,7 +299,7 @@ impl HttpDecoder {
             Some((p, q)) => (p.to_string(), q.to_string()),
             None => (target.to_string(), String::new()),
         };
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         let mut close = http10;
         let mut expect_continue = false;
         for line in lines {
@@ -302,7 +309,18 @@ impl HttpDecoder {
             let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 match value.parse::<usize>() {
-                    Ok(n) => content_length = n,
+                    // identical repeats are tolerated (RFC 9110 §8.6),
+                    // but conflicting duplicates are a request-smuggling
+                    // vector behind a proxy that picks the other one
+                    Ok(n) => {
+                        if content_length.is_some_and(|prev| prev != n) {
+                            return Advance::Fatal(http::fatal(
+                                400,
+                                "conflicting content-length headers",
+                            ));
+                        }
+                        content_length = Some(n);
+                    }
                     Err(_) => {
                         return Advance::Fatal(http::fatal(
                             400,
@@ -311,10 +329,15 @@ impl HttpDecoder {
                     }
                 }
             } else if name.eq_ignore_ascii_case("connection") {
-                if value.eq_ignore_ascii_case("close") {
-                    close = true;
-                } else if value.eq_ignore_ascii_case("keep-alive") {
-                    close = false;
+                // the value is a comma-separated token list
+                // ("keep-alive, TE"); match tokens, not the whole value
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
                 }
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 return Advance::Fatal(http::fatal(
@@ -327,6 +350,7 @@ impl HttpDecoder {
                 expect_continue = true;
             }
         }
+        let content_length = content_length.unwrap_or(0);
         if content_length > MAX_HTTP_BODY {
             return Advance::Fatal(http::fatal(
                 413,
@@ -448,6 +472,7 @@ struct EventLoop<S: Service> {
 impl<S: Service> EventLoop<S> {
     fn run(mut self) {
         let mut events: Vec<(u64, u32)> = Vec::with_capacity(1024);
+        let mut drain_deadline: Option<Instant> = None;
         loop {
             events.clear();
             let timeout = if self.service.shutting_down() {
@@ -478,8 +503,12 @@ impl<S: Service> EventLoop<S> {
                 }
             }
             events = drain;
-            if self.service.shutting_down() && self.try_drain() {
-                break;
+            if self.service.shutting_down() {
+                let deadline =
+                    *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_DEADLINE);
+                if self.try_drain() || Instant::now() >= deadline {
+                    break;
+                }
             }
         }
         // teardown: close every connection, retire the pool
@@ -495,6 +524,9 @@ impl<S: Service> EventLoop<S> {
 
     /// Shutdown drain: true once nothing is in flight in the pool and
     /// every response byte has hit a socket (or its connection died).
+    /// The caller bounds this with [`DRAIN_DEADLINE`] — a wedged peer
+    /// that never reads keeps its `wbuf` non-empty indefinitely and
+    /// must not block shutdown forever.
     fn try_drain(&mut self) -> bool {
         if self.inflight.load(Ordering::SeqCst) != 0 {
             return false;
@@ -915,6 +947,48 @@ mod tests {
         };
         assert_eq!(resp.status, 431);
         assert!(resp.close);
+    }
+
+    #[test]
+    fn decoder_matches_connection_tokens_in_comma_lists() {
+        // "close" buried in a token list still closes...
+        let mut d = HttpDecoder::new();
+        let mut buf: Vec<u8> = b"GET /stats HTTP/1.1\r\nConnection: TE, close\r\n\r\n".to_vec();
+        let Advance::Request(req) = d.advance(&mut buf) else {
+            panic!("complete");
+        };
+        assert!(req.close, "'close' token honored inside a list");
+
+        // ...and "keep-alive" in a list keeps an HTTP/1.0 conn open
+        let mut d = HttpDecoder::new();
+        let mut buf: Vec<u8> =
+            b"GET /stats HTTP/1.0\r\nConnection: keep-alive, TE\r\n\r\n".to_vec();
+        let Advance::Request(req) = d.advance(&mut buf) else {
+            panic!("complete");
+        };
+        assert!(!req.close, "'keep-alive' token honored inside a list");
+    }
+
+    #[test]
+    fn decoder_rejects_conflicting_content_lengths() {
+        let mut d = HttpDecoder::new();
+        let mut buf: Vec<u8> =
+            b"POST /ingest HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhihello"
+                .to_vec();
+        let Advance::Fatal(resp) = d.advance(&mut buf) else {
+            panic!("conflicting content-lengths are fatal");
+        };
+        assert_eq!(resp.status, 400);
+        assert!(resp.close);
+
+        // identical repeats are tolerated
+        let mut d = HttpDecoder::new();
+        let mut buf: Vec<u8> =
+            b"POST /flush HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi".to_vec();
+        let Advance::Request(req) = d.advance(&mut buf) else {
+            panic!("identical duplicates parse");
+        };
+        assert_eq!(req.body, b"hi");
     }
 
     #[test]

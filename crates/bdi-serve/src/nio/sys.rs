@@ -14,12 +14,23 @@
 //! removes a whole class of lost-wakeup bugs.
 #![allow(unsafe_code)]
 
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "the readiness-loop front-end speaks raw epoll and only builds on Linux \
+     (the extern symbols below would not even link elsewhere)"
+);
+
 use std::io;
 use std::os::unix::io::RawFd;
 
-/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
-/// between the 32-bit event mask and the 64-bit payload).
-#[repr(C, packed)]
+/// `struct epoll_event`. The kernel ABI packs it **only on x86-64**
+/// (no padding between the 32-bit event mask and the 64-bit payload,
+/// 12 bytes); every other Linux arch uses the naturally-aligned
+/// 16-byte layout. Packing unconditionally would make `epoll_wait`
+/// write 16-byte entries into a 12-byte-stride buffer on aarch64 —
+/// a heap overrun — so the attribute is arch-gated.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
 #[derive(Clone, Copy)]
 pub(crate) struct EpollEvent {
     pub events: u32,

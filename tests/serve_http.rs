@@ -254,6 +254,70 @@ fn dead_backend_maps_to_503() {
     router.shutdown();
 }
 
+/// HEAD answers with the GET's status and Content-Length but no body,
+/// so a pipelined follow-up request is not desynced by stray body
+/// bytes.
+#[test]
+fn head_sends_headers_only_and_keeps_framing() {
+    let server = server();
+    let reply = roundtrip(
+        server.addr(),
+        b"HEAD /stats HTTP/1.1\r\n\r\n\
+          GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    let statuses: Vec<&str> = reply
+        .match_indices("HTTP/1.1 ")
+        .map(|(i, _)| &reply[i + 9..i + 12])
+        .collect();
+    assert_eq!(statuses, ["200", "200"], "full reply: {reply}");
+    let (head_resp, rest) = reply
+        .split_once("\r\n\r\n")
+        .expect("HEAD response head terminator");
+    let advertised: usize = head_resp
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("HEAD advertises Content-Length")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    assert!(advertised > 0, "length reflects the would-be GET body");
+    assert!(
+        rest.starts_with("HTTP/1.1 200"),
+        "no body bytes between the HEAD response and the next one: {rest}"
+    );
+    assert!(rest.contains("\"stats\""), "the GET still carries its body");
+    server.shutdown();
+}
+
+/// Shutdown must complete even when a client stuffed the server's
+/// write buffer and never reads: the drain deadline force-drops the
+/// wedged connection instead of hanging `Server::shutdown()` forever.
+#[test]
+fn shutdown_is_not_blocked_by_a_client_that_never_reads() {
+    let server = server();
+
+    // pipeline plenty of requests and never read a byte: responses fill
+    // the kernel socket buffer, the rest wedges in the server's wbuf
+    let mut wedged = TcpStream::connect(server.addr()).expect("connect");
+    // ~20k responses is several MB — far past what the kernel socket
+    // buffers absorb, so the tail is guaranteed to wedge server-side
+    let mut burst = Vec::new();
+    for _ in 0..20_000 {
+        burst.extend_from_slice(b"GET /stats HTTP/1.1\r\n\r\n");
+    }
+    wedged.write_all(&burst).expect("write burst");
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("shutdown returned despite the wedged client");
+    drop(wedged);
+}
+
 /// Both protocols interleave on the same port: the front-end sniffs
 /// each connection's first bytes.
 #[test]
