@@ -42,8 +42,8 @@
 
 use bdi_bench::bench_json::{num_f, num_u, obj, str_v, update_section};
 use bdi_serve::{
-    raise_nofile_limit, run_load, Client, DurabilityConfig, Engine, HttpClient, LoadConfig, Router,
-    RouterConfig, Server, ServerConfig,
+    raise_nofile_limit, run_load, Client, DurabilityConfig, Engine, HttpClient, LoadConfig,
+    LoadReport, Router, RouterConfig, Server, ServerConfig,
 };
 use bdi_synth::{World, WorldConfig};
 use serde_json::Value;
@@ -188,25 +188,44 @@ fn hot_path() {
         ]),
     );
 
-    // instrumentation accountability: the hot path now records ~10
+    // instrumentation accountability: the hot path records ~10
     // histogram samples per request (request latency + bytes, four
     // engine stages, WAL append) — each a handful of relaxed atomic
-    // adds. The committed pre-instrumentation baseline pins the
-    // allowed regression at 5%.
-    const PRE_OBS_BASELINE: f64 = 6658.6;
-    let overhead_pct = (1.0 - report.ingest_per_sec / PRE_OBS_BASELINE) * 100.0;
-    println!(
-        "obs overhead: {:.0} r/s vs pre-instrumentation {PRE_OBS_BASELINE:.0} r/s ({overhead_pct:+.1}%)",
-        report.ingest_per_sec
-    );
-    if overhead_pct > 5.0 {
-        println!("WARNING: instrumentation overhead {overhead_pct:.1}% exceeds the 5% budget");
+    // adds. Measured same-run via the bdi_obs::set_recording runtime
+    // switch (histograms/spans off = the pre-instrumentation hot path;
+    // counters stay live because the flush barrier polls them), not
+    // against a committed constant that goes stale with every change to
+    // the workload. Best-of-2 per arm, interleaved, to push scheduler
+    // noise below the budget.
+    let measure = |recording: bool| -> f64 {
+        bdi_obs::set_recording(recording);
+        let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+        let r = run_load(server.addr(), &cfg).expect("load run");
+        server.shutdown();
+        bdi_obs::set_recording(true);
+        r.ingest_per_sec
+    };
+    let mut baseline = f64::MIN;
+    let mut instrumented = f64::MIN;
+    for _ in 0..2 {
+        baseline = baseline.max(measure(false));
+        instrumented = instrumented.max(measure(true));
     }
+    // signed: negative means instrumentation measured *faster* (noise)
+    let overhead_pct = (1.0 - instrumented / baseline) * 100.0;
+    println!(
+        "obs overhead: {instrumented:.0} r/s instrumented vs {baseline:.0} r/s recording-off ({overhead_pct:+.1}%)",
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "instrumentation overhead {overhead_pct:+.1}% exceeds the 5% budget \
+         ({instrumented:.0} r/s instrumented vs {baseline:.0} r/s with recording off)"
+    );
     update_section(
         "obs_overhead",
         obj(&[
-            ("baseline_ingest_per_sec", num_f(PRE_OBS_BASELINE)),
-            ("ingest_per_sec", num_f(report.ingest_per_sec)),
+            ("baseline_ingest_per_sec", num_f(baseline)),
+            ("ingest_per_sec", num_f(instrumented)),
             ("overhead_pct", num_f((overhead_pct * 10.0).round() / 10.0)),
         ]),
     );
@@ -216,54 +235,93 @@ fn durability() {
     println!();
     println!("durability: ingest round-trip latency, WAL on vs in-memory (1 reader)");
     println!(
-        "{:>10} {:>9} {:>12} {:>11} {:>11}",
-        "mode", "records", "ingest r/s", "ing p50 us", "ing p99 us"
+        "{:>10} {:>7} {:>9} {:>12} {:>11} {:>11}",
+        "mode", "format", "records", "ingest r/s", "ing p50 us", "ing p99 us"
     );
+    // sized so the measured stream is thousands of round trips, not
+    // tens of milliseconds of them: the WAL-vs-memory gap under test is
+    // single-digit percent, smaller than a short run's cold-start noise
     let cfg = LoadConfig {
         entities: 400,
         sources: 20,
+        max_source_size: 600,
         readers: 1,
         ..LoadConfig::default()
     };
-    let mut memory_p50 = 0u64;
     let mut rows: Vec<Value> = Vec::new();
-    for durable in [false, true] {
-        let data_dir = std::env::temp_dir().join(format!(
-            "bdi-serve-bench-{}-{}",
-            std::process::id(),
-            durable
-        ));
-        let durability = durable.then(|| DurabilityConfig::new(&data_dir));
-        let server = Server::start(ServerConfig {
-            durability,
-            ..ServerConfig::default()
-        })
-        .expect("bind ephemeral port");
-        let report = run_load(server.addr(), &cfg).expect("load run");
-        let mode = if durable { "wal" } else { "in-memory" };
-        println!(
-            "{mode:>10} {:>9} {:>12.0} {:>11} {:>11}",
-            report.records, report.ingest_per_sec, report.ingest_p50_us, report.ingest_p99_us
-        );
-        rows.push(obj(&[
-            ("mode", str_v(mode)),
-            ("records", num_u(report.records as u64)),
-            ("ingest_per_sec", num_f(report.ingest_per_sec)),
-            ("ingest_p50_us", num_u(report.ingest_p50_us)),
-            ("ingest_p99_us", num_u(report.ingest_p99_us)),
-        ]));
-        if durable {
-            if memory_p50 > 0 && report.ingest_p50_us > 2 * memory_p50 {
-                println!(
-                    "WARNING: durable ingest p50 {}us is more than 2x in-memory {}us",
-                    report.ingest_p50_us, memory_p50
-                );
+    for (format, binary) in [("json", false), ("binary", true)] {
+        let mut memory_p50 = 0u64;
+        let mut memory_per_sec = 0.0f64;
+        for durable in [false, true] {
+            let data_dir = std::env::temp_dir().join(format!(
+                "bdi-serve-bench-{}-{}-{}",
+                std::process::id(),
+                format,
+                durable
+            ));
+            let fmt_cfg = LoadConfig {
+                binary,
+                ..cfg.clone()
+            };
+            // fresh server per attempt, best-of: single cold runs of a
+            // world this small swing wider than the WAL gap under test
+            let mut report = None;
+            for _ in 0..5 {
+                let _ = std::fs::remove_dir_all(&data_dir);
+                let durability = durable.then(|| DurabilityConfig::new(&data_dir));
+                let server = Server::start(ServerConfig {
+                    durability,
+                    ..ServerConfig::default()
+                })
+                .expect("bind ephemeral port");
+                let r = run_load(server.addr(), &fmt_cfg).expect("load run");
+                assert_eq!(r.wire_binary, binary, "server grants the asked format");
+                server.shutdown();
+                if report
+                    .as_ref()
+                    .is_none_or(|best: &LoadReport| r.ingest_per_sec > best.ingest_per_sec)
+                {
+                    report = Some(r);
+                }
             }
-        } else {
-            memory_p50 = report.ingest_p50_us;
+            let report = report.expect("at least one attempt");
+            let mode = if durable { "wal" } else { "in-memory" };
+            println!(
+                "{mode:>10} {format:>7} {:>9} {:>12.0} {:>11} {:>11}",
+                report.records, report.ingest_per_sec, report.ingest_p50_us, report.ingest_p99_us
+            );
+            rows.push(obj(&[
+                ("mode", str_v(mode)),
+                ("format", str_v(format)),
+                ("records", num_u(report.records as u64)),
+                ("ingest_per_sec", num_f(report.ingest_per_sec)),
+                ("ingest_p50_us", num_u(report.ingest_p50_us)),
+                ("ingest_p99_us", num_u(report.ingest_p99_us)),
+            ]));
+            if durable {
+                if memory_p50 > 0 && report.ingest_p50_us > 2 * memory_p50 {
+                    println!(
+                        "WARNING: durable ingest p50 {}us ({format}) is more than 2x \
+                         in-memory {}us",
+                        report.ingest_p50_us, memory_p50
+                    );
+                }
+                // the tentpole's durability target: the mmap WAL keeps
+                // WAL-on ingest within 10% of the in-memory rate
+                let gap_pct = (1.0 - report.ingest_per_sec / memory_per_sec.max(1e-9)) * 100.0;
+                println!("  wal-vs-memory gap ({format}): {gap_pct:+.1}%");
+                if binary && gap_pct > 10.0 {
+                    println!(
+                        "WARNING: binary WAL-on ingest is {gap_pct:.1}% below in-memory, \
+                         target is within 10%"
+                    );
+                }
+            } else {
+                memory_p50 = report.ingest_p50_us;
+                memory_per_sec = report.ingest_per_sec;
+            }
+            let _ = std::fs::remove_dir_all(&data_dir);
         }
-        server.shutdown();
-        let _ = std::fs::remove_dir_all(&data_dir);
     }
     update_section("serve_durability", Value::Array(rows));
 }
@@ -322,9 +380,13 @@ fn refresh_scaling() {
 /// Replay `records` into a fresh single backend in `batch`-sized
 /// `ingest_batch` requests and return the wall-clock seconds through
 /// the final flush — the per-machine ingest makespan.
-fn replay(records: Vec<bdi_types::Record>, batch: usize) -> f64 {
+fn replay(records: Vec<bdi_types::Record>, batch: usize, binary: bool) -> f64 {
     let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
     let mut client = Client::connect(server.addr()).expect("connect backend");
+    if binary {
+        let granted = client.negotiate_binary().expect("hello");
+        assert!(granted, "default server offers binary-frames");
+    }
     let t = Instant::now();
     let mut stream = records.into_iter().peekable();
     while stream.peek().is_some() {
@@ -372,6 +434,16 @@ fn sharded_sweep() {
         "aggregate = per-shard streams replayed on a dedicated backend each (models N \
          machines); wall = end-to-end through the router with every backend sharing this host"
     );
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host_cores < 4 {
+        println!(
+            "note: {host_cores} core(s) — router, driver and every backend share them, so \
+             the wall rows measure router + replication tax, not parallel scaling; the \
+             aggregate rows carry the scaling story"
+        );
+    }
 
     // every configuration is measured several times against a *fresh*
     // fleet (re-ingesting into a warm one would change the workload)
@@ -379,17 +451,32 @@ fn sharded_sweep() {
     // swings by ~20%, wider than the effect the sweep exists to show
     const ATTEMPTS: usize = 3;
 
-    // single-backend baseline: the whole stream on one machine
-    let base_secs = (0..ATTEMPTS)
-        .map(|_| replay(records.clone(), cfg.batch))
-        .fold(f64::INFINITY, f64::min);
-    let base_per_sec = total as f64 / base_secs.max(1e-9);
+    // single-backend baseline per wire format: the whole stream on one
+    // machine; each format's speedups divide by its own baseline so the
+    // sharding effect is never conflated with the encoding effect
+    let formats: [(&str, bool); 2] = [("json", false), ("binary", true)];
+    let mut base_per_sec = [0.0f64; 2];
+    for (f, &(name, binary)) in formats.iter().enumerate() {
+        let base_secs = (0..ATTEMPTS)
+            .map(|_| replay(records.clone(), cfg.batch, binary))
+            .fold(f64::INFINITY, f64::min);
+        base_per_sec[f] = total as f64 / base_secs.max(1e-9);
+        println!(
+            "single backend ({name}): {:.0} rec/s (that format's speedup denominator, \
+             best of {ATTEMPTS})",
+            base_per_sec[f]
+        );
+    }
     println!(
-        "single backend: {base_per_sec:.0} rec/s (the speedup denominator, best of {ATTEMPTS})"
-    );
-    println!(
-        "{:>7} {:>9} {:>10} {:>14} {:>11} {:>12} {:>9}",
-        "shards", "records", "replicas", "aggregate r/s", "agg speedup", "wall r/s", "wall spd"
+        "{:>7} {:>7} {:>9} {:>10} {:>14} {:>11} {:>12} {:>9}",
+        "shards",
+        "format",
+        "records",
+        "replicas",
+        "aggregate r/s",
+        "agg speedup",
+        "wall r/s",
+        "wall spd"
     );
 
     let mut rows: Vec<Value> = Vec::new();
@@ -410,77 +497,93 @@ fn sharded_sweep() {
             }
         }
 
-        // modeled N-machine aggregate: each shard's stream replays on a
-        // dedicated fresh backend with the host to itself; the fleet's
-        // makespan is the slowest shard, so aggregate throughput is
-        // total records over that
-        let mut slowest = 0.0f64;
-        for stream in &streams {
-            let secs = (0..ATTEMPTS)
-                .map(|_| replay(stream.clone(), cfg.batch))
-                .fold(f64::INFINITY, f64::min);
-            slowest = slowest.max(secs);
-        }
-        let aggregate_per_sec = total as f64 / slowest.max(1e-9);
-        let aggregate_speedup = aggregate_per_sec / base_per_sec.max(1e-9);
-
-        // end-to-end wall clock through a live router, all backends
-        // contending for this host's cores — the deployment floor, not
-        // the scaling story
-        let mut wall: Option<f64> = None;
-        for _ in 0..ATTEMPTS {
-            let backends: Vec<Server> = (0..shards)
-                .map(|_| Server::start(ServerConfig::default()).expect("bind backend"))
-                .collect();
-            let router = Router::start(RouterConfig {
-                backends: backends.iter().map(|s| s.addr().to_string()).collect(),
-                batch: cfg.batch,
-                ..RouterConfig::default()
-            })
-            .expect("bind router");
-            let report = run_load(router.addr(), &cfg).expect("sharded load run");
-            router.shutdown();
-            for b in backends {
-                b.shutdown();
+        for (f, &(format, binary)) in formats.iter().enumerate() {
+            // modeled N-machine aggregate: each shard's stream replays
+            // on a dedicated fresh backend with the host to itself; the
+            // fleet's makespan is the slowest shard, so aggregate
+            // throughput is total records over that
+            let mut slowest = 0.0f64;
+            for stream in &streams {
+                let secs = (0..ATTEMPTS)
+                    .map(|_| replay(stream.clone(), cfg.batch, binary))
+                    .fold(f64::INFINITY, f64::min);
+                slowest = slowest.max(secs);
             }
-            if wall.is_none_or(|w| report.ingest_per_sec > w) {
-                wall = Some(report.ingest_per_sec);
-            }
-        }
-        let wall_per_sec = wall.expect("at least one router attempt");
-        let wall_speedup = wall_per_sec / base_per_sec.max(1e-9);
+            let aggregate_per_sec = total as f64 / slowest.max(1e-9);
+            let aggregate_speedup = aggregate_per_sec / base_per_sec[f].max(1e-9);
 
-        println!(
-            "{shards:>7} {total:>9} {replicated:>10} {aggregate_per_sec:>14.0} \
-             {aggregate_speedup:>10.2}x {wall_per_sec:>12.0} {wall_speedup:>8.2}x"
-        );
-        if shards == 2 && aggregate_speedup < 1.6 {
+            // end-to-end wall clock through a live router, all backends
+            // contending for this host's cores — the deployment floor,
+            // not the scaling story
+            let fmt_cfg = LoadConfig {
+                binary,
+                ..cfg.clone()
+            };
+            let mut wall: Option<f64> = None;
+            for _ in 0..ATTEMPTS {
+                let backends: Vec<Server> = (0..shards)
+                    .map(|_| Server::start(ServerConfig::default()).expect("bind backend"))
+                    .collect();
+                let router = Router::start(RouterConfig {
+                    backends: backends.iter().map(|s| s.addr().to_string()).collect(),
+                    batch: cfg.batch,
+                    ..RouterConfig::default()
+                })
+                .expect("bind router");
+                let report = run_load(router.addr(), &fmt_cfg).expect("sharded load run");
+                assert_eq!(report.wire_binary, binary, "router grants the asked format");
+                router.shutdown();
+                for b in backends {
+                    b.shutdown();
+                }
+                if wall.is_none_or(|w| report.ingest_per_sec > w) {
+                    wall = Some(report.ingest_per_sec);
+                }
+            }
+            let wall_per_sec = wall.expect("at least one router attempt");
+            let wall_speedup = wall_per_sec / base_per_sec[f].max(1e-9);
+
             println!(
-                "WARNING: 2-shard aggregate ingest speedup {aggregate_speedup:.2}x is below \
-                 the 1.6x target"
+                "{shards:>7} {format:>7} {total:>9} {replicated:>10} {aggregate_per_sec:>14.0} \
+                 {aggregate_speedup:>10.2}x {wall_per_sec:>12.0} {wall_speedup:>8.2}x"
             );
+            if shards == 2 && aggregate_speedup < 1.6 {
+                println!(
+                    "WARNING: 2-shard aggregate ingest speedup {aggregate_speedup:.2}x ({format}) \
+                     is below the 1.6x target"
+                );
+            }
+            if shards == 4 && binary && wall_speedup <= 1.5 {
+                println!(
+                    "WARNING: 4-shard binary router wall speedup {wall_speedup:.2}x is below \
+                     the 1.5x target"
+                );
+            }
+            rows.push(obj(&[
+                ("shards", num_u(shards as u64)),
+                ("format", str_v(format)),
+                ("records", num_u(total as u64)),
+                ("replicated_records", num_u(replicated)),
+                ("aggregate_per_sec", num_f(aggregate_per_sec)),
+                (
+                    "aggregate_speedup",
+                    num_f((aggregate_speedup * 100.0).round() / 100.0),
+                ),
+                ("router_wall_per_sec", num_f(wall_per_sec)),
+                (
+                    "router_wall_speedup",
+                    num_f((wall_speedup * 100.0).round() / 100.0),
+                ),
+            ]));
         }
-        rows.push(obj(&[
-            ("shards", num_u(shards as u64)),
-            ("records", num_u(total as u64)),
-            ("replicated_records", num_u(replicated)),
-            ("aggregate_per_sec", num_f(aggregate_per_sec)),
-            (
-                "aggregate_speedup",
-                num_f((aggregate_speedup * 100.0).round() / 100.0),
-            ),
-            ("router_wall_per_sec", num_f(wall_per_sec)),
-            (
-                "router_wall_speedup",
-                num_f((wall_speedup * 100.0).round() / 100.0),
-            ),
-        ]));
     }
     update_section(
         "serve_sharded",
         obj(&[
             ("batch", num_u(cfg.batch as u64)),
-            ("baseline_ingest_per_sec", num_f(base_per_sec)),
+            ("host_cores", num_u(host_cores as u64)),
+            ("baseline_ingest_per_sec", num_f(base_per_sec[0])),
+            ("baseline_ingest_per_sec_binary", num_f(base_per_sec[1])),
             ("rows", Value::Array(rows)),
         ]),
     );

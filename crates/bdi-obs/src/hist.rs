@@ -97,7 +97,8 @@ impl Histogram {
     }
 
     /// Record one value. Compiled out entirely under the `disabled`
-    /// feature.
+    /// feature; skipped at runtime while [`crate::set_recording`] is
+    /// off.
     #[inline]
     pub fn record(&self, value: u64) {
         #[cfg(feature = "disabled")]
@@ -106,6 +107,9 @@ impl Histogram {
         }
         #[cfg(not(feature = "disabled"))]
         {
+            if !crate::recording() {
+                return;
+            }
             self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
             self.sum.fetch_add(value, Ordering::Relaxed);
             self.max.fetch_max(value, Ordering::Relaxed);
@@ -166,13 +170,12 @@ impl std::fmt::Debug for Histogram {
 /// RAII stage timer: records the elapsed nanoseconds between creation
 /// and drop into its histogram. The hot-path cost is one `Instant::now`
 /// pair plus one relaxed atomic add; under the `disabled` feature the
-/// guard is a zero-sized no-op.
+/// guard is a zero-sized no-op, and while [`crate::set_recording`] is
+/// off it skips even the clock reads.
 #[must_use = "a span records on drop; binding it to `_` drops it immediately"]
 pub struct Span<'a> {
     #[cfg(not(feature = "disabled"))]
-    hist: &'a Histogram,
-    #[cfg(not(feature = "disabled"))]
-    start: Instant,
+    armed: Option<(&'a Histogram, Instant)>,
     #[cfg(feature = "disabled")]
     _hist: std::marker::PhantomData<&'a Histogram>,
 }
@@ -190,8 +193,7 @@ impl<'a> Span<'a> {
         }
         #[cfg(not(feature = "disabled"))]
         Span {
-            hist,
-            start: Instant::now(),
+            armed: crate::recording().then(|| (hist, Instant::now())),
         }
     }
 }
@@ -200,7 +202,9 @@ impl Drop for Span<'_> {
     #[inline]
     fn drop(&mut self) {
         #[cfg(not(feature = "disabled"))]
-        self.hist.record_duration(self.start.elapsed());
+        if let Some((hist, start)) = self.armed {
+            hist.record_duration(start.elapsed());
+        }
     }
 }
 

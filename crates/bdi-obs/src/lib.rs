@@ -40,3 +40,28 @@ pub mod registry;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Span, BUCKETS};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide switch for the *measurement* instruments. `false` turns
+/// every [`Histogram::record`] and [`Span`] into a near-no-op (spans
+/// skip even their `Instant::now` pair) — the runtime twin of the
+/// `disabled` cargo feature, usable for same-binary overhead A/B runs.
+///
+/// [`Counter`]s and [`Gauge`]s are **not** gated: they carry control-
+/// flow state (the flush barrier polls the submitted/applied counters),
+/// so switching them off would change behavior, not just observability.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable histogram/span recording process-wide (counters
+/// and gauges stay live — see [`RECORDING`]'s invariant). Defaults to
+/// enabled.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether histograms and spans currently record.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}

@@ -1,0 +1,40 @@
+//! The runtime recording switch, in its own process (and a single test
+//! function) so toggling the process-wide flag cannot race any other
+//! concurrently running test.
+
+use bdi_obs::{set_recording, Histogram, Registry};
+
+#[test]
+fn switch_gates_histograms_and_spans_but_not_counters() {
+    let hist = Histogram::new();
+    let registry = Registry::new();
+    let counter = registry.counter("test.live.counter");
+
+    set_recording(false);
+    hist.record(5);
+    {
+        let _span = hist.span();
+    }
+    counter.inc();
+    assert_eq!(hist.count(), 0, "recording off: histogram stays empty");
+    assert_eq!(counter.get(), 1, "counters are control flow — never gated");
+
+    set_recording(true);
+    hist.record(7);
+    {
+        let _span = hist.span();
+    }
+    assert_eq!(hist.count(), 2, "recording on: record + span both land");
+    assert!(
+        hist.snapshot().max >= 7,
+        "the explicit record landed (the span adds its own elapsed ns)"
+    );
+
+    // A span created while recording is on but dropped after it turns
+    // off must not panic (it may or may not record; the switch is a
+    // performance knob, not a consistency barrier).
+    let straddler = hist.span();
+    set_recording(false);
+    drop(straddler);
+    set_recording(true);
+}

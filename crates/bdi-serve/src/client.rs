@@ -3,7 +3,9 @@
 //! used by the load driver, the integration tests, and the `bdi load`
 //! subcommand.
 
+use crate::frame;
 use crate::protocol::{MetricsBody, Request, Response, StatsBody};
+use crate::server::FEATURE_BINARY;
 use crate::snapshot::Snapshot;
 use bdi_core::catalog::CatalogEntry;
 use bdi_types::Record;
@@ -15,6 +17,14 @@ use std::time::Duration;
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Binary frames negotiated via [`Client::negotiate_binary`];
+    /// requests with a binary mapping ship as frames, everything else
+    /// stays on JSON lines.
+    binary: bool,
+    /// Reused binary encode buffer.
+    wbuf: Vec<u8>,
+    /// Reused binary receive buffer.
+    rbuf: Vec<u8>,
 }
 
 fn bad(message: impl Into<String>) -> Error {
@@ -29,7 +39,30 @@ impl Client {
         // + delayed ACK would add ~40ms to every call
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader })
+        Ok(Self {
+            writer,
+            reader,
+            binary: false,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// Run a `hello` round trip and switch this connection to binary
+    /// frames if the server advertises the `binary-frames` feature.
+    /// Returns whether the upgrade happened. Safe against old or
+    /// JSON-only servers — they simply don't list the feature and the
+    /// connection stays on JSON lines.
+    pub fn negotiate_binary(&mut self) -> std::io::Result<bool> {
+        let (_, features) = self.hello()?;
+        self.binary = features.iter().any(|f| f == FEATURE_BINARY);
+        Ok(self.binary)
+    }
+
+    /// Whether [`Client::negotiate_binary`] switched this connection to
+    /// the binary wire path.
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     /// Bound every future read on this connection, so a wedged or
@@ -40,11 +73,39 @@ impl Client {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Send one request, read one response.
+    /// Send one request, read one response. After
+    /// [`Client::negotiate_binary`], requests with a binary mapping
+    /// (ingest_batch, flush, sync, restore) go as frames; everything
+    /// else stays on JSON lines — the server autodetects per message.
     pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        if self.binary && frame::encode_request(&mut self.wbuf, request) {
+            self.writer.write_all(&self.wbuf)?;
+            self.writer.flush()?;
+            return self.recv();
+        }
         let line = serde_json::to_string(request).map_err(|e| bad(e.to_string()))?;
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
+        self.recv()
+    }
+
+    /// Read one response, autodetecting its format from the first byte.
+    fn recv(&mut self) -> std::io::Result<Response> {
+        let first = {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            buf[0]
+        };
+        if first == frame::FRAME_MAGIC {
+            frame::read_frame(&mut self.reader, &mut self.rbuf)?;
+            let (opcode, payload) = frame::open_frame(&self.rbuf)?;
+            return frame::decode_response(opcode, payload);
+        }
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
             return Err(Error::new(

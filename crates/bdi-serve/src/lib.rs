@@ -40,18 +40,20 @@
 //!   --prometheus`. Requests slower than a threshold can be logged
 //!   ([`server::ServerConfig::slow_ms`]).
 
-// `deny`, not `forbid`: the raw-epoll shim (`nio::sys`) is the one
-// carved-out `#![allow(unsafe_code)]` module; everything else stays
-// unsafe-free.
+// `deny`, not `forbid`: the raw-epoll shim (`nio::sys`) and the raw
+// mmap shim behind the WAL (`mmap`) are the two carved-out
+// `#![allow(unsafe_code)]` modules; everything else stays unsafe-free.
 #![deny(unsafe_code)]
 
 pub mod bridge;
 pub mod client;
 pub mod engine;
 pub mod fleet;
+pub mod frame;
 pub mod gen;
 pub(crate) mod http;
 pub mod load;
+pub(crate) mod mmap;
 pub(crate) mod nio;
 pub mod protocol;
 pub mod replica;

@@ -42,6 +42,11 @@ pub struct LoadConfig {
     /// front-end autodetects the protocol from the first bytes of each
     /// connection.
     pub http: bool,
+    /// Negotiate binary frames for the ingest stream (`hello` feature
+    /// `binary-frames`). Opportunistic: a JSON-only server simply keeps
+    /// the run on JSON lines — check [`LoadReport::wire_binary`] for
+    /// what actually happened. Ignored when `http` is set.
+    pub binary: bool,
 }
 
 impl Default for LoadConfig {
@@ -54,6 +59,7 @@ impl Default for LoadConfig {
             readers: 4,
             batch: 1,
             http: false,
+            binary: false,
         }
     }
 }
@@ -67,12 +73,23 @@ enum Driver {
 }
 
 impl Driver {
-    fn connect(addr: SocketAddr, http: bool) -> std::io::Result<Self> {
+    fn connect(addr: SocketAddr, http: bool, binary: bool) -> std::io::Result<Self> {
         Ok(if http {
             Driver::Http(HttpClient::connect(addr)?)
         } else {
-            Driver::Wire(Client::connect(addr)?)
+            let mut client = Client::connect(addr)?;
+            if binary {
+                client.negotiate_binary()?;
+            }
+            Driver::Wire(client)
         })
+    }
+
+    fn is_binary(&self) -> bool {
+        match self {
+            Driver::Wire(c) => c.is_binary(),
+            Driver::Http(_) => false,
+        }
     }
 
     fn lookup(&mut self, identifier: &str) -> std::io::Result<()> {
@@ -166,6 +183,10 @@ pub struct LoadReport {
     /// Per-lane error counters (`route.shard{s}.replica{r}.errors`),
     /// name-sorted — non-empty only when lanes actually failed.
     pub replica_errors: Vec<(String, u64)>,
+    /// Whether the ingest stream actually went over binary frames
+    /// (requested via [`LoadConfig::binary`] *and* granted by the
+    /// server's `hello`).
+    pub wire_binary: bool,
 }
 
 /// Generate a world and replay it against a running server at `addr`.
@@ -199,7 +220,8 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
-                let mut client = Driver::connect(addr, http)?;
+                // readers stay on JSON: lookup has no binary encoding
+                let mut client = Driver::connect(addr, http, false)?;
                 let mut latencies = Vec::new();
                 // stride the pool differently per reader so shards all
                 // see traffic without needing a shared RNG
@@ -218,7 +240,8 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         })
         .collect();
 
-    let mut writer = Driver::connect(addr, cfg.http)?;
+    let mut writer = Driver::connect(addr, cfg.http, cfg.binary)?;
+    let wire_binary = writer.is_binary();
     let mut ingest_latencies: Vec<u64> = Vec::with_capacity(total);
     // driver-side batch-size distribution (the last chunk is partial)
     let batch_hist = Registry::new().histogram("load.ingest.batch_records");
@@ -316,6 +339,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         backend_retries: counter("route.backend.retries"),
         replicas_dropped: counter("route.ingest.replicas_dropped"),
         replica_errors,
+        wire_binary,
     })
 }
 
@@ -397,6 +421,84 @@ mod tests {
         assert!(
             report.server_ingest_p50_ns > 0,
             "ingest_batch handling histogram populated"
+        );
+        assert!(report.generation >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_load_negotiates_and_completes() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let cfg = LoadConfig {
+            entities: 40,
+            sources: 6,
+            readers: 1,
+            batch: 16,
+            binary: true,
+            ..Default::default()
+        };
+        let report = run_load(server.addr(), &cfg).unwrap();
+        assert!(report.wire_binary, "default server grants binary-frames");
+        assert!(report.records > 16);
+        assert!(report.generation >= 1, "binary flush advanced a generation");
+        assert!(
+            report.server_ingest_p50_ns > 0,
+            "binary ingest lands in the same handling histogram"
+        );
+        server.shutdown();
+    }
+
+    /// Format equivalence, pinned: the identical world driven over
+    /// binary frames and over JSON lines must leave two servers in the
+    /// same engine state — same counts, same clustering surface. The
+    /// wire encoding is transport, never semantics.
+    #[test]
+    fn binary_and_json_wires_build_identical_state() {
+        let run = |binary: bool| {
+            let server = Server::start(ServerConfig::default()).unwrap();
+            let cfg = LoadConfig {
+                entities: 60,
+                sources: 8,
+                readers: 0,
+                batch: 16,
+                binary,
+                ..Default::default()
+            };
+            let report = run_load(server.addr(), &cfg).unwrap();
+            assert_eq!(report.wire_binary, binary);
+            let mut client = crate::client::Client::connect(server.addr()).unwrap();
+            let stats = client.stats().unwrap();
+            let top = client.top_k("weight", 50).unwrap();
+            let titles: Vec<String> = top.into_iter().map(|e| e.title).collect();
+            server.shutdown();
+            (stats.records, stats.products, stats.applied, titles)
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "binary wire changed the resulting engine state"
+        );
+    }
+
+    #[test]
+    fn binary_request_falls_back_on_json_only_server() {
+        let server = Server::start(ServerConfig {
+            binary_wire: false,
+            ..Default::default()
+        })
+        .unwrap();
+        let cfg = LoadConfig {
+            entities: 20,
+            sources: 4,
+            readers: 0,
+            batch: 8,
+            binary: true,
+            ..Default::default()
+        };
+        let report = run_load(server.addr(), &cfg).unwrap();
+        assert!(
+            !report.wire_binary,
+            "--no-binary server keeps the run on JSON"
         );
         assert!(report.generation >= 1);
         server.shutdown();

@@ -34,6 +34,7 @@ pub(crate) mod sys;
 
 pub use sys::raise_nofile_limit;
 
+use crate::frame;
 use crate::http::{self, HttpRequest, HttpResponse};
 use bdi_obs::{Counter, Gauge, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -86,6 +87,18 @@ pub(crate) trait Service: Send + Sync + 'static {
     /// newline) and whether to close the connection after writing it.
     fn handle_line(&self, conn: &mut Self::Conn, line: &str) -> (String, bool);
 
+    /// Handle one complete binary frame (`[frame::FRAME_MAGIC]`-led,
+    /// CRC-validated length on the framing side; the payload CRC is
+    /// checked here via [`frame::open_frame`]). Returns the encoded
+    /// response frame and whether to close. The default rejects the
+    /// format — a service opts in by overriding.
+    fn handle_frame(&self, conn: &mut Self::Conn, raw: &[u8]) -> (Vec<u8>, bool) {
+        let _ = (conn, raw);
+        let mut out = Vec::new();
+        frame::encode_error(&mut out, "binary frames not supported on this endpoint");
+        (out, true)
+    }
+
     /// Handle one decoded HTTP request.
     fn handle_http(&self, conn: &mut Self::Conn, req: HttpRequest) -> HttpResponse;
 
@@ -99,6 +112,8 @@ pub(crate) trait Service: Send + Sync + 'static {
 enum Frame {
     /// A complete JSON line (newline stripped, non-blank).
     Line(String),
+    /// A complete binary frame (magic through CRC trailer, verbatim).
+    Binary(Vec<u8>),
     /// A complete HTTP request.
     Http(HttpRequest),
     /// Pre-encoded bytes from the framing layer itself — an interim
@@ -763,6 +778,26 @@ fn parse_frames<C>(conn: &mut Conn<C>) -> Vec<Frame> {
                 Some(true) => conn.proto = Proto::Http(HttpDecoder::new()),
                 Some(false) => conn.proto = Proto::Json,
             },
+            // The Json arm also frames binary: `sniff` routes anything
+            // that isn't an HTTP method here, and 0xB5 (frame magic) is
+            // not valid JSON, so the two formats coexist per-frame on
+            // one connection (a client can `hello` in JSON, then switch).
+            Proto::Json if conn.rbuf.first() == Some(&frame::FRAME_MAGIC) => {
+                match frame::frame_len(&conn.rbuf) {
+                    Ok(None) => break, // header or body still arriving
+                    Ok(Some(total)) => {
+                        let raw: Vec<u8> = conn.rbuf.drain(..total).collect();
+                        frames.push(Frame::Binary(raw));
+                    }
+                    Err(e) => {
+                        conn.broken = true;
+                        let mut bytes = Vec::new();
+                        frame::encode_error(&mut bytes, &format!("bad frame: {e}"));
+                        frames.push(Frame::Raw { bytes, close: true });
+                        break;
+                    }
+                }
+            }
             Proto::Json => match conn.rbuf.iter().position(|&b| b == b'\n') {
                 Some(idx) => {
                     let mut line: Vec<u8> = conn.rbuf.drain(..=idx).collect();
@@ -869,6 +904,11 @@ fn worker_loop<S: Service>(
                         let (resp, close) = service.handle_line(&mut state, &line);
                         out.extend_from_slice(resp.as_bytes());
                         out.push(b'\n');
+                        done = close;
+                    }
+                    Frame::Binary(raw) => {
+                        let (resp, close) = service.handle_frame(&mut state, &raw);
+                        out.extend_from_slice(&resp);
                         done = close;
                     }
                     Frame::Http(req) => {

@@ -30,8 +30,10 @@
 //! rebuilt through `replace` (WAL shipping), which restores from an
 //! exact position.
 
+use crate::frame;
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use crate::router::RouterShared;
+use crate::server::FEATURE_BINARY;
 use bdi_obs::Counter;
 use bdi_types::Record;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -54,6 +56,16 @@ fn invalid(message: String) -> std::io::Error {
 pub(crate) struct LaneConn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// The peer advertised `binary-frames` in its `hello`: requests
+    /// with a binary mapping ship as frames instead of JSON lines.
+    binary: bool,
+    /// Reused binary encode buffer — one frame per batch, zero
+    /// per-batch allocations once warm.
+    wbuf: Vec<u8>,
+    /// Reused binary receive buffer.
+    rbuf: Vec<u8>,
+    /// Reused JSON encode buffer (the non-binary twin of `wbuf`).
+    line: String,
 }
 
 impl LaneConn {
@@ -61,7 +73,14 @@ impl LaneConn {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { writer, reader })
+        Ok(Self {
+            writer,
+            reader,
+            binary: false,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+            line: String::new(),
+        })
     }
 
     /// Connect and run the `hello` handshake: the peer must speak
@@ -88,6 +107,9 @@ impl LaneConn {
                         "{addr} lacks required feature '{missing}'"
                     )));
                 }
+                // opportunistic, never required: a JSON-only peer just
+                // keeps this lane on the JSON path (mixed-format fleet)
+                conn.binary = features.iter().any(|f| f == FEATURE_BINARY);
                 Ok(conn)
             }
             // pre-v2 builds answer hello with an error response
@@ -104,12 +126,37 @@ impl LaneConn {
     }
 
     pub(crate) fn send(&mut self, request: &Request) -> std::io::Result<()> {
-        let line = serde_json::to_string(request)
+        if self.binary && frame::encode_request(&mut self.wbuf, request) {
+            self.writer.write_all(&self.wbuf)?;
+            return self.writer.flush();
+        }
+        // JSON path: serialize into the reused line buffer — no fresh
+        // String per batch
+        serde_json::to_string_into(request, &mut self.line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        self.send_line(&line)
+        self.line.push('\n');
+        self.writer.write_all(self.line.as_bytes())?;
+        self.writer.flush()
     }
 
     pub(crate) fn recv(&mut self) -> std::io::Result<Response> {
+        // replies are format-autodetected per message, exactly like the
+        // server's receive side: a frame-magic first byte means binary
+        let first = {
+            let buf = self.reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "backend closed connection",
+                ));
+            }
+            buf[0]
+        };
+        if first == frame::FRAME_MAGIC {
+            frame::read_frame(&mut self.reader, &mut self.rbuf)?;
+            let (opcode, payload) = frame::open_frame(&self.rbuf)?;
+            return frame::decode_response(opcode, payload);
+        }
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
             return Err(std::io::Error::new(

@@ -45,6 +45,7 @@
 //! [`RegistrySnapshot`]: bdi_obs::RegistrySnapshot
 
 use crate::bridge::{mask_shards, merge_entries, merge_stats, BridgeIndex, ShardMask, MAX_SHARDS};
+use crate::frame;
 use crate::http::{self, HttpMetrics};
 use crate::nio;
 use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
@@ -64,7 +65,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Wire features this router tier itself advertises on `hello`.
-pub const ROUTER_FEATURES: [&str; 4] = ["ingest_batch", "flush_barrier", "split", "replace"];
+pub const ROUTER_FEATURES: [&str; 5] = [
+    "ingest_batch",
+    "flush_barrier",
+    "split",
+    "replace",
+    "binary-frames",
+];
 
 /// Router tunables.
 #[derive(Clone, Debug)]
@@ -381,6 +388,10 @@ impl nio::Service for RouteService {
         handle_line(line, &self.shared, conns, self.addr)
     }
 
+    fn handle_frame(&self, conns: &mut QueryConns, raw: &[u8]) -> (Vec<u8>, bool) {
+        handle_frame(raw, &self.shared, conns)
+    }
+
     fn handle_http(&self, conns: &mut QueryConns, req: http::HttpRequest) -> http::HttpResponse {
         http::respond(&req, &self.shared.metrics.http, |request| {
             catch_unwind(AssertUnwindSafe(|| {
@@ -430,6 +441,91 @@ fn handle_line(
         "{\"error\":{\"message\":\"internal error: response serialization failed\"}}".to_string()
     });
     (body, close)
+}
+
+/// Handle one binary-framed request against the fleet: decode,
+/// dispatch (panics answered as errors), encode a binary reply. Only
+/// the hot write-path commands have binary encodings — everything else
+/// stays on JSON lines, which the front-end autodetects per message.
+fn handle_frame(raw: &[u8], shared: &Arc<RouterShared>, conns: &mut QueryConns) -> (Vec<u8>, bool) {
+    let mut out = Vec::new();
+    let (opcode, payload) = match frame::open_frame(raw) {
+        Ok(parts) => parts,
+        Err(e) => {
+            shared.metrics.request_errors.inc();
+            frame::encode_error(&mut out, &format!("bad frame: {e}"));
+            return (out, true);
+        }
+    };
+    let response = catch_unwind(AssertUnwindSafe(|| {
+        dispatch_frame(opcode, payload, shared, conns)
+    }))
+    .unwrap_or_else(|_| {
+        Ok(Response::Error {
+            message: "internal error: request handler panicked".to_string(),
+        })
+    })
+    .unwrap_or_else(|e| Response::Error {
+        message: format!("bad request: {e}"),
+    });
+    if matches!(response, Response::Error { .. }) {
+        shared.metrics.request_errors.inc();
+    }
+    if !frame::encode_response(&mut out, &response) {
+        frame::encode_error(&mut out, "internal error: unencodable binary reply");
+    }
+    (out, false)
+}
+
+/// Binary twin of the write-path arms of [`dispatch`]: same routing,
+/// same barrier, same metrics — only the codec differs.
+fn dispatch_frame(
+    opcode: u8,
+    payload: &[u8],
+    shared: &Arc<RouterShared>,
+    conns: &mut QueryConns,
+) -> std::io::Result<Response> {
+    let mut r = frame::Reader::new(payload);
+    let trailing = |r: &frame::Reader<'_>| -> std::io::Result<()> {
+        if r.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trailing bytes after payload",
+            ))
+        }
+    };
+    match opcode {
+        frame::OP_INGEST_BATCH => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(err("shutting down".to_string()));
+            }
+            let records = frame::read_records(&mut r)?;
+            trailing(&r)?;
+            shared.metrics.batch_records.record(records.len() as u64);
+            let mut submitted = shared.metrics.submitted.get();
+            for record in records {
+                match route_one(shared, record) {
+                    Ok(s) => submitted = s,
+                    Err(e) => return Ok(err(e)),
+                }
+            }
+            Ok(Response::Ack { submitted })
+        }
+        frame::OP_FLUSH => {
+            trailing(&r)?;
+            if let Err(e) = ingest_barrier(shared) {
+                return Ok(err(e));
+            }
+            Ok(flush_fleet(shared, conns))
+        }
+        frame::OP_SYNC | frame::OP_RESTORE => Ok(err(
+            "backend-only command: issue it against a `bdi serve` backend, not the router"
+                .to_string(),
+        )),
+        other => Ok(err(format!("unexpected request opcode 0x{other:02x}"))),
+    }
 }
 
 /// Per-connection lazy backend connections for the scatter-gather read

@@ -35,6 +35,7 @@
 //! worker keeps draining.
 
 use crate::engine::{Engine, EngineMetrics};
+use crate::frame;
 use crate::gen::{Generation, ShardedIndex, Swap};
 use crate::http::{self, HttpMetrics};
 use crate::nio;
@@ -141,6 +142,11 @@ pub struct ServerConfig {
     pub metrics_file: Option<PathBuf>,
     /// How often the metrics file is rewritten.
     pub metrics_interval: Duration,
+    /// Accept binary frames and advertise `binary-frames` in `hello`
+    /// (the default). `false` (`bdi serve --no-binary`) keeps this node
+    /// JSON-only — peers that autonegotiate fall back, which is how a
+    /// mixed-format fleet runs during a staged rollout.
+    pub binary_wire: bool,
 }
 
 impl Default for ServerConfig {
@@ -160,6 +166,7 @@ impl Default for ServerConfig {
             slow_ms: None,
             metrics_file: None,
             metrics_interval: Duration::from_secs(5),
+            binary_wire: true,
         }
     }
 }
@@ -186,7 +193,19 @@ const COMMAND_KINDS: [&str; 14] = [
 /// router checks for the ones it depends on (`ingest_batch` for the
 /// pipelined lanes, `sync` for replacement bootstrap) instead of
 /// discovering their absence as unknown-command errors mid-stream.
-pub const FEATURES: [&str; 4] = ["ingest_batch", "flush_barrier", "sync", "restore"];
+/// `binary-frames` is dropped from the reply when
+/// [`ServerConfig::binary_wire`] is off — peers negotiate the format
+/// off this list, never by trial and error.
+pub const FEATURES: [&str; 5] = [
+    "ingest_batch",
+    "flush_barrier",
+    "sync",
+    "restore",
+    "binary-frames",
+];
+
+/// The `hello` feature gating the binary frame format.
+pub const FEATURE_BINARY: &str = "binary-frames";
 
 /// Index of a command kind in the per-command metric handle arrays.
 fn command_slot(kind: &str) -> usize {
@@ -317,6 +336,7 @@ struct Shared {
     shards: usize,
     durable: bool,
     slow_ms: Option<u64>,
+    binary_wire: bool,
 }
 
 /// A running integration service.
@@ -347,6 +367,7 @@ impl Server {
             shards: cfg.shards,
             durable: cfg.durability.is_some(),
             slow_ms: cfg.slow_ms,
+            binary_wire: cfg.binary_wire,
         });
 
         let engine_threads = if cfg.engine_threads == 0 {
@@ -919,6 +940,10 @@ impl nio::Service for ServeService {
         handle_line(line, &self.shared, &self.tx, self.addr)
     }
 
+    fn handle_frame(&self, _conn: &mut (), raw: &[u8]) -> (Vec<u8>, bool) {
+        handle_frame(raw, &self.shared, &self.tx)
+    }
+
     fn handle_http(&self, _conn: &mut (), req: http::HttpRequest) -> http::HttpResponse {
         http::respond(&req, &self.shared.metrics.http, |request| {
             catch_unwind(AssertUnwindSafe(|| {
@@ -987,6 +1012,170 @@ fn handle_line(line: &str, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) 
     (body, close)
 }
 
+/// Handle one binary frame: validate, meter, dispatch (panics answered
+/// as error frames), encode the reply frame. The binary twin of
+/// [`handle_line`] — both front-ends call this, so replies are
+/// byte-identical across them.
+fn handle_frame(raw: &[u8], shared: &Shared, tx: &Sender<Job>) -> (Vec<u8>, bool) {
+    let mut out = Vec::new();
+    if !shared.binary_wire {
+        // this node never advertised `binary-frames`; a frame here is a
+        // peer that skipped negotiation, and the stream past it cannot
+        // be trusted to re-synchronize
+        shared.metrics.request_errors.inc();
+        frame::encode_error(&mut out, "binary frames are disabled on this server");
+        return (out, true);
+    }
+    let (opcode, payload) = match frame::open_frame(raw) {
+        Ok(parts) => parts,
+        Err(e) => {
+            shared.metrics.request_errors.inc();
+            frame::encode_error(&mut out, &format!("bad frame: {e}"));
+            return (out, true);
+        }
+    };
+    let kind = match opcode {
+        frame::OP_INGEST_BATCH => "ingest_batch",
+        frame::OP_FLUSH => "flush",
+        frame::OP_SYNC => "sync",
+        frame::OP_RESTORE => "restore",
+        other => {
+            shared.metrics.request_errors.inc();
+            frame::encode_error(&mut out, &format!("unexpected request opcode {other:#04x}"));
+            return (out, false);
+        }
+    };
+    let slot = command_slot(kind);
+    shared.metrics.request_bytes[slot].record(raw.len() as u64);
+    let t0 = Instant::now();
+    let response = match catch_unwind(AssertUnwindSafe(|| {
+        dispatch_frame(opcode, payload, shared, tx)
+    })) {
+        Ok(Ok(response)) => response,
+        Ok(Err(e)) => Response::Error {
+            message: format!("bad request: {e}"),
+        },
+        Err(_) => Response::Error {
+            message: "internal error: request handler panicked".to_string(),
+        },
+    };
+    let elapsed = t0.elapsed();
+    shared.metrics.request_ns[slot].record_duration(elapsed);
+    if matches!(response, Response::Error { .. }) {
+        shared.metrics.request_errors.inc();
+    }
+    if let Some(threshold_ms) = shared.slow_ms {
+        let elapsed_ms = elapsed.as_millis() as u64;
+        if elapsed_ms >= threshold_ms {
+            eprintln!(
+                "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
+                 bytes={} generation={}",
+                raw.len(),
+                shared.current.load().seq,
+            );
+        }
+    }
+    if !frame::encode_response(&mut out, &response) {
+        frame::encode_error(&mut out, "internal error: unencodable binary reply");
+    }
+    (out, false)
+}
+
+/// Dispatch one binary request. Each arm mirrors the corresponding
+/// [`dispatch`] arm exactly — only the decode differs, so the two
+/// formats can never diverge in behavior.
+fn dispatch_frame(
+    opcode: u8,
+    payload: &[u8],
+    shared: &Shared,
+    tx: &Sender<Job>,
+) -> std::io::Result<Response> {
+    let mut r = frame::Reader::new(payload);
+    let trailing = |r: &frame::Reader| -> std::io::Result<()> {
+        if r.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} trailing bytes after request payload", r.remaining()),
+            ))
+        }
+    };
+    Ok(match opcode {
+        frame::OP_INGEST_BATCH => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(Response::Error {
+                    message: "shutting down".to_string(),
+                });
+            }
+            let records = frame::read_records(&mut r)?;
+            trailing(&r)?;
+            shared
+                .metrics
+                .ingest_batch_records
+                .record(records.len() as u64);
+            let mut submitted = shared.metrics.submitted.get();
+            for record in records {
+                if tx.send(Job::Record(record)).is_err() {
+                    return Ok(Response::Error {
+                        message: "ingest queue closed".to_string(),
+                    });
+                }
+                submitted = shared.metrics.submitted.inc();
+            }
+            Response::Ack { submitted }
+        }
+        frame::OP_FLUSH => {
+            trailing(&r)?;
+            let target = shared.metrics.submitted.get();
+            while shared.metrics.applied.get() < target {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            let current = shared.current.load();
+            Response::Flushed {
+                generation: current.seq,
+                applied: shared.metrics.applied.get(),
+            }
+        }
+        frame::OP_SYNC => {
+            let from = r.read_u64()?;
+            trailing(&r)?;
+            let (reply, reply_rx) = bounded(1);
+            if tx.send(Job::Sync { from, reply }).is_err() {
+                return Ok(Response::Error {
+                    message: "ingest queue closed".to_string(),
+                });
+            }
+            reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                message: "sync worker unavailable".to_string(),
+            })
+        }
+        frame::OP_RESTORE => {
+            let (position, snapshot, tail) = frame::read_state_body(&mut r)?;
+            trailing(&r)?;
+            let (reply, reply_rx) = bounded(1);
+            let job = Job::Restore(Box::new(RestoreJob {
+                snapshot,
+                tail,
+                position,
+                reply,
+            }));
+            if tx.send(job).is_err() {
+                return Ok(Response::Error {
+                    message: "ingest queue closed".to_string(),
+                });
+            }
+            reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                message: "restore worker unavailable".to_string(),
+            })
+        }
+        other => unreachable!("opcode {other:#04x} filtered by the caller"),
+    })
+}
+
 fn accept_loop(listener: TcpListener, addr: SocketAddr, shared: Arc<Shared>, tx: Sender<Job>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -1017,14 +1206,47 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
     shared.metrics.conn_accepted.inc();
     shared.metrics.conn_open.inc();
     let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (body, done) = handle_line(&line, &shared, &tx, addr);
-        if writeln!(writer, "{body}")
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    let mut raw = Vec::new();
+    loop {
+        // peek one byte to pick this request's format — the same
+        // per-message autodetect the readiness front-end does
+        let first = match reader.fill_buf() {
+            Ok([]) => break, // EOF
+            Ok(buf) => buf[0],
+            Err(_) => break,
+        };
+        let (bytes, done) = if first == frame::FRAME_MAGIC {
+            if frame::read_frame(&mut reader, &mut raw).is_err() {
+                break;
+            }
+            let (out, close) = handle_frame(&raw, &shared, &tx);
+            (out, close)
+        } else {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => break, // invalid UTF-8 tears the conn down
+            }
+            // strip the terminator the way `BufRead::lines` does
+            if line.ends_with('\n') {
+                line.pop();
+                if line.ends_with('\r') {
+                    line.pop();
+                }
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (body, close) = handle_line(&line, &shared, &tx, addr);
+            let mut out = body.into_bytes();
+            out.push(b'\n');
+            (out, close)
+        };
+        if writer
+            .write_all(&bytes)
             .and_then(|()| writer.flush())
             .is_err()
         {
@@ -1164,7 +1386,11 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAdd
         }
         Request::Hello => Response::Hello {
             version: PROTOCOL_VERSION,
-            features: FEATURES.iter().map(|f| (*f).to_string()).collect(),
+            features: FEATURES
+                .iter()
+                .filter(|f| shared.binary_wire || **f != FEATURE_BINARY)
+                .map(|f| (*f).to_string())
+                .collect(),
         },
         Request::Sync { from } => {
             let (reply, reply_rx) = bounded(1);

@@ -7,23 +7,45 @@
 //! grows beyond the configured threshold, then compacts the WAL through
 //! the snapshot position ([`crate::wal::Wal::compact_through`]).
 //!
-//! Writes are atomic in the classic way: serialize to `snapshot.json.tmp`,
-//! fsync, rename over `snapshot.json`, fsync the directory. A crash
+//! Writes are atomic in the classic way: serialize to `snapshot.bin.tmp`,
+//! fsync, rename over `snapshot.bin`, fsync the directory. A crash
 //! during the write leaves the previous snapshot intact; a crash between
 //! snapshot and WAL compaction merely replays a longer tail (records are
 //! idempotent to re-apply only if not already covered — the recovery path
 //! skips entries below the snapshot position, so double-apply cannot
 //! happen).
+//!
+//! The on-disk body is the crate's binary frame encoding
+//! ([`crate::frame::put_snapshot`]) behind an 9-byte header and ahead
+//! of a trailing CRC-32 — a straight walk of the engine state with no
+//! `serde_json` value tree on either side:
+//!
+//! ```text
+//! [magic "BDISNAP1" 8B][version u8 = 1][snapshot body][crc32 u32 LE]
+//! ```
+//!
+//! Snapshots written by older builds (`snapshot.json`) still load; the
+//! first write after an upgrade replaces them with the binary file and
+//! removes the text one, so a data directory converges.
 
 use crate::engine::{Engine, EngineState};
+use crate::frame;
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
 
 /// File name of the live snapshot inside a data directory.
-pub const SNAPSHOT_FILE: &str = "snapshot.json";
-const SNAPSHOT_TMP: &str = "snapshot.json.tmp";
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.bin.tmp";
+/// Legacy JSON snapshot file name — loaded when no binary snapshot
+/// exists, removed once a binary one is written.
+pub const SNAPSHOT_LEGACY_FILE: &str = "snapshot.json";
+const SNAPSHOT_LEGACY_TMP: &str = "snapshot.json.tmp";
+
+/// Magic bytes opening a binary snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BDISNAP1";
+const SNAPSHOT_VERSION: u8 = 1;
 
 /// One on-disk snapshot: the engine state plus the positions needed to
 /// splice the WAL tail back on. Also the unit of WAL shipping — the
@@ -62,36 +84,96 @@ impl Snapshot {
     pub fn write_timed(&self, dir: &Path) -> std::io::Result<std::time::Duration> {
         let t0 = std::time::Instant::now();
         std::fs::create_dir_all(dir)?;
-        let body = serde_json::to_string(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut body = Vec::with_capacity(4096);
+        body.extend_from_slice(SNAPSHOT_MAGIC);
+        body.push(SNAPSHOT_VERSION);
+        frame::put_snapshot(&mut body, self);
+        let crc = frame::crc32(&body[SNAPSHOT_MAGIC.len() + 1..]);
+        body.extend_from_slice(&crc.to_le_bytes());
         let tmp = dir.join(SNAPSHOT_TMP);
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(body.as_bytes())?;
-            f.write_all(b"\n")?;
+            f.write_all(&body)?;
             f.sync_data()?;
         }
         std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
         File::open(dir)?.sync_all()?;
+        // the binary file now owns the state: drop a leftover legacy
+        // text snapshot so a rollback cannot resurrect stale state
+        for stale in [SNAPSHOT_LEGACY_FILE, SNAPSHOT_LEGACY_TMP] {
+            let path = dir.join(stale);
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+            }
+        }
         Ok(t0.elapsed())
     }
 
-    /// Load the snapshot from `dir`, if one exists. A missing file is
+    /// Load the snapshot from `dir`, if one exists — the binary file
+    /// when present, else a legacy JSON snapshot. A missing file is
     /// `Ok(None)` (cold start); an unreadable or corrupt file is an
     /// error — silently ignoring it would resurrect a stale state.
     pub fn load(dir: &Path) -> std::io::Result<Option<Snapshot>> {
         let path = dir.join(SNAPSHOT_FILE);
-        if !path.exists() {
+        if path.exists() {
+            let bytes = std::fs::read(&path)?;
+            return Self::decode_file(&bytes).map(Some).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("corrupt snapshot {}: {e}", path.display()),
+                )
+            });
+        }
+        let legacy = dir.join(SNAPSHOT_LEGACY_FILE);
+        if !legacy.exists() {
             return Ok(None);
         }
-        let text = std::fs::read_to_string(&path)?;
+        let text = std::fs::read_to_string(&legacy)?;
         let snapshot: Snapshot = serde_json::from_str(&text).map_err(|e| {
             std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("corrupt snapshot {}: {e}", path.display()),
+                format!("corrupt snapshot {}: {e}", legacy.display()),
             )
         })?;
         Ok(Some(snapshot))
+    }
+
+    /// Decode a binary snapshot file image (header + body + CRC).
+    fn decode_file(bytes: &[u8]) -> std::io::Result<Snapshot> {
+        let header = SNAPSHOT_MAGIC.len() + 1;
+        if bytes.len() < header + 4 || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "missing snapshot magic",
+            ));
+        }
+        if bytes[SNAPSHOT_MAGIC.len()] != SNAPSHOT_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "unsupported snapshot version {}",
+                    bytes[SNAPSHOT_MAGIC.len()]
+                ),
+            ));
+        }
+        let body = &bytes[header..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let computed = frame::crc32(body);
+        if stored != computed {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("snapshot CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+            ));
+        }
+        let mut r = frame::Reader::new(body);
+        let snapshot = frame::read_snapshot(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "trailing bytes after snapshot body",
+            ));
+        }
+        Ok(snapshot)
     }
 
     /// Rebuild the engine this snapshot captured.
@@ -156,8 +238,59 @@ mod tests {
         let dir = tmp_dir("corrupt");
         assert!(Snapshot::load(&dir).unwrap().is_none());
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(SNAPSHOT_FILE), b"{not json").unwrap();
-        assert!(Snapshot::load(&dir).is_err());
+        std::fs::write(dir.join(SNAPSHOT_FILE), b"{not a snapshot").unwrap();
+        assert!(Snapshot::load(&dir).is_err(), "bad magic is an error");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_crc() {
+        let dir = tmp_dir("bitflip");
+        let mut engine = Engine::new(0.9);
+        engine.ingest(rec(0, 0, 0));
+        engine.refresh();
+        Snapshot::capture(&engine, 1).write(&dir).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Snapshot::load(&dir).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "got: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_json_snapshot_loads_and_is_replaced_on_write() {
+        let dir = tmp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(0.9);
+        for i in 0..4u32 {
+            engine.ingest(rec(i % 2, i, i / 2));
+        }
+        engine.refresh();
+        let snap = Snapshot::capture(&engine, 2);
+        // hand-write the legacy text format an older build would leave
+        std::fs::write(
+            dir.join(SNAPSHOT_LEGACY_FILE),
+            serde_json::to_string(&snap).unwrap(),
+        )
+        .unwrap();
+
+        let loaded = Snapshot::load(&dir).unwrap().expect("legacy loads");
+        assert_eq!(loaded.seq, 2);
+        assert_eq!(loaded.records, 4);
+        let (mut restored, _, _) = loaded.clone().restore_engine().unwrap();
+        assert_eq!(restored.refresh().len(), engine.refresh().len());
+
+        // the next write converges the directory on the binary format
+        loaded.write(&dir).unwrap();
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        assert!(
+            !dir.join(SNAPSHOT_LEGACY_FILE).exists(),
+            "legacy file removed after the binary write"
+        );
+        assert_eq!(Snapshot::load(&dir).unwrap().unwrap().records, 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -11,7 +11,11 @@ Cross-checks, in both directions:
   is documented in docs/HTTP_API.md, and every per-endpoint metric
   label (`HTTP_ENDPOINTS`) appears there too;
 * the per-command metrics row in PROTOCOL.md names every request
-  command (the instrumentation registers one histogram per command).
+  command (the instrumentation registers one histogram per command);
+* every binary opcode in crates/bdi-serve/src/frame.rs (`OP_*` consts
+  and the `OPCODES` name table) appears in PROTOCOL.md's "Binary
+  frames" opcode tables with the matching hex value, and the doc
+  tables name no opcode the code lacks.
 
 Run from the repo root: `python3 scripts/check_docs_drift.py`.
 """
@@ -22,6 +26,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 PROTOCOL_RS = ROOT / "crates/bdi-serve/src/protocol.rs"
+FRAME_RS = ROOT / "crates/bdi-serve/src/frame.rs"
 HTTP_RS = ROOT / "crates/bdi-serve/src/http.rs"
 PROTOCOL_MD = ROOT / "docs/PROTOCOL.md"
 HTTP_API_MD = ROOT / "docs/HTTP_API.md"
@@ -92,14 +97,53 @@ for cmd in requests:
         f"metrics row in PROTOCOL.md does not list per-command histogram for `{cmd}`",
     )
 
-# 4. HTTP routes advertised by GET / are documented in HTTP_API.md
+# 4. binary opcodes: frame.rs OP_* consts + the OPCODES name table must
+#    match PROTOCOL.md's "Binary frames" opcode tables, both directions
+frame_rs = FRAME_RS.read_text()
+code_ops = {}  # name -> hex value, from the OP_* const declarations
+for name, value in re.findall(
+    r"pub const OP_(\w+): u8 = (0x[0-9A-Fa-f]{2});", frame_rs
+):
+    code_ops[name.lower()] = value.lower()
+check(len(code_ops) >= 9, f"suspiciously few OP_* consts in frame.rs: {code_ops}")
+
+table = re.search(r"pub const OPCODES[^=]*=\s*&\[(.*?)\];", frame_rs, re.DOTALL)
+check(table, "OPCODES table not found in frame.rs")
+table_names = re.findall(r'"(\w+)"', table.group(1)) if table else []
+check(
+    sorted(table_names) == sorted(code_ops),
+    f"frame.rs OPCODES table {sorted(table_names)} disagrees with the "
+    f"OP_* consts {sorted(code_ops)}",
+)
+
+doc_ops = {}  # name -> hex value, from the markdown opcode table rows
+for value, name in re.findall(r"\|\s*`(0x[0-9A-Fa-f]{2})`\s*\|\s*`(\w+)`\s*\|", protocol_md):
+    doc_ops[name] = value.lower()
+for name, value in sorted(code_ops.items()):
+    check(
+        name in doc_ops,
+        f"binary opcode `{name}` ({value}) exists in frame.rs but is missing "
+        "from PROTOCOL.md's opcode tables",
+    )
+    if name in doc_ops:
+        check(
+            doc_ops[name] == value,
+            f"opcode `{name}` is {value} in frame.rs but {doc_ops[name]} in PROTOCOL.md",
+        )
+for name in sorted(doc_ops):
+    check(
+        name in code_ops,
+        f"PROTOCOL.md's opcode tables list `{name}` but frame.rs has no such opcode",
+    )
+
+# 5. HTTP routes advertised by GET / are documented in HTTP_API.md
 for route in re.findall(r'\\"((?:GET|POST) /[^?\\"]*)', http_rs):
     check(
         route in http_api_md,
         f"http.rs index() advertises {route!r} but HTTP_API.md does not document it",
     )
 
-# 5. every per-endpoint metric label appears in HTTP_API.md or PROTOCOL.md
+# 6. every per-endpoint metric label appears in HTTP_API.md or PROTOCOL.md
 m = re.search(r"HTTP_ENDPOINTS[^=]*=\s*\[(.*?)\]", http_rs, re.DOTALL)
 check(m, "HTTP_ENDPOINTS not found in http.rs")
 for label in re.findall(r'"(\w+)"', m.group(1)) if m else []:
@@ -114,5 +158,6 @@ if errors:
     sys.exit(1)
 print(
     f"docs in sync: {len(requests)} wire commands, {len(responses)} responses, "
-    "HTTP index routes and endpoint labels all documented"
+    f"{len(code_ops)} binary opcodes, HTTP index routes and endpoint labels "
+    "all documented"
 )

@@ -79,13 +79,13 @@ USAGE:
   bdi lookup    (--in DIR | --seed N) --id IDENTIFIER
   bdi serve     [--addr HOST:PORT] [--http HOST:PORT] [--in DIR | --seed N [--entities N] [--sources N]]
                 [--threshold X] [--queue N] [--shards N] [--engine-threads N]
-                [--workers N] [--threaded]
+                [--workers N] [--threaded] [--no-binary]
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
                 [--metrics-file PATH [--metrics-interval SECS]] [--slow-ms MS]
   bdi route     --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--http HOST:PORT]
                 [--replicas N] [--retries N] [--workers N]
                 [--threshold X] [--batch N] [--pipeline N] [--queue N]
-  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N] [--http]
+  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N] [--http] [--binary]
   bdi stats     [--addr HOST:PORT] [--prometheus]
   bdi admin     --addr HOST:PORT (--hello
                 | --split SHARD --backends HOST:PORT,...
@@ -100,6 +100,15 @@ binds an extra HTTP-flavored listener on its own port for gateway
 separation; --threaded falls back to the thread-per-connection
 front-end (JSON lines only, benchmark baseline). `bdi load --http`
 drives the load over the HTTP gateway instead of JSON lines.
+
+Binary frames: servers and routers advertise the `binary-frames`
+feature on `hello`; peers that see it ship the hot write-path commands
+(ingest_batch, flush, sync, restore) as length-framed binary records
+instead of JSON lines (see docs/PROTOCOL.md). `bdi serve --no-binary`
+withdraws the feature, pinning every peer of that backend to JSON.
+`bdi load --binary` asks the load driver to negotiate the upgrade for
+its ingest stream (it falls back to JSON against a --no-binary
+server).
 
 Durability: --data-dir enables the write-ahead log and generation
 snapshots; restarting with the same directory recovers the ingested
@@ -142,8 +151,10 @@ fn parse_opts(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, Str
         };
         // `--http` is a boolean for `load` (drive the server over HTTP)
         // but takes a bind address for `serve`/`route`.
-        let boolean = matches!(key, "json" | "no-wal" | "prometheus" | "hello" | "threaded")
-            || (key == "http" && cmd == "load");
+        let boolean = matches!(
+            key,
+            "json" | "no-wal" | "prometheus" | "hello" | "threaded" | "no-binary" | "binary"
+        ) || (key == "http" && cmd == "load");
         if boolean {
             out.insert(key.to_string(), "true".to_string());
             continue;
@@ -304,6 +315,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         } else {
             bdi::serve::FrontEndKind::Readiness
         },
+        binary_wire: !opts.contains_key("no-binary"),
         ..Default::default()
     };
     let server = bdi::serve::Server::start(cfg).map_err(|e| e.to_string())?;
@@ -379,8 +391,19 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         readers: num(opts, "readers", 4usize)?,
         batch: num(opts, "batch", 1usize)?,
         http: opts.contains_key("http"),
+        binary: opts.contains_key("binary"),
     };
     let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;
+    if cfg.binary {
+        println!(
+            "wire format: {}",
+            if report.wire_binary {
+                "binary frames (negotiated)"
+            } else {
+                "JSON lines (server did not offer binary-frames)"
+            }
+        );
+    }
     println!(
         "ingested {} records in {:.2}s ({:.0} rec/s), p50 {}us, p99 {}us, generation {}",
         report.records,

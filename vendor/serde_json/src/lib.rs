@@ -36,6 +36,18 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Serialize `value` compactly into a caller-owned `String` (cleared
+/// first) — the buffer-reusing analogue of [`to_string`] for hot encode
+/// paths that serialize in a loop.
+pub fn to_string_into<T: serde::Serialize + ?Sized>(
+    value: &T,
+    out: &mut String,
+) -> Result<(), Error> {
+    out.clear();
+    write_value(&value.serialize(), out, None, 0);
+    Ok(())
+}
+
 /// Serialize `value` to a pretty-printed JSON string (2-space indent).
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
