@@ -60,8 +60,16 @@ pub const HEADER_LEN: usize = 8;
 pub const TRAILER_LEN: usize = 4;
 /// Upper bound on a single frame's payload — a defense against a
 /// corrupt or hostile length field committing us to a huge allocation.
-/// Restore frames carry a full snapshot, so the cap is generous.
+/// Only the state-shipping opcodes ([`OP_RESTORE`], [`OP_SYNC_STATE`])
+/// get this generous bound — they carry a full snapshot; everything
+/// else is capped far lower by [`payload_cap`].
 pub const MAX_PAYLOAD: usize = 1 << 30;
+/// Payload cap for [`OP_INGEST_BATCH`] — mirrors the front ends' JSON
+/// line cap, so a batch that fits as a JSON line fits as a frame.
+pub const MAX_BATCH_PAYLOAD: usize = 256 << 20;
+/// Payload cap for every other opcode (control frames and errors carry
+/// at most a few integers or a message string).
+pub const MAX_CONTROL_PAYLOAD: usize = 1 << 20;
 
 /// Submit a batch of records (payload: `u32` count + record bodies).
 pub const OP_INGEST_BATCH: u8 = 0x01;
@@ -101,6 +109,27 @@ pub const OPCODES: &[(u8, &str)] = &[
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The largest payload a receiver will accept for `opcode`. Applied at
+/// the framing layer ([`frame_len`]), before any allocation or
+/// buffering, so a corrupt or hostile 8-byte header can only commit a
+/// receiver to the allocation its opcode plausibly needs — unknown
+/// opcodes get the small cap.
+pub fn payload_cap(opcode: u8) -> usize {
+    match opcode {
+        OP_RESTORE | OP_SYNC_STATE => MAX_PAYLOAD,
+        OP_INGEST_BATCH => MAX_BATCH_PAYLOAD,
+        _ => MAX_CONTROL_PAYLOAD,
+    }
+}
+
+/// A `usize` length as the `u32` the wire encoding carries. Lengths
+/// beyond `u32::MAX` cannot be represented; panicking here turns what
+/// would otherwise be a silently mis-framed (yet validly-CRC'd)
+/// encoding into a loud failure at the encode site.
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("length exceeds u32::MAX and cannot be frame-encoded")
 }
 
 // ---------------------------------------------------------------------
@@ -163,7 +192,7 @@ pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
 
 /// Append a length-prefixed UTF-8 string.
 pub fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
+    put_u32(buf, len_u32(s.len()));
     buf.extend_from_slice(s.as_bytes());
 }
 
@@ -329,7 +358,7 @@ fn put_value(buf: &mut Vec<u8>, v: &Value) {
         }
         Value::List(items) => {
             put_u8(buf, TAG_LIST);
-            put_u32(buf, items.len() as u32);
+            put_u32(buf, len_u32(items.len()));
             for item in items {
                 put_value(buf, item);
             }
@@ -385,11 +414,11 @@ pub fn put_record(buf: &mut Vec<u8>, record: &Record) {
     put_u32(buf, record.id.seq);
     put_u32(buf, record.timestamp);
     put_str(buf, &record.title);
-    put_u32(buf, record.identifiers.len() as u32);
+    put_u32(buf, len_u32(record.identifiers.len()));
     for ident in &record.identifiers {
         put_str(buf, ident);
     }
-    put_u32(buf, record.attributes.len() as u32);
+    put_u32(buf, len_u32(record.attributes.len()));
     for (name, value) in &record.attributes {
         put_str(buf, name);
         put_value(buf, value);
@@ -449,7 +478,7 @@ pub fn decode_record_body(body: &[u8]) -> io::Result<Record> {
 
 /// Append a record batch: `u32` count + bodies.
 pub fn put_records(buf: &mut Vec<u8>, records: &[Record]) {
-    put_u32(buf, records.len() as u32);
+    put_u32(buf, len_u32(records.len()));
     for record in records {
         put_record(buf, record);
     }
@@ -488,17 +517,17 @@ fn read_usize_vec(r: &mut Reader<'_>) -> io::Result<Vec<usize>> {
 fn put_catalog_entry(buf: &mut Vec<u8>, entry: &CatalogEntry) {
     put_u64(buf, entry.id as u64);
     put_str(buf, &entry.title);
-    put_u32(buf, entry.pages.len() as u32);
+    put_u32(buf, len_u32(entry.pages.len()));
     for page in &entry.pages {
         put_u32(buf, page.source.0);
         put_u32(buf, page.seq);
     }
-    put_u32(buf, entry.attributes.len() as u32);
+    put_u32(buf, len_u32(entry.attributes.len()));
     for (name, value) in &entry.attributes {
         put_str(buf, name);
         put_value(buf, value);
     }
-    put_u32(buf, entry.identifiers.len() as u32);
+    put_u32(buf, len_u32(entry.identifiers.len()));
     for ident in &entry.identifiers {
         put_str(buf, ident);
     }
@@ -669,7 +698,10 @@ pub fn encode_frame_into(buf: &mut Vec<u8>, opcode: u8, body: impl FnOnce(&mut V
 /// Total frame size implied by a buffer that starts at a frame
 /// boundary: `Ok(None)` when more bytes are needed to know, `Err` when
 /// the header is not a valid frame header (wrong magic or version, or
-/// an implausible length — the connection cannot be re-synchronized).
+/// a length beyond the opcode's [`payload_cap`] — the connection
+/// cannot be re-synchronized). A `Some` total only promises a valid
+/// header: the body may still be in flight, so receivers must buffer
+/// until `total` bytes are present before slicing the frame out.
 pub fn frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
     if buf.is_empty() {
         return Ok(None);
@@ -684,8 +716,12 @@ pub fn frame_len(buf: &[u8]) -> io::Result<Option<usize>> {
         return Err(bad(format!("unsupported frame version {}", buf[1])));
     }
     let len = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(bad(format!("frame payload {len} exceeds cap")));
+    let cap = payload_cap(buf[2]);
+    if len > cap {
+        return Err(bad(format!(
+            "frame payload {len} exceeds cap {cap} for opcode {:#04x}",
+            buf[2]
+        )));
     }
     Ok(Some(HEADER_LEN + len + TRAILER_LEN))
 }
@@ -745,7 +781,7 @@ pub fn encode_ingest_batch(buf: &mut Vec<u8>, records: &[Record]) {
 /// bodies the route step already produced.
 pub fn encode_ingest_batch_bodies(buf: &mut Vec<u8>, bodies: &[Vec<u8>]) {
     encode_frame_into(buf, OP_INGEST_BATCH, |b| {
-        put_u32(b, bodies.len() as u32);
+        put_u32(b, len_u32(bodies.len()));
         for body in bodies {
             b.extend_from_slice(body);
         }
@@ -968,6 +1004,34 @@ mod tests {
         assert!(open_frame(&buf[..buf.len() - 1]).is_err());
         assert_eq!(frame_len(&buf[..4]).unwrap(), None, "need more bytes");
         assert!(frame_len(&[0x7B]).is_err(), "JSON byte is not a frame");
+    }
+
+    #[test]
+    fn payload_caps_are_per_opcode() {
+        // a valid header whose declared length exceeds the opcode's cap
+        let header = |opcode: u8, len: u32| {
+            let mut h = vec![FRAME_MAGIC, FRAME_VERSION, opcode, 0];
+            h.extend_from_slice(&len.to_le_bytes());
+            h
+        };
+        // control frames never carry megabytes: reject before buffering
+        let oversized_flush = header(OP_FLUSH, (MAX_CONTROL_PAYLOAD + 1) as u32);
+        assert!(frame_len(&oversized_flush).is_err());
+        // unknown opcodes get the small cap too — a hostile header
+        // cannot pick an unassigned opcode to dodge the bound
+        let oversized_unknown = header(0x7F, (MAX_CONTROL_PAYLOAD + 1) as u32);
+        assert!(frame_len(&oversized_unknown).is_err());
+        // the same length is fine on a state-shipping opcode
+        let restore = header(OP_RESTORE, (MAX_CONTROL_PAYLOAD + 1) as u32);
+        assert_eq!(
+            frame_len(&restore).unwrap(),
+            Some(HEADER_LEN + MAX_CONTROL_PAYLOAD + 1 + TRAILER_LEN)
+        );
+        // and batches get the batch cap, not the control cap
+        let batch = header(OP_INGEST_BATCH, (MAX_BATCH_PAYLOAD) as u32);
+        assert!(frame_len(&batch).unwrap().is_some());
+        let oversized_batch = header(OP_INGEST_BATCH, (MAX_BATCH_PAYLOAD + 1) as u32);
+        assert!(frame_len(&oversized_batch).is_err());
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! aliasing story trivial: one mapping, one owner, no views.
 #![allow(unsafe_code)]
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
 compile_error!(
-    "the mmap-backed WAL speaks raw mmap/msync and only builds on Linux \
-     (the extern symbols below would not even link elsewhere)"
+    "the mmap-backed WAL speaks raw mmap/msync and only builds on 64-bit \
+     Linux (the extern symbols below would not even link elsewhere, and \
+     their i64 offset/length parameters assume off_t is 64-bit — on \
+     32-bit Linux without _FILE_OFFSET_BITS=64 they would mismatch the \
+     C ABI)"
 );
 
 use std::fs::{File, OpenOptions};

@@ -784,7 +784,26 @@ fn parse_frames<C>(conn: &mut Conn<C>) -> Vec<Frame> {
             // one connection (a client can `hello` in JSON, then switch).
             Proto::Json if conn.rbuf.first() == Some(&frame::FRAME_MAGIC) => {
                 match frame::frame_len(&conn.rbuf) {
-                    Ok(None) => break, // header or body still arriving
+                    Ok(None) => break, // header still arriving
+                    // a complete header only promises a length: the
+                    // body may still be in flight (a batch split across
+                    // TCP reads), so wait — draining early would panic
+                    // the loop thread. The same MAX_LINE bound as the
+                    // JSON arm caps how much one frame can buffer here
+                    // (frame_len's per-opcode caps already reject
+                    // hostile lengths for everything but state
+                    // shipping).
+                    Ok(Some(total)) if total > MAX_LINE => {
+                        conn.broken = true;
+                        let mut bytes = Vec::new();
+                        frame::encode_error(
+                            &mut bytes,
+                            &format!("bad frame: exceeds {MAX_LINE} bytes"),
+                        );
+                        frames.push(Frame::Raw { bytes, close: true });
+                        break;
+                    }
+                    Ok(Some(total)) if conn.rbuf.len() < total => break, // body still arriving
                     Ok(Some(total)) => {
                         let raw: Vec<u8> = conn.rbuf.drain(..total).collect();
                         frames.push(Frame::Binary(raw));
@@ -1029,6 +1048,91 @@ mod tests {
             panic!("identical duplicates parse");
         };
         assert_eq!(req.body, b"hi");
+    }
+
+    /// A loop-side connection over a real loopback socket (the stream
+    /// is never read in these tests; `parse_frames` only sees `rbuf`).
+    fn test_conn() -> (Conn<()>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let conn = Conn {
+            stream,
+            cell: Arc::new(ConnCell {
+                token: TOKEN_CONN0,
+                shared: Mutex::new(ConnShared {
+                    pending: VecDeque::new(),
+                    out: Vec::new(),
+                    busy: false,
+                    closed: false,
+                    done: false,
+                    state: Some(()),
+                }),
+            }),
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            proto: Proto::Unknown,
+            interest: 0,
+            peer_closed: false,
+            broken: false,
+            closing: false,
+        };
+        (conn, peer)
+    }
+
+    #[test]
+    fn partial_binary_frames_wait_for_the_rest() {
+        let (mut conn, _peer) = test_conn();
+        let mut wire = Vec::new();
+        frame::encode_error(&mut wire, "payload long enough to split");
+
+        // bare header: a known length, but no body yet — must not drain
+        conn.rbuf.extend_from_slice(&wire[..frame::HEADER_LEN]);
+        assert!(parse_frames(&mut conn).is_empty());
+        assert!(!conn.broken);
+        assert_eq!(conn.rbuf.len(), frame::HEADER_LEN, "buffer kept intact");
+
+        // half the payload: still waiting
+        conn.rbuf
+            .extend_from_slice(&wire[frame::HEADER_LEN..wire.len() / 2]);
+        assert!(parse_frames(&mut conn).is_empty());
+        assert!(!conn.broken);
+
+        // the rest arrives: exactly one complete frame comes out
+        conn.rbuf.extend_from_slice(&wire[wire.len() / 2..]);
+        let frames = parse_frames(&mut conn);
+        assert_eq!(frames.len(), 1);
+        let Frame::Binary(raw) = &frames[0] else {
+            panic!("expected a binary frame");
+        };
+        assert_eq!(raw, &wire);
+        assert!(conn.rbuf.is_empty());
+        assert!(!conn.broken);
+    }
+
+    #[test]
+    fn oversized_binary_frame_headers_break_the_connection() {
+        let (mut conn, _peer) = test_conn();
+        // a state-shipping opcode passes frame_len's per-opcode cap up
+        // to 1 GiB, so the loop's own MAX_LINE bound has to stop it
+        // from buffering that much
+        let mut header = vec![frame::FRAME_MAGIC, frame::FRAME_VERSION, frame::OP_RESTORE, 0];
+        header.extend_from_slice(&(MAX_LINE as u32).to_le_bytes());
+        conn.rbuf.extend_from_slice(&header);
+        let frames = parse_frames(&mut conn);
+        assert!(conn.broken);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(&frames[0], Frame::Raw { close: true, .. }));
+
+        // a hostile length on a control opcode dies at frame_len instead
+        let (mut conn, _peer) = test_conn();
+        let mut header = vec![frame::FRAME_MAGIC, frame::FRAME_VERSION, frame::OP_FLUSH, 0];
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        conn.rbuf.extend_from_slice(&header);
+        let frames = parse_frames(&mut conn);
+        assert!(conn.broken);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(&frames[0], Frame::Raw { close: true, .. }));
     }
 
     #[test]
