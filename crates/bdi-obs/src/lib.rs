@@ -14,6 +14,10 @@
 //!   `Instant::now` pair plus one relaxed atomic add, cheap enough for
 //!   the per-request and per-insert hot paths. The `disabled` cargo
 //!   feature compiles recording out entirely for overhead A/B runs;
+//! * a distributed-tracing flight recorder ([`trace`]): per-request
+//!   span trees in a lock-free fixed-capacity ring, head-sampled, with
+//!   a [`TraceScope`] RAII guard mirroring [`Span`] — see the module
+//!   docs for the cross-hop context propagation story;
 //! * two export formats: a plain-data [`RegistrySnapshot`] (the serve
 //!   protocol serializes it as the `metrics` response) and the
 //!   Prometheus text exposition
@@ -37,9 +41,13 @@
 pub mod expo;
 pub mod hist;
 pub mod registry;
+pub mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, Span, BUCKETS};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use trace::{
+    assemble, ActiveSpan, RootSpan, SpanEvent, TraceContext, TraceNode, TraceScope, Tracer,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

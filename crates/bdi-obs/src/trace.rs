@@ -1,0 +1,842 @@
+//! Distributed request tracing: an always-on flight recorder.
+//!
+//! The metrics side of this crate answers "what do latencies look
+//! like"; this module answers "where did *this* request spend its
+//! time". Every traced request owns a `trace_id`; each stage it passes
+//! through (HTTP parse, front-end queue, router lane, backend dispatch,
+//! engine stages, WAL fsync) records a [`SpanEvent`] — `trace_id`,
+//! `span_id`, `parent_span_id`, a static name, start/end nanoseconds
+//! and a small attribute set — into a fixed-capacity ring, the flight
+//! recorder. Spans link across processes: the wire carries
+//! `(trace_id, parent_span_id)` (see the serve crate's envelope and
+//! frame-flag encodings), so a backend's spans parent under the
+//! router's lane span and the whole request reassembles into one tree
+//! ([`assemble`]) with per-span self-times.
+//!
+//! ## The ring
+//!
+//! [`Tracer`] owns `capacity` slots (a power of two). A writer claims a
+//! slot with one `fetch_add` on the head counter, publishes the event
+//! through a per-slot sequence word (odd = being written, even =
+//! published — a seqlock built from plain atomics, so the crate-wide
+//! `forbid(unsafe_code)` holds), and never blocks: recording is
+//! wait-free and old events are simply overwritten. Readers
+//! ([`Tracer::snapshot`]) skip slots whose sequence changes under them.
+//! Static strings (span names, attr keys, the command kind) are
+//! interned into a small table so slots hold only integers.
+//!
+//! ## Sampling
+//!
+//! Head-based: [`Tracer::root`] keeps 1-in-`sample` requests (the
+//! decision is made once, at the entry hop, and propagated — downstream
+//! hops always record for an inbound context via [`Tracer::adopt`]).
+//! When `force` is armed (the serve `--slow-ms` exemplar capture),
+//! every request is traced; fast unsampled ones are never *retained* —
+//! they age out of the ring without entering the recent-trace list —
+//! while slow ones are pinned by [`Tracer::retain`] at completion. The
+//! `disabled` cargo feature compiles the whole module down to no-ops.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// Parent span id of a root span (and the "no parent" wire value).
+pub const NO_PARENT: u64 = 0;
+
+/// Attributes a single span can carry (beyond its command kind).
+pub const MAX_ATTRS: usize = 4;
+
+/// Default flight-recorder capacity (span events; a power of two).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Most recently retained trace ids kept for `trace/recent` queries.
+const RETAIN_CAP: usize = 128;
+
+/// The cross-hop wire context: which trace a request belongs to and
+/// which span its work should parent under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The request's trace id (nonzero for a live trace).
+    pub trace: u64,
+    /// Span id of the caller's span ([`NO_PARENT`] for a root).
+    pub parent: u64,
+}
+
+/// One recorded span, as read back out of the ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// This span's id (unique per process run; processes seed their id
+    /// allocators randomly so cross-process collisions are negligible).
+    pub span: u64,
+    /// Parent span id, [`NO_PARENT`] for a root.
+    pub parent: u64,
+    /// Static stage name, e.g. `"serve.request"`.
+    pub name: &'static str,
+    /// Start/end, nanoseconds since the recording process's tracer
+    /// epoch. Only *durations* are comparable across processes.
+    pub start_ns: u64,
+    /// See `start_ns`.
+    pub end_ns: u64,
+    /// Command kind attribute (`""` when not a request span).
+    pub cmd: &'static str,
+    /// Small numeric attributes, e.g. `("records", 64)`.
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A span being timed: created by [`Tracer::root`]/[`Tracer::adopt`]/
+/// [`Tracer::begin`], recorded into the ring by [`Tracer::finish`] (or
+/// the RAII [`TraceScope`]). Plain data — it can cross threads or sit
+/// in a pipeline queue until the matching ack arrives.
+#[derive(Clone, Debug)]
+pub struct ActiveSpan {
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    cmd: &'static str,
+    attrs: [(&'static str, u64); MAX_ATTRS],
+    n_attrs: u8,
+}
+
+impl ActiveSpan {
+    /// The context downstream work should carry: same trace, parented
+    /// under *this* span.
+    pub fn ctx(&self) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            parent: self.span,
+        }
+    }
+
+    /// This span's id.
+    pub fn span_id(&self) -> u64 {
+        self.span
+    }
+
+    /// The owning trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace
+    }
+
+    /// Start timestamp (tracer-epoch nanoseconds).
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Tag the span with its command kind.
+    pub fn set_cmd(&mut self, cmd: &'static str) {
+        self.cmd = cmd;
+    }
+
+    /// Attach a numeric attribute (silently dropped past [`MAX_ATTRS`]).
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if (self.n_attrs as usize) < MAX_ATTRS {
+            self.attrs[self.n_attrs as usize] = (key, value);
+            self.n_attrs += 1;
+        }
+    }
+}
+
+/// A root-span decision from [`Tracer::root`].
+#[derive(Debug)]
+pub struct RootSpan {
+    /// The minted root span.
+    pub span: ActiveSpan,
+    /// True when head sampling picked this request (already retained);
+    /// false when it was only force-traced for slow-exemplar capture —
+    /// the caller retains it iff the request turns out slow.
+    pub sampled: bool,
+}
+
+/// One ring slot: a seqlock over plain atomics. `seq == 0` is empty,
+/// odd is mid-write, even-nonzero is published; a reader accepts a slot
+/// only if `seq` is stable across its field loads.
+struct Slot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+    name: AtomicU32,
+    cmd: AtomicU32,
+    attr_keys: [AtomicU32; MAX_ATTRS],
+    attr_vals: [AtomicU64; MAX_ATTRS],
+    n_attrs: AtomicU32,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const K: AtomicU32 = AtomicU32::new(0);
+        #[allow(clippy::declare_interior_mutable_const)]
+        const V: AtomicU64 = AtomicU64::new(0);
+        Slot {
+            seq: AtomicU64::new(0),
+            trace: V,
+            span: V,
+            parent: V,
+            start_ns: V,
+            end_ns: V,
+            name: K,
+            cmd: K,
+            attr_keys: [K; MAX_ATTRS],
+            attr_vals: [V; MAX_ATTRS],
+            n_attrs: K,
+        }
+    }
+}
+
+/// Interned-string id for "no string" (the empty command).
+const NO_STR: u32 = u32::MAX;
+
+/// The flight recorder: id allocator, sampling policy, span-event ring
+/// and the retained-trace list. One per server/router instance.
+pub struct Tracer {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    /// 1-in-N head sampling; 0 disables sampling.
+    sample: AtomicU64,
+    /// Force-trace every request (slow-exemplar capture arming).
+    force: AtomicU64,
+    counter: AtomicU64,
+    ids: AtomicU64,
+    epoch: Instant,
+    names: RwLock<Vec<&'static str>>,
+    retained: Mutex<VecDeque<u64>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default ring capacity, sampling off.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A tracer whose ring holds `capacity` (rounded up to a power of
+    /// two) span events. Under the `disabled` feature the ring is not
+    /// allocated and every recording entry point is a no-op.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = if cfg!(feature = "disabled") {
+            2
+        } else {
+            capacity.max(2).next_power_of_two()
+        };
+        Tracer {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            sample: AtomicU64::new(0),
+            force: AtomicU64::new(0),
+            counter: AtomicU64::new(0),
+            ids: AtomicU64::new(seed_ids()),
+            epoch: Instant::now(),
+            names: RwLock::new(Vec::new()),
+            retained: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Set the sampling policy: keep 1-in-`sample` requests (0 = head
+    /// sampling off), and force-trace everything when `force` (armed by
+    /// `--slow-ms` so slow exemplars can be captured after the fact).
+    pub fn configure(&self, sample: u64, force: bool) {
+        self.sample.store(sample, Ordering::Relaxed);
+        self.force.store(force as u64, Ordering::Relaxed);
+    }
+
+    /// Whether any request can start a trace here (inbound contexts are
+    /// always recorded regardless — the upstream hop already sampled).
+    pub fn enabled(&self) -> bool {
+        !cfg!(feature = "disabled")
+            && (self.sample.load(Ordering::Relaxed) > 0 || self.force.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Mint a fresh globally-unlikely-to-collide nonzero id (used for
+    /// both trace ids and span ids; clients mint trace ids too).
+    pub fn fresh_id(&self) -> u64 {
+        loop {
+            let id = self.ids.fetch_add(1, Ordering::Relaxed);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Entry-hop decision: should this request be traced? Returns the
+    /// minted root span when head sampling picks it (1-in-`sample`,
+    /// retained immediately) or when force-tracing is armed (retained
+    /// only if the caller later calls [`Tracer::retain`] — the
+    /// slow-exemplar path). `None` otherwise; untraced requests cost
+    /// two relaxed loads.
+    pub fn root(&self, name: &'static str) -> Option<RootSpan> {
+        if cfg!(feature = "disabled") {
+            return None;
+        }
+        let sample = self.sample.load(Ordering::Relaxed);
+        let force = self.force.load(Ordering::Relaxed) != 0;
+        if sample == 0 && !force {
+            return None;
+        }
+        let sampled = sample > 0 && self.counter.fetch_add(1, Ordering::Relaxed) % sample == 0;
+        if !sampled && !force {
+            return None;
+        }
+        let trace = self.fresh_id();
+        if sampled {
+            self.retain(trace);
+        }
+        Some(RootSpan {
+            span: self.begin_raw(trace, NO_PARENT, name),
+            sampled,
+        })
+    }
+
+    /// Record under an inbound wire context: the upstream hop already
+    /// made the sampling decision, so this always traces (and retains,
+    /// so the trace is findable on this node too).
+    pub fn adopt(&self, ctx: TraceContext, name: &'static str) -> ActiveSpan {
+        self.retain(ctx.trace);
+        self.begin_raw(ctx.trace, ctx.parent, name)
+    }
+
+    /// Start a child span under `ctx` (no-op `None` when `ctx` is).
+    pub fn begin(&self, ctx: Option<TraceContext>, name: &'static str) -> Option<ActiveSpan> {
+        ctx.map(|c| self.begin_raw(c.trace, c.parent, name))
+    }
+
+    /// Like [`Tracer::begin`] with an explicit start timestamp — for
+    /// spans whose start predates the call site (queue waits).
+    pub fn begin_at(
+        &self,
+        ctx: Option<TraceContext>,
+        name: &'static str,
+        start_ns: u64,
+    ) -> Option<ActiveSpan> {
+        ctx.map(|c| ActiveSpan {
+            trace: c.trace,
+            span: self.fresh_id(),
+            parent: c.parent,
+            name,
+            start_ns,
+            cmd: "",
+            attrs: [("", 0); MAX_ATTRS],
+            n_attrs: 0,
+        })
+    }
+
+    fn begin_raw(&self, trace: u64, parent: u64, name: &'static str) -> ActiveSpan {
+        ActiveSpan {
+            trace,
+            span: self.fresh_id(),
+            parent,
+            name,
+            start_ns: self.now_ns(),
+            cmd: "",
+            attrs: [("", 0); MAX_ATTRS],
+            n_attrs: 0,
+        }
+    }
+
+    /// End a span now and commit it to the ring.
+    pub fn finish(&self, span: ActiveSpan) {
+        let end = self.now_ns();
+        self.finish_at(span, end);
+    }
+
+    /// End a span at an explicit timestamp and commit it to the ring.
+    pub fn finish_at(&self, span: ActiveSpan, end_ns: u64) {
+        if cfg!(feature = "disabled") {
+            return;
+        }
+        let name = self.intern(span.name);
+        let cmd = if span.cmd.is_empty() {
+            NO_STR
+        } else {
+            self.intern(span.cmd)
+        };
+        let n = span.n_attrs as usize;
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(i as usize) & (self.slots.len() - 1)];
+        // seqlock write: odd while mutating, even-nonzero once published
+        let seq = (i + 1) << 1;
+        slot.seq.store(seq | 1, Ordering::Release);
+        slot.trace.store(span.trace, Ordering::Relaxed);
+        slot.span.store(span.span, Ordering::Relaxed);
+        slot.parent.store(span.parent, Ordering::Relaxed);
+        slot.start_ns.store(span.start_ns, Ordering::Relaxed);
+        slot.end_ns.store(end_ns, Ordering::Relaxed);
+        slot.name.store(name, Ordering::Relaxed);
+        slot.cmd.store(cmd, Ordering::Relaxed);
+        for k in 0..n {
+            slot.attr_keys[k].store(self.intern(span.attrs[k].0), Ordering::Relaxed);
+            slot.attr_vals[k].store(span.attrs[k].1, Ordering::Relaxed);
+        }
+        slot.n_attrs.store(n as u32, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Record a fully-synthetic span (both timestamps supplied) — used
+    /// for stage spans reconstructed from already-measured durations,
+    /// like the engine insert stages riding `InsertTimings`.
+    pub fn record(
+        &self,
+        ctx: TraceContext,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+        attrs: &[(&'static str, u64)],
+    ) -> u64 {
+        let mut span = ActiveSpan {
+            trace: ctx.trace,
+            span: self.fresh_id(),
+            parent: ctx.parent,
+            name,
+            start_ns,
+            cmd: "",
+            attrs: [("", 0); MAX_ATTRS],
+            n_attrs: 0,
+        };
+        for &(k, v) in attrs.iter().take(MAX_ATTRS) {
+            span.attr(k, v);
+        }
+        let id = span.span;
+        self.finish_at(span, end_ns);
+        id
+    }
+
+    /// Pin `trace` into the recent-trace list (newest first, deduped,
+    /// bounded). Sampled roots are retained at mint time; slow
+    /// exemplars at completion.
+    pub fn retain(&self, trace: u64) {
+        if trace == 0 || cfg!(feature = "disabled") {
+            return;
+        }
+        let mut r = self.retained.lock().unwrap();
+        if let Some(pos) = r.iter().position(|&t| t == trace) {
+            r.remove(pos);
+        }
+        r.push_front(trace);
+        r.truncate(RETAIN_CAP);
+    }
+
+    /// The most recently retained trace ids, newest first, at most `n`.
+    pub fn recent(&self, n: usize) -> Vec<u64> {
+        let r = self.retained.lock().unwrap();
+        r.iter().take(n).copied().collect()
+    }
+
+    /// Every span currently in the ring for `trace`.
+    pub fn spans(&self, trace: u64) -> Vec<SpanEvent> {
+        let mut out = self.snapshot();
+        out.retain(|s| s.trace == trace);
+        out
+    }
+
+    /// A point-in-time copy of every published span in the ring,
+    /// oldest first. Slots being overwritten concurrently are skipped
+    /// (their sequence word moved), never torn.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        let names = self.names.read().unwrap();
+        let resolve = |i: u32| -> Option<&'static str> {
+            if i == NO_STR {
+                Some("")
+            } else {
+                names.get(i as usize).copied()
+            }
+        };
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::new();
+        for i in start..head {
+            let slot = &self.slots[(i as usize) & (self.slots.len() - 1)];
+            let seq = (i + 1) << 1;
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue;
+            }
+            let trace = slot.trace.load(Ordering::Relaxed);
+            let span = slot.span.load(Ordering::Relaxed);
+            let parent = slot.parent.load(Ordering::Relaxed);
+            let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            let end_ns = slot.end_ns.load(Ordering::Relaxed);
+            let name = slot.name.load(Ordering::Relaxed);
+            let cmd = slot.cmd.load(Ordering::Relaxed);
+            let n = (slot.n_attrs.load(Ordering::Relaxed) as usize).min(MAX_ATTRS);
+            let mut attrs = Vec::with_capacity(n);
+            for k in 0..n {
+                attrs.push((
+                    slot.attr_keys[k].load(Ordering::Relaxed),
+                    slot.attr_vals[k].load(Ordering::Relaxed),
+                ));
+            }
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq {
+                continue;
+            }
+            let (Some(name), Some(cmd)) = (resolve(name), resolve(cmd)) else {
+                continue;
+            };
+            let attrs: Vec<(&'static str, u64)> = attrs
+                .into_iter()
+                .filter_map(|(k, v)| resolve(k).map(|k| (k, v)))
+                .collect();
+            out.push(SpanEvent {
+                trace,
+                span,
+                parent,
+                name,
+                start_ns,
+                end_ns,
+                cmd,
+                attrs,
+            });
+        }
+        out
+    }
+
+    /// The assembled span tree for `trace` (see [`assemble`]).
+    pub fn tree(&self, trace: u64) -> Vec<TraceNode> {
+        assemble(self.spans(trace))
+    }
+
+    fn intern(&self, s: &'static str) -> u32 {
+        {
+            let names = self.names.read().unwrap();
+            if let Some(i) = names.iter().position(|&x| std::ptr::eq(x, s) || x == s) {
+                return i as u32;
+            }
+        }
+        let mut names = self.names.write().unwrap();
+        if let Some(i) = names.iter().position(|&x| x == s) {
+            return i as u32;
+        }
+        names.push(s);
+        (names.len() - 1) as u32
+    }
+}
+
+/// Seed the id allocator with per-process entropy (std's `RandomState`)
+/// so span/trace ids minted by different processes don't collide even
+/// though each process only increments.
+fn seed_ids() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(std::process::id() as u64);
+    // keep the low 20 bits for the sequence so ids stay ordered within
+    // a process; high bits carry the per-process entropy
+    (h.finish() << 20) | 1
+}
+
+/// One node of an assembled trace tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceNode {
+    /// The span itself.
+    pub event: SpanEvent,
+    /// Duration minus the summed durations of direct children — the
+    /// time this stage spent itself.
+    pub self_ns: u64,
+    /// Child spans, ordered by start time.
+    pub children: Vec<TraceNode>,
+}
+
+/// Reassemble flat span events into trees: children attach to their
+/// parent span when it is present, and any span whose parent is absent
+/// (or [`NO_PARENT`]) becomes a root. Roots and siblings are ordered by
+/// start time; each node's `self_ns` is its duration minus its direct
+/// children's durations (clamped at zero — child wall time can exceed
+/// the parent's when stages overlap or run on other threads).
+pub fn assemble(mut spans: Vec<SpanEvent>) -> Vec<TraceNode> {
+    use std::collections::HashMap;
+    spans.sort_by_key(|s| (s.start_ns, s.span));
+    let present: std::collections::HashSet<u64> = spans.iter().map(|s| s.span).collect();
+    let mut children: HashMap<u64, Vec<SpanEvent>> = HashMap::new();
+    let mut roots: Vec<SpanEvent> = Vec::new();
+    for s in spans {
+        if s.parent != NO_PARENT && present.contains(&s.parent) && s.parent != s.span {
+            children.entry(s.parent).or_default().push(s);
+        } else {
+            roots.push(s);
+        }
+    }
+    fn build(
+        event: SpanEvent,
+        children: &mut std::collections::HashMap<u64, Vec<SpanEvent>>,
+    ) -> TraceNode {
+        let kids = children.remove(&event.span).unwrap_or_default();
+        let kids: Vec<TraceNode> = kids.into_iter().map(|c| build(c, children)).collect();
+        let child_ns: u64 = kids.iter().map(|c| c.event.duration_ns()).sum();
+        TraceNode {
+            self_ns: event.duration_ns().saturating_sub(child_ns),
+            event,
+            children: kids,
+        }
+    }
+    roots.into_iter().map(|r| build(r, &mut children)).collect()
+}
+
+/// RAII span guard: finishes (and records) its span on drop. Layered on
+/// the same armed-`Option` pattern as the histogram [`crate::Span`] —
+/// a `TraceScope` over a `None` context is a no-op.
+#[must_use = "a trace scope records on drop; binding it to `_` drops it immediately"]
+pub struct TraceScope<'a> {
+    tracer: &'a Tracer,
+    span: Option<ActiveSpan>,
+}
+
+impl<'a> TraceScope<'a> {
+    /// Start a child span under `ctx` (no-op when `ctx` is `None`).
+    pub fn begin(tracer: &'a Tracer, ctx: Option<TraceContext>, name: &'static str) -> Self {
+        TraceScope {
+            tracer,
+            span: tracer.begin(ctx, name),
+        }
+    }
+
+    /// Wrap an already-minted span (e.g. a [`RootSpan`]'s).
+    pub fn wrap(tracer: &'a Tracer, span: Option<ActiveSpan>) -> Self {
+        TraceScope { tracer, span }
+    }
+
+    /// The context downstream work should carry (`None` when untraced).
+    pub fn ctx(&self) -> Option<TraceContext> {
+        self.span.as_ref().map(|s| s.ctx())
+    }
+
+    /// The wrapped span's trace id.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.span.as_ref().map(|s| s.trace_id())
+    }
+
+    /// Tag the span with its command kind.
+    pub fn set_cmd(&mut self, cmd: &'static str) {
+        if let Some(s) = self.span.as_mut() {
+            s.set_cmd(cmd);
+        }
+    }
+
+    /// Attach a numeric attribute.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if let Some(s) = self.span.as_mut() {
+            s.attr(key, value);
+        }
+    }
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = self.span.take() {
+            self.tracer.finish(span);
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "disabled")))]
+mod tests {
+    use super::*;
+
+    fn sampled_root(t: &Tracer) -> ActiveSpan {
+        t.root("test.root").expect("sampling armed").span
+    }
+
+    #[test]
+    fn disabled_tracer_mints_nothing() {
+        let t = Tracer::new();
+        assert!(!t.enabled());
+        assert!(t.root("r").is_none());
+        // inbound contexts still record: upstream already sampled
+        let span = t.adopt(
+            TraceContext {
+                trace: 7,
+                parent: NO_PARENT,
+            },
+            "adopted",
+        );
+        t.finish(span);
+        assert_eq!(t.spans(7).len(), 1);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n() {
+        let t = Tracer::new();
+        t.configure(4, false);
+        let picked: Vec<bool> = (0..8).map(|_| t.root("r").is_some()).collect();
+        assert_eq!(
+            picked,
+            [true, false, false, false, true, false, false, false]
+        );
+        assert_eq!(t.recent(16).len(), 2, "sampled roots are retained");
+    }
+
+    #[test]
+    fn force_traces_everything_but_retains_nothing() {
+        let t = Tracer::new();
+        t.configure(1_000_000, true);
+        let a = t.root("r").expect("forced");
+        let b = t.root("r").expect("forced");
+        assert!(a.sampled, "first request is the 1-in-N pick");
+        assert!(!b.sampled);
+        let fast_trace = a.span.trace_id();
+        let slow_trace = b.span.trace_id();
+        t.finish(a.span);
+        t.finish(b.span);
+        assert_eq!(t.recent(16).len(), 1);
+        t.retain(slow_trace); // the slow-exemplar path
+        assert_eq!(t.recent(16), vec![slow_trace, fast_trace]);
+    }
+
+    #[test]
+    fn spans_reassemble_into_a_tree_with_self_times() {
+        let t = Tracer::new();
+        t.configure(1, false);
+        let mut root = sampled_root(&t);
+        root.set_cmd("ingest");
+        let trace = root.trace_id();
+        // synthetic timestamps throughout so the self-time math is exact
+        let base = root.start_ns();
+        let child = t.begin_at(Some(root.ctx()), "child", base + 5).unwrap();
+        let grand = t
+            .begin_at(Some(child.ctx()), "grandchild", base + 30)
+            .unwrap();
+        t.record(child.ctx(), "sibling", base + 10, base + 20, &[("k", 3)]);
+        t.finish_at(grand, base + 40);
+        t.finish_at(child, base + 100);
+        t.finish_at(root, base + 120);
+        let trees = t.tree(trace);
+        assert_eq!(trees.len(), 1, "one root");
+        let r = &trees[0];
+        assert_eq!(r.event.name, "test.root");
+        assert_eq!(r.event.cmd, "ingest");
+        assert_eq!(r.children.len(), 1);
+        let c = &r.children[0];
+        assert_eq!(c.event.name, "child");
+        assert_eq!(c.children.len(), 2, "grandchild + synthetic sibling");
+        assert_eq!(r.self_ns, 120 - (c.event.duration_ns()));
+        let grand_ns: u64 = c.children.iter().map(|n| n.event.duration_ns()).sum();
+        assert_eq!(c.self_ns, c.event.duration_ns() - grand_ns);
+        let sib = c
+            .children
+            .iter()
+            .find(|n| n.event.name == "sibling")
+            .unwrap();
+        assert_eq!(sib.event.attrs, vec![("k", 3)]);
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        let t = Tracer::new();
+        let ctx = TraceContext {
+            trace: 42,
+            parent: 999_999, // parent long since overwritten
+        };
+        let s = t.adopt(ctx, "orphan");
+        t.finish(s);
+        let trees = t.tree(42);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].event.name, "orphan");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_without_tearing() {
+        let t = Tracer::with_capacity(8);
+        t.configure(1, false);
+        for i in 0..100u64 {
+            let mut s = sampled_root(&t);
+            s.attr("i", i);
+            t.finish(s);
+        }
+        let all = t.snapshot();
+        assert_eq!(all.len(), 8, "ring holds exactly its capacity");
+        for (k, e) in all.iter().enumerate() {
+            assert_eq!(e.attrs, vec![("i", 92 + k as u64)], "oldest first");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_stay_coherent() {
+        let t = std::sync::Arc::new(Tracer::with_capacity(64));
+        t.configure(1, false);
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let mut s = t.root("w").unwrap().span;
+                        s.attr("w", w);
+                        s.attr("i", i);
+                        t.finish(s);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for e in t.snapshot() {
+                assert_eq!(e.name, "w");
+                assert_eq!(e.attrs.len(), 2);
+                assert_eq!(e.attrs[0].0, "w");
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(t.snapshot().len(), 64);
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let t = Tracer::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = t.fresh_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn scope_records_on_drop_and_propagates_ctx() {
+        let t = Tracer::new();
+        t.configure(1, false);
+        let root = t.root("root").unwrap().span;
+        let trace = root.trace_id();
+        let root_id = root.span_id();
+        let ctx = {
+            let mut scope = TraceScope::wrap(&t, Some(root));
+            scope.attr("records", 5);
+            let inner = TraceScope::begin(&t, scope.ctx(), "inner");
+            let ctx = inner.ctx().unwrap();
+            assert_eq!(ctx.trace, trace);
+            ctx
+        };
+        let spans = t.spans(trace);
+        assert_eq!(spans.len(), 2);
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, root_id);
+        assert_eq!(ctx.parent, inner.span);
+        let none = TraceScope::begin(&t, None, "noop");
+        assert!(none.ctx().is_none());
+        drop(none);
+        assert_eq!(t.spans(trace).len(), 2, "None scope records nothing");
+    }
+}

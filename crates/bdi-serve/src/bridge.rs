@@ -432,6 +432,17 @@ pub fn merge_stats(gathered: &[StatsBody]) -> StatsBody {
         out.wal_tail += s.wal_tail;
         out.snapshot_records += s.snapshot_records;
         out.snapshot_generation += s.snapshot_generation;
+        // per-command latency: counts sum across the fleet; quantiles
+        // can't be merged exactly, so report the worst shard's
+        if let Some(latency) = &s.latency {
+            let merged = out.latency.get_or_insert_with(Default::default);
+            for (cmd, l) in latency {
+                let slot = merged.entry(cmd.clone()).or_default();
+                slot.count += l.count;
+                slot.p50_us = slot.p50_us.max(l.p50_us);
+                slot.p99_us = slot.p99_us.max(l.p99_us);
+            }
+        }
     }
     out
 }

@@ -4,10 +4,11 @@
 //! subcommand.
 
 use crate::frame;
-use crate::protocol::{MetricsBody, Request, Response, StatsBody};
-use crate::server::FEATURE_BINARY;
+use crate::protocol::{MetricsBody, Request, Response, StatsBody, TraceBody, TraceTree};
+use crate::server::{FEATURE_BINARY, FEATURE_TRACE};
 use crate::snapshot::Snapshot;
 use bdi_core::catalog::CatalogEntry;
+use bdi_obs::TraceContext;
 use bdi_types::Record;
 use std::io::{BufRead, BufReader, Error, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -21,6 +22,10 @@ pub struct Client {
     /// requests with a binary mapping ship as frames, everything else
     /// stays on JSON lines.
     binary: bool,
+    /// Server advertises the `trace-context` feature (learned on the
+    /// same `hello` as `binary`): [`Client::call_traced`] may attach
+    /// trace context to requests.
+    trace: bool,
     /// Reused binary encode buffer.
     wbuf: Vec<u8>,
     /// Reused binary receive buffer.
@@ -43,6 +48,7 @@ impl Client {
             writer,
             reader,
             binary: false,
+            trace: false,
             wbuf: Vec::new(),
             rbuf: Vec::new(),
         })
@@ -56,6 +62,7 @@ impl Client {
     pub fn negotiate_binary(&mut self) -> std::io::Result<bool> {
         let (_, features) = self.hello()?;
         self.binary = features.iter().any(|f| f == FEATURE_BINARY);
+        self.trace = features.iter().any(|f| f == FEATURE_TRACE);
         Ok(self.binary)
     }
 
@@ -63,6 +70,24 @@ impl Client {
     /// the binary wire path.
     pub fn is_binary(&self) -> bool {
         self.binary
+    }
+
+    /// Whether the last `hello` (via [`Client::negotiate_binary`] or
+    /// [`Client::negotiate_trace`]) advertised the `trace-context`
+    /// feature, i.e. whether [`Client::call_traced`] will actually
+    /// attach context.
+    pub fn supports_trace(&self) -> bool {
+        self.trace
+    }
+
+    /// Run a `hello` round trip and record whether the server
+    /// advertises `trace-context`, *without* switching the connection
+    /// to binary frames (unlike [`Client::negotiate_binary`], which
+    /// learns both).
+    pub fn negotiate_trace(&mut self) -> std::io::Result<bool> {
+        let (_, features) = self.hello()?;
+        self.trace = features.iter().any(|f| f == FEATURE_TRACE);
+        Ok(self.trace)
     }
 
     /// Bound every future read on this connection, so a wedged or
@@ -85,6 +110,36 @@ impl Client {
         }
         let line = serde_json::to_string(request).map_err(|e| bad(e.to_string()))?;
         writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.recv()
+    }
+
+    /// [`Client::call`] carrying trace context, so the server joins its
+    /// spans onto the caller's trace. Requires a prior
+    /// [`Client::negotiate_binary`] whose `hello` advertised
+    /// `trace-context` — against an older peer the context is silently
+    /// dropped and this degrades to a plain [`Client::call`].
+    pub fn call_traced(
+        &mut self,
+        request: &Request,
+        ctx: TraceContext,
+    ) -> std::io::Result<Response> {
+        if !self.trace || ctx.trace == 0 {
+            return self.call(request);
+        }
+        if self.binary
+            && frame::encode_request_traced(&mut self.wbuf, request, Some((ctx.trace, ctx.parent)))
+        {
+            self.writer.write_all(&self.wbuf)?;
+            self.writer.flush()?;
+            return self.recv();
+        }
+        let line = serde_json::to_string(request).map_err(|e| bad(e.to_string()))?;
+        writeln!(
+            self.writer,
+            "{{\"traced\":{{\"id\":{},\"parent\":{}}},\"request\":{line}}}",
+            ctx.trace, ctx.parent
+        )?;
         self.writer.flush()?;
         self.recv()
     }
@@ -215,6 +270,30 @@ impl Client {
         }
     }
 
+    /// Every span of trace `id` still in the peer's flight recorder
+    /// (a router merges in its backends' spans). Empty when the trace
+    /// aged out or never existed.
+    pub fn trace(&mut self, id: u64) -> std::io::Result<TraceBody> {
+        match self.call(&Request::Trace {
+            id: Some(id),
+            recent: None,
+        })? {
+            Response::Trace(body) => Ok(body),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// The peer's most recently retained trace ids, newest first.
+    pub fn trace_recent(&mut self, n: usize) -> std::io::Result<Vec<u64>> {
+        match self.call(&Request::Trace {
+            id: None,
+            recent: Some(n),
+        })? {
+            Response::Trace(body) => Ok(body.recent),
+            other => Err(bad(format!("unexpected response: {other:?}"))),
+        }
+    }
+
     /// Ask the server to stop accepting connections.
     pub fn shutdown(&mut self) -> std::io::Result<()> {
         match self.call(&Request::Shutdown)? {
@@ -309,6 +388,11 @@ pub struct HttpClient {
     /// The server announced `Connection: close` on the last response;
     /// further calls would read from a dead socket.
     closed: bool,
+    /// `X-Bdi-Trace` value to send with every request until cleared
+    /// (see [`HttpClient::set_trace_header`]).
+    trace_header: Option<String>,
+    /// Trace id from the last response's `X-Bdi-Trace` header, if any.
+    last_trace: Option<u64>,
 }
 
 impl HttpClient {
@@ -321,7 +405,34 @@ impl HttpClient {
             writer,
             reader,
             closed: false,
+            trace_header: None,
+            last_trace: None,
         })
+    }
+
+    /// Send `X-Bdi-Trace: value` with every subsequent request (`None`
+    /// stops). `<16-hex-trace-id>[-<16-hex-parent-span>]` forces the
+    /// gateway to trace the dispatch under that context.
+    pub fn set_trace_header(&mut self, value: Option<String>) {
+        self.trace_header = value;
+    }
+
+    /// Trace id announced by the last response's `X-Bdi-Trace` header
+    /// (set when the gateway traced that request), if any.
+    pub fn last_trace(&self) -> Option<u64> {
+        self.last_trace
+    }
+
+    /// `GET /trace/:id`: the assembled span tree of one trace.
+    pub fn trace(&mut self, id: u64) -> std::io::Result<TraceTree> {
+        let (status, body) = self.get(&format!("/trace/{id:016x}"))?;
+        if status != 200 {
+            return Err(bad(format!(
+                "HTTP {status} from /trace/{id:016x}: {}",
+                String::from_utf8_lossy(&body)
+            )));
+        }
+        serde_json::from_slice(&body).map_err(|e| bad(format!("bad trace body: {e}")))
     }
 
     /// Bound every future read on this connection (`None` removes the
@@ -354,6 +465,9 @@ impl HttpClient {
             ));
         }
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bdi\r\n");
+        if let Some(trace) = &self.trace_header {
+            head.push_str(&format!("X-Bdi-Trace: {trace}\r\n"));
+        }
         if let Some(b) = body {
             head.push_str(&format!(
                 "Content-Type: application/json\r\nContent-Length: {}\r\n",
@@ -370,6 +484,7 @@ impl HttpClient {
     }
 
     fn read_response(&mut self) -> std::io::Result<(u16, Vec<u8>)> {
+        self.last_trace = None;
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(Error::new(
@@ -402,6 +517,8 @@ impl HttpClient {
                     && value.eq_ignore_ascii_case("close")
                 {
                     self.closed = true;
+                } else if name.eq_ignore_ascii_case("x-bdi-trace") {
+                    self.last_trace = u64::from_str_radix(value, 16).ok().filter(|&t| t != 0);
                 }
             }
         }

@@ -16,7 +16,7 @@
 use bdi_core::catalog::{Catalog, CatalogEntry};
 use bdi_fusion::{ClaimSet, Fuser, MajorityVote};
 use bdi_linkage::blocking::{normalize_identifier, BlockingKey};
-use bdi_linkage::incremental::{IncrementalLinker, InsertTrace, LinkerState};
+use bdi_linkage::incremental::{IncrementalLinker, InsertTimings, InsertTrace, LinkerState};
 use bdi_linkage::matcher::IdentifierRule;
 use bdi_linkage::parallel::default_threads;
 use bdi_obs::{Histogram, Registry};
@@ -216,6 +216,13 @@ impl Engine {
     /// Ingest one record: link it, mark the touched clusters dirty.
     /// Returns the linker's trace (useful for instrumentation).
     pub fn ingest(&mut self, record: Record) -> InsertTrace {
+        self.ingest_timed(record).0
+    }
+
+    /// [`Engine::ingest`], also returning the linker's stage timings —
+    /// the request tracer turns them into `engine.candidates` /
+    /// `engine.score` / `engine.fuse` child spans without re-measuring.
+    pub fn ingest_timed(&mut self, record: Record) -> (InsertTrace, InsertTimings) {
         let t0 = std::time::Instant::now();
         let (trace, timings) = self.linker.insert_traced_timed(record);
         let mut absorbed_lists: Vec<Vec<usize>> = Vec::new();
@@ -242,7 +249,7 @@ impl Engine {
             m.union_ns.record(timings.union_ns);
             m.ingest_ns.record_duration(t0.elapsed());
         }
-        trace
+        (trace, timings)
     }
 
     /// Records ingested so far.

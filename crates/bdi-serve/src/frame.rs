@@ -16,15 +16,26 @@
 //!               the front ends keys off this byte)
 //! 1       1     format version (0x01)
 //! 2       1     opcode
-//! 3       1     reserved (0x00)
+//! 3       1     flags (0x00 unless an extension is present)
 //! 4       4     payload length, u32 LE
 //! 8       len   payload
 //! 8+len   4     CRC-32 (IEEE), u32 LE, over bytes [1, 8+len)
 //! ```
 //!
 //! The CRC covers everything after the magic byte — version, opcode,
-//! reserved, length, and payload — so a flipped bit anywhere in the
+//! flags, length, and payload — so a flipped bit anywhere in the
 //! frame is caught, while the magic byte stays a pure dispatch tag.
+//!
+//! Byte 3 was reserved-zero through format version 0x01's debut and is
+//! now a **flags** byte. The one defined flag, [`FLAG_TRACE`], prefixes
+//! the payload with a 16-byte trace-context extension (`u64` trace id +
+//! `u64` parent span id, both LE); the length field counts the
+//! extension, so framing math is unchanged and an unflagged frame is
+//! byte-identical to the pre-flag format. Senders only set flags to
+//! peers that advertised the matching `hello` feature (`trace-context`
+//! for [`FLAG_TRACE`]) — an old receiver would misread the extension as
+//! payload — and receivers reject unknown flag bits
+//! ([`open_frame_traced`]).
 //!
 //! ## Body encoding
 //!
@@ -90,6 +101,13 @@ pub const OP_SYNC_STATE: u8 = 0x07;
 pub const OP_RESTORED: u8 = 0x08;
 /// Request failed (payload: message string).
 pub const OP_ERROR: u8 = 0x09;
+
+/// Header flag (byte 3, bit 0): the payload starts with a 16-byte
+/// trace-context extension — `u64` trace id + `u64` parent span id.
+/// Only sent to peers that negotiated the `trace-context` feature.
+pub const FLAG_TRACE: u8 = 0x01;
+/// Size of the [`FLAG_TRACE`] payload prefix.
+pub const TRACE_EXT_LEN: usize = 16;
 
 /// Every opcode with its wire name, in opcode order. The docs-drift
 /// check cross-references this table against the "binary frames"
@@ -672,8 +690,22 @@ pub fn read_opt_snapshot(r: &mut Reader<'_>) -> io::Result<Option<Snapshot>> {
 /// Start a frame: append the 8-byte header with a length placeholder
 /// and return the payload's start offset for [`end_frame`].
 pub fn begin_frame(buf: &mut Vec<u8>, opcode: u8) -> usize {
-    buf.extend_from_slice(&[FRAME_MAGIC, FRAME_VERSION, opcode, 0, 0, 0, 0, 0]);
-    buf.len()
+    begin_frame_traced(buf, opcode, None)
+}
+
+/// Start a frame, optionally carrying a `(trace id, parent span id)`
+/// context: the header's flags byte gains [`FLAG_TRACE`] and the
+/// 16-byte extension opens the payload. With `None` this is
+/// byte-identical to [`begin_frame`].
+pub fn begin_frame_traced(buf: &mut Vec<u8>, opcode: u8, trace: Option<(u64, u64)>) -> usize {
+    let flags = if trace.is_some() { FLAG_TRACE } else { 0 };
+    buf.extend_from_slice(&[FRAME_MAGIC, FRAME_VERSION, opcode, flags, 0, 0, 0, 0]);
+    let start = buf.len();
+    if let Some((trace_id, parent)) = trace {
+        put_u64(buf, trace_id);
+        put_u64(buf, parent);
+    }
+    start
 }
 
 /// Finish a frame started at `payload_start`: back-patch the payload
@@ -689,8 +721,19 @@ pub fn end_frame(buf: &mut Vec<u8>, payload_start: usize) {
 /// Encode a complete frame with a payload written by `body` into a
 /// reusable buffer (cleared first).
 pub fn encode_frame_into(buf: &mut Vec<u8>, opcode: u8, body: impl FnOnce(&mut Vec<u8>)) {
+    encode_frame_traced_into(buf, opcode, None, body);
+}
+
+/// [`encode_frame_into`] with an optional trace-context extension (see
+/// [`begin_frame_traced`]).
+pub fn encode_frame_traced_into(
+    buf: &mut Vec<u8>,
+    opcode: u8,
+    trace: Option<(u64, u64)>,
+    body: impl FnOnce(&mut Vec<u8>),
+) {
     buf.clear();
-    let start = begin_frame(buf, opcode);
+    let start = begin_frame_traced(buf, opcode, trace);
     body(buf);
     end_frame(buf, start);
 }
@@ -753,6 +796,31 @@ pub fn open_frame(frame: &[u8]) -> io::Result<(u8, &[u8])> {
     Ok((frame[2], &frame[HEADER_LEN..payload_end]))
 }
 
+/// [`open_frame`] plus flags handling: validates the frame, rejects
+/// unknown flag bits, and when [`FLAG_TRACE`] is set splits the 16-byte
+/// trace-context extension off the payload, returning
+/// `(opcode, Some((trace id, parent span id)), body)`.
+pub fn open_frame_traced(frame: &[u8]) -> io::Result<(u8, Option<(u64, u64)>, &[u8])> {
+    let (opcode, payload) = open_frame(frame)?;
+    let flags = frame[3];
+    if flags & !FLAG_TRACE != 0 {
+        return Err(bad(format!("unknown frame flags {flags:#04x}")));
+    }
+    if flags & FLAG_TRACE == 0 {
+        return Ok((opcode, None, payload));
+    }
+    if payload.len() < TRACE_EXT_LEN {
+        return Err(bad(format!(
+            "trace-flagged frame payload ({} bytes) shorter than the {TRACE_EXT_LEN}-byte extension",
+            payload.len()
+        )));
+    }
+    let mut r = Reader::new(&payload[..TRACE_EXT_LEN]);
+    let trace_id = r.read_u64()?;
+    let parent = r.read_u64()?;
+    Ok((opcode, Some((trace_id, parent)), &payload[TRACE_EXT_LEN..]))
+}
+
 /// Read exactly one frame from a byte stream into `scratch` (header,
 /// payload, and CRC — ready for [`open_frame`]). The buffer is reused
 /// across calls; only frame-sized reads hit the underlying stream.
@@ -778,9 +846,14 @@ pub fn encode_ingest_batch(buf: &mut Vec<u8>, records: &[Record]) {
 
 /// Encode an `ingest_batch` frame from pre-encoded record bodies —
 /// the router's zero-re-encode path: lane workers concatenate the
-/// bodies the route step already produced.
-pub fn encode_ingest_batch_bodies(buf: &mut Vec<u8>, bodies: &[Vec<u8>]) {
-    encode_frame_into(buf, OP_INGEST_BATCH, |b| {
+/// bodies the route step already produced. Carries `trace` as the
+/// frame's context extension when the lane's batch span is traced.
+pub fn encode_ingest_batch_bodies(
+    buf: &mut Vec<u8>,
+    bodies: &[Vec<u8>],
+    trace: Option<(u64, u64)>,
+) {
+    encode_frame_traced_into(buf, OP_INGEST_BATCH, trace, |b| {
         put_u32(b, len_u32(bodies.len()));
         for body in bodies {
             b.extend_from_slice(body);
@@ -841,15 +914,32 @@ pub fn encode_restore(
 /// first). Returns `false`, leaving `buf` empty, for requests with no
 /// binary mapping — those stay on the JSON surface.
 pub fn encode_request(buf: &mut Vec<u8>, request: &Request) -> bool {
+    encode_request_traced(buf, request, None)
+}
+
+/// [`encode_request`] carrying an optional `(trace id, parent span id)`
+/// context as the frame extension. Callers must only pass `Some` to a
+/// peer that negotiated the `trace-context` feature.
+pub fn encode_request_traced(
+    buf: &mut Vec<u8>,
+    request: &Request,
+    trace: Option<(u64, u64)>,
+) -> bool {
     match request {
-        Request::IngestBatch { records } => encode_ingest_batch(buf, records),
-        Request::Flush => encode_flush(buf),
-        Request::Sync { from } => encode_sync(buf, *from),
+        Request::IngestBatch { records } => {
+            encode_frame_traced_into(buf, OP_INGEST_BATCH, trace, |b| put_records(b, records))
+        }
+        Request::Flush => encode_frame_traced_into(buf, OP_FLUSH, trace, |_| {}),
+        Request::Sync { from } => encode_frame_traced_into(buf, OP_SYNC, trace, |b| {
+            put_u64(b, *from);
+        }),
         Request::Restore {
             snapshot,
             tail,
             position,
-        } => encode_restore(buf, *position, snapshot.as_ref(), tail),
+        } => encode_frame_traced_into(buf, OP_RESTORE, trace, |b| {
+            put_state_body(b, *position, snapshot.as_ref(), tail)
+        }),
         _ => {
             buf.clear();
             return false;
@@ -1041,8 +1131,77 @@ mod tests {
         encode_ingest_batch(&mut direct, &records);
         let bodies: Vec<Vec<u8>> = records.iter().map(encode_record_body).collect();
         let mut concat = Vec::new();
-        encode_ingest_batch_bodies(&mut concat, &bodies);
+        encode_ingest_batch_bodies(&mut concat, &bodies, None);
         assert_eq!(direct, concat, "pre-encoded bodies produce the same frame");
+    }
+
+    #[test]
+    fn trace_extension_round_trips_and_unflagged_is_byte_identical() {
+        let records = vec![sample_record()];
+        // unflagged traced encode == the plain encode, byte for byte
+        let mut plain = Vec::new();
+        assert!(encode_request(
+            &mut plain,
+            &Request::IngestBatch {
+                records: records.clone()
+            }
+        ));
+        let mut untraced = Vec::new();
+        assert!(encode_request_traced(
+            &mut untraced,
+            &Request::IngestBatch {
+                records: records.clone()
+            },
+            None
+        ));
+        assert_eq!(plain, untraced);
+        let (op, trace, body) = open_frame_traced(&plain).unwrap();
+        assert_eq!((op, trace), (OP_INGEST_BATCH, None));
+        assert_eq!(body, &plain[HEADER_LEN..plain.len() - TRAILER_LEN]);
+
+        // flagged frame: 16 bytes longer, extension splits off cleanly
+        let mut traced = Vec::new();
+        assert!(encode_request_traced(
+            &mut traced,
+            &Request::IngestBatch { records },
+            Some((0xDEAD_BEEF, 42))
+        ));
+        assert_eq!(traced.len(), plain.len() + TRACE_EXT_LEN);
+        assert_eq!(traced[3], FLAG_TRACE);
+        let (op, trace, body) = open_frame_traced(&traced).unwrap();
+        assert_eq!((op, trace), (OP_INGEST_BATCH, Some((0xDEAD_BEEF, 42))));
+        assert_eq!(body, &plain[HEADER_LEN..plain.len() - TRAILER_LEN]);
+
+        // every control opcode carries the extension too
+        for req in [Request::Flush, Request::Sync { from: 9 }] {
+            let mut buf = Vec::new();
+            assert!(encode_request_traced(&mut buf, &req, Some((7, 8))));
+            let (_, trace, _) = open_frame_traced(&buf).unwrap();
+            assert_eq!(trace, Some((7, 8)));
+        }
+    }
+
+    #[test]
+    fn unknown_frame_flags_are_rejected() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, OP_FLUSH, |_| {});
+        // corrupt the flags byte and re-seal the CRC
+        buf[3] = 0x02;
+        let end = buf.len() - TRAILER_LEN;
+        let crc = crc32(&buf[1..end]).to_le_bytes();
+        buf[end..].copy_from_slice(&crc);
+        assert!(open_frame(&buf).is_ok(), "plain open ignores flags");
+        assert!(
+            open_frame_traced(&buf).is_err(),
+            "unknown flag bit rejected"
+        );
+
+        // a flagged frame whose payload is shorter than the extension
+        let mut short = Vec::new();
+        let start = begin_frame_traced(&mut short, OP_FLUSH, Some((1, 2)));
+        short.truncate(start + 4); // lop off most of the extension
+        end_frame(&mut short, start);
+        assert!(open_frame_traced(&short).is_err());
     }
 
     #[test]

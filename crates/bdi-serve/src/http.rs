@@ -44,11 +44,19 @@
 //! | `POST /flush` | `flush` |
 //! | `GET /stats` | `stats` |
 //! | `GET /metrics` | `metrics` (Prometheus text) |
+//! | `GET /trace/:id`, `GET /trace/recent?n=` | `trace` |
 //! | `POST /shutdown` | `shutdown` |
 //! | `GET /` | endpoint index (no wire equivalent) |
+//!
+//! **Request tracing.** The gateway is the trace entry hop: when the
+//! service's sampling policy picks a request (or the client sends an
+//! `X-Bdi-Trace: <16-hex-trace-id>[-<16-hex-parent-span>]` header), the
+//! whole dispatch runs under an `http.request` root span and the
+//! response carries `X-Bdi-Trace: <trace-id>` so the caller can fetch
+//! the assembled tree from `GET /trace/:id`.
 
-use crate::protocol::{Request, Response};
-use bdi_obs::{Counter, Histogram, Registry};
+use crate::protocol::{Request, Response, TraceTree};
+use bdi_obs::{Counter, Histogram, Registry, TraceContext, Tracer};
 use bdi_types::Record;
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,6 +75,8 @@ pub(crate) struct HttpRequest {
     /// Client asked for `Connection: close` (or is HTTP/1.0 without
     /// `keep-alive`): answer, then close.
     pub close: bool,
+    /// Raw `X-Bdi-Trace` header value, when the client sent one.
+    pub trace: Option<String>,
 }
 
 /// One encoded-ready HTTP response.
@@ -82,6 +92,9 @@ pub(crate) struct HttpResponse {
     /// client that got the body would read it as the start of the next
     /// response and desync.
     pub head: bool,
+    /// Trace id to advertise in an `X-Bdi-Trace` response header (set
+    /// when the request ran under a trace).
+    pub trace: Option<u64>,
 }
 
 const JSON: &str = "application/json";
@@ -117,6 +130,9 @@ pub(crate) fn encode(resp: &HttpResponse) -> Vec<u8> {
         )
         .as_bytes(),
     );
+    if let Some(trace) = resp.trace {
+        out.extend_from_slice(format!("X-Bdi-Trace: {trace:016x}\r\n").as_bytes());
+    }
     if resp.close {
         out.extend_from_slice(b"Connection: close\r\n");
     }
@@ -143,6 +159,7 @@ fn error_response(status: u16, message: &str) -> HttpResponse {
         body: error_body(message),
         close: false,
         head: false,
+        trace: None,
     }
 }
 
@@ -178,8 +195,9 @@ fn error_status(message: &str) -> u16 {
 
 /// Endpoint labels for the `<prefix>.http.<endpoint>.latency_ns`
 /// histogram family, in [`endpoint_slot`] order.
-pub(crate) const HTTP_ENDPOINTS: [&str; 9] = [
-    "lookup", "filter", "top_k", "ingest", "flush", "stats", "metrics", "shutdown", "other",
+pub(crate) const HTTP_ENDPOINTS: [&str; 10] = [
+    "lookup", "filter", "top_k", "ingest", "flush", "stats", "metrics", "trace", "shutdown",
+    "other",
 ];
 
 fn endpoint_slot(endpoint: &str) -> usize {
@@ -277,6 +295,7 @@ fn ok(response: &Response) -> HttpResponse {
             .into_bytes(),
         close: false,
         head: false,
+        trace: None,
     }
 }
 
@@ -293,14 +312,55 @@ fn from_dispatch(response: Response) -> HttpResponse {
     }
 }
 
+/// Parse an inbound `X-Bdi-Trace` header:
+/// `<16-hex-trace-id>[-<16-hex-parent-span-id>]`.
+pub(crate) fn parse_trace_header(value: &str) -> Option<TraceContext> {
+    let value = value.trim();
+    let (t, p) = match value.split_once('-') {
+        Some((t, p)) => (t, Some(p)),
+        None => (value, None),
+    };
+    let trace = u64::from_str_radix(t, 16).ok().filter(|&t| t != 0)?;
+    let parent = match p {
+        Some(p) => u64::from_str_radix(p, 16).ok()?,
+        None => bdi_obs::trace::NO_PARENT,
+    };
+    Some(TraceContext { trace, parent })
+}
+
 /// Route one HTTP request through `dispatch` (the same function the
 /// JSON-lines protocol calls) and record `<prefix>.http.*` metrics.
+///
+/// The gateway is the trace entry hop: an inbound `X-Bdi-Trace` header
+/// always traces (the caller already decided); otherwise `tracer`'s
+/// sampling policy decides. Traced requests run under an
+/// `http.request` root span — with a synthetic `queue.wait` child when
+/// the front-end queued the request for `queued_ns` before a worker
+/// picked it up — and the dispatch closure receives the child context
+/// to propagate.
 pub(crate) fn respond(
     req: &HttpRequest,
     metrics: &HttpMetrics,
-    dispatch: impl FnOnce(Request) -> Response,
+    tracer: &Tracer,
+    queued_ns: u64,
+    dispatch: impl FnOnce(Request, Option<TraceContext>) -> Response,
 ) -> HttpResponse {
     let t0 = Instant::now();
+    let root = match req.trace.as_deref().and_then(parse_trace_header) {
+        Some(ctx) => Some(tracer.adopt(ctx, "http.request")),
+        None => tracer.root("http.request").map(|r| r.span),
+    };
+    let trace_id = root.as_ref().map(|s| s.trace_id());
+    if let Some(span) = &root {
+        if queued_ns > 0 {
+            // the wait precedes the root span: it ends where the span
+            // starts
+            let start = span.start_ns().saturating_sub(queued_ns);
+            tracer.record(span.ctx(), "queue.wait", start, span.start_ns(), &[]);
+        }
+    }
+    let mut scope = bdi_obs::TraceScope::wrap(tracer, root);
+    let ctx = scope.ctx();
     // HEAD is GET with the body suppressed on the wire: same status,
     // Content-Type, and Content-Length, zero body bytes. Routing the
     // GET twin keeps HEAD read-only (GET /shutdown is a 405, so a HEAD
@@ -313,12 +373,16 @@ pub(crate) fn respond(
             query: req.query.clone(),
             body: Vec::new(),
             close: req.close,
+            trace: None,
         };
-        route(&twin, dispatch)
+        route(&twin, |r| dispatch(r, ctx))
     } else {
-        route(req, dispatch)
+        route(req, |r| dispatch(r, ctx))
     };
+    scope.set_cmd(endpoint);
+    drop(scope);
     resp.head = head_only;
+    resp.trace = trace_id;
     metrics.requests.inc();
     metrics.latency_ns[endpoint_slot(endpoint)].record_duration(t0.elapsed());
     if resp.status >= 400 {
@@ -433,6 +497,7 @@ fn route(
                         body: snap.to_prometheus().into_bytes(),
                         close: false,
                         head: false,
+                        trace: None,
                     },
                     None => error_response(500, "internal error: malformed metrics body"),
                 },
@@ -440,10 +505,57 @@ fn route(
             };
             ("metrics", resp)
         }
+        ("GET", "trace", Some("recent")) => {
+            let n = query_param(&req.query, "n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(16);
+            let response = dispatch(Request::Trace {
+                id: None,
+                recent: Some(n),
+            });
+            ("trace", from_dispatch(response))
+        }
+        ("GET", "trace", Some(id)) if !id.is_empty() => {
+            let Some(trace_id) = u64::from_str_radix(id, 16).ok().filter(|&t| t != 0) else {
+                return (
+                    "trace",
+                    error_response(400, "bad request: trace id is 1-16 hex digits"),
+                );
+            };
+            let response = dispatch(Request::Trace {
+                id: Some(trace_id),
+                recent: None,
+            });
+            let resp = match response {
+                Response::Trace(body) if body.spans.is_empty() => error_response(
+                    404,
+                    &format!("trace {trace_id:016x} is not in the flight recorder"),
+                ),
+                Response::Trace(body) => {
+                    let tree = TraceTree::from_spans(trace_id, body.spans);
+                    HttpResponse {
+                        status: 200,
+                        content_type: JSON,
+                        body: serde_json::to_string(&tree)
+                            .expect("trace trees serialize")
+                            .into_bytes(),
+                        close: false,
+                        head: false,
+                        trace: None,
+                    }
+                }
+                other => from_dispatch(other),
+            };
+            ("trace", resp)
+        }
+        ("GET", "trace", _) => (
+            "trace",
+            error_response(400, "bad request: GET /trace/:id or GET /trace/recent?n="),
+        ),
         ("POST", "shutdown", None) => ("shutdown", from_dispatch(dispatch(Request::Shutdown))),
         // known paths with the wrong method answer 405, not 404, so a
         // curl typo (`GET /ingest`) explains itself
-        (_, "lookup" | "filter" | "top_k" | "stats" | "metrics", _) => (
+        (_, "lookup" | "filter" | "top_k" | "stats" | "metrics" | "trace", _) => (
             "other",
             error_response(405, &format!("method {method} not allowed: use GET")),
         ),
@@ -472,6 +584,8 @@ fn index() -> HttpResponse {
         "\"POST /flush\":\"flush\",",
         "\"GET /stats\":\"stats\",",
         "\"GET /metrics\":\"metrics (prometheus text)\",",
+        "\"GET /trace/:id\":\"trace\",",
+        "\"GET /trace/recent?n=\":\"trace\",",
         "\"POST /shutdown\":\"shutdown\"",
         "}}"
     );
@@ -481,6 +595,7 @@ fn index() -> HttpResponse {
         body: body.as_bytes().to_vec(),
         close: false,
         head: false,
+        trace: None,
     }
 }
 
@@ -495,6 +610,7 @@ mod tests {
             query: query.into(),
             body: Vec::new(),
             close: false,
+            trace: None,
         }
     }
 
@@ -551,6 +667,7 @@ mod tests {
             query: String::new(),
             body: Vec::new(),
             close: false,
+            trace: None,
         };
         let (_, resp) = route(&req, |_| Response::Error {
             message: "backend(s) down: shard 1 (127.0.0.1:9)".into(),
@@ -567,6 +684,7 @@ mod tests {
             query: String::new(),
             body: b"{not json".to_vec(),
             close: false,
+            trace: None,
         };
         let (_, resp) = route(&req, |_| unreachable!("never dispatched"));
         assert_eq!(resp.status, 400);
@@ -615,6 +733,7 @@ mod tests {
             body: b"{\"ok\":1}".to_vec(),
             close: false,
             head: false,
+            trace: None,
         });
         let text = String::from_utf8(text).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
@@ -632,8 +751,9 @@ mod tests {
             query: String::new(),
             body: Vec::new(),
             close: false,
+            trace: None,
         };
-        let resp = respond(&req, &metrics, |_| Response::Entry {
+        let resp = respond(&req, &metrics, &Tracer::new(), 0, |_, _| Response::Entry {
             generation: 1,
             entry: None,
         });
@@ -657,8 +777,11 @@ mod tests {
             query: String::new(),
             body: Vec::new(),
             close: false,
+            trace: None,
         };
-        let resp = respond(&req, &metrics, |_| unreachable!("never dispatched"));
+        let resp = respond(&req, &metrics, &Tracer::new(), 0, |_, _| {
+            unreachable!("never dispatched")
+        });
         assert_eq!(resp.status, 405);
         assert!(resp.head);
     }

@@ -69,7 +69,9 @@ pub use fleet::RoutingTable;
 pub use gen::{Generation, ShardedIndex, Swap};
 pub use load::{run_load, LoadConfig, LoadReport};
 pub use nio::raise_nofile_limit;
-pub use protocol::{MetricsBody, Request, Response, StatsBody};
+pub use protocol::{
+    MetricsBody, Request, Response, StatsBody, TraceBody, TraceTree, TraceTreeNode,
+};
 pub use router::{Router, RouterConfig};
 pub use server::{DurabilityConfig, FrontEndKind, Server, ServerConfig};
 pub use snapshot::Snapshot;

@@ -9,7 +9,8 @@
 //! `serve_throughput` bench prints across reader counts.
 
 use crate::client::{Client, HttpClient};
-use bdi_obs::Registry;
+use crate::protocol::{Request, Response};
+use bdi_obs::{Registry, TraceContext};
 use bdi_synth::{World, WorldConfig};
 use bdi_types::Record;
 use std::net::SocketAddr;
@@ -47,6 +48,11 @@ pub struct LoadConfig {
     /// the run on JSON lines — check [`LoadReport::wire_binary`] for
     /// what actually happened. Ignored when `http` is set.
     pub binary: bool,
+    /// Mint a fresh client-side trace id for every Nth ingest request
+    /// (0 = none), propagated as trace context (wire envelope / frame
+    /// extension, or the `X-Bdi-Trace` header on HTTP runs) so the
+    /// server records those requests end to end.
+    pub trace_sample: u64,
 }
 
 impl Default for LoadConfig {
@@ -60,6 +66,7 @@ impl Default for LoadConfig {
             batch: 1,
             http: false,
             binary: false,
+            trace_sample: 0,
         }
     }
 }
@@ -73,13 +80,16 @@ enum Driver {
 }
 
 impl Driver {
-    fn connect(addr: SocketAddr, http: bool, binary: bool) -> std::io::Result<Self> {
+    fn connect(addr: SocketAddr, http: bool, binary: bool, trace: bool) -> std::io::Result<Self> {
         Ok(if http {
             Driver::Http(HttpClient::connect(addr)?)
         } else {
             let mut client = Client::connect(addr)?;
             if binary {
                 client.negotiate_binary()?;
+            } else if trace {
+                // learn `trace-context` without flipping the wire binary
+                client.negotiate_trace()?;
             }
             Driver::Wire(client)
         })
@@ -99,17 +109,23 @@ impl Driver {
         }
     }
 
-    fn ingest(&mut self, record: Record) -> std::io::Result<u64> {
+    fn ingest(&mut self, record: Record, trace: Option<u64>) -> std::io::Result<u64> {
         match self {
-            Driver::Wire(c) => c.ingest(record),
-            Driver::Http(c) => c.ingest(&record),
+            Driver::Wire(c) => match trace {
+                Some(t) => ack(c.call_traced(&Request::Ingest { record }, root_ctx(t))?),
+                None => c.ingest(record),
+            },
+            Driver::Http(c) => with_trace_header(c, trace, |c| c.ingest(&record)),
         }
     }
 
-    fn ingest_batch(&mut self, records: Vec<Record>) -> std::io::Result<u64> {
+    fn ingest_batch(&mut self, records: Vec<Record>, trace: Option<u64>) -> std::io::Result<u64> {
         match self {
-            Driver::Wire(c) => c.ingest_batch(records),
-            Driver::Http(c) => c.ingest_batch(&records),
+            Driver::Wire(c) => match trace {
+                Some(t) => ack(c.call_traced(&Request::IngestBatch { records }, root_ctx(t))?),
+                None => c.ingest_batch(records),
+            },
+            Driver::Http(c) => with_trace_header(c, trace, |c| c.ingest_batch(&records)),
         }
     }
 
@@ -119,6 +135,45 @@ impl Driver {
             Driver::Http(c) => c.flush(),
         }
     }
+}
+
+/// A client-minted root context: the load driver is the trace origin,
+/// so the server's request span becomes the root's first child.
+fn root_ctx(trace: u64) -> TraceContext {
+    TraceContext {
+        trace,
+        parent: bdi_obs::trace::NO_PARENT,
+    }
+}
+
+fn ack(response: Response) -> std::io::Result<u64> {
+    match response {
+        Response::Ack { submitted } => Ok(submitted),
+        Response::Error { message } => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            message,
+        )),
+        other => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected response: {other:?}"),
+        )),
+    }
+}
+
+/// Run one HTTP call under an `X-Bdi-Trace` header (cleared after).
+fn with_trace_header<T>(
+    c: &mut HttpClient,
+    trace: Option<u64>,
+    call: impl FnOnce(&mut HttpClient) -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    if let Some(t) = trace {
+        c.set_trace_header(Some(format!("{t:016x}")));
+    }
+    let result = call(c);
+    if trace.is_some() {
+        c.set_trace_header(None);
+    }
+    result
 }
 
 /// What a load run measured.
@@ -187,6 +242,12 @@ pub struct LoadReport {
     /// (requested via [`LoadConfig::binary`] *and* granted by the
     /// server's `hello`).
     pub wire_binary: bool,
+    /// Ingest requests sent under a minted trace id
+    /// ([`LoadConfig::trace_sample`] > 0).
+    pub traced_requests: u64,
+    /// The last minted trace id — fetch its tree with
+    /// `bdi admin --trace <id>` or `GET /trace/:id` while it's hot.
+    pub last_trace_id: Option<u64>,
 }
 
 /// Generate a world and replay it against a running server at `addr`.
@@ -221,7 +282,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
                 // readers stay on JSON: lookup has no binary encoding
-                let mut client = Driver::connect(addr, http, false)?;
+                let mut client = Driver::connect(addr, http, false, false)?;
                 let mut latencies = Vec::new();
                 // stride the pool differently per reader so shards all
                 // see traffic without needing a shared RNG
@@ -240,18 +301,32 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         })
         .collect();
 
-    let mut writer = Driver::connect(addr, cfg.http, cfg.binary)?;
+    let mut writer = Driver::connect(addr, cfg.http, cfg.binary, cfg.trace_sample > 0)?;
     let wire_binary = writer.is_binary();
     let mut ingest_latencies: Vec<u64> = Vec::with_capacity(total);
     // driver-side batch-size distribution (the last chunk is partial)
     let batch_hist = Registry::new().histogram("load.ingest.batch_records");
     let batch = cfg.batch.max(1);
+    // client-side trace-id mint for the 1-in-N sampled requests
+    let mint = bdi_obs::Tracer::new();
+    let mut reqno = 0u64;
+    let mut traced_requests = 0u64;
+    let mut last_trace_id = None;
+    let next_trace = |reqno: &mut u64| -> Option<u64> {
+        *reqno += 1;
+        (cfg.trace_sample > 0 && *reqno % cfg.trace_sample == 0).then(|| mint.fresh_id())
+    };
     let t0 = Instant::now();
     if batch == 1 {
         for r in records {
             batch_hist.record(1);
+            let trace = next_trace(&mut reqno);
+            if let Some(t) = trace {
+                traced_requests += 1;
+                last_trace_id = Some(t);
+            }
             let t = Instant::now();
-            writer.ingest(r)?;
+            writer.ingest(r, trace)?;
             ingest_latencies.push(t.elapsed().as_micros() as u64);
         }
     } else {
@@ -259,8 +334,13 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         while stream.peek().is_some() {
             let chunk: Vec<_> = stream.by_ref().take(batch).collect();
             batch_hist.record(chunk.len() as u64);
+            let trace = next_trace(&mut reqno);
+            if let Some(t) = trace {
+                traced_requests += 1;
+                last_trace_id = Some(t);
+            }
             let t = Instant::now();
-            writer.ingest_batch(chunk)?;
+            writer.ingest_batch(chunk, trace)?;
             ingest_latencies.push(t.elapsed().as_micros() as u64);
         }
     }
@@ -340,6 +420,8 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         replicas_dropped: counter("route.ingest.replicas_dropped"),
         replica_errors,
         wire_binary,
+        traced_requests,
+        last_trace_id,
     })
 }
 

@@ -41,7 +41,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -72,6 +72,26 @@ const TOKEN_WAKER: u64 = u64::MAX;
 /// First connection token; listener tokens are their index below this.
 const TOKEN_CONN0: u64 = 1024;
 
+/// Per-request context the framing layer knows and dispatch doesn't:
+/// who sent it and how long it sat on the dispatch queue before a
+/// worker picked it up. The slow-request log wants the peer; the
+/// request tracer turns the wait into a `queue.wait` span.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RequestMeta {
+    /// Peer socket address, when the transport had one.
+    pub peer: Option<SocketAddr>,
+    /// Nanoseconds between framing completion and dispatch start.
+    pub queued_ns: u64,
+}
+
+impl RequestMeta {
+    /// Meta for the thread-per-connection front-end: a known peer, no
+    /// queueing (dispatch runs inline on the connection's thread).
+    pub fn direct(peer: Option<SocketAddr>) -> Self {
+        Self { peer, queued_ns: 0 }
+    }
+}
+
 /// What a front-end serves: per-connection state plus the two protocol
 /// entry points. Implemented by the backend ([`crate::server`]) and
 /// the router ([`crate::router`]); both run the same loop.
@@ -85,22 +105,32 @@ pub(crate) trait Service: Send + Sync + 'static {
 
     /// Handle one JSON-lines request: the response line (no trailing
     /// newline) and whether to close the connection after writing it.
-    fn handle_line(&self, conn: &mut Self::Conn, line: &str) -> (String, bool);
+    fn handle_line(&self, conn: &mut Self::Conn, line: &str, meta: &RequestMeta) -> (String, bool);
 
     /// Handle one complete binary frame (`[frame::FRAME_MAGIC]`-led,
     /// CRC-validated length on the framing side; the payload CRC is
     /// checked here via [`frame::open_frame`]). Returns the encoded
     /// response frame and whether to close. The default rejects the
     /// format — a service opts in by overriding.
-    fn handle_frame(&self, conn: &mut Self::Conn, raw: &[u8]) -> (Vec<u8>, bool) {
-        let _ = (conn, raw);
+    fn handle_frame(
+        &self,
+        conn: &mut Self::Conn,
+        raw: &[u8],
+        meta: &RequestMeta,
+    ) -> (Vec<u8>, bool) {
+        let _ = (conn, raw, meta);
         let mut out = Vec::new();
         frame::encode_error(&mut out, "binary frames not supported on this endpoint");
         (out, true)
     }
 
     /// Handle one decoded HTTP request.
-    fn handle_http(&self, conn: &mut Self::Conn, req: HttpRequest) -> HttpResponse;
+    fn handle_http(
+        &self,
+        conn: &mut Self::Conn,
+        req: HttpRequest,
+        meta: &RequestMeta,
+    ) -> HttpResponse;
 
     /// The service's shutdown flag: the loop stops accepting and
     /// drains once this reads true.
@@ -125,7 +155,9 @@ enum Frame {
 /// The worker-facing half of a connection: its frame queue, its
 /// response buffer, and its dispatch state.
 struct ConnShared<C> {
-    pending: VecDeque<Frame>,
+    /// Framed requests with the instant they finished framing (the gap
+    /// to dispatch is the queue wait reported in [`RequestMeta`]).
+    pending: VecDeque<(Frame, Instant)>,
     out: Vec<u8>,
     /// A worker currently owns this connection's queue.
     busy: bool,
@@ -142,6 +174,9 @@ struct ConnShared<C> {
 
 struct ConnCell<C> {
     token: u64,
+    /// Peer address captured at accept (the worker-side [`RequestMeta`]
+    /// carries it into dispatch for slow-request logging).
+    peer: Option<SocketAddr>,
     shared: Mutex<ConnShared<C>>,
 }
 
@@ -255,6 +290,7 @@ struct PendingBody {
     query: String,
     close: bool,
     need: usize,
+    trace: Option<String>,
 }
 
 impl HttpDecoder {
@@ -275,6 +311,7 @@ impl HttpDecoder {
                 query: pending.query,
                 body,
                 close: pending.close,
+                trace: pending.trace,
             });
         }
         // hunt for the blank line ending the head
@@ -317,6 +354,7 @@ impl HttpDecoder {
         let mut content_length: Option<usize> = None;
         let mut close = http10;
         let mut expect_continue = false;
+        let mut trace: Option<String> = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 continue;
@@ -363,6 +401,8 @@ impl HttpDecoder {
                 && value.eq_ignore_ascii_case("100-continue")
             {
                 expect_continue = true;
+            } else if name.eq_ignore_ascii_case("x-bdi-trace") {
+                trace = Some(value.to_string());
             }
         }
         let content_length = content_length.unwrap_or(0);
@@ -378,6 +418,7 @@ impl HttpDecoder {
             query,
             close,
             need: content_length,
+            trace,
         });
         if expect_continue {
             return Advance::Interim(b"HTTP/1.1 100 Continue\r\n\r\n".to_vec());
@@ -558,7 +599,7 @@ impl<S: Service> EventLoop<S> {
     fn on_accept(&mut self, idx: usize) {
         loop {
             match self.listeners[idx].accept() {
-                Ok((stream, _)) => {
+                Ok((stream, peer)) => {
                     if self.service.shutting_down() {
                         continue; // accept-and-drop until the loop exits
                     }
@@ -574,6 +615,7 @@ impl<S: Service> EventLoop<S> {
                     }
                     let cell = Arc::new(ConnCell {
                         token,
+                        peer: Some(peer),
                         shared: Mutex::new(ConnShared {
                             pending: VecDeque::new(),
                             out: Vec::new(),
@@ -692,7 +734,8 @@ impl<S: Service> EventLoop<S> {
             }
             self.inflight
                 .fetch_add(frames.len() as u64, Ordering::SeqCst);
-            g.pending.extend(frames);
+            let framed = Instant::now();
+            g.pending.extend(frames.into_iter().map(|f| (f, framed)));
             if g.busy {
                 false
             } else {
@@ -905,7 +948,7 @@ fn worker_loop<S: Service>(
                     completions.notify(cell.token);
                     break;
                 }
-                let frames: Vec<Frame> = g.pending.drain(..).collect();
+                let frames: Vec<(Frame, Instant)> = g.pending.drain(..).collect();
                 let state = g.state.take().expect("state present while busy");
                 (frames, state)
             };
@@ -913,25 +956,29 @@ fn worker_loop<S: Service>(
             let n = frames.len() as u64;
             let mut out = Vec::new();
             let mut done = false;
-            for frame in frames {
+            for (frame, framed_at) in frames {
                 if done {
                     break; // a close drops the rest, as the threaded
                            // front-end did by not reading past `bye`
                 }
+                let meta = RequestMeta {
+                    peer: cell.peer,
+                    queued_ns: framed_at.elapsed().as_nanos() as u64,
+                };
                 match frame {
                     Frame::Line(line) => {
-                        let (resp, close) = service.handle_line(&mut state, &line);
+                        let (resp, close) = service.handle_line(&mut state, &line, &meta);
                         out.extend_from_slice(resp.as_bytes());
                         out.push(b'\n');
                         done = close;
                     }
                     Frame::Binary(raw) => {
-                        let (resp, close) = service.handle_frame(&mut state, &raw);
+                        let (resp, close) = service.handle_frame(&mut state, &raw, &meta);
                         out.extend_from_slice(&resp);
                         done = close;
                     }
                     Frame::Http(req) => {
-                        let resp = service.handle_http(&mut state, req);
+                        let resp = service.handle_http(&mut state, req, &meta);
                         done = resp.close;
                         out.extend_from_slice(&http::encode(&resp));
                     }
@@ -1060,6 +1107,7 @@ mod tests {
             stream,
             cell: Arc::new(ConnCell {
                 token: TOKEN_CONN0,
+                peer: None,
                 shared: Mutex::new(ConnShared {
                     pending: VecDeque::new(),
                     out: Vec::new(),
@@ -1116,7 +1164,12 @@ mod tests {
         // a state-shipping opcode passes frame_len's per-opcode cap up
         // to 1 GiB, so the loop's own MAX_LINE bound has to stop it
         // from buffering that much
-        let mut header = vec![frame::FRAME_MAGIC, frame::FRAME_VERSION, frame::OP_RESTORE, 0];
+        let mut header = vec![
+            frame::FRAME_MAGIC,
+            frame::FRAME_VERSION,
+            frame::OP_RESTORE,
+            0,
+        ];
         header.extend_from_slice(&(MAX_LINE as u32).to_le_bytes());
         conn.rbuf.extend_from_slice(&header);
         let frames = parse_frames(&mut conn);

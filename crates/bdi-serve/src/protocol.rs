@@ -99,6 +99,16 @@ pub enum Request {
         replica: usize,
         addr: String,
     },
+    /// Read the flight recorder: with `id`, every span of that trace
+    /// still in the ring (a router merges its own spans with the
+    /// fleet's); with `id` absent, the most recently retained trace ids
+    /// (at most `recent`, default 16). Answered with
+    /// [`Response::Trace`].
+    #[serde(rename = "trace")]
+    Trace {
+        id: Option<u64>,
+        recent: Option<usize>,
+    },
 }
 
 impl Request {
@@ -120,6 +130,52 @@ impl Request {
             Request::Restore { .. } => "restore",
             Request::Split { .. } => "split",
             Request::Replace { .. } => "replace",
+            Request::Trace { .. } => "trace",
+        }
+    }
+}
+
+/// The optional trace envelope a JSON-lines request can arrive in:
+/// `{"traced": {"id": …, "parent": …}, "request": <request>}`. A bare
+/// request line stays exactly as before — the envelope is detected by
+/// its leading `{"traced"` key (see the front ends), so untraced
+/// traffic pays nothing. The key is `traced`, not `trace`, because
+/// `{"trace": …}` is already the serialized [`Request::Trace`]
+/// command. Senders only use the envelope once the peer's `hello`
+/// advertised the `trace-context` feature.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TracedRequest {
+    /// The trace context the server's spans should parent under.
+    #[serde(rename = "traced")]
+    pub trace: TraceWire,
+    /// The wrapped request.
+    pub request: Request,
+}
+
+/// Wire shape of a trace context: the trace id plus the caller's span
+/// id (`0` = the server's request span becomes a root).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceWire {
+    /// Trace id (nonzero for a live trace).
+    pub id: u64,
+    /// Parent span id, 0 for none.
+    pub parent: u64,
+}
+
+impl TraceWire {
+    /// Convert to the `bdi-obs` context type.
+    pub fn ctx(self) -> bdi_obs::TraceContext {
+        bdi_obs::TraceContext {
+            trace: self.id,
+            parent: self.parent,
+        }
+    }
+
+    /// Build from a `bdi-obs` context.
+    pub fn from_ctx(ctx: bdi_obs::TraceContext) -> Self {
+        TraceWire {
+            id: ctx.trace,
+            parent: ctx.parent,
         }
     }
 }
@@ -192,6 +248,144 @@ pub enum Response {
         replica: usize,
         synced: u64,
     },
+    /// Flight-recorder read: the spans of one trace, or the recent
+    /// retained trace ids.
+    #[serde(rename = "trace")]
+    Trace(TraceBody),
+}
+
+/// Body of [`Response::Trace`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceBody {
+    /// Every span of the requested trace still in the flight recorder
+    /// (flat — the caller reassembles the tree; span ids are unique so
+    /// spans merged from several fleet nodes coexist).
+    pub spans: Vec<SpanBody>,
+    /// Most recently retained trace ids, newest first (the `recent`
+    /// query shape; empty on an `id` query).
+    pub recent: Vec<u64>,
+}
+
+/// One span event on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpanBody {
+    /// Trace id.
+    pub trace: u64,
+    /// This span's id.
+    pub span: u64,
+    /// Parent span id, 0 for a root.
+    pub parent: u64,
+    /// Stage name, e.g. `"serve.request"`.
+    pub name: String,
+    /// Start, nanoseconds since the recording process's tracer epoch —
+    /// only durations are comparable across processes.
+    pub start_ns: u64,
+    /// See `start_ns`.
+    pub end_ns: u64,
+    /// Command kind (`""` when not a request span).
+    pub cmd: String,
+    /// Small numeric attributes (`shard`, `records`, …).
+    pub attrs: BTreeMap<String, u64>,
+}
+
+impl From<bdi_obs::SpanEvent> for SpanBody {
+    fn from(e: bdi_obs::SpanEvent) -> Self {
+        SpanBody {
+            trace: e.trace,
+            span: e.span,
+            parent: e.parent,
+            name: e.name.to_owned(),
+            start_ns: e.start_ns,
+            end_ns: e.end_ns,
+            cmd: e.cmd.to_owned(),
+            attrs: e.attrs.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        }
+    }
+}
+
+impl SpanBody {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// An assembled span tree, the `GET /trace/:id` response body (and
+/// what `bdi admin --trace` renders). The wire `trace` command returns
+/// flat spans; this is the reassembled view with per-node self-times.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceTree {
+    /// The trace id the tree belongs to.
+    pub id: u64,
+    /// Root spans (normally one; orphaned spans whose parent aged out
+    /// of the ring surface as extra roots), ordered by start time.
+    pub roots: Vec<TraceTreeNode>,
+}
+
+/// One node of a [`TraceTree`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceTreeNode {
+    /// The span itself.
+    pub span: SpanBody,
+    /// Span duration minus the summed durations of direct children —
+    /// time this stage spent itself (clamped at zero: child wall time
+    /// can exceed the parent's when stages overlap across threads).
+    pub self_ns: u64,
+    /// Child spans, ordered by start time.
+    pub children: Vec<TraceTreeNode>,
+}
+
+impl TraceTree {
+    /// Reassemble flat wire spans into the tree, mirroring
+    /// [`bdi_obs::assemble`]: children attach to a present parent,
+    /// anything else roots, siblings sort by start time.
+    pub fn from_spans(id: u64, mut spans: Vec<SpanBody>) -> Self {
+        use std::collections::{HashMap, HashSet};
+        spans.sort_by_key(|s| (s.start_ns, s.span));
+        let present: HashSet<u64> = spans.iter().map(|s| s.span).collect();
+        let mut children: HashMap<u64, Vec<SpanBody>> = HashMap::new();
+        let mut roots: Vec<SpanBody> = Vec::new();
+        for s in spans {
+            if s.parent != 0 && present.contains(&s.parent) && s.parent != s.span {
+                children.entry(s.parent).or_default().push(s);
+            } else {
+                roots.push(s);
+            }
+        }
+        fn build(
+            span: SpanBody,
+            children: &mut std::collections::HashMap<u64, Vec<SpanBody>>,
+        ) -> TraceTreeNode {
+            let kids = children.remove(&span.span).unwrap_or_default();
+            let kids: Vec<TraceTreeNode> = kids.into_iter().map(|c| build(c, children)).collect();
+            let child_ns: u64 = kids.iter().map(|c| c.span.duration_ns()).sum();
+            TraceTreeNode {
+                self_ns: span.duration_ns().saturating_sub(child_ns),
+                span,
+                children: kids,
+            }
+        }
+        TraceTree {
+            id,
+            roots: roots.into_iter().map(|r| build(r, &mut children)).collect(),
+        }
+    }
+
+    /// Every span name in the tree, depth-first — what smoke checks
+    /// assert against.
+    pub fn span_names(&self) -> Vec<String> {
+        fn walk(node: &TraceTreeNode, out: &mut Vec<String>) {
+            out.push(node.span.name.clone());
+            for c in &node.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        for r in &self.roots {
+            walk(r, &mut out);
+        }
+        out
+    }
 }
 
 /// Counters reported by [`Response::Stats`].
@@ -235,6 +429,24 @@ pub struct StatsBody {
     pub snapshot_records: u64,
     /// Generation number the last snapshot was captured at.
     pub snapshot_generation: u64,
+    /// Per-command latency summary (command kind → count/p50/p99 in
+    /// microseconds), pulled from the same histograms `metrics`
+    /// exposes in full — a quick look without scraping Prometheus
+    /// text. `None` from peers predating the field (it decodes from
+    /// a missing key); a router reply carries the worst (max) p50/p99
+    /// across shards with counts summed.
+    pub latency: Option<BTreeMap<String, CommandLatency>>,
+}
+
+/// One command's latency summary inside [`StatsBody::latency`].
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CommandLatency {
+    /// Requests measured.
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
 }
 
 /// The full metrics registry reported by [`Response::Metrics`] — the
@@ -359,6 +571,14 @@ mod tests {
                 shard: 0,
                 replica: 1,
                 addr: "127.0.0.1:7101".into(),
+            },
+            Request::Trace {
+                id: Some(0xABCD),
+                recent: None,
+            },
+            Request::Trace {
+                id: None,
+                recent: Some(8),
             },
         ];
         for r in reqs {
@@ -513,6 +733,61 @@ mod tests {
         let Request::Restore { position: 2, .. } = back else {
             panic!("wrong variant")
         };
+    }
+
+    #[test]
+    fn trace_envelope_and_body_round_trip() {
+        // the envelope wraps any request without touching its shape;
+        // senders splice the line with the `traced` key first (serde's
+        // own field order is not guaranteed), which is what the front
+        // ends' starts_with detection keys on
+        let inner = serde_json::to_string(&Request::Flush).unwrap();
+        let line = format!(r#"{{"traced":{{"id":7,"parent":3}},"request":{inner}}}"#);
+        assert!(
+            line.starts_with(r#"{"traced""#),
+            "envelope is detectable by its leading key: {line}"
+        );
+        let back: TracedRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.trace, TraceWire { id: 7, parent: 3 });
+        assert!(matches!(back.request, Request::Flush));
+
+        let mut attrs = BTreeMap::new();
+        attrs.insert("records".to_owned(), 64u64);
+        let resp = Response::Trace(TraceBody {
+            spans: vec![SpanBody {
+                trace: 7,
+                span: 9,
+                parent: 3,
+                name: "serve.request".into(),
+                start_ns: 100,
+                end_ns: 350,
+                cmd: "ingest_batch".into(),
+                attrs,
+            }],
+            recent: vec![7, 5],
+        });
+        let line = serde_json::to_string(&resp).unwrap();
+        let Response::Trace(body) = serde_json::from_str(&line).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(body.spans.len(), 1);
+        assert_eq!(body.spans[0].duration_ns(), 250);
+        assert_eq!(body.spans[0].attrs["records"], 64);
+        assert_eq!(body.recent, vec![7, 5]);
+    }
+
+    #[test]
+    fn stats_without_latency_key_still_decodes() {
+        // a peer predating the latency summary omits the key entirely
+        let old = r#"{"stats": {"generation": 3, "products": 1, "records": 2,
+            "submitted": 2, "applied": 2, "rejected": 0, "comparisons": 5,
+            "shards": 8, "durable": false, "wal_position": 0, "wal_synced": 0,
+            "wal_tail": 0, "snapshot_records": 0, "snapshot_generation": 0}}"#;
+        let Response::Stats(body) = serde_json::from_str(old).unwrap() else {
+            panic!("wrong variant")
+        };
+        assert_eq!(body.generation, 3);
+        assert!(body.latency.is_none(), "missing key decodes to None");
     }
 
     #[test]

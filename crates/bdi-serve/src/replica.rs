@@ -33,8 +33,8 @@
 use crate::frame;
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 use crate::router::RouterShared;
-use crate::server::FEATURE_BINARY;
-use bdi_obs::Counter;
+use crate::server::{FEATURE_BINARY, FEATURE_TRACE};
+use bdi_obs::{ActiveSpan, Counter, TraceContext};
 use bdi_types::Record;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -59,6 +59,10 @@ pub(crate) struct LaneConn {
     /// The peer advertised `binary-frames` in its `hello`: requests
     /// with a binary mapping ship as frames instead of JSON lines.
     binary: bool,
+    /// The peer advertised `trace-context`: traced requests carry their
+    /// context (frame trace extension / JSON `trace` envelope). Off,
+    /// requests go out plain — old peers see byte-identical traffic.
+    trace: bool,
     /// Reused binary encode buffer — one frame per batch, zero
     /// per-batch allocations once warm.
     wbuf: Vec<u8>,
@@ -77,6 +81,7 @@ impl LaneConn {
             writer,
             reader,
             binary: false,
+            trace: false,
             wbuf: Vec::new(),
             rbuf: Vec::new(),
             line: String::new(),
@@ -108,8 +113,10 @@ impl LaneConn {
                     )));
                 }
                 // opportunistic, never required: a JSON-only peer just
-                // keeps this lane on the JSON path (mixed-format fleet)
+                // keeps this lane on the JSON path (mixed-format fleet),
+                // and a trace-blind peer gets plain requests
                 conn.binary = features.iter().any(|f| f == FEATURE_BINARY);
+                conn.trace = features.iter().any(|f| f == FEATURE_TRACE);
                 Ok(conn)
             }
             // pre-v2 builds answer hello with an error response
@@ -134,6 +141,40 @@ impl LaneConn {
         // String per batch
         serde_json::to_string_into(request, &mut self.line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.line.push('\n');
+        self.writer.write_all(self.line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// [`LaneConn::send`] carrying a trace context when the peer
+    /// negotiated `trace-context` — as the binary frame extension, or
+    /// the JSON `trace` envelope on the JSON path. Without the feature
+    /// (or without a context) the request goes out plain, byte-for-byte
+    /// what an untraced sender produces.
+    pub(crate) fn send_traced(
+        &mut self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+    ) -> std::io::Result<()> {
+        let Some(ctx) = ctx.filter(|_| self.trace) else {
+            return self.send(request);
+        };
+        if self.binary
+            && frame::encode_request_traced(&mut self.wbuf, request, Some((ctx.trace, ctx.parent)))
+        {
+            self.writer.write_all(&self.wbuf)?;
+            return self.writer.flush();
+        }
+        serde_json::to_string_into(request, &mut self.line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.line.insert_str(
+            0,
+            &format!(
+                "{{\"traced\":{{\"id\":{},\"parent\":{}}},\"request\":",
+                ctx.trace, ctx.parent
+            ),
+        );
+        self.line.push('}');
         self.line.push('\n');
         self.writer.write_all(self.line.as_bytes())?;
         self.writer.flush()
@@ -208,6 +249,11 @@ pub(crate) fn connect_with_retry(
     }
 }
 
+/// One queued record on a lane: the record plus, when the submitting
+/// request was traced, its context and the tracer-clock enqueue time
+/// (what the `lane.queue` span measures).
+pub(crate) type LaneItem = (Record, Option<(TraceContext, u64)>);
+
 /// One backend's ingest lane: the channel handlers route into plus the
 /// counters the flush barrier reconciles.
 pub(crate) struct ReplicaLane {
@@ -216,7 +262,7 @@ pub(crate) struct ReplicaLane {
     /// Position in the shard's replica set (stable across replacement).
     pub(crate) replica: usize,
     pub(crate) addr: SocketAddr,
-    pub(crate) tx: Sender<Record>,
+    pub(crate) tx: Sender<LaneItem>,
     /// Records handed to this lane (home copies and bridge replicas).
     pub(crate) enqueued: AtomicU64,
     /// Records acked by the backend — or discarded after its death, so
@@ -284,10 +330,11 @@ pub(crate) fn spawn_lane(
 /// barriers always terminate. Exits when the lane is retired (its
 /// [`Weak`] no longer upgrades), the channel disconnects, or shutdown
 /// finds it idle.
-fn lane_worker(lane_ref: Weak<ReplicaLane>, shared: Arc<RouterShared>, rx: Receiver<Record>) {
+fn lane_worker(lane_ref: Weak<ReplicaLane>, shared: Arc<RouterShared>, rx: Receiver<LaneItem>) {
     let mut conn: Option<LaneConn> = None;
-    // records per in-flight ingest_batch, oldest first
-    let mut outstanding: VecDeque<u64> = VecDeque::new();
+    // per in-flight ingest_batch, oldest first: its record count plus
+    // the `lane.batch` span finished when its ack arrives
+    let mut outstanding: VecDeque<(u64, Option<ActiveSpan>)> = VecDeque::new();
     loop {
         // upgrade per iteration: a replaced lane stops being held by its
         // shard, the upgrade fails, and this worker retires
@@ -319,20 +366,44 @@ fn lane_worker(lane_ref: Weak<ReplicaLane>, shared: Arc<RouterShared>, rx: Recei
             }
             continue;
         };
-        let mut records = vec![first];
+        // pack a batch; a traced item gets its queue wait recorded, and
+        // the first traced context parents this batch's `lane.batch`
+        // span (the send→ack round trip the backend's spans nest under)
+        let tracer = &shared.tracer;
+        let mut batch_ctx: Option<TraceContext> = None;
+        let mut note = |item: LaneItem, records: &mut Vec<Record>| {
+            let (record, trace) = item;
+            if let Some((ctx, enqueued_ns)) = trace {
+                tracer.record(ctx, "lane.queue", enqueued_ns, tracer.now_ns(), &[]);
+                batch_ctx = batch_ctx.or(Some(ctx));
+            }
+            records.push(record);
+        };
+        let mut records = Vec::new();
+        note(first, &mut records);
         while records.len() < shared.batch {
             match rx.try_recv() {
-                Ok(r) => records.push(r),
+                Ok(item) => note(item, &mut records),
                 Err(_) => break,
             }
         }
         let n = records.len() as u64;
         shared.metrics.backend_batch_records.record(n);
+        let mut span = shared.tracer.begin(batch_ctx, "lane.batch");
+        if let Some(s) = &mut span {
+            s.attr("shard", lane.shard as u64);
+            s.attr("replica", lane.replica as u64);
+            s.attr("records", n);
+        }
+        let ctx = span.as_ref().map(|s| s.ctx());
         let sent = ensure_conn(&mut conn, &lane, &shared)
-            .and_then(|c| c.send(&Request::IngestBatch { records }));
+            .and_then(|c| c.send_traced(&Request::IngestBatch { records }, ctx));
         match sent {
-            Ok(()) => outstanding.push_back(n),
+            Ok(()) => outstanding.push_back((n, span)),
             Err(e) => {
+                if let Some(s) = span {
+                    shared.tracer.finish(s);
+                }
                 fail_lane(&shared, &lane, &mut outstanding, n, &e.to_string());
                 conn = None;
                 continue;
@@ -345,7 +416,10 @@ fn lane_worker(lane_ref: Weak<ReplicaLane>, shared: Arc<RouterShared>, rx: Recei
             let acked = conn.as_mut().expect("sent over this conn").recv_ack();
             match acked {
                 Ok(()) => {
-                    let n = outstanding.pop_front().expect("one ack per batch");
+                    let (n, span) = outstanding.pop_front().expect("one ack per batch");
+                    if let Some(s) = span {
+                        shared.tracer.finish(s);
+                    }
                     lane.settled.fetch_add(n, Ordering::SeqCst);
                 }
                 Err(e) => {
@@ -362,7 +436,10 @@ fn lane_worker(lane_ref: Weak<ReplicaLane>, shared: Arc<RouterShared>, rx: Recei
         while !outstanding.is_empty() {
             match c.recv_ack() {
                 Ok(()) => {
-                    let n = outstanding.pop_front().expect("one ack per batch");
+                    let (n, span) = outstanding.pop_front().expect("one ack per batch");
+                    if let Some(s) = span {
+                        shared.tracer.finish(s);
+                    }
                     lane.settled.fetch_add(n, Ordering::SeqCst);
                 }
                 Err(e) => {
@@ -392,15 +469,23 @@ fn ensure_conn<'a>(
 
 /// Mark a lane's backend down and settle everything it will never ack:
 /// the batch that failed to send (`pending`) plus every batch in
-/// flight.
+/// flight. In-flight `lane.batch` spans are finished here — a trace
+/// through a dying lane shows the batch ending at the failure, not a
+/// span that never closes.
 fn fail_lane(
     shared: &RouterShared,
     lane: &ReplicaLane,
-    outstanding: &mut VecDeque<u64>,
+    outstanding: &mut VecDeque<(u64, Option<ActiveSpan>)>,
     pending: u64,
     err: &str,
 ) {
-    let lost: u64 = pending + outstanding.drain(..).sum::<u64>();
+    let mut lost: u64 = pending;
+    for (n, span) in outstanding.drain(..) {
+        lost += n;
+        if let Some(s) = span {
+            shared.tracer.finish(s);
+        }
+    }
     if lost > 0 {
         lane.settled.fetch_add(lost, Ordering::SeqCst);
     }

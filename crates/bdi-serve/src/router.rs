@@ -48,12 +48,14 @@ use crate::bridge::{mask_shards, merge_entries, merge_stats, BridgeIndex, ShardM
 use crate::frame;
 use crate::http::{self, HttpMetrics};
 use crate::nio;
-use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
+use crate::protocol::{
+    MetricsBody, Request, Response, SpanBody, StatsBody, TraceBody, TracedRequest, PROTOCOL_VERSION,
+};
 use crate::replica::{spawn_lane, LaneConn, ReplicaLane, ShardState};
 use bdi_core::catalog::CatalogEntry;
 use bdi_linkage::blocking::normalize_identifier;
 use bdi_linkage::fingerprint::RecordFingerprint;
-use bdi_obs::{Counter, Gauge, Histogram, Registry};
+use bdi_obs::{Counter, Gauge, Histogram, Registry, TraceContext, Tracer};
 use bdi_types::Record;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BinaryHeap, HashMap};
@@ -65,12 +67,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Wire features this router tier itself advertises on `hello`.
-pub const ROUTER_FEATURES: [&str; 5] = [
+pub const ROUTER_FEATURES: [&str; 6] = [
     "ingest_batch",
     "flush_barrier",
     "split",
     "replace",
     "binary-frames",
+    "trace-context",
 ];
 
 /// Router tunables.
@@ -107,6 +110,11 @@ pub struct RouterConfig {
     /// Extra connect attempts (exponential backoff) before a backend
     /// that refuses connections is declared dead.
     pub retries: u32,
+    /// Head-sample one client request in this many into the router's
+    /// flight recorder (`0` disables). The decision propagates: a
+    /// sampled request's context rides to the backends, whose spans
+    /// merge back through the `trace` command.
+    pub trace_sample: u64,
 }
 
 impl Default for RouterConfig {
@@ -122,6 +130,7 @@ impl Default for RouterConfig {
             pipeline: 4,
             queue_capacity: 1024,
             retries: 2,
+            trace_sample: 0,
         }
     }
 }
@@ -192,6 +201,9 @@ pub(crate) struct RouterShared {
     pub(crate) shards: RwLock<Vec<Arc<ShardState>>>,
     pub(crate) bridge: Mutex<BridgeIndex>,
     pub(crate) metrics: RouteMetrics,
+    /// The router's flight recorder (lane workers and the read scatter
+    /// record into it; `trace` merges it with the backends' rings).
+    pub(crate) tracer: Tracer,
     pub(crate) shutdown: AtomicBool,
     /// Records per backend `ingest_batch`.
     pub(crate) batch: usize,
@@ -278,10 +290,13 @@ impl Router {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
 
+        let tracer = Tracer::new();
+        tracer.configure(cfg.trace_sample, false);
         let shared = Arc::new(RouterShared {
             shards: RwLock::new(Vec::new()),
             bridge: Mutex::new(BridgeIndex::for_threshold(shard_count, cfg.threshold)),
             metrics: RouteMetrics::new(Registry::new()),
+            tracer,
             shutdown: AtomicBool::new(false),
             batch: cfg.batch.max(1),
             depth: cfg.pipeline.max(1),
@@ -384,23 +399,44 @@ impl nio::Service for RouteService {
         QueryConns::new()
     }
 
-    fn handle_line(&self, conns: &mut QueryConns, line: &str) -> (String, bool) {
-        handle_line(line, &self.shared, conns, self.addr)
+    fn handle_line(
+        &self,
+        conns: &mut QueryConns,
+        line: &str,
+        meta: &nio::RequestMeta,
+    ) -> (String, bool) {
+        handle_line(line, &self.shared, conns, self.addr, meta)
     }
 
-    fn handle_frame(&self, conns: &mut QueryConns, raw: &[u8]) -> (Vec<u8>, bool) {
-        handle_frame(raw, &self.shared, conns)
+    fn handle_frame(
+        &self,
+        conns: &mut QueryConns,
+        raw: &[u8],
+        meta: &nio::RequestMeta,
+    ) -> (Vec<u8>, bool) {
+        handle_frame(raw, &self.shared, conns, meta)
     }
 
-    fn handle_http(&self, conns: &mut QueryConns, req: http::HttpRequest) -> http::HttpResponse {
-        http::respond(&req, &self.shared.metrics.http, |request| {
-            catch_unwind(AssertUnwindSafe(|| {
-                dispatch(request, &self.shared, conns, self.addr)
-            }))
-            .unwrap_or_else(|_| Response::Error {
-                message: "internal error: request handler panicked".to_string(),
-            })
-        })
+    fn handle_http(
+        &self,
+        conns: &mut QueryConns,
+        req: http::HttpRequest,
+        meta: &nio::RequestMeta,
+    ) -> http::HttpResponse {
+        http::respond(
+            &req,
+            &self.shared.metrics.http,
+            &self.shared.tracer,
+            meta.queued_ns,
+            |request, ctx| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(request, &self.shared, conns, self.addr, ctx)
+                }))
+                .unwrap_or_else(|_| Response::Error {
+                    message: "internal error: request handler panicked".to_string(),
+                })
+            },
+        )
     }
 
     fn shutting_down(&self) -> bool {
@@ -416,8 +452,21 @@ fn handle_line(
     shared: &Arc<RouterShared>,
     conns: &mut QueryConns,
     addr: SocketAddr,
+    meta: &nio::RequestMeta,
 ) -> (String, bool) {
-    let response = match serde_json::from_str::<Request>(line) {
+    // the same optional `trace` envelope the backends accept
+    let (inbound, parsed) = if line.starts_with("{\"traced\"") {
+        match serde_json::from_str::<TracedRequest>(line) {
+            Ok(t) => {
+                let ctx = (t.trace.id != 0).then(|| t.trace.ctx());
+                (ctx, Ok(t.request))
+            }
+            Err(e) => (None, Err(e)),
+        }
+    } else {
+        (None, serde_json::from_str::<Request>(line))
+    };
+    let response = match parsed {
         Err(e) => {
             shared.metrics.request_errors.inc();
             Response::Error {
@@ -425,11 +474,17 @@ fn handle_line(
             }
         }
         Ok(request) => {
-            let response =
-                catch_unwind(AssertUnwindSafe(|| dispatch(request, shared, conns, addr)))
-                    .unwrap_or_else(|_| Response::Error {
-                        message: "internal error: request handler panicked".to_string(),
-                    });
+            let span = route_span(shared, inbound, request.kind(), meta);
+            let ctx = span.as_ref().map(|s| s.ctx());
+            let response = catch_unwind(AssertUnwindSafe(|| {
+                dispatch(request, shared, conns, addr, ctx)
+            }))
+            .unwrap_or_else(|_| Response::Error {
+                message: "internal error: request handler panicked".to_string(),
+            });
+            if let Some(span) = span {
+                shared.tracer.finish(span);
+            }
             if matches!(response, Response::Error { .. }) {
                 shared.metrics.request_errors.inc();
             }
@@ -447,9 +502,14 @@ fn handle_line(
 /// dispatch (panics answered as errors), encode a binary reply. Only
 /// the hot write-path commands have binary encodings — everything else
 /// stays on JSON lines, which the front-end autodetects per message.
-fn handle_frame(raw: &[u8], shared: &Arc<RouterShared>, conns: &mut QueryConns) -> (Vec<u8>, bool) {
+fn handle_frame(
+    raw: &[u8],
+    shared: &Arc<RouterShared>,
+    conns: &mut QueryConns,
+    meta: &nio::RequestMeta,
+) -> (Vec<u8>, bool) {
     let mut out = Vec::new();
-    let (opcode, payload) = match frame::open_frame(raw) {
+    let (opcode, wire_trace, payload) = match frame::open_frame_traced(raw) {
         Ok(parts) => parts,
         Err(e) => {
             shared.metrics.request_errors.inc();
@@ -457,8 +517,18 @@ fn handle_frame(raw: &[u8], shared: &Arc<RouterShared>, conns: &mut QueryConns) 
             return (out, true);
         }
     };
+    let inbound = wire_trace
+        .filter(|&(trace, _)| trace != 0)
+        .map(|(trace, parent)| TraceContext { trace, parent });
+    let kind = match opcode {
+        frame::OP_INGEST_BATCH => "ingest_batch",
+        frame::OP_FLUSH => "flush",
+        _ => "other",
+    };
+    let span = route_span(shared, inbound, kind, meta);
+    let ctx = span.as_ref().map(|s| s.ctx());
     let response = catch_unwind(AssertUnwindSafe(|| {
-        dispatch_frame(opcode, payload, shared, conns)
+        dispatch_frame(opcode, payload, shared, conns, ctx)
     }))
     .unwrap_or_else(|_| {
         Ok(Response::Error {
@@ -468,6 +538,9 @@ fn handle_frame(raw: &[u8], shared: &Arc<RouterShared>, conns: &mut QueryConns) 
     .unwrap_or_else(|e| Response::Error {
         message: format!("bad request: {e}"),
     });
+    if let Some(span) = span {
+        shared.tracer.finish(span);
+    }
     if matches!(response, Response::Error { .. }) {
         shared.metrics.request_errors.inc();
     }
@@ -477,6 +550,30 @@ fn handle_frame(raw: &[u8], shared: &Arc<RouterShared>, conns: &mut QueryConns) 
     (out, false)
 }
 
+/// Mint the `route.request` span for one client request against the
+/// fleet: adopt a propagated upstream context, else let the head
+/// sampler decide; a queued request gets a synthetic `queue.wait`
+/// child. The router-side twin of the backend's `serve.request`.
+fn route_span(
+    shared: &RouterShared,
+    inbound: Option<TraceContext>,
+    kind: &'static str,
+    meta: &nio::RequestMeta,
+) -> Option<bdi_obs::ActiveSpan> {
+    let mut span = match inbound {
+        Some(ctx) => Some(shared.tracer.adopt(ctx, "route.request")),
+        None => shared.tracer.root("route.request").map(|r| r.span),
+    }?;
+    span.set_cmd(kind);
+    if meta.queued_ns > 0 {
+        let start = span.start_ns().saturating_sub(meta.queued_ns);
+        shared
+            .tracer
+            .record(span.ctx(), "queue.wait", start, span.start_ns(), &[]);
+    }
+    Some(span)
+}
+
 /// Binary twin of the write-path arms of [`dispatch`]: same routing,
 /// same barrier, same metrics — only the codec differs.
 fn dispatch_frame(
@@ -484,7 +581,9 @@ fn dispatch_frame(
     payload: &[u8],
     shared: &Arc<RouterShared>,
     conns: &mut QueryConns,
+    ctx: Option<TraceContext>,
 ) -> std::io::Result<Response> {
+    conns.trace_ctx = ctx;
     let mut r = frame::Reader::new(payload);
     let trailing = |r: &frame::Reader<'_>| -> std::io::Result<()> {
         if r.remaining() == 0 {
@@ -506,7 +605,7 @@ fn dispatch_frame(
             shared.metrics.batch_records.record(records.len() as u64);
             let mut submitted = shared.metrics.submitted.get();
             for record in records {
-                match route_one(shared, record) {
+                match route_one(shared, record, ctx) {
                     Ok(s) => submitted = s,
                     Err(e) => return Ok(err(e)),
                 }
@@ -535,6 +634,10 @@ fn dispatch_frame(
 struct QueryConns {
     conns: HashMap<(usize, usize), (SocketAddr, LaneConn)>,
     preferred: HashMap<usize, usize>,
+    /// Context of the request currently being dispatched on this
+    /// connection, if traced — scatter records a `backend.query` span
+    /// per shard round-trip under it.
+    trace_ctx: Option<TraceContext>,
 }
 
 impl QueryConns {
@@ -542,6 +645,7 @@ impl QueryConns {
         Self {
             conns: HashMap::new(),
             preferred: HashMap::new(),
+            trace_ctx: None,
         }
     }
 
@@ -674,15 +778,26 @@ impl QueryConns {
         let line = serde_json::to_string(request).expect("requests serialize");
         let n = shared.shards.read().len();
         let mut results: Vec<(usize, Result<Response, String>)> = Vec::new();
-        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut pending: Vec<(usize, usize, u64)> = Vec::new();
         for shard in mask_shards(mask).filter(|&s| s < n) {
+            let t0 = shared.tracer.now_ns();
             match self.send_failover(shared, shard, &line) {
-                Ok(replica) => pending.push((shard, replica)),
+                Ok(replica) => pending.push((shard, replica, t0)),
                 Err(e) => results.push((shard, Err(e))),
             }
         }
-        for (shard, replica) in pending {
-            results.push((shard, self.recv_failover(shared, shard, replica, &line)));
+        for (shard, replica, t0) in pending {
+            let result = self.recv_failover(shared, shard, replica, &line);
+            if let Some(ctx) = self.trace_ctx {
+                shared.tracer.record(
+                    ctx,
+                    "backend.query",
+                    t0,
+                    shared.tracer.now_ns(),
+                    &[("shard", shard as u64), ("replica", replica as u64)],
+                );
+            }
+            results.push((shard, result));
         }
         results.sort_by_key(|(s, _)| *s);
         results
@@ -731,12 +846,19 @@ fn all_shards_mask(shared: &RouterShared) -> ShardMask {
 /// under the bridge lock (so a split or replace barrier can never miss
 /// an in-flight record), then the actual channel sends outside every
 /// lock. Returns the router's submitted counter after this record.
-fn route_one(shared: &RouterShared, record: Record) -> Result<u64, String> {
+fn route_one(
+    shared: &RouterShared,
+    record: Record,
+    ctx: Option<TraceContext>,
+) -> Result<u64, String> {
+    let t0 = ctx.map(|_| shared.tracer.now_ns());
     let fp = RecordFingerprint::of(&record);
     let mut lanes: Vec<Arc<ReplicaLane>> = Vec::new();
+    let home;
     {
         let mut bridge = shared.bridge.lock();
         let route = bridge.route(&record, &fp);
+        home = route.home as u64;
         shared
             .metrics
             .bridged_records
@@ -764,8 +886,18 @@ fn route_one(shared: &RouterShared, record: Record) -> Result<u64, String> {
             }
         }
     }
+    if let (Some(ctx), Some(t0)) = (ctx, t0) {
+        shared.tracer.record(
+            ctx,
+            "route.partition",
+            t0,
+            shared.tracer.now_ns(),
+            &[("home", home), ("copies", lanes.len() as u64)],
+        );
+    }
     let last = lanes.len() - 1;
     let mut record = Some(record);
+    let item_ctx = ctx.map(|c| (c, shared.tracer.now_ns()));
     for (i, lane) in lanes.iter().enumerate() {
         let copy = if i == last {
             record.take().expect("moved exactly once")
@@ -775,7 +907,7 @@ fn route_one(shared: &RouterShared, record: Record) -> Result<u64, String> {
                 .expect("present until the last copy")
                 .clone()
         };
-        if lane.tx.send(copy).is_err() {
+        if lane.tx.send((copy, item_ctx)).is_err() {
             // lane retired mid-flight (replaced): the record was already
             // shipped to the replacement via sync — just settle the count
             lane.settled.fetch_add(1, Ordering::SeqCst);
@@ -844,7 +976,9 @@ fn dispatch(
     shared: &Arc<RouterShared>,
     conns: &mut QueryConns,
     addr: SocketAddr,
+    ctx: Option<TraceContext>,
 ) -> Response {
+    conns.trace_ctx = ctx;
     match request {
         Request::Lookup { identifier } => lookup(shared, conns, &identifier),
         Request::Filter {
@@ -876,7 +1010,7 @@ fn dispatch(
             if shared.shutdown.load(Ordering::SeqCst) {
                 return err("shutting down".to_string());
             }
-            match route_one(shared, record) {
+            match route_one(shared, record, ctx) {
                 Ok(submitted) => Response::Ack { submitted },
                 Err(e) => err(e),
             }
@@ -888,7 +1022,7 @@ fn dispatch(
             shared.metrics.batch_records.record(records.len() as u64);
             let mut submitted = shared.metrics.submitted.get();
             for record in records {
-                match route_one(shared, record) {
+                match route_one(shared, record, ctx) {
                     Ok(s) => submitted = s,
                     Err(e) => return err(e),
                 }
@@ -913,6 +1047,37 @@ fn dispatch(
                 Response::Stats(merge_stats(&bodies))
             }
             Err(e) => err(e),
+        },
+        Request::Trace { id, recent } => match id {
+            Some(id) => {
+                let mut spans: Vec<SpanBody> = shared
+                    .tracer
+                    .spans(id)
+                    .into_iter()
+                    .map(SpanBody::from)
+                    .collect();
+                // the backends hold the rest of the tree; best-effort
+                // scatter — a dead shard just leaves its spans out (and
+                // the lookup itself must not record onto the trace)
+                conns.trace_ctx = None;
+                let request = Request::Trace {
+                    id: Some(id),
+                    recent: None,
+                };
+                for (_, result) in conns.scatter(shared, all_shards_mask(shared), &request) {
+                    if let Ok(Response::Trace(body)) = result {
+                        spans.extend(body.spans);
+                    }
+                }
+                Response::Trace(TraceBody {
+                    spans,
+                    recent: vec![],
+                })
+            }
+            None => Response::Trace(TraceBody {
+                spans: vec![],
+                recent: shared.tracer.recent(recent.unwrap_or(16)),
+            }),
         },
         Request::Metrics => match conns.gather_all(shared, &Request::Metrics) {
             Ok(responses) => {

@@ -39,10 +39,13 @@ use crate::frame;
 use crate::gen::{Generation, ShardedIndex, Swap};
 use crate::http::{self, HttpMetrics};
 use crate::nio;
-use crate::protocol::{MetricsBody, Request, Response, StatsBody, PROTOCOL_VERSION};
+use crate::protocol::{
+    CommandLatency, MetricsBody, Request, Response, SpanBody, StatsBody, TraceBody, TracedRequest,
+    PROTOCOL_VERSION,
+};
 use crate::snapshot::Snapshot;
 use crate::wal::{Wal, WalMetrics};
-use bdi_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
+use bdi_obs::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, TraceContext, Tracer};
 use bdi_types::Record;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::io::{BufRead, BufReader, Write};
@@ -135,7 +138,16 @@ pub struct ServerConfig {
     pub durability: Option<DurabilityConfig>,
     /// Log a structured one-line record to stderr for every request
     /// slower than this many milliseconds. `None` disables the log.
+    /// Also arms the flight recorder's slow-exemplar capture: every
+    /// request is force-traced, and the full span tree is retained
+    /// whenever the request crosses the threshold — so `trace <id>`
+    /// works on exactly the requests the slow log names.
     pub slow_ms: Option<u64>,
+    /// Head-sample one request in this many into the flight recorder
+    /// (`0` disables sampling; `1` traces everything). Requests that
+    /// arrive with an upstream trace context are always recorded —
+    /// sampling decisions are made once, at the edge.
+    pub trace_sample: u64,
     /// Rewrite this file with the Prometheus text exposition of the
     /// metrics registry every [`ServerConfig::metrics_interval`]
     /// (atomic tmp + rename, so scrapers never read a torn file).
@@ -167,12 +179,13 @@ impl Default for ServerConfig {
             metrics_file: None,
             metrics_interval: Duration::from_secs(5),
             binary_wire: true,
+            trace_sample: 0,
         }
     }
 }
 
 /// Wire names of every request command, in [`command_slot`] order.
-const COMMAND_KINDS: [&str; 14] = [
+const COMMAND_KINDS: [&str; 15] = [
     "lookup",
     "filter",
     "top_k",
@@ -187,6 +200,7 @@ const COMMAND_KINDS: [&str; 14] = [
     "restore",
     "split",
     "replace",
+    "trace",
 ];
 
 /// The wire features this build advertises in its `hello` reply. A
@@ -196,16 +210,22 @@ const COMMAND_KINDS: [&str; 14] = [
 /// `binary-frames` is dropped from the reply when
 /// [`ServerConfig::binary_wire`] is off — peers negotiate the format
 /// off this list, never by trial and error.
-pub const FEATURES: [&str; 5] = [
+pub const FEATURES: [&str; 6] = [
     "ingest_batch",
     "flush_barrier",
     "sync",
     "restore",
     "binary-frames",
+    "trace-context",
 ];
 
 /// The `hello` feature gating the binary frame format.
 pub const FEATURE_BINARY: &str = "binary-frames";
+
+/// The `hello` feature gating trace-context propagation: peers that
+/// advertise it accept the binary frame trace extension and the
+/// JSON-lines `trace` envelope; peers that don't get plain requests.
+pub const FEATURE_TRACE: &str = "trace-context";
 
 /// Index of a command kind in the per-command metric handle arrays.
 fn command_slot(kind: &str) -> usize {
@@ -312,8 +332,11 @@ impl ServeMetrics {
 /// appended and applied — which is what makes a `sync` reply a
 /// consistent cut of the stream.
 enum Job {
-    /// One record to append + apply (the ingest hot path).
-    Record(Record),
+    /// One record to append + apply (the ingest hot path), with the
+    /// trace context of the request that submitted it — carried across
+    /// the queue so the worker's WAL/engine/publish spans land in the
+    /// originating request's trace.
+    Record(Record, Option<TraceContext>),
     /// Ship a consistent snapshot/tail cut back to the handler.
     Sync { from: u64, reply: Sender<Response> },
     /// Install shipped state in place of the current engine.
@@ -332,6 +355,9 @@ struct RestoreJob {
 struct Shared {
     current: Swap<Generation>,
     metrics: ServeMetrics,
+    /// The flight recorder: a fixed ring of span events every request
+    /// path writes into (when sampled/forced) and `trace` reads out.
+    tracer: Tracer,
     shutdown: AtomicBool,
     shards: usize,
     durable: bool,
@@ -360,9 +386,14 @@ impl Server {
         let listener = TcpListener::bind(cfg.addr.as_str())?;
         let addr = listener.local_addr()?;
         let registry = Registry::new();
+        let tracer = Tracer::new();
+        // slow-request logging doubles as slow-exemplar capture: force-
+        // trace everything, retain only what crosses the threshold
+        tracer.configure(cfg.trace_sample, cfg.slow_ms.is_some());
         let shared = Arc::new(Shared {
             current: Swap::new(Generation::empty(cfg.shards)),
             metrics: ServeMetrics::new(registry.clone()),
+            tracer,
             shutdown: AtomicBool::new(false),
             shards: cfg.shards,
             durable: cfg.durability.is_some(),
@@ -585,14 +616,16 @@ impl DurableLog {
     }
 
     /// fsync when the batch policy says so (or the queue has drained, so
-    /// a quiescent server is always fully durable).
-    fn sync_if_due(&mut self, queue_empty: bool, shared: &Shared) -> std::io::Result<()> {
+    /// a quiescent server is always fully durable). Returns whether a
+    /// sync actually ran — the worker hangs the `wal.fsync` span on it.
+    fn sync_if_due(&mut self, queue_empty: bool, shared: &Shared) -> std::io::Result<bool> {
         if self.wal.pending_sync() >= self.sync_every.max(1)
             || (queue_empty && self.wal.pending_sync() > 0)
         {
             self.sync(shared)?;
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Snapshot the engine and compact the WAL when the tail has grown
@@ -703,10 +736,67 @@ fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
 
 /// Apply one record, converting a panic anywhere down the linkage /
 /// fusion stack into a counted rejection instead of a dead worker.
-fn apply_record(engine: &mut Engine, record: Record, shared: &Shared) {
-    if catch_unwind(AssertUnwindSafe(|| engine.ingest(record))).is_err() {
-        shared.metrics.rejected.inc();
+/// A traced record additionally gets an `engine.insert` span whose
+/// children break the insert into its candidate / score / fuse stages
+/// (synthesized from [`crate::engine::Engine::ingest_timed`]'s stage
+/// timings, laid end to end under the insert span).
+fn apply_record(engine: &mut Engine, record: Record, ctx: Option<TraceContext>, shared: &Shared) {
+    let Some(ctx) = ctx else {
+        if catch_unwind(AssertUnwindSafe(|| engine.ingest(record))).is_err() {
+            shared.metrics.rejected.inc();
+        }
+        return;
+    };
+    let tracer = &shared.tracer;
+    let start = tracer.now_ns();
+    match catch_unwind(AssertUnwindSafe(|| engine.ingest_timed(record))) {
+        Err(_) => {
+            shared.metrics.rejected.inc();
+            tracer.record(
+                ctx,
+                "engine.insert",
+                start,
+                tracer.now_ns(),
+                &[("panicked", 1)],
+            );
+        }
+        Ok((_, timings)) => {
+            let end = tracer.now_ns();
+            let insert = tracer.record(ctx, "engine.insert", start, end, &[]);
+            let stage_ctx = TraceContext {
+                trace: ctx.trace,
+                parent: insert,
+            };
+            let mut t = start;
+            for (name, ns) in [
+                ("engine.candidates", timings.candidates_ns),
+                ("engine.score", timings.scoring_ns),
+                ("engine.fuse", timings.union_ns),
+            ] {
+                tracer.record(stage_ctx, name, t, t + ns, &[]);
+                t += ns;
+            }
+        }
     }
+}
+
+/// Append one record to the WAL, with a `wal.append` span when the
+/// record rode in on a traced request.
+fn append_traced(
+    log: &mut DurableLog,
+    record: &Record,
+    ctx: Option<TraceContext>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let Some(ctx) = ctx else {
+        return log.append(record, shared);
+    };
+    let t0 = shared.tracer.now_ns();
+    let result = log.append(record, shared);
+    shared
+        .tracer
+        .record(ctx, "wal.append", t0, shared.tracer.now_ns(), &[]);
+    result
 }
 
 /// Worker knobs beyond the engine itself: the per-cycle batch bound
@@ -731,9 +821,17 @@ fn ingest_worker(
     mut durable: Option<DurableLog>,
     opts: WorkerOpts,
 ) {
+    // trace contexts of this batch's traced records: the group-commit
+    // fsync and the publish are shared work, so their spans are
+    // recorded once per traced requester
+    let mut traced: Vec<TraceContext> = Vec::new();
     while let Ok(job) = rx.recv() {
         let first = match job {
-            Job::Record(r) => r,
+            Job::Record(r, ctx) => {
+                traced.clear();
+                traced.extend(ctx);
+                r
+            }
             control_job => {
                 control(
                     control_job,
@@ -750,21 +848,23 @@ fn ingest_worker(
         // a control job pulled mid-batch waits until the batch's records
         // are applied and published — queue order is preserved
         let mut pending: Option<Job> = None;
+        let first_ctx = traced.first().copied();
         if let Some(log) = &mut durable {
-            if let Err(e) = log.append(&first, &shared) {
+            if let Err(e) = append_traced(log, &first, first_ctx, &shared) {
                 log_io_error(e);
             }
         }
-        apply_record(&mut engine, first, &shared);
+        apply_record(&mut engine, first, first_ctx, &shared);
         while (n as usize) < opts.batch {
             match rx.try_recv() {
-                Ok(Job::Record(r)) => {
+                Ok(Job::Record(r, ctx)) => {
                     if let Some(log) = &mut durable {
-                        if let Err(e) = log.append(&r, &shared) {
+                        if let Err(e) = append_traced(log, &r, ctx, &shared) {
                             log_io_error(e);
                         }
                     }
-                    apply_record(&mut engine, r, &shared);
+                    apply_record(&mut engine, r, ctx, &shared);
+                    traced.extend(ctx);
                     n += 1;
                 }
                 Ok(control_job) => {
@@ -777,12 +877,32 @@ fn ingest_worker(
         // write-ahead before publish: a record is only announced as
         // applied once its WAL bytes are (batch-policy) durable
         if let Some(log) = &mut durable {
-            if let Err(e) = log.sync_if_due(rx.is_empty(), &shared) {
-                log_io_error(e);
+            let t0 = shared.tracer.now_ns();
+            match log.sync_if_due(rx.is_empty(), &shared) {
+                Err(e) => log_io_error(e),
+                Ok(true) => {
+                    let t1 = shared.tracer.now_ns();
+                    let batched = traced.len() as u64;
+                    for ctx in &traced {
+                        shared
+                            .tracer
+                            .record(*ctx, "wal.fsync", t0, t1, &[("group", batched)]);
+                    }
+                }
+                Ok(false) => {}
             }
         }
         seq += 1;
+        let t0 = shared.tracer.now_ns();
         publish(&shared, &mut engine, seq);
+        if !traced.is_empty() {
+            let t1 = shared.tracer.now_ns();
+            for ctx in traced.drain(..) {
+                shared
+                    .tracer
+                    .record(ctx, "publish", t0, t1, &[("records", n)]);
+            }
+        }
         // applied counts only after the records are queryable
         shared.metrics.applied.add(n);
         if let Some(log) = &mut durable {
@@ -815,7 +935,7 @@ fn control(
     opts: &WorkerOpts,
 ) {
     match job {
-        Job::Record(_) => unreachable!("records take the batching path"),
+        Job::Record(..) => unreachable!("records take the batching path"),
         Job::Sync { from, reply } => {
             let response = handle_sync(from, engine, *seq, durable, shared).unwrap_or_else(|e| {
                 Response::Error {
@@ -936,23 +1056,34 @@ impl nio::Service for ServeService {
 
     fn new_conn(&self) {}
 
-    fn handle_line(&self, _conn: &mut (), line: &str) -> (String, bool) {
-        handle_line(line, &self.shared, &self.tx, self.addr)
+    fn handle_line(&self, _conn: &mut (), line: &str, meta: &nio::RequestMeta) -> (String, bool) {
+        handle_line(line, &self.shared, &self.tx, self.addr, meta)
     }
 
-    fn handle_frame(&self, _conn: &mut (), raw: &[u8]) -> (Vec<u8>, bool) {
-        handle_frame(raw, &self.shared, &self.tx)
+    fn handle_frame(&self, _conn: &mut (), raw: &[u8], meta: &nio::RequestMeta) -> (Vec<u8>, bool) {
+        handle_frame(raw, &self.shared, &self.tx, meta)
     }
 
-    fn handle_http(&self, _conn: &mut (), req: http::HttpRequest) -> http::HttpResponse {
-        http::respond(&req, &self.shared.metrics.http, |request| {
-            catch_unwind(AssertUnwindSafe(|| {
-                dispatch(request, &self.shared, &self.tx, self.addr)
-            }))
-            .unwrap_or_else(|_| Response::Error {
-                message: "internal error: request handler panicked".to_string(),
-            })
-        })
+    fn handle_http(
+        &self,
+        _conn: &mut (),
+        req: http::HttpRequest,
+        meta: &nio::RequestMeta,
+    ) -> http::HttpResponse {
+        http::respond(
+            &req,
+            &self.shared.metrics.http,
+            &self.shared.tracer,
+            meta.queued_ns,
+            |request, ctx| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(request, &self.shared, &self.tx, self.addr, ctx)
+                }))
+                .unwrap_or_else(|_| Response::Error {
+                    message: "internal error: request handler panicked".to_string(),
+                })
+            },
+        )
     }
 
     fn shutting_down(&self) -> bool {
@@ -960,13 +1091,99 @@ impl nio::Service for ServeService {
     }
 }
 
+/// The one slow-request log line both wire handlers share (the two
+/// front-ends and both formats funnel here, so the format can't
+/// drift): command, latency, payload size, generation, peer, and — when
+/// the request was traced — the trace id, which is simultaneously
+/// retained in the flight recorder so `trace <id>` resolves exactly the
+/// requests this log names.
+fn note_slow(
+    shared: &Shared,
+    kind: &str,
+    elapsed: Duration,
+    bytes: usize,
+    peer: Option<SocketAddr>,
+    trace: Option<u64>,
+) {
+    let Some(threshold_ms) = shared.slow_ms else {
+        return;
+    };
+    let elapsed_ms = elapsed.as_millis() as u64;
+    if elapsed_ms < threshold_ms {
+        return;
+    }
+    let peer = match peer {
+        Some(p) => p.to_string(),
+        None => "-".to_string(),
+    };
+    let trace = match trace {
+        Some(t) => {
+            // keep the slow exemplar's full span tree readable after
+            // the ring wraps
+            shared.tracer.retain(t);
+            format!("{t:016x}")
+        }
+        None => "-".to_string(),
+    };
+    eprintln!(
+        "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
+         bytes={bytes} generation={} peer={peer} trace={trace}",
+        shared.current.load().seq,
+    );
+}
+
+/// Mint the `serve.request` span for one wire request: adopt the
+/// caller's context when it propagated one (always recorded — the
+/// sampling decision was made upstream), otherwise let the head sampler
+/// decide. A traced request that waited in the front-end's dispatch
+/// queue also gets a synthetic `queue.wait` child covering the wait.
+fn request_span(
+    shared: &Shared,
+    inbound: Option<TraceContext>,
+    kind: &'static str,
+    meta: &nio::RequestMeta,
+) -> Option<bdi_obs::ActiveSpan> {
+    let mut span = match inbound {
+        Some(ctx) => Some(shared.tracer.adopt(ctx, "serve.request")),
+        None => shared.tracer.root("serve.request").map(|r| r.span),
+    }?;
+    span.set_cmd(kind);
+    if meta.queued_ns > 0 {
+        let start = span.start_ns().saturating_sub(meta.queued_ns);
+        shared
+            .tracer
+            .record(span.ctx(), "queue.wait", start, span.start_ns(), &[]);
+    }
+    Some(span)
+}
+
 /// Handle one JSON-lines request: parse, meter, dispatch (panics
 /// answered as errors), serialize. Returns the response line (no
 /// trailing newline) and whether the connection should close after it.
 /// Both front-ends call this, which is what keeps their output
 /// byte-identical.
-fn handle_line(line: &str, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) -> (String, bool) {
-    let response = match serde_json::from_str::<Request>(line) {
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    tx: &Sender<Job>,
+    addr: SocketAddr,
+    meta: &nio::RequestMeta,
+) -> (String, bool) {
+    // an optional `trace` envelope prefixes the request with the
+    // caller's context — detectable from the leading key, so plain
+    // requests never pay a second parse
+    let (inbound, parsed) = if line.starts_with("{\"traced\"") {
+        match serde_json::from_str::<TracedRequest>(line) {
+            Ok(t) => {
+                let ctx = (t.trace.id != 0).then(|| t.trace.ctx());
+                (ctx, Ok(t.request))
+            }
+            Err(e) => (None, Err(e)),
+        }
+    } else {
+        (None, serde_json::from_str::<Request>(line))
+    };
+    let response = match parsed {
         Err(e) => {
             shared.metrics.request_errors.inc();
             Response::Error {
@@ -977,31 +1194,29 @@ fn handle_line(line: &str, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) 
             let kind = request.kind();
             let slot = command_slot(kind);
             shared.metrics.request_bytes[slot].record(line.len() as u64);
+            let span = request_span(shared, inbound, kind, meta);
+            let ctx = span.as_ref().map(|s| s.ctx());
+            let trace_id = span.as_ref().map(|s| s.trace_id());
             // a panic anywhere under dispatch (a malformed-but-
             // parseable request tripping a deep invariant) answers
             // this one request with an error instead of tearing
             // down the connection
             let t0 = Instant::now();
-            let response = catch_unwind(AssertUnwindSafe(|| dispatch(request, shared, tx, addr)))
-                .unwrap_or_else(|_| Response::Error {
-                    message: "internal error: request handler panicked".to_string(),
-                });
+            let response = catch_unwind(AssertUnwindSafe(|| {
+                dispatch(request, shared, tx, addr, ctx)
+            }))
+            .unwrap_or_else(|_| Response::Error {
+                message: "internal error: request handler panicked".to_string(),
+            });
             let elapsed = t0.elapsed();
+            if let Some(span) = span {
+                shared.tracer.finish(span);
+            }
             shared.metrics.request_ns[slot].record_duration(elapsed);
             if matches!(response, Response::Error { .. }) {
                 shared.metrics.request_errors.inc();
             }
-            if let Some(threshold_ms) = shared.slow_ms {
-                let elapsed_ms = elapsed.as_millis() as u64;
-                if elapsed_ms >= threshold_ms {
-                    eprintln!(
-                        "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
-                         bytes={} generation={}",
-                        line.len(),
-                        shared.current.load().seq,
-                    );
-                }
-            }
+            note_slow(shared, kind, elapsed, line.len(), meta.peer, trace_id);
             response
         }
     };
@@ -1016,7 +1231,12 @@ fn handle_line(line: &str, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) 
 /// as error frames), encode the reply frame. The binary twin of
 /// [`handle_line`] — both front-ends call this, so replies are
 /// byte-identical across them.
-fn handle_frame(raw: &[u8], shared: &Shared, tx: &Sender<Job>) -> (Vec<u8>, bool) {
+fn handle_frame(
+    raw: &[u8],
+    shared: &Shared,
+    tx: &Sender<Job>,
+    meta: &nio::RequestMeta,
+) -> (Vec<u8>, bool) {
     let mut out = Vec::new();
     if !shared.binary_wire {
         // this node never advertised `binary-frames`; a frame here is a
@@ -1026,7 +1246,7 @@ fn handle_frame(raw: &[u8], shared: &Shared, tx: &Sender<Job>) -> (Vec<u8>, bool
         frame::encode_error(&mut out, "binary frames are disabled on this server");
         return (out, true);
     }
-    let (opcode, payload) = match frame::open_frame(raw) {
+    let (opcode, wire_trace, payload) = match frame::open_frame_traced(raw) {
         Ok(parts) => parts,
         Err(e) => {
             shared.metrics.request_errors.inc();
@@ -1045,11 +1265,17 @@ fn handle_frame(raw: &[u8], shared: &Shared, tx: &Sender<Job>) -> (Vec<u8>, bool
             return (out, false);
         }
     };
+    let inbound = wire_trace
+        .filter(|&(trace, _)| trace != 0)
+        .map(|(trace, parent)| TraceContext { trace, parent });
     let slot = command_slot(kind);
     shared.metrics.request_bytes[slot].record(raw.len() as u64);
+    let span = request_span(shared, inbound, kind, meta);
+    let ctx = span.as_ref().map(|s| s.ctx());
+    let trace_id = span.as_ref().map(|s| s.trace_id());
     let t0 = Instant::now();
     let response = match catch_unwind(AssertUnwindSafe(|| {
-        dispatch_frame(opcode, payload, shared, tx)
+        dispatch_frame(opcode, payload, shared, tx, ctx)
     })) {
         Ok(Ok(response)) => response,
         Ok(Err(e)) => Response::Error {
@@ -1060,21 +1286,14 @@ fn handle_frame(raw: &[u8], shared: &Shared, tx: &Sender<Job>) -> (Vec<u8>, bool
         },
     };
     let elapsed = t0.elapsed();
+    if let Some(span) = span {
+        shared.tracer.finish(span);
+    }
     shared.metrics.request_ns[slot].record_duration(elapsed);
     if matches!(response, Response::Error { .. }) {
         shared.metrics.request_errors.inc();
     }
-    if let Some(threshold_ms) = shared.slow_ms {
-        let elapsed_ms = elapsed.as_millis() as u64;
-        if elapsed_ms >= threshold_ms {
-            eprintln!(
-                "bdi-serve: slow-request cmd={kind} elapsed_ms={elapsed_ms} \
-                 bytes={} generation={}",
-                raw.len(),
-                shared.current.load().seq,
-            );
-        }
-    }
+    note_slow(shared, kind, elapsed, raw.len(), meta.peer, trace_id);
     if !frame::encode_response(&mut out, &response) {
         frame::encode_error(&mut out, "internal error: unencodable binary reply");
     }
@@ -1089,6 +1308,7 @@ fn dispatch_frame(
     payload: &[u8],
     shared: &Shared,
     tx: &Sender<Job>,
+    ctx: Option<TraceContext>,
 ) -> std::io::Result<Response> {
     let mut r = frame::Reader::new(payload);
     let trailing = |r: &frame::Reader| -> std::io::Result<()> {
@@ -1116,7 +1336,7 @@ fn dispatch_frame(
                 .record(records.len() as u64);
             let mut submitted = shared.metrics.submitted.get();
             for record in records {
-                if tx.send(Job::Record(record)).is_err() {
+                if tx.send(Job::Record(record, ctx)).is_err() {
                     return Ok(Response::Error {
                         message: "ingest queue closed".to_string(),
                     });
@@ -1205,6 +1425,8 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
     };
     shared.metrics.conn_accepted.inc();
     shared.metrics.conn_open.inc();
+    // requests are handled inline here, so there is no queue wait
+    let meta = nio::RequestMeta::direct(stream.peer_addr().ok());
     let mut writer = stream;
     let mut reader = BufReader::new(read_half);
     let mut line = String::new();
@@ -1221,7 +1443,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
             if frame::read_frame(&mut reader, &mut raw).is_err() {
                 break;
             }
-            let (out, close) = handle_frame(&raw, &shared, &tx);
+            let (out, close) = handle_frame(&raw, &shared, &tx, &meta);
             (out, close)
         } else {
             line.clear();
@@ -1240,7 +1462,7 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
             if line.trim().is_empty() {
                 continue;
             }
-            let (body, close) = handle_line(&line, &shared, &tx, addr);
+            let (body, close) = handle_line(&line, &shared, &tx, addr, &meta);
             let mut out = body.into_bytes();
             out.push(b'\n');
             (out, close)
@@ -1259,7 +1481,13 @@ fn handle_connection(stream: TcpStream, addr: SocketAddr, shared: Arc<Shared>, t
     shared.metrics.conn_open.dec();
 }
 
-fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAddr) -> Response {
+fn dispatch(
+    request: Request,
+    shared: &Shared,
+    tx: &Sender<Job>,
+    addr: SocketAddr,
+    ctx: Option<TraceContext>,
+) -> Response {
     match request {
         Request::Lookup { identifier } => {
             let current = shared.current.load();
@@ -1309,7 +1537,7 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAdd
                     message: "shutting down".to_string(),
                 };
             }
-            match tx.send(Job::Record(record)) {
+            match tx.send(Job::Record(record, ctx)) {
                 Ok(()) => Response::Ack {
                     submitted: shared.metrics.submitted.inc(),
                 },
@@ -1332,7 +1560,7 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAdd
             // moves per record so a concurrent flush barriers correctly
             let mut submitted = shared.metrics.submitted.get();
             for record in records {
-                if tx.send(Job::Record(record)).is_err() {
+                if tx.send(Job::Record(record, ctx)).is_err() {
                     return Response::Error {
                         message: "ingest queue closed".to_string(),
                     };
@@ -1358,6 +1586,23 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAdd
         Request::Stats => {
             let current = shared.current.load();
             let m = &shared.metrics;
+            let latency = COMMAND_KINDS
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, kind)| {
+                    let snap = m.request_ns[slot].snapshot();
+                    (snap.count > 0).then(|| {
+                        (
+                            (*kind).to_string(),
+                            CommandLatency {
+                                count: snap.count,
+                                p50_us: snap.quantile(0.5) / 1_000,
+                                p99_us: snap.quantile(0.99) / 1_000,
+                            },
+                        )
+                    })
+                })
+                .collect();
             Response::Stats(StatsBody {
                 generation: current.seq,
                 products: current.catalog.len(),
@@ -1373,6 +1618,7 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAdd
                 wal_tail: m.wal_tail.get(),
                 snapshot_records: m.snapshot_records.get(),
                 snapshot_generation: m.snapshot_generation.get(),
+                latency: Some(latency),
             })
         }
         Request::Metrics => {
@@ -1423,6 +1669,20 @@ fn dispatch(request: Request, shared: &Shared, tx: &Sender<Job>, addr: SocketAdd
             reply_rx.recv().unwrap_or_else(|_| Response::Error {
                 message: "restore worker unavailable".to_string(),
             })
+        }
+        Request::Trace { id, recent } => {
+            let tracer = &shared.tracer;
+            let body = match id {
+                Some(id) => TraceBody {
+                    spans: tracer.spans(id).into_iter().map(SpanBody::from).collect(),
+                    recent: Vec::new(),
+                },
+                None => TraceBody {
+                    spans: Vec::new(),
+                    recent: tracer.recent(recent.unwrap_or(16)),
+                },
+            };
+            Response::Trace(body)
         }
         Request::Split { .. } | Request::Replace { .. } => Response::Error {
             message: "router-only command: issue it against `bdi route`, not a backend".to_string(),

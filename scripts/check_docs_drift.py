@@ -15,7 +15,12 @@ Cross-checks, in both directions:
 * every binary opcode in crates/bdi-serve/src/frame.rs (`OP_*` consts
   and the `OPCODES` name table) appears in PROTOCOL.md's "Binary
   frames" opcode tables with the matching hex value, and the doc
-  tables name no opcode the code lacks.
+  tables name no opcode the code lacks;
+* the tracing surface: every span name the tracer records (the string
+  literals at `root`/`adopt`/`begin`/`record` call sites) is named in
+  PROTOCOL.md's span vocabulary, the `trace-context` feature string
+  and `FLAG_TRACE` bit match between code and PROTOCOL.md, and the
+  `X-Bdi-Trace` header is documented in HTTP_API.md.
 
 Run from the repo root: `python3 scripts/check_docs_drift.py`.
 """
@@ -152,12 +157,80 @@ for label in re.findall(r'"(\w+)"', m.group(1)) if m else []:
         f"HTTP endpoint label `{label}` is not mentioned in HTTP_API.md or PROTOCOL.md",
     )
 
+# 7. tracing: span names, feature string, frame flag, HTTP header
+serve_sources = [
+    p.read_text() for p in sorted((ROOT / "crates/bdi-serve/src").rglob("*.rs"))
+]
+span_names = set()
+for src in serve_sources:
+    # tracer call sites: root(name) / adopt(ctx, name) / begin(ctx, name)
+    # / record(ctx, name, ...) — the name is the first string argument
+    span_names.update(
+        re.findall(
+            r'\.(?:root|adopt|begin|record)\(\s*(?:[*\w.()&]+,\s*)?"([a-z][a-z_.]+)"',
+            src,
+            re.DOTALL,
+        )
+    )
+    # the engine-stage names are fed to record() from a (name, ns) array
+    span_names.update(re.findall(r'\(\s*"([a-z][a-z_.]+)",\s*timings\.', src))
+check(
+    len(span_names) >= 12,
+    f"suspiciously few tracer span names found in bdi-serve: {sorted(span_names)}",
+)
+check(
+    "## Distributed tracing" in protocol_md,
+    "PROTOCOL.md lost its 'Distributed tracing' section",
+)
+for name in sorted(span_names):
+    check(
+        f"`{name}`" in protocol_md,
+        f"span `{name}` is recorded by the tracer but absent from "
+        "PROTOCOL.md's span vocabulary",
+    )
+
+server_rs = (ROOT / "crates/bdi-serve/src/server.rs").read_text()
+m = re.search(r'pub const FEATURE_TRACE: &str = "([\w-]+)";', server_rs)
+check(m, "FEATURE_TRACE const not found in server.rs")
+if m:
+    feature = m.group(1)
+    check(
+        f"`{feature}`" in protocol_md or f"**`{feature}`**" in protocol_md,
+        f"hello feature `{feature}` is not documented in PROTOCOL.md",
+    )
+
+frame_doc_header = frame_rs  # flags live in frame.rs
+m = re.search(r"pub const FLAG_TRACE: u8 = (0x[0-9A-Fa-f]{2});", frame_doc_header)
+check(m, "FLAG_TRACE const not found in frame.rs")
+if m:
+    check(
+        f"`{m.group(1)}`" in protocol_md,
+        f"frame flag FLAG_TRACE ({m.group(1)}) is not documented in PROTOCOL.md",
+    )
+m = re.search(r"pub const TRACE_EXT_LEN: usize = (\d+);", frame_doc_header)
+check(m, "TRACE_EXT_LEN const not found in frame.rs")
+if m:
+    check(
+        f"{m.group(1)}-byte" in protocol_md,
+        f"the {m.group(1)}-byte trace extension is not documented in PROTOCOL.md",
+    )
+
+check(
+    "X-Bdi-Trace" in http_rs,
+    "http.rs lost the X-Bdi-Trace header handling",
+)
+for doc, path in [(http_api_md, HTTP_API_MD), (protocol_md, PROTOCOL_MD)]:
+    check(
+        "X-Bdi-Trace" in doc,
+        f"the X-Bdi-Trace header is not documented in {path.name}",
+    )
+
 if errors:
     for e in errors:
         print(f"::error::{e}")
     sys.exit(1)
 print(
     f"docs in sync: {len(requests)} wire commands, {len(responses)} responses, "
-    f"{len(code_ops)} binary opcodes, HTTP index routes and endpoint labels "
-    "all documented"
+    f"{len(code_ops)} binary opcodes, {len(span_names)} trace span names, "
+    "HTTP index routes and endpoint labels all documented"
 )

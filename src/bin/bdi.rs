@@ -82,14 +82,17 @@ USAGE:
                 [--workers N] [--threaded] [--no-binary]
                 [--data-dir DIR [--sync-interval N] [--snapshot-every N] | --no-wal]
                 [--metrics-file PATH [--metrics-interval SECS]] [--slow-ms MS]
+                [--trace-sample N]
   bdi route     --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT] [--http HOST:PORT]
                 [--replicas N] [--retries N] [--workers N]
                 [--threshold X] [--batch N] [--pipeline N] [--queue N]
-  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N] [--http] [--binary]
+                [--trace-sample N]
+  bdi load      [--addr HOST:PORT] [--seed N] [--entities N] [--sources N] [--max-source-size N] [--readers N] [--batch N] [--http] [--binary] [--trace-sample N]
   bdi stats     [--addr HOST:PORT] [--prometheus]
   bdi admin     --addr HOST:PORT (--hello
                 | --split SHARD --backends HOST:PORT,...
-                | --replace SHARD:REPLICA --backend HOST:PORT)
+                | --replace SHARD:REPLICA --backend HOST:PORT
+                | --trace ID | --trace-recent N)
   bdi help
 
 Front-end: serve and route accept any number of connections on one
@@ -138,9 +141,18 @@ from a live peer.
 
 Observability: --metrics-file atomically rewrites PATH as Prometheus
 text exposition every --metrics-interval seconds (default 5);
---slow-ms logs any request slower than MS milliseconds to stderr.
+--slow-ms logs any request slower than MS milliseconds to stderr (and,
+with tracing, auto-captures a full trace of each slow request).
 `bdi stats` queries a running server; with --prometheus it prints the
-full metrics registry in exposition format instead of the counters.";
+full metrics registry in exposition format instead of the counters.
+
+Tracing: serve/route --trace-sample N records every Nth request as a
+span tree in an in-memory flight recorder (0 = off; slow requests are
+always kept when --slow-ms is set). `bdi load --trace-sample N` mints
+client-side trace ids instead and prints the last one. Fetch a tree
+with `bdi admin --trace ID` (ID in hex, as logged/printed), list
+recent ids with `bdi admin --trace-recent N`, or use the HTTP gateway
+(`GET /trace/:id`, `X-Bdi-Trace` — see docs/HTTP_API.md).";
 
 fn parse_opts(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -308,6 +320,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
             .transpose()?,
         metrics_file: metrics_file.clone(),
         metrics_interval: std::time::Duration::from_secs(num(opts, "metrics-interval", 5u64)?),
+        trace_sample: num(opts, "trace-sample", 0u64)?,
         http_addr: opts.get("http").cloned(),
         workers: num(opts, "workers", 0usize)?,
         front_end: if opts.contains_key("threaded") {
@@ -357,6 +370,7 @@ fn cmd_route(opts: &HashMap<String, String>) -> Result<(), String> {
         retries: num(opts, "retries", 2u32)?,
         http_addr: opts.get("http").cloned(),
         workers: num(opts, "workers", 0usize)?,
+        trace_sample: num(opts, "trace-sample", 0u64)?,
     };
     let n = cfg.backends.len();
     let replicas = cfg.replicas.max(1);
@@ -392,6 +406,7 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
         batch: num(opts, "batch", 1usize)?,
         http: opts.contains_key("http"),
         binary: opts.contains_key("binary"),
+        trace_sample: num(opts, "trace-sample", 0u64)?,
     };
     let report = bdi::serve::run_load(addr, &cfg).map_err(|e| e.to_string())?;
     if cfg.binary {
@@ -451,6 +466,14 @@ fn cmd_load(opts: &HashMap<String, String>) -> Result<(), String> {
             println!("  {lane} = {errors}");
         }
     }
+    if report.traced_requests > 0 {
+        if let Some(id) = report.last_trace_id {
+            println!(
+                "traced {} ingest request(s); last trace id {id:016x} — fetch it with `bdi admin --addr {} --trace {id:016x}` while it's hot",
+                report.traced_requests, addr
+            );
+        }
+    }
     Ok(())
 }
 
@@ -500,7 +523,64 @@ fn cmd_admin(opts: &HashMap<String, String>) -> Result<(), String> {
         );
         return Ok(());
     }
-    Err("admin needs one of --hello, --split, --replace".to_string())
+    if let Some(id) = opts.get("trace") {
+        let id = u64::from_str_radix(id.trim_start_matches("0x"), 16)
+            .map_err(|_| format!("--trace: expected a hex trace id, got '{id}'"))?;
+        let body = client.trace(id).map_err(|e| e.to_string())?;
+        if body.spans.is_empty() {
+            return Err(format!(
+                "trace {id:016x} is not in the flight recorder (traces age out; re-capture and fetch promptly)"
+            ));
+        }
+        let tree = bdi::serve::TraceTree::from_spans(id, body.spans);
+        println!("trace {id:016x}");
+        for root in &tree.roots {
+            print_trace_node(root, 0);
+        }
+        return Ok(());
+    }
+    if let Some(n) = opts.get("trace-recent") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--trace-recent: cannot parse '{n}'"))?;
+        let recent = client.trace_recent(n).map_err(|e| e.to_string())?;
+        if recent.is_empty() {
+            println!("no retained traces (is --trace-sample set on the server?)");
+        }
+        for id in recent {
+            println!("{id:016x}");
+        }
+        return Ok(());
+    }
+    Err("admin needs one of --hello, --split, --replace, --trace, --trace-recent".to_string())
+}
+
+/// One line per span: indent by depth, name, command kind, wall and
+/// self time, then the small numeric attributes.
+fn print_trace_node(node: &bdi::serve::TraceTreeNode, depth: usize) {
+    let span = &node.span;
+    let cmd = if span.cmd.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", span.cmd)
+    };
+    let attrs = if span.attrs.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("  {}", parts.join(" "))
+    };
+    println!(
+        "{:indent$}{}{cmd}  {:.1}us (self {:.1}us){attrs}",
+        "",
+        span.name,
+        span.duration_ns() as f64 / 1_000.0,
+        node.self_ns as f64 / 1_000.0,
+        indent = depth * 2
+    );
+    for child in &node.children {
+        print_trace_node(child, depth + 1);
+    }
 }
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
