@@ -18,6 +18,19 @@ use std::collections::HashMap;
 /// below it, thread spawn overhead exceeds the scoring work.
 const SCORE_PARALLEL_CUTOFF: usize = 64;
 
+/// Outcome of classifying one candidate during the (possibly parallel)
+/// scoring phase. Only filters that need no union-find state run there;
+/// the root-skip filter is applied in the sequential drain.
+enum CandidateVerdict {
+    /// Same source as the arrival — never compared (unchanged rule).
+    SameSource,
+    /// `Matcher::score_bound` fell below the threshold: provably
+    /// sub-threshold, skipped without scoring.
+    BoundPruned,
+    /// Survived the bound filter; carries the true matcher score.
+    Scored(f64),
+}
+
 /// Online record linker.
 pub struct IncrementalLinker<M> {
     matcher: M,
@@ -31,10 +44,26 @@ pub struct IncrementalLinker<M> {
     by_id: HashMap<RecordId, usize>,
     uf: UnionFind,
     comparisons: u64,
-    /// Posting lists longer than this are treated as stop-keys and not
-    /// used for candidate generation (they keep being appended to, so a
-    /// key can recover relevance is not needed — hot keys only get hotter).
+    /// Frequency-tier boundary: posting lists at or below this length
+    /// contribute every entry to candidate generation.
     max_postings: usize,
+    /// Hot-key cap: posting lists longer than `max_postings` contribute
+    /// their oldest `hot_postings` entries instead of being dropped
+    /// wholesale (entries skipped past the cap are counted in
+    /// `postings_skipped`, so the recall/cost trade-off is observable).
+    hot_postings: usize,
+    /// Admissible candidate pruning (root-skip + matcher score bound).
+    /// On by default; disabling it is for equivalence testing — the
+    /// clustering outcome is identical either way.
+    prune: bool,
+    /// Candidates skipped because their union-find root was already
+    /// merged with the arriving record this insert.
+    pruned_root: u64,
+    /// Candidates skipped because [`Matcher::score_bound`] fell below
+    /// the match threshold.
+    pruned_bound: u64,
+    /// Posting-list entries dropped by the hot-key cap.
+    postings_skipped: u64,
     /// Worker threads for candidate scoring (1 = sequential). Scoring
     /// fans out; unions are always applied sequentially in ascending
     /// candidate order, so results are identical at every thread count.
@@ -58,6 +87,11 @@ impl<M: Matcher> IncrementalLinker<M> {
             uf: UnionFind::new(0),
             comparisons: 0,
             max_postings: 200,
+            hot_postings: 400,
+            prune: true,
+            pruned_root: 0,
+            pruned_bound: 0,
+            postings_skipped: 0,
             threads: 1,
         }
     }
@@ -79,6 +113,17 @@ impl<M: Matcher> IncrementalLinker<M> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Enable or disable admissible candidate pruning (on by default).
+    /// Pruning never changes the clustering — skipped candidates are
+    /// provably sub-threshold (score bound) or provably already merged
+    /// (root-skip) — so the only observable difference is the
+    /// comparison count. The off switch exists for the equivalence
+    /// property test and for diagnosing a suspect matcher bound.
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune = prune;
         self
     }
 
@@ -129,6 +174,13 @@ impl<M: Matcher> IncrementalLinker<M> {
                 if let Some(posting) = self.index.get(&k) {
                     if posting.len() <= self.max_postings {
                         cand.extend(posting.iter().copied());
+                    } else {
+                        // hot key: take the oldest `hot_postings` entries
+                        // (a deterministic prefix — postings append in
+                        // arrival order) instead of dropping the list
+                        let cap = self.hot_postings.min(posting.len());
+                        cand.extend(posting[..cap].iter().copied());
+                        self.postings_skipped += (posting.len() - cap) as u64;
                     }
                 }
                 record_keys.push(k);
@@ -140,24 +192,91 @@ impl<M: Matcher> IncrementalLinker<M> {
 
         // score (possibly fanned out over threads), then union
         // sequentially in ascending candidate order — the same order the
-        // sequential loop used, so traces are bit-identical
+        // sequential loop uses, so traces are bit-identical at every
+        // thread count. Pruning applies two admissible filters per
+        // candidate, in a fixed order shared by both paths:
+        //   1. root-skip — the candidate's root already equals the
+        //      arriving record's root, so a match could only re-union an
+        //      existing component (idempotent: outcome unchanged);
+        //   2. score bound — `Matcher::score_bound` (>= the true score
+        //      by contract) falls below the threshold, so the candidate
+        //      provably cannot match.
+        // The sequential path interleaves the filters with scoring so a
+        // pruned candidate costs no matcher work at all; the parallel
+        // path applies the bound filter inside the fan-out (it needs no
+        // union state) and the root filter in the sequential drain.
         let t1 = std::time::Instant::now();
-        let scores = self.score_candidates(&cand, &record, &fp);
-        let t_scoring = t1.elapsed();
-        let t2 = std::time::Instant::now();
         let mut compared = 0;
+        let mut pruned_root = 0u64;
+        let mut pruned_bound = 0u64;
         let mut merged_roots: Vec<usize> = Vec::new();
-        for (&c, score) in cand.iter().zip(&scores) {
-            let Some(s) = *score else { continue }; // same-source skip
-            compared += 1;
-            if s >= self.threshold {
-                // Record the candidate's pre-union root: any root that is
-                // not the final one was absorbed by this insert.
-                merged_roots.push(self.uf.find(c));
-                self.uf.union(c, idx);
+        let spawn_threads = self.threads.min(crate::parallel::default_threads());
+        let t_scoring;
+        let t2;
+        if spawn_threads > 1 && cand.len() >= SCORE_PARALLEL_CUTOFF {
+            let verdicts = self.score_candidates(&cand, &record, &fp, spawn_threads);
+            t_scoring = t1.elapsed();
+            t2 = std::time::Instant::now();
+            for (&c, verdict) in cand.iter().zip(&verdicts) {
+                let s = match verdict {
+                    CandidateVerdict::SameSource => continue,
+                    CandidateVerdict::BoundPruned => {
+                        // the sequential path checks the root filter
+                        // first, so a candidate failing both counts as
+                        // root-pruned there — mirror that here
+                        if self.prune && self.uf.find(c) == self.uf.find(idx) {
+                            pruned_root += 1;
+                        } else {
+                            pruned_bound += 1;
+                        }
+                        continue;
+                    }
+                    CandidateVerdict::Scored(s) => {
+                        if self.prune && self.uf.find(c) == self.uf.find(idx) {
+                            pruned_root += 1;
+                            continue;
+                        }
+                        *s
+                    }
+                };
+                compared += 1;
+                if s >= self.threshold {
+                    // Record the candidate's pre-union root: any root
+                    // that is not the final one was absorbed by this
+                    // insert.
+                    merged_roots.push(self.uf.find(c));
+                    self.uf.union(c, idx);
+                }
             }
+        } else {
+            let arriving = PreparedRecord::new(&record, &fp);
+            for &c in &cand {
+                let other = &self.records[c];
+                if other.id.source == record.id.source {
+                    continue; // same-source skip
+                }
+                if self.prune && self.uf.find(c) == self.uf.find(idx) {
+                    pruned_root += 1;
+                    continue;
+                }
+                let prepared = PreparedRecord::new(other, &self.fingerprints[c]);
+                if self.prune && self.matcher.score_bound(prepared, arriving) < self.threshold {
+                    pruned_bound += 1;
+                    continue;
+                }
+                let s = self.matcher.score_prepared(prepared, arriving);
+                compared += 1;
+                if s >= self.threshold {
+                    merged_roots.push(self.uf.find(c));
+                    self.uf.union(c, idx);
+                }
+            }
+            t_scoring = t1.elapsed();
+            t2 = std::time::Instant::now();
         }
         self.comparisons += compared as u64;
+        self.pruned_root += pruned_root;
+        self.pruned_bound += pruned_bound;
 
         // register
         record_keys.sort_unstable();
@@ -190,31 +309,34 @@ impl<M: Matcher> IncrementalLinker<M> {
         )
     }
 
-    /// Score the arriving record against each candidate, `None` marking
-    /// same-source candidates (never compared). Index-aligned with
-    /// `cand`. Fans out across `self.threads` when the list is long
-    /// enough; chunk results concatenate in order, so the output is
-    /// independent of the thread count.
+    /// Classify and score the arriving record against each candidate on
+    /// `threads` worker threads. Index-aligned with `cand`; chunk
+    /// results concatenate in order, so the output is independent of
+    /// the thread count. The score-bound filter runs inside the fan-out
+    /// (it reads only fingerprints, never union state); the root-skip
+    /// filter needs live union state and is applied by the caller's
+    /// sequential drain.
     fn score_candidates(
         &self,
         cand: &[usize],
         record: &Record,
         fp: &RecordFingerprint,
-    ) -> Vec<Option<f64>> {
+        threads: usize,
+    ) -> Vec<CandidateVerdict> {
         let arriving = PreparedRecord::new(record, fp);
-        let score_one = |&c: &usize| -> Option<f64> {
+        let score_one = |&c: &usize| -> CandidateVerdict {
             let other = &self.records[c];
             if other.id.source == record.id.source {
-                return None;
+                return CandidateVerdict::SameSource;
             }
             let other = PreparedRecord::new(other, &self.fingerprints[c]);
-            Some(self.matcher.score_prepared(other, arriving))
+            if self.prune && self.matcher.score_bound(other, arriving) < self.threshold {
+                return CandidateVerdict::BoundPruned;
+            }
+            CandidateVerdict::Scored(self.matcher.score_prepared(other, arriving))
         };
-        if self.threads <= 1 || cand.len() < SCORE_PARALLEL_CUTOFF {
-            return cand.iter().map(score_one).collect();
-        }
-        let chunk_size = cand.len().div_ceil(self.threads);
-        let mut results: Vec<Vec<Option<f64>>> = Vec::with_capacity(self.threads);
+        let chunk_size = cand.len().div_ceil(threads);
+        let mut results: Vec<Vec<CandidateVerdict>> = Vec::with_capacity(threads);
         crossbeam::thread::scope(|scope| {
             let score_one = &score_one;
             let handles: Vec<_> = cand
@@ -232,6 +354,24 @@ impl<M: Matcher> IncrementalLinker<M> {
     /// Total pairwise comparisons performed so far.
     pub fn comparisons(&self) -> u64 {
         self.comparisons
+    }
+
+    /// Candidates skipped so far because their root was already merged
+    /// with the arriving record (root-skip filter).
+    pub fn pruned_root(&self) -> u64 {
+        self.pruned_root
+    }
+
+    /// Candidates skipped so far because the matcher's admissible score
+    /// bound fell below the match threshold.
+    pub fn pruned_bound(&self) -> u64 {
+        self.pruned_bound
+    }
+
+    /// Posting-list entries skipped so far by the hot-key cap during
+    /// candidate generation.
+    pub fn postings_skipped(&self) -> u64 {
+        self.postings_skipped
     }
 
     /// Number of records inserted.
@@ -347,7 +487,17 @@ impl<M: Matcher> IncrementalLinker<M> {
             by_id,
             uf,
             comparisons: state.comparisons,
+            // pruning configuration must match `new` exactly: a restored
+            // linker makes the same skip decisions (and reports the same
+            // comparison counts) as one that was never torn down. The
+            // cumulative pruning counters are instrumentation, not
+            // durable state — they restart at zero.
             max_postings: 200,
+            hot_postings: 400,
+            prune: true,
+            pruned_root: 0,
+            pruned_bound: 0,
+            postings_skipped: 0,
             threads: 1,
         })
     }
@@ -378,10 +528,14 @@ pub struct InsertTimings {
     /// Fingerprinting the arrival plus collecting candidates from the
     /// blocking index (key extraction, posting-list union, dedup).
     pub candidates_ns: u64,
-    /// Scoring the candidate list (the possibly parallel phase).
+    /// Scoring the candidate list. On the sequential path this covers
+    /// the fused prune/score/union loop (pruning interleaves with
+    /// scoring so skipped candidates cost no matcher work); on the
+    /// parallel path it covers the fan-out only.
     pub scoring_ns: u64,
-    /// Applying unions in candidate order plus registering the record
-    /// into the index.
+    /// Registering the record into the index, plus — on the parallel
+    /// path — the sequential drain that applies unions in candidate
+    /// order.
     pub union_ns: u64,
 }
 
@@ -607,13 +761,77 @@ mod tests {
             (
                 traces,
                 linker.comparisons(),
+                (linker.pruned_root(), linker.pruned_bound()),
                 linker.clustering().clusters().to_vec(),
             )
         };
         let base = run(1);
+        assert!(
+            base.2 .0 + base.2 .1 > 0,
+            "corpus produced no pruning (else the determinism check is vacuous)"
+        );
         for threads in [2, 8] {
             assert_eq!(run(threads), base, "divergence at {threads} threads");
         }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_clusterings_are_identical() {
+        // same adversarial corpus the parallel test uses: shared title
+        // tokens (shared roots), identifier evidence inside groups,
+        // same-source candidates via the source cycle
+        let corpus: Vec<Record> = (0..96u32)
+            .map(|i| {
+                rec(
+                    i % 4,
+                    i,
+                    &format!("Gadget{} common widget", i / 8),
+                    Some(&format!("XXX-YYY-{:05}", i / 8)),
+                )
+            })
+            .collect();
+        let run = |prune: bool| {
+            let mut linker =
+                IncrementalLinker::for_products(IdentifierRule::default(), 0.9).with_pruning(prune);
+            let outcomes: Vec<(usize, usize, Vec<usize>)> = corpus
+                .iter()
+                .cloned()
+                .map(|r| {
+                    let t = linker.insert_traced(r);
+                    (t.index, t.cluster, t.absorbed)
+                })
+                .collect();
+            (outcomes, linker.clustering().clusters().to_vec())
+        };
+        let (pruned_outcomes, pruned_clusters) = run(true);
+        let (full_outcomes, full_clusters) = run(false);
+        assert_eq!(pruned_outcomes, full_outcomes, "per-insert traces diverged");
+        assert_eq!(pruned_clusters, full_clusters, "clusterings diverged");
+    }
+
+    #[test]
+    fn hot_keys_contribute_capped_postings_instead_of_nothing() {
+        // 450 same-source records sharing one title token push the
+        // "widget" posting list past the hot cap (400); an arrival from
+        // another source must still see candidates from it (the hot-key
+        // tier), with the overflow counted, not silently dropped
+        let mut linker = IncrementalLinker::for_products(IdentifierRule::default(), 0.9);
+        for i in 0..450u32 {
+            linker.insert(rec(
+                0,
+                i,
+                &format!("Gadget{i} widget"),
+                Some(&format!("XXX-YYY-{i:05}")),
+            ));
+        }
+        let t = linker.insert_traced(rec(1, 0, "Gadget7 widget", Some("XXX-YYY-00007")));
+        assert!(
+            linker.postings_skipped() > 0,
+            "overflow past the hot cap is counted"
+        );
+        // record 7 sits in the oldest 400 postings of "widget" (and
+        // shares the "gadget7" and digit keys), so the pair still links
+        assert_eq!(t.cluster, linker.cluster_of(7));
     }
 
     #[test]

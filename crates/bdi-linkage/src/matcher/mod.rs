@@ -38,6 +38,20 @@ pub trait Matcher: Sync {
         self.score(a.record, b.record)
     }
 
+    /// Cheap admissible upper bound on [`Matcher::score_prepared`] for
+    /// the same pair: implementations **must** guarantee
+    /// `score_bound(a, b) >= score_prepared(a, b)` for every pair (the
+    /// classic length/prefix-filter contract from similarity joins).
+    /// The incremental linker skips scoring entirely when the bound
+    /// falls below its match threshold, so an inadmissible bound would
+    /// silently change clustering — admissibility is pinned by a
+    /// property test per overriding matcher. The default is the trivial
+    /// bound `1.0`, which disables pruning for matchers without a
+    /// cheap filter.
+    fn score_bound(&self, _a: PreparedRecord<'_>, _b: PreparedRecord<'_>) -> f64 {
+        1.0
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
 }

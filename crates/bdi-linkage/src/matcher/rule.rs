@@ -77,6 +77,48 @@ impl Matcher for IdentifierRule {
         0.8 * title_me.min(1.0) * title_jaccard.max(0.3)
     }
 
+    /// Admissible upper bound from token counts alone — no merges, no
+    /// Monge-Elkan. The only inequality used is the length filter on
+    /// sorted-deduped token sets: `|A∩B| <= min(|A|,|B|)` and
+    /// `|A∪B| >= max(|A|,|B|)`, so
+    /// `jaccard <= min(|A|,|B|) / max(|A|,|B|)` (division of exact
+    /// small integers is correctly rounded and monotone, so the
+    /// inequality survives in `f64`). Each branch of
+    /// [`Self::score_prepared`] is then bounded by substituting that
+    /// Jaccard bound and `title_me.min(1.0) <= 1.0`:
+    ///
+    /// * exact-id branch can fire only when the Jaccard bound clears
+    ///   `corroboration` and the primary identifiers are equal → 1.0;
+    /// * digit-run branch likewise → 0.95;
+    /// * the no-identifier-evidence fallback is at most
+    ///   `0.8 * bound.max(0.3)` — in particular **always < 0.9**, which
+    ///   is what lets a 0.9-threshold linker drop every candidate
+    ///   without identifier evidence unscored.
+    ///
+    /// `jaccard_sorted_sim(∅, ∅) == 1.0`, hence the empty/empty bound
+    /// is 1.0, not 0/0. Admissibility is pinned by a property test.
+    fn score_bound(&self, a: PreparedRecord<'_>, b: PreparedRecord<'_>) -> f64 {
+        let (fa, fb) = (a.fingerprint, b.fingerprint);
+        let (la, lb) = (fa.title_token_set.len(), fb.title_token_set.len());
+        let jaccard_bound = if la.max(lb) == 0 {
+            1.0
+        } else {
+            la.min(lb) as f64 / la.max(lb) as f64
+        };
+        if jaccard_bound >= self.corroboration {
+            if !fa.primary_id.is_empty() && fa.primary_id == fb.primary_id {
+                return 1.0;
+            }
+            if matches!(
+                (&fa.primary_digits, &fb.primary_digits),
+                (Some(x), Some(y)) if x == y && x.len() >= 3
+            ) {
+                return 0.95;
+            }
+        }
+        0.8 * jaccard_bound.max(0.3)
+    }
+
     fn name(&self) -> &'static str {
         "identifier-rule"
     }
@@ -119,6 +161,51 @@ mod tests {
         let a = rec(0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]);
         let b = rec(1, "Visionex V-900 monitor", &["MON-VIS-00900"]);
         assert!(IdentifierRule::default().score(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn bound_dominates_score_on_crafted_pairs() {
+        use crate::fingerprint::{PreparedRecord, RecordFingerprint};
+        let records = [
+            rec(0, "Lumetra LX-100 camera", &["CAM-LUM-00100"]),
+            rec(1, "camera LX-100 by Lumetra", &["camlum00100"]),
+            rec(2, "Visionex V-900 monitor", &["MON-VIS-00900"]),
+            rec(
+                3,
+                "Bassheim B-77 headphone",
+                &["HPH-BAS-00077", "CAM-LUM-00100"],
+            ),
+            rec(4, "Fotonix F-200", &[]),
+            rec(5, "", &[]),
+            rec(6, "", &["CAM-LUM-00100"]),
+        ];
+        let fps: Vec<RecordFingerprint> = records.iter().map(RecordFingerprint::of).collect();
+        let rule = IdentifierRule::default();
+        for (a, fa) in records.iter().zip(&fps) {
+            for (b, fb) in records.iter().zip(&fps) {
+                let (pa, pb) = (PreparedRecord::new(a, fa), PreparedRecord::new(b, fb));
+                let (bound, score) = (rule.score_bound(pa, pb), rule.score_prepared(pa, pb));
+                assert!(
+                    bound >= score,
+                    "inadmissible bound {bound} < score {score} for {:?} vs {:?}",
+                    a.title,
+                    b.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_bound_stays_below_strict_thresholds() {
+        // no identifier evidence -> the bound tops out at 0.8, so a
+        // 0.9-threshold linker can prune every such candidate unscored
+        use crate::fingerprint::{PreparedRecord, RecordFingerprint};
+        let a = rec(0, "Gadget common widget", &[]);
+        let b = rec(1, "Gadget common widget", &[]);
+        let (fa, fb) = (RecordFingerprint::of(&a), RecordFingerprint::of(&b));
+        let bound = IdentifierRule::default()
+            .score_bound(PreparedRecord::new(&a, &fa), PreparedRecord::new(&b, &fb));
+        assert!((bound - 0.8).abs() < 1e-12, "got {bound}");
     }
 
     #[test]

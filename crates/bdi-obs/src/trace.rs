@@ -298,7 +298,11 @@ impl Tracer {
         if sample == 0 && !force {
             return None;
         }
-        let sampled = sample > 0 && self.counter.fetch_add(1, Ordering::Relaxed) % sample == 0;
+        let sampled = sample > 0
+            && self
+                .counter
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(sample);
         if !sampled && !force {
             return None;
         }

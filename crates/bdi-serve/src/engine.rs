@@ -252,6 +252,33 @@ impl Engine {
         (trace, timings)
     }
 
+    /// Ingest a whole wire batch transactionally from the engine's point
+    /// of view: one call, one pass over the records, and — crucially for
+    /// the serve worker — one deferred publish afterwards instead of
+    /// per-record publish traffic. Records apply in order through the
+    /// exact per-record path [`Engine::ingest`] uses, so the end state is
+    /// bit-identical to submitting the same records one by one (a serve
+    /// integration test pins this, WAL replay and snapshot included).
+    ///
+    /// A record whose insert panics is skipped (the panic is caught, the
+    /// engine keeps its pre-record state for that record) and counted in
+    /// the returned `rejected`; the rest of the batch still applies —
+    /// matching the per-record worker's catch-and-continue behaviour.
+    /// Returns `(applied, rejected)`.
+    pub fn ingest_batch(&mut self, records: Vec<Record>) -> (u64, u64) {
+        let (mut applied, mut rejected) = (0u64, 0u64);
+        for record in records {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.ingest(record);
+            }));
+            match outcome {
+                Ok(()) => applied += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        (applied, rejected)
+    }
+
     /// Records ingested so far.
     pub fn records(&self) -> usize {
         self.linker.len()
@@ -270,6 +297,24 @@ impl Engine {
     /// Total pairwise comparisons the linker has performed.
     pub fn comparisons(&self) -> u64 {
         self.linker.comparisons()
+    }
+
+    /// Candidates the linker skipped because their root was already
+    /// merged with the arriving record (root-skip filter).
+    pub fn pruned_root(&self) -> u64 {
+        self.linker.pruned_root()
+    }
+
+    /// Candidates the linker skipped because the matcher's admissible
+    /// score bound fell below the match threshold.
+    pub fn pruned_bound(&self) -> u64 {
+        self.linker.pruned_bound()
+    }
+
+    /// Posting-list entries the linker's hot-key cap skipped during
+    /// candidate generation.
+    pub fn postings_skipped(&self) -> u64 {
+        self.linker.postings_skipped()
     }
 
     /// Re-fuse the dirty clusters and roll the catalog forward. Returns
@@ -303,11 +348,15 @@ impl Engine {
     /// Catalog entries for every dirty root, in ascending root order.
     fn build_entries(&self) -> Vec<CatalogEntry> {
         let roots: Vec<usize> = self.dirty.iter().copied().collect();
-        if self.threads <= 1 || roots.len() < REFRESH_PARALLEL_CUTOFF {
+        // clamp the fan-out to the host's parallelism: extra threads on
+        // an undersized host only add spawn overhead, and the result is
+        // identical at any count anyway
+        let spawn_threads = self.threads.min(default_threads());
+        if spawn_threads <= 1 || roots.len() < REFRESH_PARALLEL_CUTOFF {
             return roots.iter().map(|&r| self.build_entry(r)).collect();
         }
-        let chunk_size = roots.len().div_ceil(self.threads);
-        let mut results: Vec<Vec<CatalogEntry>> = Vec::with_capacity(self.threads);
+        let chunk_size = roots.len().div_ceil(spawn_threads);
+        let mut results: Vec<Vec<CatalogEntry>> = Vec::with_capacity(spawn_threads);
         crossbeam::thread::scope(|scope| {
             let this = &*self;
             let handles: Vec<_> = roots

@@ -796,11 +796,15 @@ pub fn open_frame(frame: &[u8]) -> io::Result<(u8, &[u8])> {
     Ok((frame[2], &frame[HEADER_LEN..payload_end]))
 }
 
+/// What [`open_frame_traced`] yields: the opcode, the optional
+/// `(trace id, parent span id)` pair, and the payload body.
+pub type TracedFrame<'a> = (u8, Option<(u64, u64)>, &'a [u8]);
+
 /// [`open_frame`] plus flags handling: validates the frame, rejects
 /// unknown flag bits, and when [`FLAG_TRACE`] is set splits the 16-byte
 /// trace-context extension off the payload, returning
 /// `(opcode, Some((trace id, parent span id)), body)`.
-pub fn open_frame_traced(frame: &[u8]) -> io::Result<(u8, Option<(u64, u64)>, &[u8])> {
+pub fn open_frame_traced(frame: &[u8]) -> io::Result<TracedFrame<'_>> {
     let (opcode, payload) = open_frame(frame)?;
     let flags = frame[3];
     if flags & !FLAG_TRACE != 0 {

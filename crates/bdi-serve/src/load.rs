@@ -209,6 +209,16 @@ pub struct LoadReport {
     /// Pairwise candidate comparisons the server performed for the
     /// whole run (from its stats counters after the final flush).
     pub comparisons: u64,
+    /// Candidates the engine skipped via the root filter (already
+    /// merged with the arriving record), from
+    /// `serve.engine.candidates.pruned.root` after the final flush.
+    pub pruned_root: u64,
+    /// Candidates the engine skipped via the admissible score-bound
+    /// filter, from `serve.engine.candidates.pruned.bound`.
+    pub pruned_bound: u64,
+    /// Posting-list entries the hot-key cap skipped during candidate
+    /// generation, from `serve.linkage.postings.skipped`.
+    pub postings_skipped: u64,
     /// Server-side median ingest handling latency, **nanoseconds** —
     /// from the server's request-latency histogram for the ingest
     /// command used (`ingest`, or `ingest_batch` when batching); the
@@ -314,7 +324,7 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
     let mut last_trace_id = None;
     let next_trace = |reqno: &mut u64| -> Option<u64> {
         *reqno += 1;
-        (cfg.trace_sample > 0 && *reqno % cfg.trace_sample == 0).then(|| mint.fresh_id())
+        (cfg.trace_sample > 0 && (*reqno).is_multiple_of(cfg.trace_sample)).then(|| mint.fresh_id())
     };
     let t0 = Instant::now();
     if batch == 1 {
@@ -411,6 +421,9 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> std::io::Result<LoadRepor
         p99_us: pct(&latencies, 0.99),
         generation,
         comparisons,
+        pruned_root: counter("serve.engine.candidates.pruned.root"),
+        pruned_bound: counter("serve.engine.candidates.pruned.bound"),
+        postings_skipped: counter("serve.linkage.postings.skipped"),
         server_ingest_p50_ns: server_ns(ingest_hist, 0.50),
         server_ingest_p99_ns: server_ns(ingest_hist, 0.99),
         server_lookup_p50_ns: server_ns("serve.request.lookup.latency_ns", 0.50),

@@ -264,6 +264,15 @@ pub(crate) struct ServeMetrics {
     rejected: Counter,
     /// Linker comparisons as of the published generation.
     comparisons: Counter,
+    /// Candidates skipped by the root filter (already merged with the
+    /// arriving record), as of the published generation.
+    pruned_root: Counter,
+    /// Candidates skipped by the admissible score-bound filter, as of
+    /// the published generation.
+    pruned_bound: Counter,
+    /// Posting-list entries skipped by the hot-key cap, as of the
+    /// published generation.
+    postings_skipped: Counter,
     /// Published generation number.
     generation: Gauge,
     /// Products in the published generation.
@@ -308,6 +317,9 @@ impl ServeMetrics {
             applied: registry.counter("serve.ingest.applied"),
             rejected: registry.counter("serve.ingest.rejected"),
             comparisons: registry.counter("serve.linkage.comparisons"),
+            pruned_root: registry.counter("serve.engine.candidates.pruned.root"),
+            pruned_bound: registry.counter("serve.engine.candidates.pruned.bound"),
+            postings_skipped: registry.counter("serve.linkage.postings.skipped"),
             generation: registry.gauge("serve.catalog.generation"),
             products: registry.gauge("serve.catalog.products"),
             records: registry.gauge("serve.catalog.records"),
@@ -337,6 +349,13 @@ enum Job {
     /// the queue so the worker's WAL/engine/publish spans land in the
     /// originating request's trace.
     Record(Record, Option<TraceContext>),
+    /// A whole wire `ingest_batch` to append + apply as one
+    /// transactional unit: one WAL group append, one apply pass, one
+    /// deferred publish — so an N-record batch pays one cycle of
+    /// shared work instead of N. State after the cycle is bit-identical
+    /// to N `Record` jobs (an integration test pins it, WAL replay and
+    /// snapshot included).
+    Batch(Vec<Record>, Option<TraceContext>),
     /// Ship a consistent snapshot/tail cut back to the handler.
     Sync { from: u64, reply: Sender<Response> },
     /// Install shipped state in place of the current engine.
@@ -608,6 +627,15 @@ impl DurableLog {
         Ok(())
     }
 
+    /// Group-append a whole batch (one staged write per segment, one
+    /// append-latency sample) and mirror the position into stats once.
+    fn append_batch(&mut self, records: &[Record], shared: &Shared) -> std::io::Result<()> {
+        self.wal.append_batch(records)?;
+        shared.metrics.wal_position.set(self.wal.position());
+        shared.metrics.wal_tail.set(self.wal.tail_len());
+        Ok(())
+    }
+
     /// Force an fsync and mirror the synced position into stats.
     fn sync(&mut self, shared: &Shared) -> std::io::Result<()> {
         self.wal.sync()?;
@@ -723,6 +751,12 @@ fn publish(shared: &Shared, engine: &mut Engine, seq: u64) {
     let catalog = engine.refresh();
     let index = ShardedIndex::build(&catalog, shared.shards);
     shared.metrics.comparisons.store(engine.comparisons());
+    shared.metrics.pruned_root.store(engine.pruned_root());
+    shared.metrics.pruned_bound.store(engine.pruned_bound());
+    shared
+        .metrics
+        .postings_skipped
+        .store(engine.postings_skipped());
     shared.metrics.generation.set(seq);
     shared.metrics.products.set(catalog.len() as u64);
     shared.metrics.records.set(engine.records() as u64);
@@ -799,6 +833,104 @@ fn append_traced(
     result
 }
 
+/// One transactional batch cycle — the engine-side half of the wire
+/// `ingest_batch` fast path. The whole batch is group-appended to the
+/// WAL (write-ahead, before any record applies), applied in order, and
+/// published once, so an N-record batch pays one append call, one
+/// fsync decision, and one refresh instead of N. The batch becomes
+/// visible atomically: readers see either none of it or all of it.
+///
+/// Untraced batches take [`Engine::ingest_batch`] whole; a traced
+/// batch applies per-record under an `engine.batch` span so every
+/// record still gets its `engine.insert` span and stage children.
+/// Both routes run the identical per-record insert, so the resulting
+/// state cannot depend on which one ran.
+fn batch_cycle(
+    records: Vec<Record>,
+    ctx: Option<TraceContext>,
+    engine: &mut Engine,
+    seq: &mut u64,
+    durable: &mut Option<DurableLog>,
+    shared: &Shared,
+    rx: &Receiver<Job>,
+) {
+    let n = records.len() as u64;
+    if n == 0 {
+        return;
+    }
+    if let Some(log) = durable.as_mut() {
+        let t0 = ctx.map(|_| shared.tracer.now_ns());
+        if let Err(e) = log.append_batch(&records, shared) {
+            log_io_error(e);
+        }
+        if let (Some(ctx), Some(t0)) = (ctx, t0) {
+            shared.tracer.record(
+                ctx,
+                "wal.append",
+                t0,
+                shared.tracer.now_ns(),
+                &[("records", n)],
+            );
+        }
+    }
+    match ctx {
+        None => {
+            let (_, rejected) = engine.ingest_batch(records);
+            if rejected > 0 {
+                shared.metrics.rejected.add(rejected);
+            }
+        }
+        Some(ctx) => {
+            let mut span = shared
+                .tracer
+                .begin(Some(ctx), "engine.batch")
+                .expect("ctx is Some");
+            span.attr("records", n);
+            let child = span.ctx();
+            for record in records {
+                apply_record(engine, record, Some(child), shared);
+            }
+            shared.tracer.finish(span);
+        }
+    }
+    if let Some(log) = durable.as_mut() {
+        let t0 = shared.tracer.now_ns();
+        match log.sync_if_due(rx.is_empty(), shared) {
+            Err(e) => log_io_error(e),
+            Ok(true) => {
+                if let Some(ctx) = ctx {
+                    shared.tracer.record(
+                        ctx,
+                        "wal.fsync",
+                        t0,
+                        shared.tracer.now_ns(),
+                        &[("group", 1)],
+                    );
+                }
+            }
+            Ok(false) => {}
+        }
+    }
+    *seq += 1;
+    let t0 = shared.tracer.now_ns();
+    publish(shared, engine, *seq);
+    if let Some(ctx) = ctx {
+        shared.tracer.record(
+            ctx,
+            "publish",
+            t0,
+            shared.tracer.now_ns(),
+            &[("records", n)],
+        );
+    }
+    shared.metrics.applied.add(n);
+    if let Some(log) = durable.as_mut() {
+        if let Err(e) = log.snapshot_if_due(engine, *seq, false, shared) {
+            log_io_error(e);
+        }
+    }
+}
+
 /// Worker knobs beyond the engine itself: the per-cycle batch bound
 /// plus what a snapshot-less `restore` needs to build a fresh engine.
 struct WorkerOpts {
@@ -831,6 +963,18 @@ fn ingest_worker(
                 traced.clear();
                 traced.extend(ctx);
                 r
+            }
+            Job::Batch(records, ctx) => {
+                batch_cycle(
+                    records,
+                    ctx,
+                    &mut engine,
+                    &mut seq,
+                    &mut durable,
+                    &shared,
+                    &rx,
+                );
+                continue;
             }
             control_job => {
                 control(
@@ -911,7 +1055,18 @@ fn ingest_worker(
             }
         }
         if let Some(job) = pending.take() {
-            control(job, &mut engine, &mut seq, &mut durable, &shared, &opts);
+            match job {
+                Job::Batch(records, ctx) => batch_cycle(
+                    records,
+                    ctx,
+                    &mut engine,
+                    &mut seq,
+                    &mut durable,
+                    &shared,
+                    &rx,
+                ),
+                job => control(job, &mut engine, &mut seq, &mut durable, &shared, &opts),
+            }
         }
     }
     // graceful drain: leave a clean snapshot and an empty tail so the
@@ -936,6 +1091,7 @@ fn control(
 ) {
     match job {
         Job::Record(..) => unreachable!("records take the batching path"),
+        Job::Batch(..) => unreachable!("batches take their own cycle"),
         Job::Sync { from, reply } => {
             let response = handle_sync(from, engine, *seq, durable, shared).unwrap_or_else(|e| {
                 Response::Error {
@@ -1334,16 +1490,20 @@ fn dispatch_frame(
                 .metrics
                 .ingest_batch_records
                 .record(records.len() as u64);
-            let mut submitted = shared.metrics.submitted.get();
-            for record in records {
-                if tx.send(Job::Record(record, ctx)).is_err() {
+            // one job for the whole batch: the worker appends and
+            // applies it as a single transactional cycle
+            let n = records.len() as u64;
+            if n > 0 {
+                if tx.send(Job::Batch(records, ctx)).is_err() {
                     return Ok(Response::Error {
                         message: "ingest queue closed".to_string(),
                     });
                 }
-                submitted = shared.metrics.submitted.inc();
+                shared.metrics.submitted.add(n);
             }
-            Response::Ack { submitted }
+            Response::Ack {
+                submitted: shared.metrics.submitted.get(),
+            }
         }
         frame::OP_FLUSH => {
             trailing(&r)?;
@@ -1556,18 +1716,22 @@ fn dispatch(
                 .metrics
                 .ingest_batch_records
                 .record(records.len() as u64);
-            // enqueue the whole batch in order; the submitted counter
-            // moves per record so a concurrent flush barriers correctly
-            let mut submitted = shared.metrics.submitted.get();
-            for record in records {
-                if tx.send(Job::Record(record, ctx)).is_err() {
+            // one job for the whole batch: the worker appends and
+            // applies it as a single transactional cycle; submitted
+            // moves only after the enqueue succeeds so a concurrent
+            // flush barriers correctly
+            let n = records.len() as u64;
+            if n > 0 {
+                if tx.send(Job::Batch(records, ctx)).is_err() {
                     return Response::Error {
                         message: "ingest queue closed".to_string(),
                     };
                 }
-                submitted = shared.metrics.submitted.inc();
+                shared.metrics.submitted.add(n);
             }
-            Response::Ack { submitted }
+            Response::Ack {
+                submitted: shared.metrics.submitted.get(),
+            }
         }
         Request::Flush => {
             let target = shared.metrics.submitted.get();

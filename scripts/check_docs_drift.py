@@ -20,7 +20,11 @@ Cross-checks, in both directions:
   literals at `root`/`adopt`/`begin`/`record` call sites) is named in
   PROTOCOL.md's span vocabulary, the `trace-context` feature string
   and `FLAG_TRACE` bit match between code and PROTOCOL.md, and the
-  `X-Bdi-Trace` header is documented in HTTP_API.md.
+  `X-Bdi-Trace` header is documented in HTTP_API.md;
+* the candidate-pruning counters: every `serve.engine.candidates.*`
+  and `serve.linkage.postings.*` counter the server registers has a
+  backticked row in PROTOCOL.md's metric-family table, and the table
+  names no pruning counter the code no longer registers.
 
 Run from the repo root: `python3 scripts/check_docs_drift.py`.
 """
@@ -189,7 +193,43 @@ for name in sorted(span_names):
         "PROTOCOL.md's span vocabulary",
     )
 
+# 8. candidate-pruning counters: every registered serve.engine.candidates.*
+#    / serve.linkage.* counter is documented, and the doc invents none.
+#    (Counters with a `<cmd>`-style wildcard row are exempt; these are
+#    exact names, so each needs its own backticked mention.)
 server_rs = (ROOT / "crates/bdi-serve/src/server.rs").read_text()
+# serve.linkage.comparisons predates pruning and is covered by the
+# stats-counter wildcard row, so only the pruning families are exact
+code_counters = set(
+    re.findall(
+        r'registry\.counter\("((?:serve\.engine\.candidates|serve\.linkage\.postings)\.[\w.]+)"\)',
+        server_rs,
+    )
+)
+check(
+    "serve.engine.candidates.pruned.root" in code_counters
+    and "serve.engine.candidates.pruned.bound" in code_counters,
+    f"server.rs lost the candidate-pruning counters: {sorted(code_counters)}",
+)
+for counter_name in sorted(code_counters):
+    check(
+        f"`{counter_name}`" in protocol_md,
+        f"counter `{counter_name}` is registered by the server but absent "
+        "from PROTOCOL.md's metric-family table",
+    )
+doc_pruning = set(
+    re.findall(
+        r"`((?:serve\.engine\.candidates|serve\.linkage\.postings)\.[\w.]+)`",
+        protocol_md,
+    )
+)
+for counter_name in sorted(doc_pruning):
+    check(
+        counter_name in code_counters,
+        f"PROTOCOL.md documents counter `{counter_name}` but the server "
+        "no longer registers it",
+    )
+
 m = re.search(r'pub const FEATURE_TRACE: &str = "([\w-]+)";', server_rs)
 check(m, "FEATURE_TRACE const not found in server.rs")
 if m:

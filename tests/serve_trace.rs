@@ -144,13 +144,22 @@ fn traced_http_ingest_reassembles_one_tree_across_the_fleet() {
         );
     }
 
-    // engine stages: one insert per record, three stage children each
+    // engine hop: each lane send applies as one transactional batch
+    // cycle — an `engine.batch` span under the dispatch grouping one
+    // `engine.insert` (with three stage children) per record
     let serve_ids: std::collections::BTreeSet<u64> =
         serves.iter().map(|(_, span, ..)| *span).collect();
+    let batches = by_name("engine.batch");
+    assert_eq!(batches.len(), serves.len(), "one batch apply per dispatch");
+    for (_, _, parent, _) in &batches {
+        assert!(serve_ids.contains(parent), "batch parents on the dispatch");
+    }
+    let batch_ids: std::collections::BTreeSet<u64> =
+        batches.iter().map(|(_, span, ..)| *span).collect();
     let inserts = by_name("engine.insert");
     assert_eq!(inserts.len(), n);
     for (_, _, parent, _) in &inserts {
-        assert!(serve_ids.contains(parent), "insert parents on the dispatch");
+        assert!(batch_ids.contains(parent), "insert nests in its batch");
     }
     let insert_ids: std::collections::BTreeSet<u64> =
         inserts.iter().map(|(_, span, ..)| *span).collect();
@@ -161,13 +170,14 @@ fn traced_http_ingest_reassembles_one_tree_across_the_fleet() {
         }
     }
 
-    // durability hop: every record's append, at least one group fsync
-    assert_eq!(count("wal.append"), n);
+    // durability hop: one group append per batch cycle, at least one
+    // group fsync; one publish per cycle (the batch's deferred publish)
+    assert_eq!(count("wal.append"), serves.len(), "group append per batch");
     for (_, _, parent, _) in by_name("wal.append") {
         assert!(serve_ids.contains(parent), "append parents on the dispatch");
     }
     assert!(count("wal.fsync") >= 1, "group commit fsync was traced");
-    assert_eq!(count("publish"), n, "every record's publish is traced");
+    assert_eq!(count("publish"), serves.len(), "one publish per batch");
 
     router.shutdown();
     for b in backends {
